@@ -1,0 +1,244 @@
+//! # qccd-baselines
+//!
+//! Reimplementations of the two baseline QCCD compilers the paper compares
+//! against in Table 3 (§6.5):
+//!
+//! * [`QccdSimCompiler`] — a QCCDSim-style NISQ compiler: qubits are assigned
+//!   to traps round-robin in qubit-index order (no QEC/topology awareness),
+//!   and ion movement is resolved greedily per gate.
+//! * [`MuzzleShuttleCompiler`] — a Muzzle-the-Shuttle-style compiler: the
+//!   same structure-unaware placement, with transport additionally serialised
+//!   globally (its conservative shuttle-avoidance policy executes one
+//!   reconfiguration at a time).
+//!
+//! Both baselines reuse the routing and scheduling machinery of `qccd-core`;
+//! the difference is purely in the mapping policy and transport discipline —
+//! exactly the dimensions on which the paper's QEC-aware compiler improves.
+//! As in the paper, configurations that a baseline cannot handle are reported
+//! as failures (`NaN` entries of Table 3).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+
+use qccd_circuit::{Circuit, QubitId};
+use qccd_hardware::{Device, TrapId, WiringMethod};
+use qccd_qec::{parity_check_round, CodeLayout};
+
+use qccd_core::{
+    route, schedule, ArchitectureConfig, CompileError, CompiledProgram, QubitMapping,
+};
+
+/// Which baseline strategy to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// QCCDSim-style greedy NISQ compiler.
+    QccdSim,
+    /// Muzzle-the-Shuttle-style compiler with globally serialised transport.
+    MuzzleShuttle,
+}
+
+impl std::fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineKind::QccdSim => write!(f, "QCCDSim"),
+            BaselineKind::MuzzleShuttle => write!(f, "MuzzleTheShuttle"),
+        }
+    }
+}
+
+/// Builds a structure-unaware round-robin mapping: qubit `i` goes to trap
+/// `i / (capacity − 1)` in index order, ignoring the code geometry.
+fn round_robin_mapping(
+    layout: &CodeLayout,
+    device: &Device,
+) -> Result<QubitMapping, CompileError> {
+    let usable = if device.num_traps() == 1 {
+        device.capacity()
+    } else {
+        device.capacity().saturating_sub(1).max(1)
+    };
+    if layout.num_qubits() > device.mappable_qubits() {
+        return Err(CompileError::InsufficientCapacity {
+            required: layout.num_qubits(),
+            available: device.mappable_qubits(),
+        });
+    }
+    let mut chains: HashMap<TrapId, Vec<QubitId>> = HashMap::new();
+    for (i, qubit) in layout.qubits().iter().enumerate() {
+        let trap = device.traps()[i / usable].id;
+        chains.entry(trap).or_default().push(qubit.id);
+    }
+    Ok(QubitMapping::from_chains(chains))
+}
+
+/// A baseline compiler emulating prior QCCD toolflows.
+#[derive(Debug, Clone)]
+pub struct BaselineCompiler {
+    kind: BaselineKind,
+    arch: ArchitectureConfig,
+}
+
+/// Convenience alias constructor for the QCCDSim-style baseline.
+#[derive(Debug, Clone)]
+pub struct QccdSimCompiler;
+
+/// Convenience alias constructor for the Muzzle-the-Shuttle-style baseline.
+#[derive(Debug, Clone)]
+pub struct MuzzleShuttleCompiler;
+
+impl QccdSimCompiler {
+    /// Creates the QCCDSim-style baseline for an architecture.
+    pub fn new(arch: ArchitectureConfig) -> BaselineCompiler {
+        BaselineCompiler {
+            kind: BaselineKind::QccdSim,
+            arch,
+        }
+    }
+}
+
+impl MuzzleShuttleCompiler {
+    /// Creates the Muzzle-the-Shuttle-style baseline for an architecture.
+    pub fn new(arch: ArchitectureConfig) -> BaselineCompiler {
+        BaselineCompiler {
+            kind: BaselineKind::MuzzleShuttle,
+            arch,
+        }
+    }
+}
+
+impl BaselineCompiler {
+    /// The baseline strategy.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// Compiles `rounds` rounds of parity checks with the baseline strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when the baseline cannot handle the
+    /// configuration (reported as `NaN` in the Table-3 reproduction).
+    pub fn compile_rounds(
+        &self,
+        layout: &CodeLayout,
+        rounds: usize,
+    ) -> Result<CompiledProgram, CompileError> {
+        let mut circuit = Circuit::new();
+        circuit.pad_qubits(layout.num_qubits());
+        let round = parity_check_round(layout);
+        for _ in 0..rounds {
+            circuit.extend(round.iter().copied());
+        }
+        let device = self.arch.device_for(layout.num_qubits());
+        let mapping = round_robin_mapping(layout, &device)?;
+        let routed = route(&circuit, layout, &device, &mapping)?;
+        // Muzzle-the-Shuttle executes one reconfiguration at a time: model it
+        // with the WISE-style global transport serialisation.
+        let wiring = match self.kind {
+            BaselineKind::QccdSim => self.arch.wiring,
+            BaselineKind::MuzzleShuttle => WiringMethod::Wise,
+        };
+        let timed = schedule(&routed, &self.arch.operation_times, wiring);
+        Ok(CompiledProgram {
+            arch: self.arch.clone(),
+            circuit,
+            device,
+            mapping,
+            routed,
+            schedule: timed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_core::Compiler;
+    use qccd_hardware::TopologyKind;
+    use qccd_qec::{repetition_code, rotated_surface_code};
+
+    fn arch(kind: TopologyKind, capacity: usize) -> ArchitectureConfig {
+        ArchitectureConfig::new(kind, capacity, WiringMethod::Standard, 1.0)
+    }
+
+    #[test]
+    fn baselines_compile_the_repetition_code() {
+        let layout = repetition_code(3);
+        for kind_arch in [arch(TopologyKind::Linear, 3)] {
+            let qccdsim = QccdSimCompiler::new(kind_arch.clone());
+            let muzzle = MuzzleShuttleCompiler::new(kind_arch.clone());
+            assert!(qccdsim.compile_rounds(&layout, 1).is_ok());
+            assert!(muzzle.compile_rounds(&layout, 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn qec_aware_compiler_moves_less_than_qccdsim_baseline() {
+        let layout = rotated_surface_code(3);
+        let configuration = arch(TopologyKind::Grid, 3);
+        let ours = Compiler::new(configuration.clone())
+            .compile_rounds(&layout, 1)
+            .unwrap();
+        let baseline = QccdSimCompiler::new(configuration)
+            .compile_rounds(&layout, 1)
+            .unwrap();
+        assert!(
+            ours.movement_ops() <= baseline.movement_ops(),
+            "ours {} vs baseline {}",
+            ours.movement_ops(),
+            baseline.movement_ops()
+        );
+        assert!(ours.movement_time_us() <= baseline.movement_time_us());
+    }
+
+    #[test]
+    fn muzzle_baseline_is_slower_than_qccdsim_baseline() {
+        let layout = rotated_surface_code(2);
+        let configuration = arch(TopologyKind::Grid, 3);
+        let qccdsim = QccdSimCompiler::new(configuration.clone())
+            .compile_rounds(&layout, 1)
+            .unwrap();
+        let muzzle = MuzzleShuttleCompiler::new(configuration)
+            .compile_rounds(&layout, 1)
+            .unwrap();
+        assert!(muzzle.elapsed_time_us() >= qccdsim.elapsed_time_us());
+    }
+
+    #[test]
+    fn round_robin_mapping_ignores_geometry() {
+        let layout = rotated_surface_code(3);
+        let device = arch(TopologyKind::Grid, 3).device_for(layout.num_qubits());
+        let mapping = round_robin_mapping(&layout, &device).unwrap();
+        assert_eq!(mapping.num_qubits(), layout.num_qubits());
+        // Qubits 0 and 1 (adjacent indices, not necessarily adjacent in the
+        // code) share a trap.
+        assert_eq!(
+            mapping.trap_of(QubitId::new(0)),
+            mapping.trap_of(QubitId::new(1))
+        );
+    }
+
+    #[test]
+    fn undersized_device_is_rejected() {
+        let layout = rotated_surface_code(3);
+        let tiny = qccd_hardware::Device::linear(2, 3);
+        assert!(round_robin_mapping(&layout, &tiny).is_err());
+    }
+
+    #[test]
+    fn structure_unaware_baseline_can_fail_where_ours_succeeds() {
+        // On a linear device the naive round-robin placement congests the
+        // chain badly enough that the baseline cannot always route — the
+        // paper reports exactly this as NaN entries in Table 3. Our compiler
+        // handles the same configuration.
+        let layout = rotated_surface_code(3);
+        let configuration = arch(TopologyKind::Linear, 3);
+        let ours = Compiler::new(configuration.clone()).compile_rounds(&layout, 1);
+        assert!(ours.is_ok());
+        // The baseline either succeeds (with more movement) or fails; both
+        // outcomes are handled by the Table-3 harness.
+        let _ = QccdSimCompiler::new(configuration).compile_rounds(&layout, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion micro-benchmarks for the QEC-to-QCCD compiler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qccd_core::{ArchitectureConfig, Compiler};
+use qccd_qec::rotated_surface_code;
+
+fn bench_compile_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_one_round_grid_c2");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let layout = rotated_surface_code(d);
+        let compiler = Compiler::new(ArchitectureConfig::recommended(1.0));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| compiler.compile_rounds(&layout, 1).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_rounds);
+criterion_main!(benches);

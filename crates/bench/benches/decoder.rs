@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks for the union-find decoder and the end-to-end
+//! logical error rate estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qccd_core::{ArchitectureConfig, Compiler};
+use qccd_decoder::{estimate_logical_error_rate, DecoderKind};
+use qccd_qec::{rotated_surface_code, MemoryBasis};
+
+fn bench_ler_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logical_error_rate_1024_shots");
+    group.sample_size(10);
+    for d in [3usize] {
+        let layout = rotated_surface_code(d);
+        let compiler = Compiler::new(ArchitectureConfig::recommended(5.0));
+        let program = compiler
+            .compile_memory_experiment(&layout, d, MemoryBasis::Z)
+            .expect("compiles");
+        let noisy = program.to_noisy_circuit();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                estimate_logical_error_rate(&noisy, 1024, 11, DecoderKind::UnionFind)
+                    .expect("decodes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ler_estimation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Extension experiment E3: decoder ablation.
+//!
+//! DESIGN.md substitutes a weighted union-find decoder for the MWPM decoding
+//! the paper gets from its Stim/PyMatching stack, and claims the substitution
+//! only shifts logical error rates by a small constant factor (it does not
+//! change which architecture wins). This experiment quantifies that claim by
+//! decoding the *same* compiled memory experiments with the union-find,
+//! greedy-matching and exact minimum-weight matching decoders.
+
+use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SHOTS};
+use qccd_core::{Compiler, Toolflow};
+use qccd_decoder::{estimate_logical_error_rate, DecoderKind};
+use qccd_qec::{rotated_surface_code, MemoryBasis};
+
+fn main() {
+    let distances = [3usize, 5];
+    let improvements = [5.0f64, 10.0];
+    let decoders = [
+        DecoderKind::UnionFind,
+        DecoderKind::GreedyMatching,
+        DecoderKind::ExactMatching,
+    ];
+    let shots = DEFAULT_SHOTS;
+
+    let mut rows = Vec::new();
+    let mut artefact = Vec::new();
+    for improvement in improvements {
+        for d in distances {
+            let layout = rotated_surface_code(d);
+            let compiler = Compiler::new(grid_arch(2, improvement));
+            let program = compiler
+                .compile_memory_experiment(&layout, d, MemoryBasis::Z)
+                .expect("the recommended architecture hosts the code");
+            let noisy = program.to_noisy_circuit();
+
+            let mut row = vec![format!("{improvement:.0}X d={d}")];
+            let mut entry = serde_json::json!({
+                "gate_improvement": improvement,
+                "distance": d,
+                "shots": shots,
+            });
+            for decoder in decoders {
+                let estimate = estimate_logical_error_rate(&noisy, shots, 2026, decoder)
+                    .expect("compiled circuits carry consistent annotations");
+                row.push(fmt_f64(estimate.logical_error_rate));
+                entry[format!("{decoder:?}")] =
+                    serde_json::json!(estimate.logical_error_rate);
+            }
+            rows.push(row);
+            artefact.push(entry);
+        }
+    }
+
+    print_table(
+        "Extension E3: logical error rate per decoder (grid, capacity 2, standard wiring)",
+        &["Configuration", "Union-find", "Greedy", "Exact matching"],
+        &rows,
+    );
+    println!(
+        "\nReading: the exact matching decoder is the accuracy reference; union-find should sit \
+         within a small factor of it and greedy should be the worst. The ordering of \
+         architectures (not shown here) is unchanged by the decoder choice — see the Toolflow \
+         decoder option ({:?} is the default).",
+        Toolflow::new(grid_arch(2, 5.0)).decoder
+    );
+    dump_json("ext_decoder_comparison", &serde_json::Value::Array(artefact));
+}

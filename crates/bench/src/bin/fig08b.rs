@@ -1,0 +1,42 @@
+//! Figure 8(b): logical error rate versus code distance for trap capacities
+//! 2, 5 and 12 under the grid and all-to-all switch topologies (5X gates).
+
+use qccd_bench::{arch, dump_json, fmt_f64, ler_curve, print_table, DEFAULT_SHOTS};
+use qccd_hardware::{TopologyKind, WiringMethod};
+
+fn main() {
+    let distances = [3usize, 5];
+    let capacities = [2usize, 5, 12];
+    let topologies = [TopologyKind::Grid, TopologyKind::Switch];
+
+    let mut rows = Vec::new();
+    let mut artefact = Vec::new();
+    for topology in topologies {
+        for capacity in capacities {
+            let configuration = arch(topology, capacity, WiringMethod::Standard, 5.0);
+            let (points, fit) = ler_curve(&configuration, &distances, DEFAULT_SHOTS);
+            let mut row = vec![format!("{topology} c{capacity}")];
+            for &d in &distances {
+                let value = points.iter().find(|(pd, _)| *pd == d).map(|(_, p)| *p);
+                row.push(value.map(fmt_f64).unwrap_or_else(|| "NaN".into()));
+            }
+            row.push(
+                fit.map(|f| fmt_f64(f.lambda()))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            artefact.push(serde_json::json!({
+                "topology": format!("{topology}"),
+                "capacity": capacity,
+                "points": points.iter().map(|(d, p)| serde_json::json!({"d": d, "ler": p})).collect::<Vec<_>>(),
+            }));
+            rows.push(row);
+        }
+    }
+
+    print_table(
+        "Figure 8(b): logical error rate vs code distance (5X gates)",
+        &["Configuration", "d=3 LER", "d=5 LER", "Lambda"],
+        &rows,
+    );
+    dump_json("fig08b", &serde_json::Value::Array(artefact));
+}

@@ -1,0 +1,65 @@
+//! Figure 10: projected logical error rate versus code distance at 1X, 5X
+//! and 10X gate improvement for several trap capacities on the grid
+//! topology, including the code distance required to reach the 10⁻⁹ target.
+
+use qccd_bench::{dump_json, fmt_f64, grid_arch, ler_curve, print_table, DEFAULT_SHOTS};
+
+fn main() {
+    let sample_distances = [3usize, 5];
+    let projection_distances = [7usize, 9, 11, 13, 15, 17];
+    let capacities = [2usize, 5, 12];
+    let improvements = [1.0f64, 5.0, 10.0];
+    let target = 1e-9;
+
+    let mut rows = Vec::new();
+    let mut artefact = Vec::new();
+    for &improvement in &improvements {
+        for &capacity in &capacities {
+            let configuration = grid_arch(capacity, improvement);
+            let (points, fit) = ler_curve(&configuration, &sample_distances, DEFAULT_SHOTS);
+            let mut row = vec![format!("{improvement:.0}X c{capacity}")];
+            for &d in &sample_distances {
+                let v = points.iter().find(|(pd, _)| *pd == d).map(|(_, p)| *p);
+                row.push(v.map(fmt_f64).unwrap_or_else(|| "NaN".into()));
+            }
+            let (projection, required) = match fit {
+                Some(f) if f.below_threshold() => {
+                    let proj: Vec<String> = projection_distances
+                        .iter()
+                        .map(|&d| fmt_f64(f.project(d)))
+                        .collect();
+                    let required = f
+                        .distance_for_target(target)
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".into());
+                    (proj, required)
+                }
+                _ => (
+                    vec!["above-threshold".to_string(); projection_distances.len()],
+                    "-".to_string(),
+                ),
+            };
+            row.extend(projection);
+            row.push(required);
+            artefact.push(serde_json::json!({
+                "improvement": improvement,
+                "capacity": capacity,
+                "sampled": points.iter().map(|(d, p)| serde_json::json!({"d": d, "ler": p})).collect::<Vec<_>>(),
+                "lambda": fit.map(|f| f.lambda()),
+            }));
+            rows.push(row);
+        }
+    }
+
+    let mut headers: Vec<String> = vec!["Config".into()];
+    headers.extend(sample_distances.iter().map(|d| format!("d={d} (MC)")));
+    headers.extend(projection_distances.iter().map(|d| format!("d={d} (proj)")));
+    headers.push("d for 1e-9".into());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 10: logical error rate vs distance and gate improvement (grid)",
+        &header_refs,
+        &rows,
+    );
+    dump_json("fig10", &serde_json::Value::Array(artefact));
+}

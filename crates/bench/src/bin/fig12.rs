@@ -1,0 +1,55 @@
+//! Figure 12: controller-to-QPU data rate and power dissipation required to
+//! reach a target logical error rate, per trap capacity, under standard
+//! wiring and a 5X gate improvement.
+
+use qccd_bench::{dump_json, fmt_f64, grid_arch, ler_curve, print_table, DEFAULT_SHOTS};
+use qccd_hardware::{estimate_resources, WiringMethod};
+use qccd_qec::rotated_surface_code;
+
+fn main() {
+    let capacities = [2usize, 5, 12];
+    let targets = [1e-6f64, 1e-9];
+    let sample_distances = [3usize, 5];
+
+    let mut rows = Vec::new();
+    let mut artefact = Vec::new();
+    for &capacity in &capacities {
+        let configuration = grid_arch(capacity, 5.0);
+        let (points, fit) = ler_curve(&configuration, &sample_distances, DEFAULT_SHOTS);
+        let mut row = vec![format!("capacity {capacity}")];
+        let mut entry = serde_json::json!({"capacity": capacity});
+        for &target in &targets {
+            match fit.and_then(|f| f.distance_for_target(target)) {
+                Some(required_d) => {
+                    let layout = rotated_surface_code(required_d.max(2));
+                    let device = configuration.device_for(layout.num_qubits());
+                    let resources = estimate_resources(&device, WiringMethod::Standard);
+                    row.push(format!(
+                        "{} Gbit/s, {} W (d={required_d})",
+                        fmt_f64(resources.data_rate_gbit_s),
+                        fmt_f64(resources.power_w)
+                    ));
+                    entry[format!("target_{target:e}")] = serde_json::json!({
+                        "distance": required_d,
+                        "data_rate_gbit_s": resources.data_rate_gbit_s,
+                        "power_w": resources.power_w,
+                    });
+                }
+                None => row.push("above threshold".to_string()),
+            }
+        }
+        entry["sampled"] = serde_json::json!(points
+            .iter()
+            .map(|(d, p)| serde_json::json!({"d": d, "ler": p}))
+            .collect::<Vec<_>>());
+        artefact.push(entry);
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 12: data rate and power needed for a target logical error rate (standard wiring, 5X gates)",
+        &["Configuration", "Target 1e-6", "Target 1e-9"],
+        &rows,
+    );
+    dump_json("fig12", &serde_json::Value::Array(artefact));
+}

@@ -1,0 +1,57 @@
+//! Figure 13(a): data rate required versus target logical error rate — the
+//! standard wiring (capacity 2, no cooling) compared with the WISE wiring
+//! (with cooling) at several trap capacities, under a 5X gate improvement.
+
+use qccd_bench::{arch, dump_json, fmt_f64, ler_curve, print_table, DEFAULT_SHOTS};
+use qccd_hardware::{estimate_resources, TopologyKind, WiringMethod};
+use qccd_qec::rotated_surface_code;
+
+fn main() {
+    let targets = [1e-6f64, 1e-9];
+    let sample_distances = [3usize, 5];
+    let configurations = vec![
+        ("standard c2", arch(TopologyKind::Grid, 2, WiringMethod::Standard, 5.0)),
+        ("WISE c2", arch(TopologyKind::Grid, 2, WiringMethod::Wise, 5.0)),
+        ("WISE c5", arch(TopologyKind::Grid, 5, WiringMethod::Wise, 5.0)),
+        ("WISE c12", arch(TopologyKind::Grid, 12, WiringMethod::Wise, 5.0)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut artefact = Vec::new();
+    for (label, configuration) in configurations {
+        let (points, fit) = ler_curve(&configuration, &sample_distances, DEFAULT_SHOTS);
+        let mut row = vec![label.to_string()];
+        let mut entry = serde_json::json!({"label": label});
+        for &target in &targets {
+            match fit.and_then(|f| f.distance_for_target(target)) {
+                Some(required_d) => {
+                    let layout = rotated_surface_code(required_d.max(2));
+                    let device = configuration.device_for(layout.num_qubits());
+                    let resources = estimate_resources(&device, configuration.wiring);
+                    row.push(format!(
+                        "{} Gbit/s (d={required_d})",
+                        fmt_f64(resources.data_rate_gbit_s)
+                    ));
+                    entry[format!("target_{target:e}")] = serde_json::json!({
+                        "distance": required_d,
+                        "data_rate_gbit_s": resources.data_rate_gbit_s,
+                    });
+                }
+                None => row.push("above threshold".to_string()),
+            }
+        }
+        entry["sampled"] = serde_json::json!(points
+            .iter()
+            .map(|(d, p)| serde_json::json!({"d": d, "ler": p}))
+            .collect::<Vec<_>>());
+        artefact.push(entry);
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 13(a): data rate vs target logical error rate (standard vs WISE, 5X gates)",
+        &["Configuration", "Target 1e-6", "Target 1e-9"],
+        &rows,
+    );
+    dump_json("fig13a", &serde_json::Value::Array(artefact));
+}

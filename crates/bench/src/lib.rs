@@ -1,0 +1,122 @@
+//! # qccd-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§7). Each table/figure has a dedicated binary
+//! (`cargo run -p qccd-bench --release --bin <name>`); this library holds the
+//! shared plumbing: architecture grids, aligned-table printing and JSON
+//! artefact dumping (written under `target/experiments/`).
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use qccd_core::{ArchitectureConfig, Toolflow};
+use qccd_decoder::{fit_lambda, LambdaFit};
+use qccd_hardware::{TopologyKind, WiringMethod};
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes a JSON artefact under `target/experiments/<name>.json`.
+pub fn dump_json(name: &str, value: &serde_json::Value) {
+    let mut path = PathBuf::from("target/experiments");
+    if fs::create_dir_all(&path).is_ok() {
+        path.push(format!("{name}.json"));
+        if let Ok(text) = serde_json::to_string_pretty(value) {
+            let _ = fs::write(&path, text);
+            println!("(wrote {})", path.display());
+        }
+    }
+}
+
+/// Formats a float compactly, using scientific notation for small values.
+pub fn fmt_f64(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() < 1e-3 || value.abs() >= 1e6 {
+        format!("{value:.2e}")
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+/// Builds the standard-wiring grid architecture at a given capacity and gate
+/// improvement.
+pub fn grid_arch(capacity: usize, improvement: f64) -> ArchitectureConfig {
+    ArchitectureConfig::new(TopologyKind::Grid, capacity, WiringMethod::Standard, improvement)
+}
+
+/// Builds an architecture for any topology/wiring combination.
+pub fn arch(
+    topology: TopologyKind,
+    capacity: usize,
+    wiring: WiringMethod,
+    improvement: f64,
+) -> ArchitectureConfig {
+    ArchitectureConfig::new(topology, capacity, wiring, improvement)
+}
+
+/// Samples the logical error rate at the given distances and fits the
+/// exponential suppression law; returns the points and the fit.
+pub fn ler_curve(
+    architecture: &ArchitectureConfig,
+    distances: &[usize],
+    shots: usize,
+) -> (Vec<(usize, f64)>, Option<LambdaFit>) {
+    let toolflow = Toolflow::new(architecture.clone()).with_shots(shots);
+    let mut points = Vec::new();
+    for &d in distances {
+        match toolflow.evaluate(d, true) {
+            Ok(metrics) => points.push((d, metrics.logical_error_rate().unwrap_or(0.0))),
+            Err(e) => eprintln!("  [{}] d={d}: {e}", architecture.label()),
+        }
+    }
+    let fit = fit_lambda(&points);
+    (points, fit)
+}
+
+/// Monte-Carlo shot count used by the figure generators. Kept moderate so
+/// every figure regenerates in minutes; increase for tighter error bars.
+pub const DEFAULT_SHOTS: usize = 2_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5), "1234.5");
+        assert!(fmt_f64(1.2e-7).contains('e'));
+    }
+
+    #[test]
+    fn arch_helpers() {
+        assert_eq!(grid_arch(2, 5.0).capacity(), 2);
+        let a = arch(TopologyKind::Switch, 3, WiringMethod::Wise, 1.0);
+        assert_eq!(a.wiring, WiringMethod::Wise);
+    }
+}

@@ -1,0 +1,153 @@
+//! Qubit identifiers.
+//!
+//! A [`QubitId`] is a dense index into the qubit register of a
+//! [`Circuit`](crate::Circuit). The QEC layer assigns semantic roles (data
+//! qubit, ancilla qubit) on top of these raw indices, and the QCCD compiler
+//! maps them onto physical ions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a qubit inside a circuit.
+///
+/// `QubitId` is a thin newtype around `u32` so that qubit indices cannot be
+/// accidentally confused with other integer quantities (trap indices, ion
+/// indices, measurement indices, ...).
+///
+/// # Examples
+///
+/// ```
+/// use qccd_circuit::QubitId;
+///
+/// let q = QubitId::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(format!("{q}"), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QubitId(u32);
+
+impl QubitId {
+    /// Creates a qubit identifier from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        QubitId(index)
+    }
+
+    /// Returns the raw index of this qubit.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as a `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for QubitId {
+    fn from(value: u32) -> Self {
+        QubitId(value)
+    }
+}
+
+impl From<QubitId> for u32 {
+    fn from(value: QubitId) -> Self {
+        value.0
+    }
+}
+
+impl From<QubitId> for usize {
+    fn from(value: QubitId) -> Self {
+        value.index()
+    }
+}
+
+/// Index of a measurement record produced by a circuit.
+///
+/// Measurement results are numbered in the order the measurement
+/// instructions appear in the circuit, starting from zero. Detectors and
+/// logical observables reference measurements through this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MeasurementIndex(pub usize);
+
+impl MeasurementIndex {
+    /// Creates a measurement index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        MeasurementIndex(index)
+    }
+
+    /// Returns the zero-based position of the measurement in the circuit.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MeasurementIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<usize> for MeasurementIndex {
+    fn from(value: usize) -> Self {
+        MeasurementIndex(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn qubit_id_round_trip() {
+        let q = QubitId::new(42);
+        assert_eq!(q.index(), 42);
+        assert_eq!(q.raw(), 42);
+        assert_eq!(u32::from(q), 42);
+        assert_eq!(usize::from(q), 42);
+        assert_eq!(QubitId::from(42u32), q);
+    }
+
+    #[test]
+    fn qubit_id_display() {
+        assert_eq!(QubitId::new(0).to_string(), "q0");
+        assert_eq!(QubitId::new(17).to_string(), "q17");
+    }
+
+    #[test]
+    fn qubit_id_ordering_matches_index() {
+        let a = QubitId::new(1);
+        let b = QubitId::new(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn qubit_id_hashable() {
+        let mut set = HashSet::new();
+        set.insert(QubitId::new(1));
+        set.insert(QubitId::new(1));
+        set.insert(QubitId::new(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn measurement_index_round_trip() {
+        let m = MeasurementIndex::new(7);
+        assert_eq!(m.index(), 7);
+        assert_eq!(m.to_string(), "m7");
+        assert_eq!(MeasurementIndex::from(7usize), m);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the Pauli algebra.
+//!
+//! The compiler, simulator and decoder all rest on this algebra being a
+//! faithful representation of the Pauli group; these tests check the group
+//! laws on randomly generated sparse Pauli strings rather than hand-picked
+//! cases.
+
+use proptest::prelude::*;
+
+use qccd_circuit::{Pauli, QubitId, SparsePauli};
+
+/// Strategy: a random sparse Pauli string over qubits `0..num_qubits`.
+fn sparse_pauli(num_qubits: u32) -> impl Strategy<Value = SparsePauli> {
+    prop::collection::vec((0..num_qubits, 0..4u8), 0..num_qubits as usize).prop_map(|entries| {
+        let mut pauli = SparsePauli::identity();
+        for (qubit, which) in entries {
+            let p = match which {
+                0 => Pauli::I,
+                1 => Pauli::X,
+                2 => Pauli::Y,
+                _ => Pauli::Z,
+            };
+            pauli.set(QubitId::new(qubit), p);
+        }
+        pauli
+    })
+}
+
+/// The number of qubit positions where the two strings anticommute locally.
+fn anticommuting_sites(a: &SparsePauli, b: &SparsePauli) -> usize {
+    let mut qubits: Vec<QubitId> = a.support();
+    qubits.extend(b.support());
+    qubits.sort_unstable();
+    qubits.dedup();
+    qubits
+        .into_iter()
+        .filter(|&q| !a.get(q).commutes_with(b.get(q)))
+        .count()
+}
+
+#[test]
+fn single_qubit_pauli_multiplication_is_associative() {
+    // The single-qubit Pauli group is small enough to check exhaustively:
+    // the operator part of (a·b)·c equals a·(b·c) and the accumulated phases
+    // agree modulo 4.
+    for a in Pauli::ALL {
+        for b in Pauli::ALL {
+            for c in Pauli::ALL {
+                let (p_ab, ab) = a.mul(b);
+                let (p_ab_c, ab_c) = ab.mul(c);
+                let (p_bc, bc) = b.mul(c);
+                let (p_a_bc, a_bc) = a.mul(bc);
+                assert_eq!(ab_c, a_bc, "{a:?} {b:?} {c:?}");
+                assert_eq!(
+                    (p_ab + p_ab_c) % 4,
+                    (p_bc + p_a_bc) % 4,
+                    "phase mismatch for {a:?} {b:?} {c:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_qubit_commutation_matches_the_multiplication_table() {
+    // a and b commute exactly when a·b and b·a produce the same phase.
+    for a in Pauli::ALL {
+        for b in Pauli::ALL {
+            let (p_ab, _) = a.mul(b);
+            let (p_ba, _) = b.mul(a);
+            assert_eq!(a.commutes_with(b), p_ab == p_ba, "{a:?} {b:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn commutation_is_symmetric(a in sparse_pauli(8), b in sparse_pauli(8)) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+    }
+
+    #[test]
+    fn commutation_counts_anticommuting_sites(a in sparse_pauli(8), b in sparse_pauli(8)) {
+        // Two Pauli strings commute iff they anticommute on an even number
+        // of qubits.
+        let expected = anticommuting_sites(&a, &b) % 2 == 0;
+        prop_assert_eq!(a.commutes_with(&b), expected);
+    }
+
+    #[test]
+    fn everything_commutes_with_the_identity(a in sparse_pauli(8)) {
+        prop_assert!(a.commutes_with(&SparsePauli::identity()));
+        prop_assert!(SparsePauli::identity().commutes_with(&a));
+    }
+
+    #[test]
+    fn multiplying_by_itself_cancels(a in sparse_pauli(8)) {
+        // Every Pauli is its own inverse (up to phase), so the operator part
+        // of a·a has no support.
+        prop_assert_eq!(a.mul(&a).weight(), 0);
+    }
+
+    #[test]
+    fn multiplying_by_identity_is_a_no_op(a in sparse_pauli(8)) {
+        let product = a.mul(&SparsePauli::identity());
+        for q in (0..8).map(QubitId::new) {
+            prop_assert_eq!(product.get(q), a.get(q));
+        }
+    }
+
+    #[test]
+    fn product_support_stays_within_the_union(a in sparse_pauli(8), b in sparse_pauli(8)) {
+        let product = a.mul(&b);
+        for q in product.support() {
+            prop_assert!(
+                a.get(q) != Pauli::I || b.get(q) != Pauli::I,
+                "product acts on {q} but neither factor does"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_equals_support_size(a in sparse_pauli(8)) {
+        prop_assert_eq!(a.weight(), a.support().len());
+        prop_assert_eq!(a.is_identity(), a.weight() == 0);
+    }
+
+    #[test]
+    fn uniform_strings_have_the_requested_support(
+        qubits in prop::collection::btree_set(0..16u32, 0..10),
+        which in 1..4u8,
+    ) {
+        let p = match which {
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        };
+        let ids: Vec<QubitId> = qubits.iter().copied().map(QubitId::new).collect();
+        let string = SparsePauli::uniform(ids.clone(), p);
+        prop_assert_eq!(string.weight(), ids.len());
+        for q in ids {
+            prop_assert_eq!(string.get(q), p);
+        }
+    }
+}

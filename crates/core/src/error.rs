@@ -1,0 +1,63 @@
+//! Compiler error types.
+
+use qccd_circuit::QubitId;
+
+/// Errors produced by the QEC-to-QCCD compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The device does not have enough usable ion slots for the code.
+    InsufficientCapacity {
+        /// Qubits required by the code.
+        required: usize,
+        /// Usable slots on the device (traps filled to capacity − 1).
+        available: usize,
+    },
+    /// The router could not make progress; the configuration is unroutable
+    /// under the QCCD hardware constraints.
+    RoutingStuck {
+        /// Number of instructions that were still pending.
+        pending_instructions: usize,
+    },
+    /// An instruction references a qubit that the mapping does not cover.
+    UnmappedQubit(QubitId),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::InsufficientCapacity { required, available } => write!(
+                f,
+                "device provides {available} usable ion slots but the code needs {required}"
+            ),
+            CompileError::RoutingStuck {
+                pending_instructions,
+            } => write!(
+                f,
+                "ion routing could not make progress with {pending_instructions} instructions pending"
+            ),
+            CompileError::UnmappedQubit(q) => write!(f, "qubit {q} is not mapped to any trap"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CompileError::InsufficientCapacity {
+            required: 17,
+            available: 10,
+        };
+        assert!(e.to_string().contains("17"));
+        let e = CompileError::RoutingStuck {
+            pending_instructions: 3,
+        };
+        assert!(e.to_string().contains("3"));
+        let e = CompileError::UnmappedQubit(QubitId::new(5));
+        assert!(e.to_string().contains("q5"));
+    }
+}

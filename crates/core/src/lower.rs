@@ -1,0 +1,348 @@
+//! Lowering a timed schedule into a noisy stabilizer circuit.
+//!
+//! This is the bridge between the compiler and the logical-error-rate
+//! simulation (the "Logical Error Rate Calculation Using Stim" box of the
+//! paper's Figure 2): the execution schedule is replayed in time order and
+//! every physical effect of §5.1 is inserted as a Pauli noise channel:
+//!
+//! * **idling / reconfiguration dephasing (e1)** — whenever a qubit is about
+//!   to be gated, the time elapsed since its previous gate is converted into
+//!   a Z-error probability `(1 − e^{−t/T₂})/2`; this automatically charges
+//!   transport time and serialisation delays to the idling qubits;
+//! * **gate depolarising noise (e2, e3)** — after every single- and two-qubit
+//!   gate, with a probability that depends on the gate duration, the trap's
+//!   chain length and the accumulated motional energy of the ions involved;
+//! * **heating** — movement primitives add motional quanta to the moved ion
+//!   (Table 1 upper bounds); measurement and reset re-cool the ion;
+//! * **imperfect reset (e4) and measurement (e5)** — bit-flip channels.
+//!
+//! The detector and logical-observable annotations of the original circuit
+//! are carried over unchanged (they are expressed in per-qubit measurement
+//! order, which the compiler preserves).
+
+use std::collections::HashMap;
+
+use qccd_circuit::{Circuit, Instruction, QubitId};
+use qccd_noise::{HeatingLedger, NoiseParams};
+use qccd_sim::{NoiseChannel, NoisyCircuit};
+
+use crate::{RoutedOp, Schedule};
+
+/// Lowers a schedule into a noisy stabilizer circuit using the given noise
+/// parameters, attaching the detectors and observables of `circuit`.
+pub fn lower_to_noisy_circuit(
+    schedule: &Schedule,
+    circuit: &Circuit,
+    params: &NoiseParams,
+) -> NoisyCircuit {
+    let mut noisy = NoisyCircuit::new();
+    noisy.pad_qubits(circuit.num_qubits());
+    let mut ledger = HeatingLedger::new(params.base_nbar);
+    let mut last_release: HashMap<QubitId, f64> = HashMap::new();
+
+    for scheduled in schedule.ops_in_time_order() {
+        match &scheduled.op {
+            RoutedOp::Movement { kind, ion, .. } => {
+                ledger.record_movement(*ion, *kind);
+            }
+            RoutedOp::GateSwap {
+                ion,
+                other,
+                chain_len,
+                ..
+            } => {
+                // Three physical MS gates: depolarise both ions accordingly.
+                emit_idle_dephasing(&mut noisy, params, &mut last_release, *ion, scheduled.start_us);
+                emit_idle_dephasing(
+                    &mut noisy,
+                    params,
+                    &mut last_release,
+                    *other,
+                    scheduled.start_us,
+                );
+                let per_gate = params.two_qubit_gate_error(
+                    scheduled.duration_us() / 3.0,
+                    *chain_len,
+                    ledger.pair_nbar(*ion, *other),
+                );
+                let p = 1.0 - (1.0 - per_gate).powi(3);
+                noisy.push_noise(NoiseChannel::Depolarize2 {
+                    a: *ion,
+                    b: *other,
+                    p,
+                });
+                last_release.insert(*ion, scheduled.end_us);
+                last_release.insert(*other, scheduled.end_us);
+            }
+            RoutedOp::Gate {
+                instruction,
+                chain_len,
+                ..
+            } => {
+                let qubits = instruction.qubits();
+                for &q in &qubits {
+                    emit_idle_dephasing(&mut noisy, params, &mut last_release, q, scheduled.start_us);
+                }
+                match instruction {
+                    Instruction::Measure(q) | Instruction::MeasureX(q) => {
+                        noisy.push_noise(NoiseChannel::BitFlip {
+                            qubit: *q,
+                            p: params.measurement_flip_probability(),
+                        });
+                        noisy.push_gate(*instruction);
+                        ledger.cool(*q);
+                    }
+                    Instruction::Reset(q) => {
+                        noisy.push_gate(*instruction);
+                        noisy.push_noise(NoiseChannel::BitFlip {
+                            qubit: *q,
+                            p: params.reset_flip_probability(),
+                        });
+                        ledger.cool(*q);
+                    }
+                    _ if instruction.is_two_qubit() => {
+                        noisy.push_gate(*instruction);
+                        let p = params.two_qubit_gate_error(
+                            scheduled.duration_us(),
+                            *chain_len,
+                            ledger.pair_nbar(qubits[0], qubits[1]),
+                        );
+                        noisy.push_noise(NoiseChannel::Depolarize2 {
+                            a: qubits[0],
+                            b: qubits[1],
+                            p,
+                        });
+                    }
+                    _ => {
+                        noisy.push_gate(*instruction);
+                        let p = params.single_qubit_gate_error(
+                            scheduled.duration_us(),
+                            *chain_len,
+                            ledger.nbar(qubits[0]),
+                        );
+                        noisy.push_noise(NoiseChannel::Depolarize1 {
+                            qubit: qubits[0],
+                            p,
+                        });
+                    }
+                }
+                for &q in &qubits {
+                    last_release.insert(q, scheduled.end_us);
+                }
+            }
+        }
+    }
+
+    for detector in circuit.detectors() {
+        noisy.add_detector(detector.clone());
+    }
+    for observable in circuit.observables() {
+        noisy.add_observable(observable.clone());
+    }
+    noisy
+}
+
+fn emit_idle_dephasing(
+    noisy: &mut NoisyCircuit,
+    params: &NoiseParams,
+    last_release: &mut HashMap<QubitId, f64>,
+    qubit: QubitId,
+    now_us: f64,
+) {
+    let last = last_release.get(&qubit).copied().unwrap_or(0.0);
+    let idle = now_us - last;
+    if idle > 1e-9 {
+        noisy.push_noise(NoiseChannel::PhaseFlip {
+            qubit,
+            p: params.dephasing_probability(idle),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule, RoutedProgram};
+    use qccd_circuit::Detector;
+    use qccd_circuit::MeasurementRef;
+    use qccd_hardware::{MovementKind, OperationTimes, SegmentId, TrapId, WiringMethod};
+    use qccd_sim::NoisyOp;
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn build(ops: Vec<RoutedOp>) -> Schedule {
+        schedule(
+            &RoutedProgram { ops },
+            &OperationTimes::paper_defaults(),
+            WiringMethod::Standard,
+        )
+    }
+
+    #[test]
+    fn gates_pick_up_depolarising_noise() {
+        let s = build(vec![
+            RoutedOp::Gate {
+                instruction: Instruction::Reset(q(0)),
+                trap: TrapId(0),
+                chain_len: 2,
+            },
+            RoutedOp::Gate {
+                instruction: Instruction::Cnot {
+                    control: q(0),
+                    target: q(1),
+                },
+                trap: TrapId(0),
+                chain_len: 2,
+            },
+            RoutedOp::Gate {
+                instruction: Instruction::Measure(q(1)),
+                trap: TrapId(0),
+                chain_len: 2,
+            },
+        ]);
+        let mut circuit = Circuit::new();
+        circuit.pad_qubits(2);
+        let noisy = lower_to_noisy_circuit(&s, &circuit, &NoiseParams::standard(1.0));
+        let channels: Vec<&NoiseChannel> = noisy
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                NoisyOp::Noise(c) => Some(c),
+                NoisyOp::Gate(_) => None,
+            })
+            .collect();
+        assert!(channels
+            .iter()
+            .any(|c| matches!(c, NoiseChannel::Depolarize2 { .. })));
+        assert!(channels
+            .iter()
+            .any(|c| matches!(c, NoiseChannel::BitFlip { .. })));
+        // Three gates appear in the noisy circuit.
+        assert_eq!(
+            noisy
+                .ops()
+                .iter()
+                .filter(|op| matches!(op, NoisyOp::Gate(_)))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn idle_time_becomes_dephasing() {
+        // Qubit 1 idles while qubit 0 is measured (400 µs) in the same trap,
+        // then gets a gate: it must receive a dephasing channel.
+        let s = build(vec![
+            RoutedOp::Gate {
+                instruction: Instruction::Measure(q(0)),
+                trap: TrapId(0),
+                chain_len: 2,
+            },
+            RoutedOp::Gate {
+                instruction: Instruction::H(q(1)),
+                trap: TrapId(0),
+                chain_len: 2,
+            },
+        ]);
+        let mut circuit = Circuit::new();
+        circuit.pad_qubits(2);
+        let noisy = lower_to_noisy_circuit(&s, &circuit, &NoiseParams::standard(1.0));
+        let dephasing: Vec<f64> = noisy
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                NoisyOp::Noise(NoiseChannel::PhaseFlip { qubit, p }) if *qubit == q(1) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dephasing.len(), 1);
+        let expected = NoiseParams::standard(1.0).dephasing_probability(400.0);
+        assert!((dephasing[0] - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn movement_heats_the_ion_and_raises_gate_error() {
+        let params = NoiseParams::standard(1.0);
+        let cold = build(vec![RoutedOp::Gate {
+            instruction: Instruction::Ms(q(0), q(1)),
+            trap: TrapId(0),
+            chain_len: 2,
+        }]);
+        let hot = build(vec![
+            RoutedOp::Movement {
+                kind: MovementKind::Split,
+                ion: q(0),
+                trap: Some(TrapId(1)),
+                junction: None,
+                segment: SegmentId(0),
+            },
+            RoutedOp::Movement {
+                kind: MovementKind::Merge,
+                ion: q(0),
+                trap: Some(TrapId(0)),
+                junction: None,
+                segment: SegmentId(0),
+            },
+            RoutedOp::Gate {
+                instruction: Instruction::Ms(q(0), q(1)),
+                trap: TrapId(0),
+                chain_len: 2,
+            },
+        ]);
+        let mut circuit = Circuit::new();
+        circuit.pad_qubits(2);
+        let p_of = |schedule: &Schedule| {
+            let noisy = lower_to_noisy_circuit(schedule, &circuit, &params);
+            noisy
+                .ops()
+                .iter()
+                .find_map(|op| match op {
+                    NoisyOp::Noise(NoiseChannel::Depolarize2 { p, .. }) => Some(*p),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(p_of(&hot) > p_of(&cold));
+    }
+
+    #[test]
+    fn annotations_are_carried_over() {
+        let s = build(vec![RoutedOp::Gate {
+            instruction: Instruction::Measure(q(0)),
+            trap: TrapId(0),
+            chain_len: 1,
+        }]);
+        let mut circuit = Circuit::new();
+        circuit.push(Instruction::Measure(q(0)));
+        circuit.add_detector(Detector::new(vec![MeasurementRef::new(q(0), 0)]));
+        let noisy = lower_to_noisy_circuit(&s, &circuit, &NoiseParams::standard(1.0));
+        assert_eq!(noisy.detectors().len(), 1);
+        assert!(noisy.resolve_annotations().is_ok());
+    }
+
+    #[test]
+    fn gate_swaps_add_three_gate_depolarising() {
+        let params = NoiseParams::standard(1.0);
+        let s = build(vec![RoutedOp::GateSwap {
+            trap: TrapId(0),
+            ion: q(0),
+            other: q(1),
+            chain_len: 3,
+        }]);
+        let mut circuit = Circuit::new();
+        circuit.pad_qubits(2);
+        let noisy = lower_to_noisy_circuit(&s, &circuit, &params);
+        let p_swap = noisy
+            .ops()
+            .iter()
+            .find_map(|op| match op {
+                NoisyOp::Noise(NoiseChannel::Depolarize2 { p, .. }) => Some(*p),
+                _ => None,
+            })
+            .unwrap();
+        let single = params.two_qubit_gate_error(40.0, 3, params.base_nbar);
+        assert!(p_swap > single, "a swap is three gates worth of noise");
+    }
+}

@@ -1,0 +1,221 @@
+//! The Hungarian algorithm (Kuhn–Munkres) for minimum-cost assignment.
+//!
+//! The cluster-to-trap mapping pass (§4.2 of the paper) solves a minimum
+//! edge-weight maximum-cardinality matching between qubit clusters and traps.
+//! This module provides the underlying O(n²·m) assignment solver using the
+//! shortest-augmenting-path formulation with potentials, supporting
+//! rectangular cost matrices with at most as many rows (clusters) as columns
+//! (traps).
+
+/// Solves the minimum-cost assignment problem.
+///
+/// `cost[i][j]` is the cost of assigning row `i` to column `j`. Every row is
+/// assigned to a distinct column. Returns `(total_cost, assignment)` where
+/// `assignment[i]` is the column chosen for row `i`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty, ragged, or has more rows than columns.
+pub fn solve_assignment(cost: &[Vec<f64>]) -> (f64, Vec<usize>) {
+    let rows = cost.len();
+    assert!(rows > 0, "cost matrix must have at least one row");
+    let cols = cost[0].len();
+    assert!(
+        cost.iter().all(|r| r.len() == cols),
+        "cost matrix must be rectangular"
+    );
+    assert!(
+        rows <= cols,
+        "assignment needs at least as many columns ({cols}) as rows ({rows})"
+    );
+
+    const INF: f64 = f64::INFINITY;
+    // 1-based potentials and matching, following the classic formulation.
+    let mut u = vec![0.0; rows + 1];
+    let mut v = vec![0.0; cols + 1];
+    let mut matched_row_of_col = vec![0usize; cols + 1];
+    let mut way = vec![0usize; cols + 1];
+
+    for i in 1..=rows {
+        matched_row_of_col[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = matched_row_of_col[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[matched_row_of_col[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_row_of_col[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            matched_row_of_col[j0] = matched_row_of_col[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; rows];
+    for j in 1..=cols {
+        let i = matched_row_of_col[j];
+        if i != 0 {
+            assignment[i - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (total, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_by_one() {
+        let (cost, assignment) = solve_assignment(&[vec![3.5]]);
+        assert_eq!(cost, 3.5);
+        assert_eq!(assignment, vec![0]);
+    }
+
+    #[test]
+    fn square_known_optimum() {
+        // Classic 3x3 example: optimal assignment cost is 5 (1+3+1).
+        let matrix = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![3.0, 6.0, 9.0],
+        ];
+        let (cost, assignment) = solve_assignment(&matrix);
+        assert_eq!(cost, 3.0 + 4.0 + 3.0);
+        // Every column used exactly once.
+        let mut cols = assignment.clone();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diagonal_preference() {
+        let matrix = vec![
+            vec![0.0, 10.0, 10.0],
+            vec![10.0, 0.0, 10.0],
+            vec![10.0, 10.0, 0.0],
+        ];
+        let (cost, assignment) = solve_assignment(&matrix);
+        assert_eq!(cost, 0.0);
+        assert_eq!(assignment, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rectangular_picks_cheapest_columns() {
+        let matrix = vec![vec![5.0, 1.0, 9.0, 2.0], vec![4.0, 8.0, 0.5, 7.0]];
+        let (cost, assignment) = solve_assignment(&matrix);
+        assert_eq!(assignment.len(), 2);
+        assert_ne!(assignment[0], assignment[1]);
+        assert!((cost - 1.5).abs() < 1e-12);
+        assert_eq!(assignment, vec![1, 2]);
+    }
+
+    #[test]
+    fn never_assigns_two_rows_to_one_column() {
+        let matrix = vec![
+            vec![0.0, 5.0, 5.0],
+            vec![0.0, 1.0, 5.0],
+            vec![0.0, 5.0, 1.0],
+        ];
+        let (_, assignment) = solve_assignment(&matrix);
+        let mut cols = assignment.clone();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 3);
+    }
+
+    #[test]
+    fn optimal_beats_every_permutation_on_random_instances() {
+        // Brute-force cross-check on small random matrices.
+        let mut seed = 0x12345678u64;
+        let mut next = || {
+            // xorshift64*
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 100.0
+        };
+        for _ in 0..20 {
+            let n = 4;
+            let matrix: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let (cost, _) = solve_assignment(&matrix);
+            let mut best = f64::INFINITY;
+            let mut perm: Vec<usize> = (0..n).collect();
+            permutohedron_heap(&mut perm, &mut |p: &[usize]| {
+                let c: f64 = p.iter().enumerate().map(|(i, &j)| matrix[i][j]).sum();
+                if c < best {
+                    best = c;
+                }
+            });
+            assert!(
+                (cost - best).abs() < 1e-9,
+                "hungarian {cost} differs from brute force {best}"
+            );
+        }
+    }
+
+    /// Minimal Heap's-algorithm permutation enumeration for the brute-force
+    /// cross-check.
+    fn permutohedron_heap(items: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+        fn heap(k: usize, items: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+            if k <= 1 {
+                visit(items);
+                return;
+            }
+            for i in 0..k {
+                heap(k - 1, items, visit);
+                if k % 2 == 0 {
+                    items.swap(i, k - 1);
+                } else {
+                    items.swap(0, k - 1);
+                }
+            }
+        }
+        let len = items.len();
+        heap(len, items, visit);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn more_rows_than_columns_rejected() {
+        solve_assignment(&[vec![1.0], vec![2.0]]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Qubit-to-ion mapping (§4.2 of the paper).
+//!
+//! The mapping pass has two stages:
+//!
+//! 1. [`cluster_qubits`] — partition the code's qubits into balanced clusters
+//!    of `capacity − 1` qubits by top-down regular (geometric) partitioning
+//!    of the code layout;
+//! 2. [`map_qubits`] — place the clusters onto traps with a
+//!    geometry-preserving minimum-cost matching solved by the
+//!    [Hungarian algorithm](hungarian::solve_assignment).
+
+mod assign;
+mod cluster;
+pub mod hungarian;
+
+pub use assign::{map_qubits, map_qubits_with_strategy, QubitMapping};
+pub use cluster::{
+    cluster_qubits, cluster_qubits_with_strategy, cut_weight, validate_clustering,
+    ClusteringStrategy, QubitCluster,
+};

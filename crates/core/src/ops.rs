@@ -1,0 +1,311 @@
+//! Routed QCCD operations.
+//!
+//! The router lowers an abstract Clifford circuit into a stream of
+//! [`RoutedOp`]s: quantum gates pinned to specific traps, in-trap gate swaps
+//! (ion reordering), and ion-transport primitives referencing the hardware
+//! resources they occupy. The scheduler then assigns start times to this
+//! stream subject to resource exclusivity.
+
+use serde::{Deserialize, Serialize};
+
+use qccd_circuit::{native, Instruction, QubitId};
+use qccd_hardware::{JunctionId, MovementKind, OperationTimes, SegmentId, TrapId, WiringMethod};
+
+/// A hardware resource that serialises the operations using it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Resource {
+    /// A trap: gates and reconfiguration steps within one trap execute
+    /// serially (§3.1).
+    Trap(TrapId),
+    /// A junction: holds at most one ion at a time.
+    Junction(JunctionId),
+    /// A shuttling segment: holds at most one ion at a time.
+    Segment(SegmentId),
+    /// An ion: its operations respect program order.
+    Ion(QubitId),
+    /// The shared control system; used by the WISE wiring model to serialise
+    /// all ion-transport primitives against each other.
+    TransportController,
+}
+
+/// One routed operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RoutedOp {
+    /// A quantum instruction executed inside a trap.
+    Gate {
+        /// The Clifford-level instruction (used for simulation semantics).
+        instruction: Instruction,
+        /// The trap executing it.
+        trap: TrapId,
+        /// Number of ions in the trap's chain at execution time (noise model
+        /// input).
+        chain_len: usize,
+    },
+    /// A swap of two neighbouring ions within a trap, used to bring an ion to
+    /// the end of the chain before a split. Costs three MS gates.
+    GateSwap {
+        /// The trap performing the swap.
+        trap: TrapId,
+        /// One of the swapped ions (the one being repositioned).
+        ion: QubitId,
+        /// The neighbouring ion it swaps with.
+        other: QubitId,
+        /// Chain length at the time of the swap.
+        chain_len: usize,
+    },
+    /// An ion-transport primitive (t7–t11).
+    Movement {
+        /// Which primitive.
+        kind: MovementKind,
+        /// The ion being moved.
+        ion: QubitId,
+        /// The trap involved (for splits and merges).
+        trap: Option<TrapId>,
+        /// The junction involved (for junction entry/exit).
+        junction: Option<JunctionId>,
+        /// The segment involved.
+        segment: SegmentId,
+    },
+}
+
+impl RoutedOp {
+    /// Returns `true` for ion-reconfiguration operations (movement primitives
+    /// and gate swaps), the quantity counted by the paper's
+    /// "number of movement / routing operations" metric (§6.3).
+    pub fn is_movement(&self) -> bool {
+        matches!(self, RoutedOp::Movement { .. } | RoutedOp::GateSwap { .. })
+    }
+
+    /// The duration of this operation under a timing model, including the
+    /// effect of WISE cooling on two-qubit gates.
+    pub fn duration_us(&self, times: &OperationTimes, wiring: WiringMethod) -> f64 {
+        match self {
+            RoutedOp::Gate { instruction, .. } => native::decompose(instruction)
+                .iter()
+                .map(|op| {
+                    if wiring.requires_cooling() {
+                        times.gate_duration_with_cooling_us(op.kind())
+                    } else {
+                        times.gate_duration_us(op.kind())
+                    }
+                })
+                .sum(),
+            RoutedOp::GateSwap { .. } => times.movement_duration_us(MovementKind::GateSwap),
+            RoutedOp::Movement { kind, .. } => times.movement_duration_us(*kind),
+        }
+    }
+
+    /// The resources this operation occupies for its whole duration.
+    pub fn resources(&self, wiring: WiringMethod) -> Vec<Resource> {
+        match self {
+            RoutedOp::Gate {
+                instruction, trap, ..
+            } => {
+                let mut r = vec![Resource::Trap(*trap)];
+                r.extend(instruction.qubits().into_iter().map(Resource::Ion));
+                r
+            }
+            RoutedOp::GateSwap {
+                trap, ion, other, ..
+            } => vec![
+                Resource::Trap(*trap),
+                Resource::Ion(*ion),
+                Resource::Ion(*other),
+            ],
+            RoutedOp::Movement {
+                ion,
+                trap,
+                junction,
+                segment,
+                ..
+            } => {
+                let mut r = vec![Resource::Ion(*ion), Resource::Segment(*segment)];
+                if let Some(t) = trap {
+                    r.push(Resource::Trap(*t));
+                }
+                if let Some(j) = junction {
+                    r.push(Resource::Junction(*j));
+                }
+                if wiring.transport_type_exclusive() {
+                    r.push(Resource::TransportController);
+                }
+                r
+            }
+        }
+    }
+
+    /// The qubits (ions) involved in this operation.
+    pub fn ions(&self) -> Vec<QubitId> {
+        match self {
+            RoutedOp::Gate { instruction, .. } => instruction.qubits(),
+            RoutedOp::GateSwap { ion, other, .. } => vec![*ion, *other],
+            RoutedOp::Movement { ion, .. } => vec![*ion],
+        }
+    }
+}
+
+/// The full routed program produced by the router.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RoutedProgram {
+    /// Operations in routed (dependency-respecting) order.
+    pub ops: Vec<RoutedOp>,
+}
+
+impl RoutedProgram {
+    /// Number of ion-reconfiguration operations (movement primitives plus
+    /// gate swaps).
+    pub fn num_movement_ops(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_movement()).count()
+    }
+
+    /// Number of quantum gate operations (excluding swaps).
+    pub fn num_gate_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, RoutedOp::Gate { .. }))
+            .count()
+    }
+
+    /// Total time spent in ion reconfiguration, summed over movement
+    /// operations (the paper's "movement time" metric in Table 3).
+    pub fn movement_time_us(&self, times: &OperationTimes, wiring: WiringMethod) -> f64 {
+        self.ops
+            .iter()
+            .filter(|op| op.is_movement())
+            .map(|op| op.duration_us(times, wiring))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn gate_duration_sums_native_ops() {
+        let times = OperationTimes::paper_defaults();
+        let cnot = RoutedOp::Gate {
+            instruction: Instruction::Cnot {
+                control: q(0),
+                target: q(1),
+            },
+            trap: TrapId(0),
+            chain_len: 2,
+        };
+        // 1 MS (40) + 4 rotations (20).
+        assert_eq!(cnot.duration_us(&times, WiringMethod::Standard), 60.0);
+        // WISE cooling adds 850 µs to the MS gate.
+        assert_eq!(cnot.duration_us(&times, WiringMethod::Wise), 910.0);
+        let meas = RoutedOp::Gate {
+            instruction: Instruction::Measure(q(0)),
+            trap: TrapId(0),
+            chain_len: 1,
+        };
+        assert_eq!(meas.duration_us(&times, WiringMethod::Standard), 400.0);
+    }
+
+    #[test]
+    fn movement_durations_and_flags() {
+        let times = OperationTimes::paper_defaults();
+        let split = RoutedOp::Movement {
+            kind: MovementKind::Split,
+            ion: q(3),
+            trap: Some(TrapId(1)),
+            junction: None,
+            segment: SegmentId(0),
+        };
+        assert!(split.is_movement());
+        assert_eq!(split.duration_us(&times, WiringMethod::Standard), 80.0);
+        let swap = RoutedOp::GateSwap {
+            trap: TrapId(0),
+            ion: q(0),
+            other: q(1),
+            chain_len: 3,
+        };
+        assert!(swap.is_movement());
+        assert_eq!(swap.duration_us(&times, WiringMethod::Standard), 120.0);
+        let gate = RoutedOp::Gate {
+            instruction: Instruction::H(q(0)),
+            trap: TrapId(0),
+            chain_len: 1,
+        };
+        assert!(!gate.is_movement());
+    }
+
+    #[test]
+    fn resources_include_shared_transport_controller_under_wise() {
+        let hop = RoutedOp::Movement {
+            kind: MovementKind::Shuttle,
+            ion: q(2),
+            trap: None,
+            junction: None,
+            segment: SegmentId(5),
+        };
+        let standard = hop.resources(WiringMethod::Standard);
+        let wise = hop.resources(WiringMethod::Wise);
+        assert!(!standard.contains(&Resource::TransportController));
+        assert!(wise.contains(&Resource::TransportController));
+        assert!(standard.contains(&Resource::Segment(SegmentId(5))));
+        assert!(standard.contains(&Resource::Ion(q(2))));
+    }
+
+    #[test]
+    fn gate_resources_serialize_on_trap_and_ions() {
+        let gate = RoutedOp::Gate {
+            instruction: Instruction::Cnot {
+                control: q(0),
+                target: q(1),
+            },
+            trap: TrapId(4),
+            chain_len: 2,
+        };
+        let resources = gate.resources(WiringMethod::Standard);
+        assert!(resources.contains(&Resource::Trap(TrapId(4))));
+        assert!(resources.contains(&Resource::Ion(q(0))));
+        assert!(resources.contains(&Resource::Ion(q(1))));
+    }
+
+    #[test]
+    fn program_counters() {
+        let times = OperationTimes::paper_defaults();
+        let program = RoutedProgram {
+            ops: vec![
+                RoutedOp::Gate {
+                    instruction: Instruction::H(q(0)),
+                    trap: TrapId(0),
+                    chain_len: 1,
+                },
+                RoutedOp::Movement {
+                    kind: MovementKind::Split,
+                    ion: q(0),
+                    trap: Some(TrapId(0)),
+                    junction: None,
+                    segment: SegmentId(0),
+                },
+                RoutedOp::Movement {
+                    kind: MovementKind::Merge,
+                    ion: q(0),
+                    trap: Some(TrapId(1)),
+                    junction: None,
+                    segment: SegmentId(0),
+                },
+                RoutedOp::GateSwap {
+                    trap: TrapId(1),
+                    ion: q(0),
+                    other: q(1),
+                    chain_len: 2,
+                },
+            ],
+        };
+        assert_eq!(program.num_movement_ops(), 3);
+        assert_eq!(program.num_gate_ops(), 1);
+        assert_eq!(
+            program.movement_time_us(&times, WiringMethod::Standard),
+            80.0 + 80.0 + 120.0
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Ion routing (§4.3 of the paper).
+//!
+//! * [`DeviceState`] — ion positions and in-trap chain order during routing;
+//! * [`route`] — the multi-pass routing algorithm that inserts movement
+//!   primitives so every two-qubit gate executes within a single trap while
+//!   respecting trap capacity and junction/segment exclusivity.
+
+mod router;
+mod state;
+
+pub use router::route;
+pub use state::DeviceState;

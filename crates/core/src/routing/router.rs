@@ -1,0 +1,845 @@
+//! The multi-pass ion-routing algorithm (§4.3, Figure 7 of the paper).
+//!
+//! The router consumes the code's Clifford circuit (with a fixed qubit-to-ion
+//! mapping) and produces a stream of [`RoutedOp`]s in which every two-qubit
+//! gate happens between ions that share a trap, inserting the ion-transport
+//! primitives needed to make that true while honouring the QCCD hardware
+//! constraints:
+//!
+//! * **trap capacity** — a trap never holds more than `capacity` ions;
+//! * **junction exclusivity** — one ion per junction at a time;
+//! * **segment exclusivity** — one ion per shuttling segment at a time.
+//!
+//! Each *pass* of the algorithm (Figure 7):
+//!
+//! 1. sequences every ready instruction that needs no movement;
+//! 2. computes the destination trap of every ready cross-trap gate
+//!    (prioritised in program order), finds a constraint-respecting shortest
+//!    path for its mobile ion (the ancilla, for parity-check circuits), and
+//!    reserves capacity along the path;
+//! 3. emits the movement primitives (gate swaps to reach the chain end,
+//!    split, shuttle, junction entry/exit, merge) for every planned route;
+//! 4. the next pass then sequences the now-local gates, and visiting ions are
+//!    routed onward to their next destination (or evacuated) so that every
+//!    trap returns to at least one free slot.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use qccd_circuit::{Circuit, QubitId};
+use qccd_hardware::{Device, MovementKind, NodeId, SegmentId, TrapId};
+use qccd_qec::{CodeLayout, QubitRole};
+
+use crate::routing::DeviceState;
+use crate::{CompileError, QubitMapping, RoutedOp, RoutedProgram};
+
+/// Routes a circuit onto a device given a qubit mapping.
+///
+/// # Errors
+///
+/// Returns [`CompileError::RoutingStuck`] if no progress can be made (for
+/// example, a disconnected device), or [`CompileError::UnmappedQubit`] if the
+/// circuit references a qubit outside the mapping.
+pub fn route(
+    circuit: &Circuit,
+    layout: &CodeLayout,
+    device: &Device,
+    mapping: &QubitMapping,
+) -> Result<RoutedProgram, CompileError> {
+    Router::new(circuit, layout, device, mapping)?.run()
+}
+
+struct Router<'a> {
+    circuit: &'a Circuit,
+    layout: &'a CodeLayout,
+    device: &'a Device,
+    state: DeviceState,
+    /// Per-qubit FIFO of pending instruction indices.
+    queues: HashMap<QubitId, VecDeque<usize>>,
+    emitted: Vec<bool>,
+    num_emitted: usize,
+    ops: Vec<RoutedOp>,
+}
+
+impl<'a> Router<'a> {
+    fn new(
+        circuit: &'a Circuit,
+        layout: &'a CodeLayout,
+        device: &'a Device,
+        mapping: &'a QubitMapping,
+    ) -> Result<Self, CompileError> {
+        let mut queues: HashMap<QubitId, VecDeque<usize>> = HashMap::new();
+        for (idx, instruction) in circuit.iter().enumerate() {
+            for q in instruction.qubits() {
+                if mapping.trap_of(q).is_none() {
+                    return Err(CompileError::UnmappedQubit(q));
+                }
+                queues.entry(q).or_default().push_back(idx);
+            }
+        }
+        Ok(Router {
+            circuit,
+            layout,
+            device,
+            state: DeviceState::new(device, mapping),
+            queues,
+            emitted: vec![false; circuit.len()],
+            num_emitted: 0,
+            ops: Vec::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<RoutedProgram, CompileError> {
+        let total = self.circuit.len();
+        // Stalls are passes without any instruction emission; movement alone
+        // must eventually enable emissions or routing is declared stuck.
+        let stall_limit = 50 * self.device.num_traps() + 500;
+        let mut stalls = 0usize;
+        while self.num_emitted < total {
+            let local_progress = self.emit_ready_local_instructions();
+            if self.num_emitted == total {
+                break;
+            }
+            let ready_cross = self.ready_cross_trap_gates();
+            let (moved_ions, blocked) = self.plan_and_emit_moves(&ready_cross);
+            let moved = !moved_ions.is_empty();
+            // Paper's step 9: restore the one-free-slot invariant where it is
+            // actually blocking progress, by routing squatting visitors out
+            // of the traps that a planned gate could not reach.
+            let restored = self.evacuate_blocked(&blocked, &moved_ions);
+            if !local_progress && !moved && !restored {
+                let evacuated = self.try_evacuation();
+                if !evacuated {
+                    if std::env::var("QCCD_ROUTER_DEBUG").is_ok() {
+                        self.debug_dump("no-evacuation");
+                    }
+                    return Err(CompileError::RoutingStuck {
+                        pending_instructions: total - self.num_emitted,
+                    });
+                }
+            }
+            if local_progress {
+                stalls = 0;
+            } else {
+                stalls += 1;
+                if stalls > stall_limit {
+                    if std::env::var("QCCD_ROUTER_DEBUG").is_ok() {
+                        self.debug_dump("stall-limit");
+                    }
+                    return Err(CompileError::RoutingStuck {
+                        pending_instructions: total - self.num_emitted,
+                    });
+                }
+            }
+        }
+        Ok(RoutedProgram { ops: self.ops })
+    }
+
+    fn debug_dump(&self, reason: &str) {
+        eprintln!("=== routing stuck ({reason}) ===");
+        for trap in self.device.traps() {
+            let chain = self.state.chain(trap.id);
+            if !chain.is_empty() {
+                eprintln!("  {}: {:?} (free {})", trap.id, chain, self.state.free_slots(trap.id));
+            }
+        }
+        let mut fronts: Vec<usize> = self.queues.values().filter_map(|q| q.front().copied()).collect();
+        fronts.sort_unstable(); fronts.dedup();
+        for idx in fronts.iter().take(12) {
+            let instr = self.circuit.instructions()[*idx];
+            eprintln!("  front #{idx}: {instr} ready={} local={}", self.is_ready(*idx), self.is_local(*idx));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Readiness bookkeeping.
+    // ------------------------------------------------------------------
+
+    fn is_ready(&self, idx: usize) -> bool {
+        !self.emitted[idx]
+            && self.circuit.instructions()[idx]
+                .qubits()
+                .iter()
+                .all(|q| self.queues.get(q).and_then(|f| f.front()) == Some(&idx))
+    }
+
+    fn is_local(&self, idx: usize) -> bool {
+        let qubits = self.circuit.instructions()[idx].qubits();
+        let traps: Vec<Option<TrapId>> =
+            qubits.iter().map(|&q| self.state.trap_of(q)).collect();
+        traps.iter().all(|t| t.is_some()) && traps.windows(2).all(|w| w[0] == w[1])
+    }
+
+    fn emit_instruction(&mut self, idx: usize) {
+        let instruction = self.circuit.instructions()[idx];
+        let qubits = instruction.qubits();
+        let trap = self
+            .state
+            .trap_of(qubits[0])
+            .expect("operand must be in a trap");
+        self.ops.push(RoutedOp::Gate {
+            instruction,
+            trap,
+            chain_len: self.state.occupancy(trap),
+        });
+        for q in qubits {
+            let front = self
+                .queues
+                .get_mut(&q)
+                .and_then(|f| f.pop_front())
+                .expect("queue entry exists");
+            debug_assert_eq!(front, idx);
+        }
+        self.emitted[idx] = true;
+        self.num_emitted += 1;
+    }
+
+    /// Emits every ready instruction whose operands already share a trap,
+    /// looping until a fixpoint. Returns whether anything was emitted.
+    fn emit_ready_local_instructions(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let candidates: Vec<usize> = {
+                let mut front: Vec<usize> = self
+                    .queues
+                    .values()
+                    .filter_map(|q| q.front().copied())
+                    .collect();
+                front.sort_unstable();
+                front.dedup();
+                front
+            };
+            let mut emitted_this_round = false;
+            for idx in candidates {
+                if self.is_ready(idx) && self.is_local(idx) {
+                    self.emit_instruction(idx);
+                    emitted_this_round = true;
+                    any = true;
+                }
+            }
+            if !emitted_this_round {
+                break;
+            }
+        }
+        any
+    }
+
+    /// Ready two-qubit gates whose operands currently sit in different traps,
+    /// in program order.
+    fn ready_cross_trap_gates(&self) -> Vec<usize> {
+        let mut front: Vec<usize> = self
+            .queues
+            .values()
+            .filter_map(|q| q.front().copied())
+            .collect();
+        front.sort_unstable();
+        front.dedup();
+        front
+            .into_iter()
+            .filter(|&idx| self.is_ready(idx) && !self.is_local(idx))
+            .collect()
+    }
+
+    /// Chooses which operand of a two-qubit gate travels: ancilla qubits move
+    /// (data qubits stay put), falling back to the second operand.
+    fn pick_mobile(&self, qubits: &[QubitId]) -> QubitId {
+        let is_ancilla = |q: QubitId| {
+            q.index() < self.layout.num_qubits() && self.layout.role(q) == QubitRole::Ancilla
+        };
+        match (is_ancilla(qubits[0]), is_ancilla(qubits[1])) {
+            (true, false) => qubits[0],
+            (false, true) => qubits[1],
+            _ => qubits[1],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Route planning.
+    // ------------------------------------------------------------------
+
+    /// Plans non-conflicting routes for as many ready cross-trap gates as
+    /// possible (in priority order) and emits their movement primitives.
+    /// Returns the set of ions that were moved and the traps that blocked a
+    /// planned gate because they were full.
+    fn plan_and_emit_moves(&mut self, ready_cross: &[usize]) -> (HashSet<QubitId>, Vec<TrapId>) {
+        let mut avail: HashMap<TrapId, usize> = self
+            .device
+            .traps()
+            .iter()
+            .map(|t| (t.id, self.state.free_slots(t.id)))
+            .collect();
+        // Segments and junctions are only time-multiplexed (the scheduler
+        // serialises them); they are not reserved per pass.
+        let used_segments: HashSet<SegmentId> = HashSet::new();
+        let used_junctions: HashSet<qccd_hardware::JunctionId> = HashSet::new();
+        let mut busy_ions: HashSet<QubitId> = HashSet::new();
+        let mut planned: Vec<(QubitId, TrapId, Vec<(SegmentId, NodeId)>)> = Vec::new();
+        let mut blocked: Vec<TrapId> = Vec::new();
+
+        for &idx in ready_cross {
+            let qubits = self.circuit.instructions()[idx].qubits();
+            let mobile = self.pick_mobile(&qubits);
+            let stationary = if mobile == qubits[0] { qubits[1] } else { qubits[0] };
+            if busy_ions.contains(&mobile) || busy_ions.contains(&stationary) {
+                continue;
+            }
+            let (Some(src), Some(dest)) =
+                (self.state.trap_of(mobile), self.state.trap_of(stationary))
+            else {
+                continue;
+            };
+            if src == dest {
+                continue;
+            }
+            if avail.get(&dest).copied().unwrap_or(0) == 0 {
+                if self.state.free_slots(dest) == 0 {
+                    blocked.push(dest);
+                }
+                continue;
+            }
+            if let Some(path) = self.find_path(src, dest, &avail, &used_segments, &used_junctions) {
+                for (_segment, node) in &path {
+                    // Trap capacity along the path is reserved for the whole
+                    // pass; segments and junctions are only time-multiplexed,
+                    // which the scheduler's resource exclusivity enforces, so
+                    // they are not reserved here (reserving them per pass
+                    // was found to over-serialise large codes).
+                    if let NodeId::Trap(t) = node {
+                        if let Some(slots) = avail.get_mut(t) {
+                            *slots = slots.saturating_sub(1);
+                        }
+                    }
+                }
+                busy_ions.insert(mobile);
+                busy_ions.insert(stationary);
+                planned.push((mobile, src, path));
+            } else {
+                // The full path is blocked by full traps (this only happens
+                // on topologies where routes pass through other traps, such
+                // as the linear chain). Make partial progress: move the ion
+                // as far along the ideal route as capacity currently allows,
+                // and mark the full traps on that route so their squatters
+                // get evacuated.
+                let unbounded: HashMap<TrapId, usize> = self
+                    .device
+                    .traps()
+                    .iter()
+                    .map(|t| (t.id, 1))
+                    .collect();
+                let Some(ideal) =
+                    self.find_path(src, dest, &unbounded, &used_segments, &used_junctions)
+                else {
+                    continue;
+                };
+                let mut partial: Option<Vec<(SegmentId, NodeId)>> = None;
+                for &(_, node) in ideal.iter().rev().skip(1) {
+                    if let NodeId::Trap(t) = node {
+                        if avail.get(&t).copied().unwrap_or(0) >= 1 {
+                            if let Some(p) =
+                                self.find_path(src, t, &avail, &used_segments, &used_junctions)
+                            {
+                                partial = Some(p);
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(path) = partial {
+                    for (_, node) in &path {
+                        if let NodeId::Trap(t) = node {
+                            if let Some(slots) = avail.get_mut(t) {
+                                *slots = slots.saturating_sub(1);
+                            }
+                        }
+                    }
+                    busy_ions.insert(mobile);
+                    planned.push((mobile, src, path));
+                } else {
+                    for &(_, node) in &ideal {
+                        if let NodeId::Trap(t) = node {
+                            if self.state.free_slots(t) == 0 {
+                                blocked.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut moved_ions = HashSet::new();
+        for (ion, src, path) in planned {
+            moved_ions.insert(ion);
+            self.emit_move(ion, src, &path);
+        }
+        blocked.sort_unstable();
+        blocked.dedup();
+        (moved_ions, blocked)
+    }
+
+    /// Breadth-first shortest path from `src` to `dest` through nodes and
+    /// segments that are still available in this pass. The returned path is a
+    /// list of `(segment, next node)` hops; the destination trap is the last
+    /// node.
+    fn find_path(
+        &self,
+        src: TrapId,
+        dest: TrapId,
+        avail: &HashMap<TrapId, usize>,
+        used_segments: &HashSet<SegmentId>,
+        used_junctions: &HashSet<qccd_hardware::JunctionId>,
+    ) -> Option<Vec<(SegmentId, NodeId)>> {
+        let start = NodeId::Trap(src);
+        let goal = NodeId::Trap(dest);
+        let mut parent: HashMap<NodeId, (NodeId, SegmentId)> = HashMap::new();
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        visited.insert(start);
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            for &(segment, next) in self.device.neighbours(node) {
+                if visited.contains(&next) || used_segments.contains(&segment) {
+                    continue;
+                }
+                let allowed = match next {
+                    NodeId::Junction(j) => !used_junctions.contains(&j),
+                    NodeId::Trap(t) => {
+                        // The destination needs one free slot (already
+                        // checked by the caller); intermediate traps need a
+                        // transient slot for the pass-through.
+                        avail.get(&t).copied().unwrap_or(0) >= 1
+                    }
+                };
+                if !allowed {
+                    continue;
+                }
+                visited.insert(next);
+                parent.insert(next, (node, segment));
+                if next == goal {
+                    // Reconstruct.
+                    let mut path = Vec::new();
+                    let mut cur = next;
+                    while cur != start {
+                        let (prev, seg) = parent[&cur];
+                        path.push((seg, cur));
+                        cur = prev;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// Emits the full movement sequence taking `ion` from trap `src` along
+    /// `path` (gate swaps, split, shuttles, junction crossings, merges) and
+    /// updates the device state.
+    fn emit_move(&mut self, ion: QubitId, src: TrapId, path: &[(SegmentId, NodeId)]) {
+        // Bring the ion to the nearest end of its chain.
+        while self.state.swaps_to_chain_end(ion) > 0 {
+            let chain_len = self.state.occupancy(src);
+            let other = self
+                .state
+                .swap_towards_end(ion)
+                .expect("swap available while not at chain end");
+            self.ops.push(RoutedOp::GateSwap {
+                trap: src,
+                ion,
+                other,
+                chain_len,
+            });
+        }
+
+        let mut current = NodeId::Trap(src);
+        for (i, &(segment, node)) in path.iter().enumerate() {
+            // Leave the current node onto the segment.
+            match current {
+                NodeId::Trap(t) => {
+                    self.state.remove_ion(ion);
+                    self.ops.push(RoutedOp::Movement {
+                        kind: MovementKind::Split,
+                        ion,
+                        trap: Some(t),
+                        junction: None,
+                        segment,
+                    });
+                }
+                NodeId::Junction(j) => {
+                    self.ops.push(RoutedOp::Movement {
+                        kind: MovementKind::JunctionExit,
+                        ion,
+                        trap: None,
+                        junction: Some(j),
+                        segment,
+                    });
+                }
+            }
+            // Traverse the segment.
+            self.ops.push(RoutedOp::Movement {
+                kind: MovementKind::Shuttle,
+                ion,
+                trap: None,
+                junction: None,
+                segment,
+            });
+            // Arrive at the next node.
+            match node {
+                NodeId::Trap(t) => {
+                    self.ops.push(RoutedOp::Movement {
+                        kind: MovementKind::Merge,
+                        ion,
+                        trap: Some(t),
+                        junction: None,
+                        segment,
+                    });
+                    self.state.insert_ion(t, ion);
+                    let is_final = i == path.len() - 1;
+                    if !is_final {
+                        // Passing through a trap: the ion enters at one end
+                        // and must reach the other end before splitting out,
+                        // swapping past every resident ion.
+                        let residents: Vec<QubitId> = self
+                            .state
+                            .chain(t)
+                            .iter()
+                            .copied()
+                            .filter(|&q| q != ion)
+                            .collect();
+                        let chain_len = self.state.occupancy(t);
+                        for other in residents {
+                            self.ops.push(RoutedOp::GateSwap {
+                                trap: t,
+                                ion,
+                                other,
+                                chain_len,
+                            });
+                        }
+                    }
+                }
+                NodeId::Junction(j) => {
+                    self.ops.push(RoutedOp::Movement {
+                        kind: MovementKind::JunctionEntry,
+                        ion,
+                        trap: None,
+                        junction: Some(j),
+                        segment,
+                    });
+                }
+            }
+            current = node;
+        }
+    }
+
+    /// Routes a squatting ion out of `from` towards its home trap. Returns
+    /// `true` if a move was emitted.
+    ///
+    /// The destination preference is: the home trap itself, then the closest
+    /// free trap *on the path towards home* (so repeated evacuations make
+    /// monotone progress and cannot livelock two ions bouncing between the
+    /// same pair of traps), and only as a last resort any nearby free trap.
+    fn evacuate_ion(&mut self, ion: QubitId, from: TrapId) -> bool {
+        let avail: HashMap<TrapId, usize> = self
+            .device
+            .traps()
+            .iter()
+            .map(|t| (t.id, self.state.free_slots(t.id)))
+            .collect();
+        let empty_segments: HashSet<SegmentId> = HashSet::new();
+        let empty_junctions: HashSet<qccd_hardware::JunctionId> = HashSet::new();
+
+        let mut candidates: Vec<TrapId> = Vec::new();
+        if let Some(home) = self.state.home_of(ion) {
+            if home != from {
+                // 1. Home itself.
+                candidates.push(home);
+                // 2. Free traps along the unconstrained shortest path home,
+                //    nearest first (monotone progress towards home).
+                let unbounded: HashMap<TrapId, usize> =
+                    self.device.traps().iter().map(|t| (t.id, 1)).collect();
+                if let Some(ideal) =
+                    self.find_path(from, home, &unbounded, &empty_segments, &empty_junctions)
+                {
+                    for &(_, node) in &ideal {
+                        if let NodeId::Trap(t) = node {
+                            if t != home {
+                                candidates.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Any other trap with a free slot, nearest first.
+        let mut others: Vec<(usize, TrapId)> = self
+            .device
+            .traps()
+            .iter()
+            .map(|t| t.id)
+            .filter(|&t| t != from && self.state.free_slots(t) > 0)
+            .filter_map(|t| {
+                self.device
+                    .hop_distance(NodeId::Trap(from), NodeId::Trap(t))
+                    .map(|d| (d, t))
+            })
+            .collect();
+        others.sort_unstable();
+        candidates.extend(others.into_iter().map(|(_, t)| t));
+
+        for dest in candidates {
+            if dest == from || self.state.free_slots(dest) == 0 {
+                continue;
+            }
+            if let Some(path) =
+                self.find_path(from, dest, &avail, &empty_segments, &empty_junctions)
+            {
+                self.emit_move(ion, from, &path);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Paper's step 9: a full trap that a planned gate could not enter gets
+    /// one of its squatting visitors routed out (towards its home trap), so
+    /// that the blocked gate can route in a later pass. Visitors that the
+    /// route planner moved this pass are left alone; visitors the planner
+    /// failed to move (for example, two ancillas blocking each other head-on
+    /// in a linear chain) are evacuated to break the deadlock.
+    fn evacuate_blocked(&mut self, blocked: &[TrapId], moved_ions: &HashSet<QubitId>) -> bool {
+        let mut any = false;
+        for &trap in blocked {
+            if self.state.free_slots(trap) > 0 {
+                continue;
+            }
+            let chain: Vec<QubitId> = self.state.chain(trap).to_vec();
+            for &ion in chain.iter().rev() {
+                if !self.state.is_visitor(ion) || moved_ions.contains(&ion) {
+                    continue;
+                }
+                if self.evacuate_ion(ion, trap) {
+                    any = true;
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    /// Last-resort progress: move any visiting ion out of a full trap so that
+    /// blocked gates can route in a later pass.
+    fn try_evacuation(&mut self) -> bool {
+        let full_traps: Vec<TrapId> = self
+            .device
+            .traps()
+            .iter()
+            .map(|t| t.id)
+            .filter(|&t| self.state.free_slots(t) == 0 && self.state.occupancy(t) > 0)
+            .collect();
+        for trap in full_traps {
+            let chain: Vec<QubitId> = self.state.chain(trap).to_vec();
+            for &ion in chain.iter().rev() {
+                if !self.state.is_visitor(ion) {
+                    continue;
+                }
+                if self.evacuate_ion(ion, trap) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map_qubits;
+    use qccd_circuit::Instruction;
+    use qccd_qec::{parity_check_round, repetition_code, rotated_surface_code};
+
+    /// Checks the QCCD hardware invariants over a routed program by replaying
+    /// it: trap capacities are never exceeded, segments/junctions hold at
+    /// most one ion, and every two-qubit gate happens with both ions in the
+    /// named trap.
+    fn check_invariants(
+        program: &RoutedProgram,
+        device: &Device,
+        mapping: &QubitMapping,
+    ) {
+        let mut location: HashMap<QubitId, Option<TrapId>> = HashMap::new();
+        let mut chains: HashMap<TrapId, usize> = HashMap::new();
+        for (&trap, chain) in mapping.chains() {
+            chains.insert(trap, chain.len());
+            for &q in chain {
+                location.insert(q, Some(trap));
+            }
+        }
+        let capacity: HashMap<TrapId, usize> =
+            device.traps().iter().map(|t| (t.id, t.capacity)).collect();
+        for op in &program.ops {
+            match op {
+                RoutedOp::Gate {
+                    instruction, trap, ..
+                } => {
+                    for q in instruction.qubits() {
+                        assert_eq!(
+                            location[&q],
+                            Some(*trap),
+                            "gate {instruction} executed in {trap} but {q} is elsewhere"
+                        );
+                    }
+                }
+                RoutedOp::GateSwap { trap, ion, other, .. } => {
+                    assert_eq!(location[ion], Some(*trap));
+                    assert_eq!(location[other], Some(*trap));
+                }
+                RoutedOp::Movement { kind, ion, trap, .. } => match kind {
+                    MovementKind::Split => {
+                        let t = trap.expect("split names a trap");
+                        assert_eq!(location[ion], Some(t));
+                        *chains.get_mut(&t).unwrap() -= 1;
+                        location.insert(*ion, None);
+                    }
+                    MovementKind::Merge => {
+                        let t = trap.expect("merge names a trap");
+                        assert_eq!(location[ion], None, "ion must be in transit before merge");
+                        let count = chains.entry(t).or_insert(0);
+                        *count += 1;
+                        assert!(
+                            *count <= capacity[&t],
+                            "trap {t} exceeded capacity {}",
+                            capacity[&t]
+                        );
+                        location.insert(*ion, Some(t));
+                    }
+                    _ => {
+                        assert_eq!(location[ion], None, "ion must be in transit");
+                    }
+                },
+            }
+        }
+    }
+
+    fn route_code(
+        layout: &CodeLayout,
+        device: &Device,
+        rounds: usize,
+    ) -> (RoutedProgram, QubitMapping) {
+        let mut circuit = Circuit::new();
+        circuit.pad_qubits(layout.num_qubits());
+        for _ in 0..rounds {
+            let round = parity_check_round(layout);
+            circuit.extend(round.iter().copied());
+        }
+        let mapping = map_qubits(layout, device).unwrap();
+        let program = route(&circuit, layout, device, &mapping).unwrap();
+        (program, mapping)
+    }
+
+    #[test]
+    fn single_chain_needs_no_movement() {
+        let layout = repetition_code(3);
+        let device = Device::single_chain(layout.num_qubits());
+        let (program, _) = route_code(&layout, &device, 1);
+        assert_eq!(program.num_movement_ops(), 0);
+        assert_eq!(
+            program.num_gate_ops(),
+            parity_check_round(&layout).len()
+        );
+    }
+
+    #[test]
+    fn repetition_code_on_linear_capacity_two_routes_and_respects_invariants() {
+        let layout = repetition_code(3);
+        let device = Device::linear(5, 2);
+        let (program, mapping) = route_code(&layout, &device, 1);
+        assert!(program.num_movement_ops() > 0);
+        check_invariants(&program, &device, &mapping);
+        // Every circuit instruction appears exactly once as a gate op.
+        assert_eq!(program.num_gate_ops(), parity_check_round(&layout).len());
+    }
+
+    #[test]
+    fn rotated_surface_code_on_grid_capacity_two() {
+        let layout = rotated_surface_code(3);
+        let device = qccd_hardware::TopologySpec::new(qccd_hardware::TopologyKind::Grid, 2)
+            .build_for_qubits(layout.num_qubits());
+        let (program, mapping) = route_code(&layout, &device, 2);
+        check_invariants(&program, &device, &mapping);
+        assert_eq!(
+            program.num_gate_ops(),
+            2 * parity_check_round(&layout).len()
+        );
+        assert!(program.num_movement_ops() > 0);
+    }
+
+    #[test]
+    fn rotated_surface_code_on_switch_topology() {
+        let layout = rotated_surface_code(3);
+        let device = qccd_hardware::TopologySpec::new(qccd_hardware::TopologyKind::Switch, 2)
+            .build_for_qubits(layout.num_qubits());
+        let (program, mapping) = route_code(&layout, &device, 1);
+        check_invariants(&program, &device, &mapping);
+        assert_eq!(program.num_gate_ops(), parity_check_round(&layout).len());
+    }
+
+    #[test]
+    fn higher_capacity_needs_fewer_movement_ops() {
+        let layout = rotated_surface_code(3);
+        let grid = |capacity| {
+            qccd_hardware::TopologySpec::new(qccd_hardware::TopologyKind::Grid, capacity)
+                .build_for_qubits(layout.num_qubits())
+        };
+        let (low_cap, _) = route_code(&layout, &grid(2), 1);
+        let (high_cap, _) = route_code(&layout, &grid(6), 1);
+        assert!(
+            high_cap.num_movement_ops() < low_cap.num_movement_ops(),
+            "capacity 6 ({} moves) should need fewer moves than capacity 2 ({} moves)",
+            high_cap.num_movement_ops(),
+            low_cap.num_movement_ops()
+        );
+    }
+
+    #[test]
+    fn per_qubit_program_order_is_preserved() {
+        let layout = rotated_surface_code(2);
+        let device = qccd_hardware::TopologySpec::new(qccd_hardware::TopologyKind::Grid, 2)
+            .build_for_qubits(layout.num_qubits());
+        let mut circuit = Circuit::new();
+        circuit.pad_qubits(layout.num_qubits());
+        circuit.extend(parity_check_round(&layout).iter().copied());
+        let mapping = map_qubits(&layout, &device).unwrap();
+        let program = route(&circuit, &layout, &device, &mapping).unwrap();
+
+        // Reconstruct, per qubit, the order of emitted instructions and
+        // compare with the original program order.
+        let mut per_qubit_original: HashMap<QubitId, Vec<Instruction>> = HashMap::new();
+        for instruction in circuit.iter() {
+            for q in instruction.qubits() {
+                per_qubit_original.entry(q).or_default().push(*instruction);
+            }
+        }
+        let mut per_qubit_emitted: HashMap<QubitId, Vec<Instruction>> = HashMap::new();
+        for op in &program.ops {
+            if let RoutedOp::Gate { instruction, .. } = op {
+                for q in instruction.qubits() {
+                    per_qubit_emitted.entry(q).or_default().push(*instruction);
+                }
+            }
+        }
+        assert_eq!(per_qubit_original, per_qubit_emitted);
+    }
+
+    #[test]
+    fn unmapped_qubit_is_reported() {
+        let layout = repetition_code(3);
+        let device = Device::linear(5, 2);
+        let mapping = map_qubits(&layout, &device).unwrap();
+        let mut circuit = Circuit::new();
+        circuit.push(Instruction::H(QubitId::new(40)));
+        assert_eq!(
+            route(&circuit, &layout, &device, &mapping),
+            Err(CompileError::UnmappedQubit(QubitId::new(40)))
+        );
+    }
+}

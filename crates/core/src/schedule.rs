@@ -1,0 +1,272 @@
+//! Resource-constrained scheduling (§4.4 of the paper).
+//!
+//! The scheduler turns the router's operation stream into a timed execution
+//! schedule. Every operation occupies a set of exclusive resources (its trap,
+//! its ions, the segment or junction it moves through, and — under WISE
+//! wiring — the shared transport controller) for its whole duration.
+//! Operations are released in routed order per resource, which preserves the
+//! happens-before relation constructed during routing, while operations on
+//! disjoint resources (different traps, different transport paths) overlap
+//! freely. The resulting makespan is the elapsed time metric used throughout
+//! the evaluation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use qccd_circuit::QubitId;
+use qccd_hardware::{OperationTimes, WiringMethod};
+
+use crate::{Resource, RoutedOp, RoutedProgram};
+
+/// One operation with its assigned execution window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// The operation.
+    pub op: RoutedOp,
+    /// Start time in microseconds.
+    pub start_us: f64,
+    /// End time in microseconds.
+    pub end_us: f64,
+}
+
+impl ScheduledOp {
+    /// Duration of the operation.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// A timed execution schedule.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Scheduled operations, in routed order.
+    pub ops: Vec<ScheduledOp>,
+    /// Total elapsed time (the latest end time).
+    pub makespan_us: f64,
+    /// Number of ion-reconfiguration operations.
+    pub movement_ops: usize,
+    /// Total time spent in ion reconfiguration (summed over operations).
+    pub movement_time_us: f64,
+}
+
+impl Schedule {
+    /// The schedule's operations sorted by start time (ties broken by routed
+    /// order), which is the order in which the noise-annotation pass walks
+    /// the execution.
+    pub fn ops_in_time_order(&self) -> Vec<&ScheduledOp> {
+        let mut indexed: Vec<(usize, &ScheduledOp)> = self.ops.iter().enumerate().collect();
+        indexed.sort_by(|(ia, a), (ib, b)| {
+            a.start_us
+                .partial_cmp(&b.start_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ia.cmp(ib))
+        });
+        indexed.into_iter().map(|(_, op)| op).collect()
+    }
+
+    /// Total busy time of one qubit (time covered by gates, swaps and
+    /// transport involving it).
+    pub fn qubit_busy_us(&self, qubit: QubitId) -> f64 {
+        self.ops
+            .iter()
+            .filter(|s| s.op.ions().contains(&qubit))
+            .map(|s| s.duration_us())
+            .sum()
+    }
+
+    /// Average number of operations executing concurrently (total op time
+    /// divided by makespan); a diagnostic for how much parallelism the
+    /// architecture exposes.
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self.ops.iter().map(|s| s.duration_us()).sum();
+        total / self.makespan_us
+    }
+}
+
+/// Builds the execution schedule for a routed program.
+pub fn schedule(
+    program: &RoutedProgram,
+    times: &OperationTimes,
+    wiring: WiringMethod,
+) -> Schedule {
+    let mut resource_free: HashMap<Resource, f64> = HashMap::new();
+    let mut ops = Vec::with_capacity(program.ops.len());
+    let mut makespan: f64 = 0.0;
+    let mut movement_ops = 0usize;
+    let mut movement_time = 0.0;
+
+    for op in &program.ops {
+        let duration = op.duration_us(times, wiring);
+        let resources = op.resources(wiring);
+        let start = resources
+            .iter()
+            .map(|r| resource_free.get(r).copied().unwrap_or(0.0))
+            .fold(0.0, f64::max);
+        let end = start + duration;
+        for r in resources {
+            resource_free.insert(r, end);
+        }
+        if op.is_movement() {
+            movement_ops += 1;
+            movement_time += duration;
+        }
+        makespan = makespan.max(end);
+        ops.push(ScheduledOp {
+            op: op.clone(),
+            start_us: start,
+            end_us: end,
+        });
+    }
+
+    Schedule {
+        ops,
+        makespan_us: makespan,
+        movement_ops,
+        movement_time_us: movement_time,
+    }
+}
+
+/// Verifies that no two operations sharing a resource overlap in time;
+/// returns a description of the first violation. Exposed for tests and
+/// debugging.
+pub fn check_resource_exclusivity(
+    schedule: &Schedule,
+    wiring: WiringMethod,
+) -> Result<(), String> {
+    let mut per_resource: HashMap<Resource, Vec<(f64, f64)>> = HashMap::new();
+    for s in &schedule.ops {
+        for r in s.op.resources(wiring) {
+            per_resource.entry(r).or_default().push((s.start_us, s.end_us));
+        }
+    }
+    for (resource, mut intervals) in per_resource {
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for pair in intervals.windows(2) {
+            if pair[1].0 < pair[0].1 - 1e-9 {
+                return Err(format!(
+                    "resource {resource:?} has overlapping operations: {:?} and {:?}",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::Instruction;
+    use qccd_hardware::{MovementKind, SegmentId, TrapId};
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn gate(i: u32, trap: u32) -> RoutedOp {
+        RoutedOp::Gate {
+            instruction: Instruction::H(q(i)),
+            trap: TrapId(trap),
+            chain_len: 1,
+        }
+    }
+
+    #[test]
+    fn independent_ops_run_in_parallel() {
+        let program = RoutedProgram {
+            ops: vec![gate(0, 0), gate(1, 1), gate(2, 2)],
+        };
+        let times = OperationTimes::paper_defaults();
+        let s = schedule(&program, &times, WiringMethod::Standard);
+        assert_eq!(s.makespan_us, 10.0, "three parallel Hadamards take one H time");
+        assert!(s.ops.iter().all(|o| o.start_us == 0.0));
+        assert!(check_resource_exclusivity(&s, WiringMethod::Standard).is_ok());
+    }
+
+    #[test]
+    fn same_trap_ops_serialize() {
+        let program = RoutedProgram {
+            ops: vec![gate(0, 0), gate(1, 0), gate(2, 0)],
+        };
+        let times = OperationTimes::paper_defaults();
+        let s = schedule(&program, &times, WiringMethod::Standard);
+        assert_eq!(s.makespan_us, 30.0);
+        assert_eq!(s.ops[2].start_us, 20.0);
+    }
+
+    #[test]
+    fn same_ion_ops_serialize_across_traps() {
+        // The same ion cannot be gated in two traps at once (and in practice
+        // never is — this guards the dependency semantics).
+        let program = RoutedProgram {
+            ops: vec![gate(0, 0), gate(0, 1)],
+        };
+        let times = OperationTimes::paper_defaults();
+        let s = schedule(&program, &times, WiringMethod::Standard);
+        assert_eq!(s.ops[1].start_us, 10.0);
+    }
+
+    #[test]
+    fn wise_serialises_transport_globally() {
+        let hop = |seg: u32, ion: u32| RoutedOp::Movement {
+            kind: MovementKind::Shuttle,
+            ion: q(ion),
+            trap: None,
+            junction: None,
+            segment: SegmentId(seg),
+        };
+        let program = RoutedProgram {
+            ops: vec![hop(0, 0), hop(1, 1)],
+        };
+        let times = OperationTimes::paper_defaults();
+        let standard = schedule(&program, &times, WiringMethod::Standard);
+        let wise = schedule(&program, &times, WiringMethod::Wise);
+        assert_eq!(standard.makespan_us, 5.0, "different segments overlap");
+        assert_eq!(wise.makespan_us, 10.0, "WISE serialises transport");
+    }
+
+    #[test]
+    fn movement_statistics() {
+        let program = RoutedProgram {
+            ops: vec![
+                gate(0, 0),
+                RoutedOp::Movement {
+                    kind: MovementKind::Split,
+                    ion: q(0),
+                    trap: Some(TrapId(0)),
+                    junction: None,
+                    segment: SegmentId(0),
+                },
+                RoutedOp::Movement {
+                    kind: MovementKind::Merge,
+                    ion: q(0),
+                    trap: Some(TrapId(1)),
+                    junction: None,
+                    segment: SegmentId(0),
+                },
+            ],
+        };
+        let times = OperationTimes::paper_defaults();
+        let s = schedule(&program, &times, WiringMethod::Standard);
+        assert_eq!(s.movement_ops, 2);
+        assert_eq!(s.movement_time_us, 160.0);
+        assert!(s.qubit_busy_us(q(0)) > 0.0);
+        assert!(s.mean_parallelism() > 0.0);
+    }
+
+    #[test]
+    fn time_order_breaks_ties_by_routed_order() {
+        let program = RoutedProgram {
+            ops: vec![gate(0, 0), gate(1, 1)],
+        };
+        let times = OperationTimes::paper_defaults();
+        let s = schedule(&program, &times, WiringMethod::Standard);
+        let ordered = s.ops_in_time_order();
+        assert_eq!(ordered.len(), 2);
+        assert_eq!(ordered[0].op, s.ops[0].op);
+    }
+}

@@ -1,0 +1,207 @@
+//! Theoretical bounds on elapsed time and routing effort.
+//!
+//! The paper validates its compiler against hand-optimised mappings
+//! (Table 2) and frames its elapsed-time results between two bounds
+//! (Figure 9): a *lower bound* corresponding to complete parallelism with no
+//! ion reconfiguration, and an *upper bound* corresponding to complete
+//! serialisation of every operation in a single trap. This module computes
+//! those bounds analytically from the code structure and the timing model,
+//! plus a simple lower bound on the number of routing operations implied by a
+//! mapping.
+
+use std::collections::HashMap;
+
+use qccd_circuit::{native, QubitId};
+use qccd_hardware::{OperationTimes, TopologyKind};
+use qccd_qec::{parity_check_round, CodeLayout};
+
+use crate::QubitMapping;
+
+/// Lower bound on the time of one parity-check round: every trap works in
+/// parallel and no ion ever moves, so the round cannot be faster than the
+/// busiest single qubit (its gates are serialised by data dependence).
+pub fn parallel_round_lower_bound_us(layout: &CodeLayout, times: &OperationTimes) -> f64 {
+    let round = parity_check_round(layout);
+    let mut per_qubit: HashMap<QubitId, f64> = HashMap::new();
+    for instruction in round.iter() {
+        let duration: f64 = native::decompose(instruction)
+            .iter()
+            .map(|op| times.gate_duration_us(op.kind()))
+            .sum();
+        for q in instruction.qubits() {
+            *per_qubit.entry(q).or_insert(0.0) += duration;
+        }
+    }
+    per_qubit.values().copied().fold(0.0, f64::max)
+}
+
+/// Upper bound on the time of one parity-check round: every operation of the
+/// round executes serially (the single-ion-chain / monolithic configuration).
+pub fn serial_round_upper_bound_us(layout: &CodeLayout, times: &OperationTimes) -> f64 {
+    let round = parity_check_round(layout);
+    round
+        .iter()
+        .flat_map(native::decompose)
+        .map(|op| times.gate_duration_us(op.kind()))
+        .sum()
+}
+
+/// Lower bound on the number of routing operations per parity-check round
+/// implied by a mapping: every (ancilla, data) interaction whose endpoints
+/// live in different traps requires the ancilla to leave one trap and enter
+/// another — at least a split, a shuttle and a merge (3 primitives) — and
+/// consecutive interactions in the same destination trap cannot share the
+/// visit because the parity-check schedule interleaves them.
+pub fn min_routing_ops_per_round(layout: &CodeLayout, mapping: &QubitMapping) -> usize {
+    let mut cross_pairs = 0usize;
+    for stab in layout.stabilizers() {
+        let ancilla_trap = mapping.trap_of(stab.ancilla);
+        let mut visited_traps = Vec::new();
+        for data in stab.data_support() {
+            let data_trap = mapping.trap_of(data);
+            if data_trap != ancilla_trap {
+                // Distinct destination traps each need their own visit.
+                if !visited_traps.contains(&data_trap) {
+                    visited_traps.push(data_trap);
+                    cross_pairs += 1;
+                }
+            }
+        }
+    }
+    3 * cross_pairs
+}
+
+/// Minimum time for one trap-to-adjacent-trap hop under the given topology
+/// (used to sanity-check compiled schedules in tests and reports).
+pub fn min_hop_time_us(kind: TopologyKind, times: &OperationTimes) -> f64 {
+    match kind {
+        // Linear devices connect traps directly: split + shuttle + merge.
+        TopologyKind::Linear => times.direct_hop_us(),
+        // Grid and switch devices route through a junction.
+        TopologyKind::Grid | TopologyKind::Switch => times.junction_hop_us(),
+    }
+}
+
+/// Movement-time lower bound for one round: the minimum number of visits
+/// (see [`min_routing_ops_per_round`]) each paying at least one hop.
+pub fn min_movement_time_per_round_us(
+    layout: &CodeLayout,
+    mapping: &QubitMapping,
+    kind: TopologyKind,
+    times: &OperationTimes,
+) -> f64 {
+    let visits = min_routing_ops_per_round(layout, mapping) / 3;
+    visits as f64 * min_hop_time_us(kind, times)
+}
+
+/// Summary of all bounds for one configuration; convenient for the Table-2
+/// style validation report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoreticalBounds {
+    /// Fully-parallel, no-movement round-time lower bound.
+    pub parallel_lower_bound_us: f64,
+    /// Fully-serial round-time upper bound.
+    pub serial_upper_bound_us: f64,
+    /// Minimum routing operations per round for the given mapping.
+    pub min_routing_ops: usize,
+    /// Minimum movement time per round for the given mapping.
+    pub min_movement_time_us: f64,
+}
+
+/// Computes every bound for a code on a mapped device.
+pub fn bounds(
+    layout: &CodeLayout,
+    mapping: &QubitMapping,
+    kind: TopologyKind,
+    times: &OperationTimes,
+) -> TheoreticalBounds {
+    TheoreticalBounds {
+        parallel_lower_bound_us: parallel_round_lower_bound_us(layout, times),
+        serial_upper_bound_us: serial_round_upper_bound_us(layout, times),
+        min_routing_ops: min_routing_ops_per_round(layout, mapping),
+        min_movement_time_us: min_movement_time_per_round_us(layout, mapping, kind, times),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map_qubits;
+    use qccd_hardware::{Device, TopologySpec};
+    use qccd_qec::{repetition_code, rotated_surface_code};
+
+    #[test]
+    fn parallel_bound_is_below_serial_bound() {
+        let times = OperationTimes::paper_defaults();
+        for layout in [repetition_code(5), rotated_surface_code(3), rotated_surface_code(5)] {
+            let lower = parallel_round_lower_bound_us(&layout, &times);
+            let upper = serial_round_upper_bound_us(&layout, &times);
+            assert!(lower > 0.0);
+            assert!(upper > lower, "{}: {upper} must exceed {lower}", layout.name());
+        }
+    }
+
+    #[test]
+    fn parallel_bound_is_constant_in_distance() {
+        // The per-ancilla work of the rotated surface code does not depend on
+        // the distance, so the lower bound must be distance-independent.
+        let times = OperationTimes::paper_defaults();
+        let b3 = parallel_round_lower_bound_us(&rotated_surface_code(3), &times);
+        let b7 = parallel_round_lower_bound_us(&rotated_surface_code(7), &times);
+        assert_eq!(b3, b7);
+    }
+
+    #[test]
+    fn serial_bound_grows_quadratically_with_distance() {
+        let times = OperationTimes::paper_defaults();
+        let b3 = serial_round_upper_bound_us(&rotated_surface_code(3), &times);
+        let b6 = serial_round_upper_bound_us(&rotated_surface_code(6), &times);
+        assert!(b6 > 3.0 * b3);
+    }
+
+    #[test]
+    fn single_trap_mapping_needs_no_routing() {
+        let layout = repetition_code(4);
+        let device = Device::single_chain(layout.num_qubits());
+        let mapping = map_qubits(&layout, &device).unwrap();
+        assert_eq!(min_routing_ops_per_round(&layout, &mapping), 0);
+        assert_eq!(
+            min_movement_time_per_round_us(
+                &layout,
+                &mapping,
+                TopologyKind::Linear,
+                &OperationTimes::paper_defaults()
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn capacity_two_mapping_requires_many_visits() {
+        let layout = rotated_surface_code(3);
+        let device = TopologySpec::new(TopologyKind::Grid, 2).build_for_qubits(layout.num_qubits());
+        let mapping = map_qubits(&layout, &device).unwrap();
+        let min_ops = min_routing_ops_per_round(&layout, &mapping);
+        // With one qubit per trap, almost every one of the 4·(d²−1)/2-ish
+        // interactions is cross-trap.
+        assert!(min_ops >= 3 * 20, "expected many visits, got {min_ops}");
+    }
+
+    #[test]
+    fn hop_times_reflect_topology() {
+        let times = OperationTimes::paper_defaults();
+        assert!(min_hop_time_us(TopologyKind::Grid, &times) > min_hop_time_us(TopologyKind::Linear, &times));
+    }
+
+    #[test]
+    fn bounds_struct_is_consistent() {
+        let times = OperationTimes::paper_defaults();
+        let layout = rotated_surface_code(3);
+        let device = TopologySpec::new(TopologyKind::Grid, 2).build_for_qubits(layout.num_qubits());
+        let mapping = map_qubits(&layout, &device).unwrap();
+        let b = bounds(&layout, &mapping, TopologyKind::Grid, &times);
+        assert!(b.parallel_lower_bound_us < b.serial_upper_bound_us);
+        assert_eq!(b.min_routing_ops % 3, 0);
+        assert!(b.min_movement_time_us > 0.0);
+    }
+}

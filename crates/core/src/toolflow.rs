@@ -1,0 +1,212 @@
+//! The design-space exploration toolflow (Figure 2 of the paper).
+//!
+//! Given a candidate architecture and a candidate QEC code, the toolflow
+//! compiles the workload with the topology-aware compiler, applies the
+//! performance / noise / resource models, and reports the evaluation metrics:
+//! QEC round time, shot time, movement operations, electrode / DAC / data
+//! rate / power requirements and (optionally) the Monte-Carlo logical error
+//! rate with below-threshold extrapolation.
+
+use serde::{Deserialize, Serialize};
+
+use qccd_decoder::{estimate_logical_error_rate, fit_lambda, DecoderKind, LambdaFit};
+use qccd_hardware::estimate_resources;
+use qccd_qec::{rotated_surface_code, CodeLayout, MemoryBasis};
+
+use crate::{ArchitectureConfig, CompileError, Compiler, Metrics};
+
+/// The end-to-end evaluation toolflow for one candidate architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Toolflow {
+    /// The candidate architecture under evaluation.
+    pub arch: ArchitectureConfig,
+    /// Monte-Carlo shots per logical-error-rate estimate.
+    pub shots: usize,
+    /// Random seed for sampling.
+    pub seed: u64,
+    /// Decoder used for logical error rate estimation.
+    pub decoder: DecoderKind,
+}
+
+impl Toolflow {
+    /// Creates a toolflow with default sampling settings (4,096 shots,
+    /// union-find decoding).
+    pub fn new(arch: ArchitectureConfig) -> Self {
+        Toolflow {
+            arch,
+            shots: 4_096,
+            seed: 2026,
+            decoder: DecoderKind::UnionFind,
+        }
+    }
+
+    /// Overrides the number of Monte-Carlo shots.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Overrides the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Evaluates the architecture on the rotated surface code of the given
+    /// distance (the paper's primary workload: a logical identity of `d`
+    /// rounds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn evaluate(&self, distance: usize, estimate_ler: bool) -> Result<Metrics, CompileError> {
+        let layout = rotated_surface_code(distance);
+        self.evaluate_layout(&layout, distance, estimate_ler)
+    }
+
+    /// Evaluates the architecture on an arbitrary code layout, running
+    /// `rounds` rounds of parity checks for the logical-identity workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn evaluate_layout(
+        &self,
+        layout: &CodeLayout,
+        rounds: usize,
+        estimate_ler: bool,
+    ) -> Result<Metrics, CompileError> {
+        let compiler = Compiler::new(self.arch.clone());
+
+        // One round for the cycle-time and movement metrics.
+        let round_program = compiler.compile_rounds(layout, 1)?;
+        // The full experiment for shot time and (optionally) the LER.
+        let shot_program =
+            compiler.compile_memory_experiment(layout, rounds.max(1), MemoryBasis::Z)?;
+
+        let logical_error = if estimate_ler {
+            let noisy = shot_program.to_noisy_circuit();
+            Some(
+                estimate_logical_error_rate(&noisy, self.shots, self.seed, self.decoder)
+                    .expect("compiled circuits carry consistent annotations"),
+            )
+        } else {
+            None
+        };
+
+        let resources = estimate_resources(&round_program.device, self.arch.wiring);
+        Ok(Metrics {
+            architecture: self.arch.label(),
+            code_distance: layout.distance(),
+            num_physical_qubits: layout.num_qubits(),
+            num_traps: round_program.device.num_traps(),
+            num_junctions: round_program.device.num_junctions(),
+            qec_round_time_us: round_program.elapsed_time_us(),
+            shot_time_us: shot_program.elapsed_time_us(),
+            movement_ops_per_round: round_program.movement_ops(),
+            movement_time_per_round_us: round_program.movement_time_us(),
+            resources,
+            logical_error,
+        })
+    }
+
+    /// Estimates the logical error rate at each of the given distances and
+    /// returns the `(distance, per-shot LER)` points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn logical_error_vs_distance(
+        &self,
+        distances: &[usize],
+    ) -> Result<Vec<(usize, f64)>, CompileError> {
+        let mut points = Vec::with_capacity(distances.len());
+        for &d in distances {
+            let metrics = self.evaluate(d, true)?;
+            points.push((d, metrics.logical_error_rate().unwrap_or(0.0)));
+        }
+        Ok(points)
+    }
+
+    /// Fits the exponential suppression law to sampled logical error rates so
+    /// that larger distances / lower targets can be projected, exactly as the
+    /// paper does for its 10⁻⁹ feasibility analysis (Figure 10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn projection(&self, distances: &[usize]) -> Result<Option<LambdaFit>, CompileError> {
+        let points = self.logical_error_vs_distance(distances)?;
+        Ok(fit_lambda(&points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_hardware::{TopologyKind, WiringMethod};
+
+    #[test]
+    fn evaluate_produces_consistent_metrics() {
+        let toolflow = Toolflow::new(ArchitectureConfig::recommended(5.0)).with_shots(256);
+        let metrics = toolflow.evaluate(3, false).unwrap();
+        assert_eq!(metrics.code_distance, 3);
+        assert_eq!(metrics.num_physical_qubits, 17);
+        assert!(metrics.qec_round_time_us > 0.0);
+        assert!(metrics.shot_time_us >= metrics.qec_round_time_us);
+        assert!(metrics.movement_ops_per_round > 0);
+        assert!(metrics.resources.total_electrodes > 0);
+        assert!(metrics.logical_error.is_none());
+        assert!(metrics.logical_clock_hz() > 0.0);
+    }
+
+    #[test]
+    fn logical_error_estimation_runs_end_to_end() {
+        let toolflow = Toolflow::new(ArchitectureConfig::recommended(10.0)).with_shots(512);
+        let metrics = toolflow.evaluate(3, true).unwrap();
+        let ler = metrics.logical_error_rate().unwrap();
+        assert!((0.0..=1.0).contains(&ler));
+    }
+
+    #[test]
+    fn grid_beats_linear_on_round_time() {
+        // Linear devices with capacity 2 can exceed the router's congestion
+        // handling for 2-D codes (see DESIGN.md limitations), so the
+        // pessimistic linear case is evaluated at capacity 3.
+        let grid = Toolflow::new(ArchitectureConfig::new(
+            TopologyKind::Grid,
+            2,
+            WiringMethod::Standard,
+            1.0,
+        ));
+        let linear = Toolflow::new(ArchitectureConfig::new(
+            TopologyKind::Linear,
+            3,
+            WiringMethod::Standard,
+            1.0,
+        ));
+        let g = grid.evaluate(3, false).unwrap();
+        let l = linear.evaluate(3, false).unwrap();
+        assert!(
+            l.qec_round_time_us > 1.5 * g.qec_round_time_us,
+            "linear ({}) should be much slower than grid ({})",
+            l.qec_round_time_us,
+            g.qec_round_time_us
+        );
+    }
+
+    #[test]
+    fn evaluate_layout_accepts_other_codes() {
+        let toolflow = Toolflow::new(ArchitectureConfig::new(
+            TopologyKind::Linear,
+            3,
+            WiringMethod::Standard,
+            1.0,
+        ))
+        .with_shots(128);
+        let layout = qccd_qec::repetition_code(5);
+        let metrics = toolflow.evaluate_layout(&layout, 3, true).unwrap();
+        assert_eq!(metrics.num_physical_qubits, 9);
+        assert!(metrics.logical_error.is_some());
+    }
+}

@@ -1,0 +1,424 @@
+//! Decoding graph construction.
+//!
+//! Matching-based decoders (union-find, MWPM and friends) operate on a
+//! *decoding graph*: detectors are vertices, every elementary error mechanism
+//! that flips one or two detectors is an edge (single-detector mechanisms
+//! connect to a virtual boundary vertex), and edge weights are the
+//! log-likelihood ratios `ln((1−p)/p)`.
+//!
+//! Circuit-level noise also produces *hyperedges* — mechanisms flipping more
+//! than two detectors (for example a Y error on a data qubit flips two X-type
+//! and two Z-type checks). These are decomposed into graph-like edges:
+//! the detectors of a hyperedge are grouped by the connected component they
+//! belong to in the graph formed by the ordinary two-detector edges (in a
+//! surface code these components are exactly the X-check and Z-check
+//! subgraphs), and each group becomes one edge. Observable flips are
+//! assigned to the decomposed parts by looking up matching graph-like
+//! mechanisms, with any residual assigned to the last part so that the total
+//! symptom is preserved.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use qccd_sim::{DemError, DetectorErrorModel};
+
+/// Index of a detector vertex in the decoding graph.
+pub type DetectorIndex = usize;
+
+/// One edge of the decoding graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodingEdge {
+    /// First endpoint (a detector).
+    pub a: DetectorIndex,
+    /// Second endpoint, or `None` for the virtual boundary.
+    pub b: Option<DetectorIndex>,
+    /// Probability that this edge's mechanism fires.
+    pub probability: f64,
+    /// Log-likelihood weight `ln((1−p)/p)`, clamped to be non-negative.
+    pub weight: f64,
+    /// Logical observables flipped when this edge's mechanism fires.
+    pub observables: Vec<u32>,
+}
+
+impl DecodingEdge {
+    /// Returns the endpoint opposite to `v`, or `None` if that endpoint is
+    /// the boundary.
+    pub fn other(&self, v: DetectorIndex) -> Option<DetectorIndex> {
+        if self.a == v {
+            self.b
+        } else {
+            Some(self.a)
+        }
+    }
+}
+
+/// A decoding graph derived from a detector error model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodingGraph {
+    num_detectors: usize,
+    num_observables: usize,
+    edges: Vec<DecodingEdge>,
+    /// For each detector, the indices of its incident edges.
+    adjacency: Vec<Vec<usize>>,
+    /// Number of hyperedges that had to be decomposed.
+    decomposed_hyperedges: usize,
+}
+
+impl DecodingGraph {
+    /// Builds the decoding graph of a detector error model.
+    pub fn from_dem(dem: &DetectorErrorModel) -> Self {
+        let num_detectors = dem.num_detectors;
+
+        // Union-find over detectors using the ordinary two-detector edges to
+        // identify the graph-like components (X-type vs Z-type subgraphs in
+        // a surface code).
+        let mut component: Vec<usize> = (0..num_detectors).collect();
+        fn find(component: &mut Vec<usize>, x: usize) -> usize {
+            let mut root = x;
+            while component[root] != root {
+                root = component[root];
+            }
+            let mut cur = x;
+            while component[cur] != root {
+                let next = component[cur];
+                component[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for error in &dem.errors {
+            if error.detectors.len() == 2 {
+                let a = find(&mut component, error.detectors[0] as usize);
+                let b = find(&mut component, error.detectors[1] as usize);
+                if a != b {
+                    component[a] = b;
+                }
+            }
+        }
+
+        // Graph-like mechanisms become edges directly; remember their
+        // symptom → observables mapping for hyperedge decomposition.
+        let mut edges: Vec<DecodingEdge> = Vec::new();
+        let mut graphlike_observables: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        let mut hyperedges: Vec<&DemError> = Vec::new();
+        for error in &dem.errors {
+            match error.detectors.len() {
+                0 => {
+                    // A mechanism with no detector symptom cannot be decoded;
+                    // it contributes directly to the logical error floor and
+                    // is ignored by matching decoders.
+                }
+                1 => {
+                    edges.push(Self::make_edge(
+                        error.detectors[0] as usize,
+                        None,
+                        error.probability,
+                        error.observables.clone(),
+                    ));
+                    graphlike_observables
+                        .entry(error.detectors.clone())
+                        .or_insert_with(|| error.observables.clone());
+                }
+                2 => {
+                    edges.push(Self::make_edge(
+                        error.detectors[0] as usize,
+                        Some(error.detectors[1] as usize),
+                        error.probability,
+                        error.observables.clone(),
+                    ));
+                    graphlike_observables
+                        .entry(error.detectors.clone())
+                        .or_insert_with(|| error.observables.clone());
+                }
+                _ => hyperedges.push(error),
+            }
+        }
+
+        // Decompose hyperedges.
+        let decomposed_hyperedges = hyperedges.len();
+        for error in hyperedges {
+            // Group the detectors by component.
+            let mut groups: HashMap<usize, Vec<u32>> = HashMap::new();
+            for &d in &error.detectors {
+                let root = find(&mut component, d as usize);
+                groups.entry(root).or_default().push(d);
+            }
+            let mut parts: Vec<Vec<u32>> = Vec::new();
+            for (_, mut group) in groups {
+                group.sort_unstable();
+                // Split oversized groups into pairs (plus a possible single).
+                while group.len() > 2 {
+                    let pair = vec![group[0], group[1]];
+                    group.drain(0..2);
+                    parts.push(pair);
+                }
+                parts.push(group);
+            }
+            // Assign observables: use the observables of a matching
+            // graph-like mechanism when one exists; put any residual on the
+            // last part so the total symptom is preserved.
+            let mut assigned: Vec<Vec<u32>> = Vec::with_capacity(parts.len());
+            let mut residual: Vec<u32> = error.observables.clone();
+            for part in &parts {
+                let obs = graphlike_observables.get(part).cloned().unwrap_or_default();
+                residual = xor_sets(&residual, &obs);
+                assigned.push(obs);
+            }
+            if let Some(last) = assigned.last_mut() {
+                *last = xor_sets(last, &residual);
+            }
+            for (part, observables) in parts.into_iter().zip(assigned) {
+                match part.len() {
+                    1 => edges.push(Self::make_edge(
+                        part[0] as usize,
+                        None,
+                        error.probability,
+                        observables,
+                    )),
+                    2 => edges.push(Self::make_edge(
+                        part[0] as usize,
+                        Some(part[1] as usize),
+                        error.probability,
+                        observables,
+                    )),
+                    _ => unreachable!("parts are singles or pairs"),
+                }
+            }
+        }
+
+        // Merge parallel edges (same endpoints and observables) by combining
+        // probabilities; this keeps the graph small.
+        let mut merged: HashMap<(usize, Option<usize>, Vec<u32>), f64> = HashMap::new();
+        for edge in edges {
+            let key = (edge.a, edge.b, edge.observables.clone());
+            let p = merged.entry(key).or_insert(0.0);
+            *p = *p * (1.0 - edge.probability) + edge.probability * (1.0 - *p);
+        }
+        let mut edges: Vec<DecodingEdge> = merged
+            .into_iter()
+            .map(|((a, b, observables), probability)| {
+                Self::make_edge(a, b, probability, observables)
+            })
+            .collect();
+        edges.sort_by(|x, y| (x.a, x.b, &x.observables).cmp(&(y.a, y.b, &y.observables)));
+
+        let mut adjacency = vec![Vec::new(); num_detectors];
+        for (i, edge) in edges.iter().enumerate() {
+            adjacency[edge.a].push(i);
+            if let Some(b) = edge.b {
+                if b != edge.a {
+                    adjacency[b].push(i);
+                }
+            }
+        }
+
+        DecodingGraph {
+            num_detectors,
+            num_observables: dem.num_observables,
+            edges,
+            adjacency,
+            decomposed_hyperedges,
+        }
+    }
+
+    fn make_edge(
+        a: usize,
+        b: Option<usize>,
+        probability: f64,
+        observables: Vec<u32>,
+    ) -> DecodingEdge {
+        let p = probability.clamp(1e-12, 0.5);
+        let weight = ((1.0 - p) / p).ln().max(0.0);
+        DecodingEdge {
+            a,
+            b,
+            probability,
+            weight,
+            observables,
+        }
+    }
+
+    /// Number of detector vertices.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables tracked on edges.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DecodingEdge] {
+        &self.edges
+    }
+
+    /// Indices of the edges incident to a detector.
+    pub fn incident_edges(&self, detector: DetectorIndex) -> &[usize] {
+        &self.adjacency[detector]
+    }
+
+    /// Number of hyperedges that were decomposed during construction.
+    pub fn decomposed_hyperedges(&self) -> usize {
+        self.decomposed_hyperedges
+    }
+
+    /// Returns `true` if the graph has no edges (e.g. a noiseless circuit).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Symmetric difference of two sorted observable-index sets.
+fn xor_sets(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in a.iter().chain(b.iter()) {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out: Vec<u32> = counts
+        .into_iter()
+        .filter(|(_, c)| c % 2 == 1)
+        .map(|(x, _)| x)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dem(errors: Vec<DemError>, num_detectors: usize, num_observables: usize) -> DetectorErrorModel {
+        DetectorErrorModel {
+            num_detectors,
+            num_observables,
+            errors,
+        }
+    }
+
+    fn err(p: f64, detectors: Vec<u32>, observables: Vec<u32>) -> DemError {
+        DemError {
+            probability: p,
+            detectors,
+            observables,
+        }
+    }
+
+    #[test]
+    fn graphlike_mechanisms_become_edges() {
+        let model = dem(
+            vec![
+                err(0.1, vec![0], vec![0]),
+                err(0.2, vec![0, 1], vec![]),
+            ],
+            2,
+            1,
+        );
+        let graph = DecodingGraph::from_dem(&model);
+        assert_eq!(graph.edges().len(), 2);
+        assert_eq!(graph.num_detectors(), 2);
+        assert_eq!(graph.decomposed_hyperedges(), 0);
+        let boundary_edge = graph.edges().iter().find(|e| e.b.is_none()).unwrap();
+        assert_eq!(boundary_edge.a, 0);
+        assert_eq!(boundary_edge.observables, vec![0]);
+        assert!(boundary_edge.weight > 0.0);
+    }
+
+    #[test]
+    fn hyperedge_is_decomposed_along_components() {
+        // Detectors 0-1 are connected by a 2-detector mechanism, and 2-3 by
+        // another; a 4-detector hyperedge across both components must split
+        // into the pairs {0,1} and {2,3}.
+        let model = dem(
+            vec![
+                err(0.01, vec![0, 1], vec![]),
+                err(0.01, vec![2, 3], vec![0]),
+                err(0.05, vec![0, 1, 2, 3], vec![0]),
+            ],
+            4,
+            1,
+        );
+        let graph = DecodingGraph::from_dem(&model);
+        assert_eq!(graph.decomposed_hyperedges(), 1);
+        // The hyperedge parts merge into the existing parallel edges.
+        assert_eq!(graph.edges().len(), 2);
+        let e01 = graph
+            .edges()
+            .iter()
+            .find(|e| e.a == 0 && e.b == Some(1))
+            .unwrap();
+        let e23 = graph
+            .edges()
+            .iter()
+            .find(|e| e.a == 2 && e.b == Some(3))
+            .unwrap();
+        // Probabilities were combined.
+        assert!(e01.probability > 0.05 && e01.probability < 0.07);
+        // Observable assignment follows the matching graph-like mechanism.
+        assert!(e01.observables.is_empty());
+        assert_eq!(e23.observables, vec![0]);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let model = dem(
+            vec![err(0.1, vec![0, 1], vec![]), err(0.1, vec![0, 1], vec![])],
+            2,
+            0,
+        );
+        let graph = DecodingGraph::from_dem(&model);
+        assert_eq!(graph.edges().len(), 1);
+        assert!((graph.edges()[0].probability - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_lists_are_consistent() {
+        let model = dem(
+            vec![
+                err(0.1, vec![0], vec![]),
+                err(0.1, vec![0, 1], vec![]),
+                err(0.1, vec![1, 2], vec![]),
+            ],
+            3,
+            0,
+        );
+        let graph = DecodingGraph::from_dem(&model);
+        assert_eq!(graph.incident_edges(0).len(), 2);
+        assert_eq!(graph.incident_edges(1).len(), 2);
+        assert_eq!(graph.incident_edges(2).len(), 1);
+        for (i, edge) in graph.edges().iter().enumerate() {
+            assert!(graph.incident_edges(edge.a).contains(&i));
+            if let Some(b) = edge.b {
+                assert!(graph.incident_edges(b).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_detector_mechanisms_are_ignored() {
+        let model = dem(vec![err(0.3, vec![], vec![0])], 1, 1);
+        let graph = DecodingGraph::from_dem(&model);
+        assert!(graph.is_empty());
+    }
+
+    #[test]
+    fn weights_decrease_with_probability() {
+        let model = dem(
+            vec![err(0.001, vec![0, 1], vec![]), err(0.1, vec![1, 2], vec![])],
+            3,
+            0,
+        );
+        let graph = DecodingGraph::from_dem(&model);
+        let rare = graph.edges().iter().find(|e| e.a == 0).unwrap();
+        let common = graph.edges().iter().find(|e| e.a == 1).unwrap();
+        assert!(rare.weight > common.weight);
+    }
+
+    #[test]
+    fn xor_sets_behaviour() {
+        assert_eq!(xor_sets(&[0, 1], &[1, 2]), vec![0, 2]);
+        assert_eq!(xor_sets(&[], &[3]), vec![3]);
+        assert!(xor_sets(&[4], &[4]).is_empty());
+    }
+}

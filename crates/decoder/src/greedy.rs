@@ -1,0 +1,289 @@
+//! Greedy matching decoder.
+//!
+//! A simple baseline decoder used for cross-validation of the union-find
+//! decoder and for quick sanity checks: detection events are matched
+//! greedily, always pairing the two closest unmatched defects (or a defect
+//! and the boundary) under shortest-path distance in the weighted decoding
+//! graph. The correction applied is the shortest path itself, so the
+//! observable-flip prediction is the XOR of the observables along the path.
+//!
+//! Greedy matching is less accurate than minimum-weight perfect matching or
+//! union-find but shares the same qualitative behaviour; agreement between
+//! the two decoders on the vast majority of shots is one of the test-suite
+//! invariants.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Decoder, DecodingGraph};
+
+/// Greedy shortest-path matching decoder.
+#[derive(Debug, Clone)]
+pub struct GreedyMatchingDecoder {
+    graph: DecodingGraph,
+    boundary: usize,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    distance: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other
+            .distance
+            .partial_cmp(&self.distance)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl GreedyMatchingDecoder {
+    /// Creates a decoder for the given decoding graph.
+    pub fn new(graph: DecodingGraph) -> Self {
+        let boundary = graph.num_detectors();
+        GreedyMatchingDecoder { graph, boundary }
+    }
+
+    /// Dijkstra from `source`, returning per-node `(distance, incoming edge)`.
+    fn shortest_paths(&self, source: usize) -> (Vec<f64>, Vec<Option<usize>>) {
+        let n = self.graph.num_detectors() + 1;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut via = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[source] = 0.0;
+        heap.push(HeapEntry {
+            distance: 0.0,
+            node: source,
+        });
+        while let Some(HeapEntry { distance, node }) = heap.pop() {
+            if distance > dist[node] {
+                continue;
+            }
+            let incident: Vec<usize> = if node == self.boundary {
+                self.graph
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.b.is_none())
+                    .map(|(i, _)| i)
+                    .collect()
+            } else {
+                self.graph.incident_edges(node).to_vec()
+            };
+            for edge_index in incident {
+                let edge = &self.graph.edges()[edge_index];
+                let next = if edge.a == node {
+                    edge.b.unwrap_or(self.boundary)
+                } else {
+                    edge.a
+                };
+                let candidate = distance + edge.weight.max(1e-9);
+                if candidate < dist[next] {
+                    dist[next] = candidate;
+                    via[next] = Some(edge_index);
+                    heap.push(HeapEntry {
+                        distance: candidate,
+                        node: next,
+                    });
+                }
+            }
+        }
+        (dist, via)
+    }
+
+    /// XOR of observables along the shortest path from `source` (whose
+    /// Dijkstra state is given) back to `target`.
+    fn path_observables(
+        &self,
+        via: &[Option<usize>],
+        source: usize,
+        mut target: usize,
+        flips: &mut [bool],
+    ) {
+        while target != source {
+            let edge_index = via[target].expect("path must exist");
+            let edge = &self.graph.edges()[edge_index];
+            for &obs in &edge.observables {
+                flips[obs as usize] ^= true;
+            }
+            let prev = if edge.a == target {
+                edge.b.unwrap_or(self.boundary)
+            } else {
+                edge.a
+            };
+            target = prev;
+        }
+    }
+}
+
+impl Decoder for GreedyMatchingDecoder {
+    fn decode(&self, fired_detectors: &[usize]) -> Vec<bool> {
+        let mut prediction = vec![false; self.graph.num_observables()];
+        if fired_detectors.is_empty() || self.graph.is_empty() {
+            return prediction;
+        }
+
+        // Dijkstra from every defect.
+        let defects: Vec<usize> = fired_detectors.to_vec();
+        let searches: Vec<(Vec<f64>, Vec<Option<usize>>)> = defects
+            .iter()
+            .map(|&d| self.shortest_paths(d))
+            .collect();
+
+        // Candidate matchings: defect–defect and defect–boundary.
+        #[derive(Debug)]
+        struct Candidate {
+            cost: f64,
+            i: usize,
+            j: Option<usize>,
+        }
+        let mut candidates = Vec::new();
+        for i in 0..defects.len() {
+            let (dist, _) = &searches[i];
+            if dist[self.boundary].is_finite() {
+                candidates.push(Candidate {
+                    cost: dist[self.boundary],
+                    i,
+                    j: None,
+                });
+            }
+            for j in (i + 1)..defects.len() {
+                if dist[defects[j]].is_finite() {
+                    candidates.push(Candidate {
+                        cost: dist[defects[j]],
+                        i,
+                        j: Some(j),
+                    });
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal));
+
+        let mut matched = vec![false; defects.len()];
+        for candidate in candidates {
+            match candidate.j {
+                Some(j) => {
+                    if matched[candidate.i] || matched[j] {
+                        continue;
+                    }
+                    matched[candidate.i] = true;
+                    matched[j] = true;
+                    let (_, via) = &searches[candidate.i];
+                    self.path_observables(via, defects[candidate.i], defects[j], &mut prediction);
+                }
+                None => {
+                    if matched[candidate.i] {
+                        continue;
+                    }
+                    matched[candidate.i] = true;
+                    let (_, via) = &searches[candidate.i];
+                    self.path_observables(
+                        via,
+                        defects[candidate.i],
+                        self.boundary,
+                        &mut prediction,
+                    );
+                }
+            }
+        }
+
+        prediction
+    }
+
+    fn num_observables(&self) -> usize {
+        self.graph.num_observables()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_sim::{DemError, DetectorErrorModel};
+
+    fn err(p: f64, detectors: Vec<u32>, observables: Vec<u32>) -> DemError {
+        DemError {
+            probability: p,
+            detectors,
+            observables,
+        }
+    }
+
+    fn chain_graph(n: usize) -> DecodingGraph {
+        let mut errors = vec![err(0.01, vec![0], vec![])];
+        for i in 0..n - 1 {
+            errors.push(err(0.01, vec![i as u32, i as u32 + 1], vec![]));
+        }
+        errors.push(err(0.01, vec![n as u32 - 1], vec![0]));
+        DecodingGraph::from_dem(&DetectorErrorModel {
+            num_detectors: n,
+            num_observables: 1,
+            errors,
+        })
+    }
+
+    #[test]
+    fn empty_syndrome() {
+        let decoder = GreedyMatchingDecoder::new(chain_graph(5));
+        assert_eq!(decoder.decode(&[]), vec![false]);
+    }
+
+    #[test]
+    fn boundary_matching_prefers_near_side() {
+        let decoder = GreedyMatchingDecoder::new(chain_graph(7));
+        assert_eq!(decoder.decode(&[0]), vec![false]);
+        assert_eq!(decoder.decode(&[6]), vec![true]);
+    }
+
+    #[test]
+    fn internal_pair_is_matched_without_flip() {
+        let decoder = GreedyMatchingDecoder::new(chain_graph(7));
+        assert_eq!(decoder.decode(&[2, 3]), vec![false]);
+    }
+
+    #[test]
+    fn pair_at_opposite_ends_flips_once() {
+        let decoder = GreedyMatchingDecoder::new(chain_graph(4));
+        assert_eq!(decoder.decode(&[0, 3]), vec![true]);
+    }
+
+    #[test]
+    fn three_defects_one_uses_boundary() {
+        let decoder = GreedyMatchingDecoder::new(chain_graph(9));
+        // Defects at 0,1 pair up; defect at 8 exits via the right boundary.
+        assert_eq!(decoder.decode(&[0, 1, 8]), vec![true]);
+    }
+
+    #[test]
+    fn agrees_with_union_find_on_simple_chains() {
+        use crate::UnionFindDecoder;
+        let graph = chain_graph(10);
+        let greedy = GreedyMatchingDecoder::new(graph.clone());
+        let uf = UnionFindDecoder::new(graph);
+        for syndrome in [
+            vec![],
+            vec![0],
+            vec![9],
+            vec![4, 5],
+            vec![0, 9],
+            vec![1, 2, 8],
+            vec![0, 1, 2, 3],
+        ] {
+            assert_eq!(
+                greedy.decode(&syndrome),
+                uf.decode(&syndrome),
+                "decoders disagree on {syndrome:?}"
+            );
+        }
+    }
+}

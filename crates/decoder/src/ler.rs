@@ -1,0 +1,345 @@
+//! Logical error rate estimation and below-threshold extrapolation.
+//!
+//! The paper's evaluation reports logical error rates down to 10⁻⁹ (§6.3),
+//! far below what direct Monte-Carlo sampling can reach. Like the paper, we
+//! sample the code distances that are reachable, fit the exponential
+//! suppression law
+//!
+//! ```text
+//! LER(d) ≈ A · exp(β·d)        (β < 0 below threshold)
+//! ```
+//!
+//! and project to larger distances / lower target error rates. The fit also
+//! yields the error-suppression factor Λ = LER(d) / LER(d+2) = exp(−2β).
+
+use serde::{Deserialize, Serialize};
+
+use qccd_circuit::MeasurementRef;
+use qccd_sim::{sample_detectors, DetectorErrorModel, NoisyCircuit};
+
+use crate::{Decoder, DecodingGraph, ExactMatchingDecoder, GreedyMatchingDecoder, UnionFindDecoder};
+
+/// Which decoder to use for logical error rate estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecoderKind {
+    /// Weighted union-find (the default).
+    UnionFind,
+    /// Greedy shortest-path matching (baseline / cross-check).
+    GreedyMatching,
+    /// Exact minimum-weight matching per shot (accuracy reference; falls
+    /// back to greedy matching on shots with many defects).
+    ExactMatching,
+}
+
+impl Default for DecoderKind {
+    fn default() -> Self {
+        DecoderKind::UnionFind
+    }
+}
+
+/// The result of a Monte-Carlo logical error rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogicalErrorEstimate {
+    /// Number of shots sampled.
+    pub shots: usize,
+    /// Number of shots in which the decoder's prediction disagreed with the
+    /// actual logical observable flip.
+    pub failures: usize,
+    /// Per-shot logical error probability.
+    pub logical_error_rate: f64,
+    /// Binomial standard error of the estimate.
+    pub std_error: f64,
+}
+
+impl LogicalErrorEstimate {
+    /// Converts a per-shot error probability into a per-round probability,
+    /// assuming independent rounds: `p_round = 1 − (1 − p_shot)^(1/rounds)`.
+    pub fn per_round(&self, rounds: usize) -> f64 {
+        if rounds == 0 {
+            return self.logical_error_rate;
+        }
+        1.0 - (1.0 - self.logical_error_rate).powf(1.0 / rounds as f64)
+    }
+}
+
+/// Estimates the logical error rate of a noisy circuit by sampling
+/// `shots` executions and decoding each one.
+///
+/// A shot counts as a failure if the decoder's predicted flip of *any*
+/// logical observable disagrees with the actual flip.
+///
+/// # Errors
+///
+/// Returns the first dangling [`MeasurementRef`] if the circuit's
+/// annotations are inconsistent.
+pub fn estimate_logical_error_rate(
+    circuit: &NoisyCircuit,
+    shots: usize,
+    seed: u64,
+    decoder_kind: DecoderKind,
+) -> Result<LogicalErrorEstimate, MeasurementRef> {
+    let dem = DetectorErrorModel::from_circuit(circuit)?;
+    let graph = DecodingGraph::from_dem(&dem);
+    let decoder: Box<dyn Decoder> = match decoder_kind {
+        DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
+        DecoderKind::GreedyMatching => Box::new(GreedyMatchingDecoder::new(graph)),
+        DecoderKind::ExactMatching => Box::new(ExactMatchingDecoder::new(graph)),
+    };
+    let samples = sample_detectors(circuit, shots, seed)?;
+
+    let num_observables = samples.num_observables();
+    let mut failures = 0usize;
+    for shot in 0..shots {
+        let fired = samples.fired_detectors(shot);
+        let prediction = decoder.decode(&fired);
+        let mut failed = false;
+        for obs in 0..num_observables {
+            let actual = samples.observable_flipped(shot, obs);
+            let predicted = prediction.get(obs).copied().unwrap_or(false);
+            if actual != predicted {
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            failures += 1;
+        }
+    }
+
+    let p = failures as f64 / shots as f64;
+    Ok(LogicalErrorEstimate {
+        shots,
+        failures,
+        logical_error_rate: p,
+        std_error: (p * (1.0 - p) / shots as f64).sqrt(),
+    })
+}
+
+/// An exponential fit `ln LER(d) = intercept + slope · d` across code
+/// distances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LambdaFit {
+    /// Intercept of the log-linear fit.
+    pub log_intercept: f64,
+    /// Slope of the log-linear fit per unit of code distance (negative below
+    /// threshold).
+    pub log_slope: f64,
+}
+
+impl LambdaFit {
+    /// The error-suppression factor Λ = LER(d) / LER(d+2).
+    pub fn lambda(&self) -> f64 {
+        (-2.0 * self.log_slope).exp()
+    }
+
+    /// Returns `true` if the fit indicates operation below threshold (the
+    /// logical error rate shrinks with distance).
+    pub fn below_threshold(&self) -> bool {
+        self.log_slope < 0.0
+    }
+
+    /// Projected logical error rate at code distance `d`.
+    pub fn project(&self, distance: usize) -> f64 {
+        (self.log_intercept + self.log_slope * distance as f64)
+            .exp()
+            .min(1.0)
+    }
+
+    /// The smallest code distance whose projected logical error rate is at or
+    /// below `target`, or `None` if the fit is not below threshold.
+    pub fn distance_for_target(&self, target: f64) -> Option<usize> {
+        if !self.below_threshold() || target <= 0.0 {
+            return None;
+        }
+        let d = (target.ln() - self.log_intercept) / self.log_slope;
+        Some(d.ceil().max(1.0) as usize)
+    }
+}
+
+/// Fits the exponential suppression law to `(distance, logical error rate)`
+/// points using least squares in log space.
+///
+/// Points with a zero error rate are skipped (they carry no information for
+/// the fit). Returns `None` if fewer than two usable points remain.
+pub fn fit_lambda(points: &[(usize, f64)]) -> Option<LambdaFit> {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(_, p)| *p > 0.0)
+        .map(|(d, p)| (*d as f64, p.ln()))
+        .collect();
+    if usable.len() < 2 {
+        return None;
+    }
+    let n = usable.len() as f64;
+    let sum_x: f64 = usable.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = usable.iter().map(|(_, y)| y).sum();
+    let sum_xx: f64 = usable.iter().map(|(x, _)| x * x).sum();
+    let sum_xy: f64 = usable.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sum_xx - sum_x * sum_x;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sum_xy - sum_x * sum_y) / denom;
+    let intercept = (sum_y - slope * sum_x) / n;
+    Some(LambdaFit {
+        log_intercept: intercept,
+        log_slope: slope,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::{Instruction, QubitId};
+    use qccd_qec::{memory_experiment, repetition_code, rotated_surface_code, MemoryBasis};
+    use qccd_sim::NoiseChannel;
+
+    /// Builds a memory experiment with simple code-capacity-style noise: a
+    /// depolarising channel on every data qubit at the start of each round.
+    fn noisy_memory(code: &qccd_qec::CodeLayout, rounds: usize, p: f64) -> NoisyCircuit {
+        let exp = memory_experiment(code, rounds, MemoryBasis::Z);
+        let data: Vec<QubitId> = code.data_qubits();
+        let mut noisy = NoisyCircuit::new();
+        noisy.pad_qubits(exp.circuit.num_qubits());
+        // Track round boundaries: a round starts at each block of ancilla
+        // resets. For simplicity, inject noise right before each ancilla
+        // reset block by counting resets of the first ancilla.
+        let first_ancilla = code.ancilla_qubits()[0];
+        for instruction in exp.circuit.iter() {
+            if let Instruction::Reset(q) = instruction {
+                if *q == first_ancilla {
+                    for &d in &data {
+                        noisy.push_noise(NoiseChannel::Depolarize1 { qubit: d, p });
+                    }
+                }
+            }
+            noisy.push_gate(*instruction);
+        }
+        for detector in exp.circuit.detectors() {
+            noisy.add_detector(detector.clone());
+        }
+        for observable in exp.circuit.observables() {
+            noisy.add_observable(observable.clone());
+        }
+        noisy
+    }
+
+    #[test]
+    fn noiseless_circuit_has_zero_logical_error_rate() {
+        let code = repetition_code(3);
+        let circuit = noisy_memory(&code, 2, 0.0);
+        let est =
+            estimate_logical_error_rate(&circuit, 2000, 3, DecoderKind::UnionFind).unwrap();
+        assert_eq!(est.failures, 0);
+        assert_eq!(est.logical_error_rate, 0.0);
+    }
+
+    #[test]
+    fn repetition_code_suppresses_errors_below_physical_rate() {
+        let p = 0.02;
+        let code = repetition_code(5);
+        let circuit = noisy_memory(&code, 3, p);
+        let est =
+            estimate_logical_error_rate(&circuit, 20_000, 5, DecoderKind::UnionFind).unwrap();
+        // The decoder must beat the unprotected physical error rate by a
+        // comfortable margin.
+        assert!(
+            est.logical_error_rate < p / 2.0,
+            "logical error rate {} not suppressed below physical rate {p}",
+            est.logical_error_rate
+        );
+    }
+
+    #[test]
+    fn larger_distance_gives_lower_logical_error_rate() {
+        let p = 0.04;
+        let mut rates = Vec::new();
+        for d in [3usize, 7] {
+            let code = repetition_code(d);
+            let circuit = noisy_memory(&code, 2, p);
+            let est =
+                estimate_logical_error_rate(&circuit, 30_000, 11, DecoderKind::UnionFind).unwrap();
+            rates.push(est.logical_error_rate);
+        }
+        assert!(
+            rates[1] < rates[0],
+            "distance 7 ({}) should beat distance 3 ({})",
+            rates[1],
+            rates[0]
+        );
+    }
+
+    #[test]
+    fn surface_code_decoding_runs_and_suppresses() {
+        let p = 0.01;
+        let code = rotated_surface_code(3);
+        let circuit = noisy_memory(&code, 3, p);
+        let est =
+            estimate_logical_error_rate(&circuit, 10_000, 5, DecoderKind::UnionFind).unwrap();
+        assert!(
+            est.logical_error_rate < 3.0 * p,
+            "surface code LER {} unexpectedly high",
+            est.logical_error_rate
+        );
+    }
+
+    #[test]
+    fn decoders_agree_on_aggregate_behaviour() {
+        let p = 0.03;
+        let code = repetition_code(5);
+        let circuit = noisy_memory(&code, 2, p);
+        let uf =
+            estimate_logical_error_rate(&circuit, 20_000, 9, DecoderKind::UnionFind).unwrap();
+        let greedy =
+            estimate_logical_error_rate(&circuit, 20_000, 9, DecoderKind::GreedyMatching).unwrap();
+        // Same order of magnitude; greedy may be somewhat worse.
+        assert!(greedy.logical_error_rate <= uf.logical_error_rate * 4.0 + 0.01);
+        assert!(uf.logical_error_rate <= greedy.logical_error_rate * 4.0 + 0.01);
+    }
+
+    #[test]
+    fn per_round_conversion() {
+        let est = LogicalErrorEstimate {
+            shots: 1000,
+            failures: 100,
+            logical_error_rate: 0.1,
+            std_error: 0.0095,
+        };
+        let per_round = est.per_round(10);
+        assert!(per_round < 0.011 && per_round > 0.0104);
+        assert_eq!(est.per_round(0), 0.1);
+    }
+
+    #[test]
+    fn lambda_fit_recovers_synthetic_slope() {
+        // LER(d) = 0.3 · exp(−0.8 d).
+        let points: Vec<(usize, f64)> = (3..=11)
+            .step_by(2)
+            .map(|d| (d, 0.3 * (-0.8 * d as f64).exp()))
+            .collect();
+        let fit = fit_lambda(&points).unwrap();
+        assert!((fit.log_slope - (-0.8)).abs() < 1e-9);
+        assert!(fit.below_threshold());
+        assert!((fit.lambda() - (1.6f64).exp()).abs() < 1e-9);
+        // Projection reproduces the inputs.
+        assert!((fit.project(7) - 0.3 * (-5.6f64).exp()).abs() < 1e-12);
+        // Distance needed for a 1e-9 target.
+        let d = fit.distance_for_target(1e-9).unwrap();
+        assert!(fit.project(d) <= 1e-9);
+        assert!(fit.project(d.saturating_sub(1)) > 1e-9);
+    }
+
+    #[test]
+    fn lambda_fit_requires_two_points() {
+        assert!(fit_lambda(&[(3, 0.1)]).is_none());
+        assert!(fit_lambda(&[(3, 0.0), (5, 0.0)]).is_none());
+        assert!(fit_lambda(&[(3, 0.1), (5, 0.05)]).is_some());
+    }
+
+    #[test]
+    fn above_threshold_fit_has_no_target_distance() {
+        let fit = fit_lambda(&[(3, 0.01), (5, 0.02), (7, 0.04)]).unwrap();
+        assert!(!fit.below_threshold());
+        assert_eq!(fit.distance_for_target(1e-9), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! # qccd-decoder
+//!
+//! Surface-code decoders and logical-error-rate estimation for the QCCD
+//! architecture study:
+//!
+//! * [`DecodingGraph`] — matching graph construction from a detector error
+//!   model (with hyperedge decomposition);
+//! * [`UnionFindDecoder`] — weighted union-find decoder (the default);
+//! * [`GreedyMatchingDecoder`] — greedy shortest-path matching baseline;
+//! * [`estimate_logical_error_rate`] — Monte-Carlo logical error rate
+//!   estimation;
+//! * [`fit_lambda`] / [`LambdaFit`] — below-threshold extrapolation used to
+//!   project error rates to the 10⁻⁹ regime, exactly as the paper does for
+//!   its feasibility targets.
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_decoder::{Decoder, DecodingGraph, UnionFindDecoder};
+//! use qccd_sim::{DemError, DetectorErrorModel};
+//!
+//! // A two-detector toy model: one shared error and two boundary errors.
+//! let dem = DetectorErrorModel {
+//!     num_detectors: 2,
+//!     num_observables: 1,
+//!     errors: vec![
+//!         DemError { probability: 0.01, detectors: vec![0], observables: vec![] },
+//!         DemError { probability: 0.01, detectors: vec![0, 1], observables: vec![] },
+//!         DemError { probability: 0.01, detectors: vec![1], observables: vec![0] },
+//!     ],
+//! };
+//! let decoder = UnionFindDecoder::new(DecodingGraph::from_dem(&dem));
+//! assert_eq!(decoder.decode(&[0, 1]), vec![false]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dem_graph;
+mod greedy;
+mod ler;
+mod mwpm;
+mod union_find;
+
+pub use dem_graph::{DecodingEdge, DecodingGraph, DetectorIndex};
+pub use greedy::GreedyMatchingDecoder;
+pub use ler::{
+    estimate_logical_error_rate, fit_lambda, DecoderKind, LambdaFit, LogicalErrorEstimate,
+};
+pub use mwpm::{ExactMatchingDecoder, DEFAULT_MAX_EXACT_DEFECTS};
+pub use union_find::UnionFindDecoder;
+
+/// A syndrome decoder: given the set of fired detectors of one shot, predict
+/// which logical observables were flipped.
+pub trait Decoder {
+    /// Decodes one shot. `fired_detectors` lists the indices of the
+    /// detectors that fired; the return value has one entry per logical
+    /// observable, `true` meaning "the decoder believes this observable was
+    /// flipped".
+    fn decode(&self, fired_detectors: &[usize]) -> Vec<bool>;
+
+    /// Number of logical observables this decoder predicts.
+    fn num_observables(&self) -> usize;
+}

@@ -1,0 +1,52 @@
+//! # qccd-hardware
+//!
+//! The QCCD trapped-ion hardware model used by the architecture study:
+//!
+//! * [`Device`] — the abstract QCCD view: traps, junctions and shuttling
+//!   segments forming an ion-routing graph, with per-trap capacities;
+//! * [`TopologySpec`] and the [`Device`] constructors — grid, linear and
+//!   all-to-all switch communication topologies (§3.2 of the paper);
+//! * [`OperationTimes`] — the Table-1 gate and transport timing model;
+//! * [`WiringMethod`] — standard (one DAC per electrode) versus WISE
+//!   switch-network control wiring (§3.3);
+//! * [`estimate_resources`] — electrode / DAC / data-rate / power estimation
+//!   (§5.2).
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_hardware::{estimate_resources, OperationTimes, TopologyKind, TopologySpec, WiringMethod};
+//!
+//! // A capacity-2 grid large enough for a distance-3 rotated surface code.
+//! let spec = TopologySpec::new(TopologyKind::Grid, 2);
+//! let device = spec.build_for_qubits(17);
+//! assert!(device.mappable_qubits() >= 17);
+//!
+//! let times = OperationTimes::paper_defaults();
+//! assert_eq!(times.two_qubit_ms_us, 40.0);
+//!
+//! let resources = estimate_resources(&device, WiringMethod::Standard);
+//! assert!(resources.total_electrodes > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod device;
+mod ids;
+mod resources;
+mod timing;
+mod topology;
+mod wiring;
+
+pub use device::{Device, DeviceError, Junction, Segment, TopologyKind, Trap};
+pub use ids::{IonId, JunctionId, NodeId, SegmentId, TrapId};
+pub use resources::{
+    estimate_resources, ResourceEstimate, DATA_RATE_PER_DAC_MBIT_S,
+    DYNAMIC_ELECTRODES_PER_JUNCTION_ZONE, DYNAMIC_ELECTRODES_PER_LINEAR_ZONE,
+    POWER_PER_DAC_MILLIWATT, SHIM_ELECTRODES_PER_ZONE, WISE_DYNAMIC_DACS,
+    WISE_SHIM_ELECTRODES_PER_DAC,
+};
+pub use timing::{MovementKind, OperationTimes};
+pub use topology::TopologySpec;
+pub use wiring::WiringMethod;

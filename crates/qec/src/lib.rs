@@ -1,0 +1,53 @@
+//! # qccd-qec
+//!
+//! Quantum error correction codes for the QCCD surface-code architecture
+//! study: the repetition code, the rotated surface code and the unrotated
+//! surface code, together with parity-check circuit generation and
+//! memory-experiment (logical identity) construction with detector and
+//! logical-observable annotations.
+//!
+//! The three code constructors all return the same [`CodeLayout`] structure,
+//! which records qubit coordinates, stabilizers (with their entangling
+//! schedules) and logical operators. The QCCD compiler consumes the layout
+//! geometry; the simulator and decoder consume the annotated circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_qec::{memory_experiment, rotated_surface_code, MemoryBasis};
+//!
+//! // The paper's primary workload: a rotated surface code running d rounds
+//! // of parity checks (the logical identity).
+//! let code = rotated_surface_code(3);
+//! assert_eq!(code.num_qubits(), 17);
+//!
+//! let experiment = memory_experiment(&code, code.distance(), MemoryBasis::Z);
+//! assert!(experiment.circuit.num_measurements() > 0);
+//! assert!(experiment.circuit.validate_annotations().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod layout;
+mod memory;
+mod rectangular;
+mod repetition;
+mod rotated;
+mod schedule;
+pub mod surgery;
+mod unrotated;
+
+pub use layout::{
+    CodeLayout, Coord, InteractionEdge, QubitInfo, QubitRole, Stabilizer, StabilizerBasis,
+};
+pub use memory::{memory_experiment, MemoryBasis, MemoryExperiment};
+pub use rectangular::rectangular_rotated_surface_code;
+pub use repetition::repetition_code;
+pub use rotated::rotated_surface_code;
+pub use schedule::{append_parity_check_round, parity_check_round};
+pub use surgery::{
+    merged_xx_patch, merged_zz_patch, seam_data_qubits, surgery_workload, MergeKind,
+    SurgeryWorkload,
+};
+pub use unrotated::unrotated_surface_code;

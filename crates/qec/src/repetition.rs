@@ -1,0 +1,143 @@
+//! The repetition code.
+//!
+//! The distance-`d` repetition code protects against bit flips only: `d` data
+//! qubits sit on a line and `d − 1` ancilla qubits measure the `Z·Z` parity of
+//! each adjacent pair. The paper uses it as a structurally trivial baseline
+//! for validating the compiler (Table 2) and for comparing against the
+//! baseline compilers (Table 3).
+
+use qccd_circuit::QubitId;
+
+use crate::{CodeLayout, Coord, QubitInfo, QubitRole, Stabilizer, StabilizerBasis};
+
+/// Builds the distance-`d` repetition code layout.
+///
+/// Data qubit `i` sits at column `2i`; the ancilla measuring `Z_i Z_{i+1}`
+/// sits between them at column `2i + 1`. The logical Z operator is `Z` on the
+/// first data qubit and the logical X operator is `X` on every data qubit.
+///
+/// # Panics
+///
+/// Panics if `distance < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use qccd_qec::repetition_code;
+///
+/// let code = repetition_code(3);
+/// assert_eq!(code.num_qubits(), 5);
+/// assert_eq!(code.stabilizers().len(), 2);
+/// assert_eq!(code.validate(), Ok(()));
+/// ```
+pub fn repetition_code(distance: usize) -> CodeLayout {
+    assert!(distance >= 2, "repetition code distance must be at least 2");
+    let d = distance;
+    let mut qubits = Vec::with_capacity(2 * d - 1);
+    // Data qubits: ids 0..d.
+    for i in 0..d {
+        qubits.push(QubitInfo {
+            id: QubitId::new(i as u32),
+            coord: Coord::new(0, 2 * i as i64),
+            role: QubitRole::Data,
+        });
+    }
+    // Ancilla qubits: ids d..2d-1.
+    for i in 0..d - 1 {
+        qubits.push(QubitInfo {
+            id: QubitId::new((d + i) as u32),
+            coord: Coord::new(0, 2 * i as i64 + 1),
+            role: QubitRole::Ancilla,
+        });
+    }
+    let stabilizers = (0..d - 1)
+        .map(|i| Stabilizer {
+            ancilla: QubitId::new((d + i) as u32),
+            basis: StabilizerBasis::Z,
+            schedule: vec![
+                Some(QubitId::new(i as u32)),
+                Some(QubitId::new(i as u32 + 1)),
+            ],
+        })
+        .collect();
+    let logical_z = vec![QubitId::new(0)];
+    let logical_x = (0..d).map(|i| QubitId::new(i as u32)).collect();
+    CodeLayout::new(
+        format!("repetition_d{d}"),
+        d,
+        qubits,
+        stabilizers,
+        logical_z,
+        logical_x,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts() {
+        for d in 2..=9 {
+            let code = repetition_code(d);
+            assert_eq!(code.num_qubits(), 2 * d - 1, "distance {d}");
+            assert_eq!(code.data_qubits().len(), d);
+            assert_eq!(code.ancilla_qubits().len(), d - 1);
+            assert_eq!(code.stabilizers().len(), d - 1);
+            assert_eq!(code.distance(), d);
+        }
+    }
+
+    #[test]
+    fn all_checks_are_weight_two_z() {
+        let code = repetition_code(5);
+        for stab in code.stabilizers() {
+            assert_eq!(stab.basis, StabilizerBasis::Z);
+            assert_eq!(stab.weight(), 2);
+        }
+    }
+
+    #[test]
+    fn layout_is_consistent() {
+        for d in 2..=8 {
+            assert_eq!(repetition_code(d).validate(), Ok(()), "distance {d}");
+        }
+    }
+
+    #[test]
+    fn adjacent_data_qubits_are_checked() {
+        let code = repetition_code(4);
+        let supports: Vec<Vec<QubitId>> = code
+            .stabilizers()
+            .iter()
+            .map(|s| s.data_support())
+            .collect();
+        assert_eq!(
+            supports,
+            vec![
+                vec![QubitId::new(0), QubitId::new(1)],
+                vec![QubitId::new(1), QubitId::new(2)],
+                vec![QubitId::new(2), QubitId::new(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn entangling_steps() {
+        assert_eq!(repetition_code(6).num_entangling_steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn distance_one_rejected() {
+        repetition_code(1);
+    }
+
+    #[test]
+    fn ancillas_sit_between_data() {
+        let code = repetition_code(3);
+        let anc = code.ancilla_qubits();
+        assert_eq!(code.coord(anc[0]).col, 1);
+        assert_eq!(code.coord(anc[1]).col, 3);
+    }
+}

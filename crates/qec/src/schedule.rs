@@ -1,0 +1,184 @@
+//! Parity-check round circuit construction.
+//!
+//! One round of surface-code error correction consists of, for every
+//! stabilizer (Figure 3 of the paper):
+//!
+//! 1. reset the ancilla,
+//! 2. (X-type only) Hadamard on the ancilla,
+//! 3. a CNOT with each data qubit in the stabilizer's support, in the
+//!    schedule order fixed by the code layout,
+//! 4. (X-type only) Hadamard on the ancilla,
+//! 5. measure the ancilla.
+//!
+//! For X-type checks the ancilla is the CNOT *control*; for Z-type checks the
+//! data qubit is the control. The per-step interleaving across stabilizers is
+//! what lets every ancilla of the code be processed in parallel on hardware
+//! that supports it.
+
+use qccd_circuit::{Circuit, Instruction};
+
+use crate::{CodeLayout, StabilizerBasis};
+
+/// Appends one full parity-check round for every stabilizer of `layout` to
+/// `circuit`.
+///
+/// Instructions are emitted grouped by phase (resets, pre-rotation, one
+/// entangling step at a time across all stabilizers, post-rotation,
+/// measurements) so that a hardware scheduler can exploit the available
+/// parallelism, while the per-qubit operation order encodes the semantics.
+pub fn append_parity_check_round(circuit: &mut Circuit, layout: &CodeLayout) {
+    // Phase 1: reset ancillas.
+    for stab in layout.stabilizers() {
+        circuit.push(Instruction::Reset(stab.ancilla));
+    }
+    // Phase 2: basis rotation for X-type checks.
+    for stab in layout.stabilizers() {
+        if stab.basis == StabilizerBasis::X {
+            circuit.push(Instruction::H(stab.ancilla));
+        }
+    }
+    // Phase 3: entangling steps.
+    for step in 0..layout.num_entangling_steps() {
+        for stab in layout.stabilizers() {
+            if let Some(Some(data)) = stab.schedule.get(step) {
+                let instruction = match stab.basis {
+                    StabilizerBasis::X => Instruction::Cnot {
+                        control: stab.ancilla,
+                        target: *data,
+                    },
+                    StabilizerBasis::Z => Instruction::Cnot {
+                        control: *data,
+                        target: stab.ancilla,
+                    },
+                };
+                circuit.push(instruction);
+            }
+        }
+    }
+    // Phase 4: undo the basis rotation.
+    for stab in layout.stabilizers() {
+        if stab.basis == StabilizerBasis::X {
+            circuit.push(Instruction::H(stab.ancilla));
+        }
+    }
+    // Phase 5: measure ancillas.
+    for stab in layout.stabilizers() {
+        circuit.push(Instruction::Measure(stab.ancilla));
+    }
+}
+
+/// Builds a circuit containing exactly one parity-check round.
+///
+/// # Examples
+///
+/// ```
+/// use qccd_qec::{parity_check_round, rotated_surface_code};
+///
+/// let code = rotated_surface_code(3);
+/// let round = parity_check_round(&code);
+/// // One measurement per stabilizer.
+/// assert_eq!(round.num_measurements(), code.stabilizers().len());
+/// ```
+pub fn parity_check_round(layout: &CodeLayout) -> Circuit {
+    let mut circuit = Circuit::new();
+    circuit.pad_qubits(layout.num_qubits());
+    append_parity_check_round(&mut circuit, layout);
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{repetition_code, rotated_surface_code, unrotated_surface_code};
+    use qccd_circuit::QubitId;
+    use std::collections::HashMap;
+
+    #[test]
+    fn one_measurement_and_reset_per_ancilla() {
+        for layout in [
+            repetition_code(4),
+            rotated_surface_code(3),
+            unrotated_surface_code(3),
+        ] {
+            let round = parity_check_round(&layout);
+            let stats = round.stats();
+            assert_eq!(stats.measurements, layout.stabilizers().len());
+            assert_eq!(stats.resets, layout.stabilizers().len());
+        }
+    }
+
+    #[test]
+    fn cnot_count_equals_total_stabilizer_weight() {
+        let layout = rotated_surface_code(5);
+        let round = parity_check_round(&layout);
+        let expected: usize = layout.stabilizers().iter().map(|s| s.weight()).sum();
+        assert_eq!(round.stats().two_qubit_gates, expected);
+    }
+
+    #[test]
+    fn x_checks_get_two_hadamards() {
+        let layout = rotated_surface_code(3);
+        let round = parity_check_round(&layout);
+        let x_checks = layout
+            .stabilizers()
+            .iter()
+            .filter(|s| s.basis == StabilizerBasis::X)
+            .count();
+        let hadamards = round
+            .iter()
+            .filter(|i| matches!(i, Instruction::H(_)))
+            .count();
+        assert_eq!(hadamards, 2 * x_checks);
+    }
+
+    #[test]
+    fn cnot_direction_follows_basis() {
+        let layout = rotated_surface_code(3);
+        let round = parity_check_round(&layout);
+        let mut basis_of: HashMap<QubitId, StabilizerBasis> = HashMap::new();
+        for stab in layout.stabilizers() {
+            basis_of.insert(stab.ancilla, stab.basis);
+        }
+        for instruction in round.iter() {
+            if let Instruction::Cnot { control, target } = instruction {
+                if let Some(basis) = basis_of.get(control) {
+                    assert_eq!(*basis, StabilizerBasis::X, "ancilla control implies X check");
+                } else {
+                    let basis = basis_of.get(target).expect("target must be an ancilla");
+                    assert_eq!(*basis, StabilizerBasis::Z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_round_is_compact() {
+        let layout = repetition_code(3);
+        let round = parity_check_round(&layout);
+        // 2 resets + 4 CNOTs + 2 measurements, no Hadamards.
+        assert_eq!(round.len(), 8);
+    }
+
+    #[test]
+    fn ancillas_measured_after_all_their_cnots() {
+        let layout = rotated_surface_code(3);
+        let round = parity_check_round(&layout);
+        let mut last_cnot_pos: HashMap<QubitId, usize> = HashMap::new();
+        let mut measure_pos: HashMap<QubitId, usize> = HashMap::new();
+        for (pos, instruction) in round.iter().enumerate() {
+            match instruction {
+                Instruction::Cnot { control, target } => {
+                    last_cnot_pos.insert(*control, pos);
+                    last_cnot_pos.insert(*target, pos);
+                }
+                Instruction::Measure(q) => {
+                    measure_pos.insert(*q, pos);
+                }
+                _ => {}
+            }
+        }
+        for stab in layout.stabilizers() {
+            assert!(measure_pos[&stab.ancilla] > last_cnot_pos[&stab.ancilla]);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The unrotated (planar) surface code.
+//!
+//! The distance-`d` unrotated surface code uses `d² + (d−1)²` data qubits and
+//! `2d(d−1)` ancilla qubits, laid out on a `(2d−1) × (2d−1)` lattice where
+//! data and ancilla sites alternate in a checkerboard. It is less efficient
+//! than the rotated code and serves as a secondary compiler-validation
+//! benchmark in the paper (§6.1, Table 2).
+
+use qccd_circuit::QubitId;
+
+use crate::{CodeLayout, Coord, QubitInfo, QubitRole, Stabilizer, StabilizerBasis};
+
+/// Builds the distance-`d` unrotated surface code layout.
+///
+/// Lattice sites `(r, c)` with `r + c` even are data qubits; sites with
+/// `r + c` odd are ancillas. Ancillas on odd rows measure X-type (vertex)
+/// checks; ancillas on even rows measure Z-type (plaquette) checks. The
+/// logical Z operator is a vertical Z string along the first column and the
+/// logical X operator is a horizontal X string along the first row.
+///
+/// # Panics
+///
+/// Panics if `distance < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use qccd_qec::unrotated_surface_code;
+///
+/// let code = unrotated_surface_code(3);
+/// assert_eq!(code.data_qubits().len(), 3 * 3 + 2 * 2);
+/// assert_eq!(code.ancilla_qubits().len(), 2 * 3 * 2);
+/// assert_eq!(code.validate(), Ok(()));
+/// ```
+pub fn unrotated_surface_code(distance: usize) -> CodeLayout {
+    assert!(distance >= 2, "surface code distance must be at least 2");
+    let d = distance as i64;
+    let size = 2 * d - 1;
+
+    // Assign ids: data qubits first (row-major), then ancillas (row-major).
+    let mut data_ids = std::collections::HashMap::new();
+    let mut qubits = Vec::new();
+    let mut next_id = 0u32;
+    for r in 0..size {
+        for c in 0..size {
+            if (r + c) % 2 == 0 {
+                let id = QubitId::new(next_id);
+                next_id += 1;
+                data_ids.insert((r, c), id);
+                qubits.push(QubitInfo {
+                    id,
+                    coord: Coord::new(r, c),
+                    role: QubitRole::Data,
+                });
+            }
+        }
+    }
+
+    let mut stabilizers = Vec::new();
+    for r in 0..size {
+        for c in 0..size {
+            if (r + c) % 2 == 0 {
+                continue;
+            }
+            let ancilla = QubitId::new(next_id);
+            next_id += 1;
+            qubits.push(QubitInfo {
+                id: ancilla,
+                coord: Coord::new(r, c),
+                role: QubitRole::Ancilla,
+            });
+            let basis = if r % 2 == 1 {
+                StabilizerBasis::X
+            } else {
+                StabilizerBasis::Z
+            };
+            let up = data_ids.get(&(r - 1, c)).copied();
+            let down = data_ids.get(&(r + 1, c)).copied();
+            let left = data_ids.get(&(r, c - 1)).copied();
+            let right = data_ids.get(&(r, c + 1)).copied();
+            // Step orderings chosen so that no qubit is touched twice in the
+            // same step (see unit test below).
+            let schedule = match basis {
+                StabilizerBasis::X => vec![up, left, right, down],
+                StabilizerBasis::Z => vec![up, right, left, down],
+            };
+            stabilizers.push(Stabilizer {
+                ancilla,
+                basis,
+                schedule,
+            });
+        }
+    }
+
+    // Logical Z: vertical string on the first column (rows 0, 2, ..., 2d-2).
+    let logical_z = (0..d).map(|i| data_ids[&(2 * i, 0)]).collect();
+    // Logical X: horizontal string on the first row.
+    let logical_x = (0..d).map(|i| data_ids[&(0, 2 * i)]).collect();
+
+    CodeLayout::new(
+        format!("unrotated_surface_d{distance}"),
+        distance,
+        qubits,
+        stabilizers,
+        logical_z,
+        logical_x,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts() {
+        for d in 2..=7 {
+            let code = unrotated_surface_code(d);
+            assert_eq!(code.data_qubits().len(), d * d + (d - 1) * (d - 1));
+            assert_eq!(code.ancilla_qubits().len(), 2 * d * (d - 1));
+            assert_eq!(code.num_qubits(), (2 * d - 1) * (2 * d - 1));
+        }
+    }
+
+    #[test]
+    fn layout_is_consistent() {
+        for d in 2..=6 {
+            assert_eq!(unrotated_surface_code(d).validate(), Ok(()), "distance {d}");
+        }
+    }
+
+    #[test]
+    fn equal_numbers_of_x_and_z_checks() {
+        for d in 2..=6 {
+            let code = unrotated_surface_code(d);
+            let x = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.basis == StabilizerBasis::X)
+                .count();
+            assert_eq!(x * 2, code.stabilizers().len());
+        }
+    }
+
+    #[test]
+    fn boundary_checks_have_weight_three() {
+        let code = unrotated_surface_code(4);
+        for stab in code.stabilizers() {
+            assert!(stab.weight() == 3 || stab.weight() == 4);
+        }
+        assert!(code.stabilizers().iter().any(|s| s.weight() == 3));
+        assert!(code.stabilizers().iter().any(|s| s.weight() == 4));
+    }
+
+    #[test]
+    fn logical_operators_have_weight_d() {
+        for d in 2..=6 {
+            let code = unrotated_surface_code(d);
+            assert_eq!(code.logical_z().len(), d);
+            assert_eq!(code.logical_x().len(), d);
+        }
+    }
+
+    #[test]
+    fn schedule_has_four_steps() {
+        let code = unrotated_surface_code(3);
+        assert_eq!(code.num_entangling_steps(), 4);
+    }
+
+    #[test]
+    fn data_and_ancilla_alternate_on_lattice() {
+        let code = unrotated_surface_code(3);
+        for q in code.qubits() {
+            let parity = (q.coord.row + q.coord.col).rem_euclid(2);
+            match q.role {
+                QubitRole::Data => assert_eq!(parity, 0),
+                QubitRole::Ancilla => assert_eq!(parity, 1),
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the QEC code constructors.
+//!
+//! Every code family the study compiles — repetition codes, rotated,
+//! unrotated and rectangular surface codes, and the lattice-surgery merged
+//! patches — must satisfy the stabilizer-code invariants for *all* the
+//! distances the benchmarks sweep, not just the hand-written examples.
+
+use proptest::prelude::*;
+
+use qccd_qec::{
+    memory_experiment, merged_xx_patch, merged_zz_patch, rectangular_rotated_surface_code,
+    repetition_code, rotated_surface_code, unrotated_surface_code, CodeLayout, MemoryBasis,
+    QubitRole, StabilizerBasis,
+};
+
+/// Checks the structural invariants every layout must satisfy.
+fn check_layout(layout: &CodeLayout) -> Result<(), TestCaseError> {
+    // Stabilizer commutation, logical-operator commutation and schedule
+    // consistency.
+    prop_assert_eq!(layout.validate(), Ok(()), "{}", layout.name());
+
+    // Roles partition the qubits and match the stabilizer structure.
+    let data = layout.data_qubits();
+    let ancilla = layout.ancilla_qubits();
+    prop_assert_eq!(data.len() + ancilla.len(), layout.num_qubits());
+    prop_assert_eq!(layout.stabilizers().len(), ancilla.len());
+    for stab in layout.stabilizers() {
+        prop_assert_eq!(layout.role(stab.ancilla), QubitRole::Ancilla);
+        prop_assert!(stab.weight() >= 1);
+        for q in stab.data_support() {
+            prop_assert_eq!(layout.role(q), QubitRole::Data);
+        }
+    }
+
+    // Interaction edges connect ancillas to data qubits with positive weight.
+    for edge in layout.interaction_edges() {
+        prop_assert_eq!(layout.role(edge.ancilla), QubitRole::Ancilla);
+        prop_assert_eq!(layout.role(edge.data), QubitRole::Data);
+        prop_assert!(edge.weight > 0.0);
+    }
+
+    // No two qubits share a coordinate.
+    let mut coords: Vec<_> = layout.qubits().iter().map(|q| q.coord).collect();
+    coords.sort_unstable();
+    coords.dedup();
+    prop_assert_eq!(coords.len(), layout.num_qubits());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn repetition_codes_are_valid(distance in 2usize..12) {
+        let layout = repetition_code(distance);
+        prop_assert_eq!(layout.num_qubits(), 2 * distance - 1);
+        check_layout(&layout)?;
+        // A repetition code only checks one basis.
+        prop_assert!(layout
+            .stabilizers()
+            .iter()
+            .all(|s| s.basis == StabilizerBasis::Z));
+    }
+
+    #[test]
+    fn rotated_surface_codes_are_valid(distance in 2usize..9) {
+        let layout = rotated_surface_code(distance);
+        prop_assert_eq!(layout.num_qubits(), 2 * distance * distance - 1);
+        prop_assert_eq!(layout.logical_z().len(), distance);
+        prop_assert_eq!(layout.logical_x().len(), distance);
+        check_layout(&layout)?;
+    }
+
+    #[test]
+    fn unrotated_surface_codes_are_valid(distance in 2usize..6) {
+        let layout = unrotated_surface_code(distance);
+        check_layout(&layout)?;
+        // The unrotated code uses more qubits than the rotated code of the
+        // same distance — that is exactly why the rotated code is the
+        // primary workload.
+        prop_assert!(layout.num_qubits() > rotated_surface_code(distance).num_qubits());
+    }
+
+    #[test]
+    fn rectangular_codes_are_valid(rows in 2usize..7, cols in 2usize..7) {
+        let layout = rectangular_rotated_surface_code(rows, cols);
+        prop_assert_eq!(layout.num_qubits(), 2 * rows * cols - 1);
+        prop_assert_eq!(layout.distance(), rows.min(cols));
+        prop_assert_eq!(layout.logical_z().len(), cols);
+        prop_assert_eq!(layout.logical_x().len(), rows);
+        check_layout(&layout)?;
+    }
+
+    #[test]
+    fn surgery_patches_are_valid(distance in 2usize..6) {
+        check_layout(&merged_zz_patch(distance))?;
+        check_layout(&merged_xx_patch(distance))?;
+    }
+
+    #[test]
+    fn memory_experiments_have_consistent_annotations(
+        distance in 2usize..5,
+        rounds in 1usize..4,
+        x_basis in any::<bool>(),
+    ) {
+        let layout = rotated_surface_code(distance);
+        let basis = if x_basis { MemoryBasis::X } else { MemoryBasis::Z };
+        let experiment = memory_experiment(&layout, rounds, basis);
+        prop_assert_eq!(experiment.rounds, rounds);
+        prop_assert_eq!(experiment.num_detectors, experiment.circuit.detectors().len());
+        prop_assert!(experiment.circuit.validate_annotations().is_ok());
+        // Every parity-check round measures each ancilla once, plus the
+        // final transversal data measurement.
+        let expected_measurements =
+            rounds * layout.ancilla_qubits().len() + layout.data_qubits().len();
+        prop_assert_eq!(experiment.circuit.num_measurements(), expected_measurements);
+        // One logical observable.
+        prop_assert_eq!(experiment.circuit.observables().len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # qccd-sim
+//!
+//! Stabilizer circuit simulation for the QCCD surface-code architecture
+//! study. This crate replaces the role Stim plays in the paper (§6.4): it
+//! samples detector events and logical-observable flips of noisy Clifford
+//! circuits so that logical error rates can be estimated.
+//!
+//! Components:
+//!
+//! * [`NoisyCircuit`] — Clifford operations interleaved with Pauli noise
+//!   channels, plus detector / logical-observable annotations;
+//! * [`TableauSimulator`] — an exact Aaronson–Gottesman CHP simulator, used
+//!   as the reference implementation and to verify detector determinism;
+//! * [`FrameSampler`] — a bit-packed Pauli-frame sampler that simulates tens
+//!   of thousands of shots in parallel;
+//! * [`DetectorErrorModel`] — per-mechanism symptom extraction (which
+//!   detectors and observables each elementary fault flips), consumed by the
+//!   decoders in `qccd-decoder`;
+//! * [`sample_detectors`] / [`verify_detectors`] — the high-level API.
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_circuit::{Detector, Instruction, LogicalObservable, MeasurementRef, QubitId};
+//! use qccd_sim::{sample_detectors, verify_detectors, NoiseChannel, NoisyCircuit};
+//!
+//! // A single qubit that is reset, possibly flipped, and measured.
+//! let q = QubitId::new(0);
+//! let mut circuit = NoisyCircuit::new();
+//! circuit.push_gate(Instruction::Reset(q));
+//! circuit.push_noise(NoiseChannel::BitFlip { qubit: q, p: 0.25 });
+//! circuit.push_gate(Instruction::Measure(q));
+//! circuit.add_detector(Detector::new(vec![MeasurementRef::new(q, 0)]));
+//! circuit.add_observable(LogicalObservable::new(vec![MeasurementRef::new(q, 0)]));
+//!
+//! verify_detectors(&circuit, &[0, 1])?;
+//! let samples = sample_detectors(&circuit, 4096, 7).expect("annotations are valid");
+//! let rate = samples.detector_fire_counts()[0] as f64 / samples.num_shots() as f64;
+//! assert!((rate - 0.25).abs() < 0.05);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dem;
+mod frame;
+mod noisy_circuit;
+mod sampler;
+mod tableau;
+
+pub use dem::{DemError, DetectorErrorModel};
+pub use frame::FrameSampler;
+pub use noisy_circuit::{NoiseChannel, NoisyCircuit, NoisyOp};
+pub use sampler::{sample_detectors, verify_detectors, DetectorSamples, VerificationError};
+pub use tableau::TableauSimulator;

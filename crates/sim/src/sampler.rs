@@ -1,0 +1,321 @@
+//! High-level sampling API.
+//!
+//! This module glues the pieces together:
+//!
+//! * [`verify_detectors`] uses the exact tableau simulator to confirm that
+//!   every detector of a circuit has even parity when executed without
+//!   noise (the defining property of a detector);
+//! * [`sample_detectors`] runs the batch Pauli-frame sampler and returns
+//!   per-shot detector events and logical-observable flips, bit-packed.
+
+use serde::{Deserialize, Serialize};
+
+use qccd_circuit::MeasurementRef;
+
+use crate::{FrameSampler, NoisyCircuit, NoisyOp, TableauSimulator};
+
+/// Bit-packed detector and observable outcomes for a batch of shots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSamples {
+    num_shots: usize,
+    num_detectors: usize,
+    num_observables: usize,
+    /// `detector_words[d][w]`: bit `s % 64` of word `w = s / 64` is detector
+    /// `d`'s outcome in shot `s`.
+    detector_words: Vec<Vec<u64>>,
+    /// Same layout for logical observables.
+    observable_words: Vec<Vec<u64>>,
+}
+
+impl DetectorSamples {
+    /// Number of shots sampled.
+    pub fn num_shots(&self) -> usize {
+        self.num_shots
+    }
+
+    /// Number of detectors per shot.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables per shot.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Whether detector `detector` fired in shot `shot`.
+    pub fn detector_fired(&self, shot: usize, detector: usize) -> bool {
+        (self.detector_words[detector][shot / 64] >> (shot % 64)) & 1 == 1
+    }
+
+    /// Whether observable `observable` was flipped in shot `shot`.
+    pub fn observable_flipped(&self, shot: usize, observable: usize) -> bool {
+        (self.observable_words[observable][shot / 64] >> (shot % 64)) & 1 == 1
+    }
+
+    /// The indices of all detectors that fired in a shot.
+    pub fn fired_detectors(&self, shot: usize) -> Vec<usize> {
+        (0..self.num_detectors)
+            .filter(|&d| self.detector_fired(shot, d))
+            .collect()
+    }
+
+    /// Number of shots in which each detector fired.
+    pub fn detector_fire_counts(&self) -> Vec<usize> {
+        (0..self.num_detectors)
+            .map(|d| {
+                self.detector_words[d]
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Number of shots in which the given observable flipped.
+    pub fn observable_flip_count(&self, observable: usize) -> usize {
+        self.observable_words[observable]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Average number of fired detectors per shot.
+    pub fn mean_detection_events(&self) -> f64 {
+        let total: usize = self.detector_fire_counts().iter().sum();
+        total as f64 / self.num_shots as f64
+    }
+}
+
+/// Problems found while verifying a circuit's detectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerificationError {
+    /// A detector or observable references a measurement that does not
+    /// exist.
+    DanglingMeasurement(MeasurementRef),
+    /// A detector had odd parity in a noiseless execution.
+    NonDeterministicDetector {
+        /// Index of the offending detector.
+        detector: usize,
+        /// The seed of the noiseless run that exposed it.
+        seed: u64,
+    },
+}
+
+impl std::fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerificationError::DanglingMeasurement(m) => {
+                write!(f, "annotation references missing measurement {m}")
+            }
+            VerificationError::NonDeterministicDetector { detector, seed } => write!(
+                f,
+                "detector {detector} had odd parity in a noiseless run (seed {seed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+/// Verifies that every detector of the circuit has even parity when the
+/// circuit is executed without noise, using the exact tableau simulator.
+///
+/// Several random seeds are used so that measurements with random outcomes
+/// are exercised with different collapse choices.
+///
+/// # Errors
+///
+/// Returns a [`VerificationError`] naming the offending detector or dangling
+/// measurement reference.
+pub fn verify_detectors(circuit: &NoisyCircuit, seeds: &[u64]) -> Result<(), VerificationError> {
+    let (detectors, _observables) = circuit
+        .resolve_annotations()
+        .map_err(VerificationError::DanglingMeasurement)?;
+    for &seed in seeds {
+        let mut sim = TableauSimulator::new(circuit.num_qubits(), seed);
+        let mut outcomes = Vec::with_capacity(circuit.num_measurements());
+        for op in circuit.ops() {
+            if let NoisyOp::Gate(instruction) = op {
+                if let Some(outcome) = sim.apply(instruction) {
+                    outcomes.push(outcome);
+                }
+            }
+        }
+        for (d, measurement_indices) in detectors.iter().enumerate() {
+            let parity = measurement_indices
+                .iter()
+                .fold(false, |acc, &m| acc ^ outcomes[m]);
+            if parity {
+                return Err(VerificationError::NonDeterministicDetector { detector: d, seed });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Samples `num_shots` executions of a noisy circuit and returns the
+/// detector events and logical-observable flips.
+///
+/// # Errors
+///
+/// Returns the first dangling [`MeasurementRef`] if an annotation references
+/// a measurement that does not exist.
+pub fn sample_detectors(
+    circuit: &NoisyCircuit,
+    num_shots: usize,
+    seed: u64,
+) -> Result<DetectorSamples, MeasurementRef> {
+    let (detectors, observables) = circuit.resolve_annotations()?;
+    let mut sampler = FrameSampler::new(circuit.num_qubits(), num_shots, seed);
+    sampler.run(circuit);
+    let flips = sampler.measurement_flips();
+    let words = num_shots.div_ceil(64);
+
+    let combine = |measurement_indices: &[usize]| -> Vec<u64> {
+        let mut out = vec![0u64; words];
+        for &m in measurement_indices {
+            for (w, &word) in flips[m].iter().enumerate() {
+                out[w] ^= word;
+            }
+        }
+        out
+    };
+
+    let detector_words: Vec<Vec<u64>> = detectors.iter().map(|d| combine(d)).collect();
+    let observable_words: Vec<Vec<u64>> = observables.iter().map(|o| combine(o)).collect();
+
+    Ok(DetectorSamples {
+        num_shots,
+        num_detectors: detectors.len(),
+        num_observables: observables.len(),
+        detector_words,
+        observable_words,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoiseChannel;
+    use qccd_circuit::{Detector, Instruction, LogicalObservable, QubitId};
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn mref(i: u32, occurrence: u32) -> MeasurementRef {
+        MeasurementRef::new(q(i), occurrence)
+    }
+
+    /// A two-qubit bit-flip "code": one ZZ parity measurement repeated twice.
+    fn tiny_parity_circuit(p: f64) -> NoisyCircuit {
+        let mut c = NoisyCircuit::new();
+        for i in 0..3 {
+            c.push_gate(Instruction::Reset(q(i)));
+        }
+        for round in 0..2u32 {
+            c.push_gate(Instruction::Reset(q(2)));
+            c.push_noise(NoiseChannel::BitFlip { qubit: q(0), p });
+            c.push_gate(Instruction::Cnot {
+                control: q(0),
+                target: q(2),
+            });
+            c.push_gate(Instruction::Cnot {
+                control: q(1),
+                target: q(2),
+            });
+            c.push_gate(Instruction::Measure(q(2)));
+            if round == 0 {
+                c.add_detector(Detector::new(vec![mref(2, 0)]));
+            } else {
+                c.add_detector(Detector::new(vec![mref(2, 0), mref(2, 1)]));
+            }
+        }
+        c.push_gate(Instruction::Measure(q(0)));
+        c.push_gate(Instruction::Measure(q(1)));
+        c.add_observable(LogicalObservable::new(vec![mref(0, 0)]));
+        c
+    }
+
+    #[test]
+    fn verify_detectors_accepts_valid_circuit() {
+        let circuit = tiny_parity_circuit(0.0);
+        assert_eq!(verify_detectors(&circuit, &[0, 1, 2]), Ok(()));
+    }
+
+    #[test]
+    fn verify_detectors_rejects_bogus_detector() {
+        let mut circuit = NoisyCircuit::new();
+        circuit.push_gate(Instruction::Reset(q(0)));
+        circuit.push_gate(Instruction::X(q(0)));
+        circuit.push_gate(Instruction::Measure(q(0)));
+        // This "detector" has odd parity: the measurement is always 1.
+        circuit.add_detector(Detector::new(vec![mref(0, 0)]));
+        assert!(matches!(
+            verify_detectors(&circuit, &[0]),
+            Err(VerificationError::NonDeterministicDetector { detector: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn noiseless_sampling_fires_nothing() {
+        let circuit = tiny_parity_circuit(0.0);
+        let samples = sample_detectors(&circuit, 500, 1).unwrap();
+        assert_eq!(samples.num_shots(), 500);
+        assert_eq!(samples.detector_fire_counts(), vec![0, 0]);
+        assert_eq!(samples.observable_flip_count(0), 0);
+        assert_eq!(samples.mean_detection_events(), 0.0);
+    }
+
+    #[test]
+    fn noisy_sampling_fires_detectors_at_expected_rate() {
+        let p = 0.2;
+        let circuit = tiny_parity_circuit(p);
+        let shots = 20_000;
+        let samples = sample_detectors(&circuit, shots, 7).unwrap();
+        // The first-round error flips detector 0; detector 1 compares rounds
+        // so it is flipped by the second-round error only.
+        let counts = samples.detector_fire_counts();
+        for (d, count) in counts.iter().enumerate() {
+            let rate = *count as f64 / shots as f64;
+            assert!(
+                (rate - p).abs() < 0.02,
+                "detector {d} fired at {rate}, expected ≈{p}"
+            );
+        }
+        // The data qubit 0 ends up flipped if either round's error fired —
+        // the observable flip rate is p ⊕ p = 2p(1−p).
+        let obs_rate = samples.observable_flip_count(0) as f64 / shots as f64;
+        let expected = 2.0 * p * (1.0 - p);
+        assert!(
+            (obs_rate - expected).abs() < 0.02,
+            "observable flipped at {obs_rate}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn per_shot_accessors_are_consistent_with_counts() {
+        let circuit = tiny_parity_circuit(0.3);
+        let samples = sample_detectors(&circuit, 257, 3).unwrap();
+        let mut recount = vec![0usize; samples.num_detectors()];
+        for shot in 0..samples.num_shots() {
+            for d in samples.fired_detectors(shot) {
+                recount[d] += 1;
+            }
+        }
+        assert_eq!(recount, samples.detector_fire_counts());
+    }
+
+    #[test]
+    fn dangling_reference_reported() {
+        let mut circuit = NoisyCircuit::new();
+        circuit.push_gate(Instruction::Measure(q(0)));
+        circuit.add_detector(Detector::new(vec![mref(0, 5)]));
+        assert!(sample_detectors(&circuit, 10, 0).is_err());
+        assert!(matches!(
+            verify_detectors(&circuit, &[0]),
+            Err(VerificationError::DanglingMeasurement(_))
+        ));
+    }
+}

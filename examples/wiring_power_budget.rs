@@ -1,0 +1,48 @@
+//! Control-wiring comparison: standard (one DAC per electrode) versus WISE
+//! (switch-network) wiring, reproducing the power/data-rate versus clock-speed
+//! trade-off of §7.4 of the paper.
+//!
+//! Run with `cargo run --release --example wiring_power_budget`.
+
+use qccd_core::{ArchitectureConfig, Toolflow};
+use qccd_hardware::{estimate_resources, TopologyKind, WiringMethod};
+use qccd_qec::rotated_surface_code;
+
+fn main() {
+    let distance = 5;
+    let code = rotated_surface_code(distance);
+    println!(
+        "distance-{distance} rotated surface code ({} physical qubits)\n",
+        code.num_qubits()
+    );
+    println!(
+        "{:<18}{:>14}{:>14}{:>14}{:>16}",
+        "configuration", "electrodes", "DACs", "power (W)", "round time (us)"
+    );
+    for (capacity, wiring) in [
+        (2usize, WiringMethod::Standard),
+        (2, WiringMethod::Wise),
+        (5, WiringMethod::Wise),
+    ] {
+        let arch = ArchitectureConfig::new(TopologyKind::Grid, capacity, wiring, 5.0);
+        let device = arch.device_for(code.num_qubits());
+        let resources = estimate_resources(&device, wiring);
+        let round = Toolflow::new(arch.clone())
+            .evaluate(distance, false)
+            .map(|m| m.qec_round_time_us)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<18}{:>14}{:>14}{:>14.1}{:>16.0}",
+            arch.label(),
+            resources.total_electrodes,
+            resources.dacs,
+            resources.power_w,
+            round
+        );
+    }
+    println!(
+        "\nExpected shape: WISE needs orders of magnitude fewer DACs (and watts),\n\
+         but its serialised transport makes every QEC round much slower — the\n\
+         power versus cycle-time trade-off the paper identifies."
+    );
+}

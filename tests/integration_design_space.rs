@@ -1,0 +1,86 @@
+//! Workspace-level integration tests: the design-space exploration toolflow
+//! reproduces the paper's qualitative architecture conclusions.
+
+use qccd_core::{ArchitectureConfig, Toolflow};
+use qccd_hardware::{TopologyKind, WiringMethod};
+
+#[test]
+fn capacity_two_grid_has_nearly_constant_round_time() {
+    let toolflow = Toolflow::new(ArchitectureConfig::recommended(1.0));
+    let t3 = toolflow.evaluate(3, false).unwrap().qec_round_time_us;
+    let t5 = toolflow.evaluate(5, false).unwrap().qec_round_time_us;
+    let t7 = toolflow.evaluate(7, false).unwrap().qec_round_time_us;
+    let max = t3.max(t5).max(t7);
+    let min = t3.min(t5).min(t7);
+    assert!(
+        max / min < 1.4,
+        "round times should be nearly constant: {t3:.0}, {t5:.0}, {t7:.0}"
+    );
+}
+
+#[test]
+fn grid_and_switch_topologies_track_each_other() {
+    let grid = Toolflow::new(ArchitectureConfig::new(
+        TopologyKind::Grid,
+        2,
+        WiringMethod::Standard,
+        1.0,
+    ))
+    .evaluate(3, false)
+    .unwrap()
+    .qec_round_time_us;
+    let switch = Toolflow::new(ArchitectureConfig::new(
+        TopologyKind::Switch,
+        2,
+        WiringMethod::Standard,
+        1.0,
+    ))
+    .evaluate(3, false)
+    .unwrap()
+    .qec_round_time_us;
+    let ratio = (grid / switch).max(switch / grid);
+    assert!(ratio < 2.0, "grid {grid:.0} vs switch {switch:.0}");
+}
+
+#[test]
+fn capacity_two_beats_larger_traps_on_round_time() {
+    let round_time = |capacity: usize| {
+        Toolflow::new(ArchitectureConfig::new(
+            TopologyKind::Grid,
+            capacity,
+            WiringMethod::Standard,
+            1.0,
+        ))
+        .evaluate(5, false)
+        .unwrap()
+        .qec_round_time_us
+    };
+    let c2 = round_time(2);
+    let c12 = round_time(12);
+    assert!(c2 < c12, "capacity 2 ({c2:.0}) should beat capacity 12 ({c12:.0})");
+}
+
+#[test]
+fn wise_cuts_data_rate_but_slows_the_clock() {
+    let standard = Toolflow::new(ArchitectureConfig::new(
+        TopologyKind::Grid,
+        2,
+        WiringMethod::Standard,
+        5.0,
+    ))
+    .evaluate(3, false)
+    .unwrap();
+    let wise = Toolflow::new(ArchitectureConfig::new(
+        TopologyKind::Grid,
+        2,
+        WiringMethod::Wise,
+        5.0,
+    ))
+    .evaluate(3, false)
+    .unwrap();
+    // At distance 3 the standard architecture already needs ~10x the DACs of
+    // WISE; the gap widens by orders of magnitude at larger distances
+    // (Figure 13a), but the integration test keeps the workload small.
+    assert!(wise.resources.data_rate_gbit_s * 5.0 < standard.resources.data_rate_gbit_s);
+    assert!(wise.qec_round_time_us > 2.0 * standard.qec_round_time_us);
+}

@@ -1,0 +1,59 @@
+//! Workspace-level integration tests: end-to-end logical error rate
+//! estimation through compile → noise lowering → sampling → decoding.
+
+use qccd_core::{ArchitectureConfig, Compiler, Toolflow};
+use qccd_decoder::{estimate_logical_error_rate, DecoderKind};
+use qccd_qec::{rotated_surface_code, MemoryBasis};
+use qccd_sim::verify_detectors;
+
+#[test]
+fn compiled_memory_experiments_have_valid_detectors() {
+    let compiler = Compiler::new(ArchitectureConfig::recommended(5.0));
+    for d in [2usize, 3] {
+        let layout = rotated_surface_code(d);
+        let program = compiler
+            .compile_memory_experiment(&layout, d, MemoryBasis::Z)
+            .unwrap();
+        let mut quiet = program.arch.noise;
+        quiet.t2_seconds = f64::INFINITY;
+        quiet.background_heating_per_us = 0.0;
+        quiet.laser_instability_a0 = 0.0;
+        quiet.reset_error = 0.0;
+        quiet.measurement_error = 0.0;
+        let noiseless = program.to_noisy_circuit_with(&quiet);
+        verify_detectors(&noiseless, &[0, 3]).expect("detectors stay deterministic");
+    }
+}
+
+#[test]
+fn logical_error_rate_improves_with_gate_improvement() {
+    let evaluate = |improvement: f64| {
+        Toolflow::new(ArchitectureConfig::recommended(improvement))
+            .with_shots(4_000)
+            .evaluate(3, true)
+            .unwrap()
+            .logical_error_rate()
+            .unwrap()
+    };
+    let coarse = evaluate(1.0);
+    let fine = evaluate(10.0);
+    assert!(
+        fine < coarse,
+        "10X gates ({fine}) must beat 1X gates ({coarse})"
+    );
+}
+
+#[test]
+fn union_find_and_greedy_decoders_agree_on_magnitude() {
+    let compiler = Compiler::new(ArchitectureConfig::recommended(5.0));
+    let layout = rotated_surface_code(3);
+    let noisy = compiler
+        .compile_memory_experiment(&layout, 3, MemoryBasis::Z)
+        .unwrap()
+        .to_noisy_circuit();
+    let uf = estimate_logical_error_rate(&noisy, 4_000, 5, DecoderKind::UnionFind).unwrap();
+    let greedy =
+        estimate_logical_error_rate(&noisy, 4_000, 5, DecoderKind::GreedyMatching).unwrap();
+    assert!(uf.logical_error_rate <= greedy.logical_error_rate * 5.0 + 0.02);
+    assert!(greedy.logical_error_rate <= uf.logical_error_rate * 5.0 + 0.02);
+}
