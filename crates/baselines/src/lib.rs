@@ -26,9 +26,7 @@ use qccd_circuit::{Circuit, QubitId};
 use qccd_hardware::{Device, TrapId, WiringMethod};
 use qccd_qec::{parity_check_round, CodeLayout};
 
-use qccd_core::{
-    route, schedule, ArchitectureConfig, CompileError, CompiledProgram, QubitMapping,
-};
+use qccd_core::{route, schedule, ArchitectureConfig, CompileError, CompiledProgram, QubitMapping};
 
 /// Which baseline strategy to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,10 +48,7 @@ impl std::fmt::Display for BaselineKind {
 
 /// Builds a structure-unaware round-robin mapping: qubit `i` goes to trap
 /// `i / (capacity − 1)` in index order, ignoring the code geometry.
-fn round_robin_mapping(
-    layout: &CodeLayout,
-    device: &Device,
-) -> Result<QubitMapping, CompileError> {
+fn round_robin_mapping(layout: &CodeLayout, device: &Device) -> Result<QubitMapping, CompileError> {
     let usable = if device.num_traps() == 1 {
         device.capacity()
     } else {
@@ -90,6 +85,7 @@ pub struct MuzzleShuttleCompiler;
 
 impl QccdSimCompiler {
     /// Creates the QCCDSim-style baseline for an architecture.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(arch: ArchitectureConfig) -> BaselineCompiler {
         BaselineCompiler {
             kind: BaselineKind::QccdSim,
@@ -100,6 +96,7 @@ impl QccdSimCompiler {
 
 impl MuzzleShuttleCompiler {
     /// Creates the Muzzle-the-Shuttle-style baseline for an architecture.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(arch: ArchitectureConfig) -> BaselineCompiler {
         BaselineCompiler {
             kind: BaselineKind::MuzzleShuttle,
@@ -166,7 +163,8 @@ mod tests {
     #[test]
     fn baselines_compile_the_repetition_code() {
         let layout = repetition_code(3);
-        for kind_arch in [arch(TopologyKind::Linear, 3)] {
+        {
+            let kind_arch = arch(TopologyKind::Linear, 3);
             let qccdsim = QccdSimCompiler::new(kind_arch.clone());
             let muzzle = MuzzleShuttleCompiler::new(kind_arch.clone());
             assert!(qccdsim.compile_rounds(&layout, 1).is_ok());

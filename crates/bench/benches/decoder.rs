@@ -1,21 +1,64 @@
 //! Criterion micro-benchmarks for the union-find decoder and the end-to-end
-//! logical error rate estimator.
+//! logical error rate estimator, plus the batch-vs-per-shot decode
+//! throughput comparison that gates the batched pipeline (the batch path
+//! must beat the per-shot adapter by a wide margin).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qccd_circuit::Instruction;
 use qccd_core::{ArchitectureConfig, Compiler};
-use qccd_decoder::{estimate_logical_error_rate, DecoderKind};
-use qccd_qec::{rotated_surface_code, MemoryBasis};
+use qccd_decoder::{
+    estimate_logical_error_rate, DecodeScratch, Decoder, DecoderKind, DecodingGraph,
+    UnionFindDecoder,
+};
+use qccd_qec::{memory_experiment, rotated_surface_code, MemoryBasis};
+use qccd_sim::{
+    sample_detector_chunks, DetectorErrorModel, NoiseChannel, NoisyCircuit, SyndromeChunk,
+};
+
+fn compiled_noisy_memory(d: usize) -> NoisyCircuit {
+    let layout = rotated_surface_code(d);
+    let compiler = Compiler::new(ArchitectureConfig::recommended(5.0));
+    compiler
+        .compile_memory_experiment(&layout, d, MemoryBasis::Z)
+        .expect("compiles")
+        .to_noisy_circuit()
+}
+
+/// A rotated-surface-code memory experiment with code-capacity depolarising
+/// noise at rate `p` on every data qubit each round — the deep
+/// below-threshold regime the paper's Λ-fits sample from.
+fn code_capacity_memory(d: usize, p: f64) -> NoisyCircuit {
+    let code = rotated_surface_code(d);
+    let exp = memory_experiment(&code, d, MemoryBasis::Z);
+    let data = code.data_qubits();
+    let mut noisy = NoisyCircuit::new();
+    noisy.pad_qubits(exp.circuit.num_qubits());
+    let first_ancilla = code.ancilla_qubits()[0];
+    for instruction in exp.circuit.iter() {
+        if let Instruction::Reset(q) = instruction {
+            if *q == first_ancilla {
+                for &dq in &data {
+                    noisy.push_noise(NoiseChannel::Depolarize1 { qubit: dq, p });
+                }
+            }
+        }
+        noisy.push_gate(*instruction);
+    }
+    for det in exp.circuit.detectors() {
+        noisy.add_detector(det.clone());
+    }
+    for obs in exp.circuit.observables() {
+        noisy.add_observable(obs.clone());
+    }
+    noisy
+}
 
 fn bench_ler_estimation(c: &mut Criterion) {
     let mut group = c.benchmark_group("logical_error_rate_1024_shots");
     group.sample_size(10);
-    for d in [3usize] {
-        let layout = rotated_surface_code(d);
-        let compiler = Compiler::new(ArchitectureConfig::recommended(5.0));
-        let program = compiler
-            .compile_memory_experiment(&layout, d, MemoryBasis::Z)
-            .expect("compiles");
-        let noisy = program.to_noisy_circuit();
+    {
+        let d = 3usize;
+        let noisy = compiled_noisy_memory(d);
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter(|| {
                 estimate_logical_error_rate(&noisy, 1024, 11, DecoderKind::UnionFind)
@@ -26,5 +69,41 @@ fn bench_ler_estimation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ler_estimation);
+/// Batch vs per-shot decode throughput on identical pre-sampled syndromes.
+///
+/// `decode_batch` reuses one `DecodeScratch` across all shots and skips
+/// quiet shots with a word scan; the per-shot adapter pays a fresh scratch
+/// and a defect-list allocation per shot (the pre-batch behaviour).
+fn bench_batch_vs_per_shot(c: &mut Criterion) {
+    for d in [3usize, 5, 7] {
+        let shots = 100_000;
+        let noisy = code_capacity_memory(d, 0.002);
+        let dem = DetectorErrorModel::from_circuit(&noisy).expect("valid annotations");
+        let decoder = UnionFindDecoder::new(DecodingGraph::from_dem(&dem));
+        let sampler = sample_detector_chunks(&noisy, shots, 11, shots).expect("valid annotations");
+        let chunk: SyndromeChunk = sampler.sample_chunk(0);
+
+        let mut group = c.benchmark_group(format!("decode_{shots}_shots_d{d}"));
+        group.sample_size(10);
+        group.bench_function("batch", |b| {
+            let mut scratch = DecodeScratch::new();
+            b.iter(|| decoder.decode_batch(&chunk, &mut scratch));
+        });
+        group.bench_function("per_shot", |b| {
+            b.iter(|| {
+                let mut flips = 0usize;
+                let mut fired = Vec::new();
+                for shot in 0..chunk.num_shots() {
+                    chunk.fired_detectors_into(shot, &mut fired);
+                    let prediction = decoder.decode(&fired);
+                    flips += prediction.iter().filter(|&&f| f).count();
+                }
+                flips
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ler_estimation, bench_batch_vs_per_shot);
 criterion_main!(benches);

@@ -27,13 +27,15 @@ fn main() {
             );
             let blind_cut = cut_weight(
                 &layout,
-                &cluster_qubits_with_strategy(&layout, cluster_size, ClusteringStrategy::RoundRobin),
+                &cluster_qubits_with_strategy(
+                    &layout,
+                    cluster_size,
+                    ClusteringStrategy::RoundRobin,
+                ),
             );
 
             let arch = grid_arch(capacity, 1.0);
-            let geometric = Compiler::new(arch.clone())
-                .compile_rounds(&layout, 1)
-                .ok();
+            let geometric = Compiler::new(arch.clone()).compile_rounds(&layout, 1).ok();
             let blind = Compiler::new(arch)
                 .with_mapping_strategy(ClusteringStrategy::RoundRobin)
                 .compile_rounds(&layout, 1)
@@ -88,5 +90,8 @@ fn main() {
         "\nReading: the round-robin ablation cuts far more interaction edges, which turns into \
          more ion movement and longer rounds — the gap is the value of the §4.2 geometric partition."
     );
-    dump_json("ext_ablation_clustering", &serde_json::Value::Array(artefact));
+    dump_json(
+        "ext_ablation_clustering",
+        &serde_json::Value::Array(artefact),
+    );
 }

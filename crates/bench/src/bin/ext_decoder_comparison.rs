@@ -43,8 +43,7 @@ fn main() {
                 let estimate = estimate_logical_error_rate(&noisy, shots, 2026, decoder)
                     .expect("compiled circuits carry consistent annotations");
                 row.push(fmt_f64(estimate.logical_error_rate));
-                entry[format!("{decoder:?}")] =
-                    serde_json::json!(estimate.logical_error_rate);
+                entry[format!("{decoder:?}")] = serde_json::json!(estimate.logical_error_rate);
             }
             rows.push(row);
             artefact.push(entry);
@@ -63,5 +62,8 @@ fn main() {
          decoder option ({:?} is the default).",
         Toolflow::new(grid_arch(2, 5.0)).decoder
     );
-    dump_json("ext_decoder_comparison", &serde_json::Value::Array(artefact));
+    dump_json(
+        "ext_decoder_comparison",
+        &serde_json::Value::Array(artefact),
+    );
 }

@@ -9,14 +9,17 @@ use qccd_hardware::{TopologyKind, WiringMethod};
 fn main() {
     let distances = [2usize, 3, 4, 5, 7, 9];
     let capacities = [2usize, 5, 12];
-    let topologies = [TopologyKind::Linear, TopologyKind::Grid, TopologyKind::Switch];
+    let topologies = [
+        TopologyKind::Linear,
+        TopologyKind::Grid,
+        TopologyKind::Switch,
+    ];
 
     let mut rows = Vec::new();
     let mut artefact = Vec::new();
     for topology in topologies {
         for capacity in capacities {
-            let arch =
-                ArchitectureConfig::new(topology, capacity, WiringMethod::Standard, 1.0);
+            let arch = ArchitectureConfig::new(topology, capacity, WiringMethod::Standard, 1.0);
             let toolflow = Toolflow::new(arch.clone());
             let mut row = vec![format!("{topology} c{capacity}")];
             let mut series = Vec::new();

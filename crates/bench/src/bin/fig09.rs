@@ -51,6 +51,10 @@ fn main() {
     let mut headers = vec!["Configuration".to_string()];
     headers.extend(distances.iter().map(|d| format!("d={d} (us)")));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table("Figure 9: QEC shot time vs trap capacity", &header_refs, &rows);
+    print_table(
+        "Figure 9: QEC shot time vs trap capacity",
+        &header_refs,
+        &rows,
+    );
     dump_json("fig09", &serde_json::Value::Array(artefact));
 }

@@ -10,10 +10,22 @@ fn main() {
     let targets = [1e-6f64, 1e-9];
     let sample_distances = [3usize, 5];
     let configurations = vec![
-        ("standard c2", arch(TopologyKind::Grid, 2, WiringMethod::Standard, 5.0)),
-        ("WISE c2", arch(TopologyKind::Grid, 2, WiringMethod::Wise, 5.0)),
-        ("WISE c5", arch(TopologyKind::Grid, 5, WiringMethod::Wise, 5.0)),
-        ("WISE c12", arch(TopologyKind::Grid, 12, WiringMethod::Wise, 5.0)),
+        (
+            "standard c2",
+            arch(TopologyKind::Grid, 2, WiringMethod::Standard, 5.0),
+        ),
+        (
+            "WISE c2",
+            arch(TopologyKind::Grid, 2, WiringMethod::Wise, 5.0),
+        ),
+        (
+            "WISE c5",
+            arch(TopologyKind::Grid, 5, WiringMethod::Wise, 5.0),
+        ),
+        (
+            "WISE c12",
+            arch(TopologyKind::Grid, 12, WiringMethod::Wise, 5.0),
+        ),
     ];
 
     let mut rows = Vec::new();

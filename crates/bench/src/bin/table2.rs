@@ -8,20 +8,90 @@ use qccd_qec::{repetition_code, rotated_surface_code, unrotated_surface_code, Co
 
 fn main() {
     let cases: Vec<(&str, CodeLayout, TopologyKind, usize)> = vec![
-        ("Repetition d=3", repetition_code(3), TopologyKind::Linear, 2),
-        ("Repetition d=3", repetition_code(3), TopologyKind::Linear, 3),
-        ("Repetition d=3", repetition_code(3), TopologyKind::Linear, 4),
-        ("Repetition d=3", repetition_code(3), TopologyKind::Linear, 64),
-        ("Repetition d=6", repetition_code(6), TopologyKind::Linear, 2),
-        ("Repetition d=6", repetition_code(6), TopologyKind::Linear, 3),
-        ("Repetition d=6", repetition_code(6), TopologyKind::Linear, 4),
-        ("Repetition d=6", repetition_code(6), TopologyKind::Linear, 64),
-        ("Rotated surface d=2", rotated_surface_code(2), TopologyKind::Grid, 2),
-        ("Unrotated surface d=2", unrotated_surface_code(2), TopologyKind::Grid, 3),
-        ("Rotated surface d=3", rotated_surface_code(3), TopologyKind::Grid, 2),
-        ("Rotated surface d=3", rotated_surface_code(3), TopologyKind::Switch, 2),
-        ("Rotated surface d=6", rotated_surface_code(6), TopologyKind::Grid, 2),
-        ("Rotated surface d=12", rotated_surface_code(12), TopologyKind::Grid, 2),
+        (
+            "Repetition d=3",
+            repetition_code(3),
+            TopologyKind::Linear,
+            2,
+        ),
+        (
+            "Repetition d=3",
+            repetition_code(3),
+            TopologyKind::Linear,
+            3,
+        ),
+        (
+            "Repetition d=3",
+            repetition_code(3),
+            TopologyKind::Linear,
+            4,
+        ),
+        (
+            "Repetition d=3",
+            repetition_code(3),
+            TopologyKind::Linear,
+            64,
+        ),
+        (
+            "Repetition d=6",
+            repetition_code(6),
+            TopologyKind::Linear,
+            2,
+        ),
+        (
+            "Repetition d=6",
+            repetition_code(6),
+            TopologyKind::Linear,
+            3,
+        ),
+        (
+            "Repetition d=6",
+            repetition_code(6),
+            TopologyKind::Linear,
+            4,
+        ),
+        (
+            "Repetition d=6",
+            repetition_code(6),
+            TopologyKind::Linear,
+            64,
+        ),
+        (
+            "Rotated surface d=2",
+            rotated_surface_code(2),
+            TopologyKind::Grid,
+            2,
+        ),
+        (
+            "Unrotated surface d=2",
+            unrotated_surface_code(2),
+            TopologyKind::Grid,
+            3,
+        ),
+        (
+            "Rotated surface d=3",
+            rotated_surface_code(3),
+            TopologyKind::Grid,
+            2,
+        ),
+        (
+            "Rotated surface d=3",
+            rotated_surface_code(3),
+            TopologyKind::Switch,
+            2,
+        ),
+        (
+            "Rotated surface d=6",
+            rotated_surface_code(6),
+            TopologyKind::Grid,
+            2,
+        ),
+        (
+            "Rotated surface d=12",
+            rotated_surface_code(12),
+            TopologyKind::Grid,
+            2,
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -31,12 +101,8 @@ fn main() {
         let compiler = Compiler::new(arch.clone());
         match compiler.compile_rounds(&layout, 1) {
             Ok(program) => {
-                let bounds = theoretical::bounds(
-                    &layout,
-                    &program.mapping,
-                    topology,
-                    &arch.operation_times,
-                );
+                let bounds =
+                    theoretical::bounds(&layout, &program.mapping, topology, &arch.operation_times);
                 rows.push(vec![
                     name.to_string(),
                     format!("{topology} c{capacity}"),

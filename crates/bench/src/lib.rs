@@ -66,7 +66,12 @@ pub fn fmt_f64(value: f64) -> String {
 /// Builds the standard-wiring grid architecture at a given capacity and gate
 /// improvement.
 pub fn grid_arch(capacity: usize, improvement: f64) -> ArchitectureConfig {
-    ArchitectureConfig::new(TopologyKind::Grid, capacity, WiringMethod::Standard, improvement)
+    ArchitectureConfig::new(
+        TopologyKind::Grid,
+        capacity,
+        WiringMethod::Standard,
+        improvement,
+    )
 }
 
 /// Builds an architecture for any topology/wiring combination.

@@ -303,11 +303,7 @@ impl Circuit {
 
     /// Returns the set of qubits that appear in at least one instruction.
     pub fn used_qubits(&self) -> Vec<QubitId> {
-        let mut used: Vec<QubitId> = self
-            .instructions
-            .iter()
-            .flat_map(|i| i.qubits())
-            .collect();
+        let mut used: Vec<QubitId> = self.instructions.iter().flat_map(|i| i.qubits()).collect();
         used.sort_unstable();
         used.dedup();
         used
@@ -465,10 +461,7 @@ mod tests {
         assert!(c.validate_annotations().is_ok());
 
         c.add_detector(Detector::new(vec![MeasurementRef::new(q(2), 5)]));
-        assert_eq!(
-            c.validate_annotations(),
-            Err(MeasurementRef::new(q(2), 5))
-        );
+        assert_eq!(c.validate_annotations(), Err(MeasurementRef::new(q(2), 5)));
     }
 
     #[test]

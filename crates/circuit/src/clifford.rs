@@ -187,8 +187,14 @@ mod tests {
     #[test]
     fn hadamard_swaps_x_and_z() {
         let h = Instruction::H(q(0));
-        assert_eq!(conjugate(&h, &single(0, Pauli::X)).unwrap(), single(0, Pauli::Z));
-        assert_eq!(conjugate(&h, &single(0, Pauli::Z)).unwrap(), single(0, Pauli::X));
+        assert_eq!(
+            conjugate(&h, &single(0, Pauli::X)).unwrap(),
+            single(0, Pauli::Z)
+        );
+        assert_eq!(
+            conjugate(&h, &single(0, Pauli::Z)).unwrap(),
+            single(0, Pauli::X)
+        );
         // H Y H = -Y.
         let y_image = conjugate(&h, &single(0, Pauli::Y)).unwrap();
         assert_eq!(y_image.get(q(0)), Pauli::Y);
@@ -198,7 +204,10 @@ mod tests {
     #[test]
     fn phase_gate_action() {
         let s = Instruction::S(q(0));
-        assert_eq!(conjugate(&s, &single(0, Pauli::X)).unwrap(), single(0, Pauli::Y));
+        assert_eq!(
+            conjugate(&s, &single(0, Pauli::X)).unwrap(),
+            single(0, Pauli::Y)
+        );
         // S Y S† = -X.
         let y_image = conjugate(&s, &single(0, Pauli::Y)).unwrap();
         assert_eq!(y_image.get(q(0)), Pauli::X);
@@ -224,8 +233,14 @@ mod tests {
         assert_eq!(img.get(q(0)), Pauli::Z);
         assert_eq!(img.get(q(1)), Pauli::Z);
         // Z on control and X on target are unchanged.
-        assert_eq!(conjugate(&cnot, &single(0, Pauli::Z)).unwrap(), single(0, Pauli::Z));
-        assert_eq!(conjugate(&cnot, &single(1, Pauli::X)).unwrap(), single(1, Pauli::X));
+        assert_eq!(
+            conjugate(&cnot, &single(0, Pauli::Z)).unwrap(),
+            single(0, Pauli::Z)
+        );
+        assert_eq!(
+            conjugate(&cnot, &single(1, Pauli::X)).unwrap(),
+            single(1, Pauli::X)
+        );
     }
 
     #[test]
@@ -237,21 +252,33 @@ mod tests {
         let img = conjugate(&cz, &single(1, Pauli::X)).unwrap();
         assert_eq!(img.get(q(0)), Pauli::Z);
         assert_eq!(img.get(q(1)), Pauli::X);
-        assert_eq!(conjugate(&cz, &single(0, Pauli::Z)).unwrap(), single(0, Pauli::Z));
+        assert_eq!(
+            conjugate(&cz, &single(0, Pauli::Z)).unwrap(),
+            single(0, Pauli::Z)
+        );
     }
 
     #[test]
     fn swap_exchanges_qubits() {
         let swap = Instruction::Swap(q(0), q(1));
-        assert_eq!(conjugate(&swap, &single(0, Pauli::Y)).unwrap(), single(1, Pauli::Y));
-        assert_eq!(conjugate(&swap, &single(1, Pauli::Z)).unwrap(), single(0, Pauli::Z));
+        assert_eq!(
+            conjugate(&swap, &single(0, Pauli::Y)).unwrap(),
+            single(1, Pauli::Y)
+        );
+        assert_eq!(
+            conjugate(&swap, &single(1, Pauli::Z)).unwrap(),
+            single(0, Pauli::Z)
+        );
     }
 
     #[test]
     fn ms_gate_action_is_self_consistent() {
         let ms = Instruction::Ms(q(0), q(1));
         // X factors are untouched.
-        assert_eq!(conjugate(&ms, &single(0, Pauli::X)).unwrap(), single(0, Pauli::X));
+        assert_eq!(
+            conjugate(&ms, &single(0, Pauli::X)).unwrap(),
+            single(0, Pauli::X)
+        );
         // Applying MS twice must equal conjugation by X⊗X: Z → −Z.
         let once = conjugate(&ms, &single(0, Pauli::Z)).unwrap();
         let twice = conjugate(&ms, &once).unwrap();

@@ -168,16 +168,10 @@ pub fn decompose(instruction: &Instruction) -> Vec<NativeGateOp> {
         Sdg(q) => vec![N::rotation(q, A::Z, -FRAC_PI_2)],
         SqrtX(q) => vec![N::rotation(q, A::X, FRAC_PI_2)],
         SqrtXdg(q) => vec![N::rotation(q, A::X, -FRAC_PI_2)],
-        H(q) => vec![
-            N::rotation(q, A::Y, FRAC_PI_2),
-            N::rotation(q, A::X, PI),
-        ],
+        H(q) => vec![N::rotation(q, A::Y, FRAC_PI_2), N::rotation(q, A::X, PI)],
         Cnot { control, target } => cnot_sequence(control, target),
         Cz(a, b) => {
-            let mut ops = vec![
-                N::rotation(b, A::Y, FRAC_PI_2),
-                N::rotation(b, A::X, PI),
-            ];
+            let mut ops = vec![N::rotation(b, A::Y, FRAC_PI_2), N::rotation(b, A::X, PI)];
             ops.extend(cnot_sequence(a, b));
             ops.push(N::rotation(b, A::Y, FRAC_PI_2));
             ops.push(N::rotation(b, A::X, PI));

@@ -14,9 +14,12 @@ use serde::{Deserialize, Serialize};
 use crate::QubitId;
 
 /// A single-qubit Pauli operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Pauli {
     /// Identity.
+    #[default]
     I,
     /// Bit flip.
     X,
@@ -83,6 +86,7 @@ impl Pauli {
     /// // Y · X = −iZ
     /// assert_eq!(Pauli::Y.mul(Pauli::X), (3, Pauli::Z));
     /// ```
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Pauli) -> (u8, Pauli) {
         use Pauli::*;
         match (self, other) {
@@ -95,12 +99,6 @@ impl Pauli {
             (Z, X) => (1, Y),
             (X, Z) => (3, Y),
         }
-    }
-}
-
-impl Default for Pauli {
-    fn default() -> Self {
-        Pauli::I
     }
 }
 
@@ -246,7 +244,7 @@ impl SparsePauli {
                 anticommuting += 1;
             }
         }
-        anticommuting % 2 == 0
+        anticommuting.is_multiple_of(2)
     }
 
     /// Returns the qubits where this string has an X component (X or Y).

@@ -27,7 +27,8 @@ fn instruction() -> impl Strategy<Value = Instruction> {
         q().prop_map(Instruction::Measure),
         q().prop_map(Instruction::MeasureX),
         q().prop_map(Instruction::Reset),
-        two.clone().prop_map(|(control, target)| Instruction::Cnot { control, target }),
+        two.clone()
+            .prop_map(|(control, target)| Instruction::Cnot { control, target }),
         two.clone().prop_map(|(a, b)| Instruction::Cz(a, b)),
         two.clone().prop_map(|(a, b)| Instruction::Ms(a, b)),
         two.prop_map(|(a, b)| Instruction::Swap(a, b)),

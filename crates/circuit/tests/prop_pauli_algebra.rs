@@ -85,7 +85,7 @@ proptest! {
     fn commutation_counts_anticommuting_sites(a in sparse_pauli(8), b in sparse_pauli(8)) {
         // Two Pauli strings commute iff they anticommute on an even number
         // of qubits.
-        let expected = anticommuting_sites(&a, &b) % 2 == 0;
+        let expected = anticommuting_sites(&a, &b).is_multiple_of(2);
         prop_assert_eq!(a.commutes_with(&b), expected);
     }
 

@@ -57,7 +57,12 @@ impl ArchitectureConfig {
     /// The standard-wiring grid configuration the paper recommends: trap
     /// capacity two, grid connectivity, direct DAC wiring.
     pub fn recommended(gate_improvement: f64) -> Self {
-        ArchitectureConfig::new(TopologyKind::Grid, 2, WiringMethod::Standard, gate_improvement)
+        ArchitectureConfig::new(
+            TopologyKind::Grid,
+            2,
+            WiringMethod::Standard,
+            gate_improvement,
+        )
     }
 
     /// The trap capacity of this configuration.

@@ -52,7 +52,13 @@ pub fn lower_to_noisy_circuit(
                 ..
             } => {
                 // Three physical MS gates: depolarise both ions accordingly.
-                emit_idle_dephasing(&mut noisy, params, &mut last_release, *ion, scheduled.start_us);
+                emit_idle_dephasing(
+                    &mut noisy,
+                    params,
+                    &mut last_release,
+                    *ion,
+                    scheduled.start_us,
+                );
                 emit_idle_dephasing(
                     &mut noisy,
                     params,
@@ -81,7 +87,13 @@ pub fn lower_to_noisy_circuit(
             } => {
                 let qubits = instruction.qubits();
                 for &q in &qubits {
-                    emit_idle_dephasing(&mut noisy, params, &mut last_release, q, scheduled.start_us);
+                    emit_idle_dephasing(
+                        &mut noisy,
+                        params,
+                        &mut last_release,
+                        q,
+                        scheduled.start_us,
+                    );
                 }
                 match instruction {
                     Instruction::Measure(q) | Instruction::MeasureX(q) => {

@@ -41,7 +41,10 @@ impl QubitMapping {
         for (trap, chain) in chains {
             for &q in &chain {
                 let previous = mapping.qubit_to_trap.insert(q, trap);
-                assert!(previous.is_none(), "qubit {q} appears in more than one chain");
+                assert!(
+                    previous.is_none(),
+                    "qubit {q} appears in more than one chain"
+                );
             }
             mapping.initial_chains.insert(trap, chain);
         }
@@ -228,7 +231,7 @@ mod tests {
         let device = TopologySpec::new(TopologyKind::Grid, 3).build_for_qubits(layout.num_qubits());
         let mapping = map_qubits(&layout, &device).unwrap();
         assert_eq!(mapping.num_qubits(), layout.num_qubits());
-        for (_, chain) in mapping.chains() {
+        for chain in mapping.chains().values() {
             assert!(chain.len() <= 2, "chains must leave one free slot");
         }
         assert!(mapping.validate().is_ok());
@@ -259,7 +262,8 @@ mod tests {
     #[test]
     fn every_qubit_is_mapped_exactly_once() {
         let layout = repetition_code(6);
-        let device = TopologySpec::new(TopologyKind::Linear, 3).build_for_qubits(layout.num_qubits());
+        let device =
+            TopologySpec::new(TopologyKind::Linear, 3).build_for_qubits(layout.num_qubits());
         let mapping = map_qubits(&layout, &device).unwrap();
         for q in layout.qubits() {
             assert!(mapping.trap_of(q.id).is_some(), "{} unmapped", q.id);
@@ -279,10 +283,11 @@ mod tests {
         // Data qubit 0 and data qubit 6 must be far apart on the device.
         let t_first = mapping.trap_of(QubitId::new(0)).unwrap();
         let t_last = mapping.trap_of(QubitId::new(6)).unwrap();
-        let hops = device
-            .hop_distance(t_first.into(), t_last.into())
-            .unwrap();
-        assert!(hops >= 3, "end-to-end qubits should be several traps apart, got {hops}");
+        let hops = device.hop_distance(t_first.into(), t_last.into()).unwrap();
+        assert!(
+            hops >= 3,
+            "end-to-end qubits should be several traps apart, got {hops}"
+        );
     }
 
     #[test]

@@ -297,11 +297,8 @@ mod tests {
     fn round_robin_strategy_is_a_valid_but_geometry_blind_partition() {
         let layout = rotated_surface_code(5);
         for cluster_size in [2, 4, 7] {
-            let clusters = cluster_qubits_with_strategy(
-                &layout,
-                cluster_size,
-                ClusteringStrategy::RoundRobin,
-            );
+            let clusters =
+                cluster_qubits_with_strategy(&layout, cluster_size, ClusteringStrategy::RoundRobin);
             validate_clustering(&layout, &clusters, cluster_size).unwrap();
             let geometric = cluster_qubits(&layout, cluster_size);
             assert_eq!(clusters.len(), geometric.len());

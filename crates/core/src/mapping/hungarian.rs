@@ -85,8 +85,7 @@ pub fn solve_assignment(cost: &[Vec<f64>]) -> (f64, Vec<usize>) {
     }
 
     let mut assignment = vec![usize::MAX; rows];
-    for j in 1..=cols {
-        let i = matched_row_of_col[j];
+    for (j, &i) in matched_row_of_col.iter().enumerate().take(cols + 1).skip(1) {
         if i != 0 {
             assignment[i - 1] = j - 1;
         }
@@ -202,7 +201,7 @@ mod tests {
             }
             for i in 0..k {
                 heap(k - 1, items, visit);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     items.swap(i, k - 1);
                 } else {
                     items.swap(0, k - 1);

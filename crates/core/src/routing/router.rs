@@ -139,14 +139,28 @@ impl<'a> Router<'a> {
         for trap in self.device.traps() {
             let chain = self.state.chain(trap.id);
             if !chain.is_empty() {
-                eprintln!("  {}: {:?} (free {})", trap.id, chain, self.state.free_slots(trap.id));
+                eprintln!(
+                    "  {}: {:?} (free {})",
+                    trap.id,
+                    chain,
+                    self.state.free_slots(trap.id)
+                );
             }
         }
-        let mut fronts: Vec<usize> = self.queues.values().filter_map(|q| q.front().copied()).collect();
-        fronts.sort_unstable(); fronts.dedup();
+        let mut fronts: Vec<usize> = self
+            .queues
+            .values()
+            .filter_map(|q| q.front().copied())
+            .collect();
+        fronts.sort_unstable();
+        fronts.dedup();
         for idx in fronts.iter().take(12) {
             let instr = self.circuit.instructions()[*idx];
-            eprintln!("  front #{idx}: {instr} ready={} local={}", self.is_ready(*idx), self.is_local(*idx));
+            eprintln!(
+                "  front #{idx}: {instr} ready={} local={}",
+                self.is_ready(*idx),
+                self.is_local(*idx)
+            );
         }
     }
 
@@ -164,8 +178,7 @@ impl<'a> Router<'a> {
 
     fn is_local(&self, idx: usize) -> bool {
         let qubits = self.circuit.instructions()[idx].qubits();
-        let traps: Vec<Option<TrapId>> =
-            qubits.iter().map(|&q| self.state.trap_of(q)).collect();
+        let traps: Vec<Option<TrapId>> = qubits.iter().map(|&q| self.state.trap_of(q)).collect();
         traps.iter().all(|t| t.is_some()) && traps.windows(2).all(|w| w[0] == w[1])
     }
 
@@ -272,13 +285,18 @@ impl<'a> Router<'a> {
         let used_segments: HashSet<SegmentId> = HashSet::new();
         let used_junctions: HashSet<qccd_hardware::JunctionId> = HashSet::new();
         let mut busy_ions: HashSet<QubitId> = HashSet::new();
-        let mut planned: Vec<(QubitId, TrapId, Vec<(SegmentId, NodeId)>)> = Vec::new();
+        type PlannedMove = (QubitId, TrapId, Vec<(SegmentId, NodeId)>);
+        let mut planned: Vec<PlannedMove> = Vec::new();
         let mut blocked: Vec<TrapId> = Vec::new();
 
         for &idx in ready_cross {
             let qubits = self.circuit.instructions()[idx].qubits();
             let mobile = self.pick_mobile(&qubits);
-            let stationary = if mobile == qubits[0] { qubits[1] } else { qubits[0] };
+            let stationary = if mobile == qubits[0] {
+                qubits[1]
+            } else {
+                qubits[0]
+            };
             if busy_ions.contains(&mobile) || busy_ions.contains(&stationary) {
                 continue;
             }
@@ -319,12 +337,8 @@ impl<'a> Router<'a> {
                 // as far along the ideal route as capacity currently allows,
                 // and mark the full traps on that route so their squatters
                 // get evacuated.
-                let unbounded: HashMap<TrapId, usize> = self
-                    .device
-                    .traps()
-                    .iter()
-                    .map(|t| (t.id, 1))
-                    .collect();
+                let unbounded: HashMap<TrapId, usize> =
+                    self.device.traps().iter().map(|t| (t.id, 1)).collect();
                 let Some(ideal) =
                     self.find_path(src, dest, &unbounded, &used_segments, &used_junctions)
                 else {
@@ -661,11 +675,7 @@ mod tests {
     /// it: trap capacities are never exceeded, segments/junctions hold at
     /// most one ion, and every two-qubit gate happens with both ions in the
     /// named trap.
-    fn check_invariants(
-        program: &RoutedProgram,
-        device: &Device,
-        mapping: &QubitMapping,
-    ) {
+    fn check_invariants(program: &RoutedProgram, device: &Device, mapping: &QubitMapping) {
         let mut location: HashMap<QubitId, Option<TrapId>> = HashMap::new();
         let mut chains: HashMap<TrapId, usize> = HashMap::new();
         for (&trap, chain) in mapping.chains() {
@@ -689,11 +699,15 @@ mod tests {
                         );
                     }
                 }
-                RoutedOp::GateSwap { trap, ion, other, .. } => {
+                RoutedOp::GateSwap {
+                    trap, ion, other, ..
+                } => {
                     assert_eq!(location[ion], Some(*trap));
                     assert_eq!(location[other], Some(*trap));
                 }
-                RoutedOp::Movement { kind, ion, trap, .. } => match kind {
+                RoutedOp::Movement {
+                    kind, ion, trap, ..
+                } => match kind {
                     MovementKind::Split => {
                         let t = trap.expect("split names a trap");
                         assert_eq!(location[ion], Some(t));
@@ -742,10 +756,7 @@ mod tests {
         let device = Device::single_chain(layout.num_qubits());
         let (program, _) = route_code(&layout, &device, 1);
         assert_eq!(program.num_movement_ops(), 0);
-        assert_eq!(
-            program.num_gate_ops(),
-            parity_check_round(&layout).len()
-        );
+        assert_eq!(program.num_gate_ops(), parity_check_round(&layout).len());
     }
 
     #[test]

@@ -37,11 +37,7 @@ impl DeviceState {
                 home.insert(q, trap);
             }
         }
-        let capacity = device
-            .traps()
-            .iter()
-            .map(|t| (t.id, t.capacity))
-            .collect();
+        let capacity = device.traps().iter().map(|t| (t.id, t.capacity)).collect();
         DeviceState {
             chains,
             location,

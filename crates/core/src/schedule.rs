@@ -88,11 +88,7 @@ impl Schedule {
 }
 
 /// Builds the execution schedule for a routed program.
-pub fn schedule(
-    program: &RoutedProgram,
-    times: &OperationTimes,
-    wiring: WiringMethod,
-) -> Schedule {
+pub fn schedule(program: &RoutedProgram, times: &OperationTimes, wiring: WiringMethod) -> Schedule {
     let mut resource_free: HashMap<Resource, f64> = HashMap::new();
     let mut ops = Vec::with_capacity(program.ops.len());
     let mut makespan: f64 = 0.0;
@@ -133,14 +129,14 @@ pub fn schedule(
 /// Verifies that no two operations sharing a resource overlap in time;
 /// returns a description of the first violation. Exposed for tests and
 /// debugging.
-pub fn check_resource_exclusivity(
-    schedule: &Schedule,
-    wiring: WiringMethod,
-) -> Result<(), String> {
+pub fn check_resource_exclusivity(schedule: &Schedule, wiring: WiringMethod) -> Result<(), String> {
     let mut per_resource: HashMap<Resource, Vec<(f64, f64)>> = HashMap::new();
     for s in &schedule.ops {
         for r in s.op.resources(wiring) {
-            per_resource.entry(r).or_default().push((s.start_us, s.end_us));
+            per_resource
+                .entry(r)
+                .or_default()
+                .push((s.start_us, s.end_us));
         }
     }
     for (resource, mut intervals) in per_resource {
@@ -182,7 +178,10 @@ mod tests {
         };
         let times = OperationTimes::paper_defaults();
         let s = schedule(&program, &times, WiringMethod::Standard);
-        assert_eq!(s.makespan_us, 10.0, "three parallel Hadamards take one H time");
+        assert_eq!(
+            s.makespan_us, 10.0,
+            "three parallel Hadamards take one H time"
+        );
         assert!(s.ops.iter().all(|o| o.start_us == 0.0));
         assert!(check_resource_exclusivity(&s, WiringMethod::Standard).is_ok());
     }

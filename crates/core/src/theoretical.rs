@@ -133,11 +133,19 @@ mod tests {
     #[test]
     fn parallel_bound_is_below_serial_bound() {
         let times = OperationTimes::paper_defaults();
-        for layout in [repetition_code(5), rotated_surface_code(3), rotated_surface_code(5)] {
+        for layout in [
+            repetition_code(5),
+            rotated_surface_code(3),
+            rotated_surface_code(5),
+        ] {
             let lower = parallel_round_lower_bound_us(&layout, &times);
             let upper = serial_round_upper_bound_us(&layout, &times);
             assert!(lower > 0.0);
-            assert!(upper > lower, "{}: {upper} must exceed {lower}", layout.name());
+            assert!(
+                upper > lower,
+                "{}: {upper} must exceed {lower}",
+                layout.name()
+            );
         }
     }
 
@@ -190,7 +198,10 @@ mod tests {
     #[test]
     fn hop_times_reflect_topology() {
         let times = OperationTimes::paper_defaults();
-        assert!(min_hop_time_us(TopologyKind::Grid, &times) > min_hop_time_us(TopologyKind::Linear, &times));
+        assert!(
+            min_hop_time_us(TopologyKind::Grid, &times)
+                > min_hop_time_us(TopologyKind::Linear, &times)
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use qccd_decoder::{estimate_logical_error_rate, fit_lambda, DecoderKind, LambdaFit};
+use qccd_decoder::{
+    estimate_logical_error_rate_with, fit_lambda, DecoderKind, EstimatorConfig, LambdaFit,
+};
 use qccd_hardware::estimate_resources;
 use qccd_qec::{rotated_surface_code, CodeLayout, MemoryBasis};
 
@@ -26,17 +28,21 @@ pub struct Toolflow {
     pub seed: u64,
     /// Decoder used for logical error rate estimation.
     pub decoder: DecoderKind,
+    /// Monte-Carlo pipeline configuration (chunking, parallelism, early
+    /// stopping) forwarded to the decoder crate's batch estimator.
+    pub estimator: EstimatorConfig,
 }
 
 impl Toolflow {
     /// Creates a toolflow with default sampling settings (4,096 shots,
-    /// union-find decoding).
+    /// union-find decoding, parallel batch estimation).
     pub fn new(arch: ArchitectureConfig) -> Self {
         Toolflow {
             arch,
             shots: 4_096,
             seed: 2026,
             decoder: DecoderKind::UnionFind,
+            estimator: EstimatorConfig::default(),
         }
     }
 
@@ -49,6 +55,12 @@ impl Toolflow {
     /// Overrides the sampling seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the Monte-Carlo pipeline configuration.
+    pub fn with_estimator_config(mut self, estimator: EstimatorConfig) -> Self {
+        self.estimator = estimator;
         self
     }
 
@@ -87,8 +99,14 @@ impl Toolflow {
         let logical_error = if estimate_ler {
             let noisy = shot_program.to_noisy_circuit();
             Some(
-                estimate_logical_error_rate(&noisy, self.shots, self.seed, self.decoder)
-                    .expect("compiled circuits carry consistent annotations"),
+                estimate_logical_error_rate_with(
+                    &noisy,
+                    self.shots,
+                    self.seed,
+                    self.decoder,
+                    &self.estimator,
+                )
+                .expect("compiled circuits carry consistent annotations"),
             )
         } else {
             None

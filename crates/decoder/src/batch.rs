@@ -1,0 +1,406 @@
+//! Batch decoding types: bit-packed predictions and reusable scratch.
+//!
+//! The batch decode path works on whole [`SyndromeChunk`]s (bit-packed
+//! detector planes produced by `qccd_sim`'s chunked sampler) and returns a
+//! bit-packed [`PredictionChunk`]. All per-shot working state lives in a
+//! [`DecodeScratch`] that is reused from shot to shot and chunk to chunk, so
+//! the hot loop performs no allocations.
+
+use std::cmp::Ordering;
+
+pub use qccd_sim::SyndromeChunk;
+
+use qccd_sim::BitPlanes;
+
+use crate::scratch::{EpochVec, VecPool};
+
+/// Bit-packed observable-flip predictions for one chunk of shots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionChunk {
+    num_shots: usize,
+    num_observables: usize,
+    words: usize,
+    planes: BitPlanes,
+}
+
+impl PredictionChunk {
+    /// An all-`false` prediction for `num_shots` shots.
+    pub fn zeroed(num_observables: usize, num_shots: usize) -> Self {
+        assert!(num_shots > 0, "need at least one shot");
+        let words = num_shots.div_ceil(64);
+        PredictionChunk {
+            num_shots,
+            num_observables,
+            words,
+            planes: BitPlanes::zeroed(num_observables, words),
+        }
+    }
+
+    /// Number of shots covered.
+    pub fn num_shots(&self) -> usize {
+        self.num_shots
+    }
+
+    /// Number of observables predicted per shot.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Words per bit-plane.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The packed prediction plane of one observable.
+    pub fn plane(&self, observable: usize) -> &[u64] {
+        self.planes.plane(observable)
+    }
+
+    /// Whether the decoder predicted a flip of `observable` in `shot`.
+    pub fn predicted(&self, shot: usize, observable: usize) -> bool {
+        self.planes.bit(observable, shot)
+    }
+
+    /// Marks `observable` as flipped in `shot`.
+    pub fn set(&mut self, observable: usize, shot: usize) {
+        self.planes.plane_mut(observable)[shot / 64] |= 1u64 << (shot % 64);
+    }
+
+    /// Unpacks one shot's prediction (convenience for tests and the
+    /// per-shot adapter).
+    pub fn shot_prediction(&self, shot: usize) -> Vec<bool> {
+        (0..self.num_observables)
+            .map(|o| self.predicted(shot, o))
+            .collect()
+    }
+}
+
+/// Min-heap entry for the Dijkstra searches of the matching decoders.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct HeapEntry {
+    pub(crate) distance: f64,
+    pub(crate) node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other
+            .distance
+            .partial_cmp(&self.distance)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Union-find cluster state of one node, packed so `find` / `union` touch a
+/// single epoch-stamped slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeState {
+    /// Union-find parent (sentinel `u32::MAX` = self).
+    pub(crate) parent: u32,
+    pub(crate) rank: u8,
+    /// Defect parity of the cluster rooted at this node.
+    pub(crate) parity: bool,
+    /// Whether the cluster rooted here touches the virtual boundary.
+    pub(crate) boundary: bool,
+}
+
+const FRESH_NODE: NodeState = NodeState {
+    parent: u32::MAX,
+    rank: 0,
+    parity: false,
+    boundary: false,
+};
+
+/// Growth state of one edge, packed into a single slot. `multiplicity` is
+/// per-round (validated against `round`), `support` / `grown` persist for
+/// the whole shot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EdgeState {
+    /// Growth units applied so far this shot.
+    pub(crate) support: u32,
+    /// Number of active clusters growing this edge in round `round`.
+    pub(crate) multiplicity: u16,
+    /// Round stamp validating `multiplicity` and `last_root`.
+    pub(crate) round: u32,
+    /// Root of the last cluster that counted this edge in round `round`
+    /// (deduplicates repeated frontier entries without sorting).
+    pub(crate) last_root: u32,
+    pub(crate) grown: bool,
+}
+
+const FRESH_EDGE: EdgeState = EdgeState {
+    support: 0,
+    multiplicity: 0,
+    round: 0,
+    last_root: u32::MAX,
+    grown: false,
+};
+
+/// Peeling-forest state of one node; a stale slot means "not visited".
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PeelState {
+    /// Incoming tree edge (sentinel `u32::MAX` = none / forest root).
+    pub(crate) parent_edge: u32,
+    /// Incoming tree parent (sentinel `u32::MAX` = self).
+    pub(crate) parent_node: u32,
+}
+
+const FRESH_PEEL: PeelState = PeelState {
+    parent_edge: u32::MAX,
+    parent_node: u32::MAX,
+};
+
+/// Per-shot working state of the union-find decoder.
+#[derive(Debug, Clone)]
+pub(crate) struct UnionFindScratch {
+    pub(crate) nodes: EpochVec<NodeState>,
+    /// Frontier edge lists per cluster root.
+    pub(crate) frontier: VecPool,
+    pub(crate) defect: EpochVec<bool>,
+    pub(crate) edges: EpochVec<EdgeState>,
+    /// Growth round counter within the current shot (validates
+    /// [`EdgeState::multiplicity`]).
+    pub(crate) round: u32,
+    /// Frontier edges eligible to grow this round.
+    pub(crate) growth_candidates: Vec<usize>,
+    /// Edges fully grown this shot.
+    pub(crate) grown_edges: Vec<usize>,
+    /// Per-node adjacency of the grown subgraph (built as edges complete),
+    /// so peeling never scans the full decoding graph.
+    pub(crate) peel_adjacency: VecPool,
+    pub(crate) active: Vec<usize>,
+    /// Edges completed this round, sorted before merging so the merge order
+    /// is canonical (frontiers themselves are kept unsorted).
+    pub(crate) merges: Vec<usize>,
+    // Peeling state: a fresh `peel` slot doubles as the visited flag.
+    pub(crate) peel: EpochVec<PeelState>,
+    pub(crate) order: Vec<usize>,
+    pub(crate) queue: std::collections::VecDeque<usize>,
+    pub(crate) peel_roots: Vec<usize>,
+}
+
+impl Default for UnionFindScratch {
+    fn default() -> Self {
+        UnionFindScratch {
+            nodes: EpochVec::new(FRESH_NODE),
+            frontier: VecPool::default(),
+            defect: EpochVec::new(false),
+            edges: EpochVec::new(FRESH_EDGE),
+            round: 0,
+            growth_candidates: Vec::new(),
+            grown_edges: Vec::new(),
+            peel_adjacency: VecPool::default(),
+            active: Vec::new(),
+            merges: Vec::new(),
+            peel: EpochVec::new(FRESH_PEEL),
+            order: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+            peel_roots: Vec::new(),
+        }
+    }
+}
+
+impl UnionFindScratch {
+    /// Prepares for one shot over `nodes` vertices and `edges` edges.
+    pub(crate) fn begin(&mut self, nodes: usize, edges: usize) {
+        self.nodes.begin(nodes);
+        self.frontier.begin(nodes);
+        self.defect.begin(nodes);
+        self.edges.begin(edges);
+        self.round = 0;
+        self.growth_candidates.clear();
+        self.grown_edges.clear();
+        self.peel_adjacency.begin(nodes);
+        self.active.clear();
+        self.merges.clear();
+        self.peel.begin(nodes);
+        self.order.clear();
+        self.queue.clear();
+        self.peel_roots.clear();
+    }
+
+    /// The growth multiplicity of an edge in the current round.
+    pub(crate) fn edge_multiplicity(&self, state: EdgeState) -> u16 {
+        if state.round == self.round {
+            state.multiplicity
+        } else {
+            0
+        }
+    }
+
+    /// Union-find `find` with path compression over the epoch array.
+    pub(crate) fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        loop {
+            let parent = self.nodes.get(root).parent;
+            if parent == u32::MAX || parent as usize == root {
+                break;
+            }
+            root = parent as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let mut state = self.nodes.get(cur);
+            let next = state.parent as usize;
+            state.parent = root as u32;
+            self.nodes.set(cur, state);
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the clusters containing `a` and `b`; returns the new root.
+    pub(crate) fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let sa = self.nodes.get(ra);
+        let sb = self.nodes.get(rb);
+        let (big, small, mut sbig, ssmall) = if sa.rank >= sb.rank {
+            (ra, rb, sa, sb)
+        } else {
+            (rb, ra, sb, sa)
+        };
+        self.nodes.set(
+            small,
+            NodeState {
+                parent: big as u32,
+                ..ssmall
+            },
+        );
+        if sbig.rank == ssmall.rank {
+            sbig.rank += 1;
+        }
+        sbig.parity ^= ssmall.parity;
+        sbig.boundary |= ssmall.boundary;
+        sbig.parent = u32::MAX;
+        self.nodes.set(big, sbig);
+        let moved = self.frontier.take(small);
+        self.frontier.get_mut(big).extend_from_slice(&moved);
+        self.frontier.put_back(small, moved);
+        big
+    }
+
+    /// Whether the cluster containing `node` still needs to grow.
+    pub(crate) fn is_active(&mut self, node: usize) -> bool {
+        let root = self.find(node);
+        let state = self.nodes.get(root);
+        state.parity && !state.boundary
+    }
+}
+
+/// Per-shot working state of the matching decoders (greedy and exact).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MatchingScratch {
+    /// One Dijkstra state (distance, incoming edge) per defect slot.
+    pub(crate) dijkstras: Vec<DijkstraState>,
+    pub(crate) heap: std::collections::BinaryHeap<HeapEntry>,
+    /// Candidate matchings: `(cost, i, j)` with `j == u32::MAX` = boundary.
+    pub(crate) candidates: Vec<(f64, u32, u32)>,
+    pub(crate) matched: Vec<bool>,
+    // Exact-matching DP state.
+    pub(crate) boundary_cost: Vec<f64>,
+    /// Row-major `n × n` pairwise costs.
+    pub(crate) pair_cost: Vec<f64>,
+    pub(crate) dp: Vec<f64>,
+    /// DP back-pointers: `(i, partner)` with `u32::MAX` = boundary.
+    pub(crate) choice: Vec<(u32, u32)>,
+    pub(crate) pairs: Vec<(u32, u32)>,
+}
+
+/// Reusable Dijkstra arrays (distances default to `+inf` between epochs).
+#[derive(Debug, Clone)]
+pub(crate) struct DijkstraState {
+    pub(crate) dist: EpochVec<f64>,
+    /// Incoming edge per node (sentinel `u32::MAX` = none).
+    pub(crate) via: EpochVec<u32>,
+}
+
+impl Default for DijkstraState {
+    fn default() -> Self {
+        DijkstraState {
+            dist: EpochVec::new(f64::INFINITY),
+            via: EpochVec::new(u32::MAX),
+        }
+    }
+}
+
+impl MatchingScratch {
+    /// Ensures at least `defects` Dijkstra slots exist.
+    pub(crate) fn ensure_defect_slots(&mut self, defects: usize) {
+        if self.dijkstras.len() < defects {
+            self.dijkstras.resize_with(defects, DijkstraState::default);
+        }
+    }
+}
+
+/// Reusable decoding state shared by every decoder implementation.
+///
+/// Create one per worker thread, pass it to
+/// [`Decoder::decode_batch`](crate::Decoder::decode_batch) (or
+/// [`Decoder::decode_shot`](crate::Decoder::decode_shot)) and reuse it for
+/// as many chunks as you like; buffers grow to the high-water mark of the
+/// decoding problem and are invalidated in O(1) between shots.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    pub(crate) shot_prediction: Vec<bool>,
+    /// Per-shot defect lists for one 64-shot word, gathered with one pass
+    /// over the detector planes instead of one pass per shot.
+    pub(crate) word_fired: Vec<Vec<usize>>,
+    pub(crate) union_find: UnionFindScratch,
+    pub(crate) matching: MatchingScratch,
+}
+
+impl DecodeScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_chunk_set_and_read() {
+        let mut chunk = PredictionChunk::zeroed(2, 130);
+        chunk.set(1, 129);
+        chunk.set(0, 0);
+        assert!(chunk.predicted(129, 1));
+        assert!(chunk.predicted(0, 0));
+        assert!(!chunk.predicted(129, 0));
+        assert_eq!(chunk.shot_prediction(129), vec![false, true]);
+        assert_eq!(chunk.words(), 3);
+    }
+
+    #[test]
+    fn union_find_scratch_basic_ops() {
+        let mut s = UnionFindScratch::default();
+        s.begin(5, 3);
+        for node in [0usize, 1] {
+            let mut state = s.nodes.get(node);
+            state.parity = true;
+            s.nodes.set(node, state);
+        }
+        assert!(s.is_active(0));
+        let root = s.union(0, 1);
+        assert_eq!(s.find(0), root);
+        assert_eq!(s.find(1), root);
+        assert!(!s.nodes.get(root).parity, "parities cancel");
+        // New shot forgets everything.
+        s.begin(5, 3);
+        assert_ne!(s.find(0), s.find(1));
+    }
+}

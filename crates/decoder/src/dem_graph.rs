@@ -74,7 +74,7 @@ impl DecodingGraph {
         // identify the graph-like components (X-type vs Z-type subgraphs in
         // a surface code).
         let mut component: Vec<usize> = (0..num_detectors).collect();
-        fn find(component: &mut Vec<usize>, x: usize) -> usize {
+        fn find(component: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while component[root] != root {
                 root = component[root];
@@ -289,7 +289,11 @@ fn xor_sets(a: &[u32], b: &[u32]) -> Vec<u32> {
 mod tests {
     use super::*;
 
-    fn dem(errors: Vec<DemError>, num_detectors: usize, num_observables: usize) -> DetectorErrorModel {
+    fn dem(
+        errors: Vec<DemError>,
+        num_detectors: usize,
+        num_observables: usize,
+    ) -> DetectorErrorModel {
         DetectorErrorModel {
             num_detectors,
             num_observables,
@@ -308,10 +312,7 @@ mod tests {
     #[test]
     fn graphlike_mechanisms_become_edges() {
         let model = dem(
-            vec![
-                err(0.1, vec![0], vec![0]),
-                err(0.2, vec![0, 1], vec![]),
-            ],
+            vec![err(0.1, vec![0], vec![0]), err(0.2, vec![0, 1], vec![])],
             2,
             1,
         );

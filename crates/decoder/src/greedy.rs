@@ -11,194 +11,219 @@
 //! union-find but shares the same qualitative behaviour; agreement between
 //! the two decoders on the vast majority of shots is one of the test-suite
 //! invariants.
+//!
+//! The Dijkstra searches run over epoch-stamped distance arrays from the
+//! shared [`DecodeScratch`], so repeated decoding allocates nothing and
+//! never pays an O(nodes) reset.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use crate::{Decoder, DecodingGraph};
+use crate::batch::{DijkstraState, HeapEntry, MatchingScratch};
+use crate::{DecodeScratch, Decoder, DecodingGraph};
 
 /// Greedy shortest-path matching decoder.
 #[derive(Debug, Clone)]
 pub struct GreedyMatchingDecoder {
     graph: DecodingGraph,
     boundary: usize,
+    /// Indices of the boundary edges, precomputed so Dijkstra's boundary
+    /// relaxation does not rescan the whole edge list.
+    boundary_edges: Vec<usize>,
 }
 
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    distance: f64,
-    node: usize,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; distances are finite by construction.
-        other
-            .distance
-            .partial_cmp(&self.distance)
-            .unwrap_or(Ordering::Equal)
+/// Dijkstra from `source`, writing per-node distances and incoming edges
+/// into `state`. Node index `graph.num_detectors()` is the virtual boundary.
+pub(crate) fn shortest_paths(
+    graph: &DecodingGraph,
+    boundary: usize,
+    boundary_edges: &[usize],
+    source: usize,
+    state: &mut DijkstraState,
+    heap: &mut std::collections::BinaryHeap<HeapEntry>,
+) {
+    let n = graph.num_detectors() + 1;
+    state.dist.begin(n);
+    state.via.begin(n);
+    heap.clear();
+    state.dist.set(source, 0.0);
+    heap.push(HeapEntry {
+        distance: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { distance, node }) = heap.pop() {
+        if distance > state.dist.get(node) {
+            continue;
+        }
+        let incident: &[usize] = if node == boundary {
+            boundary_edges
+        } else {
+            graph.incident_edges(node)
+        };
+        for &edge_index in incident {
+            let edge = &graph.edges()[edge_index];
+            let next = if edge.a == node {
+                edge.b.unwrap_or(boundary)
+            } else {
+                edge.a
+            };
+            let candidate = distance + edge.weight.max(1e-9);
+            if candidate < state.dist.get(next) {
+                state.dist.set(next, candidate);
+                state.via.set(next, edge_index as u32);
+                heap.push(HeapEntry {
+                    distance: candidate,
+                    node: next,
+                });
+            }
+        }
     }
 }
 
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// XOR of the observables along the shortest path (described by `via`,
+/// rooted at `source`) from `target` back to `source` into `flips`.
+pub(crate) fn apply_path_observables(
+    graph: &DecodingGraph,
+    boundary: usize,
+    state: &DijkstraState,
+    source: usize,
+    mut target: usize,
+    flips: &mut [bool],
+) {
+    while target != source {
+        let edge_index = state.via.get(target);
+        assert_ne!(edge_index, u32::MAX, "path must exist");
+        let edge = &graph.edges()[edge_index as usize];
+        for &obs in &edge.observables {
+            flips[obs as usize] ^= true;
+        }
+        target = if edge.a == target {
+            edge.b.unwrap_or(boundary)
+        } else {
+            edge.a
+        };
     }
+}
+
+/// The indices of a graph's boundary edges.
+pub(crate) fn collect_boundary_edges(graph: &DecodingGraph) -> Vec<usize> {
+    graph
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.b.is_none())
+        .map(|(i, _)| i)
+        .collect()
 }
 
 impl GreedyMatchingDecoder {
     /// Creates a decoder for the given decoding graph.
     pub fn new(graph: DecodingGraph) -> Self {
         let boundary = graph.num_detectors();
-        GreedyMatchingDecoder { graph, boundary }
+        let boundary_edges = collect_boundary_edges(&graph);
+        GreedyMatchingDecoder {
+            graph,
+            boundary,
+            boundary_edges,
+        }
     }
 
-    /// Dijkstra from `source`, returning per-node `(distance, incoming edge)`.
-    fn shortest_paths(&self, source: usize) -> (Vec<f64>, Vec<Option<usize>>) {
-        let n = self.graph.num_detectors() + 1;
-        let mut dist = vec![f64::INFINITY; n];
-        let mut via = vec![None; n];
-        let mut heap = BinaryHeap::new();
-        dist[source] = 0.0;
-        heap.push(HeapEntry {
-            distance: 0.0,
-            node: source,
-        });
-        while let Some(HeapEntry { distance, node }) = heap.pop() {
-            if distance > dist[node] {
-                continue;
+    /// Runs one Dijkstra per defect into the scratch slots
+    /// (`s.dijkstras[i]` rooted at `defects[i]`). Shared with the exact
+    /// decoder so both use the same search driver.
+    pub(crate) fn run_searches(&self, defects: &[usize], s: &mut MatchingScratch) {
+        s.ensure_defect_slots(defects.len());
+        let mut heap = std::mem::take(&mut s.heap);
+        for (i, &d) in defects.iter().enumerate() {
+            shortest_paths(
+                &self.graph,
+                self.boundary,
+                &self.boundary_edges,
+                d,
+                &mut s.dijkstras[i],
+                &mut heap,
+            );
+        }
+        s.heap = heap;
+    }
+
+    /// Greedy matching over precomputed Dijkstra states (`s.dijkstras[i]`
+    /// rooted at `defects[i]`), shared with the exact decoder's fallback.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn match_greedily(
+        &self,
+        defects: &[usize],
+        s: &mut MatchingScratch,
+        prediction: &mut [bool],
+    ) {
+        // Candidate matchings: defect–defect and defect–boundary.
+        s.candidates.clear();
+        for i in 0..defects.len() {
+            let dist = &s.dijkstras[i].dist;
+            let to_boundary = dist.get(self.boundary);
+            if to_boundary.is_finite() {
+                s.candidates.push((to_boundary, i as u32, u32::MAX));
             }
-            let incident: Vec<usize> = if node == self.boundary {
-                self.graph
-                    .edges()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.b.is_none())
-                    .map(|(i, _)| i)
-                    .collect()
-            } else {
-                self.graph.incident_edges(node).to_vec()
-            };
-            for edge_index in incident {
-                let edge = &self.graph.edges()[edge_index];
-                let next = if edge.a == node {
-                    edge.b.unwrap_or(self.boundary)
-                } else {
-                    edge.a
-                };
-                let candidate = distance + edge.weight.max(1e-9);
-                if candidate < dist[next] {
-                    dist[next] = candidate;
-                    via[next] = Some(edge_index);
-                    heap.push(HeapEntry {
-                        distance: candidate,
-                        node: next,
-                    });
+            for j in (i + 1)..defects.len() {
+                let to_j = dist.get(defects[j]);
+                if to_j.is_finite() {
+                    s.candidates.push((to_j, i as u32, j as u32));
                 }
             }
         }
-        (dist, via)
-    }
+        // Stable sort keeps the original generation order among ties, which
+        // keeps predictions identical to the pre-batch implementation.
+        let mut candidates = std::mem::take(&mut s.candidates);
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
-    /// XOR of observables along the shortest path from `source` (whose
-    /// Dijkstra state is given) back to `target`.
-    fn path_observables(
-        &self,
-        via: &[Option<usize>],
-        source: usize,
-        mut target: usize,
-        flips: &mut [bool],
-    ) {
-        while target != source {
-            let edge_index = via[target].expect("path must exist");
-            let edge = &self.graph.edges()[edge_index];
-            for &obs in &edge.observables {
-                flips[obs as usize] ^= true;
-            }
-            let prev = if edge.a == target {
-                edge.b.unwrap_or(self.boundary)
+        s.matched.clear();
+        s.matched.resize(defects.len(), false);
+        for &(_, i, j) in &candidates {
+            let i = i as usize;
+            if j == u32::MAX {
+                if s.matched[i] {
+                    continue;
+                }
+                s.matched[i] = true;
+                apply_path_observables(
+                    &self.graph,
+                    self.boundary,
+                    &s.dijkstras[i],
+                    defects[i],
+                    self.boundary,
+                    prediction,
+                );
             } else {
-                edge.a
-            };
-            target = prev;
+                let j = j as usize;
+                if s.matched[i] || s.matched[j] {
+                    continue;
+                }
+                s.matched[i] = true;
+                s.matched[j] = true;
+                apply_path_observables(
+                    &self.graph,
+                    self.boundary,
+                    &s.dijkstras[i],
+                    defects[i],
+                    defects[j],
+                    prediction,
+                );
+            }
         }
+        s.candidates = candidates;
     }
 }
 
 impl Decoder for GreedyMatchingDecoder {
-    fn decode(&self, fired_detectors: &[usize]) -> Vec<bool> {
-        let mut prediction = vec![false; self.graph.num_observables()];
+    fn decode_shot(
+        &self,
+        fired_detectors: &[usize],
+        scratch: &mut DecodeScratch,
+        prediction: &mut [bool],
+    ) {
         if fired_detectors.is_empty() || self.graph.is_empty() {
-            return prediction;
+            return;
         }
-
-        // Dijkstra from every defect.
-        let defects: Vec<usize> = fired_detectors.to_vec();
-        let searches: Vec<(Vec<f64>, Vec<Option<usize>>)> = defects
-            .iter()
-            .map(|&d| self.shortest_paths(d))
-            .collect();
-
-        // Candidate matchings: defect–defect and defect–boundary.
-        #[derive(Debug)]
-        struct Candidate {
-            cost: f64,
-            i: usize,
-            j: Option<usize>,
-        }
-        let mut candidates = Vec::new();
-        for i in 0..defects.len() {
-            let (dist, _) = &searches[i];
-            if dist[self.boundary].is_finite() {
-                candidates.push(Candidate {
-                    cost: dist[self.boundary],
-                    i,
-                    j: None,
-                });
-            }
-            for j in (i + 1)..defects.len() {
-                if dist[defects[j]].is_finite() {
-                    candidates.push(Candidate {
-                        cost: dist[defects[j]],
-                        i,
-                        j: Some(j),
-                    });
-                }
-            }
-        }
-        candidates.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal));
-
-        let mut matched = vec![false; defects.len()];
-        for candidate in candidates {
-            match candidate.j {
-                Some(j) => {
-                    if matched[candidate.i] || matched[j] {
-                        continue;
-                    }
-                    matched[candidate.i] = true;
-                    matched[j] = true;
-                    let (_, via) = &searches[candidate.i];
-                    self.path_observables(via, defects[candidate.i], defects[j], &mut prediction);
-                }
-                None => {
-                    if matched[candidate.i] {
-                        continue;
-                    }
-                    matched[candidate.i] = true;
-                    let (_, via) = &searches[candidate.i];
-                    self.path_observables(
-                        via,
-                        defects[candidate.i],
-                        self.boundary,
-                        &mut prediction,
-                    );
-                }
-            }
-        }
-
-        prediction
+        let s = &mut scratch.matching;
+        self.run_searches(fired_detectors, s);
+        self.match_greedily(fired_detectors, s, prediction);
     }
 
     fn num_observables(&self) -> usize {
@@ -284,6 +309,23 @@ mod tests {
                 uf.decode(&syndrome),
                 "decoders disagree on {syndrome:?}"
             );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decoding() {
+        let decoder = GreedyMatchingDecoder::new(chain_graph(9));
+        let mut scratch = DecodeScratch::new();
+        for syndrome in [
+            vec![0usize],
+            vec![8],
+            vec![3, 4],
+            vec![0, 1, 8],
+            vec![2, 5, 6, 7],
+        ] {
+            let mut reused = vec![false; 1];
+            decoder.decode_shot(&syndrome, &mut scratch, &mut reused);
+            assert_eq!(reused, decoder.decode(&syndrome), "syndrome {syndrome:?}");
         }
     }
 }

@@ -11,18 +11,46 @@
 //!
 //! and project to larger distances / lower target error rates. The fit also
 //! yields the error-suppression factor Λ = LER(d) / LER(d+2) = exp(−2β).
+//!
+//! # The estimation pipeline
+//!
+//! [`estimate_logical_error_rate_with`] is a chunked, parallel Monte-Carlo
+//! pipeline: shots are cut into bit-packed [`SyndromeChunk`]s by
+//! `qccd_sim`'s chunked sampler (peak memory `O(chunk × detectors)`), each
+//! chunk is decoded with [`Decoder::decode_batch`] against a per-worker
+//! [`DecodeScratch`](crate::DecodeScratch), and failures are counted with
+//! word-parallel XOR + popcount. Because every canonical sampling block has
+//! a seed derived only from `(seed, block index)` and results are folded in
+//! block order, a fixed `(shots, seed)` produces a **bit-identical**
+//! estimate regardless of the configured chunk size or the number of rayon
+//! threads.
+//!
+//! With [`EstimatorConfig::target_std_error`] or
+//! [`EstimatorConfig::max_failures`] set, the pipeline stops early once the
+//! criterion is met on a *canonical prefix* of chunks: workers may race
+//! ahead, but any chunk beyond the deterministic stopping point is
+//! discarded, so early-stopped estimates are still reproducible for a fixed
+//! chunk size and independent of the thread count.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use qccd_circuit::MeasurementRef;
-use qccd_sim::{sample_detectors, DetectorErrorModel, NoisyCircuit};
+use qccd_sim::{
+    sample_detector_chunks, DetectorChunkSampler, DetectorErrorModel, NoisyCircuit, SyndromeChunk,
+    CANONICAL_BLOCK_SHOTS,
+};
 
-use crate::{Decoder, DecodingGraph, ExactMatchingDecoder, GreedyMatchingDecoder, UnionFindDecoder};
+use crate::{
+    DecodeScratch, Decoder, DecodingGraph, ExactMatchingDecoder, GreedyMatchingDecoder,
+    UnionFindDecoder,
+};
 
 /// Which decoder to use for logical error rate estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum DecoderKind {
     /// Weighted union-find (the default).
+    #[default]
     UnionFind,
     /// Greedy shortest-path matching (baseline / cross-check).
     GreedyMatching,
@@ -31,16 +59,81 @@ pub enum DecoderKind {
     ExactMatching,
 }
 
-impl Default for DecoderKind {
+impl DecoderKind {
+    /// Builds the corresponding decoder over a decoding graph.
+    pub fn build(self, graph: DecodingGraph) -> Box<dyn Decoder + Send + Sync> {
+        match self {
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
+            DecoderKind::GreedyMatching => Box::new(GreedyMatchingDecoder::new(graph)),
+            DecoderKind::ExactMatching => Box::new(ExactMatchingDecoder::new(graph)),
+        }
+    }
+}
+
+/// Tuning knobs of the Monte-Carlo pipeline. The defaults match
+/// [`estimate_logical_error_rate`]: all shots, chunked for parallel
+/// throughput, no early stopping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Shots per work chunk (rounded up to whole canonical sampling blocks
+    /// of [`CANONICAL_BLOCK_SHOTS`] shots). Bounds peak memory and sets the
+    /// scheduling granularity; it never changes the sampled bits.
+    pub chunk_shots: usize,
+    /// Worker threads (`None` = rayon's default for this context).
+    pub num_threads: Option<usize>,
+    /// Stop once the binomial standard error of the estimate drops to this
+    /// value (checked only after at least one failure has been seen).
+    pub target_std_error: Option<f64>,
+    /// Stop once this many failures have been observed.
+    pub max_failures: Option<usize>,
+}
+
+impl Default for EstimatorConfig {
     fn default() -> Self {
-        DecoderKind::UnionFind
+        EstimatorConfig {
+            chunk_shots: 4 * CANONICAL_BLOCK_SHOTS,
+            num_threads: None,
+            target_std_error: None,
+            max_failures: None,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// Overrides the chunk size.
+    pub fn with_chunk_shots(mut self, chunk_shots: usize) -> Self {
+        self.chunk_shots = chunk_shots;
+        self
+    }
+
+    /// Pins the worker thread count.
+    pub fn with_num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Enables early stopping at a target standard error.
+    pub fn with_target_std_error(mut self, target: f64) -> Self {
+        self.target_std_error = Some(target);
+        self
+    }
+
+    /// Enables early stopping after a failure count.
+    pub fn with_max_failures(mut self, failures: usize) -> Self {
+        self.max_failures = Some(failures);
+        self
+    }
+
+    fn early_stopping(&self) -> bool {
+        self.target_std_error.is_some() || self.max_failures.is_some()
     }
 }
 
 /// The result of a Monte-Carlo logical error rate estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LogicalErrorEstimate {
-    /// Number of shots sampled.
+    /// Number of shots actually decoded (less than requested when early
+    /// stopping triggered).
     pub shots: usize,
     /// Number of shots in which the decoder's prediction disagreed with the
     /// actual logical observable flip.
@@ -58,15 +151,183 @@ impl LogicalErrorEstimate {
         if rounds == 0 {
             return self.logical_error_rate;
         }
+        // Guard the saturated case: `powf` on a zero base is well defined
+        // but the clamp also shields callers from rates slightly above 1
+        // (e.g. after aggregation arithmetic).
+        if self.logical_error_rate >= 1.0 {
+            return 1.0;
+        }
         1.0 - (1.0 - self.logical_error_rate).powf(1.0 / rounds as f64)
+    }
+
+    fn from_counts(shots: usize, failures: usize) -> Self {
+        let p = failures as f64 / shots as f64;
+        LogicalErrorEstimate {
+            shots,
+            failures,
+            logical_error_rate: p,
+            std_error: (p * (1.0 - p) / shots as f64).sqrt(),
+        }
     }
 }
 
-/// Estimates the logical error rate of a noisy circuit by sampling
-/// `shots` executions and decoding each one.
+/// Per-chunk tally, folded in canonical chunk order.
+#[derive(Debug, Clone, Copy)]
+struct ChunkOutcome {
+    shots: usize,
+    failures: usize,
+}
+
+/// Counts the shots of a decoded chunk whose predicted observable flips
+/// disagree with the actual flips, word-parallel.
+fn count_failures(
+    chunk: &SyndromeChunk,
+    decoder: &dyn Decoder,
+    scratch: &mut DecodeScratch,
+) -> usize {
+    let prediction = decoder.decode_batch(chunk, scratch);
+    let words = chunk.words();
+    let mut mismatch = vec![0u64; words];
+    for observable in 0..chunk.num_observables() {
+        let actual = chunk.observable_plane(observable);
+        let predicted = prediction.plane(observable);
+        for (m, (&a, &p)) in mismatch.iter_mut().zip(actual.iter().zip(predicted)) {
+            *m |= a ^ p;
+        }
+    }
+    if let Some(last) = mismatch.last_mut() {
+        *last &= chunk.tail_mask();
+    }
+    mismatch.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Scans `outcomes[from..]`, advancing the running `(shots, failures)`
+/// totals, and returns the first absolute chunk index at which the
+/// early-stop criterion is met on the canonical prefix, if any. Resumable so
+/// the wave loop never rescans already-counted chunks.
+fn prefix_stop_index_from(
+    outcomes: &[ChunkOutcome],
+    from: usize,
+    shots: &mut usize,
+    failures: &mut usize,
+    config: &EstimatorConfig,
+) -> Option<usize> {
+    for (index, outcome) in outcomes.iter().enumerate().skip(from) {
+        *shots += outcome.shots;
+        *failures += outcome.failures;
+        if let Some(max_failures) = config.max_failures {
+            if *failures >= max_failures {
+                return Some(index);
+            }
+        }
+        if let Some(target) = config.target_std_error {
+            if *failures > 0 {
+                let estimate = LogicalErrorEstimate::from_counts(*shots, *failures);
+                if estimate.std_error <= target {
+                    return Some(index);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn run_pipeline(
+    sampler: &DetectorChunkSampler<'_>,
+    decoder: &(dyn Decoder + Send + Sync),
+    config: &EstimatorConfig,
+) -> LogicalErrorEstimate {
+    let num_chunks = sampler.num_chunks();
+    let decode_chunk = |index: usize| {
+        // One scratch per worker thread, reused across every chunk that
+        // worker decodes.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<DecodeScratch> =
+                std::cell::RefCell::new(DecodeScratch::new());
+        }
+        let chunk = sampler.sample_chunk(index);
+        let failures =
+            SCRATCH.with(|scratch| count_failures(&chunk, decoder, &mut scratch.borrow_mut()));
+        ChunkOutcome {
+            shots: chunk.num_shots(),
+            failures,
+        }
+    };
+
+    let outcomes = if config.early_stopping() {
+        // Process chunks in contiguous waves so the stopping decision is a
+        // pure function of the canonical chunk order: workers may decode a
+        // few chunks past the stopping point, but those are discarded below,
+        // so the estimate does not depend on the thread count.
+        let wave = 2 * rayon::current_num_threads().max(1);
+        let mut collected = Vec::with_capacity(num_chunks.min(4 * wave));
+        let mut running = (0usize, 0usize);
+        let mut next = 0;
+        let mut stop = None;
+        while next < num_chunks {
+            let end = (next + wave).min(num_chunks);
+            collected.extend(
+                (next..end)
+                    .into_par_iter()
+                    .map(decode_chunk)
+                    .collect::<Vec<_>>(),
+            );
+            stop = prefix_stop_index_from(&collected, next, &mut running.0, &mut running.1, config);
+            next = end;
+            if stop.is_some() {
+                break;
+            }
+        }
+        (collected, stop)
+    } else {
+        let outcomes: Vec<ChunkOutcome> =
+            (0..num_chunks).into_par_iter().map(decode_chunk).collect();
+        (outcomes, None)
+    };
+    let (outcomes, stop) = outcomes;
+
+    let cut = stop.map(|index| index + 1).unwrap_or(outcomes.len());
+    let (shots, failures) = outcomes[..cut]
+        .iter()
+        .fold((0usize, 0usize), |(s, f), o| (s + o.shots, f + o.failures));
+    LogicalErrorEstimate::from_counts(shots, failures)
+}
+
+/// Estimates the logical error rate of a noisy circuit by sampling and
+/// batch-decoding `shots` executions with the given pipeline configuration.
 ///
 /// A shot counts as a failure if the decoder's predicted flip of *any*
-/// logical observable disagrees with the actual flip.
+/// logical observable disagrees with the actual flip. See the
+/// [module docs](self) for the determinism contract.
+///
+/// # Errors
+///
+/// Returns the first dangling [`MeasurementRef`] if the circuit's
+/// annotations are inconsistent.
+pub fn estimate_logical_error_rate_with(
+    circuit: &NoisyCircuit,
+    shots: usize,
+    seed: u64,
+    decoder_kind: DecoderKind,
+    config: &EstimatorConfig,
+) -> Result<LogicalErrorEstimate, MeasurementRef> {
+    let dem = DetectorErrorModel::from_circuit(circuit)?;
+    let graph = DecodingGraph::from_dem(&dem);
+    let decoder = decoder_kind.build(graph);
+    let sampler = sample_detector_chunks(circuit, shots, seed, config.chunk_shots)?;
+    let estimate = match config.num_threads {
+        Some(threads) => rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(|| run_pipeline(&sampler, decoder.as_ref(), config)),
+        None => run_pipeline(&sampler, decoder.as_ref(), config),
+    };
+    Ok(estimate)
+}
+
+/// Estimates the logical error rate with the default pipeline configuration
+/// (all `shots` decoded, parallel across the machine).
 ///
 /// # Errors
 ///
@@ -78,41 +339,13 @@ pub fn estimate_logical_error_rate(
     seed: u64,
     decoder_kind: DecoderKind,
 ) -> Result<LogicalErrorEstimate, MeasurementRef> {
-    let dem = DetectorErrorModel::from_circuit(circuit)?;
-    let graph = DecodingGraph::from_dem(&dem);
-    let decoder: Box<dyn Decoder> = match decoder_kind {
-        DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
-        DecoderKind::GreedyMatching => Box::new(GreedyMatchingDecoder::new(graph)),
-        DecoderKind::ExactMatching => Box::new(ExactMatchingDecoder::new(graph)),
-    };
-    let samples = sample_detectors(circuit, shots, seed)?;
-
-    let num_observables = samples.num_observables();
-    let mut failures = 0usize;
-    for shot in 0..shots {
-        let fired = samples.fired_detectors(shot);
-        let prediction = decoder.decode(&fired);
-        let mut failed = false;
-        for obs in 0..num_observables {
-            let actual = samples.observable_flipped(shot, obs);
-            let predicted = prediction.get(obs).copied().unwrap_or(false);
-            if actual != predicted {
-                failed = true;
-                break;
-            }
-        }
-        if failed {
-            failures += 1;
-        }
-    }
-
-    let p = failures as f64 / shots as f64;
-    Ok(LogicalErrorEstimate {
+    estimate_logical_error_rate_with(
+        circuit,
         shots,
-        failures,
-        logical_error_rate: p,
-        std_error: (p * (1.0 - p) / shots as f64).sqrt(),
-    })
+        seed,
+        decoder_kind,
+        &EstimatorConfig::default(),
+    )
 }
 
 /// An exponential fit `ln LER(d) = intercept + slope · d` across code
@@ -228,8 +461,7 @@ mod tests {
     fn noiseless_circuit_has_zero_logical_error_rate() {
         let code = repetition_code(3);
         let circuit = noisy_memory(&code, 2, 0.0);
-        let est =
-            estimate_logical_error_rate(&circuit, 2000, 3, DecoderKind::UnionFind).unwrap();
+        let est = estimate_logical_error_rate(&circuit, 2000, 3, DecoderKind::UnionFind).unwrap();
         assert_eq!(est.failures, 0);
         assert_eq!(est.logical_error_rate, 0.0);
     }
@@ -239,8 +471,7 @@ mod tests {
         let p = 0.02;
         let code = repetition_code(5);
         let circuit = noisy_memory(&code, 3, p);
-        let est =
-            estimate_logical_error_rate(&circuit, 20_000, 5, DecoderKind::UnionFind).unwrap();
+        let est = estimate_logical_error_rate(&circuit, 20_000, 5, DecoderKind::UnionFind).unwrap();
         // The decoder must beat the unprotected physical error rate by a
         // comfortable margin.
         assert!(
@@ -274,8 +505,7 @@ mod tests {
         let p = 0.01;
         let code = rotated_surface_code(3);
         let circuit = noisy_memory(&code, 3, p);
-        let est =
-            estimate_logical_error_rate(&circuit, 10_000, 5, DecoderKind::UnionFind).unwrap();
+        let est = estimate_logical_error_rate(&circuit, 10_000, 5, DecoderKind::UnionFind).unwrap();
         assert!(
             est.logical_error_rate < 3.0 * p,
             "surface code LER {} unexpectedly high",
@@ -288,13 +518,109 @@ mod tests {
         let p = 0.03;
         let code = repetition_code(5);
         let circuit = noisy_memory(&code, 2, p);
-        let uf =
-            estimate_logical_error_rate(&circuit, 20_000, 9, DecoderKind::UnionFind).unwrap();
+        let uf = estimate_logical_error_rate(&circuit, 20_000, 9, DecoderKind::UnionFind).unwrap();
         let greedy =
             estimate_logical_error_rate(&circuit, 20_000, 9, DecoderKind::GreedyMatching).unwrap();
         // Same order of magnitude; greedy may be somewhat worse.
         assert!(greedy.logical_error_rate <= uf.logical_error_rate * 4.0 + 0.01);
         assert!(uf.logical_error_rate <= greedy.logical_error_rate * 4.0 + 0.01);
+    }
+
+    #[test]
+    fn estimate_is_invariant_under_chunk_size_and_threads() {
+        let p = 0.03;
+        let code = repetition_code(5);
+        let circuit = noisy_memory(&code, 2, p);
+        let shots = 3 * CANONICAL_BLOCK_SHOTS + 500;
+        let reference = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            42,
+            DecoderKind::UnionFind,
+            &EstimatorConfig::default()
+                .with_chunk_shots(1)
+                .with_num_threads(1),
+        )
+        .unwrap();
+        for (chunk_shots, threads) in [
+            (CANONICAL_BLOCK_SHOTS, 2),
+            (2 * CANONICAL_BLOCK_SHOTS, 3),
+            (usize::MAX, 4),
+        ] {
+            let config = EstimatorConfig::default()
+                .with_chunk_shots(chunk_shots)
+                .with_num_threads(threads);
+            let estimate = estimate_logical_error_rate_with(
+                &circuit,
+                shots,
+                42,
+                DecoderKind::UnionFind,
+                &config,
+            )
+            .unwrap();
+            assert_eq!(
+                (estimate.shots, estimate.failures),
+                (reference.shots, reference.failures),
+                "chunk_shots={chunk_shots} threads={threads}"
+            );
+            assert_eq!(estimate.logical_error_rate, reference.logical_error_rate);
+        }
+    }
+
+    #[test]
+    fn early_stop_on_failure_count_decodes_fewer_shots() {
+        let p = 0.05;
+        let code = repetition_code(3);
+        let circuit = noisy_memory(&code, 2, p);
+        let shots = 16 * CANONICAL_BLOCK_SHOTS;
+        let config = EstimatorConfig::default()
+            .with_chunk_shots(CANONICAL_BLOCK_SHOTS)
+            .with_max_failures(10);
+        let est =
+            estimate_logical_error_rate_with(&circuit, shots, 7, DecoderKind::UnionFind, &config)
+                .unwrap();
+        assert!(est.failures >= 10, "stop criterion reached");
+        assert!(
+            est.shots < shots,
+            "early stop should decode fewer than {shots} shots, got {}",
+            est.shots
+        );
+        // Deterministic across thread counts.
+        for threads in [1, 3] {
+            let again = estimate_logical_error_rate_with(
+                &circuit,
+                shots,
+                7,
+                DecoderKind::UnionFind,
+                &config.with_num_threads(threads),
+            )
+            .unwrap();
+            assert_eq!((again.shots, again.failures), (est.shots, est.failures));
+        }
+    }
+
+    #[test]
+    fn early_stop_on_std_error_reaches_target() {
+        let p = 0.08;
+        let code = repetition_code(3);
+        let circuit = noisy_memory(&code, 2, p);
+        let config = EstimatorConfig::default()
+            .with_chunk_shots(CANONICAL_BLOCK_SHOTS)
+            .with_target_std_error(5e-3);
+        let est = estimate_logical_error_rate_with(
+            &circuit,
+            32 * CANONICAL_BLOCK_SHOTS,
+            13,
+            DecoderKind::UnionFind,
+            &config,
+        )
+        .unwrap();
+        assert!(
+            est.std_error <= 5e-3,
+            "std error {} above target",
+            est.std_error
+        );
+        assert!(est.shots < 32 * CANONICAL_BLOCK_SHOTS);
     }
 
     #[test]
@@ -308,6 +634,23 @@ mod tests {
         let per_round = est.per_round(10);
         assert!(per_round < 0.011 && per_round > 0.0104);
         assert_eq!(est.per_round(0), 0.1);
+    }
+
+    #[test]
+    fn per_round_saturates_at_one() {
+        let est = LogicalErrorEstimate {
+            shots: 10,
+            failures: 10,
+            logical_error_rate: 1.0,
+            std_error: 0.0,
+        };
+        assert_eq!(est.per_round(5), 1.0);
+        assert_eq!(est.per_round(0), 1.0);
+    }
+
+    #[test]
+    fn decoder_kind_defaults_to_union_find() {
+        assert_eq!(DecoderKind::default(), DecoderKind::UnionFind);
     }
 
     #[test]

@@ -13,6 +13,27 @@
 //!   project error rates to the 10⁻⁹ regime, exactly as the paper does for
 //!   its feasibility targets.
 //!
+//! # Batch decoding
+//!
+//! The paper's sweeps decode millions of shots per configuration, so the
+//! [`Decoder`] trait is built around a batched hot path:
+//!
+//! * [`Decoder::decode_batch`] consumes a bit-packed [`SyndromeChunk`]
+//!   (produced by `qccd_sim`'s chunked sampler) and returns a bit-packed
+//!   [`PredictionChunk`]. Quiet shots — no detector fired — are skipped with
+//!   a single word-level scan, and all per-shot working state lives in a
+//!   reusable [`DecodeScratch`], so the loop performs no allocations.
+//! * [`Decoder::decode_shot`] is the per-shot primitive each decoder
+//!   implements against the scratch buffers.
+//! * [`Decoder::decode`] is the convenient per-shot adapter (it builds a
+//!   fresh scratch per call, so prefer `decode_batch` anywhere throughput
+//!   matters).
+//!
+//! [`estimate_logical_error_rate_with`] drives `decode_batch` over sampled
+//! chunks in parallel with deterministic per-block seeds: for a fixed
+//! `(shots, seed)` the estimate is bit-identical regardless of chunk size or
+//! thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -36,29 +57,117 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod dem_graph;
 mod greedy;
 mod ler;
 mod mwpm;
+mod scratch;
 mod union_find;
 
+pub use batch::{DecodeScratch, PredictionChunk, SyndromeChunk};
 pub use dem_graph::{DecodingEdge, DecodingGraph, DetectorIndex};
 pub use greedy::GreedyMatchingDecoder;
 pub use ler::{
-    estimate_logical_error_rate, fit_lambda, DecoderKind, LambdaFit, LogicalErrorEstimate,
+    estimate_logical_error_rate, estimate_logical_error_rate_with, fit_lambda, DecoderKind,
+    EstimatorConfig, LambdaFit, LogicalErrorEstimate,
 };
 pub use mwpm::{ExactMatchingDecoder, DEFAULT_MAX_EXACT_DEFECTS};
 pub use union_find::UnionFindDecoder;
 
-/// A syndrome decoder: given the set of fired detectors of one shot, predict
-/// which logical observables were flipped.
+/// A syndrome decoder: given the fired detectors of each shot, predict which
+/// logical observables were flipped.
+///
+/// Implementors provide [`Decoder::decode_shot`] against reusable
+/// [`DecodeScratch`] buffers; the batched and per-shot entry points are
+/// provided adapters.
 pub trait Decoder {
-    /// Decodes one shot. `fired_detectors` lists the indices of the
-    /// detectors that fired; the return value has one entry per logical
-    /// observable, `true` meaning "the decoder believes this observable was
-    /// flipped".
-    fn decode(&self, fired_detectors: &[usize]) -> Vec<bool>;
-
     /// Number of logical observables this decoder predicts.
     fn num_observables(&self) -> usize;
+
+    /// Decodes one shot into `prediction` (one slot per observable, pre-set
+    /// to `false` by the caller), using `scratch` for all working state.
+    fn decode_shot(
+        &self,
+        fired_detectors: &[usize],
+        scratch: &mut DecodeScratch,
+        prediction: &mut [bool],
+    );
+
+    /// Decodes one shot, allocating the result. `fired_detectors` lists the
+    /// indices of the detectors that fired; the return value has one entry
+    /// per logical observable, `true` meaning "the decoder believes this
+    /// observable was flipped".
+    ///
+    /// This adapter builds a fresh [`DecodeScratch`] per call; use
+    /// [`Decoder::decode_batch`] on the hot path.
+    fn decode(&self, fired_detectors: &[usize]) -> Vec<bool> {
+        let mut scratch = DecodeScratch::new();
+        let mut prediction = vec![false; self.num_observables()];
+        self.decode_shot(fired_detectors, &mut scratch, &mut prediction);
+        prediction
+    }
+
+    /// Decodes every shot of a bit-packed syndrome chunk.
+    ///
+    /// The default implementation scans the chunk's fired-shot mask so quiet
+    /// shots cost one bit test, gathers the noisy shots' defect lists 64
+    /// shots at a time with a single pass over the detector planes, and
+    /// calls [`Decoder::decode_shot`] per noisy shot. Predictions are
+    /// bit-identical to calling [`Decoder::decode`] shot by shot.
+    fn decode_batch(&self, chunk: &SyndromeChunk, scratch: &mut DecodeScratch) -> PredictionChunk {
+        let mut out = PredictionChunk::zeroed(self.num_observables(), chunk.num_shots());
+        let mask = chunk.fired_shot_mask();
+        // Temporarily move the shot buffers out of the scratch so it can be
+        // lent to `decode_shot` without aliasing.
+        let mut word_fired = std::mem::take(&mut scratch.word_fired);
+        word_fired.resize_with(64, Vec::new);
+        let mut prediction = std::mem::take(&mut scratch.shot_prediction);
+        prediction.clear();
+        prediction.resize(self.num_observables(), false);
+        // Resolve the plane slices once; the gather loop below touches every
+        // plane per word and must not re-derive the slice each time.
+        let planes: Vec<&[u64]> = (0..chunk.num_detectors())
+            .map(|detector| chunk.detector_plane(detector))
+            .collect();
+        for (word_index, &word) in mask.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            // Gather: one pass over the detector planes fills the defect
+            // lists of all (up to 64) noisy shots of this word. Detectors
+            // are visited in ascending order, so each list ends up sorted.
+            let mut bits = word;
+            while bits != 0 {
+                word_fired[bits.trailing_zeros() as usize].clear();
+                bits &= bits - 1;
+            }
+            for (detector, plane) in planes.iter().enumerate() {
+                let mut hits = plane[word_index] & word;
+                while hits != 0 {
+                    word_fired[hits.trailing_zeros() as usize].push(detector);
+                    hits &= hits - 1;
+                }
+            }
+            // Decode each noisy shot of the word.
+            let mut bits = word;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let shot = word_index * 64 + lane;
+                let fired = std::mem::take(&mut word_fired[lane]);
+                prediction.fill(false);
+                self.decode_shot(&fired, scratch, &mut prediction);
+                word_fired[lane] = fired;
+                for (observable, &flipped) in prediction.iter().enumerate() {
+                    if flipped {
+                        out.set(observable, shot);
+                    }
+                }
+            }
+        }
+        scratch.word_fired = word_fired;
+        scratch.shot_prediction = prediction;
+        out
+    }
 }

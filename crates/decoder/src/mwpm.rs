@@ -20,12 +20,13 @@
 //!
 //! Compared to a full blossom implementation this is exact only per shot
 //! (not asymptotically fast), which is the right trade-off for a test
-//! reference: simple enough to audit, exact where it matters.
+//! reference: simple enough to audit, exact where it matters. The Dijkstra
+//! states, cost matrices and subset-DP tables all live in the shared
+//! [`DecodeScratch`], so batched decoding reuses them across shots.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use crate::{Decoder, DecodingGraph, GreedyMatchingDecoder};
+use crate::batch::MatchingScratch;
+use crate::greedy::apply_path_observables;
+use crate::{DecodeScratch, Decoder, DecodingGraph, GreedyMatchingDecoder};
 
 /// Default cap on the number of defects decoded exactly per shot.
 pub const DEFAULT_MAX_EXACT_DEFECTS: usize = 14;
@@ -38,30 +39,6 @@ pub struct ExactMatchingDecoder {
     greedy: GreedyMatchingDecoder,
     boundary: usize,
     max_exact_defects: usize,
-}
-
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    distance: f64,
-    node: usize,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; distances are finite by construction.
-        other
-            .distance
-            .partial_cmp(&self.distance)
-            .unwrap_or(Ordering::Equal)
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 impl ExactMatchingDecoder {
@@ -89,75 +66,91 @@ impl ExactMatchingDecoder {
         self.max_exact_defects
     }
 
-    /// Dijkstra from `source`, returning per-node `(distance, incoming edge)`.
-    /// Node index `num_detectors` is the virtual boundary.
-    fn shortest_paths(&self, source: usize) -> (Vec<f64>, Vec<Option<usize>>) {
-        let n = self.graph.num_detectors() + 1;
-        let mut dist = vec![f64::INFINITY; n];
-        let mut via = vec![None; n];
-        let mut heap = BinaryHeap::new();
-        dist[source] = 0.0;
-        heap.push(HeapEntry {
-            distance: 0.0,
-            node: source,
-        });
-        while let Some(HeapEntry { distance, node }) = heap.pop() {
-            if distance > dist[node] {
-                continue;
-            }
-            let incident: Vec<usize> = if node == self.boundary {
-                self.graph
-                    .edges()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.b.is_none())
-                    .map(|(i, _)| i)
-                    .collect()
-            } else {
-                self.graph.incident_edges(node).to_vec()
-            };
-            for edge_index in incident {
-                let edge = &self.graph.edges()[edge_index];
-                let next = if edge.a == node {
-                    edge.b.unwrap_or(self.boundary)
-                } else {
-                    edge.a
-                };
-                let candidate = distance + edge.weight.max(1e-9);
-                if candidate < dist[next] {
-                    dist[next] = candidate;
-                    via[next] = Some(edge_index);
-                    heap.push(HeapEntry {
-                        distance: candidate,
-                        node: next,
-                    });
+    /// Runs one Dijkstra per defect into the scratch slots, delegating to
+    /// the embedded greedy decoder so the exact and fallback paths use the
+    /// exact same search driver.
+    fn run_searches(&self, defects: &[usize], s: &mut MatchingScratch) {
+        self.greedy.run_searches(defects, s);
+    }
+
+    /// Subset DP over the defects whose Dijkstra states are already in the
+    /// scratch. On success the minimum total weight is returned and the
+    /// matching is left in `s.pairs` as `(i, j)` index pairs (`u32::MAX` =
+    /// boundary).
+    #[allow(clippy::needless_range_loop)]
+    fn solve(&self, defects: &[usize], s: &mut MatchingScratch) -> Option<f64> {
+        let n = defects.len();
+
+        // Pairwise and boundary costs.
+        s.boundary_cost.clear();
+        s.pair_cost.clear();
+        s.pair_cost.resize(n * n, f64::INFINITY);
+        for i in 0..n {
+            let dist = &s.dijkstras[i].dist;
+            s.boundary_cost.push(dist.get(self.boundary));
+            for j in 0..n {
+                if i != j {
+                    s.pair_cost[i * n + j] = dist.get(defects[j]);
                 }
             }
         }
-        (dist, via)
-    }
 
-    /// XOR of the observables along the shortest path (described by `via`,
-    /// rooted at `source`) from `target` back to `source` into `flips`.
-    fn apply_path_observables(
-        &self,
-        via: &[Option<usize>],
-        source: usize,
-        mut target: usize,
-        flips: &mut [bool],
-    ) {
-        while target != source {
-            let edge_index = via[target].expect("path must exist");
-            let edge = &self.graph.edges()[edge_index];
-            for &obs in &edge.observables {
-                flips[obs as usize] ^= true;
+        // DP over subsets: dp[mask] = min cost of matching the defects in
+        // `mask`, where each defect pairs with another defect or with the
+        // boundary.
+        let full = (1usize << n) - 1;
+        s.dp.clear();
+        s.dp.resize(full + 1, f64::INFINITY);
+        s.choice.clear();
+        s.choice.resize(full + 1, (u32::MAX, u32::MAX));
+        s.dp[0] = 0.0;
+        for mask in 1..=full {
+            let i = mask.trailing_zeros() as usize;
+            let without_i = mask & !(1 << i);
+            // Option 1: match defect i to the boundary.
+            if s.boundary_cost[i].is_finite() && s.dp[without_i].is_finite() {
+                let cost = s.dp[without_i] + s.boundary_cost[i];
+                if cost < s.dp[mask] {
+                    s.dp[mask] = cost;
+                    s.choice[mask] = (i as u32, u32::MAX);
+                }
             }
-            target = if edge.a == target {
-                edge.b.unwrap_or(self.boundary)
-            } else {
-                edge.a
-            };
+            // Option 2: pair defect i with another defect j in the mask.
+            let mut rest = without_i;
+            while rest != 0 {
+                let j = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let pair = s.pair_cost[i * n + j];
+                if !pair.is_finite() {
+                    continue;
+                }
+                let prev = mask & !(1 << i) & !(1 << j);
+                if s.dp[prev].is_finite() {
+                    let cost = s.dp[prev] + pair;
+                    if cost < s.dp[mask] {
+                        s.dp[mask] = cost;
+                        s.choice[mask] = (i as u32, j as u32);
+                    }
+                }
+            }
         }
+        if !s.dp[full].is_finite() {
+            return None;
+        }
+
+        // Reconstruct the matching.
+        s.pairs.clear();
+        let mut mask = full;
+        while mask != 0 {
+            let (i, partner) = s.choice[mask];
+            debug_assert_ne!(i, u32::MAX, "finite dp entries have a recorded choice");
+            s.pairs.push((i, partner));
+            mask &= !(1 << i);
+            if partner != u32::MAX {
+                mask &= !(1 << partner);
+            }
+        }
+        Some(s.dp[full])
     }
 
     /// Returns the minimum total matching weight of the given defect set, or
@@ -170,124 +163,63 @@ impl ExactMatchingDecoder {
         if fired_detectors.len() > self.max_exact_defects {
             return None;
         }
-        let plan = self.solve(fired_detectors)?;
-        Some(plan.total_weight)
+        let mut scratch = DecodeScratch::new();
+        self.run_searches(fired_detectors, &mut scratch.matching);
+        self.solve(fired_detectors, &mut scratch.matching)
     }
 
-    /// Solves the exact matching for one shot.
-    fn solve(&self, defects: &[usize]) -> Option<MatchingPlan> {
-        let n = defects.len();
-        let searches: Vec<(Vec<f64>, Vec<Option<usize>>)> =
-            defects.iter().map(|&d| self.shortest_paths(d)).collect();
-
-        // Pairwise and boundary costs.
-        let mut pair_cost = vec![vec![f64::INFINITY; n]; n];
-        let mut boundary_cost = vec![f64::INFINITY; n];
-        for i in 0..n {
-            boundary_cost[i] = searches[i].0[self.boundary];
-            for j in 0..n {
-                if i != j {
-                    pair_cost[i][j] = searches[i].0[defects[j]];
-                }
-            }
-        }
-
-        // DP over subsets: dp[mask] = min cost of matching the defects in
-        // `mask`, where each defect pairs with another defect or with the
-        // boundary.
-        let full = (1usize << n) - 1;
-        let mut dp = vec![f64::INFINITY; full + 1];
-        let mut choice: Vec<Option<(usize, Option<usize>)>> = vec![None; full + 1];
-        dp[0] = 0.0;
-        for mask in 1..=full {
-            let i = mask.trailing_zeros() as usize;
-            let without_i = mask & !(1 << i);
-            // Option 1: match defect i to the boundary.
-            if boundary_cost[i].is_finite() && dp[without_i].is_finite() {
-                let cost = dp[without_i] + boundary_cost[i];
-                if cost < dp[mask] {
-                    dp[mask] = cost;
-                    choice[mask] = Some((i, None));
-                }
-            }
-            // Option 2: pair defect i with another defect j in the mask.
-            let mut rest = without_i;
-            while rest != 0 {
-                let j = rest.trailing_zeros() as usize;
-                rest &= rest - 1;
-                if !pair_cost[i][j].is_finite() {
-                    continue;
-                }
-                let prev = mask & !(1 << i) & !(1 << j);
-                if dp[prev].is_finite() {
-                    let cost = dp[prev] + pair_cost[i][j];
-                    if cost < dp[mask] {
-                        dp[mask] = cost;
-                        choice[mask] = Some((i, Some(j)));
-                    }
-                }
-            }
-        }
-        if !dp[full].is_finite() {
-            return None;
-        }
-
-        // Reconstruct the matching.
-        let mut pairs = Vec::new();
-        let mut mask = full;
-        while mask != 0 {
-            let (i, partner) = choice[mask].expect("finite dp entries have a recorded choice");
-            match partner {
-                None => {
-                    pairs.push((i, None));
-                    mask &= !(1 << i);
-                }
-                Some(j) => {
-                    pairs.push((i, Some(j)));
-                    mask &= !(1 << i);
-                    mask &= !(1 << j);
-                }
-            }
-        }
-        Some(MatchingPlan {
-            total_weight: dp[full],
-            pairs,
-            searches,
-        })
+    /// Shortest-path distance from one defect to the boundary (used by
+    /// tests).
+    #[cfg(test)]
+    pub(crate) fn distance_to_boundary(&self, source: usize) -> f64 {
+        let mut scratch = DecodeScratch::new();
+        let s = &mut scratch.matching;
+        self.run_searches(&[source], s);
+        s.dijkstras[0].dist.get(self.boundary)
     }
-}
-
-/// The reconstructed matching of one shot.
-#[derive(Debug)]
-struct MatchingPlan {
-    total_weight: f64,
-    /// `(defect index, Some(partner index) | None for boundary)`.
-    pairs: Vec<(usize, Option<usize>)>,
-    /// Dijkstra state rooted at each defect.
-    searches: Vec<(Vec<f64>, Vec<Option<usize>>)>,
 }
 
 impl Decoder for ExactMatchingDecoder {
-    fn decode(&self, fired_detectors: &[usize]) -> Vec<bool> {
-        let mut prediction = vec![false; self.graph.num_observables()];
+    fn decode_shot(
+        &self,
+        fired_detectors: &[usize],
+        scratch: &mut DecodeScratch,
+        prediction: &mut [bool],
+    ) {
         if fired_detectors.is_empty() || self.graph.is_empty() {
-            return prediction;
+            return;
         }
         if fired_detectors.len() > self.max_exact_defects {
-            return self.greedy.decode(fired_detectors);
+            self.greedy
+                .decode_shot(fired_detectors, scratch, prediction);
+            return;
         }
-        let Some(plan) = self.solve(fired_detectors) else {
-            return self.greedy.decode(fired_detectors);
-        };
-        for &(i, partner) in &plan.pairs {
-            let (_, via) = &plan.searches[i];
-            let target = match partner {
-                None => self.boundary,
-                Some(j) => fired_detectors[j],
+        let s = &mut scratch.matching;
+        self.run_searches(fired_detectors, s);
+        if self.solve(fired_detectors, s).is_none() {
+            // Infeasible under exact matching: fall back to greedy over the
+            // Dijkstra states just computed.
+            self.greedy.match_greedily(fired_detectors, s, prediction);
+            return;
+        }
+        let pairs = std::mem::take(&mut s.pairs);
+        for &(i, partner) in &pairs {
+            let i = i as usize;
+            let target = if partner == u32::MAX {
+                self.boundary
+            } else {
+                fired_detectors[partner as usize]
             };
-            self.apply_path_observables(via, fired_detectors[i], target, &mut prediction);
+            apply_path_observables(
+                &self.graph,
+                self.boundary,
+                &s.dijkstras[i],
+                fired_detectors[i],
+                target,
+                prediction,
+            );
         }
-        prediction
+        s.pairs = pairs;
     }
 
     fn num_observables(&self) -> usize {
@@ -377,13 +309,9 @@ mod tests {
         ];
         for defects in defect_sets {
             let weight = exact.matching_weight(&defects).unwrap();
-            // Reference: brute-force over all ways to pair or boundary-match
-            // is exactly what the DP does, so instead check the weight is at
-            // most the all-boundary solution and at most chaining neighbours.
-            let all_boundary: f64 = defects
-                .iter()
-                .map(|&d| exact.shortest_paths(d).0[exact.boundary])
-                .sum();
+            // Reference: the all-boundary matching is one feasible solution,
+            // so the optimum can never exceed it.
+            let all_boundary: f64 = defects.iter().map(|&d| exact.distance_to_boundary(d)).sum();
             assert!(weight <= all_boundary + 1e-9, "defects {defects:?}");
         }
     }
@@ -411,5 +339,22 @@ mod tests {
     fn num_observables_is_preserved() {
         let dec = decoder(4, 0.01);
         assert_eq!(dec.num_observables(), 1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decoding() {
+        let dec = decoder(9, 0.02);
+        let mut scratch = DecodeScratch::new();
+        for syndrome in [
+            vec![0usize],
+            vec![8],
+            vec![3, 4],
+            vec![0, 4, 8],
+            vec![1, 2, 6, 7],
+        ] {
+            let mut reused = vec![false; 1];
+            dec.decode_shot(&syndrome, &mut scratch, &mut reused);
+            assert_eq!(reused, dec.decode(&syndrome), "syndrome {syndrome:?}");
+        }
     }
 }

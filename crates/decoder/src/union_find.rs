@@ -15,9 +15,14 @@
 //!
 //! The decoder is near-linear in the number of grown edges, which below
 //! threshold is proportional to the number of detection events, so millions
-//! of shots can be decoded in seconds.
+//! of shots can be decoded in seconds. All working state (union-find arrays,
+//! frontiers, the peeling forest) lives in the shared [`DecodeScratch`] and
+//! is recycled between shots with O(1) epoch-stamped resets; the peeling
+//! phase walks only the grown subgraph rather than the full decoding graph,
+//! so quiet shots cost almost nothing.
 
-use crate::{Decoder, DecodingGraph};
+use crate::batch::UnionFindScratch;
+use crate::{DecodeScratch, Decoder, DecodingGraph};
 
 /// Union-find decoder over a decoding graph.
 #[derive(Debug, Clone)]
@@ -54,262 +59,268 @@ impl UnionFindDecoder {
         let e = &self.graph.edges()[edge];
         (e.a, e.b.unwrap_or(self.boundary))
     }
-}
 
-/// Disjoint-set structure with cluster metadata.
-#[derive(Debug)]
-struct Clusters {
-    parent: Vec<usize>,
-    rank: Vec<u32>,
-    /// Defect parity of the cluster rooted here.
-    parity: Vec<bool>,
-    /// Whether the cluster touches the virtual boundary.
-    boundary: Vec<bool>,
-    /// Frontier edges of the cluster rooted here.
-    frontier: Vec<Vec<usize>>,
-}
-
-impl Clusters {
-    fn new(nodes: usize, boundary_node: usize) -> Self {
-        let mut boundary = vec![false; nodes];
-        boundary[boundary_node] = true;
-        Clusters {
-            parent: (0..nodes).collect(),
-            rank: vec![0; nodes],
-            parity: vec![false; nodes],
-            boundary,
-            frontier: vec![Vec::new(); nodes],
-        }
-    }
-
-    fn find(&mut self, x: usize) -> usize {
-        let mut root = x;
-        while self.parent[root] != root {
-            root = self.parent[root];
-        }
-        let mut cur = x;
-        while self.parent[cur] != root {
-            let next = self.parent[cur];
-            self.parent[cur] = root;
-            cur = next;
-        }
-        root
-    }
-
-    /// Unions the clusters containing `a` and `b`; returns the new root.
-    fn union(&mut self, a: usize, b: usize) -> usize {
-        let ra = self.find(a);
-        let rb = self.find(b);
-        if ra == rb {
-            return ra;
-        }
-        let (big, small) = if self.rank[ra] >= self.rank[rb] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
-        self.parent[small] = big;
-        if self.rank[big] == self.rank[small] {
-            self.rank[big] += 1;
-        }
-        self.parity[big] ^= self.parity[small];
-        self.boundary[big] |= self.boundary[small];
-        let moved = std::mem::take(&mut self.frontier[small]);
-        self.frontier[big].extend(moved);
-        big
-    }
-
-    fn is_active(&mut self, root: usize) -> bool {
-        let r = self.find(root);
-        self.parity[r] && !self.boundary[r]
-    }
-}
-
-impl Decoder for UnionFindDecoder {
-    fn decode(&self, fired_detectors: &[usize]) -> Vec<bool> {
-        let num_observables = self.graph.num_observables();
-        let mut prediction = vec![false; num_observables];
-        if fired_detectors.is_empty() || self.graph.is_empty() {
-            return prediction;
-        }
-
-        let num_nodes = self.graph.num_detectors() + 1;
-        let mut clusters = Clusters::new(num_nodes, self.boundary);
-        let mut defect = vec![false; num_nodes];
+    /// Growth phase: grow active clusters until all are neutral. Fully-grown
+    /// edges are recorded in `s.grown` / `s.grown_edges`.
+    fn grow(&self, fired_detectors: &[usize], s: &mut UnionFindScratch) {
         for &d in fired_detectors {
-            defect[d] = true;
-            clusters.parity[d] = true;
-            clusters.frontier[d] = self.graph.incident_edges(d).to_vec();
-        }
-
-        // Growth phase.
-        let mut support = vec![0u32; self.graph.edges().len()];
-        let mut grown = vec![false; self.graph.edges().len()];
-        let mut active: Vec<usize> = Vec::with_capacity(fired_detectors.len());
-        for &d in fired_detectors {
-            let root = clusters.find(d);
-            if clusters.is_active(root) {
-                active.push(root);
+            let root = s.find(d);
+            if s.is_active(root) {
+                s.active.push(root);
             }
         }
-        active.sort_unstable();
-        active.dedup();
+        s.active.sort_unstable();
+        s.active.dedup();
 
-        // Each iteration grows every active cluster's frontier by one unit.
-        // The loop terminates because each iteration either increases total
-        // support (bounded by Σ lengths) or merges clusters; a stall guard
-        // handles pathological graphs with unreachable defects.
+        // Each round grows every active cluster's frontier in lock-step, by
+        // the largest uniform amount that completes at least one edge
+        // (fast-forwarding the unit-growth schedule: an edge grown by `k`
+        // active clusters advances `k` units per unit round, and rounds in
+        // which nothing completes are skipped wholesale, so the merge
+        // schedule is identical to unit growth at a fraction of the cost).
+        // The loop terminates because every round either grows an edge or
+        // merges clusters; a stall guard handles pathological graphs with
+        // unreachable defects.
         loop {
-            active.retain(|&r| clusters.find(r) == r && clusters.is_active(r));
+            let mut active = std::mem::take(&mut s.active);
+            active.retain_mut(|root| {
+                let r = *root;
+                s.find(r) == r && s.is_active(r)
+            });
             if active.is_empty() {
+                s.active = active;
                 break;
             }
-            let mut progressed = false;
-            let mut merges: Vec<(usize, usize)> = Vec::new();
+            // Pass 1: prune each active frontier (grown / internal /
+            // duplicate edges drop out) and count how many clusters grow
+            // each edge. The round stamp invalidates the previous round's
+            // multiplicities; `last_root` deduplicates repeated entries of
+            // one cluster's frontier without sorting it.
+            s.round += 1;
+            s.growth_candidates.clear();
             for &root in &active {
-                let mut frontier = std::mem::take(&mut clusters.frontier[root]);
-                frontier.sort_unstable();
-                frontier.dedup();
-                let mut kept = Vec::with_capacity(frontier.len());
-                for edge in frontier {
-                    if grown[edge] {
+                let mut frontier = s.frontier.take(root);
+                let mut kept = 0usize;
+                for index in 0..frontier.len() {
+                    let edge = frontier[index];
+                    let mut state = s.edges.get(edge);
+                    if state.grown {
+                        continue;
+                    }
+                    if state.round == s.round && state.last_root == root as u32 {
+                        // Duplicate frontier entry within this cluster.
                         continue;
                     }
                     let (a, b) = self.edge_endpoints(edge);
-                    let ra = clusters.find(a);
-                    let rb = clusters.find(b);
+                    let ra = s.find(a);
+                    let rb = s.find(b);
                     if ra == rb {
                         // Internal edge; no longer part of the frontier.
                         continue;
                     }
-                    support[edge] += 1;
-                    progressed = true;
-                    if support[edge] >= self.lengths[edge] {
-                        grown[edge] = true;
-                        merges.push((a, b));
-                    } else {
-                        kept.push(edge);
+                    let count = s.edge_multiplicity(state);
+                    if count == 0 {
+                        s.growth_candidates.push(edge);
                     }
+                    state.multiplicity = count + 1;
+                    state.round = s.round;
+                    state.last_root = root as u32;
+                    s.edges.set(edge, state);
+                    frontier[kept] = edge;
+                    kept += 1;
                 }
-                clusters.frontier[root] = kept;
+                frontier.truncate(kept);
+                // Return the surviving frontier to the root's slot.
+                s.frontier.restore(root, frontier);
             }
-            for (a, b) in merges {
-                let ra = clusters.find(a);
-                let rb = clusters.find(b);
+            if s.growth_candidates.is_empty() {
+                // No edge can grow: remaining defects are unmatchable
+                // (disconnected detectors). Give up on them.
+                s.active = active;
+                break;
+            }
+            // Pass 2: number of unit rounds until the first edge completes.
+            let mut rounds = u32::MAX;
+            for index in 0..s.growth_candidates.len() {
+                let edge = s.growth_candidates[index];
+                let state = s.edges.get(edge);
+                let gap = self.lengths[edge] - state.support;
+                rounds = rounds.min(gap.div_ceil(u32::from(state.multiplicity)));
+            }
+            // Pass 3: fast-forward every frontier edge by that many rounds.
+            s.merges.clear();
+            for index in 0..s.growth_candidates.len() {
+                let edge = s.growth_candidates[index];
+                let mut state = s.edges.get(edge);
+                state.support += u32::from(state.multiplicity) * rounds;
+                if state.support >= self.lengths[edge] {
+                    state.grown = true;
+                    s.grown_edges.push(edge);
+                    s.merges.push(edge);
+                }
+                s.edges.set(edge, state);
+            }
+            let mut merges = std::mem::take(&mut s.merges);
+            // Canonical merge order regardless of frontier traversal order.
+            merges.sort_unstable();
+            for &edge in &merges {
+                let (a, b) = self.edge_endpoints(edge);
+                // Record the grown edge in the peeling adjacency (cycle
+                // edges included: they are valid non-tree edges).
+                s.peel_adjacency.get_mut(a).push(edge);
+                if b != a {
+                    s.peel_adjacency.get_mut(b).push(edge);
+                }
+                let ra = s.find(a);
+                let rb = s.find(b);
                 if ra != rb {
                     // Adopt the other endpoint's incident edges into the
                     // merged frontier the first time a lone node is absorbed.
                     for node in [a, b] {
-                        let r = clusters.find(node);
-                        if clusters.frontier[r].is_empty() && !defect[node] && node != self.boundary
+                        let r = s.find(node);
+                        if s.frontier.get_mut(r).is_empty()
+                            && !s.defect.get(node)
+                            && node != self.boundary
                         {
-                            let incident = if node == self.boundary {
-                                Vec::new()
-                            } else {
-                                self.graph.incident_edges(node).to_vec()
-                            };
-                            clusters.frontier[r].extend(incident);
+                            let incident = self.graph.incident_edges(node);
+                            s.frontier.get_mut(r).extend_from_slice(incident);
                         }
                     }
-                    let new_root = clusters.union(a, b);
+                    let new_root = s.union(a, b);
                     // Make sure the merged cluster also sees the absorbed
                     // node's incident edges.
                     for node in [a, b] {
                         if node != self.boundary {
-                            let incident = self.graph.incident_edges(node).to_vec();
-                            clusters.frontier[new_root].extend(incident);
+                            let incident = self.graph.incident_edges(node);
+                            s.frontier.get_mut(new_root).extend_from_slice(incident);
                         }
                     }
                     active.push(new_root);
                 }
             }
-            if !progressed {
-                // No edge could grow: remaining defects are unmatchable
-                // (disconnected detectors). Give up on them.
-                break;
-            }
+            s.merges = merges;
             active.sort_unstable();
             active.dedup();
+            s.active = active;
         }
+    }
 
-        // Peeling phase: build a spanning forest of the grown edges, rooted
-        // at the boundary where possible, and peel from the leaves.
-        let mut visited = vec![false; num_nodes];
-        let mut order: Vec<usize> = Vec::new();
-        let mut parent_edge: Vec<Option<usize>> = vec![None; num_nodes];
-        let mut parent_node: Vec<usize> = (0..num_nodes).collect();
+    /// Peeling phase: build a spanning forest of the grown edges (rooted at
+    /// the boundary where possible) and peel defects from the leaves inward,
+    /// XOR-ing edge observables into `prediction`.
+    ///
+    /// Only the grown subgraph is visited, so the cost is proportional to
+    /// the clusters actually built this shot, not to the graph size.
+    fn peel(&self, s: &mut UnionFindScratch, prediction: &mut [bool]) {
+        // Roots: the boundary first (so it can absorb defects), then the
+        // grown edges' endpoints in ascending order (`peel_roots` is sorted
+        // below, so the grown-edge list itself needs no ordering).
+        s.peel_roots.clear();
+        for index in 0..s.grown_edges.len() {
+            let (a, b) = self.edge_endpoints(s.grown_edges[index]);
+            s.peel_roots.push(a);
+            s.peel_roots.push(b);
+        }
+        s.peel_roots.sort_unstable();
+        s.peel_roots.dedup();
 
-        let bfs = |start: usize,
-                       visited: &mut Vec<bool>,
-                       order: &mut Vec<usize>,
-                       parent_edge: &mut Vec<Option<usize>>,
-                       parent_node: &mut Vec<usize>| {
-            if visited[start] {
+        s.order.clear();
+        let bfs = |start: usize, s: &mut UnionFindScratch| {
+            if s.peel.written(start) {
                 return;
             }
-            visited[start] = true;
-            let mut queue = std::collections::VecDeque::new();
-            queue.push_back(start);
-            while let Some(v) = queue.pop_front() {
-                order.push(v);
-                let incident: Vec<usize> = if v == self.boundary {
-                    // The boundary node's incident edges are all boundary
-                    // edges; scan lazily.
-                    self.graph
-                        .edges()
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, e)| grown[*i] && e.b.is_none())
-                        .map(|(i, _)| i)
-                        .collect()
-                } else {
-                    self.graph.incident_edges(v).to_vec()
-                };
-                for edge in incident {
-                    if !grown[edge] {
-                        continue;
-                    }
+            // A written slot doubles as the visited flag; roots keep the
+            // "no incoming edge" sentinels.
+            s.peel.set(
+                start,
+                crate::batch::PeelState {
+                    parent_edge: u32::MAX,
+                    parent_node: u32::MAX,
+                },
+            );
+            s.queue.clear();
+            s.queue.push_back(start);
+            while let Some(v) = s.queue.pop_front() {
+                s.order.push(v);
+                // Only the grown subgraph's adjacency is walked, in the
+                // (deterministic) order the edges completed.
+                let incident = s.peel_adjacency.take(v);
+                for &edge in &incident {
                     let (a, b) = self.edge_endpoints(edge);
                     let next = if a == v { b } else { a };
-                    if !visited[next] {
-                        visited[next] = true;
-                        parent_edge[next] = Some(edge);
-                        parent_node[next] = v;
-                        queue.push_back(next);
+                    if !s.peel.written(next) {
+                        s.peel.set(
+                            next,
+                            crate::batch::PeelState {
+                                parent_edge: edge as u32,
+                                parent_node: v as u32,
+                            },
+                        );
+                        s.queue.push_back(next);
                     }
                 }
+                s.peel_adjacency.restore(v, incident);
             }
         };
 
         // Root the forest at the boundary first so it can absorb defects.
-        bfs(
-            self.boundary,
-            &mut visited,
-            &mut order,
-            &mut parent_edge,
-            &mut parent_node,
-        );
-        for v in 0..num_nodes {
-            bfs(v, &mut visited, &mut order, &mut parent_edge, &mut parent_node);
+        if !s.peel_adjacency.get_mut(self.boundary).is_empty() {
+            bfs(self.boundary, s);
         }
+        let roots = std::mem::take(&mut s.peel_roots);
+        for &v in &roots {
+            bfs(v, s);
+        }
+        s.peel_roots = roots;
 
         // Peel leaves-first (reverse BFS order).
-        for &v in order.iter().rev() {
-            if defect[v] {
-                if let Some(edge) = parent_edge[v] {
-                    for &obs in &self.graph.edges()[edge].observables {
+        for index in (0..s.order.len()).rev() {
+            let v = s.order[index];
+            if s.defect.get(v) {
+                let peel = s.peel.get(v);
+                if peel.parent_edge != u32::MAX {
+                    for &obs in &self.graph.edges()[peel.parent_edge as usize].observables {
                         prediction[obs as usize] ^= true;
                     }
-                    defect[v] = false;
-                    let p = parent_node[v];
-                    defect[p] ^= true;
+                    s.defect.set(v, false);
+                    let p = peel.parent_node as usize;
+                    let flipped = !s.defect.get(p);
+                    s.defect.set(p, flipped);
                 }
             }
         }
-        // Any defect absorbed by the boundary is fine; defect[boundary] is
-        // ignored.
+        // Any defect absorbed by the boundary is fine; the boundary's defect
+        // flag is ignored.
+    }
+}
 
-        prediction
+impl Decoder for UnionFindDecoder {
+    fn decode_shot(
+        &self,
+        fired_detectors: &[usize],
+        scratch: &mut DecodeScratch,
+        prediction: &mut [bool],
+    ) {
+        if fired_detectors.is_empty() || self.graph.is_empty() {
+            return;
+        }
+        let num_nodes = self.graph.num_detectors() + 1;
+        let s = &mut scratch.union_find;
+        s.begin(num_nodes, self.graph.edges().len());
+        let mut boundary_state = s.nodes.get(self.boundary);
+        boundary_state.boundary = true;
+        s.nodes.set(self.boundary, boundary_state);
+        for &d in fired_detectors {
+            s.defect.set(d, true);
+            let mut state = s.nodes.get(d);
+            state.parity = true;
+            s.nodes.set(d, state);
+            s.frontier
+                .get_mut(d)
+                .extend_from_slice(self.graph.incident_edges(d));
+        }
+        self.grow(fired_detectors, s);
+        self.peel(s, prediction);
     }
 
     fn num_observables(&self) -> usize {
@@ -412,5 +423,28 @@ mod tests {
         let decoder = UnionFindDecoder::new(chain_graph(20));
         // Two well-separated internal pairs.
         assert_eq!(decoder.decode(&[3, 4, 12, 13]), vec![false]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_shots() {
+        let decoder = UnionFindDecoder::new(chain_graph(8));
+        let mut scratch = DecodeScratch::new();
+        let syndromes: Vec<Vec<usize>> = vec![
+            vec![0],
+            vec![7],
+            vec![2, 3],
+            vec![],
+            vec![0, 7],
+            vec![1, 2, 6],
+        ];
+        for syndrome in &syndromes {
+            let mut with_scratch = vec![false; 1];
+            decoder.decode_shot(syndrome, &mut scratch, &mut with_scratch);
+            assert_eq!(
+                with_scratch,
+                decoder.decode(syndrome),
+                "scratch reuse changed the prediction for {syndrome:?}"
+            );
+        }
     }
 }

@@ -1,0 +1,186 @@
+//! Property-based tests for the batched decode path.
+//!
+//! The batch engine must be a pure optimisation: for every decoder and every
+//! syndrome, `decode_batch` over a bit-packed chunk must reproduce the
+//! per-shot `decode` adapter bit for bit, and the chunked parallel
+//! logical-error-rate estimator must be invariant under chunk size and
+//! thread count for a fixed seed.
+
+use proptest::prelude::*;
+
+use qccd_decoder::{
+    estimate_logical_error_rate_with, DecodeScratch, Decoder, DecoderKind, DecodingGraph,
+    EstimatorConfig, ExactMatchingDecoder, GreedyMatchingDecoder, SyndromeChunk, UnionFindDecoder,
+};
+use qccd_sim::{DemError, DetectorErrorModel, NoiseChannel, NoisyCircuit, CANONICAL_BLOCK_SHOTS};
+
+/// A random mostly-graphlike DEM over `n` detectors: a connected chain for
+/// matchability plus extra random edges, with random boundary edges and
+/// observable crossings.
+fn random_dem(
+    n: usize,
+    probabilities: &[f64],
+    extra_edges: &[(usize, usize, bool)],
+) -> DetectorErrorModel {
+    let mut errors = Vec::new();
+    errors.push(DemError {
+        probability: probabilities[0],
+        detectors: vec![0],
+        observables: vec![0],
+    });
+    for i in 0..n - 1 {
+        errors.push(DemError {
+            probability: probabilities[(i + 1) % probabilities.len()],
+            detectors: vec![i as u32, i as u32 + 1],
+            observables: vec![],
+        });
+    }
+    errors.push(DemError {
+        probability: probabilities[n % probabilities.len()],
+        detectors: vec![n as u32 - 1],
+        observables: vec![],
+    });
+    for &(a, b, crosses) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        errors.push(DemError {
+            probability: probabilities[(a + b) % probabilities.len()],
+            detectors: vec![a.min(b) as u32, a.max(b) as u32],
+            observables: if crosses { vec![0] } else { vec![] },
+        });
+    }
+    DetectorErrorModel {
+        num_detectors: n,
+        num_observables: 1,
+        errors,
+    }
+}
+
+fn probabilities() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..0.3, 4..10)
+}
+
+fn extra_edges() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    prop::collection::vec((0usize..16, 0usize..16, any::<bool>()), 0..6)
+}
+
+/// Random per-shot syndromes over `n` detectors.
+fn shots(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..n, 0..n.min(6)).prop_map(|s| s.into_iter().collect()),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn decode_batch_is_bit_identical_to_per_shot_decode(
+        probabilities in probabilities(),
+        extra in extra_edges(),
+        syndromes in shots(8),
+    ) {
+        let n = 8;
+        let dem = random_dem(n, &probabilities, &extra);
+        let graph = DecodingGraph::from_dem(&dem);
+        let packed: Vec<(Vec<usize>, Vec<usize>)> = syndromes
+            .iter()
+            .map(|fired| (fired.clone(), Vec::new()))
+            .collect();
+        let chunk = SyndromeChunk::from_shots(n, 1, &packed);
+
+        let decoders: Vec<Box<dyn Decoder>> = vec![
+            Box::new(UnionFindDecoder::new(graph.clone())),
+            Box::new(GreedyMatchingDecoder::new(graph.clone())),
+            Box::new(ExactMatchingDecoder::new(graph)),
+        ];
+        for decoder in &decoders {
+            let mut scratch = DecodeScratch::new();
+            let batch = decoder.decode_batch(&chunk, &mut scratch);
+            for (shot, fired) in syndromes.iter().enumerate() {
+                let per_shot = decoder.decode(fired);
+                prop_assert_eq!(
+                    batch.shot_prediction(shot),
+                    per_shot,
+                    "shot {} with defects {:?}",
+                    shot,
+                    fired
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_is_invariant_under_chunking_and_threads(
+        seed in 0u64..1000,
+        p in 0.01f64..0.1,
+    ) {
+        // A small noisy parity-check circuit, enough shots for 3 blocks.
+        let circuit = noisy_parity_circuit(p);
+        let shots = 2 * CANONICAL_BLOCK_SHOTS + 777;
+        let reference = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            seed,
+            DecoderKind::UnionFind,
+            &EstimatorConfig::default().with_chunk_shots(1).with_num_threads(1),
+        )
+        .expect("valid annotations");
+        for (chunk_shots, threads) in [(CANONICAL_BLOCK_SHOTS, 4), (3 * CANONICAL_BLOCK_SHOTS, 2)] {
+            let estimate = estimate_logical_error_rate_with(
+                &circuit,
+                shots,
+                seed,
+                DecoderKind::UnionFind,
+                &EstimatorConfig::default()
+                    .with_chunk_shots(chunk_shots)
+                    .with_num_threads(threads),
+            )
+            .expect("valid annotations");
+            prop_assert_eq!(estimate.shots, reference.shots);
+            prop_assert_eq!(
+                estimate.failures,
+                reference.failures,
+                "chunk_shots={} threads={}",
+                chunk_shots,
+                threads
+            );
+        }
+    }
+}
+
+/// A three-qubit parity-check circuit with bit-flip noise; small enough that
+/// the property test stays fast at tens of thousands of shots.
+fn noisy_parity_circuit(p: f64) -> NoisyCircuit {
+    use qccd_circuit::{Detector, Instruction, LogicalObservable, MeasurementRef, QubitId};
+    let q = |i: u32| QubitId::new(i);
+    let mref = |i: u32, occurrence: u32| MeasurementRef::new(q(i), occurrence);
+    let mut c = NoisyCircuit::new();
+    for i in 0..3 {
+        c.push_gate(Instruction::Reset(q(i)));
+    }
+    for round in 0..2u32 {
+        c.push_gate(Instruction::Reset(q(2)));
+        c.push_noise(NoiseChannel::BitFlip { qubit: q(0), p });
+        c.push_gate(Instruction::Cnot {
+            control: q(0),
+            target: q(2),
+        });
+        c.push_gate(Instruction::Cnot {
+            control: q(1),
+            target: q(2),
+        });
+        c.push_gate(Instruction::Measure(q(2)));
+        if round == 0 {
+            c.add_detector(Detector::new(vec![mref(2, 0)]));
+        } else {
+            c.add_detector(Detector::new(vec![mref(2, 0), mref(2, 1)]));
+        }
+    }
+    c.push_gate(Instruction::Measure(q(0)));
+    c.add_observable(LogicalObservable::new(vec![mref(0, 0)]));
+    c
+}

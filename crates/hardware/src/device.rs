@@ -115,7 +115,10 @@ impl std::fmt::Display for DeviceError {
         match self {
             DeviceError::NoTraps => write!(f, "device has no traps"),
             DeviceError::CapacityTooSmall { trap, capacity } => {
-                write!(f, "trap {trap} has capacity {capacity}, which is below the minimum of 1")
+                write!(
+                    f,
+                    "trap {trap} has capacity {capacity}, which is below the minimum of 1"
+                )
             }
             DeviceError::DanglingSegment(s) => {
                 write!(f, "segment {s} references a node that does not exist")
@@ -278,7 +281,10 @@ impl Device {
         if self.traps.len() == 1 {
             self.traps[0].capacity
         } else {
-            self.traps.iter().map(|t| t.capacity.saturating_sub(1)).sum()
+            self.traps
+                .iter()
+                .map(|t| t.capacity.saturating_sub(1))
+                .sum()
         }
     }
 
@@ -485,8 +491,14 @@ mod tests {
             a: NodeId::Trap(TrapId(0)),
             b: NodeId::Junction(JunctionId(1)),
         };
-        assert_eq!(seg.other_end(NodeId::Trap(TrapId(0))), NodeId::Junction(JunctionId(1)));
-        assert_eq!(seg.other_end(NodeId::Junction(JunctionId(1))), NodeId::Trap(TrapId(0)));
+        assert_eq!(
+            seg.other_end(NodeId::Trap(TrapId(0))),
+            NodeId::Junction(JunctionId(1))
+        );
+        assert_eq!(
+            seg.other_end(NodeId::Junction(JunctionId(1))),
+            NodeId::Trap(TrapId(0))
+        );
     }
 
     #[test]

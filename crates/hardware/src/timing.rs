@@ -177,7 +177,10 @@ mod tests {
             t.gate_duration_with_cooling_us(NativeGateKind::TwoQubitMs),
             890.0
         );
-        assert_eq!(t.gate_duration_with_cooling_us(NativeGateKind::Rotation), 5.0);
+        assert_eq!(
+            t.gate_duration_with_cooling_us(NativeGateKind::Rotation),
+            5.0
+        );
         assert_eq!(
             t.gate_duration_with_cooling_us(NativeGateKind::Measurement),
             400.0

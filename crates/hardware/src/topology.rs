@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Device, Junction, JunctionId, NodeId, Segment, SegmentId, Trap, TrapId, TopologyKind};
+use crate::{Device, Junction, JunctionId, NodeId, Segment, SegmentId, TopologyKind, Trap, TrapId};
 
 impl Device {
     /// Builds a grid device with `junction_rows × junction_cols` junctions
@@ -29,7 +29,10 @@ impl Device {
     /// Panics if either dimension is zero or the resulting lattice has no
     /// edges (1×1), or if `capacity == 0`.
     pub fn grid(junction_rows: usize, junction_cols: usize, capacity: usize) -> Device {
-        assert!(junction_rows >= 1 && junction_cols >= 1, "grid needs at least one junction");
+        assert!(
+            junction_rows >= 1 && junction_cols >= 1,
+            "grid needs at least one junction"
+        );
         assert!(
             junction_rows * junction_cols >= 2,
             "a 1x1 junction grid has no edges to place traps on"
@@ -258,7 +261,7 @@ mod tests {
         let device = Device::grid(3, 3, 2);
         for junction in device.junctions() {
             let degree = device.neighbours(NodeId::Junction(junction.id)).len();
-            assert!(degree >= 2 && degree <= 4, "degree {degree}");
+            assert!((2..=4).contains(&degree), "degree {degree}");
         }
         for trap in device.traps() {
             assert_eq!(device.neighbours(NodeId::Trap(trap.id)).len(), 2);
@@ -312,7 +315,11 @@ mod tests {
 
     #[test]
     fn build_for_qubits_provides_enough_slots() {
-        for kind in [TopologyKind::Grid, TopologyKind::Linear, TopologyKind::Switch] {
+        for kind in [
+            TopologyKind::Grid,
+            TopologyKind::Linear,
+            TopologyKind::Switch,
+        ] {
             for capacity in [2usize, 3, 5, 12] {
                 for num_qubits in [5usize, 17, 49, 97] {
                     let spec = TopologySpec::new(kind, capacity);

@@ -189,9 +189,8 @@ mod tests {
                 < 1e-12
         );
         assert!(
-            (base.measurement_flip_probability()
-                - 10.0 * improved.measurement_flip_probability())
-            .abs()
+            (base.measurement_flip_probability() - 10.0 * improved.measurement_flip_probability())
+                .abs()
                 < 1e-12
         );
         assert!(

@@ -184,10 +184,12 @@ impl CodeLayout {
         let ids: HashSet<usize> = qubits.iter().map(|q| q.id.index()).collect();
         assert_eq!(ids.len(), qubits.len(), "duplicate qubit ids in layout");
         for i in 0..qubits.len() {
-            assert!(ids.contains(&i), "qubit ids must be dense 0..n, missing {i}");
+            assert!(
+                ids.contains(&i),
+                "qubit ids must be dense 0..n, missing {i}"
+            );
         }
-        let role_of: BTreeMap<QubitId, QubitRole> =
-            qubits.iter().map(|q| (q.id, q.role)).collect();
+        let role_of: BTreeMap<QubitId, QubitRole> = qubits.iter().map(|q| (q.id, q.role)).collect();
         let num_entangling_steps = stabilizers
             .iter()
             .map(|s| s.schedule.len())
@@ -376,7 +378,10 @@ impl CodeLayout {
                         return Err(format!("data qubit {data} used twice in step {step}"));
                     }
                     if !used.insert(stab.ancilla) {
-                        return Err(format!("ancilla {} used twice in step {step}", stab.ancilla));
+                        return Err(format!(
+                            "ancilla {} used twice in step {step}",
+                            stab.ancilla
+                        ));
                     }
                 }
             }
@@ -429,14 +434,7 @@ mod tests {
             basis: StabilizerBasis::Z,
             schedule: vec![Some(q(0)), Some(q(1))],
         }];
-        CodeLayout::new(
-            "tiny",
-            2,
-            qubits,
-            stabilizers,
-            vec![q(0)],
-            vec![q(0), q(1)],
-        )
+        CodeLayout::new("tiny", 2, qubits, stabilizers, vec![q(0)], vec![q(0), q(1)])
     }
 
     #[test]

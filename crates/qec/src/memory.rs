@@ -74,7 +74,11 @@ pub struct MemoryExperiment {
 /// assert_eq!(experiment.rounds, 3);
 /// assert!(experiment.circuit.validate_annotations().is_ok());
 /// ```
-pub fn memory_experiment(layout: &CodeLayout, rounds: usize, basis: MemoryBasis) -> MemoryExperiment {
+pub fn memory_experiment(
+    layout: &CodeLayout,
+    rounds: usize,
+    basis: MemoryBasis,
+) -> MemoryExperiment {
     assert!(rounds > 0, "a memory experiment needs at least one round");
     let mut circuit = Circuit::new();
     circuit.pad_qubits(layout.num_qubits());

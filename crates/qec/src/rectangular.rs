@@ -43,7 +43,10 @@ use crate::{CodeLayout, Coord, QubitInfo, QubitRole, Stabilizer, StabilizerBasis
 /// ```
 pub fn rectangular_rotated_surface_code(rows: usize, cols: usize) -> CodeLayout {
     assert!(rows >= 2, "surface code patch needs at least 2 data rows");
-    assert!(cols >= 2, "surface code patch needs at least 2 data columns");
+    assert!(
+        cols >= 2,
+        "surface code patch needs at least 2 data columns"
+    );
     let nr = rows as i64;
     let nc = cols as i64;
 
@@ -215,8 +218,16 @@ mod tests {
     fn boundary_checks_have_weight_two_and_interior_weight_four() {
         let (rows, cols) = (4, 6);
         let code = rectangular_rotated_surface_code(rows, cols);
-        let weight2 = code.stabilizers().iter().filter(|s| s.weight() == 2).count();
-        let weight4 = code.stabilizers().iter().filter(|s| s.weight() == 4).count();
+        let weight2 = code
+            .stabilizers()
+            .iter()
+            .filter(|s| s.weight() == 2)
+            .count();
+        let weight4 = code
+            .stabilizers()
+            .iter()
+            .filter(|s| s.weight() == 4)
+            .count();
         assert_eq!(weight2, (rows - 1) + (cols - 1));
         assert_eq!(weight4, (rows - 1) * (cols - 1));
         assert_eq!(weight2 + weight4, code.stabilizers().len());

@@ -163,8 +163,16 @@ mod tests {
             if d % 2 == 1 {
                 assert_eq!(x_count, z_count);
             }
-            let weight2 = code.stabilizers().iter().filter(|s| s.weight() == 2).count();
-            let weight4 = code.stabilizers().iter().filter(|s| s.weight() == 4).count();
+            let weight2 = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.weight() == 2)
+                .count();
+            let weight4 = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.weight() == 4)
+                .count();
             assert_eq!(weight2, 2 * (d - 1), "distance {d}");
             assert_eq!(weight4, (d - 1) * (d - 1), "distance {d}");
         }

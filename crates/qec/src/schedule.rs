@@ -142,7 +142,11 @@ mod tests {
         for instruction in round.iter() {
             if let Instruction::Cnot { control, target } = instruction {
                 if let Some(basis) = basis_of.get(control) {
-                    assert_eq!(*basis, StabilizerBasis::X, "ancilla control implies X check");
+                    assert_eq!(
+                        *basis,
+                        StabilizerBasis::X,
+                        "ancilla control implies X check"
+                    );
                 } else {
                     let basis = basis_of.get(target).expect("target must be an ancilla");
                     assert_eq!(*basis, StabilizerBasis::Z);

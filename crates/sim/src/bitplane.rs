@@ -1,0 +1,150 @@
+//! Flat bit-plane arena.
+//!
+//! A [`BitPlanes`] stores `planes × words_per_plane` 64-bit words in one
+//! contiguous allocation, replacing the `Vec<Vec<u64>>`-of-planes layout the
+//! sampler used to carry. Bit `s % 64` of word `s / 64` of a plane is the
+//! value for shot `s`. One allocation instead of one per plane keeps the
+//! sampler's hot loop allocation-free and cache-friendly, and lets planes be
+//! appended in place (no temporary copies when snapshotting measurement
+//! flips).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense arena of equally-sized bit planes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitPlanes {
+    words_per_plane: usize,
+    data: Vec<u64>,
+}
+
+impl BitPlanes {
+    /// An empty arena whose planes will each hold `words_per_plane` words.
+    pub fn new(words_per_plane: usize) -> Self {
+        BitPlanes {
+            words_per_plane,
+            data: Vec::new(),
+        }
+    }
+
+    /// An arena pre-filled with `planes` zeroed planes.
+    pub fn zeroed(planes: usize, words_per_plane: usize) -> Self {
+        BitPlanes {
+            words_per_plane,
+            data: vec![0; planes * words_per_plane],
+        }
+    }
+
+    /// Number of planes currently stored.
+    pub fn num_planes(&self) -> usize {
+        self.data
+            .len()
+            .checked_div(self.words_per_plane)
+            .unwrap_or(0)
+    }
+
+    /// Words per plane.
+    pub fn words_per_plane(&self) -> usize {
+        self.words_per_plane
+    }
+
+    /// Read access to one plane.
+    pub fn plane(&self, index: usize) -> &[u64] {
+        let start = index * self.words_per_plane;
+        &self.data[start..start + self.words_per_plane]
+    }
+
+    /// Write access to one plane.
+    pub fn plane_mut(&mut self, index: usize) -> &mut [u64] {
+        let start = index * self.words_per_plane;
+        &mut self.data[start..start + self.words_per_plane]
+    }
+
+    /// Appends a plane by copying `source` into the arena (a single
+    /// `memcpy`, no intermediate allocation). Returns the new plane's index.
+    pub fn push_plane(&mut self, source: &[u64]) -> usize {
+        assert_eq!(
+            source.len(),
+            self.words_per_plane,
+            "plane width mismatch: {} vs {}",
+            source.len(),
+            self.words_per_plane
+        );
+        let index = self.num_planes();
+        self.data.extend_from_slice(source);
+        index
+    }
+
+    /// Appends a zeroed plane and returns its index.
+    pub fn push_zero_plane(&mut self) -> usize {
+        let index = self.num_planes();
+        self.data.resize(self.data.len() + self.words_per_plane, 0);
+        index
+    }
+
+    /// Reserves capacity for `additional` more planes.
+    pub fn reserve_planes(&mut self, additional: usize) {
+        self.data.reserve(additional * self.words_per_plane);
+    }
+
+    /// Tests one bit of one plane.
+    pub fn bit(&self, plane: usize, bit: usize) -> bool {
+        (self.plane(plane)[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    /// XORs `source` into the given plane.
+    pub fn xor_plane(&mut self, index: usize, source: &[u64]) {
+        for (dst, &src) in self.plane_mut(index).iter_mut().zip(source) {
+            *dst ^= src;
+        }
+    }
+
+    /// Number of set bits in one plane.
+    pub fn count_ones(&self, index: usize) -> usize {
+        self.plane(index)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Drops all planes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut arena = BitPlanes::new(2);
+        assert_eq!(arena.num_planes(), 0);
+        arena.push_plane(&[0b1010, 0]);
+        arena.push_plane(&[u64::MAX, 1]);
+        assert_eq!(arena.num_planes(), 2);
+        assert_eq!(arena.plane(0), &[0b1010, 0]);
+        assert_eq!(arena.plane(1), &[u64::MAX, 1]);
+        assert!(arena.bit(0, 1));
+        assert!(!arena.bit(0, 0));
+        assert!(arena.bit(1, 64));
+        assert_eq!(arena.count_ones(0), 2);
+    }
+
+    #[test]
+    fn zeroed_and_xor() {
+        let mut arena = BitPlanes::zeroed(3, 1);
+        arena.xor_plane(1, &[0b11]);
+        arena.xor_plane(1, &[0b01]);
+        assert_eq!(arena.plane(0), &[0]);
+        assert_eq!(arena.plane(1), &[0b10]);
+        assert_eq!(arena.count_ones(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "plane width mismatch")]
+    fn width_mismatch_panics() {
+        let mut arena = BitPlanes::new(2);
+        arena.push_plane(&[1]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Chunked, streaming detector sampling.
+//!
+//! [`sample_detectors`](crate::sample_detectors) materialises every shot of
+//! an experiment at once, so its peak memory is `O(shots × measurements)`.
+//! The chunked API bounds peak memory by the chunk size instead: a
+//! [`DetectorChunkSampler`] describes the whole experiment but samples one
+//! [`SyndromeChunk`] of shots at a time, each holding only bit-packed
+//! *detector* and *observable* planes (measurement planes live just long
+//! enough to be folded into the chunk).
+//!
+//! # Determinism
+//!
+//! Shots are partitioned into fixed-size *blocks* of
+//! [`CANONICAL_BLOCK_SHOTS`] shots (the last block takes the remainder).
+//! Every block is sampled with its own RNG stream, derived from the base
+//! seed and the block index only — never from the chunk size. Chunks are
+//! merely groups of consecutive blocks handed to one worker, so for a fixed
+//! `(total_shots, seed)` the sampled outcomes are bit-identical regardless
+//! of the chunk size or of how many threads pull chunks. This is what makes
+//! `estimate_logical_error_rate` reproducible across machine shapes.
+//!
+//! Because `sample_chunk` takes `&self`, one sampler can be shared across
+//! worker threads and chunks can be produced in any order, or in parallel.
+
+use serde::{Deserialize, Serialize};
+
+use qccd_circuit::MeasurementRef;
+
+use crate::{BitPlanes, FrameSampler, NoisyCircuit};
+
+/// Number of shots per canonical sampling block (a multiple of 64 so blocks
+/// align with bit-plane words).
+pub const CANONICAL_BLOCK_SHOTS: usize = 4096;
+
+/// Derives the independent RNG seed of one canonical block.
+///
+/// Two rounds of SplitMix64 finalisation over the `(seed, block)` pair keep
+/// block streams decorrelated even for adjacent seeds and block indices.
+pub fn block_seed(seed: u64, block: u64) -> u64 {
+    let mut state = seed ^ block.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..2 {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        state ^= state >> 31;
+    }
+    state
+}
+
+/// Bit-packed detector events and observable flips for one chunk of shots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyndromeChunk {
+    chunk_index: usize,
+    shot_offset: usize,
+    num_shots: usize,
+    num_detectors: usize,
+    num_observables: usize,
+    words: usize,
+    detectors: BitPlanes,
+    observables: BitPlanes,
+}
+
+impl SyndromeChunk {
+    /// A zeroed chunk (no detector fired, no observable flipped).
+    pub fn zeroed(
+        chunk_index: usize,
+        shot_offset: usize,
+        num_shots: usize,
+        num_detectors: usize,
+        num_observables: usize,
+    ) -> Self {
+        assert!(num_shots > 0, "need at least one shot per chunk");
+        let words = num_shots.div_ceil(64);
+        SyndromeChunk {
+            chunk_index,
+            shot_offset,
+            num_shots,
+            num_detectors,
+            num_observables,
+            words,
+            detectors: BitPlanes::zeroed(num_detectors, words),
+            observables: BitPlanes::zeroed(num_observables, words),
+        }
+    }
+
+    /// Builds a chunk from per-shot lists of fired detectors and flipped
+    /// observables (mainly for tests and decoder benchmarks).
+    pub fn from_shots(
+        num_detectors: usize,
+        num_observables: usize,
+        shots: &[(Vec<usize>, Vec<usize>)],
+    ) -> Self {
+        let mut chunk =
+            SyndromeChunk::zeroed(0, 0, shots.len().max(1), num_detectors, num_observables);
+        for (shot, (fired, flipped)) in shots.iter().enumerate() {
+            for &d in fired {
+                chunk.detectors.plane_mut(d)[shot / 64] |= 1u64 << (shot % 64);
+            }
+            for &o in flipped {
+                chunk.observables.plane_mut(o)[shot / 64] |= 1u64 << (shot % 64);
+            }
+        }
+        chunk
+    }
+
+    /// Index of this chunk within its experiment.
+    pub fn chunk_index(&self) -> usize {
+        self.chunk_index
+    }
+
+    /// Global index of this chunk's first shot.
+    pub fn shot_offset(&self) -> usize {
+        self.shot_offset
+    }
+
+    /// Number of shots in this chunk.
+    pub fn num_shots(&self) -> usize {
+        self.num_shots
+    }
+
+    /// Number of detectors per shot.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables per shot.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Words per bit-plane.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The bit-plane of one detector.
+    pub fn detector_plane(&self, detector: usize) -> &[u64] {
+        self.detectors.plane(detector)
+    }
+
+    /// The bit-plane of one observable.
+    pub fn observable_plane(&self, observable: usize) -> &[u64] {
+        self.observables.plane(observable)
+    }
+
+    /// Whether a detector fired in a shot (local index within the chunk).
+    pub fn detector_fired(&self, shot: usize, detector: usize) -> bool {
+        self.detectors.bit(detector, shot)
+    }
+
+    /// Whether an observable flipped in a shot (local index).
+    pub fn observable_flipped(&self, shot: usize, observable: usize) -> bool {
+        self.observables.bit(observable, shot)
+    }
+
+    /// Collects the fired detectors of one shot into `out` (cleared first).
+    pub fn fired_detectors_into(&self, shot: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let word = shot / 64;
+        let bit = shot % 64;
+        for d in 0..self.num_detectors {
+            if (self.detectors.plane(d)[word] >> bit) & 1 == 1 {
+                out.push(d);
+            }
+        }
+    }
+
+    /// ORs all detector planes together: bit `s` of the result is set iff
+    /// *any* detector fired in shot `s`. Lets decoders skip quiet shots
+    /// without scanning every plane per shot.
+    pub fn fired_shot_mask(&self) -> Vec<u64> {
+        let mut mask = vec![0u64; self.words];
+        for d in 0..self.num_detectors {
+            for (m, &w) in mask.iter_mut().zip(self.detectors.plane(d)) {
+                *m |= w;
+            }
+        }
+        let tail = self.tail_mask();
+        if let Some(last) = mask.last_mut() {
+            *last &= tail;
+        }
+        mask
+    }
+
+    /// Mask of valid shot bits in the final word of each plane.
+    pub fn tail_mask(&self) -> u64 {
+        let tail_bits = self.num_shots % 64;
+        if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        }
+    }
+
+    /// Mutable access for the sampler while folding measurement planes in.
+    pub(crate) fn detectors_mut(&mut self) -> &mut BitPlanes {
+        &mut self.detectors
+    }
+
+    /// Mutable access for the sampler while folding measurement planes in.
+    pub(crate) fn observables_mut(&mut self) -> &mut BitPlanes {
+        &mut self.observables
+    }
+}
+
+/// A chunked, thread-shareable detector sampler over one noisy circuit.
+///
+/// See the [module docs](self) for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct DetectorChunkSampler<'c> {
+    circuit: &'c NoisyCircuit,
+    detectors: Vec<Vec<usize>>,
+    observables: Vec<Vec<usize>>,
+    total_shots: usize,
+    seed: u64,
+    blocks_per_chunk: usize,
+}
+
+impl<'c> DetectorChunkSampler<'c> {
+    /// Creates a sampler for `total_shots` shots of `circuit`, cutting the
+    /// work into chunks of (at least) `chunk_shots` shots. The chunk size is
+    /// rounded up to a whole number of canonical blocks; it affects peak
+    /// memory and scheduling granularity only, never the sampled bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first dangling [`MeasurementRef`] if the circuit's
+    /// annotations are inconsistent.
+    pub fn new(
+        circuit: &'c NoisyCircuit,
+        total_shots: usize,
+        seed: u64,
+        chunk_shots: usize,
+    ) -> Result<Self, MeasurementRef> {
+        assert!(total_shots > 0, "need at least one shot");
+        let (detectors, observables) = circuit.resolve_annotations()?;
+        // Clamp to the experiment's block count so arbitrarily large
+        // "one big chunk" requests (e.g. `usize::MAX`) cannot overflow the
+        // chunk-extent arithmetic.
+        let total_blocks = total_shots.div_ceil(CANONICAL_BLOCK_SHOTS);
+        let blocks_per_chunk = chunk_shots
+            .max(1)
+            .div_ceil(CANONICAL_BLOCK_SHOTS)
+            .min(total_blocks);
+        Ok(DetectorChunkSampler {
+            circuit,
+            detectors,
+            observables,
+            total_shots,
+            seed,
+            blocks_per_chunk,
+        })
+    }
+
+    /// Total number of shots across all chunks.
+    pub fn total_shots(&self) -> usize {
+        self.total_shots
+    }
+
+    /// Number of detectors per shot.
+    pub fn num_detectors(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Number of logical observables per shot.
+    pub fn num_observables(&self) -> usize {
+        self.observables.len()
+    }
+
+    /// Number of canonical sampling blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.total_shots.div_ceil(CANONICAL_BLOCK_SHOTS)
+    }
+
+    /// Number of chunks the shots are grouped into.
+    pub fn num_chunks(&self) -> usize {
+        self.num_blocks().div_ceil(self.blocks_per_chunk)
+    }
+
+    /// Effective shots per full chunk.
+    pub fn chunk_shots(&self) -> usize {
+        self.blocks_per_chunk * CANONICAL_BLOCK_SHOTS
+    }
+
+    /// Number of shots in one specific chunk.
+    pub fn shots_in_chunk(&self, chunk_index: usize) -> usize {
+        let start = chunk_index * self.chunk_shots();
+        assert!(start < self.total_shots, "chunk {chunk_index} out of range");
+        (self.total_shots - start).min(self.chunk_shots())
+    }
+
+    fn shots_in_block(&self, block: usize) -> usize {
+        let start = block * CANONICAL_BLOCK_SHOTS;
+        (self.total_shots - start).min(CANONICAL_BLOCK_SHOTS)
+    }
+
+    /// Samples one chunk. Chunks are independent: this method can be called
+    /// from many threads at once and in any order.
+    pub fn sample_chunk(&self, chunk_index: usize) -> SyndromeChunk {
+        let chunk_shots = self.shots_in_chunk(chunk_index);
+        let first_block = chunk_index * self.blocks_per_chunk;
+        let shot_offset = first_block * CANONICAL_BLOCK_SHOTS;
+        let mut chunk = SyndromeChunk::zeroed(
+            chunk_index,
+            shot_offset,
+            chunk_shots,
+            self.detectors.len(),
+            self.observables.len(),
+        );
+        let last_block = (first_block + self.blocks_per_chunk).min(self.num_blocks());
+        for block in first_block..last_block {
+            let block_shots = self.shots_in_block(block);
+            let word_offset = (block - first_block) * (CANONICAL_BLOCK_SHOTS / 64);
+            let block_words = block_shots.div_ceil(64);
+            let mut sampler = FrameSampler::new(
+                self.circuit.num_qubits(),
+                block_shots,
+                block_seed(self.seed, block as u64),
+            );
+            sampler.run(self.circuit);
+            let fold = |annotations: &[Vec<usize>], planes: &mut BitPlanes| {
+                for (index, measurement_indices) in annotations.iter().enumerate() {
+                    let dst = &mut planes.plane_mut(index)[word_offset..word_offset + block_words];
+                    for &m in measurement_indices {
+                        for (d, &s) in dst.iter_mut().zip(sampler.measurement_plane(m)) {
+                            *d ^= s;
+                        }
+                    }
+                }
+            };
+            fold(&self.detectors, chunk.detectors_mut());
+            fold(&self.observables, chunk.observables_mut());
+        }
+        chunk
+    }
+
+    /// A streaming iterator over all chunks in order; peak memory is one
+    /// chunk.
+    pub fn chunks(&self) -> impl Iterator<Item = SyndromeChunk> + '_ {
+        (0..self.num_chunks()).map(|index| self.sample_chunk(index))
+    }
+}
+
+/// Convenience constructor mirroring [`crate::sample_detectors`]: a chunked
+/// sampler whose peak memory is `O(chunk_shots × detectors)` instead of
+/// `O(total_shots × measurements)`.
+///
+/// # Errors
+///
+/// Returns the first dangling [`MeasurementRef`] if the circuit's
+/// annotations are inconsistent.
+pub fn sample_detector_chunks(
+    circuit: &NoisyCircuit,
+    total_shots: usize,
+    seed: u64,
+    chunk_shots: usize,
+) -> Result<DetectorChunkSampler<'_>, MeasurementRef> {
+    DetectorChunkSampler::new(circuit, total_shots, seed, chunk_shots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoiseChannel;
+    use qccd_circuit::{Detector, Instruction, LogicalObservable, QubitId};
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn mref(i: u32, occurrence: u32) -> MeasurementRef {
+        MeasurementRef::new(q(i), occurrence)
+    }
+
+    fn noisy_single_qubit(p: f64) -> NoisyCircuit {
+        let mut c = NoisyCircuit::new();
+        c.push_gate(Instruction::Reset(q(0)));
+        c.push_noise(NoiseChannel::BitFlip { qubit: q(0), p });
+        c.push_gate(Instruction::Measure(q(0)));
+        c.add_detector(Detector::new(vec![mref(0, 0)]));
+        c.add_observable(LogicalObservable::new(vec![mref(0, 0)]));
+        c
+    }
+
+    #[test]
+    fn chunk_partition_covers_all_shots() {
+        let circuit = noisy_single_qubit(0.1);
+        let total = 3 * CANONICAL_BLOCK_SHOTS + 17;
+        let sampler = sample_detector_chunks(&circuit, total, 5, CANONICAL_BLOCK_SHOTS).unwrap();
+        assert_eq!(sampler.num_chunks(), 4);
+        let mut seen = 0;
+        for chunk in sampler.chunks() {
+            assert_eq!(chunk.shot_offset(), seen);
+            seen += chunk.num_shots();
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn chunking_is_invariant_in_chunk_size() {
+        let circuit = noisy_single_qubit(0.2);
+        let total = 2 * CANONICAL_BLOCK_SHOTS + 100;
+        let fine = sample_detector_chunks(&circuit, total, 9, 1).unwrap();
+        let coarse = sample_detector_chunks(&circuit, total, 9, total).unwrap();
+        // Concatenating the fine chunks must reproduce the one coarse chunk.
+        let mut fired_fine = Vec::new();
+        for chunk in fine.chunks() {
+            for shot in 0..chunk.num_shots() {
+                fired_fine.push(chunk.detector_fired(shot, 0));
+            }
+        }
+        let big = coarse.sample_chunk(0);
+        let fired_coarse: Vec<bool> = (0..big.num_shots())
+            .map(|s| big.detector_fired(s, 0))
+            .collect();
+        assert_eq!(fired_fine, fired_coarse);
+    }
+
+    #[test]
+    fn chunk_statistics_match_probability() {
+        let p = 0.25;
+        let circuit = noisy_single_qubit(p);
+        let total = 40_000;
+        let sampler = sample_detector_chunks(&circuit, total, 11, 8192).unwrap();
+        let mut fired = 0usize;
+        for chunk in sampler.chunks() {
+            let mask = chunk.fired_shot_mask();
+            fired += mask.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        }
+        let rate = fired as f64 / total as f64;
+        assert!((rate - p).abs() < 0.01, "rate {rate} vs p {p}");
+    }
+
+    #[test]
+    fn fired_detectors_into_matches_bit_access() {
+        let circuit = noisy_single_qubit(0.5);
+        let sampler = sample_detector_chunks(&circuit, 130, 3, 64).unwrap();
+        let chunk = sampler.sample_chunk(0);
+        let mut fired = Vec::new();
+        for shot in 0..chunk.num_shots() {
+            chunk.fired_detectors_into(shot, &mut fired);
+            assert_eq!(fired.contains(&0), chunk.detector_fired(shot, 0));
+            // Observable mirrors the detector for this circuit.
+            assert_eq!(
+                chunk.observable_flipped(shot, 0),
+                chunk.detector_fired(shot, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn from_shots_round_trips() {
+        let shots = vec![(vec![0, 2], vec![0]), (vec![], vec![]), (vec![1], vec![])];
+        let chunk = SyndromeChunk::from_shots(3, 1, &shots);
+        assert_eq!(chunk.num_shots(), 3);
+        assert!(chunk.detector_fired(0, 0) && chunk.detector_fired(0, 2));
+        assert!(!chunk.detector_fired(1, 0));
+        assert!(chunk.detector_fired(2, 1));
+        assert!(chunk.observable_flipped(0, 0));
+        assert!(!chunk.observable_flipped(2, 0));
+        assert_eq!(chunk.fired_shot_mask(), vec![0b101]);
+    }
+
+    #[test]
+    fn block_seeds_differ() {
+        let a = block_seed(1, 0);
+        let b = block_seed(1, 1);
+        let c = block_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

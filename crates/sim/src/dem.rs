@@ -281,10 +281,7 @@ impl DetectorErrorModel {
                 }
             })
             .collect();
-        errors.sort_by(|a, b| {
-            (&a.detectors, &a.observables)
-                .cmp(&(&b.detectors, &b.observables))
-        });
+        errors.sort_by(|a, b| (&a.detectors, &a.observables).cmp(&(&b.detectors, &b.observables)));
 
         Ok(DetectorErrorModel {
             num_detectors,
@@ -322,7 +319,10 @@ mod tests {
     fn single_bit_flip_mechanism() {
         let mut circuit = NoisyCircuit::new();
         circuit.push_gate(Instruction::Reset(q(0)));
-        circuit.push_noise(NoiseChannel::BitFlip { qubit: q(0), p: 0.01 });
+        circuit.push_noise(NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.01,
+        });
         circuit.push_gate(Instruction::Measure(q(0)));
         circuit.add_detector(Detector::new(vec![mref(0, 0)]));
         circuit.add_observable(LogicalObservable::new(vec![mref(0, 0)]));
@@ -341,7 +341,10 @@ mod tests {
     fn z_error_before_z_measurement_is_invisible() {
         let mut circuit = NoisyCircuit::new();
         circuit.push_gate(Instruction::Reset(q(0)));
-        circuit.push_noise(NoiseChannel::PhaseFlip { qubit: q(0), p: 0.01 });
+        circuit.push_noise(NoiseChannel::PhaseFlip {
+            qubit: q(0),
+            p: 0.01,
+        });
         circuit.push_gate(Instruction::Measure(q(0)));
         circuit.add_detector(Detector::new(vec![mref(0, 0)]));
         let dem = DetectorErrorModel::from_circuit(&circuit).unwrap();
@@ -352,8 +355,14 @@ mod tests {
     fn identical_mechanisms_merge_probabilities() {
         let mut circuit = NoisyCircuit::new();
         circuit.push_gate(Instruction::Reset(q(0)));
-        circuit.push_noise(NoiseChannel::BitFlip { qubit: q(0), p: 0.1 });
-        circuit.push_noise(NoiseChannel::BitFlip { qubit: q(0), p: 0.1 });
+        circuit.push_noise(NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.1,
+        });
+        circuit.push_noise(NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.1,
+        });
         circuit.push_gate(Instruction::Measure(q(0)));
         circuit.add_detector(Detector::new(vec![mref(0, 0)]));
         let dem = DetectorErrorModel::from_circuit(&circuit).unwrap();
@@ -369,7 +378,10 @@ mod tests {
         let mut circuit = NoisyCircuit::new();
         circuit.push_gate(Instruction::Reset(q(0)));
         circuit.push_gate(Instruction::Reset(q(1)));
-        circuit.push_noise(NoiseChannel::BitFlip { qubit: q(0), p: 0.02 });
+        circuit.push_noise(NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.02,
+        });
         circuit.push_gate(Instruction::Cnot {
             control: q(0),
             target: q(1),
@@ -387,7 +399,10 @@ mod tests {
     fn depolarize_before_measurement_flips_with_two_thirds_weight() {
         let mut circuit = NoisyCircuit::new();
         circuit.push_gate(Instruction::Reset(q(0)));
-        circuit.push_noise(NoiseChannel::Depolarize1 { qubit: q(0), p: 0.3 });
+        circuit.push_noise(NoiseChannel::Depolarize1 {
+            qubit: q(0),
+            p: 0.3,
+        });
         circuit.push_gate(Instruction::Measure(q(0)));
         circuit.add_detector(Detector::new(vec![mref(0, 0)]));
         let dem = DetectorErrorModel::from_circuit(&circuit).unwrap();
@@ -400,7 +415,10 @@ mod tests {
     #[test]
     fn errors_after_reset_are_erased() {
         let mut circuit = NoisyCircuit::new();
-        circuit.push_noise(NoiseChannel::BitFlip { qubit: q(0), p: 0.5 });
+        circuit.push_noise(NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.5,
+        });
         circuit.push_gate(Instruction::Reset(q(0)));
         circuit.push_gate(Instruction::Measure(q(0)));
         circuit.add_detector(Detector::new(vec![mref(0, 0)]));
@@ -415,9 +433,15 @@ mod tests {
         // flips only the second.
         let mut circuit = NoisyCircuit::new();
         circuit.push_gate(Instruction::Reset(q(0)));
-        circuit.push_noise(NoiseChannel::BitFlip { qubit: q(0), p: 0.25 });
+        circuit.push_noise(NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.25,
+        });
         circuit.push_gate(Instruction::Measure(q(0)));
-        circuit.push_noise(NoiseChannel::BitFlip { qubit: q(0), p: 0.125 });
+        circuit.push_noise(NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.125,
+        });
         circuit.push_gate(Instruction::Measure(q(0)));
         circuit.add_detector(Detector::new(vec![mref(0, 0), mref(0, 1)]));
         let dem = DetectorErrorModel::from_circuit(&circuit).unwrap();
@@ -430,7 +454,11 @@ mod tests {
         let mut circuit = NoisyCircuit::new();
         circuit.push_gate(Instruction::Reset(q(0)));
         circuit.push_gate(Instruction::Reset(q(1)));
-        circuit.push_noise(NoiseChannel::Depolarize2 { a: q(0), b: q(1), p: 0.15 });
+        circuit.push_noise(NoiseChannel::Depolarize2 {
+            a: q(0),
+            b: q(1),
+            p: 0.15,
+        });
         circuit.push_gate(Instruction::Measure(q(0)));
         circuit.push_gate(Instruction::Measure(q(1)));
         circuit.add_detector(Detector::new(vec![mref(0, 0)]));

@@ -27,7 +27,7 @@ use rand_chacha::ChaCha8Rng;
 
 use qccd_circuit::{Instruction, QubitId};
 
-use crate::{NoiseChannel, NoisyCircuit, NoisyOp};
+use crate::{BitPlanes, NoiseChannel, NoisyCircuit, NoisyOp};
 
 /// A batch Pauli-frame simulator over `num_shots` parallel shots.
 #[derive(Debug, Clone)]
@@ -40,8 +40,8 @@ pub struct FrameSampler {
     /// Z component bit-planes, indexed `qubit * words + word`.
     z: Vec<u64>,
     /// Frame-induced measurement flips, one bit-plane per measurement in
-    /// execution order.
-    measurement_flips: Vec<Vec<u64>>,
+    /// execution order, stored in a flat arena.
+    measurement_flips: BitPlanes,
     rng: ChaCha8Rng,
 }
 
@@ -57,7 +57,7 @@ impl FrameSampler {
             words,
             x: vec![0; num_qubits * words],
             z: vec![0; num_qubits * words],
-            measurement_flips: Vec::new(),
+            measurement_flips: BitPlanes::new(words),
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
     }
@@ -74,12 +74,18 @@ impl FrameSampler {
 
     /// Number of measurements processed so far.
     pub fn num_measurements(&self) -> usize {
-        self.measurement_flips.len()
+        self.measurement_flips.num_planes()
     }
 
-    /// The recorded flip bit-planes, one per measurement in execution order.
-    pub fn measurement_flips(&self) -> &[Vec<u64>] {
+    /// The recorded flip bit-plane arena, one plane per measurement in
+    /// execution order.
+    pub fn measurement_flips(&self) -> &BitPlanes {
         &self.measurement_flips
+    }
+
+    /// The flip bit-plane of one measurement (by execution order).
+    pub fn measurement_plane(&self, measurement: usize) -> &[u64] {
+        self.measurement_flips.plane(measurement)
     }
 
     /// Returns whether the frame currently has an X component on `qubit` in
@@ -181,9 +187,10 @@ impl FrameSampler {
                 }
             }
             Measure(q) => {
+                // Snapshot the X plane straight into the arena: one memcpy,
+                // no intermediate `Vec` allocation.
                 let p = self.plane(q.index());
-                let flips = self.x[p.clone()].to_vec();
-                self.measurement_flips.push(flips);
+                self.measurement_flips.push_plane(&self.x[p]);
                 // The Z component becomes gauge after collapse: re-randomise.
                 for w in 0..self.words {
                     self.z[q.index() * self.words + w] = self.rng.gen();
@@ -191,8 +198,7 @@ impl FrameSampler {
             }
             MeasureX(q) => {
                 let p = self.plane(q.index());
-                let flips = self.z[p.clone()].to_vec();
-                self.measurement_flips.push(flips);
+                self.measurement_flips.push_plane(&self.z[p]);
                 for w in 0..self.words {
                     self.x[q.index() * self.words + w] = self.rng.gen();
                 }
@@ -307,9 +313,12 @@ mod tests {
     #[test]
     fn deterministic_x_error_flips_measurement() {
         let mut sampler = FrameSampler::new(1, 130, 1);
-        sampler.apply_noise(&NoiseChannel::BitFlip { qubit: q(0), p: 1.0 });
+        sampler.apply_noise(&NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 1.0,
+        });
         sampler.apply_gate(&Instruction::Measure(q(0)));
-        let flips = &sampler.measurement_flips()[0];
+        let flips = sampler.measurement_plane(0);
         // Every shot flips.
         for shot in 0..130 {
             assert_eq!((flips[shot / 64] >> (shot % 64)) & 1, 1);
@@ -319,33 +328,49 @@ mod tests {
     #[test]
     fn z_error_does_not_flip_z_measurement() {
         let mut sampler = FrameSampler::new(1, 64, 2);
-        sampler.apply_noise(&NoiseChannel::PhaseFlip { qubit: q(0), p: 1.0 });
+        sampler.apply_noise(&NoiseChannel::PhaseFlip {
+            qubit: q(0),
+            p: 1.0,
+        });
         sampler.apply_gate(&Instruction::Measure(q(0)));
-        assert!(sampler.measurement_flips()[0].iter().all(|&w| w == 0));
+        assert!(sampler.measurement_plane(0).iter().all(|&w| w == 0));
     }
 
     #[test]
     fn hadamard_converts_z_error_to_x_error() {
         let mut sampler = FrameSampler::new(1, 64, 3);
-        sampler.apply_noise(&NoiseChannel::PhaseFlip { qubit: q(0), p: 1.0 });
+        sampler.apply_noise(&NoiseChannel::PhaseFlip {
+            qubit: q(0),
+            p: 1.0,
+        });
         sampler.apply_gate(&Instruction::H(q(0)));
         sampler.apply_gate(&Instruction::Measure(q(0)));
-        assert!(sampler.measurement_flips()[0].iter().enumerate().all(|(w, &word)| {
-            let bits = if w == 0 { 64 } else { 0 };
-            (0..bits).all(|b| (word >> b) & 1 == 1)
-        }));
+        assert!(sampler
+            .measurement_plane(0)
+            .iter()
+            .enumerate()
+            .all(|(w, &word)| {
+                let bits = if w == 0 { 64 } else { 0 };
+                (0..bits).all(|b| (word >> b) & 1 == 1)
+            }));
     }
 
     #[test]
     fn cnot_copies_x_error_to_target() {
         let mut sampler = FrameSampler::new(2, 64, 4);
-        sampler.apply_noise(&NoiseChannel::BitFlip { qubit: q(0), p: 1.0 });
+        sampler.apply_noise(&NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 1.0,
+        });
         sampler.apply_gate(&Instruction::Cnot {
             control: q(0),
             target: q(1),
         });
         sampler.apply_gate(&Instruction::Measure(q(1)));
-        assert!(sampler.measurement_flips()[0].iter().all(|&w| w == !0u64 || w == 0));
+        assert!(sampler
+            .measurement_plane(0)
+            .iter()
+            .all(|&w| w == !0u64 || w == 0));
         assert!(sampler.frame_x(q(0), 0));
         assert!(sampler.frame_x(q(1), 0));
     }
@@ -353,29 +378,42 @@ mod tests {
     #[test]
     fn reset_clears_x_component() {
         let mut sampler = FrameSampler::new(1, 64, 5);
-        sampler.apply_noise(&NoiseChannel::BitFlip { qubit: q(0), p: 1.0 });
+        sampler.apply_noise(&NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 1.0,
+        });
         sampler.apply_gate(&Instruction::Reset(q(0)));
         sampler.apply_gate(&Instruction::Measure(q(0)));
-        assert!(sampler.measurement_flips()[0].iter().all(|&w| w == 0));
+        assert!(sampler.measurement_plane(0).iter().all(|&w| w == 0));
     }
 
     #[test]
     fn ms_gate_propagates_z_to_both_x_components() {
         let mut sampler = FrameSampler::new(2, 64, 6);
-        sampler.apply_noise(&NoiseChannel::PhaseFlip { qubit: q(0), p: 1.0 });
+        sampler.apply_noise(&NoiseChannel::PhaseFlip {
+            qubit: q(0),
+            p: 1.0,
+        });
         sampler.apply_gate(&Instruction::Ms(q(0), q(1)));
         assert!(sampler.frame_x(q(0), 7));
         assert!(sampler.frame_x(q(1), 7));
-        assert!(sampler.frame_z(q(0), 7), "original Z component survives as Y");
+        assert!(
+            sampler.frame_z(q(0), 7),
+            "original Z component survives as Y"
+        );
     }
 
     #[test]
     fn bit_flip_probability_statistics() {
         let shots = 20_000;
         let mut sampler = FrameSampler::new(1, shots, 7);
-        sampler.apply_noise(&NoiseChannel::BitFlip { qubit: q(0), p: 0.1 });
+        sampler.apply_noise(&NoiseChannel::BitFlip {
+            qubit: q(0),
+            p: 0.1,
+        });
         sampler.apply_gate(&Instruction::Measure(q(0)));
-        let count: u32 = sampler.measurement_flips()[0]
+        let count: u32 = sampler
+            .measurement_plane(0)
             .iter()
             .map(|w| w.count_ones())
             .sum();
@@ -390,9 +428,13 @@ mod tests {
     fn depolarize1_flips_z_measurement_two_thirds_of_the_time() {
         let shots = 30_000;
         let mut sampler = FrameSampler::new(1, shots, 8);
-        sampler.apply_noise(&NoiseChannel::Depolarize1 { qubit: q(0), p: 0.3 });
+        sampler.apply_noise(&NoiseChannel::Depolarize1 {
+            qubit: q(0),
+            p: 0.3,
+        });
         sampler.apply_gate(&Instruction::Measure(q(0)));
-        let count: u32 = sampler.measurement_flips()[0]
+        let count: u32 = sampler
+            .measurement_plane(0)
             .iter()
             .map(|w| w.count_ones())
             .sum();

@@ -16,7 +16,13 @@
 //! * [`DetectorErrorModel`] — per-mechanism symptom extraction (which
 //!   detectors and observables each elementary fault flips), consumed by the
 //!   decoders in `qccd-decoder`;
-//! * [`sample_detectors`] / [`verify_detectors`] — the high-level API.
+//! * [`sample_detectors`] / [`verify_detectors`] — the high-level API;
+//! * [`sample_detector_chunks`] / [`DetectorChunkSampler`] — the chunked,
+//!   streaming API: peak memory bounded by the chunk size, deterministic
+//!   per-block seeds (bit-identical outcomes for a fixed `(shots, seed)`
+//!   regardless of chunk size or thread count), `&self` sampling so chunks
+//!   can be produced from many threads at once. All bit-planes live in flat
+//!   [`BitPlanes`] arenas.
 //!
 //! # Example
 //!
@@ -43,14 +49,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bitplane;
+mod chunk;
 mod dem;
 mod frame;
 mod noisy_circuit;
 mod sampler;
 mod tableau;
 
+pub use bitplane::BitPlanes;
+pub use chunk::{
+    block_seed, sample_detector_chunks, DetectorChunkSampler, SyndromeChunk, CANONICAL_BLOCK_SHOTS,
+};
 pub use dem::{DemError, DetectorErrorModel};
 pub use frame::FrameSampler;
-pub use noisy_circuit::{NoiseChannel, NoisyCircuit, NoisyOp};
+pub use noisy_circuit::{NoiseChannel, NoisyCircuit, NoisyOp, ResolvedAnnotations};
 pub use sampler::{sample_detectors, verify_detectors, DetectorSamples, VerificationError};
 pub use tableau::TableauSimulator;

@@ -14,6 +14,10 @@ use serde::{Deserialize, Serialize};
 
 use qccd_circuit::{Circuit, Detector, Instruction, LogicalObservable, MeasurementRef, QubitId};
 
+/// Resolved annotation lists: per-detector and per-observable measurement
+/// indices, as returned by [`NoisyCircuit::resolve_annotations`].
+pub type ResolvedAnnotations = (Vec<Vec<usize>>, Vec<Vec<usize>>);
+
 /// A stochastic Pauli noise channel inserted at a specific point in the
 /// circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -235,14 +239,10 @@ impl NoisyCircuit {
     ///
     /// Returns the first measurement reference that does not correspond to a
     /// measurement in the circuit.
-    pub fn resolve_annotations(
-        &self,
-    ) -> Result<(Vec<Vec<usize>>, Vec<Vec<usize>>), MeasurementRef> {
+    pub fn resolve_annotations(&self) -> Result<ResolvedAnnotations, MeasurementRef> {
         let map = self.measurement_index_map();
         let resolve = |refs: &[MeasurementRef]| -> Result<Vec<usize>, MeasurementRef> {
-            refs.iter()
-                .map(|r| map.get(r).copied().ok_or(*r))
-                .collect()
+            refs.iter().map(|r| map.get(r).copied().ok_or(*r)).collect()
         };
         let detectors = self
             .detectors
@@ -299,9 +299,15 @@ mod tests {
     #[test]
     fn zero_probability_noise_is_dropped() {
         let mut noisy = NoisyCircuit::new();
-        noisy.push_noise(NoiseChannel::Depolarize1 { qubit: q(0), p: 0.0 });
+        noisy.push_noise(NoiseChannel::Depolarize1 {
+            qubit: q(0),
+            p: 0.0,
+        });
         assert_eq!(noisy.ops().len(), 0);
-        noisy.push_noise(NoiseChannel::Depolarize1 { qubit: q(0), p: 0.01 });
+        noisy.push_noise(NoiseChannel::Depolarize1 {
+            qubit: q(0),
+            p: 0.01,
+        });
         assert_eq!(noisy.ops().len(), 1);
         assert_eq!(noisy.num_noise_channels(), 1);
     }
@@ -347,15 +353,28 @@ mod tests {
     #[test]
     fn expected_fault_count_sums_probabilities() {
         let mut noisy = NoisyCircuit::new();
-        noisy.push_noise(NoiseChannel::Depolarize1 { qubit: q(0), p: 0.1 });
-        noisy.push_noise(NoiseChannel::BitFlip { qubit: q(1), p: 0.2 });
-        noisy.push_noise(NoiseChannel::PhaseFlip { qubit: q(1), p: 0.3 });
+        noisy.push_noise(NoiseChannel::Depolarize1 {
+            qubit: q(0),
+            p: 0.1,
+        });
+        noisy.push_noise(NoiseChannel::BitFlip {
+            qubit: q(1),
+            p: 0.2,
+        });
+        noisy.push_noise(NoiseChannel::PhaseFlip {
+            qubit: q(1),
+            p: 0.3,
+        });
         assert!((noisy.expected_fault_count() - 0.6).abs() < 1e-12);
     }
 
     #[test]
     fn channel_metadata() {
-        let c = NoiseChannel::Depolarize2 { a: q(0), b: q(3), p: 0.05 };
+        let c = NoiseChannel::Depolarize2 {
+            a: q(0),
+            b: q(3),
+            p: 0.05,
+        };
         assert_eq!(c.qubits(), vec![q(0), q(3)]);
         assert_eq!(c.total_probability(), 0.05);
         assert!(!c.is_trivial());

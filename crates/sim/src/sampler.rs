@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use qccd_circuit::MeasurementRef;
 
-use crate::{FrameSampler, NoisyCircuit, NoisyOp, TableauSimulator};
+use crate::{BitPlanes, FrameSampler, NoisyCircuit, NoisyOp, TableauSimulator};
 
 /// Bit-packed detector and observable outcomes for a batch of shots.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,11 +20,11 @@ pub struct DetectorSamples {
     num_shots: usize,
     num_detectors: usize,
     num_observables: usize,
-    /// `detector_words[d][w]`: bit `s % 64` of word `w = s / 64` is detector
-    /// `d`'s outcome in shot `s`.
-    detector_words: Vec<Vec<u64>>,
+    /// Detector bit-planes: bit `s % 64` of word `s / 64` of plane `d` is
+    /// detector `d`'s outcome in shot `s`.
+    detectors: BitPlanes,
     /// Same layout for logical observables.
-    observable_words: Vec<Vec<u64>>,
+    observables: BitPlanes,
 }
 
 impl DetectorSamples {
@@ -45,12 +45,22 @@ impl DetectorSamples {
 
     /// Whether detector `detector` fired in shot `shot`.
     pub fn detector_fired(&self, shot: usize, detector: usize) -> bool {
-        (self.detector_words[detector][shot / 64] >> (shot % 64)) & 1 == 1
+        self.detectors.bit(detector, shot)
     }
 
     /// Whether observable `observable` was flipped in shot `shot`.
     pub fn observable_flipped(&self, shot: usize, observable: usize) -> bool {
-        (self.observable_words[observable][shot / 64] >> (shot % 64)) & 1 == 1
+        self.observables.bit(observable, shot)
+    }
+
+    /// The bit-plane of one detector.
+    pub fn detector_plane(&self, detector: usize) -> &[u64] {
+        self.detectors.plane(detector)
+    }
+
+    /// The bit-plane of one observable.
+    pub fn observable_plane(&self, observable: usize) -> &[u64] {
+        self.observables.plane(observable)
     }
 
     /// The indices of all detectors that fired in a shot.
@@ -63,21 +73,13 @@ impl DetectorSamples {
     /// Number of shots in which each detector fired.
     pub fn detector_fire_counts(&self) -> Vec<usize> {
         (0..self.num_detectors)
-            .map(|d| {
-                self.detector_words[d]
-                    .iter()
-                    .map(|w| w.count_ones() as usize)
-                    .sum()
-            })
+            .map(|d| self.detectors.count_ones(d))
             .collect()
     }
 
     /// Number of shots in which the given observable flipped.
     pub fn observable_flip_count(&self, observable: usize) -> usize {
-        self.observable_words[observable]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        self.observables.count_ones(observable)
     }
 
     /// Average number of fired detectors per shot.
@@ -169,28 +171,24 @@ pub fn sample_detectors(
     let (detectors, observables) = circuit.resolve_annotations()?;
     let mut sampler = FrameSampler::new(circuit.num_qubits(), num_shots, seed);
     sampler.run(circuit);
-    let flips = sampler.measurement_flips();
     let words = num_shots.div_ceil(64);
 
-    let combine = |measurement_indices: &[usize]| -> Vec<u64> {
-        let mut out = vec![0u64; words];
-        for &m in measurement_indices {
-            for (w, &word) in flips[m].iter().enumerate() {
-                out[w] ^= word;
+    let combine = |annotations: &[Vec<usize>]| -> BitPlanes {
+        let mut planes = BitPlanes::zeroed(annotations.len(), words);
+        for (index, measurement_indices) in annotations.iter().enumerate() {
+            for &m in measurement_indices {
+                planes.xor_plane(index, sampler.measurement_plane(m));
             }
         }
-        out
+        planes
     };
-
-    let detector_words: Vec<Vec<u64>> = detectors.iter().map(|d| combine(d)).collect();
-    let observable_words: Vec<Vec<u64>> = observables.iter().map(|o| combine(o)).collect();
 
     Ok(DetectorSamples {
         num_shots,
         num_detectors: detectors.len(),
         num_observables: observables.len(),
-        detector_words,
-        observable_words,
+        detectors: combine(&detectors),
+        observables: combine(&observables),
     })
 }
 

@@ -154,7 +154,10 @@ impl TableauSimulator {
 
     /// Runs every instruction of an iterator, collecting measurement
     /// outcomes in order.
-    pub fn run<'a, I: IntoIterator<Item = &'a Instruction>>(&mut self, instructions: I) -> Vec<bool> {
+    pub fn run<'a, I: IntoIterator<Item = &'a Instruction>>(
+        &mut self,
+        instructions: I,
+    ) -> Vec<bool> {
         instructions
             .into_iter()
             .filter_map(|i| self.apply(i))
@@ -326,7 +329,10 @@ mod tests {
                 zeros += 1;
             }
         }
-        assert!(zeros > 10 && zeros < 54, "outcomes should be random, got {zeros}/64 zeros");
+        assert!(
+            zeros > 10 && zeros < 54,
+            "outcomes should be random, got {zeros}/64 zeros"
+        );
     }
 
     #[test]
@@ -447,9 +453,15 @@ mod tests {
         for gate in &gates {
             for (prep, pauli) in [
                 (vec![], SparsePauli::single(q(0), Pauli::Z)),
-                (vec![Instruction::H(q(0))], SparsePauli::single(q(0), Pauli::X)),
+                (
+                    vec![Instruction::H(q(0))],
+                    SparsePauli::single(q(0), Pauli::X),
+                ),
                 (vec![], SparsePauli::single(q(1), Pauli::Z)),
-                (vec![Instruction::H(q(1))], SparsePauli::single(q(1), Pauli::X)),
+                (
+                    vec![Instruction::H(q(1))],
+                    SparsePauli::single(q(1), Pauli::X),
+                ),
             ] {
                 let mut sim = TableauSimulator::new(2, 11);
                 for p in &prep {

@@ -27,7 +27,8 @@ fn clifford_layer() -> impl Strategy<Value = Vec<Instruction>> {
         q().prop_map(Instruction::X),
         q().prop_map(Instruction::Z),
         q().prop_map(Instruction::SqrtX),
-        two.clone().prop_map(|(control, target)| Instruction::Cnot { control, target }),
+        two.clone()
+            .prop_map(|(control, target)| Instruction::Cnot { control, target }),
         two.prop_map(|(a, b)| Instruction::Cz(a, b)),
     ];
     prop::collection::vec(gate, 0..20)

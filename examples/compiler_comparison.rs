@@ -11,9 +11,24 @@ use qccd_qec::{repetition_code, rotated_surface_code, CodeLayout};
 fn main() {
     let rounds = 5;
     let cases: Vec<(&str, CodeLayout, TopologyKind, usize)> = vec![
-        ("repetition d=5", repetition_code(5), TopologyKind::Linear, 3),
-        ("rotated surface d=3", rotated_surface_code(3), TopologyKind::Grid, 3),
-        ("rotated surface d=4", rotated_surface_code(4), TopologyKind::Grid, 5),
+        (
+            "repetition d=5",
+            repetition_code(5),
+            TopologyKind::Linear,
+            3,
+        ),
+        (
+            "rotated surface d=3",
+            rotated_surface_code(3),
+            TopologyKind::Grid,
+            3,
+        ),
+        (
+            "rotated surface d=4",
+            rotated_surface_code(4),
+            TopologyKind::Grid,
+            5,
+        ),
     ];
 
     println!(
@@ -22,12 +37,11 @@ fn main() {
     );
     for (name, layout, topology, capacity) in cases {
         let arch = ArchitectureConfig::new(topology, capacity, WiringMethod::Standard, 1.0);
-        let format = |result: Result<qccd_core::CompiledProgram, qccd_core::CompileError>| {
-            match result {
+        let format =
+            |result: Result<qccd_core::CompiledProgram, qccd_core::CompileError>| match result {
                 Ok(p) => format!("{} / {:.0}", p.movement_ops(), p.movement_time_us()),
                 Err(_) => "NaN".to_string(),
-            }
-        };
+            };
         let ours = format(Compiler::new(arch.clone()).compile_rounds(&layout, rounds));
         let qccdsim = format(QccdSimCompiler::new(arch.clone()).compile_rounds(&layout, rounds));
         let muzzle = format(MuzzleShuttleCompiler::new(arch).compile_rounds(&layout, rounds));

@@ -11,7 +11,11 @@ use qccd_hardware::{TopologyKind, WiringMethod};
 fn main() {
     let distances = [3usize, 5];
     let capacities = [2usize, 5, 12];
-    let topologies = [TopologyKind::Grid, TopologyKind::Switch, TopologyKind::Linear];
+    let topologies = [
+        TopologyKind::Grid,
+        TopologyKind::Switch,
+        TopologyKind::Linear,
+    ];
 
     println!("QEC round time (us) for the rotated surface code\n");
     print!("{:<18}", "configuration");

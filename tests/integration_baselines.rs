@@ -13,8 +13,11 @@ fn ours_never_moves_more_than_qccdsim_on_grid_configs() {
         (rotated_surface_code(3), 3),
         (rotated_surface_code(3), 5),
     ] {
-        let arch = ArchitectureConfig::new(TopologyKind::Grid, capacity, WiringMethod::Standard, 1.0);
-        let ours = Compiler::new(arch.clone()).compile_rounds(&layout, 5).unwrap();
+        let arch =
+            ArchitectureConfig::new(TopologyKind::Grid, capacity, WiringMethod::Standard, 1.0);
+        let ours = Compiler::new(arch.clone())
+            .compile_rounds(&layout, 5)
+            .unwrap();
         if let Ok(baseline) = QccdSimCompiler::new(arch).compile_rounds(&layout, 5) {
             assert!(
                 ours.movement_ops() <= baseline.movement_ops(),
@@ -31,8 +34,12 @@ fn ours_never_moves_more_than_qccdsim_on_grid_configs() {
 fn ours_beats_muzzle_on_movement_time_for_the_repetition_code() {
     let layout = repetition_code(5);
     let arch = ArchitectureConfig::new(TopologyKind::Linear, 3, WiringMethod::Standard, 1.0);
-    let ours = Compiler::new(arch.clone()).compile_rounds(&layout, 5).unwrap();
-    let muzzle = MuzzleShuttleCompiler::new(arch).compile_rounds(&layout, 5).unwrap();
+    let ours = Compiler::new(arch.clone())
+        .compile_rounds(&layout, 5)
+        .unwrap();
+    let muzzle = MuzzleShuttleCompiler::new(arch)
+        .compile_rounds(&layout, 5)
+        .unwrap();
     assert!(ours.elapsed_time_us() <= muzzle.elapsed_time_us());
 }
 

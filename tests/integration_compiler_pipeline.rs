@@ -59,7 +59,10 @@ fn movement_decreases_as_capacity_grows() {
     let m2 = movement(2);
     let m6 = movement(6);
     let m17 = movement(17);
-    assert!(m2 > m6, "capacity 2 ({m2}) must move more than capacity 6 ({m6})");
+    assert!(
+        m2 > m6,
+        "capacity 2 ({m2}) must move more than capacity 6 ({m6})"
+    );
     assert_eq!(m17, 0, "a single-chain device needs no movement");
 }
 

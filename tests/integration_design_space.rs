@@ -57,7 +57,10 @@ fn capacity_two_beats_larger_traps_on_round_time() {
     };
     let c2 = round_time(2);
     let c12 = round_time(12);
-    assert!(c2 < c12, "capacity 2 ({c2:.0}) should beat capacity 12 ({c12:.0})");
+    assert!(
+        c2 < c12,
+        "capacity 2 ({c2:.0}) should beat capacity 12 ({c12:.0})"
+    );
 }
 
 #[test]

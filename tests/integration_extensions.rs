@@ -105,8 +105,15 @@ fn decoder_choice_shifts_but_does_not_reorder_logical_error_rates() {
         .logical_error_rate;
 
     // All three must be in a sane range for a 10X-improved capacity-2 grid.
-    for (name, ler) in [("union-find", union_find), ("exact", exact), ("greedy", greedy)] {
-        assert!(ler < 0.35, "{name} logical error rate implausibly high: {ler}");
+    for (name, ler) in [
+        ("union-find", union_find),
+        ("exact", exact),
+        ("greedy", greedy),
+    ] {
+        assert!(
+            ler < 0.35,
+            "{name} logical error rate implausibly high: {ler}"
+        );
     }
     // The exact matcher never does worse than greedy by more than noise, and
     // union-find sits within a small factor of the exact reference.

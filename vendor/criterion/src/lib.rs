@@ -1,0 +1,200 @@
+//! API-subset shim for `criterion` (see `vendor/README.md`).
+//!
+//! Implements benchmark groups, `bench_function` / `bench_with_input` and a
+//! simple warmup + sampled-timing loop, reporting mean, min and max time per
+//! iteration on stdout. Statistical analysis, plots and baselines are out of
+//! scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.to_string(), 20, &mut f);
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations to run in this sample.
+    iterations: u64,
+    /// Measured wall time of the sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` runs of the routine.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_sample(f: &mut dyn FnMut(&mut Bencher), iterations: u64) -> Duration {
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warmup: find an iteration count that makes one sample take ≥ ~20 ms,
+    // warming caches along the way. Cap the calibration effort so very slow
+    // routines still terminate quickly.
+    let mut iterations: u64 = 1;
+    let target_sample = Duration::from_millis(20);
+    loop {
+        let elapsed = run_sample(f, iterations);
+        if elapsed >= target_sample || iterations >= 1 << 20 {
+            break;
+        }
+        if elapsed >= Duration::from_millis(250) {
+            break;
+        }
+        iterations = if elapsed.is_zero() {
+            iterations * 8
+        } else {
+            let scale = target_sample.as_secs_f64() / elapsed.as_secs_f64();
+            ((iterations as f64 * scale.clamp(1.1, 8.0)).ceil()) as u64
+        };
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let elapsed = run_sample(f, iterations);
+        per_iter.push(elapsed.as_secs_f64() * 1e9 / iterations as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let max = per_iter.last().copied().unwrap_or(0.0);
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        format_time(min),
+        format_time(mean),
+        format_time(max),
+        sample_size,
+        iterations,
+    );
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,358 @@
+//! API-subset shim for `rayon` (see `vendor/README.md`).
+//!
+//! Provides order-preserving `into_par_iter().map(..).collect()` over ranges
+//! and vectors, plus [`ThreadPoolBuilder`] / [`ThreadPool::install`] for
+//! scoping the worker count. Work is split eagerly into one contiguous block
+//! per worker (no work stealing) and executed on `std::thread::scope`
+//! threads, so borrowed captures work exactly like with upstream rayon.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel iterators will use in this
+/// context: an installed pool's size, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error building a thread pool (the shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rayon shim thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default worker count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (`0` means the environment default).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the upstream signature; the shim never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scope with a fixed worker count. The shim spawns scoped threads per
+/// parallel call rather than keeping a persistent pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker count of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's worker count governing parallel iterators.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|cell| cell.replace(Some(self.threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|cell| cell.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+/// The usual `use rayon::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+pub mod iter {
+    //! Parallel iterator traits and adaptors.
+
+    use super::current_num_threads;
+
+    /// Conversion into a [`ParallelIterator`].
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// An order-preserving parallel iterator.
+    ///
+    /// Implementors provide eager splitting into same-typed parts plus
+    /// sequential execution of one part; the provided adaptors handle
+    /// threading.
+    pub trait ParallelIterator: Sized + Send {
+        /// Element type.
+        type Item: Send;
+
+        /// Number of elements.
+        fn len(&self) -> usize;
+
+        /// Whether the iterator is empty.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Splits into at most `parts` contiguous same-typed pieces,
+        /// preserving order.
+        fn split(self, parts: usize) -> Vec<Self>;
+
+        /// Runs one piece sequentially.
+        fn run_seq(self) -> Vec<Self::Item>;
+
+        /// Maps every element through `f`.
+        fn map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            T: Send,
+            F: Fn(Self::Item) -> T + Sync + Send + Clone,
+        {
+            Map { base: self, f }
+        }
+
+        /// Executes in parallel, preserving input order in the output.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_ordered_vec(materialize(self))
+        }
+
+        /// Runs `f` on every element (in parallel, order unspecified).
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send + Clone,
+        {
+            let _: Vec<()> = self.map(f).collect();
+        }
+    }
+
+    /// Collection types buildable from an ordered parallel result.
+    pub trait FromParallelIterator<T: Send> {
+        /// Builds the collection from the already-ordered elements.
+        fn from_ordered_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    fn materialize<P: ParallelIterator>(iter: P) -> Vec<P::Item> {
+        let workers = current_num_threads().min(iter.len()).max(1);
+        if workers <= 1 {
+            return iter.run_seq();
+        }
+        let parts = iter.split(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| scope.spawn(move || part.run_seq()))
+                .collect();
+            let mut out = Vec::new();
+            for handle in handles {
+                out.extend(handle.join().expect("rayon shim worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Parallel iterator returned by [`ParallelIterator::map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, F, T> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        T: Send,
+        F: Fn(P::Item) -> T + Sync + Send + Clone,
+    {
+        type Item = T;
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn split(self, parts: usize) -> Vec<Self> {
+            let f = self.f;
+            self.base
+                .split(parts)
+                .into_iter()
+                .map(|base| Map { base, f: f.clone() })
+                .collect()
+        }
+
+        fn run_seq(self) -> Vec<T> {
+            let f = self.f;
+            self.base.run_seq().into_iter().map(f).collect()
+        }
+    }
+
+    /// Parallel iterator over a `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct RangeIter {
+        range: std::ops::Range<usize>,
+    }
+
+    impl ParallelIterator for RangeIter {
+        type Item = usize;
+
+        fn len(&self) -> usize {
+            self.range.len()
+        }
+
+        fn split(self, parts: usize) -> Vec<Self> {
+            let len = self.range.len();
+            let parts = parts.min(len).max(1);
+            let chunk = len.div_ceil(parts);
+            (0..parts)
+                .map(|i| {
+                    let start = self.range.start + i * chunk;
+                    let end = (start + chunk).min(self.range.end);
+                    RangeIter { range: start..end }
+                })
+                .filter(|part| !part.range.is_empty())
+                .collect()
+        }
+
+        fn run_seq(self) -> Vec<usize> {
+            self.range.collect()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = RangeIter;
+
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter { range: self }
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec<T>`.
+    #[derive(Debug, Clone)]
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+
+        fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        fn split(mut self, parts: usize) -> Vec<Self> {
+            let len = self.items.len();
+            let parts = parts.min(len).max(1);
+            let chunk = len.div_ceil(parts);
+            let mut out = Vec::with_capacity(parts);
+            while self.items.len() > chunk {
+                let tail = self.items.split_off(self.items.len() - chunk);
+                out.push(VecIter { items: tail });
+            }
+            out.push(self);
+            out.reverse();
+            out
+        }
+
+        fn run_seq(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let doubled: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled.len(), 1000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i));
+    }
+
+    #[test]
+    fn pool_install_controls_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 2);
+        // Results identical across pool sizes.
+        let one = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let a: Vec<usize> = one.install(|| (0..257).into_par_iter().map(|i| i * i).collect());
+        let b: Vec<usize> = pool.install(|| (0..257).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_split_preserves_order() {
+        let items: Vec<i32> = (0..10).collect();
+        let back: Vec<i32> = items.clone().into_par_iter().map(|x| x).collect();
+        assert_eq!(items, back);
+    }
+}

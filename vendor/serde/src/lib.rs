@@ -1,0 +1,17 @@
+//! API-subset shim for `serde` (see `vendor/README.md`).
+//!
+//! Exposes the `Serialize` / `Deserialize` trait names plus the derive
+//! macros of the same names, which is the full extent of the workspace's
+//! serde usage. The derives are no-ops, so derived types do not actually
+//! implement the traits — nothing in the workspace relies on that.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}

@@ -1,0 +1,19 @@
+//! No-op shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! The derives accept the `#[serde(...)]` helper attribute and expand to
+//! nothing: the workspace only needs the derive *names* to resolve, it never
+//! serializes the derived types through serde itself.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
