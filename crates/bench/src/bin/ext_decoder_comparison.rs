@@ -6,10 +6,15 @@
 //! change which architecture wins). This experiment quantifies that claim by
 //! decoding the *same* compiled memory experiments with the union-find,
 //! greedy-matching and exact minimum-weight matching decoders.
+//!
+//! The `(improvement, distance)` cases are sharded across the
+//! [`SweepEngine`]'s outer worker pool; within a case the three decoders see
+//! the same sampled shots (same per-case seed), so the comparison stays
+//! apples-to-apples.
 
-use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SHOTS};
+use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED};
 use qccd_core::{Compiler, Toolflow};
-use qccd_decoder::{estimate_logical_error_rate, DecoderKind};
+use qccd_decoder::{estimate_logical_error_rate, DecoderKind, SweepEngine};
 use qccd_qec::{rotated_surface_code, MemoryBasis};
 
 fn main() {
@@ -22,33 +27,38 @@ fn main() {
     ];
     let shots = DEFAULT_SHOTS;
 
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for improvement in improvements {
-        for d in distances {
-            let layout = rotated_surface_code(d);
-            let compiler = Compiler::new(grid_arch(2, improvement));
-            let program = compiler
-                .compile_memory_experiment(&layout, d, MemoryBasis::Z)
-                .expect("the recommended architecture hosts the code");
-            let noisy = program.to_noisy_circuit();
+    let cases: Vec<(f64, usize)> = improvements
+        .iter()
+        .flat_map(|&improvement| distances.iter().map(move |&d| (improvement, d)))
+        .collect();
 
-            let mut row = vec![format!("{improvement:.0}X d={d}")];
-            let mut entry = serde_json::json!({
-                "gate_improvement": improvement,
-                "distance": d,
-                "shots": shots,
-            });
-            for decoder in decoders {
-                let estimate = estimate_logical_error_rate(&noisy, shots, 2026, decoder)
-                    .expect("compiled circuits carry consistent annotations");
-                row.push(fmt_f64(estimate.logical_error_rate));
-                entry[format!("{decoder:?}")] = serde_json::json!(estimate.logical_error_rate);
-            }
-            rows.push(row);
-            artefact.push(entry);
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let outcomes = engine.run(&cases, |task| {
+        let (improvement, d) = *task.point;
+        let layout = rotated_surface_code(d);
+        let compiler = Compiler::new(grid_arch(2, improvement));
+        let program = compiler
+            .compile_memory_experiment(&layout, d, MemoryBasis::Z)
+            .expect("the recommended architecture hosts the code");
+        let noisy = program.to_noisy_circuit();
+
+        let mut row = vec![format!("{improvement:.0}X d={d}")];
+        let mut entry = serde_json::json!({
+            "gate_improvement": improvement,
+            "distance": d,
+            "shots": shots,
+            "seed": task.seed,
+        });
+        for decoder in decoders {
+            let estimate = estimate_logical_error_rate(&noisy, shots, task.seed, decoder)
+                .expect("compiled circuits carry consistent annotations");
+            row.push(fmt_f64(estimate.logical_error_rate));
+            entry[format!("{decoder:?}")] = serde_json::json!(estimate.logical_error_rate);
         }
-    }
+        (row, entry)
+    });
+
+    let (rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
 
     print_table(
         "Extension E3: logical error rate per decoder (grid, capacity 2, standard wiring)",

@@ -9,64 +9,74 @@
 //! times. At capacity 2 the merged patch should run at (approximately) the
 //! same constant round time as the single patch; at large capacities the
 //! merged patch slows down with its size.
+//!
+//! The `(capacity, distance)` cases compile independently, so they are
+//! sharded across the [`SweepEngine`]'s outer worker pool.
 
-use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table};
+use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SWEEP_SEED};
 use qccd_core::Toolflow;
+use qccd_decoder::SweepEngine;
 use qccd_qec::{surgery_workload, MergeKind};
 
 fn main() {
     let distances = [2usize, 3, 4];
     let capacities = [2usize, 6, 12];
 
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for capacity in capacities {
+    let cases: Vec<(usize, usize)> = capacities
+        .iter()
+        .flat_map(|&capacity| distances.iter().map(move |&d| (capacity, d)))
+        .collect();
+
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let outcomes = engine.run(&cases, |task| {
+        let (capacity, d) = *task.point;
         let toolflow = Toolflow::new(grid_arch(capacity, 1.0));
-        for d in distances {
-            let workload = surgery_workload(d, MergeKind::ZZ);
-            let patch = toolflow.evaluate_layout(&workload.patch, 1, false);
-            let merged = toolflow.evaluate_layout(&workload.merged, 1, false);
-            let (patch_us, patch_moves) = match &patch {
-                Ok(m) => (Some(m.qec_round_time_us), Some(m.movement_ops_per_round)),
-                Err(_) => (None, None),
-            };
-            let (merged_us, merged_moves) = match &merged {
-                Ok(m) => (Some(m.qec_round_time_us), Some(m.movement_ops_per_round)),
-                Err(_) => (None, None),
-            };
-            let ratio = match (patch_us, merged_us) {
-                (Some(p), Some(m)) if p > 0.0 => Some(m / p),
-                _ => None,
-            };
-            rows.push(vec![
-                format!("c{capacity} d={d}"),
-                format!("{}", workload.patch.num_qubits()),
-                format!("{}", workload.merged.num_qubits()),
-                patch_us.map(fmt_f64).unwrap_or_else(|| "NaN".into()),
-                merged_us.map(fmt_f64).unwrap_or_else(|| "NaN".into()),
-                ratio
-                    .map(|r| format!("{r:.2}"))
-                    .unwrap_or_else(|| "NaN".into()),
-                patch_moves
-                    .map(|m| m.to_string())
-                    .unwrap_or_else(|| "NaN".into()),
-                merged_moves
-                    .map(|m| m.to_string())
-                    .unwrap_or_else(|| "NaN".into()),
-            ]);
-            artefact.push(serde_json::json!({
-                "capacity": capacity,
-                "distance": d,
-                "patch_qubits": workload.patch.num_qubits(),
-                "merged_qubits": workload.merged.num_qubits(),
-                "patch_round_us": patch_us,
-                "merged_round_us": merged_us,
-                "merged_over_patch": ratio,
-                "patch_movement_ops": patch_moves,
-                "merged_movement_ops": merged_moves,
-            }));
-        }
-    }
+        let workload = surgery_workload(d, MergeKind::ZZ);
+        let patch = toolflow.evaluate_layout(&workload.patch, 1, false);
+        let merged = toolflow.evaluate_layout(&workload.merged, 1, false);
+        let (patch_us, patch_moves) = match &patch {
+            Ok(m) => (Some(m.qec_round_time_us), Some(m.movement_ops_per_round)),
+            Err(_) => (None, None),
+        };
+        let (merged_us, merged_moves) = match &merged {
+            Ok(m) => (Some(m.qec_round_time_us), Some(m.movement_ops_per_round)),
+            Err(_) => (None, None),
+        };
+        let ratio = match (patch_us, merged_us) {
+            (Some(p), Some(m)) if p > 0.0 => Some(m / p),
+            _ => None,
+        };
+        let row = vec![
+            format!("c{capacity} d={d}"),
+            format!("{}", workload.patch.num_qubits()),
+            format!("{}", workload.merged.num_qubits()),
+            patch_us.map(fmt_f64).unwrap_or_else(|| "NaN".into()),
+            merged_us.map(fmt_f64).unwrap_or_else(|| "NaN".into()),
+            ratio
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "NaN".into()),
+            patch_moves
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "NaN".into()),
+            merged_moves
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "NaN".into()),
+        ];
+        let entry = serde_json::json!({
+            "capacity": capacity,
+            "distance": d,
+            "patch_qubits": workload.patch.num_qubits(),
+            "merged_qubits": workload.merged.num_qubits(),
+            "patch_round_us": patch_us,
+            "merged_round_us": merged_us,
+            "merged_over_patch": ratio,
+            "patch_movement_ops": patch_moves,
+            "merged_movement_ops": merged_moves,
+        });
+        (row, entry)
+    });
+
+    let (rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
 
     print_table(
         "Extension E1: lattice-surgery merged patch vs isolated patch (grid, standard wiring, 1X gates)",

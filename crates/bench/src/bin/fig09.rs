@@ -1,9 +1,12 @@
 //! Figure 9: QEC shot time versus trap capacity and code distance on the
 //! grid topology, framed by the fully-parallel lower bound and the
 //! fully-serial (single ion chain) upper bound.
+//!
+//! Capacities are sharded across the [`SweepEngine`]'s outer worker pool.
 
-use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table};
+use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SWEEP_SEED};
 use qccd_core::{theoretical, Toolflow};
+use qccd_decoder::SweepEngine;
 use qccd_hardware::OperationTimes;
 use qccd_qec::rotated_surface_code;
 
@@ -12,9 +15,9 @@ fn main() {
     let capacities = [2usize, 3, 5, 12, 30];
     let times = OperationTimes::paper_defaults();
 
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for capacity in capacities {
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let outcomes = engine.run(&capacities, |task| {
+        let capacity = *task.point;
         let toolflow = Toolflow::new(grid_arch(capacity, 1.0));
         let mut row = vec![format!("capacity {capacity}")];
         let mut series = Vec::new();
@@ -30,9 +33,11 @@ fn main() {
                 }
             }
         }
-        artefact.push(serde_json::json!({"capacity": capacity, "series": series}));
-        rows.push(row);
-    }
+        let entry = serde_json::json!({"capacity": capacity, "series": series});
+        (row, entry)
+    });
+
+    let (mut rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
     // Bounds (per shot = d rounds).
     let mut lower = vec!["lower bound (no movement)".to_string()];
     let mut upper = vec!["upper bound (single chain)".to_string()];

@@ -1,7 +1,13 @@
 //! Figure 11: number of electrodes required to reach a target logical error
 //! rate, per trap capacity, under a 5X gate improvement and standard wiring.
+//!
+//! All `capacity × distance` Monte-Carlo points run in one sharded sweep
+//! ([`ler_curves`]).
 
-use qccd_bench::{dump_json, fmt_f64, grid_arch, ler_curve, print_table, DEFAULT_SHOTS};
+use qccd_bench::{
+    dump_json, fmt_f64, grid_arch, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
+};
+use qccd_decoder::SweepEngine;
 use qccd_hardware::{estimate_resources, WiringMethod};
 use qccd_qec::rotated_surface_code;
 
@@ -10,18 +16,26 @@ fn main() {
     let targets = [1e-6f64, 1e-9, 1e-12];
     let sample_distances = [3usize, 5];
 
+    let configurations: Vec<(String, _)> = capacities
+        .iter()
+        .map(|&capacity| (format!("capacity {capacity}"), grid_arch(capacity, 5.0)))
+        .collect();
+
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
+
     let mut rows = Vec::new();
     let mut artefact = Vec::new();
-    for &capacity in &capacities {
-        let configuration = grid_arch(capacity, 5.0);
-        let (points, fit) = ler_curve(&configuration, &sample_distances, DEFAULT_SHOTS);
-        let mut row = vec![format!("capacity {capacity}")];
+    for ((curve, (label, configuration)), &capacity) in
+        curves.iter().zip(&configurations).zip(&capacities)
+    {
+        let mut row = vec![label.clone()];
         let mut entry = serde_json::json!({
             "capacity": capacity,
-            "sampled": points.iter().map(|(d, p)| serde_json::json!({"d": d, "ler": p})).collect::<Vec<_>>(),
+            "sampled": curve.points.iter().map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se})).collect::<Vec<_>>(),
         });
         for &target in &targets {
-            let cell = match fit.and_then(|f| f.distance_for_target(target)) {
+            let cell = match curve.fit.and_then(|f| f.distance_for_target(target)) {
                 Some(required_d) => {
                     let layout = rotated_surface_code(required_d.max(2));
                     let device = configuration.device_for(layout.num_qubits());
@@ -37,7 +51,9 @@ fn main() {
             row.push(cell);
         }
         row.push(
-            fit.map(|f| fmt_f64(f.lambda()))
+            curve
+                .fit
+                .map(|f| fmt_f64(f.lambda()))
                 .unwrap_or_else(|| "-".into()),
         );
         artefact.push(entry);

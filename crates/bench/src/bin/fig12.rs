@@ -1,8 +1,14 @@
 //! Figure 12: controller-to-QPU data rate and power dissipation required to
 //! reach a target logical error rate, per trap capacity, under standard
 //! wiring and a 5X gate improvement.
+//!
+//! All `capacity × distance` Monte-Carlo points run in one sharded sweep
+//! ([`ler_curves`]).
 
-use qccd_bench::{dump_json, fmt_f64, grid_arch, ler_curve, print_table, DEFAULT_SHOTS};
+use qccd_bench::{
+    dump_json, fmt_f64, grid_arch, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
+};
+use qccd_decoder::SweepEngine;
 use qccd_hardware::{estimate_resources, WiringMethod};
 use qccd_qec::rotated_surface_code;
 
@@ -11,15 +17,23 @@ fn main() {
     let targets = [1e-6f64, 1e-9];
     let sample_distances = [3usize, 5];
 
+    let configurations: Vec<(String, _)> = capacities
+        .iter()
+        .map(|&capacity| (format!("capacity {capacity}"), grid_arch(capacity, 5.0)))
+        .collect();
+
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
+
     let mut rows = Vec::new();
     let mut artefact = Vec::new();
-    for &capacity in &capacities {
-        let configuration = grid_arch(capacity, 5.0);
-        let (points, fit) = ler_curve(&configuration, &sample_distances, DEFAULT_SHOTS);
-        let mut row = vec![format!("capacity {capacity}")];
+    for ((curve, (label, configuration)), &capacity) in
+        curves.iter().zip(&configurations).zip(&capacities)
+    {
+        let mut row = vec![label.clone()];
         let mut entry = serde_json::json!({"capacity": capacity});
         for &target in &targets {
-            match fit.and_then(|f| f.distance_for_target(target)) {
+            match curve.fit.and_then(|f| f.distance_for_target(target)) {
                 Some(required_d) => {
                     let layout = rotated_surface_code(required_d.max(2));
                     let device = configuration.device_for(layout.num_qubits());
@@ -38,9 +52,10 @@ fn main() {
                 None => row.push("above threshold".to_string()),
             }
         }
-        entry["sampled"] = serde_json::json!(points
+        entry["sampled"] = serde_json::json!(curve
+            .points
             .iter()
-            .map(|(d, p)| serde_json::json!({"d": d, "ler": p}))
+            .map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se}))
             .collect::<Vec<_>>());
         artefact.push(entry);
         rows.push(row);

@@ -1,8 +1,15 @@
 //! Figure 13(b): QEC shot time versus target logical error rate — standard
 //! wiring versus WISE (with cooling), under a 5X gate improvement.
+//!
+//! All `configuration × distance` Monte-Carlo points run in one sharded
+//! sweep ([`ler_curves`]); the Λ fits are weighted by the per-point
+//! standard errors.
 
-use qccd_bench::{arch, dump_json, fmt_f64, ler_curve, print_table, DEFAULT_SHOTS};
+use qccd_bench::{
+    arch, dump_json, fmt_f64, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
+};
 use qccd_core::Toolflow;
+use qccd_decoder::SweepEngine;
 use qccd_hardware::{TopologyKind, WiringMethod};
 
 fn main() {
@@ -10,28 +17,30 @@ fn main() {
     let sample_distances = [3usize, 5];
     let configurations = vec![
         (
-            "standard c2",
+            "standard c2".to_string(),
             arch(TopologyKind::Grid, 2, WiringMethod::Standard, 5.0),
         ),
         (
-            "WISE c2",
+            "WISE c2".to_string(),
             arch(TopologyKind::Grid, 2, WiringMethod::Wise, 5.0),
         ),
         (
-            "WISE c5",
+            "WISE c5".to_string(),
             arch(TopologyKind::Grid, 5, WiringMethod::Wise, 5.0),
         ),
     ];
 
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
+
     let mut rows = Vec::new();
     let mut artefact = Vec::new();
-    for (label, configuration) in configurations {
-        let (points, fit) = ler_curve(&configuration, &sample_distances, DEFAULT_SHOTS);
+    for (curve, (label, configuration)) in curves.iter().zip(&configurations) {
         let toolflow = Toolflow::new(configuration.clone());
-        let mut row = vec![label.to_string()];
+        let mut row = vec![label.clone()];
         let mut entry = serde_json::json!({"label": label});
         for &target in &targets {
-            match fit.and_then(|f| f.distance_for_target(target)) {
+            match curve.fit.and_then(|f| f.distance_for_target(target)) {
                 Some(required_d) => {
                     // Shot time at the required distance: measure directly if
                     // the compile succeeds; a shot is d rounds.
@@ -48,9 +57,10 @@ fn main() {
                 None => row.push("above threshold".to_string()),
             }
         }
-        entry["sampled"] = serde_json::json!(points
+        entry["sampled"] = serde_json::json!(curve
+            .points
             .iter()
-            .map(|(d, p)| serde_json::json!({"d": d, "ler": p}))
+            .map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se}))
             .collect::<Vec<_>>());
         artefact.push(entry);
         rows.push(row);

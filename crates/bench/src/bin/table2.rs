@@ -1,8 +1,12 @@
 //! Table 2: compiler elapsed time and routing operations versus the
 //! theoretical bounds, for QEC-code × QCCD-device pairs.
+//!
+//! The cases are independent compile jobs, so they are sharded across the
+//! [`SweepEngine`]'s outer worker pool; rows come back in input order.
 
-use qccd_bench::{dump_json, fmt_f64, print_table};
+use qccd_bench::{dump_json, fmt_f64, print_table, DEFAULT_SWEEP_SEED};
 use qccd_core::{theoretical, ArchitectureConfig, Compiler};
+use qccd_decoder::SweepEngine;
 use qccd_hardware::{TopologyKind, WiringMethod};
 use qccd_qec::{repetition_code, rotated_surface_code, unrotated_surface_code, CodeLayout};
 
@@ -94,24 +98,24 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for (name, layout, topology, capacity) in cases {
-        let arch = ArchitectureConfig::new(topology, capacity, WiringMethod::Standard, 1.0);
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let outcomes = engine.run(&cases, |task| {
+        let (name, layout, topology, capacity) = task.point;
+        let arch = ArchitectureConfig::new(*topology, *capacity, WiringMethod::Standard, 1.0);
         let compiler = Compiler::new(arch.clone());
-        match compiler.compile_rounds(&layout, 1) {
+        match compiler.compile_rounds(layout, 1) {
             Ok(program) => {
                 let bounds =
-                    theoretical::bounds(&layout, &program.mapping, topology, &arch.operation_times);
-                rows.push(vec![
+                    theoretical::bounds(layout, &program.mapping, *topology, &arch.operation_times);
+                let row = vec![
                     name.to_string(),
                     format!("{topology} c{capacity}"),
                     fmt_f64(bounds.parallel_lower_bound_us),
                     fmt_f64(program.elapsed_time_us()),
                     bounds.min_routing_ops.to_string(),
                     program.movement_ops().to_string(),
-                ]);
-                artefact.push(serde_json::json!({
+                ];
+                let artefact = Some(serde_json::json!({
                     "case": name,
                     "topology": format!("{topology}"),
                     "capacity": capacity,
@@ -120,17 +124,24 @@ fn main() {
                     "min_routing_ops": bounds.min_routing_ops,
                     "measured_routing_ops": program.movement_ops(),
                 }));
+                (row, artefact)
             }
-            Err(e) => rows.push(vec![
-                name.to_string(),
-                format!("{topology} c{capacity}"),
-                "-".into(),
-                format!("failed: {e}"),
-                "-".into(),
-                "-".into(),
-            ]),
+            Err(e) => (
+                vec![
+                    name.to_string(),
+                    format!("{topology} c{capacity}"),
+                    "-".into(),
+                    format!("failed: {e}"),
+                    "-".into(),
+                    "-".into(),
+                ],
+                None,
+            ),
         }
-    }
+    });
+
+    let (rows, entries): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+    let artefact: Vec<_> = entries.into_iter().flatten().collect();
 
     print_table(
         "Table 2: compiler vs theoretical bounds (one QEC round)",

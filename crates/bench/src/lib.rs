@@ -3,17 +3,23 @@
 //! The experiment harness that regenerates every table and figure of the
 //! paper's evaluation (§7). Each table/figure has a dedicated binary
 //! (`cargo run -p qccd-bench --release --bin <name>`); this library holds the
-//! shared plumbing: architecture grids, aligned-table printing and JSON
-//! artefact dumping (written under `target/experiments/`).
+//! shared plumbing: architecture grids, aligned-table printing, JSON
+//! artefact dumping (written under `target/experiments/`), and the
+//! [`sweep`] module that shards whole `(architecture, distance, decoder)`
+//! points across a deterministic worker pool.
 
 #![warn(missing_docs)]
+
+pub mod sweep;
 
 use std::fs;
 use std::path::PathBuf;
 
-use qccd_core::{ArchitectureConfig, Toolflow};
-use qccd_decoder::{fit_lambda, LambdaFit};
+use qccd_core::ArchitectureConfig;
+use qccd_decoder::{LambdaFit, SweepEngine};
 use qccd_hardware::{TopologyKind, WiringMethod};
+
+pub use sweep::{ler_curves, run_ler_sweep, LerCurve, LerOutcome, LerPoint, DEFAULT_SWEEP_SEED};
 
 /// Prints an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -86,21 +92,21 @@ pub fn arch(
 
 /// Samples the logical error rate at the given distances and fits the
 /// exponential suppression law; returns the points and the fit.
+///
+/// Built on the sharded [`sweep`] engine: the distances run in parallel
+/// with deterministic per-point seeds, and the fit is weighted by each
+/// point's Monte-Carlo standard error.
 pub fn ler_curve(
     architecture: &ArchitectureConfig,
     distances: &[usize],
     shots: usize,
 ) -> (Vec<(usize, f64)>, Option<LambdaFit>) {
-    let toolflow = Toolflow::new(architecture.clone()).with_shots(shots);
-    let mut points = Vec::new();
-    for &d in distances {
-        match toolflow.evaluate(d, true) {
-            Ok(metrics) => points.push((d, metrics.logical_error_rate().unwrap_or(0.0))),
-            Err(e) => eprintln!("  [{}] d={d}: {e}", architecture.label()),
-        }
-    }
-    let fit = fit_lambda(&points);
-    (points, fit)
+    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+    let configurations = vec![(architecture.label(), architecture.clone())];
+    let curve = ler_curves(&engine, &configurations, distances, shots)
+        .pop()
+        .expect("one configuration yields one curve");
+    (curve.rate_points(), curve.fit)
 }
 
 /// Monte-Carlo shot count used by the figure generators. Kept moderate so

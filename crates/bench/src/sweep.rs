@@ -1,0 +1,243 @@
+//! Sharded logical-error-rate sweeps over architecture points.
+//!
+//! The figure/table binaries evaluate grids of `(architecture, distance,
+//! decoder)` points. This module flattens such grids into [`LerPoint`]s and
+//! shards them across a [`SweepEngine`] worker pool — whole points run in
+//! parallel in the outer pool while each point's Monte-Carlo pipeline keeps
+//! its inner chunk parallelism.
+//!
+//! # Determinism
+//!
+//! Every point samples with the seed `sweep_seed(engine seed, point index)`
+//! and results come back in input order, so a sweep's outcome is a pure
+//! function of `(engine seed, points)` — independent of thread counts or
+//! scheduling. The golden regression test in `tests/golden_sweep.rs` pins
+//! this end to end (compiler → sampler → decoder → estimator).
+
+use qccd_core::{ArchitectureConfig, Toolflow};
+use qccd_decoder::{
+    fit_lambda_weighted, DecoderKind, LambdaFit, LogicalErrorEstimate, SweepEngine,
+};
+
+/// Engine seed used by the figure/table binaries (matches the historical
+/// `Toolflow` default).
+pub const DEFAULT_SWEEP_SEED: u64 = 2026;
+
+/// One logical-error-rate sweep point.
+#[derive(Debug, Clone)]
+pub struct LerPoint {
+    /// Display label of the architecture/configuration.
+    pub label: String,
+    /// Architecture under evaluation.
+    pub arch: ArchitectureConfig,
+    /// Code distance of the rotated-surface-code workload.
+    pub distance: usize,
+    /// Decoder used for the estimate.
+    pub decoder: DecoderKind,
+    /// Monte-Carlo shots requested.
+    pub shots: usize,
+}
+
+impl LerPoint {
+    /// A point with the default (union-find) decoder.
+    pub fn new(
+        label: impl Into<String>,
+        arch: ArchitectureConfig,
+        distance: usize,
+        shots: usize,
+    ) -> Self {
+        LerPoint {
+            label: label.into(),
+            arch,
+            distance,
+            decoder: DecoderKind::default(),
+            shots,
+        }
+    }
+
+    /// Overrides the decoder.
+    pub fn with_decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+}
+
+/// The result of one sweep point.
+#[derive(Debug, Clone)]
+pub struct LerOutcome {
+    /// Label of the evaluated point (copied from the input).
+    pub label: String,
+    /// Code distance of the evaluated point.
+    pub distance: usize,
+    /// Decoder used.
+    pub decoder: DecoderKind,
+    /// Deterministic per-point sampling seed the engine assigned.
+    pub seed: u64,
+    /// Shots requested (the estimate may stop earlier).
+    pub shots_requested: usize,
+    /// The Monte-Carlo estimate, or the compile error message.
+    pub result: Result<LogicalErrorEstimate, String>,
+}
+
+/// Runs every point through the toolflow (compile → sample → batch decode),
+/// sharded across the engine's outer pool. Results are in input order.
+pub fn run_ler_sweep(engine: &SweepEngine, points: &[LerPoint]) -> Vec<LerOutcome> {
+    engine.run(points, |task| {
+        let point = task.point;
+        let mut toolflow = Toolflow::new(point.arch.clone())
+            .with_shots(point.shots)
+            .with_seed(task.seed);
+        toolflow.decoder = point.decoder;
+        let result = match toolflow.evaluate(point.distance, true) {
+            Ok(metrics) => Ok(metrics
+                .logical_error
+                .expect("evaluate(_, true) always estimates the LER")),
+            Err(e) => Err(e.to_string()),
+        };
+        LerOutcome {
+            label: point.label.clone(),
+            distance: point.distance,
+            decoder: point.decoder,
+            seed: task.seed,
+            shots_requested: point.shots,
+            result,
+        }
+    })
+}
+
+/// A fitted logical-error-rate curve of one configuration.
+#[derive(Debug, Clone)]
+pub struct LerCurve {
+    /// Label of the configuration.
+    pub label: String,
+    /// Successful `(distance, LER, standard error)` points.
+    pub points: Vec<(usize, f64, f64)>,
+    /// Weighted exponential-suppression fit over the points.
+    pub fit: Option<LambdaFit>,
+    /// Raw per-point outcomes (including failures).
+    pub outcomes: Vec<LerOutcome>,
+}
+
+impl LerCurve {
+    /// The `(distance, LER)` pairs (dropping the standard errors).
+    pub fn rate_points(&self) -> Vec<(usize, f64)> {
+        self.points.iter().map(|&(d, p, _)| (d, p)).collect()
+    }
+}
+
+/// Samples the logical error rate of every `configuration × distance` pair
+/// in one sharded sweep and fits each configuration's suppression curve with
+/// standard-error weighting.
+///
+/// Point indices (and therefore seeds) are assigned configuration-major:
+/// configuration `c`, distance `d` gets index `c · distances.len() + d`.
+/// Compile failures are reported to stderr and excluded from the fit,
+/// mirroring the previous serial behaviour.
+pub fn ler_curves(
+    engine: &SweepEngine,
+    configurations: &[(String, ArchitectureConfig)],
+    distances: &[usize],
+    shots: usize,
+) -> Vec<LerCurve> {
+    if distances.is_empty() {
+        // No sampling to do: one empty (unfittable) curve per configuration,
+        // mirroring the serial behaviour.
+        return configurations
+            .iter()
+            .map(|(label, _)| LerCurve {
+                label: label.clone(),
+                points: Vec::new(),
+                fit: None,
+                outcomes: Vec::new(),
+            })
+            .collect();
+    }
+    let points: Vec<LerPoint> = configurations
+        .iter()
+        .flat_map(|(label, arch)| {
+            distances
+                .iter()
+                .map(|&d| LerPoint::new(label.clone(), arch.clone(), d, shots))
+        })
+        .collect();
+    let outcomes = run_ler_sweep(engine, &points);
+    outcomes
+        .chunks(distances.len())
+        .zip(configurations)
+        .map(|(outcomes, (label, _))| {
+            let mut curve_points = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                match &outcome.result {
+                    Ok(estimate) => curve_points.push((
+                        outcome.distance,
+                        estimate.logical_error_rate,
+                        estimate.std_error,
+                    )),
+                    Err(e) => eprintln!("  [{label}] d={}: {e}", outcome.distance),
+                }
+            }
+            LerCurve {
+                label: label.clone(),
+                fit: fit_lambda_weighted(&curve_points),
+                points: curve_points,
+                outcomes: outcomes.to_vec(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid_arch;
+
+    #[test]
+    fn sweep_points_get_distinct_seeds_and_keep_order() {
+        let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
+        let points: Vec<LerPoint> = [2usize, 3]
+            .iter()
+            .map(|&d| LerPoint::new("g", grid_arch(2, 10.0), d, 64))
+            .collect();
+        let outcomes = run_ler_sweep(&engine, &points);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].distance, 2);
+        assert_eq!(outcomes[1].distance, 3);
+        assert_ne!(outcomes[0].seed, outcomes[1].seed);
+        for outcome in &outcomes {
+            assert!(outcome.result.is_ok(), "{:?}", outcome.result);
+        }
+    }
+
+    #[test]
+    fn empty_distances_yield_one_empty_curve_per_configuration() {
+        let engine = SweepEngine::new(1);
+        let configurations = vec![
+            ("a".to_string(), grid_arch(2, 10.0)),
+            ("b".to_string(), grid_arch(3, 10.0)),
+        ];
+        let curves = ler_curves(&engine, &configurations, &[], 64);
+        assert_eq!(curves.len(), 2);
+        for curve in &curves {
+            assert!(curve.points.is_empty());
+            assert!(curve.fit.is_none());
+            assert!(curve.outcomes.is_empty());
+        }
+    }
+
+    #[test]
+    fn curves_group_configuration_major() {
+        let engine = SweepEngine::new(1);
+        let configurations = vec![
+            ("a".to_string(), grid_arch(2, 10.0)),
+            ("b".to_string(), grid_arch(3, 10.0)),
+        ];
+        let curves = ler_curves(&engine, &configurations, &[2, 3], 64);
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].label, "a");
+        assert_eq!(curves[1].label, "b");
+        for curve in &curves {
+            assert_eq!(curve.outcomes.len(), 2);
+            assert_eq!(curve.rate_points().len(), curve.points.len());
+        }
+    }
+}

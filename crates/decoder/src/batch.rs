@@ -12,7 +12,9 @@ pub use qccd_sim::SyndromeChunk;
 
 use qccd_sim::BitPlanes;
 
+use crate::memo::SyndromeMemo;
 use crate::scratch::{EpochVec, VecPool};
+use crate::{CacheStats, MemoConfig};
 
 /// Bit-packed observable-flip predictions for one chunk of shots.
 #[derive(Debug, Clone, PartialEq)]
@@ -352,6 +354,13 @@ impl MatchingScratch {
 /// [`Decoder::decode_shot`](crate::Decoder::decode_shot)) and reuse it for
 /// as many chunks as you like; buffers grow to the high-water mark of the
 /// decoding problem and are invalidated in O(1) between shots.
+///
+/// The scratch also hosts the per-decoder [syndrome memo](crate::memo):
+/// cached predictions survive across chunks (they are keyed by defect set,
+/// not by shot), are cleared automatically when the scratch is used with a
+/// different decoder, and never change decoded bits — see the memo module
+/// docs for the bit-identity contract. Memoization is on by default;
+/// configure or disable it with [`DecodeScratch::set_memo_config`].
 #[derive(Debug, Clone, Default)]
 pub struct DecodeScratch {
     pub(crate) shot_prediction: Vec<bool>,
@@ -360,12 +369,48 @@ pub struct DecodeScratch {
     pub(crate) word_fired: Vec<Vec<usize>>,
     pub(crate) union_find: UnionFindScratch,
     pub(crate) matching: MatchingScratch,
+    /// Per-decoder prediction cache consulted by the batch decode loop.
+    pub(crate) memo: SyndromeMemo,
 }
 
 impl DecodeScratch {
-    /// A fresh scratch with empty buffers.
+    /// A fresh scratch with empty buffers and default memoization.
     pub fn new() -> Self {
         DecodeScratch::default()
+    }
+
+    /// A fresh scratch with the given memo configuration.
+    pub fn with_memo_config(config: MemoConfig) -> Self {
+        let mut scratch = DecodeScratch::default();
+        scratch.memo.set_config(config);
+        scratch
+    }
+
+    /// The active memo configuration.
+    pub fn memo_config(&self) -> MemoConfig {
+        self.memo.config()
+    }
+
+    /// Reconfigures the memo (cached entries are kept — they remain valid
+    /// under any cap; pass [`MemoConfig::disabled`] to stop consulting them).
+    pub fn set_memo_config(&mut self, config: MemoConfig) {
+        self.memo.set_config(config);
+    }
+
+    /// Accumulated memo hit/miss counters (across every chunk decoded with
+    /// this scratch since the last reset or change of decoder).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.memo.stats()
+    }
+
+    /// Resets the memo hit/miss counters (cached entries are kept).
+    pub fn reset_cache_stats(&mut self) {
+        self.memo.reset_stats();
+    }
+
+    /// Number of defect sets currently cached.
+    pub fn memo_entries(&self) -> usize {
+        self.memo.len()
     }
 }
 

@@ -16,7 +16,10 @@
 //! shared [`DecodeScratch`], so repeated decoding allocates nothing and
 //! never pays an O(nodes) reset.
 
+use std::num::NonZeroU64;
+
 use crate::batch::{DijkstraState, HeapEntry, MatchingScratch};
+use crate::memo::next_memo_token;
 use crate::{DecodeScratch, Decoder, DecodingGraph};
 
 /// Greedy shortest-path matching decoder.
@@ -27,6 +30,8 @@ pub struct GreedyMatchingDecoder {
     /// Indices of the boundary edges, precomputed so Dijkstra's boundary
     /// relaxation does not rescan the whole edge list.
     boundary_edges: Vec<usize>,
+    /// Syndrome-memo ownership token (see [`crate::memo`]).
+    memo_token: NonZeroU64,
 }
 
 /// Dijkstra from `source`, writing per-node distances and incoming edges
@@ -122,6 +127,7 @@ impl GreedyMatchingDecoder {
             graph,
             boundary,
             boundary_edges,
+            memo_token: next_memo_token(),
         }
     }
 
@@ -228,6 +234,10 @@ impl Decoder for GreedyMatchingDecoder {
 
     fn num_observables(&self) -> usize {
         self.graph.num_observables()
+    }
+
+    fn memo_token(&self) -> Option<NonZeroU64> {
+        Some(self.memo_token)
     }
 }
 

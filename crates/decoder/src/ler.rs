@@ -42,7 +42,7 @@ use qccd_sim::{
 };
 
 use crate::{
-    DecodeScratch, Decoder, DecodingGraph, ExactMatchingDecoder, GreedyMatchingDecoder,
+    DecodeScratch, Decoder, DecodingGraph, ExactMatchingDecoder, GreedyMatchingDecoder, MemoConfig,
     UnionFindDecoder,
 };
 
@@ -86,6 +86,10 @@ pub struct EstimatorConfig {
     pub target_std_error: Option<f64>,
     /// Stop once this many failures have been observed.
     pub max_failures: Option<usize>,
+    /// Syndrome-memo configuration installed in every worker's
+    /// [`DecodeScratch`](crate::DecodeScratch) (memoization is on by
+    /// default; it never changes decoded bits).
+    pub memo: MemoConfig,
 }
 
 impl Default for EstimatorConfig {
@@ -95,6 +99,7 @@ impl Default for EstimatorConfig {
             num_threads: None,
             target_std_error: None,
             max_failures: None,
+            memo: MemoConfig::default(),
         }
     }
 }
@@ -121,6 +126,13 @@ impl EstimatorConfig {
     /// Enables early stopping after a failure count.
     pub fn with_max_failures(mut self, failures: usize) -> Self {
         self.max_failures = Some(failures);
+        self
+    }
+
+    /// Overrides the syndrome-memo configuration (pass
+    /// [`MemoConfig::disabled`] to decode every shot from scratch).
+    pub fn with_memo(mut self, memo: MemoConfig) -> Self {
+        self.memo = memo;
         self
     }
 
@@ -184,7 +196,9 @@ fn count_failures(
     chunk: &SyndromeChunk,
     decoder: &dyn Decoder,
     scratch: &mut DecodeScratch,
+    memo: MemoConfig,
 ) -> usize {
+    scratch.set_memo_config(memo);
     let prediction = decoder.decode_batch(chunk, scratch);
     let words = chunk.words();
     let mut mismatch = vec![0u64; words];
@@ -246,8 +260,9 @@ fn run_pipeline(
                 std::cell::RefCell::new(DecodeScratch::new());
         }
         let chunk = sampler.sample_chunk(index);
-        let failures =
-            SCRATCH.with(|scratch| count_failures(&chunk, decoder, &mut scratch.borrow_mut()));
+        let failures = SCRATCH.with(|scratch| {
+            count_failures(&chunk, decoder, &mut scratch.borrow_mut(), config.memo)
+        });
         ChunkOutcome {
             shots: chunk.num_shots(),
             failures,
@@ -349,7 +364,8 @@ pub fn estimate_logical_error_rate(
 }
 
 /// An exponential fit `ln LER(d) = intercept + slope · d` across code
-/// distances.
+/// distances, with the parameter standard errors of the (weighted) least
+/// squares solution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LambdaFit {
     /// Intercept of the log-linear fit.
@@ -357,12 +373,32 @@ pub struct LambdaFit {
     /// Slope of the log-linear fit per unit of code distance (negative below
     /// threshold).
     pub log_slope: f64,
+    /// Standard error of [`LambdaFit::log_intercept`] under the per-point
+    /// measurement variances handed to [`fit_lambda_weighted`] (reported in
+    /// units of the assumed unit variance for the unweighted [`fit_lambda`]).
+    pub log_intercept_std_error: f64,
+    /// Standard error of [`LambdaFit::log_slope`] (same convention).
+    pub log_slope_std_error: f64,
 }
 
 impl LambdaFit {
     /// The error-suppression factor Λ = LER(d) / LER(d+2).
     pub fn lambda(&self) -> f64 {
         (-2.0 * self.log_slope).exp()
+    }
+
+    /// Standard error of Λ by the delta method: `σ_Λ ≈ 2 Λ σ_slope`.
+    pub fn lambda_std_error(&self) -> f64 {
+        2.0 * self.lambda() * self.log_slope_std_error
+    }
+
+    /// Confidence interval `(low, high)` for Λ at `z` standard errors of the
+    /// slope (e.g. `z = 1.96` for 95%), computed on the log scale so the
+    /// interval is always positive: `Λ_{lo,hi} = exp(−2(slope ± z·σ_slope))`.
+    pub fn lambda_confidence_interval(&self, z: f64) -> (f64, f64) {
+        let lo = (-2.0 * (self.log_slope + z * self.log_slope_std_error)).exp();
+        let hi = (-2.0 * (self.log_slope - z * self.log_slope_std_error)).exp();
+        (lo, hi)
     }
 
     /// Returns `true` if the fit indicates operation below threshold (the
@@ -393,30 +429,69 @@ impl LambdaFit {
 /// points using least squares in log space.
 ///
 /// Points with a zero error rate are skipped (they carry no information for
-/// the fit). Returns `None` if fewer than two usable points remain.
+/// the fit). Returns `None` if fewer than two usable points remain. All
+/// usable points are weighted equally; the reported parameter standard
+/// errors assume unit variance on each `ln LER` value — prefer
+/// [`fit_lambda_weighted`] when per-point Monte-Carlo standard errors are
+/// available.
 pub fn fit_lambda(points: &[(usize, f64)]) -> Option<LambdaFit> {
-    let usable: Vec<(f64, f64)> = points
+    let weighted: Vec<(usize, f64, f64)> = points.iter().map(|&(d, p)| (d, p, p)).collect();
+    fit_lambda_weighted(&weighted)
+}
+
+/// Fits the exponential suppression law to `(distance, logical error rate,
+/// standard error)` points using **weighted** least squares in log space.
+///
+/// Each point is weighted by the inverse variance of its `ln LER` value,
+/// `w = (p / σ_p)²` (delta method: `σ_{ln p} = σ_p / p`), so tight
+/// early-stopped estimates pull the fit harder than noisy ones. The
+/// parameter standard errors follow the standard known-variance formulas
+/// (`Var(slope) = Σw / Δ`, `Var(intercept) = Σwx² / Δ`) and feed the
+/// [`LambdaFit::lambda_confidence_interval`].
+///
+/// Points with a non-positive error rate are skipped; a point with a
+/// non-finite or non-positive standard error gets `σ_{ln p} = 1` (unit
+/// variance) so it still participates without dominating. Returns `None` if
+/// fewer than two usable points remain or all usable points share one
+/// distance.
+pub fn fit_lambda_weighted(points: &[(usize, f64, f64)]) -> Option<LambdaFit> {
+    // (x, y, w) with x = distance, y = ln p, w = 1/σ_y² (σ_y floored to keep
+    // weights finite for saturated estimates like p = 1, σ = 0).
+    let usable: Vec<(f64, f64, f64)> = points
         .iter()
-        .filter(|(_, p)| *p > 0.0)
-        .map(|(d, p)| (*d as f64, p.ln()))
+        .filter(|(_, p, _)| *p > 0.0)
+        .map(|&(d, p, sigma)| {
+            let sigma_y = if sigma.is_finite() && sigma > 0.0 {
+                (sigma / p).max(1e-9)
+            } else {
+                1.0
+            };
+            (d as f64, p.ln(), 1.0 / (sigma_y * sigma_y))
+        })
         .collect();
     if usable.len() < 2 {
         return None;
     }
-    let n = usable.len() as f64;
-    let sum_x: f64 = usable.iter().map(|(x, _)| x).sum();
-    let sum_y: f64 = usable.iter().map(|(_, y)| y).sum();
-    let sum_xx: f64 = usable.iter().map(|(x, _)| x * x).sum();
-    let sum_xy: f64 = usable.iter().map(|(x, y)| x * y).sum();
-    let denom = n * sum_xx - sum_x * sum_x;
-    if denom.abs() < 1e-12 {
+    let sum_w: f64 = usable.iter().map(|(_, _, w)| w).sum();
+    let sum_x: f64 = usable.iter().map(|(x, _, w)| w * x).sum();
+    let sum_y: f64 = usable.iter().map(|(_, y, w)| w * y).sum();
+    let sum_xx: f64 = usable.iter().map(|(x, _, w)| w * x * x).sum();
+    let sum_xy: f64 = usable.iter().map(|(x, y, w)| w * x * y).sum();
+    let denom = sum_w * sum_xx - sum_x * sum_x;
+    // Relative degeneracy test: with large weights the determinant of a
+    // single-distance system is a rounding residue of `Σw·Σwx²`, not an
+    // absolute epsilon. `<=` so an exactly-zero determinant (e.g. every
+    // point at distance 0, where the scale itself is 0) is also rejected.
+    if !denom.is_finite() || denom.abs() <= 1e-9 * sum_w.abs() * sum_xx.abs() {
         return None;
     }
-    let slope = (n * sum_xy - sum_x * sum_y) / denom;
-    let intercept = (sum_y - slope * sum_x) / n;
+    let slope = (sum_w * sum_xy - sum_x * sum_y) / denom;
+    let intercept = (sum_y - slope * sum_x) / sum_w;
     Some(LambdaFit {
         log_intercept: intercept,
         log_slope: slope,
+        log_intercept_std_error: (sum_xx / denom).sqrt(),
+        log_slope_std_error: (sum_w / denom).sqrt(),
     })
 }
 
@@ -677,6 +752,80 @@ mod tests {
         assert!(fit_lambda(&[(3, 0.1)]).is_none());
         assert!(fit_lambda(&[(3, 0.0), (5, 0.0)]).is_none());
         assert!(fit_lambda(&[(3, 0.1), (5, 0.05)]).is_some());
+    }
+
+    #[test]
+    fn weighted_fit_matches_hand_computed_collinear_case() {
+        // x = [3, 5, 7], y = ln p = [−1, −2, −3] (exactly collinear), with
+        // σ_p/p = [0.5, 1.0, 0.5] so the weights are w = 1/σ_y² = [4, 1, 4].
+        // Hand-computed weighted sums: Σw = 9, Σwx = 45, Σwy = −18,
+        // Σwx² = 257, Σwxy = −106, Δ = 9·257 − 45² = 288, so
+        // slope = (9·(−106) − 45·(−18))/288 = −144/288 = −1/2,
+        // intercept = (−18 + 45/2)/9 = 1/2,
+        // Var(slope) = Σw/Δ = 9/288 = 1/32, Var(intercept) = Σwx²/Δ = 257/288.
+        let p = |y: f64| y.exp();
+        let points = [
+            (3, p(-1.0), 0.5 * p(-1.0)),
+            (5, p(-2.0), 1.0 * p(-2.0)),
+            (7, p(-3.0), 0.5 * p(-3.0)),
+        ];
+        let fit = fit_lambda_weighted(&points).unwrap();
+        assert!((fit.log_slope - (-0.5)).abs() < 1e-12);
+        assert!((fit.log_intercept - 0.5).abs() < 1e-12);
+        assert!((fit.log_slope_std_error - (1.0f64 / 32.0).sqrt()).abs() < 1e-12);
+        assert!((fit.log_intercept_std_error - (257.0f64 / 288.0).sqrt()).abs() < 1e-12);
+        assert!((fit.lambda() - 1.0f64.exp()).abs() < 1e-12);
+        assert!(
+            (fit.lambda_std_error() - 2.0 * 1.0f64.exp() * (1.0f64 / 32.0).sqrt()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn weighted_fit_matches_hand_computed_non_collinear_case() {
+        // x = [3, 5, 7], y = [0, −1, −3], w = [4, 1, 1]: Σw = 6, Σwx = 24,
+        // Σwy = −4, Σwx² = 110, Σwxy = −26, Δ = 660 − 576 = 84, so
+        // slope = (−156 + 96)/84 = −5/7 and intercept = (−4 + 120/7)/6 =
+        // 46/21 — distinct from the unweighted slope of −3/4, which is the
+        // point of the weighting.
+        let p = |y: f64| y.exp();
+        let points = [
+            (3, p(0.0), 0.5 * p(0.0)),
+            (5, p(-1.0), 1.0 * p(-1.0)),
+            (7, p(-3.0), 1.0 * p(-3.0)),
+        ];
+        let fit = fit_lambda_weighted(&points).unwrap();
+        assert!((fit.log_slope - (-5.0 / 7.0)).abs() < 1e-12);
+        assert!((fit.log_intercept - 46.0 / 21.0).abs() < 1e-12);
+        assert!((fit.log_slope_std_error - (6.0f64 / 84.0).sqrt()).abs() < 1e-12);
+        let unweighted = fit_lambda(&[(3, p(0.0)), (5, p(-1.0)), (7, p(-3.0))]).unwrap();
+        assert!((unweighted.log_slope - (-0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_confidence_interval_brackets_lambda() {
+        let fit =
+            fit_lambda_weighted(&[(3, 0.1, 0.01), (5, 0.02, 0.004), (7, 0.004, 0.001)]).unwrap();
+        let (lo, hi) = fit.lambda_confidence_interval(1.96);
+        assert!(lo > 0.0);
+        assert!(lo < fit.lambda() && fit.lambda() < hi);
+        // The z = 0 interval collapses onto the point estimate.
+        let (l0, h0) = fit.lambda_confidence_interval(0.0);
+        assert!((l0 - fit.lambda()).abs() < 1e-12 && (h0 - fit.lambda()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fit_tolerates_degenerate_sigmas() {
+        // σ = 0 and non-finite σ fall back to unit log-variance instead of
+        // producing infinite weights; the fit stays finite and usable.
+        let fit =
+            fit_lambda_weighted(&[(3, 1.0, 0.0), (5, 0.1, f64::NAN), (7, 0.01, 0.002)]).unwrap();
+        assert!(fit.log_slope.is_finite());
+        assert!(fit.log_slope_std_error.is_finite());
+        // Identical distances cannot determine a slope — including distance
+        // 0, where the determinant and its scale are both exactly zero.
+        assert!(fit_lambda_weighted(&[(3, 0.1, 0.01), (3, 0.2, 0.01)]).is_none());
+        assert!(fit_lambda_weighted(&[(0, 0.1, 0.01), (0, 0.2, 0.01)]).is_none());
+        assert!(fit_lambda(&[(0, 0.1), (0, 0.2)]).is_none());
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Per-decoder syndrome memoization.
+//!
+//! Below threshold, the overwhelming majority of noisy shots carry a handful
+//! of recurring small defect sets — single defects and adjacent pairs — so
+//! decoding the same canonical defect set over and over dominates the batch
+//! decode cost. The [`SyndromeMemo`] caches the decoder's prediction per
+//! defect set, keyed by the (already sorted) fired-detector list, for shots
+//! with at most [`MemoConfig::max_defects`] defects.
+//!
+//! # Bit-identity contract
+//!
+//! Memoization is a pure cache: every entry stores exactly the bit-packed
+//! prediction [`Decoder::decode_shot`](crate::Decoder::decode_shot) produced
+//! for that defect set, and decoders are deterministic functions of the
+//! defect set, so a memoized batch decode is **bit-identical** to a
+//! cache-disabled one. The property tests in `tests/prop_memo_decode.rs` pin
+//! this for all three decoder kinds across chunk sizes and thread counts.
+//!
+//! # Ownership
+//!
+//! The memo lives inside [`DecodeScratch`](crate::DecodeScratch) (one per
+//! worker thread, reused across chunks) but is *owned* by a decoder
+//! instance: each decoder carries a unique memo token, and the memo clears
+//! itself whenever it is handed to a decoder with a different token, so a
+//! scratch can be shared across decoders without serving stale predictions.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Default cap on the defect-set cardinality that is memoized.
+pub const DEFAULT_MEMO_MAX_DEFECTS: usize = 4;
+
+/// Hard upper bound on [`MemoConfig::max_defects`] (the memo key is a fixed
+/// array of this many detector indices).
+pub const MEMO_KEY_CAPACITY: usize = 6;
+
+/// Default cap on the number of cached defect sets per memo.
+pub const DEFAULT_MEMO_MAX_ENTRIES: usize = 1 << 20;
+
+/// Allocates a process-unique memo-ownership token for one decoder instance.
+pub(crate) fn next_memo_token() -> NonZeroU64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NonZeroU64::new(NEXT.fetch_add(1, Ordering::Relaxed)).expect("token counter starts at 1")
+}
+
+/// Tuning knobs of the syndrome memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoConfig {
+    /// Largest defect-set cardinality that is memoized (clamped to
+    /// [`MEMO_KEY_CAPACITY`]; `0` disables memoization entirely).
+    pub max_defects: usize,
+    /// Maximum number of cached defect sets; once full, lookups continue but
+    /// new entries are not inserted (keeps memory bounded and behaviour
+    /// deterministic).
+    pub max_entries: usize,
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        MemoConfig {
+            max_defects: DEFAULT_MEMO_MAX_DEFECTS,
+            max_entries: DEFAULT_MEMO_MAX_ENTRIES,
+        }
+    }
+}
+
+impl MemoConfig {
+    /// A configuration with memoization switched off.
+    pub fn disabled() -> Self {
+        MemoConfig {
+            max_defects: 0,
+            max_entries: 0,
+        }
+    }
+
+    /// Overrides the defect-set cardinality cap.
+    pub fn with_max_defects(mut self, max_defects: usize) -> Self {
+        self.max_defects = max_defects;
+        self
+    }
+
+    /// Overrides the entry cap.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries;
+        self
+    }
+
+    /// Whether memoization is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.max_defects > 0
+    }
+
+    /// The effective defect cap (clamped to the key capacity).
+    pub fn effective_max_defects(&self) -> usize {
+        self.max_defects.min(MEMO_KEY_CAPACITY)
+    }
+}
+
+/// Hit/miss counters of one memo (accumulated across chunks until
+/// [`DecodeScratch::reset_cache_stats`](crate::DecodeScratch::reset_cache_stats)
+/// or a change of owning decoder).
+///
+/// Only *noisy* shots are counted — quiet shots are skipped by the batch
+/// engine's word-level scan before the memo is ever consulted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Noisy shots answered from the memo.
+    pub hits: u64,
+    /// Noisy shots decoded and inserted (or droppable at the entry cap).
+    pub misses: u64,
+    /// Noisy shots with more defects than the memo cap (decoded directly).
+    pub uncacheable: u64,
+}
+
+impl CacheStats {
+    /// Noisy shots that consulted the memo (hits + misses).
+    pub fn attempts(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// All noisy shots decoded while the memo was active.
+    pub fn decoded(&self) -> u64 {
+        self.hits + self.misses + self.uncacheable
+    }
+
+    /// Fraction of noisy shots answered from the memo (0 when nothing was
+    /// decoded).
+    pub fn hit_rate(&self) -> f64 {
+        let decoded = self.decoded();
+        if decoded == 0 {
+            0.0
+        } else {
+            self.hits as f64 / decoded as f64
+        }
+    }
+}
+
+/// Memo key: the defect set padded with `u32::MAX` sentinels. Defect lists
+/// arriving from the batch gather loop are already sorted ascending, so the
+/// padded array is a canonical encoding of the set.
+type MemoKey = [u32; MEMO_KEY_CAPACITY];
+
+/// A fast non-cryptographic hasher for [`MemoKey`]s (SplitMix64 folding; the
+/// std SipHash default costs more than a small decode on the hit path).
+///
+/// `Hash` for integer arrays reaches the hasher through one bulk
+/// [`Hasher::write`] of the element bytes (plus a length prefix), so `write`
+/// folds whole 8-byte words — a [`MemoKey`] costs ~4 mixing rounds, not one
+/// per byte.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct MemoKeyHasher {
+    state: u64,
+}
+
+impl Hasher for MemoKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
+            self.write_u64(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.write_u64(u64::from_le_bytes(word) ^ ((tail.len() as u64) << 56));
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut z = self.state ^ value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+type MemoTable = HashMap<MemoKey, u64, BuildHasherDefault<MemoKeyHasher>>;
+
+/// The per-decoder prediction cache (see the [module docs](self)).
+///
+/// Predictions are stored as a `u64` observable-flip bitmask, so memoization
+/// only applies to decoding problems with at most 64 logical observables —
+/// plenty for the paper's workloads (single-patch memory experiments track
+/// one observable).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SyndromeMemo {
+    /// Memo token of the owning decoder (`None` = unowned / empty).
+    owner: Option<NonZeroU64>,
+    num_observables: usize,
+    config: MemoConfig,
+    table: MemoTable,
+    stats: CacheStats,
+}
+
+impl SyndromeMemo {
+    /// The active configuration.
+    pub(crate) fn config(&self) -> MemoConfig {
+        self.config
+    }
+
+    /// Installs a new configuration (entries survive — they are keyed by
+    /// defect set and stay valid under any cap).
+    pub(crate) fn set_config(&mut self, config: MemoConfig) {
+        self.config = config;
+    }
+
+    /// Accumulated hit/miss counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the hit/miss counters (entries are kept).
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of cached defect sets.
+    pub(crate) fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Claims the memo for the decoder with the given token, clearing any
+    /// entries (and stats) cached for a different decoder.
+    pub(crate) fn claim(&mut self, token: NonZeroU64, num_observables: usize) {
+        if self.owner != Some(token) || self.num_observables != num_observables {
+            self.table.clear();
+            self.stats = CacheStats::default();
+            self.owner = Some(token);
+            self.num_observables = num_observables;
+        }
+    }
+
+    /// Whether a defect set of the given cardinality can be memoized under
+    /// the current configuration.
+    pub(crate) fn cacheable(&self, defects: usize, num_observables: usize) -> bool {
+        defects <= self.config.effective_max_defects() && num_observables <= 64
+    }
+
+    fn key(fired_detectors: &[usize]) -> MemoKey {
+        let mut key = [u32::MAX; MEMO_KEY_CAPACITY];
+        for (slot, &d) in key.iter_mut().zip(fired_detectors) {
+            *slot = d as u32;
+        }
+        key
+    }
+
+    /// Looks up the prediction bitmask of a cacheable defect set, counting a
+    /// hit or a miss.
+    pub(crate) fn lookup(&mut self, fired_detectors: &[usize]) -> Option<u64> {
+        match self.table.get(&Self::key(fired_detectors)) {
+            Some(&mask) => {
+                self.stats.hits += 1;
+                Some(mask)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the decoded prediction of a missed defect set (dropped when
+    /// the entry cap is reached).
+    pub(crate) fn insert(&mut self, fired_detectors: &[usize], mask: u64) {
+        if self.table.len() < self.config.max_entries {
+            self.table.insert(Self::key(fired_detectors), mask);
+        }
+    }
+
+    /// Counts a shot that bypassed the memo (defect count above the cap).
+    pub(crate) fn note_uncacheable(&mut self) {
+        self.stats.uncacheable += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_disable() {
+        let config = MemoConfig::default();
+        assert!(config.enabled());
+        assert_eq!(config.max_defects, DEFAULT_MEMO_MAX_DEFECTS);
+        assert!(!MemoConfig::disabled().enabled());
+        assert_eq!(
+            MemoConfig::default()
+                .with_max_defects(100)
+                .effective_max_defects(),
+            MEMO_KEY_CAPACITY
+        );
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let stats = CacheStats {
+            hits: 6,
+            misses: 2,
+            uncacheable: 2,
+        };
+        assert_eq!(stats.attempts(), 8);
+        assert_eq!(stats.decoded(), 10);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lookup_insert_roundtrip_and_counters() {
+        let mut memo = SyndromeMemo::default();
+        let token = next_memo_token();
+        memo.claim(token, 1);
+        assert_eq!(memo.lookup(&[1, 4]), None);
+        memo.insert(&[1, 4], 0b1);
+        assert_eq!(memo.lookup(&[1, 4]), Some(0b1));
+        assert_eq!(memo.lookup(&[4]), None);
+        memo.note_uncacheable();
+        assert_eq!(
+            memo.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                uncacheable: 1
+            }
+        );
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn claim_by_other_decoder_clears_entries_and_stats() {
+        let mut memo = SyndromeMemo::default();
+        let a = next_memo_token();
+        let b = next_memo_token();
+        memo.claim(a, 1);
+        memo.insert(&[0], 1);
+        assert_eq!(memo.lookup(&[0]), Some(1));
+        // Re-claim by the same owner keeps everything.
+        memo.claim(a, 1);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.stats().hits, 1);
+        // A different owner starts from scratch.
+        memo.claim(b, 1);
+        assert_eq!(memo.len(), 0);
+        assert_eq!(memo.stats(), CacheStats::default());
+        assert_eq!(memo.lookup(&[0]), None);
+    }
+
+    #[test]
+    fn observable_count_change_also_clears() {
+        let mut memo = SyndromeMemo::default();
+        let token = next_memo_token();
+        memo.claim(token, 1);
+        memo.insert(&[2], 1);
+        memo.claim(token, 2);
+        assert_eq!(memo.len(), 0);
+    }
+
+    #[test]
+    fn entry_cap_stops_insertions_but_not_lookups() {
+        let mut memo = SyndromeMemo::default();
+        memo.set_config(MemoConfig::default().with_max_entries(1));
+        let token = next_memo_token();
+        memo.claim(token, 1);
+        memo.insert(&[0], 1);
+        memo.insert(&[1], 0);
+        assert_eq!(memo.len(), 1, "cap must stop the second insert");
+        assert_eq!(memo.lookup(&[0]), Some(1));
+        assert_eq!(memo.lookup(&[1]), None);
+    }
+
+    #[test]
+    fn cacheable_respects_cap_and_observables() {
+        let mut memo = SyndromeMemo::default();
+        memo.set_config(MemoConfig::default().with_max_defects(2));
+        assert!(memo.cacheable(0, 1));
+        assert!(memo.cacheable(2, 64));
+        assert!(!memo.cacheable(3, 1));
+        assert!(!memo.cacheable(1, 65));
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        assert_ne!(next_memo_token(), next_memo_token());
+    }
+}

@@ -24,8 +24,11 @@
 //! states, cost matrices and subset-DP tables all live in the shared
 //! [`DecodeScratch`], so batched decoding reuses them across shots.
 
+use std::num::NonZeroU64;
+
 use crate::batch::MatchingScratch;
 use crate::greedy::apply_path_observables;
+use crate::memo::next_memo_token;
 use crate::{DecodeScratch, Decoder, DecodingGraph, GreedyMatchingDecoder};
 
 /// Default cap on the number of defects decoded exactly per shot.
@@ -39,6 +42,8 @@ pub struct ExactMatchingDecoder {
     greedy: GreedyMatchingDecoder,
     boundary: usize,
     max_exact_defects: usize,
+    /// Syndrome-memo ownership token (see [`crate::memo`]).
+    memo_token: NonZeroU64,
 }
 
 impl ExactMatchingDecoder {
@@ -51,13 +56,17 @@ impl ExactMatchingDecoder {
             greedy,
             boundary,
             max_exact_defects: DEFAULT_MAX_EXACT_DEFECTS,
+            memo_token: next_memo_token(),
         }
     }
 
     /// Overrides the exact-matching defect cap (shots with more defects use
-    /// the greedy fallback).
+    /// the greedy fallback). A fresh memo token is drawn because the cap
+    /// changes decoding behaviour — predictions cached for the previous cap
+    /// must never be served for this one.
     pub fn with_max_exact_defects(mut self, max_exact_defects: usize) -> Self {
         self.max_exact_defects = max_exact_defects;
+        self.memo_token = next_memo_token();
         self
     }
 
@@ -224,6 +233,10 @@ impl Decoder for ExactMatchingDecoder {
 
     fn num_observables(&self) -> usize {
         self.graph.num_observables()
+    }
+
+    fn memo_token(&self) -> Option<NonZeroU64> {
+        Some(self.memo_token)
     }
 }
 

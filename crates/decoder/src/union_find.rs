@@ -21,7 +21,10 @@
 //! phase walks only the grown subgraph rather than the full decoding graph,
 //! so quiet shots cost almost nothing.
 
+use std::num::NonZeroU64;
+
 use crate::batch::UnionFindScratch;
+use crate::memo::next_memo_token;
 use crate::{DecodeScratch, Decoder, DecodingGraph};
 
 /// Union-find decoder over a decoding graph.
@@ -32,6 +35,8 @@ pub struct UnionFindDecoder {
     lengths: Vec<u32>,
     /// Index of the virtual boundary node (== number of detectors).
     boundary: usize,
+    /// Syndrome-memo ownership token (see [`crate::memo`]).
+    memo_token: NonZeroU64,
 }
 
 impl UnionFindDecoder {
@@ -47,6 +52,7 @@ impl UnionFindDecoder {
             graph,
             lengths,
             boundary,
+            memo_token: next_memo_token(),
         }
     }
 
@@ -325,6 +331,10 @@ impl Decoder for UnionFindDecoder {
 
     fn num_observables(&self) -> usize {
         self.graph.num_observables()
+    }
+
+    fn memo_token(&self) -> Option<NonZeroU64> {
+        Some(self.memo_token)
     }
 }
 

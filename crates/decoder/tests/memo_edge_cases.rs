@@ -1,0 +1,223 @@
+//! Edge-case tests for the syndrome memo: empty syndromes, defect counts
+//! above the cap, entry caps, cross-chunk scratch reuse (epoch-stamp reuse)
+//! and `CacheStats` counter correctness.
+
+use qccd_decoder::{
+    CacheStats, DecodeScratch, Decoder, DecodingGraph, GreedyMatchingDecoder, MemoConfig,
+    SyndromeChunk, UnionFindDecoder,
+};
+use qccd_sim::{DemError, DetectorErrorModel};
+
+/// A chain decoding graph: `n` detectors in a line, boundary edges at both
+/// ends; the right boundary edge flips the observable.
+fn chain_graph(n: usize) -> DecodingGraph {
+    let mut errors = vec![DemError {
+        probability: 0.01,
+        detectors: vec![0],
+        observables: vec![],
+    }];
+    for i in 0..n - 1 {
+        errors.push(DemError {
+            probability: 0.01,
+            detectors: vec![i as u32, i as u32 + 1],
+            observables: vec![],
+        });
+    }
+    errors.push(DemError {
+        probability: 0.01,
+        detectors: vec![n as u32 - 1],
+        observables: vec![0],
+    });
+    DecodingGraph::from_dem(&DetectorErrorModel {
+        num_detectors: n,
+        num_observables: 1,
+        errors,
+    })
+}
+
+fn chunk_of(n: usize, shots: &[Vec<usize>]) -> SyndromeChunk {
+    let packed: Vec<(Vec<usize>, Vec<usize>)> = shots
+        .iter()
+        .map(|fired| (fired.clone(), Vec::new()))
+        .collect();
+    SyndromeChunk::from_shots(n, 1, &packed)
+}
+
+#[test]
+fn quiet_chunk_touches_neither_memo_nor_stats() {
+    let decoder = UnionFindDecoder::new(chain_graph(6));
+    let mut scratch = DecodeScratch::new();
+    let chunk = chunk_of(6, &[vec![], vec![], vec![]]);
+    let batch = decoder.decode_batch(&chunk, &mut scratch);
+    for shot in 0..3 {
+        assert_eq!(batch.shot_prediction(shot), vec![false]);
+    }
+    assert_eq!(scratch.cache_stats(), CacheStats::default());
+    assert_eq!(scratch.memo_entries(), 0);
+}
+
+#[test]
+fn defect_count_above_the_cap_bypasses_the_memo() {
+    let decoder = UnionFindDecoder::new(chain_graph(8));
+    let mut scratch = DecodeScratch::new();
+    // 5 defects > default cap of 4: decoded directly, counted uncacheable.
+    let big: Vec<usize> = (0..5).collect();
+    let chunk = chunk_of(8, &[big.clone(), big.clone()]);
+    let batch = decoder.decode_batch(&chunk, &mut scratch);
+    assert_eq!(batch.shot_prediction(0), decoder.decode(&big));
+    assert_eq!(batch.shot_prediction(0), batch.shot_prediction(1));
+    let stats = scratch.cache_stats();
+    assert_eq!(
+        stats,
+        CacheStats {
+            hits: 0,
+            misses: 0,
+            uncacheable: 2
+        }
+    );
+    assert_eq!(scratch.memo_entries(), 0, "oversized sets are never cached");
+    assert_eq!(stats.hit_rate(), 0.0);
+}
+
+#[test]
+fn cache_stats_count_hits_misses_and_uncacheable_exactly() {
+    let decoder = UnionFindDecoder::new(chain_graph(8));
+    let mut scratch = DecodeScratch::new();
+    let shots = vec![
+        vec![0],             // miss
+        vec![0],             // hit
+        vec![1, 2],          // miss
+        vec![],              // quiet: not counted
+        vec![0, 1, 2, 3, 4], // uncacheable (5 > cap 4)
+        vec![0],             // hit
+    ];
+    let chunk = chunk_of(8, &shots);
+    let batch = decoder.decode_batch(&chunk, &mut scratch);
+    let stats = scratch.cache_stats();
+    assert_eq!(
+        stats,
+        CacheStats {
+            hits: 2,
+            misses: 2,
+            uncacheable: 1
+        }
+    );
+    assert_eq!(stats.attempts(), 4);
+    assert_eq!(stats.decoded(), 5);
+    assert!((stats.hit_rate() - 0.4).abs() < 1e-12);
+    assert_eq!(scratch.memo_entries(), 2);
+    // Every shot still matches the uncached per-shot decode.
+    for (shot, fired) in shots.iter().enumerate() {
+        assert_eq!(batch.shot_prediction(shot), decoder.decode(fired));
+    }
+    // Counter reset keeps the entries.
+    scratch.reset_cache_stats();
+    assert_eq!(scratch.cache_stats(), CacheStats::default());
+    assert_eq!(scratch.memo_entries(), 2);
+}
+
+#[test]
+fn scratch_reuse_across_chunks_keeps_entries_and_accumulates_stats() {
+    // The per-shot scratch buffers are invalidated between shots/chunks by
+    // epoch stamping; the memo must survive those epoch bumps so later
+    // chunks hit entries cached by earlier ones.
+    let decoder = UnionFindDecoder::new(chain_graph(10));
+    let mut warm = DecodeScratch::new();
+    let first = chunk_of(10, &[vec![2], vec![3, 4], vec![2]]);
+    let second = chunk_of(10, &[vec![2], vec![9], vec![3, 4], vec![2]]);
+
+    let first_batch = decoder.decode_batch(&first, &mut warm);
+    assert_eq!(
+        warm.cache_stats(),
+        CacheStats {
+            hits: 1,
+            misses: 2,
+            uncacheable: 0
+        }
+    );
+    let entries_after_first = warm.memo_entries();
+    assert_eq!(entries_after_first, 2);
+
+    let second_batch = decoder.decode_batch(&second, &mut warm);
+    // [2] and [3,4] are warm from the first chunk; only [9] misses. [2]
+    // recurs within the chunk for a fourth total hit.
+    assert_eq!(
+        warm.cache_stats(),
+        CacheStats {
+            hits: 4,
+            misses: 3,
+            uncacheable: 0
+        }
+    );
+    assert_eq!(warm.memo_entries(), 3);
+
+    // Bit-identical to fresh uncached decodes of both chunks.
+    let mut cold = DecodeScratch::with_memo_config(MemoConfig::disabled());
+    assert_eq!(first_batch, decoder.decode_batch(&first, &mut cold));
+    assert_eq!(second_batch, decoder.decode_batch(&second, &mut cold));
+}
+
+#[test]
+fn entry_cap_bounds_the_table_without_changing_results() {
+    let decoder = UnionFindDecoder::new(chain_graph(8));
+    let mut capped = DecodeScratch::with_memo_config(MemoConfig::default().with_max_entries(1));
+    let shots = vec![vec![0], vec![1], vec![1], vec![0]];
+    let chunk = chunk_of(8, &shots);
+    let batch = decoder.decode_batch(&chunk, &mut capped);
+    assert_eq!(capped.memo_entries(), 1, "cap holds");
+    // [0] miss+insert, [1] miss (insert dropped), [1] miss again, [0] hit.
+    assert_eq!(
+        capped.cache_stats(),
+        CacheStats {
+            hits: 1,
+            misses: 3,
+            uncacheable: 0
+        }
+    );
+    for (shot, fired) in shots.iter().enumerate() {
+        assert_eq!(batch.shot_prediction(shot), decoder.decode(fired));
+    }
+}
+
+#[test]
+fn scratch_shared_across_decoders_serves_no_stale_predictions() {
+    // The union-find and greedy decoders may disagree on some syndromes; a
+    // shared scratch must re-key the memo per decoder rather than serve one
+    // decoder's cached prediction to the other.
+    let graph = chain_graph(9);
+    let uf = UnionFindDecoder::new(graph.clone());
+    let greedy = GreedyMatchingDecoder::new(graph);
+    let mut shared = DecodeScratch::new();
+    let chunk = chunk_of(9, &[vec![0], vec![4, 5], vec![8]]);
+
+    let from_uf = uf.decode_batch(&chunk, &mut shared);
+    assert_eq!(shared.cache_stats().misses, 3);
+    let from_greedy = greedy.decode_batch(&chunk, &mut shared);
+    assert_eq!(
+        shared.cache_stats().misses,
+        3,
+        "handing the scratch to another decoder restarts the stats"
+    );
+
+    let mut cold = DecodeScratch::with_memo_config(MemoConfig::disabled());
+    assert_eq!(from_uf, uf.decode_batch(&chunk, &mut cold));
+    assert_eq!(from_greedy, greedy.decode_batch(&chunk, &mut cold));
+}
+
+#[test]
+fn disabling_the_memo_mid_scratch_stops_consulting_it() {
+    let decoder = UnionFindDecoder::new(chain_graph(6));
+    let mut scratch = DecodeScratch::new();
+    let chunk = chunk_of(6, &[vec![2], vec![2]]);
+    decoder.decode_batch(&chunk, &mut scratch);
+    assert_eq!(scratch.cache_stats().hits, 1);
+    scratch.set_memo_config(MemoConfig::disabled());
+    let stats_before = scratch.cache_stats();
+    let batch = decoder.decode_batch(&chunk, &mut scratch);
+    assert_eq!(
+        scratch.cache_stats(),
+        stats_before,
+        "disabled memo is inert"
+    );
+    assert_eq!(batch.shot_prediction(0), decoder.decode(&[2]));
+}

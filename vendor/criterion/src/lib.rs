@@ -2,8 +2,10 @@
 //!
 //! Implements benchmark groups, `bench_function` / `bench_with_input` and a
 //! simple warmup + sampled-timing loop, reporting mean, min and max time per
-//! iteration on stdout. Statistical analysis, plots and baselines are out of
-//! scope.
+//! iteration on stdout. Like upstream criterion, passing `--test` on the
+//! command line (`cargo bench ... -- --test`) runs every benchmark routine
+//! exactly once without timing — the CI smoke mode. Statistical analysis,
+//! plots and baselines are out of scope.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -137,7 +139,18 @@ fn format_time(nanos: f64) -> String {
     }
 }
 
+/// Whether `--test` was passed to the bench binary (smoke mode: run each
+/// routine once, skip timing).
+fn test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode() {
+        run_sample(f, 1);
+        println!("Testing {label} ... ok");
+        return;
+    }
     // Warmup: find an iteration count that makes one sample take ≥ ~20 ms,
     // warming caches along the way. Cap the calibration effort so very slow
     // routines still terminate quickly.

@@ -7,6 +7,7 @@
 //! reported with their generated inputs via `Debug`, but are not shrunk.
 
 pub mod collection;
+pub mod sample;
 pub mod strategy;
 pub mod test_runner;
 
