@@ -1,103 +1,9 @@
-//! Extension experiment E2: clustering-strategy ablation.
+//! Extension E2: clustering-strategy ablation.
 //!
-//! DESIGN.md calls out the geometric (top-down regular) partition of §4.2 as
-//! the load-bearing design choice of the mapping pass. This ablation
-//! replaces it with a structure-blind round-robin partition and measures how
-//! much of the compiler's advantage disappears: cut interaction-edge weight,
-//! ion-movement operations and QEC round time, per trap capacity and code
-//! distance.
-//!
-//! The `(distance, capacity)` cases are sharded across the
-//! [`SweepEngine`]'s outer worker pool.
-
-use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SWEEP_SEED};
-use qccd_core::{cluster_qubits_with_strategy, cut_weight, ClusteringStrategy, Compiler};
-use qccd_decoder::SweepEngine;
-use qccd_qec::rotated_surface_code;
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run ext_ablation_clustering`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let distances = [3usize, 5];
-    let capacities = [3usize, 5, 9];
-
-    let cases: Vec<(usize, usize)> = distances
-        .iter()
-        .flat_map(|&d| capacities.iter().map(move |&capacity| (d, capacity)))
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let outcomes = engine.run(&cases, |task| {
-        let (d, capacity) = *task.point;
-        let layout = rotated_surface_code(d);
-        let cluster_size = capacity - 1;
-        let geometric_cut = cut_weight(
-            &layout,
-            &cluster_qubits_with_strategy(&layout, cluster_size, ClusteringStrategy::Geometric),
-        );
-        let blind_cut = cut_weight(
-            &layout,
-            &cluster_qubits_with_strategy(&layout, cluster_size, ClusteringStrategy::RoundRobin),
-        );
-
-        let arch = grid_arch(capacity, 1.0);
-        let geometric = Compiler::new(arch.clone()).compile_rounds(&layout, 1).ok();
-        let blind = Compiler::new(arch)
-            .with_mapping_strategy(ClusteringStrategy::RoundRobin)
-            .compile_rounds(&layout, 1)
-            .ok();
-
-        let fmt_opt_time = |p: &Option<qccd_core::CompiledProgram>| {
-            p.as_ref()
-                .map(|p| fmt_f64(p.elapsed_time_us()))
-                .unwrap_or_else(|| "NaN".into())
-        };
-        let fmt_opt_moves = |p: &Option<qccd_core::CompiledProgram>| {
-            p.as_ref()
-                .map(|p| p.movement_ops().to_string())
-                .unwrap_or_else(|| "NaN".into())
-        };
-        let row = vec![
-            format!("d={d} c{capacity}"),
-            fmt_f64(geometric_cut),
-            fmt_f64(blind_cut),
-            fmt_opt_moves(&geometric),
-            fmt_opt_moves(&blind),
-            fmt_opt_time(&geometric),
-            fmt_opt_time(&blind),
-        ];
-        let entry = serde_json::json!({
-            "distance": d,
-            "capacity": capacity,
-            "geometric_cut_weight": geometric_cut,
-            "round_robin_cut_weight": blind_cut,
-            "geometric_movement_ops": geometric.as_ref().map(|p| p.movement_ops()),
-            "round_robin_movement_ops": blind.as_ref().map(|p| p.movement_ops()),
-            "geometric_round_us": geometric.as_ref().map(|p| p.elapsed_time_us()),
-            "round_robin_round_us": blind.as_ref().map(|p| p.elapsed_time_us()),
-        });
-        (row, entry)
-    });
-
-    let (rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
-
-    print_table(
-        "Extension E2: geometric vs round-robin clustering (grid, standard wiring, 1X gates)",
-        &[
-            "Configuration",
-            "Cut weight (geo)",
-            "Cut weight (RR)",
-            "Moves (geo)",
-            "Moves (RR)",
-            "Round us (geo)",
-            "Round us (RR)",
-        ],
-        &rows,
-    );
-    println!(
-        "\nReading: the round-robin ablation cuts far more interaction edges, which turns into \
-         more ion movement and longer rounds — the gap is the value of the §4.2 geometric partition."
-    );
-    dump_json(
-        "ext_ablation_clustering",
-        &serde_json::Value::Array(artefact),
-    );
+    qccd_bench::registry::run_legacy("ext_ablation_clustering");
 }

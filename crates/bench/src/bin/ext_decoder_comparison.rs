@@ -1,79 +1,9 @@
-//! Extension experiment E3: decoder ablation.
+//! Extension E3: decoder ablation.
 //!
-//! DESIGN.md substitutes a weighted union-find decoder for the MWPM decoding
-//! the paper gets from its Stim/PyMatching stack, and claims the substitution
-//! only shifts logical error rates by a small constant factor (it does not
-//! change which architecture wins). This experiment quantifies that claim by
-//! decoding the *same* compiled memory experiments with the union-find,
-//! greedy-matching and exact minimum-weight matching decoders.
-//!
-//! The `(improvement, distance)` cases are sharded across the
-//! [`SweepEngine`]'s outer worker pool; within a case the three decoders see
-//! the same sampled shots (same per-case seed), so the comparison stays
-//! apples-to-apples.
-
-use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED};
-use qccd_core::{Compiler, Toolflow};
-use qccd_decoder::{estimate_logical_error_rate, DecoderKind, SweepEngine};
-use qccd_qec::{rotated_surface_code, MemoryBasis};
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run ext_decoder_comparison`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let distances = [3usize, 5];
-    let improvements = [5.0f64, 10.0];
-    let decoders = [
-        DecoderKind::UnionFind,
-        DecoderKind::GreedyMatching,
-        DecoderKind::ExactMatching,
-    ];
-    let shots = DEFAULT_SHOTS;
-
-    let cases: Vec<(f64, usize)> = improvements
-        .iter()
-        .flat_map(|&improvement| distances.iter().map(move |&d| (improvement, d)))
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let outcomes = engine.run(&cases, |task| {
-        let (improvement, d) = *task.point;
-        let layout = rotated_surface_code(d);
-        let compiler = Compiler::new(grid_arch(2, improvement));
-        let program = compiler
-            .compile_memory_experiment(&layout, d, MemoryBasis::Z)
-            .expect("the recommended architecture hosts the code");
-        let noisy = program.to_noisy_circuit();
-
-        let mut row = vec![format!("{improvement:.0}X d={d}")];
-        let mut entry = serde_json::json!({
-            "gate_improvement": improvement,
-            "distance": d,
-            "shots": shots,
-            "seed": task.seed,
-        });
-        for decoder in decoders {
-            let estimate = estimate_logical_error_rate(&noisy, shots, task.seed, decoder)
-                .expect("compiled circuits carry consistent annotations");
-            row.push(fmt_f64(estimate.logical_error_rate));
-            entry[format!("{decoder:?}")] = serde_json::json!(estimate.logical_error_rate);
-        }
-        (row, entry)
-    });
-
-    let (rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
-
-    print_table(
-        "Extension E3: logical error rate per decoder (grid, capacity 2, standard wiring)",
-        &["Configuration", "Union-find", "Greedy", "Exact matching"],
-        &rows,
-    );
-    println!(
-        "\nReading: the exact matching decoder is the accuracy reference; union-find should sit \
-         within a small factor of it and greedy should be the worst. The ordering of \
-         architectures (not shown here) is unchanged by the decoder choice — see the Toolflow \
-         decoder option ({:?} is the default).",
-        Toolflow::new(grid_arch(2, 5.0)).decoder
-    );
-    dump_json(
-        "ext_decoder_comparison",
-        &serde_json::Value::Array(artefact),
-    );
+    qccd_bench::registry::run_legacy("ext_decoder_comparison");
 }

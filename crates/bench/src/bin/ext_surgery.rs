@@ -1,100 +1,9 @@
-//! Extension experiment E1 (paper §8): lattice-surgery merged patches.
+//! Extension E1: lattice-surgery merged patches.
 //!
-//! The paper argues that its architectural conclusions carry over to logical
-//! two-qubit operations because lattice-surgery circuits have the same local
-//! parity-check structure as a single patch. This experiment checks that
-//! claim with the compiler instead of assuming it: for each trap capacity it
-//! compiles one parity-check round of (a) an isolated distance-`d` patch and
-//! (b) the merged `d × (2d+1)` patch of a ZZ surgery, and compares round
-//! times. At capacity 2 the merged patch should run at (approximately) the
-//! same constant round time as the single patch; at large capacities the
-//! merged patch slows down with its size.
-//!
-//! The `(capacity, distance)` cases compile independently, so they are
-//! sharded across the [`SweepEngine`]'s outer worker pool.
-
-use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SWEEP_SEED};
-use qccd_core::Toolflow;
-use qccd_decoder::SweepEngine;
-use qccd_qec::{surgery_workload, MergeKind};
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run ext_surgery`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let distances = [2usize, 3, 4];
-    let capacities = [2usize, 6, 12];
-
-    let cases: Vec<(usize, usize)> = capacities
-        .iter()
-        .flat_map(|&capacity| distances.iter().map(move |&d| (capacity, d)))
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let outcomes = engine.run(&cases, |task| {
-        let (capacity, d) = *task.point;
-        let toolflow = Toolflow::new(grid_arch(capacity, 1.0));
-        let workload = surgery_workload(d, MergeKind::ZZ);
-        let patch = toolflow.evaluate_layout(&workload.patch, 1, false);
-        let merged = toolflow.evaluate_layout(&workload.merged, 1, false);
-        let (patch_us, patch_moves) = match &patch {
-            Ok(m) => (Some(m.qec_round_time_us), Some(m.movement_ops_per_round)),
-            Err(_) => (None, None),
-        };
-        let (merged_us, merged_moves) = match &merged {
-            Ok(m) => (Some(m.qec_round_time_us), Some(m.movement_ops_per_round)),
-            Err(_) => (None, None),
-        };
-        let ratio = match (patch_us, merged_us) {
-            (Some(p), Some(m)) if p > 0.0 => Some(m / p),
-            _ => None,
-        };
-        let row = vec![
-            format!("c{capacity} d={d}"),
-            format!("{}", workload.patch.num_qubits()),
-            format!("{}", workload.merged.num_qubits()),
-            patch_us.map(fmt_f64).unwrap_or_else(|| "NaN".into()),
-            merged_us.map(fmt_f64).unwrap_or_else(|| "NaN".into()),
-            ratio
-                .map(|r| format!("{r:.2}"))
-                .unwrap_or_else(|| "NaN".into()),
-            patch_moves
-                .map(|m| m.to_string())
-                .unwrap_or_else(|| "NaN".into()),
-            merged_moves
-                .map(|m| m.to_string())
-                .unwrap_or_else(|| "NaN".into()),
-        ];
-        let entry = serde_json::json!({
-            "capacity": capacity,
-            "distance": d,
-            "patch_qubits": workload.patch.num_qubits(),
-            "merged_qubits": workload.merged.num_qubits(),
-            "patch_round_us": patch_us,
-            "merged_round_us": merged_us,
-            "merged_over_patch": ratio,
-            "patch_movement_ops": patch_moves,
-            "merged_movement_ops": merged_moves,
-        });
-        (row, entry)
-    });
-
-    let (rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
-
-    print_table(
-        "Extension E1: lattice-surgery merged patch vs isolated patch (grid, standard wiring, 1X gates)",
-        &[
-            "Configuration",
-            "Patch qubits",
-            "Merged qubits",
-            "Patch round (us)",
-            "Merged round (us)",
-            "Merged / patch",
-            "Patch moves",
-            "Merged moves",
-        ],
-        &rows,
-    );
-    println!(
-        "\nReading: a merged/patch ratio near 1.0 at capacity 2 confirms the paper's §8 claim \
-         that the capacity-2 grid keeps its constant round time under lattice surgery."
-    );
-    dump_json("ext_surgery", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("ext_surgery");
 }

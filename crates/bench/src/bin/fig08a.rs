@@ -1,66 +1,9 @@
-//! Figure 8(a): elapsed time per QEC round versus code distance for trap
-//! capacities 2, 5 and 12 under linear, grid and all-to-all switch
-//! communication topologies.
+//! Figure 8(a): QEC round time vs code distance.
 //!
-//! The `(topology, capacity)` configurations are sharded across the
-//! [`SweepEngine`]'s outer worker pool; each worker evaluates its
-//! configuration at every distance.
-
-use qccd_bench::{dump_json, fmt_f64, print_table, DEFAULT_SWEEP_SEED};
-use qccd_core::{ArchitectureConfig, Toolflow};
-use qccd_decoder::SweepEngine;
-use qccd_hardware::{TopologyKind, WiringMethod};
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig08a`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let distances = [2usize, 3, 4, 5, 7, 9];
-    let capacities = [2usize, 5, 12];
-    let topologies = [
-        TopologyKind::Linear,
-        TopologyKind::Grid,
-        TopologyKind::Switch,
-    ];
-
-    let configurations: Vec<(TopologyKind, usize)> = topologies
-        .iter()
-        .flat_map(|&topology| capacities.iter().map(move |&capacity| (topology, capacity)))
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let outcomes = engine.run(&configurations, |task| {
-        let (topology, capacity) = *task.point;
-        let arch = ArchitectureConfig::new(topology, capacity, WiringMethod::Standard, 1.0);
-        let toolflow = Toolflow::new(arch);
-        let mut row = vec![format!("{topology} c{capacity}")];
-        let mut series = Vec::new();
-        for d in distances {
-            match toolflow.evaluate(d, false) {
-                Ok(metrics) => {
-                    row.push(fmt_f64(metrics.qec_round_time_us));
-                    series.push(serde_json::json!({
-                        "d": d, "round_time_us": metrics.qec_round_time_us
-                    }));
-                }
-                Err(_) => {
-                    row.push("NaN".into());
-                    series.push(serde_json::json!({"d": d, "round_time_us": null}));
-                }
-            }
-        }
-        let entry = serde_json::json!({
-            "topology": format!("{topology}"), "capacity": capacity, "series": series
-        });
-        (row, entry)
-    });
-
-    let (rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
-
-    let mut headers = vec!["Configuration".to_string()];
-    headers.extend(distances.iter().map(|d| format!("d={d} (us)")));
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Figure 8(a): QEC round time vs code distance",
-        &header_refs,
-        &rows,
-    );
-    dump_json("fig08a", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig08a");
 }

@@ -1,71 +1,9 @@
-//! Figure 8(b): logical error rate versus code distance for trap capacities
-//! 2, 5 and 12 under the grid and all-to-all switch topologies (5X gates).
+//! Figure 8(b): logical error rate vs code distance (5X gates).
 //!
-//! All `configuration × distance` Monte-Carlo points run in one sharded
-//! sweep ([`ler_curves`]).
-
-use qccd_bench::{
-    arch, dump_json, fmt_f64, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
-};
-use qccd_decoder::SweepEngine;
-use qccd_hardware::{TopologyKind, WiringMethod};
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig08b`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let distances = [3usize, 5];
-    let capacities = [2usize, 5, 12];
-    let topologies = [TopologyKind::Grid, TopologyKind::Switch];
-
-    let configurations: Vec<(String, _)> = topologies
-        .iter()
-        .flat_map(|&topology| {
-            capacities.iter().map(move |&capacity| {
-                (
-                    format!("{topology} c{capacity}"),
-                    arch(topology, capacity, WiringMethod::Standard, 5.0),
-                )
-            })
-        })
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let curves = ler_curves(&engine, &configurations, &distances, DEFAULT_SHOTS);
-
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for (curve, ((label, _), (topology, capacity))) in curves.iter().zip(
-        configurations.iter().zip(
-            topologies
-                .iter()
-                .flat_map(|&t| capacities.iter().map(move |&c| (t, c))),
-        ),
-    ) {
-        let mut row = vec![label.clone()];
-        for &d in &distances {
-            let value = curve
-                .points
-                .iter()
-                .find(|(pd, _, _)| *pd == d)
-                .map(|(_, p, _)| *p);
-            row.push(value.map(fmt_f64).unwrap_or_else(|| "NaN".into()));
-        }
-        row.push(
-            curve
-                .fit
-                .map(|f| fmt_f64(f.lambda()))
-                .unwrap_or_else(|| "-".into()),
-        );
-        artefact.push(serde_json::json!({
-            "topology": format!("{topology}"),
-            "capacity": capacity,
-            "points": curve.points.iter().map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se})).collect::<Vec<_>>(),
-        }));
-        rows.push(row);
-    }
-
-    print_table(
-        "Figure 8(b): logical error rate vs code distance (5X gates)",
-        &["Configuration", "d=3 LER", "d=5 LER", "Lambda"],
-        &rows,
-    );
-    dump_json("fig08b", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig08b");
 }

@@ -1,65 +1,9 @@
-//! Figure 9: QEC shot time versus trap capacity and code distance on the
-//! grid topology, framed by the fully-parallel lower bound and the
-//! fully-serial (single ion chain) upper bound.
+//! Figure 9: QEC shot time vs trap capacity.
 //!
-//! Capacities are sharded across the [`SweepEngine`]'s outer worker pool.
-
-use qccd_bench::{dump_json, fmt_f64, grid_arch, print_table, DEFAULT_SWEEP_SEED};
-use qccd_core::{theoretical, Toolflow};
-use qccd_decoder::SweepEngine;
-use qccd_hardware::OperationTimes;
-use qccd_qec::rotated_surface_code;
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig09`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let distances = [3usize, 5, 7, 9];
-    let capacities = [2usize, 3, 5, 12, 30];
-    let times = OperationTimes::paper_defaults();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let outcomes = engine.run(&capacities, |task| {
-        let capacity = *task.point;
-        let toolflow = Toolflow::new(grid_arch(capacity, 1.0));
-        let mut row = vec![format!("capacity {capacity}")];
-        let mut series = Vec::new();
-        for d in distances {
-            match toolflow.evaluate(d, false) {
-                Ok(m) => {
-                    row.push(fmt_f64(m.shot_time_us));
-                    series.push(serde_json::json!({"d": d, "shot_time_us": m.shot_time_us}));
-                }
-                Err(_) => {
-                    row.push("NaN".into());
-                    series.push(serde_json::json!({"d": d, "shot_time_us": null}));
-                }
-            }
-        }
-        let entry = serde_json::json!({"capacity": capacity, "series": series});
-        (row, entry)
-    });
-
-    let (mut rows, artefact): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
-    // Bounds (per shot = d rounds).
-    let mut lower = vec!["lower bound (no movement)".to_string()];
-    let mut upper = vec!["upper bound (single chain)".to_string()];
-    for d in distances {
-        let layout = rotated_surface_code(d);
-        lower.push(fmt_f64(
-            d as f64 * theoretical::parallel_round_lower_bound_us(&layout, &times),
-        ));
-        upper.push(fmt_f64(
-            d as f64 * theoretical::serial_round_upper_bound_us(&layout, &times),
-        ));
-    }
-    rows.push(lower);
-    rows.push(upper);
-
-    let mut headers = vec!["Configuration".to_string()];
-    headers.extend(distances.iter().map(|d| format!("d={d} (us)")));
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Figure 9: QEC shot time vs trap capacity",
-        &header_refs,
-        &rows,
-    );
-    dump_json("fig09", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig09");
 }

@@ -1,95 +1,9 @@
-//! Figure 10: projected logical error rate versus code distance at 1X, 5X
-//! and 10X gate improvement for several trap capacities on the grid
-//! topology, including the code distance required to reach the 10⁻⁹ target.
+//! Figure 10: logical error rate vs distance and gate improvement (grid).
 //!
-//! All `(improvement, capacity) × distance` Monte-Carlo points run in one
-//! sharded sweep ([`ler_curves`]); the Λ fits are weighted by the
-//! per-point standard errors.
-
-use qccd_bench::{
-    dump_json, fmt_f64, grid_arch, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
-};
-use qccd_decoder::SweepEngine;
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig10`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let sample_distances = [3usize, 5];
-    let projection_distances = [7usize, 9, 11, 13, 15, 17];
-    let capacities = [2usize, 5, 12];
-    let improvements = [1.0f64, 5.0, 10.0];
-    let target = 1e-9;
-
-    let cases: Vec<(f64, usize)> = improvements
-        .iter()
-        .flat_map(|&improvement| {
-            capacities
-                .iter()
-                .map(move |&capacity| (improvement, capacity))
-        })
-        .collect();
-    let configurations: Vec<(String, _)> = cases
-        .iter()
-        .map(|&(improvement, capacity)| {
-            (
-                format!("{improvement:.0}X c{capacity}"),
-                grid_arch(capacity, improvement),
-            )
-        })
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
-
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for ((curve, (label, _)), &(improvement, capacity)) in
-        curves.iter().zip(&configurations).zip(&cases)
-    {
-        let mut row = vec![label.clone()];
-        for &d in &sample_distances {
-            let v = curve
-                .points
-                .iter()
-                .find(|(pd, _, _)| *pd == d)
-                .map(|(_, p, _)| *p);
-            row.push(v.map(fmt_f64).unwrap_or_else(|| "NaN".into()));
-        }
-        let (projection, required) = match curve.fit {
-            Some(f) if f.below_threshold() => {
-                let proj: Vec<String> = projection_distances
-                    .iter()
-                    .map(|&d| fmt_f64(f.project(d)))
-                    .collect();
-                let required = f
-                    .distance_for_target(target)
-                    .map(|d| d.to_string())
-                    .unwrap_or_else(|| "-".into());
-                (proj, required)
-            }
-            _ => (
-                vec!["above-threshold".to_string(); projection_distances.len()],
-                "-".to_string(),
-            ),
-        };
-        row.extend(projection);
-        row.push(required);
-        artefact.push(serde_json::json!({
-            "improvement": improvement,
-            "capacity": capacity,
-            "sampled": curve.points.iter().map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se})).collect::<Vec<_>>(),
-            "lambda": curve.fit.map(|f| f.lambda()),
-        }));
-        rows.push(row);
-    }
-
-    let mut headers: Vec<String> = vec!["Config".into()];
-    headers.extend(sample_distances.iter().map(|d| format!("d={d} (MC)")));
-    headers.extend(projection_distances.iter().map(|d| format!("d={d} (proj)")));
-    headers.push("d for 1e-9".into());
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Figure 10: logical error rate vs distance and gate improvement (grid)",
-        &header_refs,
-        &rows,
-    );
-    dump_json("fig10", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig10");
 }

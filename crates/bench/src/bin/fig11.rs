@@ -1,75 +1,9 @@
-//! Figure 11: number of electrodes required to reach a target logical error
-//! rate, per trap capacity, under a 5X gate improvement and standard wiring.
+//! Figure 11: electrodes required for a target logical error rate (5X gates).
 //!
-//! All `capacity × distance` Monte-Carlo points run in one sharded sweep
-//! ([`ler_curves`]).
-
-use qccd_bench::{
-    dump_json, fmt_f64, grid_arch, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
-};
-use qccd_decoder::SweepEngine;
-use qccd_hardware::{estimate_resources, WiringMethod};
-use qccd_qec::rotated_surface_code;
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig11`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let capacities = [2usize, 5, 12];
-    let targets = [1e-6f64, 1e-9, 1e-12];
-    let sample_distances = [3usize, 5];
-
-    let configurations: Vec<(String, _)> = capacities
-        .iter()
-        .map(|&capacity| (format!("capacity {capacity}"), grid_arch(capacity, 5.0)))
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
-
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for ((curve, (label, configuration)), &capacity) in
-        curves.iter().zip(&configurations).zip(&capacities)
-    {
-        let mut row = vec![label.clone()];
-        let mut entry = serde_json::json!({
-            "capacity": capacity,
-            "sampled": curve.points.iter().map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se})).collect::<Vec<_>>(),
-        });
-        for &target in &targets {
-            let cell = match curve.fit.and_then(|f| f.distance_for_target(target)) {
-                Some(required_d) => {
-                    let layout = rotated_surface_code(required_d.max(2));
-                    let device = configuration.device_for(layout.num_qubits());
-                    let resources = estimate_resources(&device, WiringMethod::Standard);
-                    entry[format!("target_{target:e}")] = serde_json::json!({
-                        "distance": required_d,
-                        "electrodes": resources.total_electrodes,
-                    });
-                    format!("{} (d={required_d})", resources.total_electrodes)
-                }
-                None => "above threshold".to_string(),
-            };
-            row.push(cell);
-        }
-        row.push(
-            curve
-                .fit
-                .map(|f| fmt_f64(f.lambda()))
-                .unwrap_or_else(|| "-".into()),
-        );
-        artefact.push(entry);
-        rows.push(row);
-    }
-
-    print_table(
-        "Figure 11: electrodes required for a target logical error rate (5X gates)",
-        &[
-            "Configuration",
-            "LER 1e-6",
-            "LER 1e-9",
-            "LER 1e-12",
-            "Lambda",
-        ],
-        &rows,
-    );
-    dump_json("fig11", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig11");
 }

@@ -1,70 +1,9 @@
-//! Figure 12: controller-to-QPU data rate and power dissipation required to
-//! reach a target logical error rate, per trap capacity, under standard
-//! wiring and a 5X gate improvement.
+//! Figure 12: data rate and power needed for a target logical error rate.
 //!
-//! All `capacity × distance` Monte-Carlo points run in one sharded sweep
-//! ([`ler_curves`]).
-
-use qccd_bench::{
-    dump_json, fmt_f64, grid_arch, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
-};
-use qccd_decoder::SweepEngine;
-use qccd_hardware::{estimate_resources, WiringMethod};
-use qccd_qec::rotated_surface_code;
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig12`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let capacities = [2usize, 5, 12];
-    let targets = [1e-6f64, 1e-9];
-    let sample_distances = [3usize, 5];
-
-    let configurations: Vec<(String, _)> = capacities
-        .iter()
-        .map(|&capacity| (format!("capacity {capacity}"), grid_arch(capacity, 5.0)))
-        .collect();
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
-
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for ((curve, (label, configuration)), &capacity) in
-        curves.iter().zip(&configurations).zip(&capacities)
-    {
-        let mut row = vec![label.clone()];
-        let mut entry = serde_json::json!({"capacity": capacity});
-        for &target in &targets {
-            match curve.fit.and_then(|f| f.distance_for_target(target)) {
-                Some(required_d) => {
-                    let layout = rotated_surface_code(required_d.max(2));
-                    let device = configuration.device_for(layout.num_qubits());
-                    let resources = estimate_resources(&device, WiringMethod::Standard);
-                    row.push(format!(
-                        "{} Gbit/s, {} W (d={required_d})",
-                        fmt_f64(resources.data_rate_gbit_s),
-                        fmt_f64(resources.power_w)
-                    ));
-                    entry[format!("target_{target:e}")] = serde_json::json!({
-                        "distance": required_d,
-                        "data_rate_gbit_s": resources.data_rate_gbit_s,
-                        "power_w": resources.power_w,
-                    });
-                }
-                None => row.push("above threshold".to_string()),
-            }
-        }
-        entry["sampled"] = serde_json::json!(curve
-            .points
-            .iter()
-            .map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se}))
-            .collect::<Vec<_>>());
-        artefact.push(entry);
-        rows.push(row);
-    }
-
-    print_table(
-        "Figure 12: data rate and power needed for a target logical error rate (standard wiring, 5X gates)",
-        &["Configuration", "Target 1e-6", "Target 1e-9"],
-        &rows,
-    );
-    dump_json("fig12", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig12");
 }

@@ -1,85 +1,9 @@
-//! Figure 13(a): data rate required versus target logical error rate — the
-//! standard wiring (capacity 2, no cooling) compared with the WISE wiring
-//! (with cooling) at several trap capacities, under a 5X gate improvement.
+//! Figure 13(a): data rate vs target logical error rate (standard vs WISE).
 //!
-//! All `configuration × distance` Monte-Carlo points run in one sharded
-//! sweep ([`ler_curves`]); the Λ fits are weighted by the per-point
-//! standard errors.
-
-use qccd_bench::{
-    arch, dump_json, fmt_f64, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
-};
-use qccd_decoder::SweepEngine;
-use qccd_hardware::{estimate_resources, TopologyKind, WiringMethod};
-use qccd_qec::rotated_surface_code;
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig13a`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let targets = [1e-6f64, 1e-9];
-    let sample_distances = [3usize, 5];
-    let configurations = vec![
-        (
-            "standard c2".to_string(),
-            arch(TopologyKind::Grid, 2, WiringMethod::Standard, 5.0),
-        ),
-        (
-            "WISE c2".to_string(),
-            arch(TopologyKind::Grid, 2, WiringMethod::Wise, 5.0),
-        ),
-        (
-            "WISE c5".to_string(),
-            arch(TopologyKind::Grid, 5, WiringMethod::Wise, 5.0),
-        ),
-        (
-            "WISE c12".to_string(),
-            arch(TopologyKind::Grid, 12, WiringMethod::Wise, 5.0),
-        ),
-    ];
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
-
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for (curve, (label, configuration)) in curves.iter().zip(&configurations) {
-        let mut row = vec![label.clone()];
-        let mut entry = serde_json::json!({"label": label});
-        for &target in &targets {
-            match curve.fit.and_then(|f| f.distance_for_target(target)) {
-                Some(required_d) => {
-                    let layout = rotated_surface_code(required_d.max(2));
-                    let device = configuration.device_for(layout.num_qubits());
-                    let resources = estimate_resources(&device, configuration.wiring);
-                    row.push(format!(
-                        "{} Gbit/s (d={required_d})",
-                        fmt_f64(resources.data_rate_gbit_s)
-                    ));
-                    entry[format!("target_{target:e}")] = serde_json::json!({
-                        "distance": required_d,
-                        "data_rate_gbit_s": resources.data_rate_gbit_s,
-                    });
-                }
-                None => row.push("above threshold".to_string()),
-            }
-        }
-        entry["sampled"] = serde_json::json!(curve
-            .points
-            .iter()
-            .map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se}))
-            .collect::<Vec<_>>());
-        if let Some(fit) = curve.fit {
-            let (lo, hi) = fit.lambda_confidence_interval(1.96);
-            entry["lambda"] = serde_json::json!({
-                "value": fit.lambda(), "ci95_low": lo, "ci95_high": hi
-            });
-        }
-        artefact.push(entry);
-        rows.push(row);
-    }
-
-    print_table(
-        "Figure 13(a): data rate vs target logical error rate (standard vs WISE, 5X gates)",
-        &["Configuration", "Target 1e-6", "Target 1e-9"],
-        &rows,
-    );
-    dump_json("fig13a", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig13a");
 }

@@ -1,75 +1,9 @@
-//! Figure 13(b): QEC shot time versus target logical error rate — standard
-//! wiring versus WISE (with cooling), under a 5X gate improvement.
+//! Figure 13(b): QEC shot time vs target logical error rate (standard vs WISE).
 //!
-//! All `configuration × distance` Monte-Carlo points run in one sharded
-//! sweep ([`ler_curves`]); the Λ fits are weighted by the per-point
-//! standard errors.
-
-use qccd_bench::{
-    arch, dump_json, fmt_f64, ler_curves, print_table, DEFAULT_SHOTS, DEFAULT_SWEEP_SEED,
-};
-use qccd_core::Toolflow;
-use qccd_decoder::SweepEngine;
-use qccd_hardware::{TopologyKind, WiringMethod};
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run fig13b`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let targets = [1e-6f64, 1e-9];
-    let sample_distances = [3usize, 5];
-    let configurations = vec![
-        (
-            "standard c2".to_string(),
-            arch(TopologyKind::Grid, 2, WiringMethod::Standard, 5.0),
-        ),
-        (
-            "WISE c2".to_string(),
-            arch(TopologyKind::Grid, 2, WiringMethod::Wise, 5.0),
-        ),
-        (
-            "WISE c5".to_string(),
-            arch(TopologyKind::Grid, 5, WiringMethod::Wise, 5.0),
-        ),
-    ];
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let curves = ler_curves(&engine, &configurations, &sample_distances, DEFAULT_SHOTS);
-
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for (curve, (label, configuration)) in curves.iter().zip(&configurations) {
-        let toolflow = Toolflow::new(configuration.clone());
-        let mut row = vec![label.clone()];
-        let mut entry = serde_json::json!({"label": label});
-        for &target in &targets {
-            match curve.fit.and_then(|f| f.distance_for_target(target)) {
-                Some(required_d) => {
-                    // Shot time at the required distance: measure directly if
-                    // the compile succeeds; a shot is d rounds.
-                    let shot = toolflow
-                        .evaluate(required_d.clamp(2, 13), false)
-                        .map(|m| m.qec_round_time_us * required_d as f64)
-                        .unwrap_or(f64::NAN);
-                    row.push(format!("{} us (d={required_d})", fmt_f64(shot)));
-                    entry[format!("target_{target:e}")] = serde_json::json!({
-                        "distance": required_d,
-                        "shot_time_us": shot,
-                    });
-                }
-                None => row.push("above threshold".to_string()),
-            }
-        }
-        entry["sampled"] = serde_json::json!(curve
-            .points
-            .iter()
-            .map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se}))
-            .collect::<Vec<_>>());
-        artefact.push(entry);
-        rows.push(row);
-    }
-
-    print_table(
-        "Figure 13(b): QEC shot time vs target logical error rate (standard vs WISE, 5X gates)",
-        &["Configuration", "Target 1e-6", "Target 1e-9"],
-        &rows,
-    );
-    dump_json("fig13b", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("fig13b");
 }

@@ -1,159 +1,9 @@
-//! Table 2: compiler elapsed time and routing operations versus the
-//! theoretical bounds, for QEC-code × QCCD-device pairs.
+//! Table 2: compiler elapsed time and routing operations vs theoretical bounds.
 //!
-//! The cases are independent compile jobs, so they are sharded across the
-//! [`SweepEngine`]'s outer worker pool; rows come back in input order.
-
-use qccd_bench::{dump_json, fmt_f64, print_table, DEFAULT_SWEEP_SEED};
-use qccd_core::{theoretical, ArchitectureConfig, Compiler};
-use qccd_decoder::SweepEngine;
-use qccd_hardware::{TopologyKind, WiringMethod};
-use qccd_qec::{repetition_code, rotated_surface_code, unrotated_surface_code, CodeLayout};
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run table2`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    let cases: Vec<(&str, CodeLayout, TopologyKind, usize)> = vec![
-        (
-            "Repetition d=3",
-            repetition_code(3),
-            TopologyKind::Linear,
-            2,
-        ),
-        (
-            "Repetition d=3",
-            repetition_code(3),
-            TopologyKind::Linear,
-            3,
-        ),
-        (
-            "Repetition d=3",
-            repetition_code(3),
-            TopologyKind::Linear,
-            4,
-        ),
-        (
-            "Repetition d=3",
-            repetition_code(3),
-            TopologyKind::Linear,
-            64,
-        ),
-        (
-            "Repetition d=6",
-            repetition_code(6),
-            TopologyKind::Linear,
-            2,
-        ),
-        (
-            "Repetition d=6",
-            repetition_code(6),
-            TopologyKind::Linear,
-            3,
-        ),
-        (
-            "Repetition d=6",
-            repetition_code(6),
-            TopologyKind::Linear,
-            4,
-        ),
-        (
-            "Repetition d=6",
-            repetition_code(6),
-            TopologyKind::Linear,
-            64,
-        ),
-        (
-            "Rotated surface d=2",
-            rotated_surface_code(2),
-            TopologyKind::Grid,
-            2,
-        ),
-        (
-            "Unrotated surface d=2",
-            unrotated_surface_code(2),
-            TopologyKind::Grid,
-            3,
-        ),
-        (
-            "Rotated surface d=3",
-            rotated_surface_code(3),
-            TopologyKind::Grid,
-            2,
-        ),
-        (
-            "Rotated surface d=3",
-            rotated_surface_code(3),
-            TopologyKind::Switch,
-            2,
-        ),
-        (
-            "Rotated surface d=6",
-            rotated_surface_code(6),
-            TopologyKind::Grid,
-            2,
-        ),
-        (
-            "Rotated surface d=12",
-            rotated_surface_code(12),
-            TopologyKind::Grid,
-            2,
-        ),
-    ];
-
-    let engine = SweepEngine::new(DEFAULT_SWEEP_SEED);
-    let outcomes = engine.run(&cases, |task| {
-        let (name, layout, topology, capacity) = task.point;
-        let arch = ArchitectureConfig::new(*topology, *capacity, WiringMethod::Standard, 1.0);
-        let compiler = Compiler::new(arch.clone());
-        match compiler.compile_rounds(layout, 1) {
-            Ok(program) => {
-                let bounds =
-                    theoretical::bounds(layout, &program.mapping, *topology, &arch.operation_times);
-                let row = vec![
-                    name.to_string(),
-                    format!("{topology} c{capacity}"),
-                    fmt_f64(bounds.parallel_lower_bound_us),
-                    fmt_f64(program.elapsed_time_us()),
-                    bounds.min_routing_ops.to_string(),
-                    program.movement_ops().to_string(),
-                ];
-                let artefact = Some(serde_json::json!({
-                    "case": name,
-                    "topology": format!("{topology}"),
-                    "capacity": capacity,
-                    "lower_bound_us": bounds.parallel_lower_bound_us,
-                    "measured_us": program.elapsed_time_us(),
-                    "min_routing_ops": bounds.min_routing_ops,
-                    "measured_routing_ops": program.movement_ops(),
-                }));
-                (row, artefact)
-            }
-            Err(e) => (
-                vec![
-                    name.to_string(),
-                    format!("{topology} c{capacity}"),
-                    "-".into(),
-                    format!("failed: {e}"),
-                    "-".into(),
-                    "-".into(),
-                ],
-                None,
-            ),
-        }
-    });
-
-    let (rows, entries): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
-    let artefact: Vec<_> = entries.into_iter().flatten().collect();
-
-    print_table(
-        "Table 2: compiler vs theoretical bounds (one QEC round)",
-        &[
-            "QEC code",
-            "QCCD device",
-            "Min elapsed (us)",
-            "Measured elapsed (us)",
-            "Min routing ops",
-            "Measured routing ops",
-        ],
-        &rows,
-    );
-    dump_json("table2", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("table2");
 }

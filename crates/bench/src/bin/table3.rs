@@ -1,74 +1,9 @@
-//! Table 3: our QEC compiler versus the QCCDSim-style and
-//! Muzzle-the-Shuttle-style baselines — movement time and movement operation
-//! counts for five rounds of error correction.
-
-use qccd_baselines::{MuzzleShuttleCompiler, QccdSimCompiler};
-use qccd_bench::{dump_json, fmt_f64, print_table};
-use qccd_core::{ArchitectureConfig, Compiler};
-use qccd_hardware::{TopologyKind, WiringMethod};
-use qccd_qec::{repetition_code, rotated_surface_code, CodeLayout};
+//! Table 3: our QEC compiler vs the QCCDSim-style and Muzzle-the-Shuttle-style baselines.
+//!
+//! Legacy shim kept for artifact-script compatibility: delegates to the
+//! experiment registry, which runs the same spec `artifacts run table3`
+//! resolves — numbers are bit-identical by construction.
 
 fn main() {
-    // Configurations follow the paper's 4-tuples: code, distance, capacity,
-    // topology (L = linear, G = grid).
-    let mut cases: Vec<(String, CodeLayout, TopologyKind, usize)> = Vec::new();
-    for d in [3usize, 5, 7] {
-        for cap in [2usize, 3, 5] {
-            cases.push((
-                format!("R,{d},{cap},L"),
-                repetition_code(d),
-                TopologyKind::Linear,
-                cap,
-            ));
-        }
-    }
-    for d in [2usize, 3, 4, 5] {
-        for cap in [2usize, 3, 5] {
-            cases.push((
-                format!("S,{d},{cap},G"),
-                rotated_surface_code(d),
-                TopologyKind::Grid,
-                cap,
-            ));
-        }
-    }
-
-    let rounds = 5;
-    let mut rows = Vec::new();
-    let mut artefact = Vec::new();
-    for (label, layout, topology, capacity) in cases {
-        let arch = ArchitectureConfig::new(topology, capacity, WiringMethod::Standard, 1.0);
-        let run = |result: Result<qccd_core::CompiledProgram, qccd_core::CompileError>| match result
-        {
-            Ok(p) => (fmt_f64(p.movement_time_us()), p.movement_ops().to_string()),
-            Err(_) => ("NaN".to_string(), "NaN".to_string()),
-        };
-        let ours = run(Compiler::new(arch.clone()).compile_rounds(&layout, rounds));
-        let qccdsim = run(QccdSimCompiler::new(arch.clone()).compile_rounds(&layout, rounds));
-        let muzzle = run(MuzzleShuttleCompiler::new(arch.clone()).compile_rounds(&layout, rounds));
-        artefact.push(serde_json::json!({
-            "config": label,
-            "ours": {"movement_time_us": ours.0, "movement_ops": ours.1},
-            "qccdsim": {"movement_time_us": qccdsim.0, "movement_ops": qccdsim.1},
-            "muzzle": {"movement_time_us": muzzle.0, "movement_ops": muzzle.1},
-        }));
-        rows.push(vec![
-            label, ours.0, qccdsim.0, muzzle.0, ours.1, qccdsim.1, muzzle.1,
-        ]);
-    }
-
-    print_table(
-        "Table 3: movement time (us, 5 rounds) and movement operations",
-        &[
-            "Config",
-            "Ours time",
-            "QCCDSim time",
-            "Muzzle time",
-            "Ours ops",
-            "QCCDSim ops",
-            "Muzzle ops",
-        ],
-        &rows,
-    );
-    dump_json("table3", &serde_json::Value::Array(artefact));
+    qccd_bench::registry::run_legacy("table3");
 }

@@ -1,0 +1,148 @@
+//! Content-addressed artifact cache.
+//!
+//! Artifacts are cached on disk keyed by the
+//! [content hash](crate::ExperimentSpec::content_hash) of the spec that
+//! produced them, so re-running an unchanged spec is instant while *any*
+//! semantic change to the spec (grid, seed, shots, decoder, …) misses the
+//! cache and recomputes. Cache files are ordinary artifact JSON — the same
+//! schema the `artifacts` CLI emits — so they can be inspected and
+//! validated like any other output.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::artifact::Artifact;
+use crate::spec::ExperimentSpec;
+
+/// A directory of cached artifacts keyed by spec content hash.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+impl ArtifactCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache { dir: dir.into() }
+    }
+
+    /// The cache file a spec maps to: `<dir>/<name>-<hash>.json`.
+    pub fn path_for(&self, spec: &ExperimentSpec) -> PathBuf {
+        self.dir
+            .join(format!("{}-{}.json", spec.name, spec.content_hash()))
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads the cached artifact of `spec`, if a valid one exists whose
+    /// recorded spec hash still matches. The returned artifact is marked
+    /// [`from_cache`](crate::artifact::ArtifactMetadata::from_cache).
+    pub fn load(&self, spec: &ExperimentSpec) -> Option<Artifact> {
+        let text = fs::read_to_string(self.path_for(spec)).ok()?;
+        let value = serde_json::from_str(&text).ok()?;
+        let mut artifact = Artifact::from_json(&value).ok()?;
+        // A stale or foreign file (hand-edited, renamed, hash collision in
+        // the name) must not be served.
+        if artifact.metadata.spec_name != spec.name
+            || artifact.metadata.spec_hash != spec.content_hash()
+        {
+            return None;
+        }
+        artifact.metadata.from_cache = true;
+        Some(artifact)
+    }
+
+    /// Stores an artifact under its producing spec's key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or writing
+    /// the file.
+    pub fn store(&self, spec: &ExperimentSpec, artifact: &Artifact) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(spec);
+        let text = serde_json::to_string_pretty(&artifact.to_json())
+            .expect("artifact serialization cannot fail");
+        fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ArtifactMetadata;
+    use crate::registry::ExperimentRegistry;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qccd_bench_cache_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_artifact(spec: &ExperimentSpec) -> Artifact {
+        Artifact {
+            title: spec.title.clone(),
+            headers: vec!["a".into()],
+            rows: vec![vec!["1".into()]],
+            notes: Vec::new(),
+            data: serde_json::json!([]),
+            metadata: ArtifactMetadata {
+                spec_name: spec.name.clone(),
+                spec_hash: spec.content_hash(),
+                seed: spec.seed,
+                git_describe: None,
+                thread_invariant: true,
+                from_cache: false,
+            },
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_marks_cached() {
+        let cache = ArtifactCache::new(scratch_dir("store_load"));
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("table2").unwrap();
+        assert!(cache.load(spec).is_none(), "cold cache misses");
+        let artifact = tiny_artifact(spec);
+        let path = cache.store(spec, &artifact).unwrap();
+        assert!(path.ends_with(format!("table2-{}.json", spec.content_hash())));
+        let loaded = cache.load(spec).unwrap();
+        assert!(loaded.metadata.from_cache);
+        assert_eq!(loaded.rows, artifact.rows);
+        assert_eq!(loaded.data, artifact.data);
+    }
+
+    #[test]
+    fn changed_spec_misses_the_cache() {
+        let cache = ArtifactCache::new(scratch_dir("changed_spec"));
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("table2").unwrap();
+        cache.store(spec, &tiny_artifact(spec)).unwrap();
+        let mut reseeded = spec.clone();
+        reseeded.seed += 1;
+        assert!(
+            cache.load(&reseeded).is_none(),
+            "different content hash maps to a different file"
+        );
+    }
+
+    #[test]
+    fn stale_file_contents_are_rejected() {
+        let cache = ArtifactCache::new(scratch_dir("stale_file"));
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("table2").unwrap();
+        let mut artifact = tiny_artifact(spec);
+        artifact.metadata.spec_hash = "0000000000000000".into();
+        cache.store(spec, &artifact).unwrap();
+        assert!(
+            cache.load(spec).is_none(),
+            "recorded hash must match the spec"
+        );
+    }
+}

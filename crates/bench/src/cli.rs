@@ -1,0 +1,321 @@
+//! The `artifacts` command-line interface.
+//!
+//! One binary replaces the thirteen hand-wired per-figure binaries:
+//!
+//! ```text
+//! artifacts list                         # every registered spec
+//! artifacts show fig09                   # a spec's JSON
+//! artifacts run fig09 table2             # run spec(s), pretty tables
+//! artifacts run --all --format json --out out/
+//! artifacts run fig09 --cache            # content-hash cached re-runs
+//! artifacts check out/fig09.json         # artifact schema sanity check
+//! ```
+//!
+//! The parsing lives in the library (rather than the binary) so it is unit
+//! testable; `src/bin/artifacts.rs` is a two-line shim over [`run`].
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::artifact::{validate_artifact_json, Artifact};
+use crate::cache::ArtifactCache;
+use crate::registry::{run_spec, ExperimentRegistry};
+use crate::spec::{ExperimentKind, ExperimentSpec};
+
+/// Usage text printed for `--help` and argument errors.
+pub const USAGE: &str = "\
+usage: artifacts <command> [options]
+
+commands:
+  list                     list every registered experiment spec
+  show <name>              print a spec as JSON
+  run <name>... [options]  run one or more specs (or --all)
+  check <file.json>        validate an emitted artifact against the schema
+
+run options:
+  --all                    run every registered spec
+  --format <pretty|json|csv>   output format (default: pretty)
+  --out <dir>              write artifacts to <dir>/<name>.<ext> instead of stdout
+  --cache                  reuse cached results keyed by the spec content hash
+  --cache-dir <dir>        cache location (default: target/experiments/cache)";
+
+/// Output format of `artifacts run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Aligned text table with notes and provenance.
+    Pretty,
+    /// The full artifact JSON (table + data + metadata).
+    Json,
+    /// The table as CSV.
+    Csv,
+}
+
+impl OutputFormat {
+    fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "pretty" => Ok(OutputFormat::Pretty),
+            "json" => Ok(OutputFormat::Json),
+            "csv" => Ok(OutputFormat::Csv),
+            other => Err(format!("unknown format `{other}` (pretty|json|csv)")),
+        }
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            OutputFormat::Pretty => "txt",
+            OutputFormat::Json => "json",
+            OutputFormat::Csv => "csv",
+        }
+    }
+
+    fn render(self, artifact: &Artifact) -> String {
+        match self {
+            OutputFormat::Pretty => artifact.render_pretty(),
+            OutputFormat::Json => serde_json::to_string_pretty(&artifact.to_json())
+                .expect("artifact serialization cannot fail"),
+            OutputFormat::Csv => artifact.to_csv(),
+        }
+    }
+}
+
+/// Parsed `artifacts run` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Spec names to run (empty with `all`).
+    pub names: Vec<String>,
+    /// Run every registered spec.
+    pub all: bool,
+    /// Output format.
+    pub format: OutputFormat,
+    /// Output directory (stdout when absent).
+    pub out: Option<PathBuf>,
+    /// Whether to consult/populate the artifact cache.
+    pub cache: bool,
+    /// Cache directory.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            names: Vec::new(),
+            all: false,
+            format: OutputFormat::Pretty,
+            out: None,
+            cache: false,
+            cache_dir: PathBuf::from("target/experiments/cache"),
+        }
+    }
+}
+
+/// Parses the arguments of `artifacts run` (everything after `run`).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags, missing values or an empty
+/// selection.
+pub fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+    let mut options = RunOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--all" => options.all = true,
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                options.format = OutputFormat::parse(value)?;
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out needs a directory")?;
+                options.out = Some(PathBuf::from(value));
+            }
+            "--cache" => options.cache = true,
+            "--cache-dir" => {
+                let value = iter.next().ok_or("--cache-dir needs a directory")?;
+                options.cache_dir = PathBuf::from(value);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            name => options.names.push(name.to_string()),
+        }
+    }
+    if options.names.is_empty() && !options.all {
+        return Err("nothing to run: name at least one spec or pass --all".into());
+    }
+    if options.all && !options.names.is_empty() {
+        return Err("--all cannot be combined with explicit names".into());
+    }
+    Ok(options)
+}
+
+/// One-line summary of a spec's experiment family, for `artifacts list`.
+pub fn kind_summary(spec: &ExperimentSpec) -> &'static str {
+    match &spec.kind {
+        ExperimentKind::LerSweep(_) => "ler_sweep",
+        ExperimentKind::TimingSweep(_) => "timing_sweep",
+        ExperimentKind::CompilerBounds(_) => "compiler_bounds",
+        ExperimentKind::BaselineComparison(_) => "baseline_comparison",
+        ExperimentKind::Surgery(_) => "surgery",
+        ExperimentKind::DecoderComparison(_) => "decoder_comparison",
+        ExperimentKind::ClusteringAblation(_) => "clustering_ablation",
+    }
+}
+
+fn run_command(options: &RunOptions, registry: &ExperimentRegistry) -> Result<(), String> {
+    let names: Vec<String> = if options.all {
+        registry.names().iter().map(|s| s.to_string()).collect()
+    } else {
+        options.names.clone()
+    };
+    // Resolve every name up front so a typo in a later name fails fast
+    // instead of surfacing only after earlier (expensive) specs have run.
+    let specs: Vec<&ExperimentSpec> = names
+        .iter()
+        .map(|name| {
+            registry
+                .get(name)
+                .ok_or_else(|| format!("unknown experiment `{name}` (try `artifacts list`)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let cache = ArtifactCache::new(&options.cache_dir);
+    for spec in specs {
+        let name = &spec.name;
+        let artifact = match options.cache.then(|| cache.load(spec)).flatten() {
+            Some(cached) => cached,
+            None => {
+                let artifact = run_spec(spec).map_err(|e| e.to_string())?;
+                if options.cache {
+                    cache
+                        .store(spec, &artifact)
+                        .map_err(|e| format!("cannot write cache: {e}"))?;
+                }
+                artifact
+            }
+        };
+        let rendered = options.format.render(&artifact);
+        match &options.out {
+            Some(dir) => {
+                fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+                let path = dir.join(format!("{name}.{}", options.format.extension()));
+                fs::write(&path, &rendered).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                println!("(wrote {})", path.display());
+            }
+            None => println!("{rendered}"),
+        }
+    }
+    Ok(())
+}
+
+/// Entry point of the `artifacts` binary (arguments without the program
+/// name).
+///
+/// # Errors
+///
+/// Returns the message the binary prints to stderr before exiting non-zero.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let registry = ExperimentRegistry::builtin();
+    match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("list") => {
+            println!("{:<24}  {:<20}  TITLE", "NAME", "KIND");
+            for spec in registry.specs() {
+                println!(
+                    "{:<24}  {:<20}  {}",
+                    spec.name,
+                    kind_summary(spec),
+                    spec.title
+                );
+            }
+            Ok(())
+        }
+        Some("show") => {
+            let name = args
+                .get(1)
+                .ok_or("show needs a spec name (try `artifacts list`)")?;
+            let spec = registry
+                .get(name)
+                .ok_or_else(|| format!("unknown experiment `{name}` (try `artifacts list`)"))?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&spec.to_json())
+                    .expect("spec serialization cannot fail")
+            );
+            Ok(())
+        }
+        Some("run") => {
+            let options = parse_run_options(&args[1..])?;
+            run_command(&options, &registry)
+        }
+        Some("check") => {
+            let path = args.get(1).ok_or("check needs a JSON file path")?;
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let value =
+                serde_json::from_str(&text).map_err(|_| format!("{path} is not valid JSON"))?;
+            validate_artifact_json(&value).map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: OK");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_options_parse_names_flags_and_defaults() {
+        let options = parse_run_options(&strings(&[
+            "fig09", "table2", "--format", "json", "--out", "out", "--cache",
+        ]))
+        .unwrap();
+        assert_eq!(options.names, vec!["fig09", "table2"]);
+        assert_eq!(options.format, OutputFormat::Json);
+        assert_eq!(options.out, Some(PathBuf::from("out")));
+        assert!(options.cache);
+        assert!(!options.all);
+
+        let defaults = parse_run_options(&strings(&["fig09"])).unwrap();
+        assert_eq!(defaults.format, OutputFormat::Pretty);
+        assert!(defaults.out.is_none());
+        assert!(!defaults.cache);
+    }
+
+    #[test]
+    fn run_options_reject_bad_input() {
+        assert!(parse_run_options(&strings(&[])).is_err());
+        assert!(parse_run_options(&strings(&["--format"])).is_err());
+        assert!(parse_run_options(&strings(&["--format", "yaml", "x"])).is_err());
+        assert!(parse_run_options(&strings(&["--bogus", "x"])).is_err());
+        assert!(parse_run_options(&strings(&["--all", "fig09"])).is_err());
+        assert!(parse_run_options(&strings(&["--all"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_commands_and_names_error() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&strings(&["show", "fig99"])).is_err());
+        assert!(run(&strings(&["show"])).is_err());
+        assert!(run(&strings(&["check"])).is_err());
+    }
+
+    #[test]
+    fn list_and_show_succeed() {
+        assert!(run(&strings(&["list"])).is_ok());
+        assert!(run(&strings(&["show", "fig09"])).is_ok());
+        assert!(run(&strings(&["--help"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn format_extensions_match() {
+        assert_eq!(OutputFormat::Json.extension(), "json");
+        assert_eq!(OutputFormat::Csv.extension(), "csv");
+        assert_eq!(OutputFormat::Pretty.extension(), "txt");
+    }
+}

@@ -1,15 +1,40 @@
 //! # qccd-bench
 //!
 //! The experiment harness that regenerates every table and figure of the
-//! paper's evaluation (§7). Each table/figure has a dedicated binary
-//! (`cargo run -p qccd-bench --release --bin <name>`); this library holds the
-//! shared plumbing: architecture grids, aligned-table printing, JSON
-//! artefact dumping (written under `target/experiments/`), and the
-//! [`sweep`] module that shards whole `(architecture, distance, decoder)`
-//! points across a deterministic worker pool.
+//! paper's evaluation (§7).
+//!
+//! Experiments are *data*, not binaries: a declarative
+//! [`ExperimentSpec`] (workload × architecture grid × distances × noise
+//! scaling × decoder × estimator config × outputs) describes each artefact,
+//! the [`registry`] registers all thirteen paper artefacts as named specs,
+//! and the single `artifacts` binary resolves, runs, caches and emits them:
+//!
+//! ```text
+//! cargo run -p qccd-bench --release --bin artifacts -- list
+//! cargo run -p qccd-bench --release --bin artifacts -- run fig09 --format json --out out/
+//! cargo run -p qccd-bench --release --bin artifacts -- run --all --cache
+//! ```
+//!
+//! The legacy per-figure binaries (`--bin fig09`, `--bin table2`, …) remain
+//! as thin shims over [`registry::run_legacy`] for artifact-script
+//! compatibility; they run the exact same code path as `artifacts run`, so
+//! their numbers are bit-identical by construction. Tables, timing-series
+//! keys and the table2/table3/ext_* JSON payloads match the legacy output;
+//! the LER artefacts use the unified entry schema (`sampled` points plus a
+//! `lambda` object with confidence intervals).
+//!
+//! Shared plumbing lives here: architecture helpers, aligned-table
+//! rendering, JSON artefact dumping, and the [`sweep`] module that shards
+//! whole `(architecture, distance, decoder)` points across a deterministic
+//! worker pool.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod cache;
+pub mod cli;
+pub mod registry;
+pub mod spec;
 pub mod sweep;
 
 use std::fs;
@@ -19,11 +44,20 @@ use qccd_core::ArchitectureConfig;
 use qccd_decoder::{LambdaFit, SweepEngine};
 use qccd_hardware::{TopologyKind, WiringMethod};
 
-pub use sweep::{ler_curves, run_ler_sweep, LerCurve, LerOutcome, LerPoint, DEFAULT_SWEEP_SEED};
+pub use artifact::{validate_artifact_json, Artifact, ArtifactMetadata};
+pub use cache::ArtifactCache;
+pub use registry::{run_spec, ExperimentRegistry, RunError};
+pub use spec::{
+    ArchPoint, CodeSpec, CompileCase, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec,
+    SpecError, TimingMetric, TimingSweepSpec,
+};
+pub use sweep::{
+    ler_curves, ler_curves_with, run_ler_sweep, LerCurve, LerOutcome, LerPoint, DEFAULT_SWEEP_SEED,
+};
 
-/// Prints an aligned text table.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n=== {title} ===");
+/// Renders an aligned text table (the pretty emitter of every artifact).
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = format!("\n=== {title} ===\n");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -32,18 +66,31 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line = |cells: &[String]| {
-        let mut out = String::new();
+    let line = |cells: &[String], out: &mut String| {
+        let mut text = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            text.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
         }
-        println!("{}", out.trim_end());
+        out.push_str(text.trim_end());
+        out.push('\n');
     };
-    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    line(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &mut out,
+    );
     for row in rows {
-        line(row);
+        line(row, &mut out);
     }
+    out
+}
+
+/// Prints an aligned text table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(title, headers, rows));
 }
 
 /// Writes a JSON artefact under `target/experiments/<name>.json`.

@@ -14,9 +14,9 @@
 //! scheduling. The golden regression test in `tests/golden_sweep.rs` pins
 //! this end to end (compiler → sampler → decoder → estimator).
 
-use qccd_core::{ArchitectureConfig, Toolflow};
+use qccd_core::{ArchitectureConfig, Toolflow, ToolflowSpec};
 use qccd_decoder::{
-    fit_lambda_weighted, DecoderKind, LambdaFit, LogicalErrorEstimate, SweepEngine,
+    fit_lambda_weighted, DecoderKind, EstimatorConfig, LambdaFit, LogicalErrorEstimate, SweepEngine,
 };
 
 /// Engine seed used by the figure/table binaries (matches the historical
@@ -36,10 +36,13 @@ pub struct LerPoint {
     pub decoder: DecoderKind,
     /// Monte-Carlo shots requested.
     pub shots: usize,
+    /// Monte-Carlo pipeline configuration (chunking, threads, early stop,
+    /// memoization).
+    pub estimator: EstimatorConfig,
 }
 
 impl LerPoint {
-    /// A point with the default (union-find) decoder.
+    /// A point with the default (union-find) decoder and pipeline defaults.
     pub fn new(
         label: impl Into<String>,
         arch: ArchitectureConfig,
@@ -52,6 +55,7 @@ impl LerPoint {
             distance,
             decoder: DecoderKind::default(),
             shots,
+            estimator: EstimatorConfig::default(),
         }
     }
 
@@ -59,6 +63,26 @@ impl LerPoint {
     pub fn with_decoder(mut self, decoder: DecoderKind) -> Self {
         self.decoder = decoder;
         self
+    }
+
+    /// Overrides the Monte-Carlo pipeline configuration.
+    pub fn with_estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The declarative [`ToolflowSpec`] this point lowers onto for a given
+    /// sampling seed.
+    pub fn toolflow_spec(&self, seed: u64) -> ToolflowSpec {
+        ToolflowSpec {
+            arch: self.arch.clone(),
+            distance: self.distance,
+            shots: self.shots,
+            seed,
+            decoder: self.decoder,
+            estimator: self.estimator,
+            estimate_ler: true,
+        }
     }
 }
 
@@ -79,16 +103,13 @@ pub struct LerOutcome {
     pub result: Result<LogicalErrorEstimate, String>,
 }
 
-/// Runs every point through the toolflow (compile → sample → batch decode),
-/// sharded across the engine's outer pool. Results are in input order.
+/// Runs every point through the declarative toolflow entry point
+/// ([`Toolflow::run_spec`]: compile → sample → batch decode), sharded across
+/// the engine's outer pool. Results are in input order.
 pub fn run_ler_sweep(engine: &SweepEngine, points: &[LerPoint]) -> Vec<LerOutcome> {
     engine.run(points, |task| {
         let point = task.point;
-        let mut toolflow = Toolflow::new(point.arch.clone())
-            .with_shots(point.shots)
-            .with_seed(task.seed);
-        toolflow.decoder = point.decoder;
-        let result = match toolflow.evaluate(point.distance, true) {
+        let result = match Toolflow::run_spec(&point.toolflow_spec(task.seed)) {
             Ok(metrics) => Ok(metrics
                 .logical_error
                 .expect("evaluate(_, true) always estimates the LER")),
@@ -139,6 +160,27 @@ pub fn ler_curves(
     distances: &[usize],
     shots: usize,
 ) -> Vec<LerCurve> {
+    ler_curves_with(
+        engine,
+        configurations,
+        distances,
+        shots,
+        DecoderKind::default(),
+        EstimatorConfig::default(),
+    )
+}
+
+/// [`ler_curves`] with an explicit decoder and Monte-Carlo pipeline
+/// configuration on every point (the experiment registry's entry point;
+/// the defaults reproduce [`ler_curves`] bit-identically).
+pub fn ler_curves_with(
+    engine: &SweepEngine,
+    configurations: &[(String, ArchitectureConfig)],
+    distances: &[usize],
+    shots: usize,
+    decoder: DecoderKind,
+    estimator: EstimatorConfig,
+) -> Vec<LerCurve> {
     if distances.is_empty() {
         // No sampling to do: one empty (unfittable) curve per configuration,
         // mirroring the serial behaviour.
@@ -155,9 +197,11 @@ pub fn ler_curves(
     let points: Vec<LerPoint> = configurations
         .iter()
         .flat_map(|(label, arch)| {
-            distances
-                .iter()
-                .map(|&d| LerPoint::new(label.clone(), arch.clone(), d, shots))
+            distances.iter().map(|&d| {
+                LerPoint::new(label.clone(), arch.clone(), d, shots)
+                    .with_decoder(decoder)
+                    .with_estimator(estimator)
+            })
         })
         .collect();
     let outcomes = run_ler_sweep(engine, &points);
@@ -221,6 +265,25 @@ mod tests {
             assert!(curve.points.is_empty());
             assert!(curve.fit.is_none());
             assert!(curve.outcomes.is_empty());
+        }
+    }
+
+    #[test]
+    fn ler_curves_with_defaults_is_identical_to_ler_curves() {
+        let engine = SweepEngine::new(3);
+        let configurations = vec![("g".to_string(), grid_arch(2, 10.0))];
+        let plain = ler_curves(&engine, &configurations, &[2, 3], 64);
+        let explicit = ler_curves_with(
+            &engine,
+            &configurations,
+            &[2, 3],
+            64,
+            DecoderKind::default(),
+            EstimatorConfig::default(),
+        );
+        assert_eq!(plain.len(), explicit.len());
+        for (a, b) in plain.iter().zip(&explicit) {
+            assert_eq!(a.points, b.points);
         }
     }
 

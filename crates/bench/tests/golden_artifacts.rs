@@ -1,0 +1,86 @@
+//! Golden regression test for the experiment registry.
+//!
+//! `artifacts run fig09` must reproduce the committed golden numbers
+//! bit-identically: the registry resolves the `fig09` spec and executes it
+//! through the same `run_spec` path the CLI and the legacy `--bin fig09`
+//! shim use, so a diff here means every consumer drifted. fig09 is
+//! compile-only (no Monte Carlo), so this pins the compiler → scheduler →
+//! performance-model half of the pipeline; `golden_sweep.rs` pins the
+//! sampling/decoding half.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p qccd-bench --test golden_artifacts
+//! ```
+
+use std::path::PathBuf;
+
+use qccd_bench::ExperimentRegistry;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("artifact_fig09.json")
+}
+
+/// The comparable portion of the artifact: everything except metadata
+/// (which carries the volatile `git describe`).
+fn comparable(artifact: &qccd_bench::Artifact) -> serde_json::Value {
+    serde_json::json!({
+        "title": artifact.title.clone(),
+        "headers": artifact.headers.clone(),
+        "rows": serde_json::Value::Array(
+            artifact
+                .rows
+                .iter()
+                .map(|row| serde_json::Value::from(row.clone()))
+                .collect(),
+        ),
+        "data": artifact.data,
+    })
+}
+
+#[test]
+fn artifacts_run_fig09_matches_committed_golden() {
+    let artifact = ExperimentRegistry::builtin()
+        .run("fig09")
+        .expect("fig09 is registered and valid");
+    let rendered = serde_json::to_string_pretty(&comparable(&artifact)).expect("serializable");
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, &rendered).expect("write golden");
+        eprintln!("golden expectation rewritten at {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden expectation at {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered.trim(),
+        committed.trim(),
+        "fig09 artifact drifted from the committed golden; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test -p qccd-bench --test golden_artifacts"
+    );
+}
+
+#[test]
+fn fig09_artifact_is_stable_across_runs_and_carries_provenance() {
+    let registry = ExperimentRegistry::builtin();
+    let a = registry.run("fig09").unwrap();
+    let b = registry.run("fig09").unwrap();
+    assert_eq!(comparable(&a), comparable(&b), "reruns are bit-identical");
+    assert_eq!(a.metadata.spec_hash, b.metadata.spec_hash);
+    assert_eq!(
+        a.metadata.spec_hash,
+        registry.get("fig09").unwrap().content_hash()
+    );
+    assert!(a.metadata.thread_invariant);
+    assert!(!a.metadata.from_cache);
+}

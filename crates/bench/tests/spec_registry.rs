@@ -1,0 +1,266 @@
+//! Spec serialization and registry completeness tests.
+//!
+//! * Property: `ExperimentSpec → JSON text → ExperimentSpec` is the
+//!   identity, for randomized specs of every experiment kind (the
+//!   "serde-round-trippable" contract of the declarative API).
+//! * The built-in registry registers every paper artefact, every spec
+//!   validates, round-trips, and hashes uniquely.
+
+use proptest::prelude::*;
+
+use qccd_bench::spec::{
+    ArchPoint, ClusteringAblationSpec, CodeSpec, CompileCase, CompilerBoundsSpec,
+    DecoderComparisonSpec, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec, SurgerySpec,
+    TimingMetric, TimingSweepSpec,
+};
+use qccd_bench::ExperimentRegistry;
+use qccd_decoder::{DecoderKind, EstimatorConfig, MemoConfig};
+use qccd_hardware::{TopologyKind, WiringMethod};
+use qccd_qec::MergeKind;
+
+fn topologies() -> impl Strategy<Value = TopologyKind> {
+    prop::sample::select(vec![
+        TopologyKind::Grid,
+        TopologyKind::Linear,
+        TopologyKind::Switch,
+    ])
+}
+
+fn wirings() -> impl Strategy<Value = WiringMethod> {
+    prop::sample::select(vec![WiringMethod::Standard, WiringMethod::Wise])
+}
+
+fn decoders() -> impl Strategy<Value = DecoderKind> {
+    prop::sample::select(vec![
+        DecoderKind::UnionFind,
+        DecoderKind::GreedyMatching,
+        DecoderKind::ExactMatching,
+    ])
+}
+
+fn arch_points() -> impl Strategy<Value = Vec<ArchPoint>> {
+    prop::collection::vec(
+        (
+            topologies(),
+            1usize..32,
+            wirings(),
+            0.5f64..10.0,
+            any::<bool>(),
+        )
+            .prop_map(|(topology, capacity, wiring, improvement, labelled)| {
+                let point = ArchPoint::new(topology, capacity, wiring, improvement);
+                if labelled {
+                    point.with_label(format!("{topology} c{capacity} custom"))
+                } else {
+                    point
+                }
+            }),
+        1..4,
+    )
+}
+
+fn compile_cases() -> impl Strategy<Value = Vec<CompileCase>> {
+    prop::collection::vec(
+        (2usize..8, topologies(), 2usize..8, 0usize..3).prop_map(
+            |(distance, topology, capacity, family)| {
+                let code = match family {
+                    0 => CodeSpec::Repetition { distance },
+                    1 => CodeSpec::RotatedSurface { distance },
+                    _ => CodeSpec::UnrotatedSurface { distance },
+                };
+                CompileCase::new(format!("case d={distance}"), code, topology, capacity)
+            },
+        ),
+        1..5,
+    )
+}
+
+fn estimators() -> impl Strategy<Value = EstimatorConfig> {
+    (1usize..100_000, any::<bool>(), any::<bool>(), 1usize..8).prop_map(
+        |(chunk_shots, early_stop, disable_memo, max_defects)| {
+            let mut config = EstimatorConfig::default().with_chunk_shots(chunk_shots);
+            if early_stop {
+                config = config.with_target_std_error(1e-3).with_max_failures(100);
+            }
+            config.with_memo(if disable_memo {
+                MemoConfig::disabled()
+            } else {
+                MemoConfig::default().with_max_defects(max_defects)
+            })
+        },
+    )
+}
+
+fn ler_outputs() -> impl Strategy<Value = Vec<LerOutput>> {
+    (0usize..6, prop::collection::vec(2usize..20, 1..4)).prop_map(|(selector, distances)| {
+        let mut outputs = vec![LerOutput::SampledRates, LerOutput::Lambda];
+        outputs.push(match selector {
+            0 => LerOutput::Projection {
+                distances,
+                target: 1e-9,
+            },
+            1 => LerOutput::Electrodes {
+                targets: vec![1e-6, 1e-9],
+            },
+            2 => LerOutput::DataRate {
+                targets: vec![1e-6],
+                include_power: true,
+            },
+            3 => LerOutput::DataRate {
+                targets: vec![1e-9],
+                include_power: false,
+            },
+            4 => LerOutput::ShotTime {
+                targets: vec![1e-6, 1e-12],
+            },
+            _ => LerOutput::SampledRates,
+        });
+        outputs
+    })
+}
+
+/// Every experiment kind built from one randomized parameter draw.
+fn spec_suite() -> impl Strategy<Value = Vec<ExperimentSpec>> {
+    (
+        (arch_points(), compile_cases(), estimators(), ler_outputs()),
+        (
+            prop::collection::vec(2usize..12, 1..4),
+            1usize..1_000_000,
+            decoders(),
+            any::<u64>(),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |((points, cases, estimator, outputs), (distances, shots, decoder, seed, flag))| {
+                let spec = |name: &str, kind: ExperimentKind| ExperimentSpec {
+                    name: name.to_string(),
+                    title: format!("randomized {name}"),
+                    seed,
+                    kind,
+                };
+                vec![
+                    spec(
+                        "ler",
+                        ExperimentKind::LerSweep(LerSweepSpec {
+                            configurations: points.clone(),
+                            sample_distances: distances.clone(),
+                            shots,
+                            decoder,
+                            estimator,
+                            outputs,
+                        }),
+                    ),
+                    spec(
+                        "timing",
+                        ExperimentKind::TimingSweep(TimingSweepSpec {
+                            configurations: points,
+                            distances: distances.clone(),
+                            metric: if flag {
+                                TimingMetric::RoundTime
+                            } else {
+                                TimingMetric::ShotTime
+                            },
+                            include_bounds: flag,
+                        }),
+                    ),
+                    spec(
+                        "bounds",
+                        ExperimentKind::CompilerBounds(CompilerBoundsSpec {
+                            cases: cases.clone(),
+                        }),
+                    ),
+                    spec(
+                        "baselines",
+                        ExperimentKind::BaselineComparison(
+                            qccd_bench::spec::BaselineComparisonSpec {
+                                cases,
+                                rounds: 1 + shots % 7,
+                            },
+                        ),
+                    ),
+                    spec(
+                        "surgery",
+                        ExperimentKind::Surgery(SurgerySpec {
+                            capacities: distances.clone(),
+                            distances: distances.clone(),
+                            merge: if flag { MergeKind::ZZ } else { MergeKind::XX },
+                            gate_improvement: 1.0 + (shots % 10) as f64 / 2.0,
+                        }),
+                    ),
+                    spec(
+                        "decoders",
+                        ExperimentKind::DecoderComparison(DecoderComparisonSpec {
+                            distances: distances.clone(),
+                            improvements: vec![1.0, 5.5],
+                            decoders: vec![decoder],
+                            shots,
+                            capacity: 2 + shots % 5,
+                        }),
+                    ),
+                    spec(
+                        "clustering",
+                        ExperimentKind::ClusteringAblation(ClusteringAblationSpec {
+                            distances,
+                            capacities: vec![3, 5],
+                        }),
+                    ),
+                ]
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_spec_kind_round_trips_through_json_text(specs in spec_suite()) {
+        for spec in specs {
+            let text = serde_json::to_string_pretty(&spec.to_json())
+                .expect("spec serialization cannot fail");
+            let value = serde_json::from_str(&text).expect("emitted JSON parses");
+            let parsed = ExperimentSpec::from_json(&value).expect("round-trip parses");
+            prop_assert_eq!(&parsed, &spec, "kind {}", spec.name);
+            // The canonical encoding (and therefore the content hash) is
+            // reproducible across the round trip.
+            prop_assert_eq!(parsed.content_hash(), spec.content_hash());
+        }
+    }
+}
+
+#[test]
+fn registry_is_complete_and_every_spec_resolves_validates_and_round_trips() {
+    let registry = ExperimentRegistry::builtin();
+    let expected = [
+        "ext_ablation_clustering",
+        "ext_decoder_comparison",
+        "ext_surgery",
+        "fig08a",
+        "fig08b",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13a",
+        "fig13b",
+        "table2",
+        "table3",
+    ];
+    assert_eq!(registry.len(), expected.len());
+    let mut hashes = std::collections::BTreeSet::new();
+    for name in expected {
+        let spec = registry
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} must be registered"));
+        assert_eq!(spec.name, name, "registry key matches spec name");
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{name} must validate: {e}"));
+        let text = serde_json::to_string_pretty(&spec.to_json()).unwrap();
+        let round_trip = ExperimentSpec::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(&round_trip, spec, "{name} must round-trip");
+        assert!(
+            hashes.insert(spec.content_hash()),
+            "{name} hash must be unique"
+        );
+    }
+}

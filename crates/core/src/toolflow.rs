@@ -18,6 +18,46 @@ use qccd_qec::{rotated_surface_code, CodeLayout, MemoryBasis};
 
 use crate::{ArchitectureConfig, CompileError, Compiler, Metrics};
 
+/// One declarative evaluation point: everything [`Toolflow::run_spec`] needs
+/// to produce a [`Metrics`] — the architecture under test, the workload
+/// distance, and the full sampling/decoding configuration. This is the thin
+/// execution contract the `qccd-bench` experiment registry (and its
+/// `artifacts` CLI) lowers each spec point onto.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToolflowSpec {
+    /// The candidate architecture.
+    pub arch: ArchitectureConfig,
+    /// Rotated-surface-code distance of the memory workload.
+    pub distance: usize,
+    /// Monte-Carlo shots (ignored when `estimate_ler` is `false`).
+    pub shots: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Decoder for logical error rate estimation.
+    pub decoder: DecoderKind,
+    /// Monte-Carlo pipeline configuration.
+    pub estimator: EstimatorConfig,
+    /// Whether to run the Monte-Carlo logical error rate estimate.
+    pub estimate_ler: bool,
+}
+
+impl ToolflowSpec {
+    /// A spec with the default sampling settings of [`Toolflow::new`],
+    /// estimating the LER.
+    pub fn new(arch: ArchitectureConfig, distance: usize) -> Self {
+        let defaults = Toolflow::new(arch);
+        ToolflowSpec {
+            arch: defaults.arch,
+            distance,
+            shots: defaults.shots,
+            seed: defaults.seed,
+            decoder: defaults.decoder,
+            estimator: defaults.estimator,
+            estimate_ler: true,
+        }
+    }
+}
+
 /// The end-to-end evaluation toolflow for one candidate architecture.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Toolflow {
@@ -63,6 +103,31 @@ impl Toolflow {
     pub fn with_estimator_config(mut self, estimator: EstimatorConfig) -> Self {
         self.estimator = estimator;
         self
+    }
+
+    /// Builds the toolflow a [`ToolflowSpec`] describes.
+    pub fn from_spec(spec: &ToolflowSpec) -> Self {
+        Toolflow {
+            arch: spec.arch.clone(),
+            shots: spec.shots,
+            seed: spec.seed,
+            decoder: spec.decoder,
+            estimator: spec.estimator,
+        }
+    }
+
+    /// Evaluates one declarative spec point end to end (compile → model →
+    /// optionally sample/decode). This is the entry point the experiment
+    /// registry and the `artifacts` CLI lower every sweep point onto; it is
+    /// exactly equivalent to building the toolflow by hand and calling
+    /// [`Toolflow::evaluate`], so results are bit-identical to the
+    /// imperative path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn run_spec(spec: &ToolflowSpec) -> Result<Metrics, CompileError> {
+        Toolflow::from_spec(spec).evaluate(spec.distance, spec.estimate_ler)
     }
 
     /// Evaluates the architecture on the rotated surface code of the given
@@ -278,6 +343,38 @@ mod tests {
             let (lo, hi) = fit.lambda_confidence_interval(1.96);
             assert!(lo <= hi);
         }
+    }
+
+    #[test]
+    fn run_spec_matches_imperative_toolflow() {
+        let arch = ArchitectureConfig::recommended(5.0);
+        let spec = ToolflowSpec {
+            shots: 256,
+            seed: 7,
+            ..ToolflowSpec::new(arch.clone(), 3)
+        };
+        let from_spec = Toolflow::run_spec(&spec).unwrap();
+        let imperative = Toolflow::new(arch)
+            .with_shots(256)
+            .with_seed(7)
+            .evaluate(3, true)
+            .unwrap();
+        assert_eq!(from_spec, imperative);
+        let ler = from_spec.logical_error.unwrap();
+        assert_eq!(ler.shots, imperative.logical_error.unwrap().shots);
+    }
+
+    #[test]
+    fn spec_defaults_mirror_toolflow_defaults() {
+        let arch = ArchitectureConfig::recommended(1.0);
+        let spec = ToolflowSpec::new(arch.clone(), 5);
+        let toolflow = Toolflow::new(arch);
+        assert_eq!(spec.shots, toolflow.shots);
+        assert_eq!(spec.seed, toolflow.seed);
+        assert_eq!(spec.decoder, toolflow.decoder);
+        assert_eq!(spec.estimator, toolflow.estimator);
+        assert_eq!(spec.distance, 5);
+        assert!(spec.estimate_ler);
     }
 
     #[test]

@@ -41,7 +41,12 @@
 //! consults a per-decoder [memo table](memo) before running
 //! union-find/matching: predictions of defect sets with at most
 //! [`MemoConfig::max_defects`] defects (default 4) are cached inside the
-//! worker's [`DecodeScratch`] and replayed on recurrence. The memo is a
+//! worker's [`DecodeScratch`] and replayed on recurrence. When a decoder
+//! first claims a memo, every *single-defect* prediction is prefilled from
+//! one `decode_shot` per detector (one shortest path each for the matching
+//! decoders), so workers never pay a cold-start miss on the most common
+//! defect sets and hit rates are independent of chunk order; prefilled
+//! entries are counted by [`CacheStats::prefilled`]. The memo is a
 //! **pure cache** — memoized decoding is bit-identical to the uncached path
 //! (property-tested in `tests/prop_memo_decode.rs` for all three
 //! [`DecoderKind`]s), hit rates are observable via [`CacheStats`], and
@@ -176,6 +181,29 @@ pub trait Decoder {
             }
             _ => false,
         };
+        if memo_active && memo.needs_prefill() {
+            // Seed every single-defect prediction up front (one decode per
+            // detector, i.e. one shortest path for the matching decoders).
+            // This removes the cold-start miss per worker and makes hit
+            // rates independent of the chunk order in which defects first
+            // appear. Predictions come from `decode_shot` itself, so the
+            // bit-identity contract is untouched.
+            for detector in 0..chunk.num_detectors() {
+                if !memo.can_insert() {
+                    break;
+                }
+                prediction.fill(false);
+                self.decode_shot(&[detector], scratch, &mut prediction);
+                let mut flips = 0u64;
+                for (observable, &flipped) in prediction.iter().enumerate() {
+                    if flipped {
+                        flips |= 1u64 << observable;
+                    }
+                }
+                memo.prefill(&[detector], flips);
+            }
+            memo.mark_prefilled();
+        }
         // Resolve the plane slices once; the gather loop below touches every
         // plane per word and must not re-derive the slice each time.
         let planes: Vec<&[u64]> = (0..chunk.num_detectors())

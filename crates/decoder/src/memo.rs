@@ -105,7 +105,8 @@ impl MemoConfig {
 /// or a change of owning decoder).
 ///
 /// Only *noisy* shots are counted — quiet shots are skipped by the batch
-/// engine's word-level scan before the memo is ever consulted.
+/// engine's word-level scan before the memo is ever consulted. `prefilled`
+/// counts cache *entries* seeded from the decoding graph rather than shots.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Noisy shots answered from the memo.
@@ -114,6 +115,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Noisy shots with more defects than the memo cap (decoded directly).
     pub uncacheable: u64,
+    /// Single-defect entries precomputed into the memo when the owning
+    /// decoder first claimed it (see the prefill pass of
+    /// [`Decoder::decode_batch`](crate::Decoder::decode_batch)).
+    pub prefilled: u64,
 }
 
 impl CacheStats {
@@ -208,6 +213,8 @@ pub(crate) struct SyndromeMemo {
     config: MemoConfig,
     table: MemoTable,
     stats: CacheStats,
+    /// Whether the single-defect prefill pass ran for the current owner.
+    prefilled: bool,
 }
 
 impl SyndromeMemo {
@@ -245,6 +252,33 @@ impl SyndromeMemo {
             self.stats = CacheStats::default();
             self.owner = Some(token);
             self.num_observables = num_observables;
+            self.prefilled = false;
+        }
+    }
+
+    /// Whether the single-defect prefill pass still has to run for the
+    /// current owner.
+    pub(crate) fn needs_prefill(&self) -> bool {
+        !self.prefilled
+    }
+
+    /// Marks the prefill pass as done for the current owner (kept across
+    /// chunks; reset only when another decoder claims the memo).
+    pub(crate) fn mark_prefilled(&mut self) {
+        self.prefilled = true;
+    }
+
+    /// Whether the entry cap still admits insertions.
+    pub(crate) fn can_insert(&self) -> bool {
+        self.table.len() < self.config.max_entries
+    }
+
+    /// Seeds one precomputed single-defect prediction, counting it in
+    /// [`CacheStats::prefilled`] (dropped silently at the entry cap).
+    pub(crate) fn prefill(&mut self, fired_detectors: &[usize], mask: u64) {
+        if self.can_insert() {
+            self.table.insert(Self::key(fired_detectors), mask);
+            self.stats.prefilled += 1;
         }
     }
 
@@ -315,9 +349,10 @@ mod tests {
             hits: 6,
             misses: 2,
             uncacheable: 2,
+            prefilled: 5,
         };
         assert_eq!(stats.attempts(), 8);
-        assert_eq!(stats.decoded(), 10);
+        assert_eq!(stats.decoded(), 10, "prefilled entries are not shots");
         assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
@@ -337,10 +372,38 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 2,
-                uncacheable: 1
+                uncacheable: 1,
+                prefilled: 0
             }
         );
         assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn prefill_counts_entries_and_respects_the_cap() {
+        let mut memo = SyndromeMemo::default();
+        memo.set_config(MemoConfig::default().with_max_entries(2));
+        let token = next_memo_token();
+        memo.claim(token, 1);
+        assert!(memo.needs_prefill());
+        memo.prefill(&[0], 0b1);
+        memo.prefill(&[1], 0);
+        memo.prefill(&[2], 0b1);
+        memo.mark_prefilled();
+        assert!(!memo.needs_prefill());
+        assert_eq!(memo.len(), 2, "cap bounds prefill too");
+        assert_eq!(memo.stats().prefilled, 2);
+        // Prefilled entries answer lookups as ordinary hits.
+        assert_eq!(memo.lookup(&[0]), Some(0b1));
+        assert_eq!(memo.lookup(&[2]), None);
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(memo.stats().misses, 1);
+        // Re-claim by the same owner keeps the prefill; a new owner resets.
+        memo.claim(token, 1);
+        assert!(!memo.needs_prefill());
+        memo.claim(next_memo_token(), 1);
+        assert!(memo.needs_prefill());
+        assert_eq!(memo.stats().prefilled, 0);
     }
 
     #[test]

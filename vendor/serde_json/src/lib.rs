@@ -211,6 +211,71 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(v)) => u64::try_from(*v).ok(),
+            Value::Number(Number::UInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v),
+            Value::Number(Number::UInt(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert losslessly when possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v as f64),
+            Value::Number(Number::UInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 impl std::ops::Index<&str> for Value {
@@ -379,6 +444,253 @@ impl fmt::Display for Value {
     }
 }
 
+/// A recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail<T>(&self, message: &str) -> Result<T, Error> {
+        let _ = message;
+        Err(Error)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail("unexpected byte")
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => self.fail("expected a JSON value"),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.fail("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return self.fail("expected an object key");
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.fail("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.fail("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&escape) = self.bytes.get(self.pos) else {
+                        return self.fail("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.fail("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogate pairs: combine a high surrogate with
+                            // the following \uXXXX low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return self.fail("lone high surrogate");
+                                }
+                                self.pos += 2;
+                                let low = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok());
+                                let Some(low) = low else {
+                                    return self.fail("bad low surrogate");
+                                };
+                                self.pos += 4;
+                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                code
+                            };
+                            match char::from_u32(c) {
+                                Some(c) => out.push(c),
+                                None => return self.fail("invalid code point"),
+                            }
+                        }
+                        _ => return self.fail("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole sequence through.
+                    let len = match b {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xf0 => 4,
+                        b if b >= 0xe0 => 3,
+                        b if b >= 0xc0 => 2,
+                        _ => return self.fail("stray continuation byte"),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let Some(slice) = self.bytes.get(start..end) else {
+                        return self.fail("truncated UTF-8");
+                    };
+                    let Ok(s) = std::str::from_utf8(slice) else {
+                        return self.fail("invalid UTF-8");
+                    };
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Value::Number(Number::Float(v))),
+            Err(_) => self.fail("malformed number"),
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`] (upstream's
+/// `serde_json::from_str::<Value>`).
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or trailing non-whitespace input.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error);
+    }
+    Ok(value)
+}
+
 /// Builds a [`Value`] from JSON-like syntax, mirroring `serde_json::json!`.
 #[macro_export]
 macro_rules! json {
@@ -508,5 +820,58 @@ mod tests {
         let v = json!(values);
         assert!(matches!(v, Value::Array(ref a) if a.len() == 3));
         assert_eq!(json!(1.5), Value::Number(Number::Float(1.5)));
+    }
+
+    #[test]
+    fn parse_round_trips_scalars_and_containers() {
+        let v = json!({
+            "s": "a \"quoted\" line\nwith tab\t",
+            "i": -42,
+            "u": u64::MAX,
+            "f": 0.125,
+            "big": 1.5e300,
+            "b": true,
+            "none": null,
+            "arr": [1, 2.5, "x", [], {}],
+            "obj": {"nested": {"deep": [false]}}
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = from_str(r#"{"k": "Aé😀 café ✓"}"#).unwrap();
+        assert_eq!(v["k"].as_str().unwrap(), "Aé😀 café ✓");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn float_formatting_round_trips_exactly() {
+        for f in [0.1, 1.0 / 3.0, 2e-9, 123456.75, -0.0625] {
+            let text = to_string(&json!({ "f": f })).unwrap();
+            assert_eq!(from_str(&text).unwrap()["f"].as_f64().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_payloads() {
+        let v = json!({"a": [1], "s": "x", "n": 3, "f": 1.5, "b": false});
+        assert_eq!(v["a"].as_array().unwrap().len(), 1);
+        assert_eq!(v["s"].as_str(), Some("x"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["n"].as_i64(), Some(3));
+        assert_eq!(v["n"].as_f64(), Some(3.0));
+        assert_eq!(v["f"].as_f64(), Some(1.5));
+        assert_eq!(v["b"].as_bool(), Some(false));
+        assert!(v["missing"].is_null());
+        assert!(v.as_object().unwrap().contains_key("a"));
     }
 }
