@@ -154,10 +154,77 @@ fn bench_memoized_vs_uncached(c: &mut Criterion) {
     );
 }
 
+/// Word-parallel vs per-shot batch decode on identical pre-sampled
+/// syndromes in the sparse regime the word path targets (d = 5, p = 2e-3,
+/// 1e5 shots — the paper's deep below-threshold sampling point).
+///
+/// Three bit-identical contenders:
+///
+/// * `word` — the word-parallel default (tiled triage + single/pair merge,
+///   memoized);
+/// * `per_shot` — the per-shot reference loop at the same memo
+///   configuration (the bit-identity partner; word-level triage is the
+///   only difference);
+/// * `per_shot_unmemoized` — per-shot union-find against the reusable
+///   scratch with the memo off (what every shot paid before memoization).
+///
+/// The word path must be ≥2× faster than the per-shot unmemoized
+/// `DecodeScratch` path here (asserted by the perf harness reading this
+/// bench) — in this regime ~96% of noisy shots stay at or below the memo
+/// cap and the remaining above-cap tail is decoded identically by all
+/// three, so the word-vs-`per_shot` delta isolates exactly what the tiled
+/// triage + word merges buy over gather/hash. The triage verdicts are
+/// printed alongside the timings.
+fn bench_word_vs_per_shot(c: &mut Criterion) {
+    let d = 5usize;
+    let shots = 100_000;
+    let noisy = code_capacity_memory(d, 0.002);
+    let dem = DetectorErrorModel::from_circuit(&noisy).expect("valid annotations");
+    let decoder = UnionFindDecoder::new(DecodingGraph::from_dem(&dem));
+    let sampler = sample_detector_chunks(&noisy, shots, 11, shots).expect("valid annotations");
+    let chunk: SyndromeChunk = sampler.sample_chunk(0);
+
+    let mut group = c.benchmark_group(format!("word_decode_{shots}_shots_d{d}"));
+    group.sample_size(10);
+    group.bench_function("word", |b| {
+        let mut scratch = DecodeScratch::new();
+        b.iter(|| decoder.decode_batch(&chunk, &mut scratch));
+    });
+    group.bench_function("per_shot", |b| {
+        let mut scratch = DecodeScratch::new();
+        b.iter(|| decoder.decode_batch_per_shot(&chunk, &mut scratch));
+    });
+    group.bench_function("per_shot_unmemoized", |b| {
+        let mut scratch = DecodeScratch::with_memo_config(MemoConfig::disabled());
+        b.iter(|| decoder.decode_batch_per_shot(&chunk, &mut scratch));
+    });
+    group.finish();
+
+    // One cold pass each: identical predictions by contract; print the word
+    // triage so regressions in sparse coverage are visible in CI logs.
+    let mut word = DecodeScratch::new();
+    let mut per_shot = DecodeScratch::new();
+    let a = decoder.decode_batch(&chunk, &mut word);
+    let b = decoder.decode_batch_per_shot(&chunk, &mut per_shot);
+    assert_eq!(a, b, "word and per-shot paths must be bit-identical");
+    let stats = word.cache_stats();
+    println!(
+        "word_decode_{shots}_shots_d{d}/triage: {} quiet / {} sparse / {} dense words, {} of {} \
+         noisy shots word-merged ({:.1}% hit rate)",
+        stats.quiet_words,
+        stats.sparse_words,
+        stats.dense_words,
+        stats.word_merged,
+        stats.decoded(),
+        100.0 * stats.hit_rate(),
+    );
+}
+
 criterion_group!(
     benches,
     bench_ler_estimation,
     bench_batch_vs_per_shot,
-    bench_memoized_vs_uncached
+    bench_memoized_vs_uncached,
+    bench_word_vs_per_shot
 );
 criterion_main!(benches);

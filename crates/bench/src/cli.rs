@@ -8,8 +8,14 @@
 //! artifacts run fig09 table2             # run spec(s), pretty tables
 //! artifacts run --all --format json --out out/
 //! artifacts run fig09 --cache            # content-hash cached re-runs
+//! artifacts run --spec sweep.json        # run a user-supplied spec file
 //! artifacts check out/fig09.json         # artifact schema sanity check
 //! ```
+//!
+//! `--spec` accepts any JSON file in the [`ExperimentSpec`] schema (the
+//! format `artifacts show` prints), so external tools can sweep novel
+//! architecture grids without recompiling; loaded specs validate before
+//! anything runs and share the content-hash cache keying of registry specs.
 //!
 //! The parsing lives in the library (rather than the binary) so it is unit
 //! testable; `src/bin/artifacts.rs` is a two-line shim over [`run`].
@@ -34,6 +40,8 @@ commands:
 
 run options:
   --all                    run every registered spec
+  --spec <file.json>       run a user-supplied spec file (repeatable,
+                           combinable with registry names)
   --format <pretty|json|csv>   output format (default: pretty)
   --out <dir>              write artifacts to <dir>/<name>.<ext> instead of stdout
   --cache                  reuse cached results keyed by the spec content hash
@@ -83,6 +91,8 @@ impl OutputFormat {
 pub struct RunOptions {
     /// Spec names to run (empty with `all`).
     pub names: Vec<String>,
+    /// User-supplied spec files to load and run (`--spec`).
+    pub spec_files: Vec<PathBuf>,
     /// Run every registered spec.
     pub all: bool,
     /// Output format.
@@ -99,6 +109,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             names: Vec::new(),
+            spec_files: Vec::new(),
             all: false,
             format: OutputFormat::Pretty,
             out: None,
@@ -120,6 +131,10 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--all" => options.all = true,
+            "--spec" => {
+                let value = iter.next().ok_or("--spec needs a JSON file path")?;
+                options.spec_files.push(PathBuf::from(value));
+            }
             "--format" => {
                 let value = iter.next().ok_or("--format needs a value")?;
                 options.format = OutputFormat::parse(value)?;
@@ -137,13 +152,30 @@ pub fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             name => options.names.push(name.to_string()),
         }
     }
-    if options.names.is_empty() && !options.all {
-        return Err("nothing to run: name at least one spec or pass --all".into());
+    if options.names.is_empty() && options.spec_files.is_empty() && !options.all {
+        return Err("nothing to run: name at least one spec, pass --spec, or pass --all".into());
     }
-    if options.all && !options.names.is_empty() {
-        return Err("--all cannot be combined with explicit names".into());
+    if options.all && !(options.names.is_empty() && options.spec_files.is_empty()) {
+        return Err("--all cannot be combined with explicit names or --spec files".into());
     }
     Ok(options)
+}
+
+/// Loads and validates one user-supplied spec file.
+///
+/// # Errors
+///
+/// Returns a message naming the file for unreadable paths, invalid JSON,
+/// schema violations, and specs that fail [`ExperimentSpec::validate`].
+pub fn load_spec_file(path: &std::path::Path) -> Result<ExperimentSpec, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value =
+        serde_json::from_str(&text).map_err(|_| format!("{} is not valid JSON", path.display()))?;
+    let spec = ExperimentSpec::from_json(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+    spec.validate()
+        .map_err(|e| format!("{}: invalid spec: {e}", path.display()))?;
+    Ok(spec)
 }
 
 /// One-line summary of a spec's experiment family, for `artifacts list`.
@@ -165,9 +197,15 @@ fn run_command(options: &RunOptions, registry: &ExperimentRegistry) -> Result<()
     } else {
         options.names.clone()
     };
-    // Resolve every name up front so a typo in a later name fails fast
-    // instead of surfacing only after earlier (expensive) specs have run.
-    let specs: Vec<&ExperimentSpec> = names
+    // Resolve every name — and load every spec file — up front so a typo in
+    // a later name (or a malformed file) fails fast instead of surfacing
+    // only after earlier (expensive) specs have run.
+    let loaded: Vec<ExperimentSpec> = options
+        .spec_files
+        .iter()
+        .map(|path| load_spec_file(path))
+        .collect::<Result<_, _>>()?;
+    let mut specs: Vec<&ExperimentSpec> = names
         .iter()
         .map(|name| {
             registry
@@ -175,6 +213,25 @@ fn run_command(options: &RunOptions, registry: &ExperimentRegistry) -> Result<()
                 .ok_or_else(|| format!("unknown experiment `{name}` (try `artifacts list`)"))
         })
         .collect::<Result<_, _>>()?;
+    specs.extend(loaded.iter());
+    // Reject selections in which two *different* specs share a name: their
+    // outputs would be written to (or printed under) the same `<name>.<ext>`
+    // and one would silently overwrite the other. Identical content is fine
+    // (e.g. `--spec` of a dumped registry spec next to its name).
+    let mut seen: std::collections::BTreeMap<&str, String> = std::collections::BTreeMap::new();
+    for spec in &specs {
+        let hash = spec.content_hash();
+        if let Some(earlier) = seen.get(spec.name.as_str()) {
+            if *earlier != hash {
+                return Err(format!(
+                    "two different specs named `{}` selected; rename one (outputs would collide)",
+                    spec.name
+                ));
+            }
+        } else {
+            seen.insert(&spec.name, hash);
+        }
+    }
     let cache = ArtifactCache::new(&options.cache_dir);
     for spec in specs {
         let name = &spec.name;
@@ -294,6 +351,167 @@ mod tests {
         assert!(parse_run_options(&strings(&["--bogus", "x"])).is_err());
         assert!(parse_run_options(&strings(&["--all", "fig09"])).is_err());
         assert!(parse_run_options(&strings(&["--all"])).is_ok());
+        assert!(parse_run_options(&strings(&["--spec"])).is_err());
+        assert!(parse_run_options(&strings(&["--all", "--spec", "s.json"])).is_err());
+    }
+
+    #[test]
+    fn run_options_accept_spec_files_alone_and_with_names() {
+        let options = parse_run_options(&strings(&["--spec", "a.json", "--spec", "b.json"]))
+            .expect("spec files alone are a valid selection");
+        assert_eq!(
+            options.spec_files,
+            vec![PathBuf::from("a.json"), PathBuf::from("b.json")]
+        );
+        assert!(options.names.is_empty());
+        let mixed = parse_run_options(&strings(&["fig09", "--spec", "a.json"])).unwrap();
+        assert_eq!(mixed.names, vec!["fig09"]);
+        assert_eq!(mixed.spec_files, vec![PathBuf::from("a.json")]);
+    }
+
+    /// A scratch directory unique to one test, cleaned up on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("qccd-cli-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn spec_files_round_trip_through_load() {
+        let dir = TempDir::new("roundtrip");
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("fig09").unwrap();
+        let path = dir.path("fig09.json");
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(&spec.to_json()).unwrap(),
+        )
+        .unwrap();
+        let loaded = load_spec_file(&path).expect("emitted spec JSON loads");
+        assert_eq!(&loaded, spec);
+        // The cache key of a file-loaded spec is the same content hash the
+        // registry spec carries, so `--spec` runs share cached artifacts.
+        assert_eq!(loaded.content_hash(), spec.content_hash());
+        let cache = ArtifactCache::new(dir.path("cache"));
+        assert_eq!(cache.path_for(&loaded), cache.path_for(spec));
+    }
+
+    #[test]
+    fn bad_spec_files_are_rejected_with_the_file_named() {
+        let dir = TempDir::new("badspec");
+        let missing = dir.path("missing.json");
+        let err = load_spec_file(&missing).unwrap_err();
+        assert!(err.contains("missing.json"), "{err}");
+
+        let not_json = dir.path("not.json");
+        fs::write(&not_json, "not json at all").unwrap();
+        let err = load_spec_file(&not_json).unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+
+        let wrong_schema = dir.path("schema.json");
+        fs::write(&wrong_schema, "{\"name\": \"x\"}").unwrap();
+        assert!(load_spec_file(&wrong_schema).is_err());
+
+        // Structurally valid but semantically invalid (empty title):
+        // `validate` must reject it before anything runs.
+        let invalid = dir.path("invalid.json");
+        let registry = ExperimentRegistry::builtin();
+        let mut spec = registry.get("fig09").unwrap().clone();
+        spec.title = String::new();
+        fs::write(
+            &invalid,
+            serde_json::to_string_pretty(&spec.to_json()).unwrap(),
+        )
+        .unwrap();
+        let err = load_spec_file(&invalid).unwrap_err();
+        assert!(err.contains("invalid spec"), "{err}");
+
+        // And a run naming a bad file fails fast.
+        assert!(run(&strings(&["run", "--spec", missing.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn colliding_spec_names_are_rejected_unless_identical() {
+        let dir = TempDir::new("collide");
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("fig09").unwrap();
+        // A *different* spec carrying the same name must be rejected before
+        // anything runs (outputs would land in the same file)...
+        let mut tweaked = spec.clone();
+        tweaked.seed ^= 1;
+        let path = dir.path("tweaked.json");
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(&tweaked.to_json()).unwrap(),
+        )
+        .unwrap();
+        let err = run(&strings(&[
+            "run",
+            "fig09",
+            "--spec",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("two different specs named"), "{err}");
+        // ...while a byte-identical dump of the registry spec is fine.
+        let same = dir.path("same.json");
+        fs::write(
+            &same,
+            serde_json::to_string_pretty(&spec.to_json()).unwrap(),
+        )
+        .unwrap();
+        assert!(run(&strings(&[
+            "run",
+            "fig09",
+            "--spec",
+            same.to_str().unwrap(),
+            "--out",
+            dir.path("out").to_str().unwrap(),
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn run_with_spec_file_emits_a_valid_artifact() {
+        let dir = TempDir::new("runspec");
+        let registry = ExperimentRegistry::builtin();
+        // fig09 is compile-only, so this end-to-end run is cheap.
+        let spec = registry.get("fig09").unwrap();
+        let spec_path = dir.path("myspec.json");
+        fs::write(
+            &spec_path,
+            serde_json::to_string_pretty(&spec.to_json()).unwrap(),
+        )
+        .unwrap();
+        let out = dir.path("out");
+        run(&strings(&[
+            "run",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--format",
+            "json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("spec file runs");
+        let emitted = fs::read_to_string(out.join("fig09.json")).expect("artifact written");
+        let value = serde_json::from_str(&emitted).expect("artifact is JSON");
+        validate_artifact_json(&value).expect("artifact validates");
     }
 
     #[test]

@@ -186,7 +186,20 @@ fn estimator_to_json(config: &EstimatorConfig) -> Value {
             "max_defects": config.memo.max_defects,
             "max_entries": config.memo.max_entries,
         },
+        "word_decode": config.word_decode,
+        "shared_memo": config.shared_memo,
     })
+}
+
+/// An optional boolean field defaulting to `default` when absent or null
+/// (keeps pre-word-path spec files parseable).
+fn bool_field_or(value: &Value, key: &str, default: bool) -> Result<bool, SpecError> {
+    match value.get(key) {
+        Some(v) if !v.is_null() => v
+            .as_bool()
+            .ok_or_else(|| SpecError(format!("`{key}` must be a boolean"))),
+        _ => Ok(default),
+    }
 }
 
 fn estimator_from_json(value: &Value) -> Result<EstimatorConfig, SpecError> {
@@ -220,6 +233,8 @@ fn estimator_from_json(value: &Value) -> Result<EstimatorConfig, SpecError> {
             max_defects: usize_field(memo, "max_defects")?,
             max_entries: usize_field(memo, "max_entries")?,
         },
+        word_decode: bool_field_or(value, "word_decode", true)?,
+        shared_memo: bool_field_or(value, "shared_memo", true)?,
     })
 }
 

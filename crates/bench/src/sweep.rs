@@ -16,7 +16,8 @@
 
 use qccd_core::{ArchitectureConfig, Toolflow, ToolflowSpec};
 use qccd_decoder::{
-    fit_lambda_weighted, DecoderKind, EstimatorConfig, LambdaFit, LogicalErrorEstimate, SweepEngine,
+    fit_lambda_weighted, CacheStats, DecoderKind, EstimatorConfig, LambdaFit, LogicalErrorEstimate,
+    SweepEngine,
 };
 
 /// Engine seed used by the figure/table binaries (matches the historical
@@ -101,6 +102,11 @@ pub struct LerOutcome {
     pub shots_requested: usize,
     /// The Monte-Carlo estimate, or the compile error message.
     pub result: Result<LogicalErrorEstimate, String>,
+    /// Aggregate decoder cache statistics of the estimate (word-triage
+    /// verdicts, memo hit/miss counters); `None` on compile failure. The
+    /// `*_words` counters and `uncacheable` are scheduling-invariant; see
+    /// [`qccd_decoder::EstimateReport`] for the exact contract.
+    pub cache: Option<CacheStats>,
 }
 
 /// Runs every point through the declarative toolflow entry point
@@ -109,11 +115,15 @@ pub struct LerOutcome {
 pub fn run_ler_sweep(engine: &SweepEngine, points: &[LerPoint]) -> Vec<LerOutcome> {
     engine.run(points, |task| {
         let point = task.point;
-        let result = match Toolflow::run_spec(&point.toolflow_spec(task.seed)) {
-            Ok(metrics) => Ok(metrics
-                .logical_error
-                .expect("evaluate(_, true) always estimates the LER")),
-            Err(e) => Err(e.to_string()),
+        let (result, cache) = match Toolflow::run_spec_report(&point.toolflow_spec(task.seed)) {
+            Ok(report) => (
+                Ok(report
+                    .metrics
+                    .logical_error
+                    .expect("evaluate(_, true) always estimates the LER")),
+                report.decode_cache,
+            ),
+            Err(e) => (Err(e.to_string()), None),
         };
         LerOutcome {
             label: point.label.clone(),
@@ -122,6 +132,7 @@ pub fn run_ler_sweep(engine: &SweepEngine, points: &[LerPoint]) -> Vec<LerOutcom
             seed: task.seed,
             shots_requested: point.shots,
             result,
+            cache,
         }
     })
 }
@@ -249,6 +260,8 @@ mod tests {
         assert_ne!(outcomes[0].seed, outcomes[1].seed);
         for outcome in &outcomes {
             assert!(outcome.result.is_ok(), "{:?}", outcome.result);
+            let cache = outcome.cache.expect("successful points carry stats");
+            assert_eq!(cache.words(), 1, "64 shots fit one word");
         }
     }
 

@@ -1,0 +1,108 @@
+//! Golden regression for the word-parallel decode path's cache statistics.
+//!
+//! A pinned single-threaded, single-chunk Monte-Carlo run must reproduce
+//! the committed estimate *and* the full `CacheStats` — including the
+//! word-triage counters (quiet/sparse/dense words, word-merged shots) —
+//! bit-identically. A diff here means the word path changed its triage or
+//! accounting behaviour.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p qccd-bench --test golden_word_stats
+//! ```
+
+use std::path::PathBuf;
+
+use qccd_core::{ArchitectureConfig, Toolflow, ToolflowSpec};
+use qccd_decoder::EstimatorConfig;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("word_path_stats.json")
+}
+
+/// The pinned evaluation point: one chunk, one thread, so every counter —
+/// including the scheduling-sensitive hit/miss split — is deterministic.
+fn pinned_spec() -> ToolflowSpec {
+    ToolflowSpec {
+        shots: 4096,
+        seed: 2026,
+        estimator: EstimatorConfig::default().with_num_threads(1),
+        ..ToolflowSpec::new(ArchitectureConfig::recommended(5.0), 3)
+    }
+}
+
+#[test]
+fn word_path_stats_match_committed_golden() {
+    let report = Toolflow::run_spec_report(&pinned_spec()).expect("pinned spec evaluates");
+    let estimate = report.metrics.logical_error.expect("estimate ran");
+    let cache = report.decode_cache.expect("cache stats ran");
+    let rendered = serde_json::to_string_pretty(&serde_json::json!({
+        "shots": estimate.shots,
+        "failures": estimate.failures,
+        "cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "uncacheable": cache.uncacheable,
+            "prefilled": cache.prefilled,
+            "quiet_words": cache.quiet_words,
+            "sparse_words": cache.sparse_words,
+            "dense_words": cache.dense_words,
+            "word_merged": cache.word_merged,
+        },
+    }))
+    .expect("stats serialize");
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, &rendered).expect("write golden");
+        eprintln!("golden expectation rewritten at {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden expectation at {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered.trim(),
+        committed.trim(),
+        "word-path stats drifted from the committed golden; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test -p qccd-bench --test golden_word_stats"
+    );
+}
+
+#[test]
+fn per_shot_path_reproduces_the_estimate_without_word_counters() {
+    let mut spec = pinned_spec();
+    let word = Toolflow::run_spec_report(&spec).unwrap();
+    spec.estimator = spec.estimator.with_word_decode(false);
+    let per_shot = Toolflow::run_spec_report(&spec).unwrap();
+    assert_eq!(
+        word.metrics.logical_error.unwrap().failures,
+        per_shot.metrics.logical_error.unwrap().failures,
+        "both decode paths are bit-identical"
+    );
+    let word_cache = word.decode_cache.unwrap();
+    let per_shot_cache = per_shot.decode_cache.unwrap();
+    assert_eq!(
+        (word_cache.hits, word_cache.misses, word_cache.uncacheable),
+        (
+            per_shot_cache.hits,
+            per_shot_cache.misses,
+            per_shot_cache.uncacheable
+        ),
+        "hit/miss accounting matches across paths"
+    );
+    assert_eq!(word_cache.words(), 64, "4096 shots triage into 64 words");
+    assert_eq!(
+        per_shot_cache.words(),
+        0,
+        "the reference loop performs no word triage"
+    );
+}

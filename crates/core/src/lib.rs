@@ -69,4 +69,4 @@ pub use metrics::Metrics;
 pub use ops::{Resource, RoutedOp, RoutedProgram};
 pub use routing::{route, DeviceState};
 pub use schedule::{check_resource_exclusivity, schedule, Schedule, ScheduledOp};
-pub use toolflow::{Toolflow, ToolflowSpec};
+pub use toolflow::{Toolflow, ToolflowReport, ToolflowSpec};

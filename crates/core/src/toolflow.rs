@@ -10,8 +10,8 @@
 use serde::{Deserialize, Serialize};
 
 use qccd_decoder::{
-    estimate_logical_error_rate_with, fit_lambda_weighted, DecoderKind, EstimatorConfig, LambdaFit,
-    LogicalErrorEstimate, SweepEngine,
+    estimate_logical_error_rate_report, fit_lambda_weighted, CacheStats, DecoderKind,
+    EstimatorConfig, LambdaFit, LogicalErrorEstimate, SweepEngine,
 };
 use qccd_hardware::estimate_resources;
 use qccd_qec::{rotated_surface_code, CodeLayout, MemoryBasis};
@@ -56,6 +56,23 @@ impl ToolflowSpec {
             estimate_ler: true,
         }
     }
+}
+
+/// A [`Toolflow`] evaluation result: the paper's metrics plus the decoder
+/// cache statistics of the Monte-Carlo run (when one ran).
+///
+/// The cache statistics are diagnostics, kept out of [`Metrics`] on
+/// purpose: the word-triage counters are scheduling-invariant but the
+/// hit/miss split can shift with worker scheduling, so they must not
+/// participate in `Metrics` equality (see
+/// [`EstimateReport`](qccd_decoder::EstimateReport)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolflowReport {
+    /// The evaluation metrics ([`Toolflow::evaluate`]'s return value).
+    pub metrics: Metrics,
+    /// Aggregate decoder cache statistics of the logical-error estimate
+    /// (`None` when no estimate ran).
+    pub decode_cache: Option<CacheStats>,
 }
 
 /// The end-to-end evaluation toolflow for one candidate architecture.
@@ -130,6 +147,16 @@ impl Toolflow {
         Toolflow::from_spec(spec).evaluate(spec.distance, spec.estimate_ler)
     }
 
+    /// [`Toolflow::run_spec`] returning the full [`ToolflowReport`]
+    /// (metrics plus the decoder cache statistics of the Monte-Carlo run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn run_spec_report(spec: &ToolflowSpec) -> Result<ToolflowReport, CompileError> {
+        Toolflow::from_spec(spec).evaluate_report(spec.distance, spec.estimate_ler)
+    }
+
     /// Evaluates the architecture on the rotated surface code of the given
     /// distance (the paper's primary workload: a logical identity of `d`
     /// rounds).
@@ -138,8 +165,23 @@ impl Toolflow {
     ///
     /// Propagates [`CompileError`]s from the compiler.
     pub fn evaluate(&self, distance: usize, estimate_ler: bool) -> Result<Metrics, CompileError> {
+        self.evaluate_report(distance, estimate_ler)
+            .map(|report| report.metrics)
+    }
+
+    /// [`Toolflow::evaluate`] returning the metrics together with the
+    /// decoder cache statistics of the Monte-Carlo run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn evaluate_report(
+        &self,
+        distance: usize,
+        estimate_ler: bool,
+    ) -> Result<ToolflowReport, CompileError> {
         let layout = rotated_surface_code(distance);
-        self.evaluate_layout(&layout, distance, estimate_ler)
+        self.evaluate_layout_report(&layout, distance, estimate_ler)
     }
 
     /// Evaluates the architecture on an arbitrary code layout, running
@@ -154,6 +196,21 @@ impl Toolflow {
         rounds: usize,
         estimate_ler: bool,
     ) -> Result<Metrics, CompileError> {
+        self.evaluate_layout_report(layout, rounds, estimate_ler)
+            .map(|report| report.metrics)
+    }
+
+    /// [`Toolflow::evaluate_layout`] returning the full report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`]s from the compiler.
+    pub fn evaluate_layout_report(
+        &self,
+        layout: &CodeLayout,
+        rounds: usize,
+        estimate_ler: bool,
+    ) -> Result<ToolflowReport, CompileError> {
         let compiler = Compiler::new(self.arch.clone());
 
         // One round for the cycle-time and movement metrics.
@@ -162,35 +219,37 @@ impl Toolflow {
         let shot_program =
             compiler.compile_memory_experiment(layout, rounds.max(1), MemoryBasis::Z)?;
 
-        let logical_error = if estimate_ler {
+        let (logical_error, decode_cache) = if estimate_ler {
             let noisy = shot_program.to_noisy_circuit();
-            Some(
-                estimate_logical_error_rate_with(
-                    &noisy,
-                    self.shots,
-                    self.seed,
-                    self.decoder,
-                    &self.estimator,
-                )
-                .expect("compiled circuits carry consistent annotations"),
+            let report = estimate_logical_error_rate_report(
+                &noisy,
+                self.shots,
+                self.seed,
+                self.decoder,
+                &self.estimator,
             )
+            .expect("compiled circuits carry consistent annotations");
+            (Some(report.estimate), Some(report.cache))
         } else {
-            None
+            (None, None)
         };
 
         let resources = estimate_resources(&round_program.device, self.arch.wiring);
-        Ok(Metrics {
-            architecture: self.arch.label(),
-            code_distance: layout.distance(),
-            num_physical_qubits: layout.num_qubits(),
-            num_traps: round_program.device.num_traps(),
-            num_junctions: round_program.device.num_junctions(),
-            qec_round_time_us: round_program.elapsed_time_us(),
-            shot_time_us: shot_program.elapsed_time_us(),
-            movement_ops_per_round: round_program.movement_ops(),
-            movement_time_per_round_us: round_program.movement_time_us(),
-            resources,
-            logical_error,
+        Ok(ToolflowReport {
+            metrics: Metrics {
+                architecture: self.arch.label(),
+                code_distance: layout.distance(),
+                num_physical_qubits: layout.num_qubits(),
+                num_traps: round_program.device.num_traps(),
+                num_junctions: round_program.device.num_junctions(),
+                qec_round_time_us: round_program.elapsed_time_us(),
+                shot_time_us: shot_program.elapsed_time_us(),
+                movement_ops_per_round: round_program.movement_ops(),
+                movement_time_per_round_us: round_program.movement_time_us(),
+                resources,
+                logical_error,
+            },
+            decode_cache,
         })
     }
 
@@ -362,6 +421,33 @@ mod tests {
         assert_eq!(from_spec, imperative);
         let ler = from_spec.logical_error.unwrap();
         assert_eq!(ler.shots, imperative.logical_error.unwrap().shots);
+    }
+
+    #[test]
+    fn run_spec_report_carries_cache_statistics() {
+        let arch = ArchitectureConfig::recommended(5.0);
+        let spec = ToolflowSpec {
+            shots: 256,
+            seed: 7,
+            ..ToolflowSpec::new(arch, 3)
+        };
+        let report = Toolflow::run_spec_report(&spec).unwrap();
+        assert_eq!(report.metrics, Toolflow::run_spec(&spec).unwrap());
+        let cache = report.decode_cache.expect("estimate ran");
+        // 256 shots = 4 words, all triaged exactly once.
+        assert_eq!(cache.words(), 4);
+        assert_eq!(
+            cache.quiet_words + cache.sparse_words + cache.dense_words,
+            cache.words()
+        );
+        // Without an estimate there are no cache statistics.
+        let compile_only = ToolflowSpec {
+            estimate_ler: false,
+            ..spec
+        };
+        let report = Toolflow::run_spec_report(&compile_only).unwrap();
+        assert!(report.decode_cache.is_none());
+        assert!(report.metrics.logical_error.is_none());
     }
 
     #[test]

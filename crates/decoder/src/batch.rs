@@ -1,20 +1,34 @@
-//! Batch decoding types: bit-packed predictions and reusable scratch.
+//! Batch decoding engine: bit-packed predictions, reusable scratch, and the
+//! word-parallel / per-shot decode loops behind
+//! [`Decoder::decode_batch`](crate::Decoder::decode_batch).
 //!
 //! The batch decode path works on whole [`SyndromeChunk`]s (bit-packed
 //! detector planes produced by `qccd_sim`'s chunked sampler) and returns a
 //! bit-packed [`PredictionChunk`]. All per-shot working state lives in a
 //! [`DecodeScratch`] that is reused from shot to shot and chunk to chunk, so
 //! the hot loop performs no allocations.
+//!
+//! Two interchangeable loops drive the decode (see the crate docs for the
+//! bit-identity contract between them):
+//!
+//! * [`decode_batch_words`] — the word-parallel default: 64-word tiles are
+//!   scanned with one sequential carry-save pass over the detector planes
+//!   ([`csa_accumulate`], classified per word by
+//!   [`WordTriage::from_counters`]) into quiet / sparse / dense, and
+//!   single-/two-defect lanes are answered with word-level merges from the
+//!   memo's flat mirrors instead of per-shot hashing.
+//! * [`decode_batch_per_shot`] — the per-shot reference loop every decoded
+//!   bit is defined against.
 
 use std::cmp::Ordering;
 
 pub use qccd_sim::SyndromeChunk;
 
-use qccd_sim::BitPlanes;
+use qccd_sim::{csa_accumulate, BitPlanes, WordTriage, MAX_TRIAGE_CAP};
 
-use crate::memo::SyndromeMemo;
+use crate::memo::{MemoSnapshot, SyndromeMemo};
 use crate::scratch::{EpochVec, VecPool};
-use crate::{CacheStats, MemoConfig};
+use crate::{CacheStats, Decoder, MemoConfig};
 
 /// Bit-packed observable-flip predictions for one chunk of shots.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,9 +40,9 @@ pub struct PredictionChunk {
 }
 
 impl PredictionChunk {
-    /// An all-`false` prediction for `num_shots` shots.
+    /// An all-`false` prediction for `num_shots` shots (zero shots yield an
+    /// empty, zero-word chunk).
     pub fn zeroed(num_observables: usize, num_shots: usize) -> Self {
-        assert!(num_shots > 0, "need at least one shot");
         let words = num_shots.div_ceil(64);
         PredictionChunk {
             num_shots,
@@ -66,6 +80,12 @@ impl PredictionChunk {
     /// Marks `observable` as flipped in `shot`.
     pub fn set(&mut self, observable: usize, shot: usize) {
         self.planes.plane_mut(observable)[shot / 64] |= 1u64 << (shot % 64);
+    }
+
+    /// ORs a whole word of lanes into one observable's plane — the
+    /// word-parallel merge primitive of the sparse decode path.
+    pub fn or_word(&mut self, observable: usize, word_index: usize, lanes: u64) {
+        self.planes.plane_mut(observable)[word_index] |= lanes;
     }
 
     /// Unpacks one shot's prediction (convenience for tests and the
@@ -367,6 +387,10 @@ pub struct DecodeScratch {
     /// Per-shot defect lists for one 64-shot word, gathered with one pass
     /// over the detector planes instead of one pass per shot.
     pub(crate) word_fired: Vec<Vec<usize>>,
+    /// Per-word hot-plane buckets of the tile under triage: bucket `w`
+    /// lists every `(detector, plane word)` with a fired lane in tile word
+    /// `w`, in ascending detector order. Reused across tiles.
+    pub(crate) tile_hot: Vec<Vec<(u32, u64)>>,
     pub(crate) union_find: UnionFindScratch,
     pub(crate) matching: MatchingScratch,
     /// Per-decoder prediction cache consulted by the batch decode loop.
@@ -412,6 +436,396 @@ impl DecodeScratch {
     pub fn memo_entries(&self) -> usize {
         self.memo.len()
     }
+
+    /// Freezes the scratch's warmed memo into a read-mostly
+    /// [`MemoSnapshot`] for other workers to adopt. `None` while no decoder
+    /// has claimed the memo yet (prefer
+    /// [`Decoder::warm_memo_snapshot`](crate::Decoder::warm_memo_snapshot),
+    /// which warms first).
+    pub fn memo_snapshot(&self) -> Option<MemoSnapshot> {
+        self.memo.snapshot()
+    }
+
+    /// Adopts a shared memo snapshot: the scratch's memo becomes a clone of
+    /// the snapshot (owner, entries, prefill state), exactly as if this
+    /// scratch had been warmed by the snapshot's decoder itself. A no-op
+    /// when the memo already belongs to that decoder, so repeated adoption
+    /// per chunk is free and locally learned entries survive.
+    pub fn adopt_memo_snapshot(&mut self, snapshot: &MemoSnapshot) {
+        self.memo.adopt(snapshot);
+    }
+}
+
+/// Reusable buffers moved out of the scratch for the duration of one batch
+/// decode, so the scratch itself can be lent to `decode_shot` without
+/// aliasing. Construction claims (and, when needed, prefills) the memo.
+struct BatchBuffers {
+    word_fired: Vec<Vec<usize>>,
+    prediction: Vec<bool>,
+    memo: SyndromeMemo,
+    memo_active: bool,
+}
+
+impl BatchBuffers {
+    fn begin<D: Decoder + ?Sized>(
+        decoder: &D,
+        num_detectors: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Self {
+        let mut word_fired = std::mem::take(&mut scratch.word_fired);
+        word_fired.resize_with(64, Vec::new);
+        let mut prediction = std::mem::take(&mut scratch.shot_prediction);
+        prediction.clear();
+        prediction.resize(decoder.num_observables(), false);
+        // The memo moves out of the scratch for the same aliasing reason.
+        // Predictions are stored as u64 bitmasks, so the memo only engages
+        // for ≤64 observables (always true for the paper's workloads).
+        let mut memo = std::mem::take(&mut scratch.memo);
+        let memo_active = match decoder.memo_token() {
+            Some(token) if memo.config().enabled() && decoder.num_observables() <= 64 => {
+                memo.claim(token, decoder.num_observables());
+                true
+            }
+            _ => false,
+        };
+        if memo_active && memo.needs_prefill() {
+            // Seed every single-defect prediction up front (one decode per
+            // detector, i.e. one shortest path for the matching decoders).
+            // This removes the cold-start miss per worker and makes hit
+            // rates independent of the chunk order in which defects first
+            // appear. Predictions come from `decode_shot` itself, so the
+            // bit-identity contract is untouched.
+            for detector in 0..num_detectors {
+                if !memo.can_insert() {
+                    break;
+                }
+                prediction.fill(false);
+                decoder.decode_shot(&[detector], scratch, &mut prediction);
+                let mut flips = 0u64;
+                for (observable, &flipped) in prediction.iter().enumerate() {
+                    if flipped {
+                        flips |= 1u64 << observable;
+                    }
+                }
+                memo.prefill(&[detector], flips);
+            }
+            memo.mark_prefilled();
+        }
+        BatchBuffers {
+            word_fired,
+            prediction,
+            memo,
+            memo_active,
+        }
+    }
+
+    fn finish(self, scratch: &mut DecodeScratch) {
+        scratch.word_fired = self.word_fired;
+        scratch.shot_prediction = self.prediction;
+        scratch.memo = self.memo;
+    }
+}
+
+/// Decodes the `lanes` of one word whose defect lists are already gathered
+/// in `buffers.word_fired`, answering recurring small defect sets from the
+/// memo. This is the shared per-shot tail of both batch loops.
+fn decode_lanes<D: Decoder + ?Sized>(
+    decoder: &D,
+    word_index: usize,
+    lanes: u64,
+    buffers: &mut BatchBuffers,
+    scratch: &mut DecodeScratch,
+    out: &mut PredictionChunk,
+) {
+    let mut bits = lanes;
+    while bits != 0 {
+        let lane = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let shot = word_index * 64 + lane;
+        let fired = std::mem::take(&mut buffers.word_fired[lane]);
+        if buffers.memo_active
+            && buffers
+                .memo
+                .cacheable(fired.len(), decoder.num_observables())
+        {
+            match buffers.memo.lookup(&fired) {
+                Some(mut flips) => {
+                    while flips != 0 {
+                        out.set(flips.trailing_zeros() as usize, shot);
+                        flips &= flips - 1;
+                    }
+                }
+                None => {
+                    buffers.prediction.fill(false);
+                    decoder.decode_shot(&fired, scratch, &mut buffers.prediction);
+                    let mut flips = 0u64;
+                    for (observable, &flipped) in buffers.prediction.iter().enumerate() {
+                        if flipped {
+                            flips |= 1u64 << observable;
+                            out.set(observable, shot);
+                        }
+                    }
+                    buffers.memo.insert(&fired, flips);
+                }
+            }
+        } else {
+            if buffers.memo_active {
+                buffers.memo.note_uncacheable();
+            }
+            buffers.prediction.fill(false);
+            decoder.decode_shot(&fired, scratch, &mut buffers.prediction);
+            for (observable, &flipped) in buffers.prediction.iter().enumerate() {
+                if flipped {
+                    out.set(observable, shot);
+                }
+            }
+        }
+        buffers.word_fired[lane] = fired;
+    }
+}
+
+/// Words per triage tile: the tile scan walks every detector plane
+/// *sequentially* over a 64-word window (cache- and prefetcher-friendly,
+/// unlike a strided per-word column walk) while accumulating per-word
+/// carry-save counters and hot-plane buckets; the per-word decode then runs
+/// against L1/L2-resident buckets.
+const TILE_WORDS: usize = 64;
+
+/// The word-parallel batch decode loop (the
+/// [`Decoder::decode_batch`](crate::Decoder::decode_batch) default).
+///
+/// Words are processed in [`TILE_WORDS`]-word tiles. One sequential pass
+/// over the detector planes per tile accumulates, for every word at once,
+/// the carry-save defect counters and the hot-plane buckets — so triage,
+/// quiet-word detection and gathering share a single streaming walk. Each
+/// noisy word then classifies via [`WordTriage::from_counters`]: its
+/// single-defect lanes whose detector is in the memo's singles table are
+/// answered with word-wide OR merges (no per-shot hashing, no union-find),
+/// and only the leftover lanes reach [`decode_lanes`], which is
+/// bit-identical (predictions *and* hit/miss/uncacheable counters) to the
+/// per-shot reference loop.
+pub(crate) fn decode_batch_words<D: Decoder + ?Sized>(
+    decoder: &D,
+    chunk: &SyndromeChunk,
+    scratch: &mut DecodeScratch,
+) -> PredictionChunk {
+    let mut out = PredictionChunk::zeroed(decoder.num_observables(), chunk.num_shots());
+    let mut buffers = BatchBuffers::begin(decoder, chunk.num_detectors(), scratch);
+    let mut tile_hot = std::mem::take(&mut scratch.tile_hot);
+    tile_hot.resize_with(TILE_WORDS, Vec::new);
+    let sparse_cap = if buffers.memo_active {
+        buffers
+            .memo
+            .config()
+            .effective_max_defects()
+            .min(MAX_TRIAGE_CAP)
+    } else {
+        0
+    };
+    let words = chunk.words();
+    let mut tile_start = 0usize;
+    while tile_start < words {
+        let tile_len = TILE_WORDS.min(words - tile_start);
+        // Phase A — streaming tile scan: sequential over each plane's
+        // window, scattered only into the L1-resident counter arrays and
+        // buckets. Ascending detector order keeps every bucket sorted,
+        // i.e. canonical for the memo key.
+        let mut c1 = [0u64; TILE_WORDS];
+        let mut c2 = [0u64; TILE_WORDS];
+        let mut c4 = [0u64; TILE_WORDS];
+        let mut over = [0u64; TILE_WORDS];
+        for bucket in tile_hot.iter_mut().take(tile_len) {
+            bucket.clear();
+        }
+        for detector in 0..chunk.num_detectors() {
+            let window = &chunk.detector_plane(detector)[tile_start..tile_start + tile_len];
+            for (w, &bits) in window.iter().enumerate() {
+                if bits == 0 {
+                    continue;
+                }
+                tile_hot[w].push((detector as u32, bits));
+                csa_accumulate(&mut c1[w], &mut c2[w], &mut c4[w], &mut over[w], bits);
+            }
+        }
+        // Phase B — per-word triage and decode against the hot buckets.
+        for w in 0..tile_len {
+            let word_index = tile_start + w;
+            let triage = WordTriage::from_counters(
+                c1[w],
+                c2[w],
+                c4[w],
+                over[w],
+                sparse_cap,
+                chunk.lane_mask(word_index),
+            );
+            if triage.fired == 0 {
+                if buffers.memo_active {
+                    buffers.memo.note_quiet_word();
+                }
+                continue;
+            }
+            let hot = &tile_hot[w];
+            let mut per_shot = triage.fired;
+            if buffers.memo_active {
+                if triage.dense == 0 {
+                    buffers.memo.note_sparse_word();
+                } else {
+                    buffers.memo.note_dense_word();
+                }
+                // Word-level merge, one fused bucket walk:
+                //
+                // * single-defect lanes are fully described by their
+                //   (unique) hot plane, so the cached prediction of that
+                //   detector is ORed into the output planes for all such
+                //   lanes at once;
+                // * two-defect lanes — the dominant noisy class under
+                //   circuit-level noise — resolve straight from the flat
+                //   pair mirror: the walk recovers both detectors per lane
+                //   (ascending order gives the canonical d1 < d2), no
+                //   defect-list gather, no hash probe.
+                let mut answered = 0u64;
+                let singles = triage.single;
+                let pairs = if sparse_cap >= 2 { triage.pair } else { 0 };
+                if singles | pairs != 0 {
+                    let mut first_seen = 0u64;
+                    let mut first = [0u32; 64];
+                    for &(detector, plane_bits) in hot {
+                        let merge_lanes = plane_bits & singles;
+                        if merge_lanes != 0 {
+                            if let Some(mut flips) = buffers.memo.single_flip(detector as usize) {
+                                answered |= merge_lanes;
+                                while flips != 0 {
+                                    out.or_word(
+                                        flips.trailing_zeros() as usize,
+                                        word_index,
+                                        merge_lanes,
+                                    );
+                                    flips &= flips - 1;
+                                }
+                            }
+                        }
+                        let mut lanes = plane_bits & pairs;
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            lanes &= lanes - 1;
+                            let bit = 1u64 << lane;
+                            if first_seen & bit == 0 {
+                                first_seen |= bit;
+                                first[lane] = detector;
+                            } else if let Some(mut flips) = buffers
+                                .memo
+                                .pair_flip(first[lane] as usize, detector as usize)
+                            {
+                                answered |= bit;
+                                let shot = word_index * 64 + lane;
+                                while flips != 0 {
+                                    out.set(flips.trailing_zeros() as usize, shot);
+                                    flips &= flips - 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Lanes above the cap (dense words), multi-defect lanes
+                // and fast-lane misses take the per-shot fallback below,
+                // exactly like the reference loop.
+                if answered != 0 {
+                    buffers
+                        .memo
+                        .count_word_merged(u64::from(answered.count_ones()));
+                    per_shot &= !answered;
+                }
+            }
+            if per_shot == 0 {
+                continue;
+            }
+            // Gather the leftover lanes' defect lists from the bucket.
+            let mut bits = per_shot;
+            while bits != 0 {
+                buffers.word_fired[bits.trailing_zeros() as usize].clear();
+                bits &= bits - 1;
+            }
+            for &(detector, plane_bits) in hot {
+                let mut hits = plane_bits & per_shot;
+                while hits != 0 {
+                    buffers.word_fired[hits.trailing_zeros() as usize].push(detector as usize);
+                    hits &= hits - 1;
+                }
+            }
+            decode_lanes(
+                decoder,
+                word_index,
+                per_shot,
+                &mut buffers,
+                scratch,
+                &mut out,
+            );
+        }
+        tile_start += tile_len;
+    }
+    scratch.tile_hot = tile_hot;
+    buffers.finish(scratch);
+    out
+}
+
+/// The per-shot reference loop: scan the fired-shot mask, gather every
+/// noisy lane's defect list, decode lane by lane. Every decoded bit of the
+/// word-parallel path is defined against this implementation.
+pub(crate) fn decode_batch_per_shot<D: Decoder + ?Sized>(
+    decoder: &D,
+    chunk: &SyndromeChunk,
+    scratch: &mut DecodeScratch,
+) -> PredictionChunk {
+    let mut out = PredictionChunk::zeroed(decoder.num_observables(), chunk.num_shots());
+    let mask = chunk.fired_shot_mask();
+    let mut buffers = BatchBuffers::begin(decoder, chunk.num_detectors(), scratch);
+    // Resolve the plane slices once; the gather loop below touches every
+    // plane per word and must not re-derive the slice each time.
+    let planes: Vec<&[u64]> = (0..chunk.num_detectors())
+        .map(|detector| chunk.detector_plane(detector))
+        .collect();
+    for (word_index, &word) in mask.iter().enumerate() {
+        if word == 0 {
+            continue;
+        }
+        // Gather: one pass over the detector planes fills the defect
+        // lists of all (up to 64) noisy shots of this word. Detectors
+        // are visited in ascending order, so each list ends up sorted.
+        let mut bits = word;
+        while bits != 0 {
+            buffers.word_fired[bits.trailing_zeros() as usize].clear();
+            bits &= bits - 1;
+        }
+        for (detector, plane) in planes.iter().enumerate() {
+            let mut hits = plane[word_index] & word;
+            while hits != 0 {
+                buffers.word_fired[hits.trailing_zeros() as usize].push(detector);
+                hits &= hits - 1;
+            }
+        }
+        decode_lanes(decoder, word_index, word, &mut buffers, scratch, &mut out);
+    }
+    buffers.finish(scratch);
+    out
+}
+
+/// Claims and prefills `decoder`'s memo inside `scratch` without decoding
+/// any shots, then freezes it into a shareable snapshot (the
+/// [`Decoder::warm_memo_snapshot`](crate::Decoder::warm_memo_snapshot)
+/// default).
+pub(crate) fn warm_memo_snapshot<D: Decoder + ?Sized>(
+    decoder: &D,
+    num_detectors: usize,
+    scratch: &mut DecodeScratch,
+) -> Option<MemoSnapshot> {
+    decoder.memo_token()?;
+    if !scratch.memo.config().enabled() || decoder.num_observables() > 64 {
+        return None;
+    }
+    let buffers = BatchBuffers::begin(decoder, num_detectors, scratch);
+    let snapshot = buffers.memo.snapshot();
+    buffers.finish(scratch);
+    snapshot
 }
 
 #[cfg(test)]

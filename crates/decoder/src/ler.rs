@@ -42,8 +42,8 @@ use qccd_sim::{
 };
 
 use crate::{
-    DecodeScratch, Decoder, DecodingGraph, ExactMatchingDecoder, GreedyMatchingDecoder, MemoConfig,
-    UnionFindDecoder,
+    CacheStats, DecodeScratch, Decoder, DecodingGraph, ExactMatchingDecoder, GreedyMatchingDecoder,
+    MemoConfig, MemoSnapshot, UnionFindDecoder,
 };
 
 /// Which decoder to use for logical error rate estimation.
@@ -90,6 +90,16 @@ pub struct EstimatorConfig {
     /// [`DecodeScratch`](crate::DecodeScratch) (memoization is on by
     /// default; it never changes decoded bits).
     pub memo: MemoConfig,
+    /// Decode chunks on the word-parallel [`Decoder::decode_batch`] path
+    /// (the default) or, when `false`, on the per-shot reference loop
+    /// [`Decoder::decode_batch_per_shot`]. Bit-identical either way — the
+    /// switch exists for the identity property tests and the
+    /// word-vs-per-shot benchmarks.
+    pub word_decode: bool,
+    /// Warm the memo once per estimate and share the snapshot with every
+    /// worker thread (see [`Decoder::warm_memo_snapshot`]); on by default.
+    /// Sharing never changes decoded bits.
+    pub shared_memo: bool,
 }
 
 impl Default for EstimatorConfig {
@@ -100,6 +110,8 @@ impl Default for EstimatorConfig {
             target_std_error: None,
             max_failures: None,
             memo: MemoConfig::default(),
+            word_decode: true,
+            shared_memo: true,
         }
     }
 }
@@ -133,6 +145,19 @@ impl EstimatorConfig {
     /// [`MemoConfig::disabled`] to decode every shot from scratch).
     pub fn with_memo(mut self, memo: MemoConfig) -> Self {
         self.memo = memo;
+        self
+    }
+
+    /// Selects the word-parallel (default) or per-shot reference decode
+    /// loop.
+    pub fn with_word_decode(mut self, word_decode: bool) -> Self {
+        self.word_decode = word_decode;
+        self
+    }
+
+    /// Enables or disables the shared warm memo snapshot.
+    pub fn with_shared_memo(mut self, shared_memo: bool) -> Self {
+        self.shared_memo = shared_memo;
         self
     }
 
@@ -183,23 +208,68 @@ impl LogicalErrorEstimate {
     }
 }
 
+/// A logical-error estimate together with the decoders' aggregate cache
+/// statistics, as returned by [`estimate_logical_error_rate_report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateReport {
+    /// The Monte-Carlo estimate (identical to what
+    /// [`estimate_logical_error_rate_with`] returns).
+    pub estimate: LogicalErrorEstimate,
+    /// Cache statistics summed over every chunk that contributed to the
+    /// estimate (the canonical prefix under early stopping). The word-path
+    /// counters (`quiet_words` / `sparse_words` / `dense_words`) and
+    /// `uncacheable` depend only on the sampled syndromes and the memo cap,
+    /// so they are invariant across thread counts; the hit/miss *split*
+    /// (and `prefilled`/`word_merged`) can shift with worker scheduling
+    /// because each worker warms its own memo copy. Pin
+    /// [`EstimatorConfig::num_threads`] to 1 for fully deterministic
+    /// counters.
+    pub cache: CacheStats,
+}
+
 /// Per-chunk tally, folded in canonical chunk order.
 #[derive(Debug, Clone, Copy)]
 struct ChunkOutcome {
     shots: usize,
     failures: usize,
+    cache: CacheStats,
 }
 
 /// Counts the shots of a decoded chunk whose predicted observable flips
-/// disagree with the actual flips, word-parallel.
+/// disagree with the actual flips, word-parallel. Returns the failure count
+/// and the cache-counter delta this chunk contributed.
 fn count_failures(
     chunk: &SyndromeChunk,
     decoder: &dyn Decoder,
     scratch: &mut DecodeScratch,
-    memo: MemoConfig,
-) -> usize {
-    scratch.set_memo_config(memo);
-    let prediction = decoder.decode_batch(chunk, scratch);
+    config: &EstimatorConfig,
+    snapshot: Option<&MemoSnapshot>,
+) -> (usize, CacheStats) {
+    scratch.set_memo_config(config.memo);
+    // Baseline for this chunk's counter delta. When the memo will engage
+    // for a decoder the scratch does not belong to yet, the claim (or
+    // snapshot adoption) below zeroes the counters before any counting, so
+    // the baseline is zero; capturing it this way keeps the delta exact —
+    // including the prefill the (re-)warming contributes to the worker's
+    // first chunk. When the memo stays inert (disabled, no token, >64
+    // observables) the counters cannot move, so the delta is zero either
+    // way.
+    let engages =
+        config.memo.enabled() && decoder.memo_token().is_some() && decoder.num_observables() <= 64;
+    let before = if engages && scratch.memo.owner() != decoder.memo_token() {
+        CacheStats::default()
+    } else {
+        scratch.cache_stats()
+    };
+    if let Some(snapshot) = snapshot {
+        scratch.adopt_memo_snapshot(snapshot);
+    }
+    let prediction = if config.word_decode {
+        decoder.decode_batch(chunk, scratch)
+    } else {
+        decoder.decode_batch_per_shot(chunk, scratch)
+    };
+    let cache = scratch.cache_stats().since(&before);
     let words = chunk.words();
     let mut mismatch = vec![0u64; words];
     for observable in 0..chunk.num_observables() {
@@ -212,7 +282,8 @@ fn count_failures(
     if let Some(last) = mismatch.last_mut() {
         *last &= chunk.tail_mask();
     }
-    mismatch.iter().map(|w| w.count_ones() as usize).sum()
+    let failures = mismatch.iter().map(|w| w.count_ones() as usize).sum();
+    (failures, cache)
 }
 
 /// Scans `outcomes[from..]`, advancing the running `(shots, failures)`
@@ -250,8 +321,18 @@ fn run_pipeline(
     sampler: &DetectorChunkSampler<'_>,
     decoder: &(dyn Decoder + Send + Sync),
     config: &EstimatorConfig,
-) -> LogicalErrorEstimate {
+) -> EstimateReport {
     let num_chunks = sampler.num_chunks();
+    // Warm the memo once and share the read-mostly snapshot with every
+    // worker: adoption clones the prefilled table instead of re-deriving it
+    // per worker (and per sweep point). Purely a scheduling optimisation —
+    // the snapshot holds only predictions this decoder produced.
+    let snapshot = if config.shared_memo {
+        let mut warm = DecodeScratch::with_memo_config(config.memo);
+        decoder.warm_memo_snapshot(sampler.num_detectors(), &mut warm)
+    } else {
+        None
+    };
     let decode_chunk = |index: usize| {
         // One scratch per worker thread, reused across every chunk that
         // worker decodes.
@@ -260,12 +341,19 @@ fn run_pipeline(
                 std::cell::RefCell::new(DecodeScratch::new());
         }
         let chunk = sampler.sample_chunk(index);
-        let failures = SCRATCH.with(|scratch| {
-            count_failures(&chunk, decoder, &mut scratch.borrow_mut(), config.memo)
+        let (failures, cache) = SCRATCH.with(|scratch| {
+            count_failures(
+                &chunk,
+                decoder,
+                &mut scratch.borrow_mut(),
+                config,
+                snapshot.as_ref(),
+            )
         });
         ChunkOutcome {
             shots: chunk.num_shots(),
             failures,
+            cache,
         }
     };
 
@@ -302,10 +390,18 @@ fn run_pipeline(
     let (outcomes, stop) = outcomes;
 
     let cut = stop.map(|index| index + 1).unwrap_or(outcomes.len());
-    let (shots, failures) = outcomes[..cut]
-        .iter()
-        .fold((0usize, 0usize), |(s, f), o| (s + o.shots, f + o.failures));
-    LogicalErrorEstimate::from_counts(shots, failures)
+    let mut shots = 0usize;
+    let mut failures = 0usize;
+    let mut cache = CacheStats::default();
+    for outcome in &outcomes[..cut] {
+        shots += outcome.shots;
+        failures += outcome.failures;
+        cache.merge(&outcome.cache);
+    }
+    EstimateReport {
+        estimate: LogicalErrorEstimate::from_counts(shots, failures),
+        cache,
+    }
 }
 
 /// Estimates the logical error rate of a noisy circuit by sampling and
@@ -326,11 +422,32 @@ pub fn estimate_logical_error_rate_with(
     decoder_kind: DecoderKind,
     config: &EstimatorConfig,
 ) -> Result<LogicalErrorEstimate, MeasurementRef> {
+    estimate_logical_error_rate_report(circuit, shots, seed, decoder_kind, config)
+        .map(|report| report.estimate)
+}
+
+/// [`estimate_logical_error_rate_with`] returning the full
+/// [`EstimateReport`]: the estimate plus the aggregate decoder cache
+/// statistics (word-triage verdicts, hit/miss counters) summed over the
+/// chunks that contributed to it. The estimate itself is identical; see
+/// [`EstimateReport::cache`] for which counters are scheduling-invariant.
+///
+/// # Errors
+///
+/// Returns the first dangling [`MeasurementRef`] if the circuit's
+/// annotations are inconsistent.
+pub fn estimate_logical_error_rate_report(
+    circuit: &NoisyCircuit,
+    shots: usize,
+    seed: u64,
+    decoder_kind: DecoderKind,
+    config: &EstimatorConfig,
+) -> Result<EstimateReport, MeasurementRef> {
     let dem = DetectorErrorModel::from_circuit(circuit)?;
     let graph = DecodingGraph::from_dem(&dem);
     let decoder = decoder_kind.build(graph);
     let sampler = sample_detector_chunks(circuit, shots, seed, config.chunk_shots)?;
-    let estimate = match config.num_threads {
+    let report = match config.num_threads {
         Some(threads) => rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
@@ -338,7 +455,7 @@ pub fn estimate_logical_error_rate_with(
             .install(|| run_pipeline(&sampler, decoder.as_ref(), config)),
         None => run_pipeline(&sampler, decoder.as_ref(), config),
     };
-    Ok(estimate)
+    Ok(report)
 }
 
 /// Estimates the logical error rate with the default pipeline configuration

@@ -20,9 +20,8 @@
 //!
 //! * [`Decoder::decode_batch`] consumes a bit-packed [`SyndromeChunk`]
 //!   (produced by `qccd_sim`'s chunked sampler) and returns a bit-packed
-//!   [`PredictionChunk`]. Quiet shots — no detector fired — are skipped with
-//!   a single word-level scan, and all per-shot working state lives in a
-//!   reusable [`DecodeScratch`], so the loop performs no allocations.
+//!   [`PredictionChunk`]. All per-shot working state lives in a reusable
+//!   [`DecodeScratch`], so the loop performs no allocations.
 //! * [`Decoder::decode_shot`] is the per-shot primitive each decoder
 //!   implements against the scratch buffers.
 //! * [`Decoder::decode`] is the convenient per-shot adapter (it builds a
@@ -33,6 +32,63 @@
 //! chunks in parallel with deterministic per-block seeds: for a fixed
 //! `(shots, seed)` the estimate is bit-identical regardless of chunk size or
 //! thread count.
+//!
+//! # Word-parallel decoding
+//!
+//! Below threshold almost every shot carries zero or one defect, so
+//! decoding shot by shot wastes the sampler's 64-wide bit-packing.
+//! [`Decoder::decode_batch`] therefore decodes at **word granularity**:
+//! each 64-shot word is triaged with one carry-save pass over the detector
+//! planes ([`qccd_sim::csa_accumulate`] streamed tile-wise, classified per
+//! word by [`qccd_sim::WordTriage::from_counters`];
+//! [`qccd_sim::SyndromeChunk::word_triage`] is the same kernel as a
+//! word-at-a-time view) into
+//!
+//! * **all-quiet** — no defect in any lane; the word is done after the one
+//!   scan (the logical frame is decided directly against the observable
+//!   planes by the estimator's XOR+popcount),
+//! * **sparse** — every noisy lane has at most [`MemoConfig::max_defects`]
+//!   defects,
+//! * **dense** — some lane exceeds the cap.
+//!
+//! In every noisy word, single-defect lanes are answered *word-parallel*
+//! by ORing the memo's cached per-detector prediction masks into the
+//! output planes, and two-defect lanes resolve from a flat `d1 × d2` pair
+//! mirror of the memo (no per-shot hashing, no union-find, for either);
+//! all remaining lanes — three-or-more-defect lanes, above-cap lanes of
+//! dense words, and singles/pairs the entry cap or mirror range kept out
+//! of the fast lanes — fall back to the per-shot [`DecodeScratch`] memo
+//! loop. Tiles of 64 words are scanned with
+//! *sequential* plane-major walks (carry-save counters per word), so the
+//! triage touches each detector plane word exactly once per chunk, where
+//! the per-shot loop's mask scan + per-word gather touches it twice.
+//!
+//! **Bit-identity contract.** The word path produces exactly the same
+//! [`PredictionChunk`] — and the same hit/miss/uncacheable counters — as
+//! the per-shot reference loop, which remains callable as
+//! [`Decoder::decode_batch_per_shot`]; consequently estimates, early-stop
+//! points and golden artifacts are unchanged for every chunk size and
+//! thread count. This is property-tested in
+//! `tests/prop_word_parallel_identity.rs` for all three [`DecoderKind`]s
+//! and pinned by adversarial edge cases (all-dense words, word-boundary
+//! straddling, ragged final words, zero-shot chunks) in
+//! `tests/word_edge_cases.rs`. The triage verdicts are observable through
+//! the `*_words` counters of [`CacheStats`]; they depend only on the
+//! syndrome content and the memo cap, never on scheduling.
+//!
+//! # Shared memo snapshots
+//!
+//! Every worker thread owns its scratch (and memo), so without sharing,
+//! each worker re-prefills the singles table per decoder and re-learns
+//! recurring pairs from scratch. [`Decoder::warm_memo_snapshot`] claims and
+//! prefills the memo once — without decoding any shots — and freezes it
+//! into an `Arc`-shared [`MemoSnapshot`]; workers adopt it with
+//! [`DecodeScratch::adopt_memo_snapshot`] (a table clone on first contact,
+//! a no-op afterwards) and keep learning private entries on top. The
+//! estimator does this by default ([`EstimatorConfig::shared_memo`]), so
+//! the word path's hit rate survives sharding across workers and sweep
+//! points. Snapshots only ever contain predictions the owning decoder
+//! itself produced, so adoption cannot change decoded bits.
 //!
 //! # Syndrome memoization
 //!
@@ -100,10 +156,11 @@ pub use batch::{DecodeScratch, PredictionChunk, SyndromeChunk};
 pub use dem_graph::{DecodingEdge, DecodingGraph, DetectorIndex};
 pub use greedy::GreedyMatchingDecoder;
 pub use ler::{
-    estimate_logical_error_rate, estimate_logical_error_rate_with, fit_lambda, fit_lambda_weighted,
-    DecoderKind, EstimatorConfig, LambdaFit, LogicalErrorEstimate,
+    estimate_logical_error_rate, estimate_logical_error_rate_report,
+    estimate_logical_error_rate_with, fit_lambda, fit_lambda_weighted, DecoderKind, EstimateReport,
+    EstimatorConfig, LambdaFit, LogicalErrorEstimate,
 };
-pub use memo::{CacheStats, MemoConfig, DEFAULT_MEMO_MAX_DEFECTS, MEMO_KEY_CAPACITY};
+pub use memo::{CacheStats, MemoConfig, MemoSnapshot, DEFAULT_MEMO_MAX_DEFECTS, MEMO_KEY_CAPACITY};
 pub use mwpm::{ExactMatchingDecoder, DEFAULT_MAX_EXACT_DEFECTS};
 pub use sweep::{sweep_seed, SweepEngine, SweepTask};
 pub use union_find::UnionFindDecoder;
@@ -150,131 +207,59 @@ pub trait Decoder {
         None
     }
 
-    /// Decodes every shot of a bit-packed syndrome chunk.
+    /// Decodes every shot of a bit-packed syndrome chunk on the
+    /// **word-parallel** path.
     ///
-    /// The default implementation scans the chunk's fired-shot mask so quiet
-    /// shots cost one bit test, gathers the noisy shots' defect lists 64
-    /// shots at a time with a single pass over the detector planes, and
-    /// calls [`Decoder::decode_shot`] per noisy shot — consulting the
-    /// scratch's [syndrome memo](memo) first for small defect sets when the
-    /// decoder exposes a [`Decoder::memo_token`]. Predictions are
-    /// bit-identical to calling [`Decoder::decode`] shot by shot, memoized
-    /// or not.
+    /// The default implementation triages every 64-shot word with one
+    /// carry-save pass over the detector planes
+    /// ([`qccd_sim::csa_accumulate`] + [`qccd_sim::WordTriage`], streamed
+    /// over 64-word tiles — the same pass gathers the words' hot planes):
+    ///
+    /// * **quiet** words (no defect anywhere) are done after the scan;
+    /// * **sparse** words (every lane at or below the memo's defect cap)
+    ///   and **dense** words (some lane above it) both answer their
+    ///   single-defect lanes with word-wide OR merges from the memo's
+    ///   singles table and their two-defect lanes from its flat pair
+    ///   mirror — no per-shot hashing, no union-find — and route every
+    ///   remaining lane through the per-shot [`DecodeScratch`] memo loop
+    ///   (where above-cap lanes count as uncacheable).
+    ///
+    /// Predictions — and the memo's hit/miss/uncacheable counters — are
+    /// **bit-identical** to [`Decoder::decode_batch_per_shot`] and to
+    /// calling [`Decoder::decode`] shot by shot, memoized or not; the word
+    /// triage additionally fills the `*_words` counters of
+    /// [`CacheStats`]. Without an active memo the word path degenerates to
+    /// the per-shot loop (minus one redundant plane scan).
     fn decode_batch(&self, chunk: &SyndromeChunk, scratch: &mut DecodeScratch) -> PredictionChunk {
-        let mut out = PredictionChunk::zeroed(self.num_observables(), chunk.num_shots());
-        let mask = chunk.fired_shot_mask();
-        // Temporarily move the shot buffers out of the scratch so it can be
-        // lent to `decode_shot` without aliasing.
-        let mut word_fired = std::mem::take(&mut scratch.word_fired);
-        word_fired.resize_with(64, Vec::new);
-        let mut prediction = std::mem::take(&mut scratch.shot_prediction);
-        prediction.clear();
-        prediction.resize(self.num_observables(), false);
-        // The memo moves out of the scratch for the same aliasing reason.
-        // Predictions are stored as u64 bitmasks, so the memo only engages
-        // for ≤64 observables (always true for the paper's workloads).
-        let mut memo = std::mem::take(&mut scratch.memo);
-        let memo_active = match self.memo_token() {
-            Some(token) if memo.config().enabled() && self.num_observables() <= 64 => {
-                memo.claim(token, self.num_observables());
-                true
-            }
-            _ => false,
-        };
-        if memo_active && memo.needs_prefill() {
-            // Seed every single-defect prediction up front (one decode per
-            // detector, i.e. one shortest path for the matching decoders).
-            // This removes the cold-start miss per worker and makes hit
-            // rates independent of the chunk order in which defects first
-            // appear. Predictions come from `decode_shot` itself, so the
-            // bit-identity contract is untouched.
-            for detector in 0..chunk.num_detectors() {
-                if !memo.can_insert() {
-                    break;
-                }
-                prediction.fill(false);
-                self.decode_shot(&[detector], scratch, &mut prediction);
-                let mut flips = 0u64;
-                for (observable, &flipped) in prediction.iter().enumerate() {
-                    if flipped {
-                        flips |= 1u64 << observable;
-                    }
-                }
-                memo.prefill(&[detector], flips);
-            }
-            memo.mark_prefilled();
-        }
-        // Resolve the plane slices once; the gather loop below touches every
-        // plane per word and must not re-derive the slice each time.
-        let planes: Vec<&[u64]> = (0..chunk.num_detectors())
-            .map(|detector| chunk.detector_plane(detector))
-            .collect();
-        for (word_index, &word) in mask.iter().enumerate() {
-            if word == 0 {
-                continue;
-            }
-            // Gather: one pass over the detector planes fills the defect
-            // lists of all (up to 64) noisy shots of this word. Detectors
-            // are visited in ascending order, so each list ends up sorted.
-            let mut bits = word;
-            while bits != 0 {
-                word_fired[bits.trailing_zeros() as usize].clear();
-                bits &= bits - 1;
-            }
-            for (detector, plane) in planes.iter().enumerate() {
-                let mut hits = plane[word_index] & word;
-                while hits != 0 {
-                    word_fired[hits.trailing_zeros() as usize].push(detector);
-                    hits &= hits - 1;
-                }
-            }
-            // Decode each noisy shot of the word, answering recurring small
-            // defect sets from the memo.
-            let mut bits = word;
-            while bits != 0 {
-                let lane = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let shot = word_index * 64 + lane;
-                let fired = std::mem::take(&mut word_fired[lane]);
-                if memo_active && memo.cacheable(fired.len(), self.num_observables()) {
-                    match memo.lookup(&fired) {
-                        Some(mut flips) => {
-                            while flips != 0 {
-                                out.set(flips.trailing_zeros() as usize, shot);
-                                flips &= flips - 1;
-                            }
-                        }
-                        None => {
-                            prediction.fill(false);
-                            self.decode_shot(&fired, scratch, &mut prediction);
-                            let mut flips = 0u64;
-                            for (observable, &flipped) in prediction.iter().enumerate() {
-                                if flipped {
-                                    flips |= 1u64 << observable;
-                                    out.set(observable, shot);
-                                }
-                            }
-                            memo.insert(&fired, flips);
-                        }
-                    }
-                } else {
-                    if memo_active {
-                        memo.note_uncacheable();
-                    }
-                    prediction.fill(false);
-                    self.decode_shot(&fired, scratch, &mut prediction);
-                    for (observable, &flipped) in prediction.iter().enumerate() {
-                        if flipped {
-                            out.set(observable, shot);
-                        }
-                    }
-                }
-                word_fired[lane] = fired;
-            }
-        }
-        scratch.word_fired = word_fired;
-        scratch.shot_prediction = prediction;
-        scratch.memo = memo;
-        out
+        batch::decode_batch_words(self, chunk, scratch)
+    }
+
+    /// Decodes every shot of a chunk on the **per-shot reference** path:
+    /// scan the fired-shot mask, gather every noisy lane's defect list,
+    /// decode lane by lane (consulting the memo exactly like the word
+    /// path). This is the loop the word-parallel default is property-tested
+    /// against; prefer [`Decoder::decode_batch`] everywhere else.
+    fn decode_batch_per_shot(
+        &self,
+        chunk: &SyndromeChunk,
+        scratch: &mut DecodeScratch,
+    ) -> PredictionChunk {
+        batch::decode_batch_per_shot(self, chunk, scratch)
+    }
+
+    /// Claims and prefills this decoder's [syndrome memo](memo) inside
+    /// `scratch` — without decoding any shots — and freezes it into a
+    /// read-mostly [`MemoSnapshot`] that worker threads can adopt via
+    /// [`DecodeScratch::adopt_memo_snapshot`]. Returns `None` when the
+    /// decoder opts out of memoization, the scratch's memo is disabled, or
+    /// more than 64 observables are predicted. Warming is deterministic
+    /// (the prefill is a pure function of the decoding graph), so sharing
+    /// the snapshot never changes decoded bits.
+    fn warm_memo_snapshot(
+        &self,
+        num_detectors: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Option<MemoSnapshot> {
+        batch::warm_memo_snapshot(self, num_detectors, scratch)
     }
 }

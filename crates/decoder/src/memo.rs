@@ -23,6 +23,20 @@
 //! instance: each decoder carries a unique memo token, and the memo clears
 //! itself whenever it is handed to a decoder with a different token, so a
 //! scratch can be shared across decoders without serving stale predictions.
+//!
+//! # Sharing across workers
+//!
+//! A warmed memo can be frozen into a [`MemoSnapshot`] — an immutable,
+//! `Arc`-shared copy of the table — and adopted into other scratches with
+//! [`DecodeScratch::adopt_memo_snapshot`](crate::DecodeScratch::adopt_memo_snapshot).
+//! Adoption replaces a differently-owned memo with a clone of the snapshot
+//! (exactly what that worker's own claim-plus-prefill would have produced,
+//! plus whatever the snapshot had already learned) and is a no-op when the
+//! scratch already belongs to the snapshot's decoder. The estimator uses
+//! this to warm the memo once per evaluation point and hand the same
+//! read-mostly base table to every worker thread; because the snapshot
+//! only ever contains predictions the owning decoder itself produced, the
+//! bit-identity contract is unaffected.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -40,6 +54,13 @@ pub const MEMO_KEY_CAPACITY: usize = 6;
 
 /// Default cap on the number of cached defect sets per memo.
 pub const DEFAULT_MEMO_MAX_ENTRIES: usize = 1 << 20;
+
+/// Detector-index range covered by the flat pair-prediction mirror (the
+/// word path's two-defect fast lane): pairs with both detectors below this
+/// bound are answered with one array load instead of a hash probe. Sized so
+/// the flat table stays L2-friendly (`256² × 8 B = 512 KiB` per scratch);
+/// larger graphs simply fall back to the hash table for pairs.
+pub const PAIR_TABLE_DETECTORS: usize = 256;
 
 /// Allocates a process-unique memo-ownership token for one decoder instance.
 pub(crate) fn next_memo_token() -> NonZeroU64 {
@@ -107,6 +128,15 @@ impl MemoConfig {
 /// Only *noisy* shots are counted — quiet shots are skipped by the batch
 /// engine's word-level scan before the memo is ever consulted. `prefilled`
 /// counts cache *entries* seeded from the decoding graph rather than shots.
+///
+/// The `*_words` counters describe the word-parallel triage of
+/// [`Decoder::decode_batch`](crate::Decoder::decode_batch): every 64-shot
+/// word is classified as quiet (no defect anywhere), sparse (every noisy
+/// lane at or below the memo's defect cap) or dense (at least one lane
+/// above the cap, routed through the per-shot fallback). `word_merged`
+/// counts the noisy shots answered by the word-level single-defect merge —
+/// they are also counted in `hits`, so the hit/miss totals stay comparable
+/// with the per-shot reference path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Noisy shots answered from the memo.
@@ -119,6 +149,18 @@ pub struct CacheStats {
     /// decoder first claimed it (see the prefill pass of
     /// [`Decoder::decode_batch`](crate::Decoder::decode_batch)).
     pub prefilled: u64,
+    /// Words of the word-parallel triage with no fired detector.
+    pub quiet_words: u64,
+    /// Noisy words in which every lane was at or below the memo's defect
+    /// cap.
+    pub sparse_words: u64,
+    /// Words with at least one lane above the cap, decoded on the per-shot
+    /// fallback path.
+    pub dense_words: u64,
+    /// Noisy shots answered by the word-parallel fast lanes — the
+    /// single-defect merge and the flat pair mirror — without touching the
+    /// hash table or a decoder (a subset of `hits`).
+    pub word_merged: u64,
 }
 
 impl CacheStats {
@@ -132,6 +174,11 @@ impl CacheStats {
         self.hits + self.misses + self.uncacheable
     }
 
+    /// All words the word-parallel path triaged.
+    pub fn words(&self) -> u64 {
+        self.quiet_words + self.sparse_words + self.dense_words
+    }
+
     /// Fraction of noisy shots answered from the memo (0 when nothing was
     /// decoded).
     pub fn hit_rate(&self) -> f64 {
@@ -140,6 +187,37 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / decoded as f64
+        }
+    }
+
+    /// Adds another set of counters field-wise (used by the estimator to
+    /// aggregate per-chunk deltas).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.uncacheable += other.uncacheable;
+        self.prefilled += other.prefilled;
+        self.quiet_words += other.quiet_words;
+        self.sparse_words += other.sparse_words;
+        self.dense_words += other.dense_words;
+        self.word_merged += other.word_merged;
+    }
+
+    /// The counters accumulated since `earlier` was captured from the same
+    /// memo. Counters only grow between captures except when another
+    /// decoder claims the memo (which zeroes them *before* any counting);
+    /// a field that shrank is therefore reported as its post-reset value.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        let delta = |now: u64, then: u64| if now >= then { now - then } else { now };
+        CacheStats {
+            hits: delta(self.hits, earlier.hits),
+            misses: delta(self.misses, earlier.misses),
+            uncacheable: delta(self.uncacheable, earlier.uncacheable),
+            prefilled: delta(self.prefilled, earlier.prefilled),
+            quiet_words: delta(self.quiet_words, earlier.quiet_words),
+            sparse_words: delta(self.sparse_words, earlier.sparse_words),
+            dense_words: delta(self.dense_words, earlier.dense_words),
+            word_merged: delta(self.word_merged, earlier.word_merged),
         }
     }
 }
@@ -199,6 +277,55 @@ impl Hasher for MemoKeyHasher {
 
 type MemoTable = HashMap<MemoKey, u64, BuildHasherDefault<MemoKeyHasher>>;
 
+/// An immutable, cheaply cloneable snapshot of a warmed [`SyndromeMemo`],
+/// shared behind an [`Arc`](std::sync::Arc).
+///
+/// Snapshots are the cross-worker memo-sharing primitive: one scratch is
+/// warmed (claim + single-defect prefill via
+/// [`Decoder::warm_memo_snapshot`](crate::Decoder::warm_memo_snapshot)),
+/// its memo is frozen into a snapshot, and every worker thread adopts the
+/// snapshot into its own [`DecodeScratch`](crate::DecodeScratch) — a clone
+/// of the table instead of a re-prefill per worker, so the word path's hit
+/// rate (and the prefill cost) survives sharding across workers and sweep
+/// points. Adoption is a no-op when the scratch's memo already belongs to
+/// the snapshot's decoder, so workers keep the extra entries they learn on
+/// top of the shared base.
+#[derive(Debug, Clone)]
+pub struct MemoSnapshot {
+    inner: std::sync::Arc<SnapshotInner>,
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
+    owner: NonZeroU64,
+    num_observables: usize,
+    config: MemoConfig,
+    table: MemoTable,
+    single_flips: Vec<u64>,
+    single_known: Vec<bool>,
+    pair_flips: Vec<u64>,
+    pair_known: Vec<u64>,
+    prefilled: bool,
+    prefilled_count: u64,
+}
+
+impl MemoSnapshot {
+    /// Number of defect sets frozen in the snapshot.
+    pub fn len(&self) -> usize {
+        self.inner.table.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.table.is_empty()
+    }
+
+    /// Number of observables the frozen predictions cover.
+    pub fn num_observables(&self) -> usize {
+        self.inner.num_observables
+    }
+}
+
 /// The per-decoder prediction cache (see the [module docs](self)).
 ///
 /// Predictions are stored as a `u64` observable-flip bitmask, so memoization
@@ -215,6 +342,24 @@ pub(crate) struct SyndromeMemo {
     stats: CacheStats,
     /// Whether the single-defect prefill pass ran for the current owner.
     prefilled: bool,
+    /// Dense mirror of the table's single-defect entries, indexed by
+    /// detector: the word-parallel sparse path reads predictions from here
+    /// with one array load instead of a hash probe per shot. Maintained
+    /// incrementally on insert/prefill so it always equals "what a memo
+    /// lookup of `[detector]` would return".
+    single_flips: Vec<u64>,
+    single_known: Vec<bool>,
+    /// Flat mirror of the table's two-defect entries, indexed by
+    /// `d1 · PAIR_TABLE_DETECTORS + d2` (with `d1 < d2 <`
+    /// [`PAIR_TABLE_DETECTORS`]); allocated lazily on the first mirrored
+    /// pair. `pair_known` is the matching presence bitset.
+    pair_flips: Vec<u64>,
+    pair_known: Vec<u64>,
+}
+
+/// Flat index of an in-range pair, `None` outside the table's range.
+fn pair_index(d1: usize, d2: usize) -> Option<usize> {
+    (d1 < PAIR_TABLE_DETECTORS && d2 < PAIR_TABLE_DETECTORS).then(|| d1 * PAIR_TABLE_DETECTORS + d2)
 }
 
 impl SyndromeMemo {
@@ -232,6 +377,11 @@ impl SyndromeMemo {
     /// Accumulated hit/miss counters.
     pub(crate) fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Memo token of the current owner (`None` while unowned).
+    pub(crate) fn owner(&self) -> Option<NonZeroU64> {
+        self.owner
     }
 
     /// Resets the hit/miss counters (entries are kept).
@@ -253,7 +403,57 @@ impl SyndromeMemo {
             self.owner = Some(token);
             self.num_observables = num_observables;
             self.prefilled = false;
+            self.single_flips.clear();
+            self.single_known.clear();
+            self.pair_flips.clear();
+            self.pair_known.clear();
         }
+    }
+
+    /// Freezes the current entries (and singles mirror) into a shareable
+    /// snapshot. `None` while the memo is unowned.
+    pub(crate) fn snapshot(&self) -> Option<MemoSnapshot> {
+        let owner = self.owner?;
+        Some(MemoSnapshot {
+            inner: std::sync::Arc::new(SnapshotInner {
+                owner,
+                num_observables: self.num_observables,
+                config: self.config,
+                table: self.table.clone(),
+                single_flips: self.single_flips.clone(),
+                single_known: self.single_known.clone(),
+                pair_flips: self.pair_flips.clone(),
+                pair_known: self.pair_known.clone(),
+                prefilled: self.prefilled,
+                prefilled_count: self.stats.prefilled,
+            }),
+        })
+    }
+
+    /// Installs a snapshot's entries, adopting its owner. A no-op when the
+    /// memo already belongs to the snapshot's decoder (the worker keeps any
+    /// extra entries it has learned on top of the shared base); otherwise
+    /// the memo is re-keyed exactly as a fresh claim-plus-prefill would
+    /// leave it, with `prefilled` carried over so stats stay comparable
+    /// with per-worker warming.
+    pub(crate) fn adopt(&mut self, snapshot: &MemoSnapshot) {
+        let inner = &*snapshot.inner;
+        if self.owner == Some(inner.owner) && self.num_observables == inner.num_observables {
+            return;
+        }
+        self.owner = Some(inner.owner);
+        self.num_observables = inner.num_observables;
+        self.config = inner.config;
+        self.table = inner.table.clone();
+        self.single_flips = inner.single_flips.clone();
+        self.single_known = inner.single_known.clone();
+        self.pair_flips = inner.pair_flips.clone();
+        self.pair_known = inner.pair_known.clone();
+        self.prefilled = inner.prefilled;
+        self.stats = CacheStats {
+            prefilled: inner.prefilled_count,
+            ..CacheStats::default()
+        };
     }
 
     /// Whether the single-defect prefill pass still has to run for the
@@ -279,7 +479,84 @@ impl SyndromeMemo {
         if self.can_insert() {
             self.table.insert(Self::key(fired_detectors), mask);
             self.stats.prefilled += 1;
+            self.note_single(fired_detectors, mask);
         }
+    }
+
+    /// Mirrors a stored single- or two-defect entry into the flat fast-lane
+    /// tables.
+    fn note_single(&mut self, fired_detectors: &[usize], mask: u64) {
+        match fired_detectors {
+            [detector] => {
+                if *detector >= self.single_known.len() {
+                    self.single_known.resize(detector + 1, false);
+                    self.single_flips.resize(detector + 1, 0);
+                }
+                self.single_known[*detector] = true;
+                self.single_flips[*detector] = mask;
+            }
+            [d1, d2] => {
+                if let Some(index) = pair_index(*d1, *d2) {
+                    if self.pair_flips.is_empty() {
+                        self.pair_flips
+                            .resize(PAIR_TABLE_DETECTORS * PAIR_TABLE_DETECTORS, 0);
+                        self.pair_known
+                            .resize(PAIR_TABLE_DETECTORS * PAIR_TABLE_DETECTORS / 64, 0);
+                    }
+                    self.pair_flips[index] = mask;
+                    self.pair_known[index / 64] |= 1u64 << (index % 64);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The stored prediction of the single-defect set `[detector]`, if the
+    /// table holds one — an array load, no hash probe, no stat counting
+    /// (the word path counts answered lanes in bulk via
+    /// [`SyndromeMemo::count_word_merged`]).
+    pub(crate) fn single_flip(&self, detector: usize) -> Option<u64> {
+        if *self.single_known.get(detector)? {
+            Some(self.single_flips[detector])
+        } else {
+            None
+        }
+    }
+
+    /// The stored prediction of the two-defect set `[d1, d2]` (callers pass
+    /// `d1 < d2`, the canonical key order), if the flat pair mirror holds
+    /// one — an array load, no hash probe, no stat counting.
+    pub(crate) fn pair_flip(&self, d1: usize, d2: usize) -> Option<u64> {
+        let index = pair_index(d1, d2)?;
+        let known = self.pair_known.get(index / 64)?;
+        if known >> (index % 64) & 1 == 1 {
+            Some(self.pair_flips[index])
+        } else {
+            None
+        }
+    }
+
+    /// Counts `count` single- or two-defect shots answered by the
+    /// word-parallel merge: they are hits (the data came from the memo) and
+    /// are also tallied in [`CacheStats::word_merged`].
+    pub(crate) fn count_word_merged(&mut self, count: u64) {
+        self.stats.hits += count;
+        self.stats.word_merged += count;
+    }
+
+    /// Counts one quiet word of the word-parallel triage.
+    pub(crate) fn note_quiet_word(&mut self) {
+        self.stats.quiet_words += 1;
+    }
+
+    /// Counts one sparse word of the word-parallel triage.
+    pub(crate) fn note_sparse_word(&mut self) {
+        self.stats.sparse_words += 1;
+    }
+
+    /// Counts one dense word of the word-parallel triage.
+    pub(crate) fn note_dense_word(&mut self) {
+        self.stats.dense_words += 1;
     }
 
     /// Whether a defect set of the given cardinality can be memoized under
@@ -316,6 +593,7 @@ impl SyndromeMemo {
     pub(crate) fn insert(&mut self, fired_detectors: &[usize], mask: u64) {
         if self.table.len() < self.config.max_entries {
             self.table.insert(Self::key(fired_detectors), mask);
+            self.note_single(fired_detectors, mask);
         }
     }
 
@@ -350,6 +628,7 @@ mod tests {
             misses: 2,
             uncacheable: 2,
             prefilled: 5,
+            ..CacheStats::default()
         };
         assert_eq!(stats.attempts(), 8);
         assert_eq!(stats.decoded(), 10, "prefilled entries are not shots");
@@ -373,7 +652,7 @@ mod tests {
                 hits: 1,
                 misses: 2,
                 uncacheable: 1,
-                prefilled: 0
+                ..CacheStats::default()
             }
         );
         assert_eq!(memo.len(), 1);
@@ -461,5 +740,100 @@ mod tests {
     #[test]
     fn tokens_are_unique() {
         assert_ne!(next_memo_token(), next_memo_token());
+    }
+
+    #[test]
+    fn stats_merge_and_since() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            uncacheable: 3,
+            prefilled: 4,
+            quiet_words: 5,
+            sparse_words: 6,
+            dense_words: 7,
+            word_merged: 1,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.dense_words, 14);
+        assert_eq!(a.words(), 10 + 12 + 14);
+        assert_eq!(a.since(&b), b, "doubling then removing one copy");
+        // A reset between captures (counter now *below* the baseline)
+        // reports the post-reset value.
+        let earlier = CacheStats {
+            hits: 5,
+            ..CacheStats::default()
+        };
+        let fresh = CacheStats {
+            hits: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(fresh.since(&earlier).hits, 1);
+        assert_eq!(fresh.since(&b).hits, 0, "no growth, no delta");
+        assert_eq!(fresh.since(&b).misses, 0);
+    }
+
+    #[test]
+    fn singles_table_mirrors_stored_entries_only() {
+        let mut memo = SyndromeMemo::default();
+        memo.set_config(MemoConfig::default().with_max_entries(2));
+        memo.claim(next_memo_token(), 1);
+        memo.prefill(&[3], 0b1);
+        memo.insert(&[1, 2], 0b1); // pair: not mirrored
+        memo.insert(&[5], 0b0); // dropped at the cap: not mirrored
+        assert_eq!(memo.single_flip(3), Some(0b1));
+        assert_eq!(memo.single_flip(5), None, "capped insert leaves no single");
+        assert_eq!(memo.single_flip(1), None);
+        assert_eq!(memo.single_flip(99), None, "out of range is absent");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_adoption() {
+        let token = next_memo_token();
+        let mut warm = SyndromeMemo::default();
+        assert!(warm.snapshot().is_none(), "unowned memos cannot freeze");
+        warm.claim(token, 1);
+        warm.prefill(&[0], 0b1);
+        warm.prefill(&[4], 0);
+        warm.mark_prefilled();
+        warm.insert(&[1, 2], 0b1);
+        let snapshot = warm.snapshot().expect("owned memo freezes");
+        assert_eq!(snapshot.len(), 3);
+        assert!(!snapshot.is_empty());
+        assert_eq!(snapshot.num_observables(), 1);
+
+        // A differently-owned memo adopts the full state.
+        let mut worker = SyndromeMemo::default();
+        worker.claim(next_memo_token(), 1);
+        worker.insert(&[9], 0b1);
+        worker.adopt(&snapshot);
+        assert_eq!(worker.len(), 3);
+        assert!(!worker.needs_prefill());
+        assert_eq!(worker.single_flip(0), Some(0b1));
+        assert_eq!(worker.single_flip(9), None, "stale entries are dropped");
+        assert_eq!(worker.lookup(&[1, 2]), Some(0b1));
+        assert_eq!(
+            worker.stats().prefilled,
+            2,
+            "adoption reports the shared prefill"
+        );
+
+        // Re-adoption by the same owner keeps locally learned entries.
+        worker.insert(&[2, 3], 0);
+        worker.adopt(&snapshot);
+        assert_eq!(worker.len(), 4);
+        assert_eq!(worker.stats().hits, 1, "stats survive a no-op adoption");
+    }
+
+    #[test]
+    fn claim_clears_the_singles_mirror() {
+        let mut memo = SyndromeMemo::default();
+        memo.claim(next_memo_token(), 1);
+        memo.prefill(&[2], 0b1);
+        assert_eq!(memo.single_flip(2), Some(0b1));
+        memo.claim(next_memo_token(), 1);
+        assert_eq!(memo.single_flip(2), None);
     }
 }

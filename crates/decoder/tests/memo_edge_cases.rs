@@ -60,7 +60,9 @@ fn quiet_chunk_prefills_but_decodes_nothing() {
             hits: 0,
             misses: 0,
             uncacheable: 0,
-            prefilled: 6
+            prefilled: 6,
+            quiet_words: 1,
+            ..CacheStats::default()
         }
     );
     assert_eq!(scratch.memo_entries(), 6);
@@ -101,7 +103,9 @@ fn defect_count_above_the_cap_bypasses_the_memo() {
             hits: 0,
             misses: 0,
             uncacheable: 2,
-            prefilled: 8
+            prefilled: 8,
+            dense_words: 1,
+            ..CacheStats::default()
         }
     );
     assert_eq!(
@@ -133,7 +137,10 @@ fn cache_stats_count_hits_misses_and_uncacheable_exactly() {
             hits: 3,
             misses: 1,
             uncacheable: 1,
-            prefilled: 8
+            prefilled: 8,
+            dense_words: 1,
+            word_merged: 3,
+            ..CacheStats::default()
         }
     );
     assert_eq!(stats.attempts(), 4);
@@ -172,7 +179,10 @@ fn scratch_reuse_across_chunks_keeps_entries_and_accumulates_stats() {
             hits: 2,
             misses: 1,
             uncacheable: 0,
-            prefilled: 10
+            prefilled: 10,
+            sparse_words: 1,
+            word_merged: 2,
+            ..CacheStats::default()
         }
     );
     assert_eq!(warm.memo_entries(), 11);
@@ -186,7 +196,12 @@ fn scratch_reuse_across_chunks_keeps_entries_and_accumulates_stats() {
             hits: 6,
             misses: 1,
             uncacheable: 0,
-            prefilled: 10
+            prefilled: 10,
+            sparse_words: 2,
+            // Chunk two: three merged singles plus [3, 4] answered from the
+            // pair mirror warmed by chunk one.
+            word_merged: 6,
+            ..CacheStats::default()
         }
     );
     assert_eq!(warm.memo_entries(), 11);
@@ -213,7 +228,10 @@ fn entry_cap_bounds_the_table_without_changing_results() {
             hits: 2,
             misses: 2,
             uncacheable: 0,
-            prefilled: 1
+            prefilled: 1,
+            sparse_words: 1,
+            word_merged: 2,
+            ..CacheStats::default()
         }
     );
     for (shot, fired) in shots.iter().enumerate() {
@@ -239,7 +257,10 @@ fn scratch_shared_across_decoders_serves_no_stale_predictions() {
             hits: 2,
             misses: 1,
             uncacheable: 0,
-            prefilled: 9
+            prefilled: 9,
+            sparse_words: 1,
+            word_merged: 2,
+            ..CacheStats::default()
         }
     );
     let from_greedy = greedy.decode_batch(&chunk, &mut shared);
@@ -249,7 +270,10 @@ fn scratch_shared_across_decoders_serves_no_stale_predictions() {
             hits: 2,
             misses: 1,
             uncacheable: 0,
-            prefilled: 9
+            prefilled: 9,
+            sparse_words: 1,
+            word_merged: 2,
+            ..CacheStats::default()
         },
         "handing the scratch to another decoder restarts stats and prefill"
     );

@@ -1,0 +1,310 @@
+//! Property battery for the word-parallel batch decode path.
+//!
+//! `decode_batch` (word-parallel triage) must be **bit-identical** to
+//! `decode_batch_per_shot` (the per-shot reference loop) — same prediction
+//! bits *and* the same hit/miss/uncacheable counters — for random decoding
+//! graphs and shot streams, for all decoder kinds, with the memo on, off,
+//! capped or defect-limited, with and without a shared warm snapshot; and
+//! the estimator must produce identical estimates (including early-stop
+//! points) whichever path decodes its chunks, across chunk sizes and thread
+//! counts. A non-random sweep pins the same contract on real rotated
+//! surface codes at distances {3, 5, 7}.
+
+use proptest::prelude::*;
+
+use qccd_decoder::{
+    estimate_logical_error_rate_with, CacheStats, DecodeScratch, Decoder, DecoderKind,
+    DecodingGraph, EstimatorConfig, ExactMatchingDecoder, GreedyMatchingDecoder, MemoConfig,
+    SyndromeChunk, UnionFindDecoder,
+};
+use qccd_sim::{
+    sample_detector_chunks, DemError, DetectorErrorModel, NoiseChannel, NoisyCircuit,
+    CANONICAL_BLOCK_SHOTS,
+};
+
+/// A random mostly-graphlike DEM over `n` detectors: a connected chain for
+/// matchability plus extra random edges, with random boundary edges and
+/// observable crossings.
+fn random_dem(
+    n: usize,
+    probabilities: &[f64],
+    extra_edges: &[(usize, usize, bool)],
+) -> DetectorErrorModel {
+    let mut errors = Vec::new();
+    errors.push(DemError {
+        probability: probabilities[0],
+        detectors: vec![0],
+        observables: vec![0],
+    });
+    for i in 0..n - 1 {
+        errors.push(DemError {
+            probability: probabilities[(i + 1) % probabilities.len()],
+            detectors: vec![i as u32, i as u32 + 1],
+            observables: vec![],
+        });
+    }
+    errors.push(DemError {
+        probability: probabilities[n % probabilities.len()],
+        detectors: vec![n as u32 - 1],
+        observables: vec![],
+    });
+    for &(a, b, crosses) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        errors.push(DemError {
+            probability: probabilities[(a + b) % probabilities.len()],
+            detectors: vec![a.min(b) as u32, a.max(b) as u32],
+            observables: if crosses { vec![0] } else { vec![] },
+        });
+    }
+    DetectorErrorModel {
+        num_detectors: n,
+        num_observables: 1,
+        errors,
+    }
+}
+
+fn probabilities() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..0.3, 4..10)
+}
+
+fn extra_edges() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    prop::collection::vec((0usize..16, 0usize..16, any::<bool>()), 0..6)
+}
+
+/// Random per-shot syndromes over `n` detectors. Up to 150 shots so chunks
+/// span multiple words, with word-boundary lanes and ragged tails arising
+/// naturally; defect multiplicities range from quiet to above the memo cap.
+fn shots(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..n, 0..n).prop_map(|s| s.into_iter().collect()),
+        1..150,
+    )
+}
+
+fn all_decoders(graph: &DecodingGraph) -> Vec<Box<dyn Decoder>> {
+    vec![
+        Box::new(UnionFindDecoder::new(graph.clone())),
+        Box::new(GreedyMatchingDecoder::new(graph.clone())),
+        Box::new(ExactMatchingDecoder::new(graph.clone())),
+        Box::new(ExactMatchingDecoder::new(graph.clone()).with_max_exact_defects(2)),
+    ]
+}
+
+/// The stats components both paths must agree on (the word path
+/// additionally fills the `*_words` triage counters, which the per-shot
+/// loop leaves at zero by construction).
+fn comparable(stats: CacheStats) -> (u64, u64, u64, u64) {
+    (stats.hits, stats.misses, stats.uncacheable, stats.prefilled)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_word_parallel_identity(
+        probabilities in probabilities(),
+        extra in extra_edges(),
+        syndromes in shots(8),
+    ) {
+        let n = 8;
+        let dem = random_dem(n, &probabilities, &extra);
+        let graph = DecodingGraph::from_dem(&dem);
+        let packed: Vec<(Vec<usize>, Vec<usize>)> = syndromes
+            .iter()
+            .map(|fired| (fired.clone(), Vec::new()))
+            .collect();
+        let chunk = SyndromeChunk::from_shots(n, 1, &packed);
+        let memo_configs = [
+            MemoConfig::default(),
+            MemoConfig::disabled(),
+            MemoConfig::default().with_max_defects(1),
+            MemoConfig::default().with_max_entries(3),
+        ];
+
+        for decoder in &all_decoders(&graph) {
+            for memo in memo_configs {
+                let mut per_shot = DecodeScratch::with_memo_config(memo);
+                let reference = decoder.decode_batch_per_shot(&chunk, &mut per_shot);
+
+                // Cold word path, then a warm second pass over the same
+                // chunk through the same scratch.
+                let mut word = DecodeScratch::with_memo_config(memo);
+                for pass in 0..2 {
+                    let batch = decoder.decode_batch(&chunk, &mut word);
+                    prop_assert_eq!(&batch, &reference, "pass {}", pass);
+                }
+                prop_assert_eq!(
+                    comparable(word.cache_stats()),
+                    {
+                        // Warm the per-shot reference a second time too so
+                        // the accumulated counters stay comparable.
+                        decoder.decode_batch_per_shot(&chunk, &mut per_shot);
+                        comparable(per_shot.cache_stats())
+                    },
+                    "hit/miss accounting must match the per-shot loop"
+                );
+                prop_assert_eq!(word.memo_entries(), per_shot.memo_entries());
+
+                // A shared warm snapshot adopted into a fresh scratch must
+                // not change a single bit either.
+                if let Some(snapshot) = {
+                    let mut warm = DecodeScratch::with_memo_config(memo);
+                    decoder.warm_memo_snapshot(chunk.num_detectors(), &mut warm)
+                } {
+                    let mut adopted = DecodeScratch::with_memo_config(memo);
+                    adopted.adopt_memo_snapshot(&snapshot);
+                    let batch = decoder.decode_batch(&chunk, &mut adopted);
+                    prop_assert_eq!(&batch, &reference, "adopted snapshot");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_is_identical_on_word_and_per_shot_paths(
+        seed in 0u64..1000,
+        p in 0.01f64..0.1,
+        kind in prop::sample::select(vec![
+            DecoderKind::UnionFind,
+            DecoderKind::GreedyMatching,
+            DecoderKind::ExactMatching,
+        ]),
+        early_stop in any::<bool>(),
+    ) {
+        let circuit = noisy_parity_circuit(p);
+        let shots = 2 * CANONICAL_BLOCK_SHOTS + 777;
+        for (chunk_shots, threads, memo) in [
+            (CANONICAL_BLOCK_SHOTS, 4, MemoConfig::default()),
+            (3 * CANONICAL_BLOCK_SHOTS, 2, MemoConfig::disabled()),
+            (CANONICAL_BLOCK_SHOTS, 2, MemoConfig::default().with_max_defects(1)),
+        ] {
+            let mut base = EstimatorConfig::default()
+                .with_chunk_shots(chunk_shots)
+                .with_num_threads(threads)
+                .with_memo(memo);
+            if early_stop {
+                // Identical early-stop points are part of the contract.
+                base = base.with_max_failures(25);
+            }
+            let word = estimate_logical_error_rate_with(
+                &circuit, shots, seed, kind,
+                &base.with_word_decode(true),
+            ).expect("valid annotations");
+            let per_shot = estimate_logical_error_rate_with(
+                &circuit, shots, seed, kind,
+                &base.with_word_decode(false),
+            ).expect("valid annotations");
+            prop_assert_eq!(
+                (word.shots, word.failures),
+                (per_shot.shots, per_shot.failures),
+                "chunk_shots={} threads={} memo={:?} early_stop={}",
+                chunk_shots, threads, memo, early_stop
+            );
+            // Sharing the warm snapshot must not move the estimate either.
+            let unshared = estimate_logical_error_rate_with(
+                &circuit, shots, seed, kind,
+                &base.with_shared_memo(false),
+            ).expect("valid annotations");
+            prop_assert_eq!((word.shots, word.failures), (unshared.shots, unshared.failures));
+        }
+    }
+}
+
+/// Rotated surface codes at the paper's sampled distances: the word path
+/// must match the per-shot path bit for bit on real syndrome streams for
+/// every decoder kind.
+#[test]
+fn surface_code_chunks_decode_identically_at_d3_d5_d7() {
+    use qccd_circuit::Instruction;
+    use qccd_qec::{memory_experiment, rotated_surface_code, MemoryBasis};
+
+    for d in [3usize, 5, 7] {
+        let code = rotated_surface_code(d);
+        let exp = memory_experiment(&code, d, MemoryBasis::Z);
+        let data = code.data_qubits();
+        let mut noisy = NoisyCircuit::new();
+        noisy.pad_qubits(exp.circuit.num_qubits());
+        let first_ancilla = code.ancilla_qubits()[0];
+        for instruction in exp.circuit.iter() {
+            if let Instruction::Reset(q) = instruction {
+                if *q == first_ancilla {
+                    for &dq in &data {
+                        noisy.push_noise(NoiseChannel::Depolarize1 { qubit: dq, p: 0.01 });
+                    }
+                }
+            }
+            noisy.push_gate(*instruction);
+        }
+        for det in exp.circuit.detectors() {
+            noisy.add_detector(det.clone());
+        }
+        for obs in exp.circuit.observables() {
+            noisy.add_observable(obs.clone());
+        }
+
+        let shots = 2048;
+        let sampler = sample_detector_chunks(&noisy, shots, 11, shots).expect("valid annotations");
+        let chunk = sampler.sample_chunk(0);
+        let dem = DetectorErrorModel::from_circuit(&noisy).expect("valid annotations");
+        let graph = DecodingGraph::from_dem(&dem);
+        for kind in [
+            DecoderKind::UnionFind,
+            DecoderKind::GreedyMatching,
+            DecoderKind::ExactMatching,
+        ] {
+            let decoder = kind.build(graph.clone());
+            let mut word = DecodeScratch::new();
+            let mut per_shot = DecodeScratch::new();
+            let from_word = decoder.decode_batch(&chunk, &mut word);
+            let reference = decoder.decode_batch_per_shot(&chunk, &mut per_shot);
+            assert_eq!(from_word, reference, "d={d} kind={kind:?}");
+            assert_eq!(
+                comparable(word.cache_stats()),
+                comparable(per_shot.cache_stats()),
+                "d={d} kind={kind:?}"
+            );
+            let stats = word.cache_stats();
+            assert_eq!(
+                stats.words(),
+                (shots as u64).div_ceil(64),
+                "every word is triaged exactly once (d={d} kind={kind:?})"
+            );
+        }
+    }
+}
+
+/// A three-qubit parity-check circuit with bit-flip noise; small enough that
+/// the property test stays fast at tens of thousands of shots.
+fn noisy_parity_circuit(p: f64) -> NoisyCircuit {
+    use qccd_circuit::{Detector, Instruction, LogicalObservable, MeasurementRef, QubitId};
+    let q = |i: u32| QubitId::new(i);
+    let mref = |i: u32, occurrence: u32| MeasurementRef::new(q(i), occurrence);
+    let mut c = NoisyCircuit::new();
+    for i in 0..3 {
+        c.push_gate(Instruction::Reset(q(i)));
+    }
+    for round in 0..2u32 {
+        c.push_gate(Instruction::Reset(q(2)));
+        c.push_noise(NoiseChannel::BitFlip { qubit: q(0), p });
+        c.push_gate(Instruction::Cnot {
+            control: q(0),
+            target: q(2),
+        });
+        c.push_gate(Instruction::Cnot {
+            control: q(1),
+            target: q(2),
+        });
+        c.push_gate(Instruction::Measure(q(2)));
+        if round == 0 {
+            c.add_detector(Detector::new(vec![mref(2, 0)]));
+        } else {
+            c.add_detector(Detector::new(vec![mref(2, 0), mref(2, 1)]));
+        }
+    }
+    c.push_gate(Instruction::Measure(q(0)));
+    c.add_observable(LogicalObservable::new(vec![mref(0, 0)]));
+    c
+}

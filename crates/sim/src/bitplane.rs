@@ -91,6 +91,22 @@ impl BitPlanes {
         (self.plane(plane)[bit / 64] >> (bit % 64)) & 1 == 1
     }
 
+    /// Iterates one word *column*: the word at index `word` of every plane,
+    /// in plane order. The arena is plane-major, so this is a strided walk —
+    /// callers that touch every plane of one word (the word-parallel decode
+    /// triage) use it instead of resolving each plane slice per plane.
+    pub fn column(&self, word: usize) -> impl Iterator<Item = u64> + '_ {
+        assert!(word < self.words_per_plane, "word {word} out of range");
+        // `get` instead of indexing so an arena with zero planes yields an
+        // empty column rather than panicking on the out-of-range start.
+        self.data
+            .get(word..)
+            .unwrap_or(&[])
+            .iter()
+            .step_by(self.words_per_plane)
+            .copied()
+    }
+
     /// XORs `source` into the given plane.
     pub fn xor_plane(&mut self, index: usize, source: &[u64]) {
         for (dst, &src) in self.plane_mut(index).iter_mut().zip(source) {
@@ -129,6 +145,16 @@ mod tests {
         assert!(!arena.bit(0, 0));
         assert!(arena.bit(1, 64));
         assert_eq!(arena.count_ones(0), 2);
+    }
+
+    #[test]
+    fn column_walks_one_word_of_every_plane() {
+        let mut arena = BitPlanes::new(2);
+        arena.push_plane(&[1, 2]);
+        arena.push_plane(&[3, 4]);
+        arena.push_plane(&[5, 6]);
+        assert_eq!(arena.column(0).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(arena.column(1).collect::<Vec<_>>(), vec![2, 4, 6]);
     }
 
     #[test]
