@@ -22,6 +22,13 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Duration;
+
+use qccd_decoder::DecoderKind;
+use qccd_service::net::{parse_arch, parse_decoder};
+use qccd_service::{
+    loadgen, DecodeProgram, DecodeService, LoadgenOptions, NetServer, ServiceConfig,
+};
 
 use crate::artifact::{validate_artifact_json, Artifact};
 use crate::cache::ArtifactCache;
@@ -37,6 +44,8 @@ commands:
   show <name>              print a spec as JSON
   run <name>... [options]  run one or more specs (or --all)
   check <file.json>        validate an emitted artifact against the schema
+  serve [options]          run the real-time decode service (TCP JSON-lines)
+  loadgen [options]        replay sampled syndromes against a decode service
 
 run options:
   --all                    run every registered spec
@@ -45,7 +54,33 @@ run options:
   --format <pretty|json|csv>   output format (default: pretty)
   --out <dir>              write artifacts to <dir>/<name>.<ext> instead of stdout
   --cache                  reuse cached results keyed by the spec content hash
-  --cache-dir <dir>        cache location (default: target/experiments/cache)";
+  --cache-dir <dir>        cache location (default: target/experiments/cache)
+
+serve options:
+  --addr <host:port>       listen address (default: 127.0.0.1:7878)
+  --workers <n>            decode worker threads (default: 2)
+  --deadline-us <us>       partial-word flush deadline (default: 500)
+  --batch-words <n>        64-shot words coalesced per decode job (default: 1)
+  --queue-shots <n>        per-stream in-flight bound (default: 4096)
+
+loadgen options:
+  --addr <host:port>       drive a remote `artifacts serve` (default mode)
+  --in-process             drive an in-process service instead of TCP
+  --topology <grid|linear|switch>   architecture under test (default: grid)
+  --capacity <n>           trap capacity (default: 2)
+  --wiring <standard|wise> wiring method (default: standard)
+  --improvement <x>        gate-improvement factor (default: 5.0)
+  --distance <d>           code distance (default: 3)
+  --decoder <union_find|greedy|exact>   decoder (default: union_find)
+  --streams <n>            concurrent syndrome streams (default: 4)
+  --shots <n>              total shots replayed (default: 16384)
+  --rate <shots/s>         target submission rate (default: unthrottled)
+  --seed <n>               replay sampling seed (default: 2026)
+  --no-verify              skip the offline bit-identity check and baseline
+  --shutdown               send a shutdown command after the run (TCP only)
+  --format <pretty|json>   report format (default: pretty)
+  --workers/--deadline-us/--batch-words/--queue-shots   service knobs
+                           (in-process only)";
 
 /// Output format of `artifacts run`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +226,233 @@ pub fn kind_summary(spec: &ExperimentSpec) -> &'static str {
     }
 }
 
+/// Parsed `artifacts serve` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Decode-service tuning.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse `{value}`"))
+}
+
+/// Consumes one service-tuning flag shared by `serve` and `loadgen
+/// --in-process`; returns `false` when the flag is not a service flag.
+fn parse_service_flag(
+    flag: &str,
+    iter: &mut std::slice::Iter<'_, String>,
+    config: &mut ServiceConfig,
+) -> Result<bool, String> {
+    match flag {
+        "--workers" => *config = config.with_workers(parse_number(flag, iter.next())?),
+        "--deadline-us" => {
+            *config =
+                config.with_flush_deadline(Duration::from_micros(parse_number(flag, iter.next())?));
+        }
+        "--batch-words" => *config = config.with_max_batch_words(parse_number(flag, iter.next())?),
+        "--queue-shots" => {
+            *config = config.with_stream_queue_shots(parse_number(flag, iter.next())?);
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parses the arguments of `artifacts serve` (everything after `serve`).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or missing values.
+pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
+    let mut options = ServeOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                options.addr = iter.next().ok_or("--addr needs a host:port")?.clone();
+            }
+            flag if parse_service_flag(flag, &mut iter, &mut options.service)? => {}
+            flag => return Err(format!("unknown serve flag `{flag}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Parsed `artifacts loadgen` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenCliOptions {
+    /// Remote server address (TCP mode).
+    pub addr: Option<String>,
+    /// Drive an in-process service instead of TCP.
+    pub in_process: bool,
+    /// Architecture under test (wire vocabulary).
+    pub topology: String,
+    /// Trap capacity.
+    pub capacity: usize,
+    /// Wiring method (wire vocabulary).
+    pub wiring: String,
+    /// Gate-improvement factor.
+    pub improvement: f64,
+    /// Code distance.
+    pub distance: usize,
+    /// Decoder.
+    pub decoder: DecoderKind,
+    /// Replay parameters.
+    pub load: LoadgenOptions,
+    /// Send a shutdown command after the run (TCP only).
+    pub shutdown: bool,
+    /// Emit the report as JSON instead of the pretty summary.
+    pub json: bool,
+    /// Service tuning (in-process only).
+    pub service: ServiceConfig,
+}
+
+impl Default for LoadgenCliOptions {
+    fn default() -> Self {
+        LoadgenCliOptions {
+            addr: None,
+            in_process: false,
+            topology: "grid".to_string(),
+            capacity: 2,
+            wiring: "standard".to_string(),
+            improvement: 5.0,
+            distance: 3,
+            decoder: DecoderKind::UnionFind,
+            load: LoadgenOptions::default(),
+            shutdown: false,
+            json: false,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Parses the arguments of `artifacts loadgen` (everything after
+/// `loadgen`).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags, missing values or a missing
+/// target (`--addr` or `--in-process`).
+pub fn parse_loadgen_options(args: &[String]) -> Result<LoadgenCliOptions, String> {
+    let mut options = LoadgenCliOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => options.addr = Some(iter.next().ok_or("--addr needs a host:port")?.clone()),
+            "--in-process" => options.in_process = true,
+            "--topology" => {
+                options.topology = iter.next().ok_or("--topology needs a value")?.clone();
+            }
+            "--capacity" => options.capacity = parse_number(arg, iter.next())?,
+            "--wiring" => options.wiring = iter.next().ok_or("--wiring needs a value")?.clone(),
+            "--improvement" => options.improvement = parse_number(arg, iter.next())?,
+            "--distance" => options.distance = parse_number(arg, iter.next())?,
+            "--decoder" => {
+                options.decoder = parse_decoder(iter.next().ok_or("--decoder needs a value")?)?;
+            }
+            "--streams" => options.load.streams = parse_number(arg, iter.next())?,
+            "--shots" => options.load.shots = parse_number(arg, iter.next())?,
+            "--rate" => options.load.rate = Some(parse_number(arg, iter.next())?),
+            "--seed" => options.load.seed = parse_number(arg, iter.next())?,
+            "--no-verify" => options.load.verify = false,
+            "--shutdown" => options.shutdown = true,
+            "--format" => match iter.next().map(String::as_str) {
+                Some("pretty") => options.json = false,
+                Some("json") => options.json = true,
+                other => return Err(format!("--format: pretty|json, got {other:?}")),
+            },
+            flag if parse_service_flag(flag, &mut iter, &mut options.service)? => {}
+            flag => return Err(format!("unknown loadgen flag `{flag}`")),
+        }
+    }
+    if options.addr.is_none() && !options.in_process {
+        return Err("loadgen needs a target: --addr <host:port> or --in-process".into());
+    }
+    if options.addr.is_some() && options.in_process {
+        return Err("--addr and --in-process are mutually exclusive".into());
+    }
+    if options.distance < 2 {
+        return Err("--distance must be at least 2".into());
+    }
+    Ok(options)
+}
+
+fn serve_command(options: &ServeOptions) -> Result<(), String> {
+    let server = NetServer::bind(&options.addr, options.service)
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    println!("decode service listening on {addr} ({:?})", options.service);
+    server.run().map_err(|e| e.to_string())
+}
+
+fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
+    let report = if options.in_process {
+        let arch = parse_arch(
+            &options.topology,
+            options.capacity,
+            &options.wiring,
+            options.improvement,
+        )?;
+        let program = DecodeProgram::compile(&arch, options.distance, options.decoder)
+            .map_err(|e| e.to_string())?;
+        let service = DecodeService::new(options.service);
+        let report = loadgen::run_in_process(
+            &service,
+            program.key(),
+            program.circuit(),
+            options.decoder,
+            &options.load,
+        )
+        .map_err(|e| e.to_string())?;
+        service.shutdown();
+        report
+    } else {
+        loadgen::run_over_tcp(
+            options.addr.as_deref().expect("validated by the parser"),
+            (&options.topology, &options.wiring),
+            options.capacity,
+            options.improvement,
+            options.distance,
+            options.decoder,
+            &options.load,
+            options.shutdown,
+        )?
+    };
+    if options.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json())
+                .expect("report serialization cannot fail")
+        );
+    } else {
+        println!("{}", report.render_pretty());
+    }
+    if report.mismatches > 0 {
+        return Err(format!(
+            "{} corrections differ from the offline decode",
+            report.mismatches
+        ));
+    }
+    Ok(())
+}
+
 fn run_command(options: &RunOptions, registry: &ExperimentRegistry) -> Result<(), String> {
     let names: Vec<String> = if options.all {
         registry.names().iter().map(|s| s.to_string()).collect()
@@ -304,6 +566,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             let options = parse_run_options(&args[1..])?;
             run_command(&options, &registry)
         }
+        Some("serve") => serve_command(&parse_serve_options(&args[1..])?),
+        Some("loadgen") => loadgen_command(&parse_loadgen_options(&args[1..])?),
         Some("check") => {
             let path = args.get(1).ok_or("check needs a JSON file path")?;
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -528,6 +792,111 @@ mod tests {
         assert!(run(&strings(&["show", "fig09"])).is_ok());
         assert!(run(&strings(&["--help"])).is_ok());
         assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn serve_options_parse_and_reject() {
+        let defaults = parse_serve_options(&strings(&[])).unwrap();
+        assert_eq!(defaults, ServeOptions::default());
+        let options = parse_serve_options(&strings(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "4",
+            "--deadline-us",
+            "250",
+            "--batch-words",
+            "2",
+            "--queue-shots",
+            "128",
+        ]))
+        .unwrap();
+        assert_eq!(options.addr, "0.0.0.0:9000");
+        assert_eq!(options.service.workers, 4);
+        assert_eq!(options.service.flush_deadline, Duration::from_micros(250));
+        assert_eq!(options.service.max_batch_words, 2);
+        assert_eq!(options.service.stream_queue_shots, 128);
+        assert!(parse_serve_options(&strings(&["--workers"])).is_err());
+        assert!(parse_serve_options(&strings(&["--workers", "x"])).is_err());
+        assert!(parse_serve_options(&strings(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_options_parse_and_reject() {
+        // A target is mandatory.
+        assert!(parse_loadgen_options(&strings(&[])).is_err());
+        assert!(parse_loadgen_options(&strings(&["--addr", "x:1", "--in-process"])).is_err());
+        assert!(parse_loadgen_options(&strings(&["--in-process", "--distance", "1"])).is_err());
+        assert!(parse_loadgen_options(&strings(&["--in-process", "--decoder", "magic"])).is_err());
+
+        let options = parse_loadgen_options(&strings(&[
+            "--addr",
+            "127.0.0.1:7878",
+            "--topology",
+            "switch",
+            "--capacity",
+            "5",
+            "--wiring",
+            "wise",
+            "--improvement",
+            "10",
+            "--distance",
+            "5",
+            "--decoder",
+            "greedy",
+            "--streams",
+            "8",
+            "--shots",
+            "4096",
+            "--rate",
+            "50000",
+            "--seed",
+            "7",
+            "--no-verify",
+            "--shutdown",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(options.addr.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(options.topology, "switch");
+        assert_eq!(options.capacity, 5);
+        assert_eq!(options.wiring, "wise");
+        assert_eq!(options.improvement, 10.0);
+        assert_eq!(options.distance, 5);
+        assert_eq!(options.decoder, qccd_decoder::DecoderKind::GreedyMatching);
+        assert_eq!(options.load.streams, 8);
+        assert_eq!(options.load.shots, 4096);
+        assert_eq!(options.load.rate, Some(50_000.0));
+        assert_eq!(options.load.seed, 7);
+        assert!(!options.load.verify);
+        assert!(options.shutdown);
+        assert!(options.json);
+
+        let in_process =
+            parse_loadgen_options(&strings(&["--in-process", "--workers", "3"])).unwrap();
+        assert!(in_process.in_process);
+        assert_eq!(in_process.service.workers, 3);
+    }
+
+    #[test]
+    fn loadgen_in_process_runs_end_to_end() {
+        // The smallest sensible run: d=2, a few hundred shots, verified
+        // against the offline decode — the CLI-level counterpart of the
+        // service property suite.
+        run(&strings(&[
+            "loadgen",
+            "--in-process",
+            "--distance",
+            "2",
+            "--shots",
+            "256",
+            "--streams",
+            "2",
+            "--format",
+            "json",
+        ]))
+        .expect("in-process loadgen succeeds and verifies");
     }
 
     #[test]

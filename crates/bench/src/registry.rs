@@ -215,19 +215,51 @@ fn lambda_cell(fit: &Option<LambdaFit>) -> String {
     }
 }
 
+/// `z` of the 95% confidence bands propagated into required-distance /
+/// electrode / data-rate columns.
+const CI_Z: f64 = 1.96;
+
+/// The CI-banded required distance for `target`: the point estimate, the
+/// rendered `d=… [lo, hi]` cell fragment, and the matching JSON object. The
+/// band evaluates the fit at the Λ slope confidence edges
+/// ([`LambdaFit::distance_range_for_target`]); an above-threshold shallow
+/// edge renders as an unbounded `inf` upper edge.
+fn distance_with_ci(fit: &LambdaFit, target: f64) -> Option<(usize, String, Value)> {
+    let d = fit.distance_for_target(target)?;
+    let (lo, hi) = fit
+        .distance_range_for_target(target, CI_Z)
+        .expect("point-estimate distance exists");
+    let cell = match hi {
+        Some(hi) if (lo, hi) == (d, d) => format!("d={d}"),
+        Some(hi) => format!("d={d} [{lo}, {hi}]"),
+        None => format!("d={d} [{lo}, inf)"),
+    };
+    let json = serde_json::json!({
+        "distance": d as u64,
+        "ci95_low": lo as u64,
+        "ci95_high": match hi {
+            Some(hi) => Value::from(hi as u64),
+            None => Value::Null,
+        },
+    });
+    Some((d, cell, json))
+}
+
 /// The distance required to reach `target` under `fit`, together with the
 /// resource estimate of the device sized for that distance — the common core
-/// of the `Electrodes` and `DataRate` outputs.
+/// of the `Electrodes` and `DataRate` outputs. The returned cell fragment
+/// and JSON carry the 95% CI distance band of [`distance_with_ci`].
 fn resources_at_target(
     fit: &Option<LambdaFit>,
     target: f64,
     configuration: &ArchitectureConfig,
-) -> Option<(usize, qccd_hardware::ResourceEstimate)> {
-    let required_d = fit.as_ref()?.distance_for_target(target)?;
+) -> Option<(String, Value, qccd_hardware::ResourceEstimate)> {
+    let (required_d, cell, json) = distance_with_ci(fit.as_ref()?, target)?;
     let layout = rotated_surface_code(required_d.max(2));
     let device = configuration.device_for(layout.num_qubits());
     Some((
-        required_d,
+        cell,
+        json,
         estimate_resources(&device, configuration.wiring),
     ))
 }
@@ -310,34 +342,36 @@ fn run_ler_sweep_spec(kind: &LerSweepSpec, seed: u64) -> RunnerOutput {
                             row.push(fmt_f64(p));
                             projected.push(serde_json::json!({"d": d, "ler": p}));
                         }
-                        let required = fit.distance_for_target(*target);
-                        row.push(
-                            required
-                                .map(|d| d.to_string())
-                                .unwrap_or_else(|| "-".into()),
-                        );
                         entry["projection"] = Value::Array(projected);
-                        entry["required_distance"] = Value::from(required);
+                        match distance_with_ci(&fit, *target) {
+                            Some((d, cell, ci_json)) => {
+                                row.push(cell);
+                                entry["required_distance"] = Value::from(d as u64);
+                                entry["required_distance_ci"] = ci_json;
+                            }
+                            None => {
+                                row.push("-".to_string());
+                                entry["required_distance"] = Value::Null;
+                                entry["required_distance_ci"] = Value::Null;
+                            }
+                        }
                     }
                     _ => {
                         row.extend(vec!["above-threshold".to_string(); distances.len()]);
                         row.push("-".to_string());
                         entry["projection"] = Value::Array(Vec::new());
                         entry["required_distance"] = Value::Null;
+                        entry["required_distance_ci"] = Value::Null;
                     }
                 },
                 LerOutput::Electrodes { targets } => {
                     for &target in targets {
                         match resources_at_target(&curve.fit, target, configuration) {
-                            Some((required_d, resources)) => {
-                                entry[format!("target_{target:e}")] = serde_json::json!({
-                                    "distance": required_d,
-                                    "electrodes": resources.total_electrodes,
-                                });
-                                row.push(format!(
-                                    "{} (d={required_d})",
-                                    resources.total_electrodes
-                                ));
+                            Some((cell, mut ci_json, resources)) => {
+                                ci_json["electrodes"] =
+                                    serde_json::json!(resources.total_electrodes);
+                                row.push(format!("{} ({cell})", resources.total_electrodes));
+                                entry[format!("target_{target:e}")] = ci_json;
                             }
                             None => row.push("above threshold".to_string()),
                         }
@@ -349,19 +383,17 @@ fn run_ler_sweep_spec(kind: &LerSweepSpec, seed: u64) -> RunnerOutput {
                 } => {
                     for &target in targets {
                         match resources_at_target(&curve.fit, target, configuration) {
-                            Some((required_d, resources)) => {
+                            Some((ci_cell, mut ci_json, resources)) => {
                                 let mut cell =
                                     format!("{} Gbit/s", fmt_f64(resources.data_rate_gbit_s));
-                                let mut at_target = serde_json::json!({
-                                    "distance": required_d,
-                                    "data_rate_gbit_s": resources.data_rate_gbit_s,
-                                });
+                                ci_json["data_rate_gbit_s"] =
+                                    serde_json::json!(resources.data_rate_gbit_s);
                                 if *include_power {
                                     cell.push_str(&format!(", {} W", fmt_f64(resources.power_w)));
-                                    at_target["power_w"] = Value::from(resources.power_w);
+                                    ci_json["power_w"] = Value::from(resources.power_w);
                                 }
-                                row.push(format!("{cell} (d={required_d})"));
-                                entry[format!("target_{target:e}")] = at_target;
+                                row.push(format!("{cell} ({ci_cell})"));
+                                entry[format!("target_{target:e}")] = ci_json;
                             }
                             None => row.push("above threshold".to_string()),
                         }
@@ -370,8 +402,8 @@ fn run_ler_sweep_spec(kind: &LerSweepSpec, seed: u64) -> RunnerOutput {
                 LerOutput::ShotTime { targets } => {
                     let toolflow = Toolflow::new(configuration.clone());
                     for &target in targets {
-                        match curve.fit.and_then(|f| f.distance_for_target(target)) {
-                            Some(required_d) => {
+                        match curve.fit.as_ref().and_then(|f| distance_with_ci(f, target)) {
+                            Some((required_d, ci_cell, mut ci_json)) => {
                                 // Shot time at the required distance: measure
                                 // directly if the compile succeeds; a shot is
                                 // d rounds.
@@ -379,11 +411,9 @@ fn run_ler_sweep_spec(kind: &LerSweepSpec, seed: u64) -> RunnerOutput {
                                     .evaluate(required_d.clamp(2, 13), false)
                                     .map(|m| m.qec_round_time_us * required_d as f64)
                                     .unwrap_or(f64::NAN);
-                                row.push(format!("{} us (d={required_d})", fmt_f64(shot)));
-                                entry[format!("target_{target:e}")] = serde_json::json!({
-                                    "distance": required_d,
-                                    "shot_time_us": shot,
-                                });
+                                row.push(format!("{} us ({ci_cell})", fmt_f64(shot)));
+                                ci_json["shot_time_us"] = Value::from(shot);
+                                entry[format!("target_{target:e}")] = ci_json;
                             }
                             None => row.push("above threshold".to_string()),
                         }
@@ -1203,6 +1233,41 @@ mod tests {
         assert_eq!(artifact.metadata.spec_name, "fig09");
         assert!(artifact.metadata.thread_invariant);
         crate::artifact::validate_artifact_json(&artifact.to_json()).unwrap();
+    }
+
+    #[test]
+    fn required_distance_cells_carry_ci_bands() {
+        // A synthetic tight fit: slope −0.8 ± 0.05.
+        let fit = LambdaFit {
+            log_intercept: -1.2,
+            log_slope: -0.8,
+            log_intercept_std_error: 0.1,
+            log_slope_std_error: 0.05,
+        };
+        let (d, cell, json) = distance_with_ci(&fit, 1e-9).unwrap();
+        assert_eq!(d, fit.distance_for_target(1e-9).unwrap());
+        let lo = json.get("ci95_low").and_then(Value::as_u64).unwrap() as usize;
+        let hi = json.get("ci95_high").and_then(Value::as_u64).unwrap() as usize;
+        assert!(lo <= d && d <= hi, "{lo} <= {d} <= {hi}");
+        assert!(cell.starts_with(&format!("d={d}")), "{cell}");
+        assert!(
+            cell.contains(&format!("[{lo}, {hi}]")) || lo == hi,
+            "{cell}"
+        );
+        // A slope whose CI crosses zero renders an unbounded upper edge.
+        let wobbly = LambdaFit {
+            log_slope_std_error: 0.5,
+            ..fit
+        };
+        let (_, cell, json) = distance_with_ci(&wobbly, 1e-9).unwrap();
+        assert!(cell.ends_with("inf)"), "{cell}");
+        assert!(json.get("ci95_high").unwrap().is_null());
+        // Above threshold: no distance, no band.
+        let above = LambdaFit {
+            log_slope: 0.3,
+            ..fit
+        };
+        assert!(distance_with_ci(&above, 1e-9).is_none());
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arch;
+pub mod compile_cache;
 mod compiler;
 mod error;
 mod lower;
@@ -58,6 +59,7 @@ pub mod theoretical;
 mod toolflow;
 
 pub use arch::ArchitectureConfig;
+pub use compile_cache::{ProgramCache, ProgramCacheStats};
 pub use compiler::{CompiledProgram, Compiler};
 pub use error::CompileError;
 pub use lower::lower_to_noisy_circuit;

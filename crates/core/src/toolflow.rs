@@ -16,7 +16,7 @@ use qccd_decoder::{
 use qccd_hardware::estimate_resources;
 use qccd_qec::{rotated_surface_code, CodeLayout, MemoryBasis};
 
-use crate::{ArchitectureConfig, CompileError, Compiler, Metrics};
+use crate::{ArchitectureConfig, CompileError, CompiledProgram, Compiler, Metrics};
 
 /// One declarative evaluation point: everything [`Toolflow::run_spec`] needs
 /// to produce a [`Metrics`] — the architecture under test, the workload
@@ -172,6 +172,12 @@ impl Toolflow {
     /// [`Toolflow::evaluate`] returning the metrics together with the
     /// decoder cache statistics of the Monte-Carlo run.
     ///
+    /// Rotated-surface-code compiles are memoized in the process-wide
+    /// [`compile_cache`](crate::compile_cache): every sweep point, spec and
+    /// decode-service stream sharing this `(architecture, distance)` pair
+    /// reuses the same compiled programs. Compilation is pure, so caching
+    /// never changes the metrics.
+    ///
     /// # Errors
     ///
     /// Propagates [`CompileError`]s from the compiler.
@@ -181,7 +187,20 @@ impl Toolflow {
         estimate_ler: bool,
     ) -> Result<ToolflowReport, CompileError> {
         let layout = rotated_surface_code(distance);
-        self.evaluate_layout_report(&layout, distance, estimate_ler)
+        let rounds = distance.max(1);
+        let cache = crate::compile_cache::shared();
+        let compiler = Compiler::new(self.arch.clone());
+        // One round for the cycle-time and movement metrics.
+        let round_program = cache.get_or_compile(
+            &crate::compile_cache::rounds_key(&self.arch, distance, 1),
+            || compiler.compile_rounds(&layout, 1),
+        )?;
+        // The full experiment for shot time and (optionally) the LER.
+        let shot_program = cache.get_or_compile(
+            &crate::compile_cache::memory_key(&self.arch, distance, rounds, MemoryBasis::Z),
+            || compiler.compile_memory_experiment(&layout, rounds, MemoryBasis::Z),
+        )?;
+        Ok(self.report_from_programs(&layout, &round_program, &shot_program, estimate_ler))
     }
 
     /// Evaluates the architecture on an arbitrary code layout, running
@@ -218,7 +237,19 @@ impl Toolflow {
         // The full experiment for shot time and (optionally) the LER.
         let shot_program =
             compiler.compile_memory_experiment(layout, rounds.max(1), MemoryBasis::Z)?;
+        Ok(self.report_from_programs(layout, &round_program, &shot_program, estimate_ler))
+    }
 
+    /// The model/estimate stage shared by the cached rotated-surface path
+    /// ([`Toolflow::evaluate_report`]) and the arbitrary-layout path
+    /// ([`Toolflow::evaluate_layout_report`]).
+    fn report_from_programs(
+        &self,
+        layout: &CodeLayout,
+        round_program: &CompiledProgram,
+        shot_program: &CompiledProgram,
+        estimate_ler: bool,
+    ) -> ToolflowReport {
         let (logical_error, decode_cache) = if estimate_ler {
             let noisy = shot_program.to_noisy_circuit();
             let report = estimate_logical_error_rate_report(
@@ -235,7 +266,7 @@ impl Toolflow {
         };
 
         let resources = estimate_resources(&round_program.device, self.arch.wiring);
-        Ok(ToolflowReport {
+        ToolflowReport {
             metrics: Metrics {
                 architecture: self.arch.label(),
                 code_distance: layout.distance(),
@@ -250,7 +281,7 @@ impl Toolflow {
                 logical_error,
             },
             decode_cache,
-        })
+        }
     }
 
     /// Estimates the logical error rate at each of the given distances,
@@ -461,6 +492,26 @@ mod tests {
         assert_eq!(spec.estimator, toolflow.estimator);
         assert_eq!(spec.distance, 5);
         assert!(spec.estimate_ler);
+    }
+
+    #[test]
+    fn cached_and_uncached_compiles_produce_identical_metrics() {
+        // evaluate_report routes through the shared program cache; the
+        // uncached arbitrary-layout path must produce the same metrics.
+        let toolflow = Toolflow::new(ArchitectureConfig::recommended(5.0)).with_shots(256);
+        let cached = toolflow.evaluate(3, true).unwrap();
+        let uncached = toolflow
+            .evaluate_layout(&rotated_surface_code(3), 3, true)
+            .unwrap();
+        assert_eq!(cached, uncached);
+        // A second cached evaluation is a pure replay.
+        let again = toolflow.evaluate(3, true).unwrap();
+        assert_eq!(cached, again);
+        let stats = crate::compile_cache::shared().stats();
+        assert!(
+            stats.hits >= 2,
+            "repeat evaluation hits the cache: {stats:?}"
+        );
     }
 
     #[test]

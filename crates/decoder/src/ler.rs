@@ -27,10 +27,12 @@
 //!
 //! With [`EstimatorConfig::target_std_error`] or
 //! [`EstimatorConfig::max_failures`] set, the pipeline stops early once the
-//! criterion is met on a *canonical prefix* of chunks: workers may race
-//! ahead, but any chunk beyond the deterministic stopping point is
-//! discarded, so early-stopped estimates are still reproducible for a fixed
-//! chunk size and independent of the thread count.
+//! criterion is met on a *canonical prefix* of sampling **blocks** (chunks
+//! are merely groups of consecutive blocks, so the stopping decision never
+//! sees chunk boundaries): workers may race ahead, but any block beyond the
+//! deterministic stopping point is discarded, so early-stopped estimates are
+//! bit-identical regardless of the configured chunk size *and* the thread
+//! count — the same invariance the un-stopped estimate enjoys.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -216,7 +218,10 @@ pub struct EstimateReport {
     /// [`estimate_logical_error_rate_with`] returns).
     pub estimate: LogicalErrorEstimate,
     /// Cache statistics summed over every chunk that contributed to the
-    /// estimate (the canonical prefix under early stopping). The word-path
+    /// estimate. Under early stopping the estimate cuts at a canonical
+    /// *block*, but the chunk containing the stopping block was decoded in
+    /// one piece, so its cache delta is included whole — counters therefore
+    /// cover every decoded chunk of the canonical prefix. The word-path
     /// counters (`quiet_words` / `sparse_words` / `dense_words`) and
     /// `uncacheable` depend only on the sampled syndromes and the memo cap,
     /// so they are invariant across thread counts; the hit/miss *split*
@@ -228,23 +233,28 @@ pub struct EstimateReport {
 }
 
 /// Per-chunk tally, folded in canonical chunk order.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct ChunkOutcome {
     shots: usize,
     failures: usize,
     cache: CacheStats,
+    /// Failures per canonical sampling block of this chunk, in block order.
+    /// Blocks — not chunks — are the units of the early-stop decision, so
+    /// the stopping point is invariant under the chunk size.
+    block_failures: Vec<u32>,
 }
 
 /// Counts the shots of a decoded chunk whose predicted observable flips
-/// disagree with the actual flips, word-parallel. Returns the failure count
-/// and the cache-counter delta this chunk contributed.
+/// disagree with the actual flips, word-parallel. Returns the per-block
+/// failure counts (in canonical block order) and the cache-counter delta
+/// this chunk contributed.
 fn count_failures(
     chunk: &SyndromeChunk,
     decoder: &dyn Decoder,
     scratch: &mut DecodeScratch,
     config: &EstimatorConfig,
     snapshot: Option<&MemoSnapshot>,
-) -> (usize, CacheStats) {
+) -> (Vec<u32>, CacheStats) {
     scratch.set_memo_config(config.memo);
     // Baseline for this chunk's counter delta. When the memo will engage
     // for a decoder the scratch does not belong to yet, the claim (or
@@ -282,35 +292,60 @@ fn count_failures(
     if let Some(last) = mismatch.last_mut() {
         *last &= chunk.tail_mask();
     }
-    let failures = mismatch.iter().map(|w| w.count_ones() as usize).sum();
-    (failures, cache)
+    // Chunks are whole canonical blocks (the last block of the last chunk
+    // may be ragged), so every block occupies a fixed window of plane words
+    // and the per-block failure split falls out of one popcount pass.
+    const BLOCK_WORDS: usize = CANONICAL_BLOCK_SHOTS / 64;
+    let block_failures: Vec<u32> = mismatch
+        .chunks(BLOCK_WORDS)
+        .map(|words| words.iter().map(|w| w.count_ones()).sum())
+        .collect();
+    (block_failures, cache)
 }
 
-/// Scans `outcomes[from..]`, advancing the running `(shots, failures)`
-/// totals, and returns the first absolute chunk index at which the
-/// early-stop criterion is met on the canonical prefix, if any. Resumable so
-/// the wave loop never rescans already-counted chunks.
-fn prefix_stop_index_from(
+/// Whether the early-stop criterion is met at the given running totals.
+fn stop_criterion_met(shots: usize, failures: usize, config: &EstimatorConfig) -> bool {
+    if let Some(max_failures) = config.max_failures {
+        if failures >= max_failures {
+            return true;
+        }
+    }
+    if let Some(target) = config.target_std_error {
+        if failures > 0 {
+            let estimate = LogicalErrorEstimate::from_counts(shots, failures);
+            if estimate.std_error <= target {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Number of shots in block `block` of a chunk holding `chunk_shots` shots.
+fn shots_in_block(chunk_shots: usize, block: usize) -> usize {
+    (chunk_shots - block * CANONICAL_BLOCK_SHOTS).min(CANONICAL_BLOCK_SHOTS)
+}
+
+/// Scans the canonical **blocks** of `outcomes[from..]`, advancing the
+/// running `(shots, failures)` totals block by block, and returns the first
+/// `(chunk index, block index within chunk)` at which the early-stop
+/// criterion is met, if any. Blocks are chunk-size-invariant, so the
+/// stopping point (and therefore the estimate) is a pure function of the
+/// sampled bits. Resumable so the wave loop never rescans already-counted
+/// chunks.
+fn prefix_stop_block_from(
     outcomes: &[ChunkOutcome],
     from: usize,
     shots: &mut usize,
     failures: &mut usize,
     config: &EstimatorConfig,
-) -> Option<usize> {
+) -> Option<(usize, usize)> {
     for (index, outcome) in outcomes.iter().enumerate().skip(from) {
-        *shots += outcome.shots;
-        *failures += outcome.failures;
-        if let Some(max_failures) = config.max_failures {
-            if *failures >= max_failures {
-                return Some(index);
-            }
-        }
-        if let Some(target) = config.target_std_error {
-            if *failures > 0 {
-                let estimate = LogicalErrorEstimate::from_counts(*shots, *failures);
-                if estimate.std_error <= target {
-                    return Some(index);
-                }
+        for (block, &block_failures) in outcome.block_failures.iter().enumerate() {
+            *shots += shots_in_block(outcome.shots, block);
+            *failures += block_failures as usize;
+            if stop_criterion_met(*shots, *failures, config) {
+                return Some((index, block));
             }
         }
     }
@@ -341,7 +376,7 @@ fn run_pipeline(
                 std::cell::RefCell::new(DecodeScratch::new());
         }
         let chunk = sampler.sample_chunk(index);
-        let (failures, cache) = SCRATCH.with(|scratch| {
+        let (block_failures, cache) = SCRATCH.with(|scratch| {
             count_failures(
                 &chunk,
                 decoder,
@@ -352,16 +387,18 @@ fn run_pipeline(
         });
         ChunkOutcome {
             shots: chunk.num_shots(),
-            failures,
+            failures: block_failures.iter().map(|&f| f as usize).sum(),
             cache,
+            block_failures,
         }
     };
 
     let outcomes = if config.early_stopping() {
         // Process chunks in contiguous waves so the stopping decision is a
-        // pure function of the canonical chunk order: workers may decode a
-        // few chunks past the stopping point, but those are discarded below,
-        // so the estimate does not depend on the thread count.
+        // pure function of the canonical block order: workers may decode a
+        // few chunks past the stopping point, but blocks beyond it are
+        // discarded below, so the estimate depends on neither the thread
+        // count nor the chunk size.
         let wave = 2 * rayon::current_num_threads().max(1);
         let mut collected = Vec::with_capacity(num_chunks.min(4 * wave));
         let mut running = (0usize, 0usize);
@@ -375,7 +412,7 @@ fn run_pipeline(
                     .map(decode_chunk)
                     .collect::<Vec<_>>(),
             );
-            stop = prefix_stop_index_from(&collected, next, &mut running.0, &mut running.1, config);
+            stop = prefix_stop_block_from(&collected, next, &mut running.0, &mut running.1, config);
             next = end;
             if stop.is_some() {
                 break;
@@ -389,13 +426,28 @@ fn run_pipeline(
     };
     let (outcomes, stop) = outcomes;
 
-    let cut = stop.map(|index| index + 1).unwrap_or(outcomes.len());
     let mut shots = 0usize;
     let mut failures = 0usize;
     let mut cache = CacheStats::default();
-    for outcome in &outcomes[..cut] {
+    let (full_chunks, partial) = match stop {
+        // The stopping chunk contributes only its blocks up to (and
+        // including) the stopping block; its cache delta still covers the
+        // whole chunk (the chunk was decoded in one piece — see
+        // `EstimateReport::cache`).
+        Some((chunk, block)) => (chunk, Some(block)),
+        None => (outcomes.len(), None),
+    };
+    for outcome in &outcomes[..full_chunks] {
         shots += outcome.shots;
         failures += outcome.failures;
+        cache.merge(&outcome.cache);
+    }
+    if let Some(block) = partial {
+        let outcome = &outcomes[full_chunks];
+        for b in 0..=block {
+            shots += shots_in_block(outcome.shots, b);
+            failures += outcome.block_failures[b] as usize;
+        }
         cache.merge(&outcome.cache);
     }
     EstimateReport {
@@ -539,6 +591,34 @@ impl LambdaFit {
         }
         let d = (target.ln() - self.log_intercept) / self.log_slope;
         Some(d.ceil().max(1.0) as usize)
+    }
+
+    /// The required-distance range at the slope confidence edges: evaluates
+    /// [`LambdaFit::distance_for_target`] with the slope shifted by
+    /// `∓ z·σ_slope` (the same slope-only convention as
+    /// [`LambdaFit::lambda_confidence_interval`], e.g. `z = 1.96` for 95%).
+    ///
+    /// Returns `(optimistic, pessimistic)`: the steeper-suppression edge
+    /// needs the *smaller* distance, the shallower edge the larger one. The
+    /// pessimistic edge is `None` when the shallow slope is not below
+    /// threshold — at that confidence edge no finite distance reaches the
+    /// target. Returns `None` overall exactly when
+    /// [`LambdaFit::distance_for_target`] does.
+    pub fn distance_range_for_target(&self, target: f64, z: f64) -> Option<(usize, Option<usize>)> {
+        self.distance_for_target(target)?;
+        let at_slope = |slope: f64| {
+            LambdaFit {
+                log_slope: slope,
+                ..*self
+            }
+            .distance_for_target(target)
+        };
+        let steep = at_slope(self.log_slope - z.abs() * self.log_slope_std_error);
+        let shallow = at_slope(self.log_slope + z.abs() * self.log_slope_std_error);
+        Some((
+            steep.expect("steeper-than-point slope stays below threshold"),
+            shallow,
+        ))
     }
 }
 
@@ -792,6 +872,91 @@ mod tests {
     }
 
     #[test]
+    fn early_stop_is_invariant_under_chunk_size() {
+        // The stop decision is canonical in block units, so the early-stopped
+        // estimate must be bit-identical whatever the chunk size (and thread
+        // count) — not just deterministic per chunk size.
+        let p = 0.05;
+        let code = repetition_code(3);
+        let circuit = noisy_memory(&code, 2, p);
+        let shots = 16 * CANONICAL_BLOCK_SHOTS;
+        let reference = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            7,
+            DecoderKind::UnionFind,
+            &EstimatorConfig::default()
+                .with_chunk_shots(CANONICAL_BLOCK_SHOTS)
+                .with_num_threads(1)
+                .with_max_failures(10),
+        )
+        .unwrap();
+        for (chunk_shots, threads) in [
+            (CANONICAL_BLOCK_SHOTS, 3),
+            (3 * CANONICAL_BLOCK_SHOTS, 2),
+            (5 * CANONICAL_BLOCK_SHOTS, 1),
+            (usize::MAX, 4),
+        ] {
+            let est = estimate_logical_error_rate_with(
+                &circuit,
+                shots,
+                7,
+                DecoderKind::UnionFind,
+                &EstimatorConfig::default()
+                    .with_chunk_shots(chunk_shots)
+                    .with_num_threads(threads)
+                    .with_max_failures(10),
+            )
+            .unwrap();
+            assert_eq!(
+                (est.shots, est.failures),
+                (reference.shots, reference.failures),
+                "chunk_shots={chunk_shots} threads={threads}"
+            );
+        }
+        // Same invariance for the std-error criterion.
+        let by_std = |chunk_shots: usize| {
+            estimate_logical_error_rate_with(
+                &circuit,
+                shots,
+                7,
+                DecoderKind::UnionFind,
+                &EstimatorConfig::default()
+                    .with_chunk_shots(chunk_shots)
+                    .with_target_std_error(5e-3),
+            )
+            .unwrap()
+        };
+        let a = by_std(CANONICAL_BLOCK_SHOTS);
+        let b = by_std(4 * CANONICAL_BLOCK_SHOTS);
+        assert_eq!((a.shots, a.failures), (b.shots, b.failures));
+    }
+
+    #[test]
+    fn early_stop_cuts_mid_chunk_at_the_stopping_block() {
+        // With one huge chunk, the block-canonical stop must cut inside it:
+        // the decoded-shot count matches the fine-chunked run, not the whole
+        // chunk.
+        let p = 0.05;
+        let code = repetition_code(3);
+        let circuit = noisy_memory(&code, 2, p);
+        let shots = 16 * CANONICAL_BLOCK_SHOTS;
+        let config = EstimatorConfig::default()
+            .with_chunk_shots(usize::MAX)
+            .with_max_failures(10);
+        let est =
+            estimate_logical_error_rate_with(&circuit, shots, 7, DecoderKind::UnionFind, &config)
+                .unwrap();
+        assert!(est.failures >= 10);
+        assert!(
+            est.shots < shots,
+            "the single-chunk run must still stop early ({} shots)",
+            est.shots
+        );
+        assert_eq!(est.shots % CANONICAL_BLOCK_SHOTS, 0, "cuts at a block");
+    }
+
+    #[test]
     fn early_stop_on_std_error_reaches_target() {
         let p = 0.08;
         let code = repetition_code(3);
@@ -950,5 +1115,29 @@ mod tests {
         let fit = fit_lambda(&[(3, 0.01), (5, 0.02), (7, 0.04)]).unwrap();
         assert!(!fit.below_threshold());
         assert_eq!(fit.distance_for_target(1e-9), None);
+        assert_eq!(fit.distance_range_for_target(1e-9, 1.96), None);
+    }
+
+    #[test]
+    fn distance_range_brackets_the_point_distance() {
+        let fit =
+            fit_lambda_weighted(&[(3, 0.1, 0.01), (5, 0.02, 0.004), (7, 0.004, 0.001)]).unwrap();
+        let d = fit.distance_for_target(1e-9).unwrap();
+        let (lo, hi) = fit.distance_range_for_target(1e-9, 1.96).unwrap();
+        let hi = hi.expect("shallow edge still below threshold here");
+        assert!(lo <= d && d <= hi, "{lo} <= {d} <= {hi}");
+        // z = 0 collapses onto the point estimate.
+        assert_eq!(fit.distance_range_for_target(1e-9, 0.0), Some((d, Some(d))));
+        // A fit whose slope uncertainty spans zero has an unbounded
+        // pessimistic edge.
+        let wobbly = LambdaFit {
+            log_intercept: -1.0,
+            log_slope: -0.1,
+            log_intercept_std_error: 0.1,
+            log_slope_std_error: 0.2,
+        };
+        let (lo, hi) = wobbly.distance_range_for_target(1e-9, 1.96).unwrap();
+        assert!(lo >= 1);
+        assert_eq!(hi, None);
     }
 }

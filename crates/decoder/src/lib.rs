@@ -234,6 +234,25 @@ pub trait Decoder {
         batch::decode_batch_words(self, chunk, scratch)
     }
 
+    /// [`Decoder::decode_batch`] after adopting a shared warm
+    /// [`MemoSnapshot`] into `scratch` (a no-op when the scratch already
+    /// belongs to the snapshot's decoder, so calling this per batch is
+    /// free). This is the entry point online services use: every batch — a
+    /// full 64-shot word, several words, or a deadline-flushed *partial*
+    /// word — decodes against the same warm table regardless of which
+    /// worker picks it up, and adoption never changes decoded bits.
+    fn decode_batch_with_snapshot(
+        &self,
+        chunk: &SyndromeChunk,
+        scratch: &mut DecodeScratch,
+        snapshot: Option<&MemoSnapshot>,
+    ) -> PredictionChunk {
+        if let Some(snapshot) = snapshot {
+            scratch.adopt_memo_snapshot(snapshot);
+        }
+        self.decode_batch(chunk, scratch)
+    }
+
     /// Decodes every shot of a chunk on the **per-shot reference** path:
     /// scan the fired-shot mask, gather every noisy lane's defect list,
     /// decode lane by lane (consulting the memo exactly like the word

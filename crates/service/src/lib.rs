@@ -1,0 +1,118 @@
+//! # qccd-service
+//!
+//! A **real-time streaming decode service**: the online counterpart of the
+//! offline Monte-Carlo engine in `qccd-decoder`. Where the batch estimator
+//! samples and decodes millions of shots per configuration after the fact,
+//! this crate decodes *live* syndrome streams — one logical qubit (client)
+//! per stream — at the data rate the trap produces them, which is what the
+//! paper's architecture ultimately requires of its classical co-processor.
+//!
+//! # Architecture
+//!
+//! ```text
+//! client streams ──► per-stream sessions ──► cross-stream word batcher
+//!                                                  │ (flush on full
+//!                                                  ▼  64-shot word or
+//!                                            decode job queue   deadline)
+//!                                                  │
+//!                              worker pool (shared warm MemoSnapshot)
+//!                                                  │
+//!                        per-stream reorder ──► ordered corrections back
+//! ```
+//!
+//! * [`DecodeService::open_stream`] compiles `(architecture, distance)`
+//!   through the shared
+//!   [`compile cache`](qccd_core::compile_cache) — opening many
+//!   streams of the same configuration compiles once — builds the decoder,
+//!   and warms one [`MemoSnapshot`](qccd_decoder::MemoSnapshot) per
+//!   [`DecodeProgram`] that every worker adopts.
+//! * Pending frames from **all** streams of a program are coalesced by the
+//!   latency-deadline batcher into 64-shot words (the unit the PR-4
+//!   word-parallel triage path decodes at full tilt) and flushed either on
+//!   a full word or when the oldest pending frame hits the configured
+//!   deadline, so a lone low-rate stream still gets bounded latency while
+//!   many concurrent streams decode at batch throughput.
+//! * Per-stream queues are bounded ([`ServiceConfig::stream_queue_shots`]):
+//!   submission blocks (or [`StreamSender::try_submit`] refuses) once a
+//!   stream has that many frames in flight — backpressure instead of
+//!   unbounded memory.
+//! * Corrections are delivered **in submission order per stream**
+//!   (a reorder stage undoes worker races), each as an observable-flip
+//!   bitmask — bit-identical to what
+//!   [`Decoder::decode_batch`](qccd_decoder::Decoder::decode_batch) would
+//!   have produced offline on the same frames, whatever the batching,
+//!   stream interleaving, deadline or worker count (property-tested in
+//!   `tests/prop_service_identity.rs`).
+//! * [`DecodeService::metrics`] exposes live counters: queue depth,
+//!   shots/s, flush-cause split and a log-bucketed submit→correction
+//!   latency histogram (p50/p99).
+//!
+//! The [`net`] module wires the service to a `std::net` TCP JSON-lines
+//! front-end (the `artifacts serve` subcommand), and [`loadgen`] replays
+//! sampled [`SyndromeChunk`](qccd_sim::SyndromeChunk)s against either the
+//! in-process service or a remote endpoint at a target rate, verifying
+//! bit-identity against the offline batch decode and reporting
+//! p50/p99/throughput.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod net;
+mod program;
+mod service;
+
+pub use loadgen::{LoadgenOptions, LoadgenReport};
+pub use metrics::ServiceMetrics;
+pub use net::{NetClient, NetServer};
+pub use program::DecodeProgram;
+pub use service::{
+    Correction, DecodeService, ServiceConfig, StreamHandle, StreamReceiver, StreamSender,
+};
+
+/// Errors surfaced by the decode service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Compiling the requested `(architecture, distance)` failed.
+    Compile(String),
+    /// The circuit's detector/observable annotations are inconsistent.
+    InvalidCircuit(String),
+    /// The decoding problem predicts more than 64 observables (corrections
+    /// are delivered as a `u64` flip bitmask).
+    TooManyObservables(usize),
+    /// A submitted frame fired a detector index outside the program.
+    DetectorOutOfRange {
+        /// The offending detector index.
+        detector: usize,
+        /// Number of detectors of the stream's program.
+        num_detectors: usize,
+    },
+    /// The stream (or the whole service) has been closed.
+    StreamClosed,
+    /// The stream's bounded queue is full (returned by `try_submit`).
+    Backpressure,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Compile(e) => write!(f, "compile failed: {e}"),
+            ServiceError::InvalidCircuit(e) => write!(f, "invalid circuit annotations: {e}"),
+            ServiceError::TooManyObservables(n) => {
+                write!(f, "{n} observables exceed the 64-bit correction mask")
+            }
+            ServiceError::DetectorOutOfRange {
+                detector,
+                num_detectors,
+            } => write!(
+                f,
+                "detector {detector} out of range (program has {num_detectors})"
+            ),
+            ServiceError::StreamClosed => write!(f, "stream closed"),
+            ServiceError::Backpressure => write!(f, "stream queue full"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,509 @@
+//! Replay load generator: samples syndrome frames offline, drives the
+//! decode service with them at a target rate across many streams, verifies
+//! that every correction is bit-identical to the offline
+//! [`Decoder::decode_batch`](qccd_decoder::Decoder::decode_batch) on the
+//! same frames, and reports throughput and latency.
+//!
+//! Shots are distributed round-robin: global shot `i` goes to stream
+//! `i % streams` as its `i / streams`-th frame, so the offline reference
+//! and the per-stream corrections can be compared one to one.
+
+use std::time::{Duration, Instant};
+
+use qccd_decoder::{DecodeScratch, DecoderKind};
+use qccd_sim::{sample_detector_chunks, NoisyCircuit};
+use serde_json::Value;
+
+use crate::net::NetClient;
+use crate::service::DecodeService;
+use crate::{DecodeProgram, ServiceError, ServiceMetrics};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadgenOptions {
+    /// Concurrent logical syndrome streams.
+    pub streams: usize,
+    /// Total shots replayed (across all streams).
+    pub shots: usize,
+    /// Sampling seed of the replayed syndromes.
+    pub seed: u64,
+    /// Target aggregate submission rate in shots/s (`None` = as fast as
+    /// backpressure allows).
+    pub rate: Option<f64>,
+    /// Verify bit-identity of every correction against the offline batch
+    /// decode (also enables the offline-throughput baseline).
+    pub verify: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            streams: 4,
+            shots: 16 * 1024,
+            seed: 2026,
+            rate: None,
+            verify: true,
+        }
+    }
+}
+
+/// The load generator's result: throughput, latency and the bit-identity
+/// verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Shots replayed.
+    pub shots: usize,
+    /// Streams driven.
+    pub streams: usize,
+    /// Wall-clock seconds from first submission to last correction.
+    pub wall_seconds: f64,
+    /// Aggregate service throughput (shots / wall).
+    pub shots_per_sec: f64,
+    /// Offline single-thread `decode_batch` throughput on the same frames
+    /// (`None` when verification was skipped).
+    pub offline_shots_per_sec: Option<f64>,
+    /// `shots_per_sec / offline_shots_per_sec` — the acceptance headroom
+    /// (the service target is ≥ 0.8 at d=5, p=2e-3).
+    pub throughput_ratio: Option<f64>,
+    /// Corrections differing from the offline reference (must be 0).
+    pub mismatches: usize,
+    /// Median submit→correction latency (µs).
+    pub p50_latency_us: f64,
+    /// 99th-percentile submit→correction latency (µs).
+    pub p99_latency_us: f64,
+    /// The service metrics snapshot at the end of the run.
+    pub metrics: ServiceMetrics,
+}
+
+impl LoadgenReport {
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "shots": self.shots as u64,
+            "streams": self.streams as u64,
+            "wall_seconds": self.wall_seconds,
+            "shots_per_sec": self.shots_per_sec,
+            "offline_shots_per_sec": match self.offline_shots_per_sec {
+                Some(v) => Value::from(v),
+                None => Value::Null,
+            },
+            "throughput_ratio": match self.throughput_ratio {
+                Some(v) => Value::from(v),
+                None => Value::Null,
+            },
+            "mismatches": self.mismatches as u64,
+            "p50_latency_us": self.p50_latency_us,
+            "p99_latency_us": self.p99_latency_us,
+            "metrics": self.metrics.to_json(),
+        })
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn render_pretty(&self) -> String {
+        let mut out = format!(
+            "loadgen: {} shots over {} streams in {:.3} s → {:.0} shots/s\n",
+            self.shots, self.streams, self.wall_seconds, self.shots_per_sec
+        );
+        if let (Some(offline), Some(ratio)) = (self.offline_shots_per_sec, self.throughput_ratio) {
+            out.push_str(&format!(
+                "offline decode_batch baseline: {offline:.0} shots/s → service at {:.1}% of offline\n",
+                100.0 * ratio
+            ));
+        }
+        out.push_str(&format!(
+            "latency: p50 {:.0} µs, p99 {:.0} µs; flushes: {} full-word, {} deadline ({} words)\n",
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.metrics.full_word_flushes,
+            self.metrics.deadline_flushes,
+            self.metrics.words_flushed,
+        ));
+        out.push_str(&if self.mismatches == 0 {
+            "corrections bit-identical to offline decode_batch: OK".to_string()
+        } else {
+            format!("MISMATCHES vs offline decode_batch: {}", self.mismatches)
+        });
+        out
+    }
+}
+
+/// Samples `shots` frames of `circuit` (fired-detector lists, global shot
+/// order) with the canonical chunked sampler.
+pub fn sample_frames(
+    circuit: &NoisyCircuit,
+    shots: usize,
+    seed: u64,
+) -> Result<Vec<Vec<usize>>, ServiceError> {
+    Ok(index_frames_from_chunks(&sampled_chunks(
+        circuit, shots, seed,
+    )?))
+}
+
+/// [`sample_frames`] in the detector-major **packed** wire format
+/// ([`qccd_sim::SyndromeChunk::packed_frame_into`]) — what a real client
+/// would put on the wire, and the fastest ingestion path
+/// ([`crate::StreamSender::submit_packed_batch`]).
+pub fn sample_packed_frames(
+    circuit: &NoisyCircuit,
+    shots: usize,
+    seed: u64,
+) -> Result<Vec<Vec<u64>>, ServiceError> {
+    Ok(packed_frames_from_chunks(&sampled_chunks(
+        circuit, shots, seed,
+    )?))
+}
+
+/// Samples the replayed syndromes once; both the wire frames and the
+/// offline reference derive from these chunks.
+fn sampled_chunks(
+    circuit: &NoisyCircuit,
+    shots: usize,
+    seed: u64,
+) -> Result<Vec<qccd_sim::SyndromeChunk>, ServiceError> {
+    let sampler = sample_detector_chunks(circuit, shots, seed, 16 * 4096)
+        .map_err(|e| ServiceError::InvalidCircuit(format!("{e:?}")))?;
+    Ok(sampler.chunks().collect())
+}
+
+/// The chunks' shots as fired-detector index lists, in global shot order.
+fn index_frames_from_chunks(chunks: &[qccd_sim::SyndromeChunk]) -> Vec<Vec<usize>> {
+    let mut frames = Vec::new();
+    let mut fired = Vec::new();
+    for chunk in chunks {
+        for shot in 0..chunk.num_shots() {
+            chunk.fired_detectors_into(shot, &mut fired);
+            frames.push(fired.clone());
+        }
+    }
+    frames
+}
+
+/// The chunks' shots as detector-major packed frames, in global shot order.
+fn packed_frames_from_chunks(chunks: &[qccd_sim::SyndromeChunk]) -> Vec<Vec<u64>> {
+    let mut frames = Vec::new();
+    let mut packed = Vec::new();
+    for chunk in chunks {
+        for shot in 0..chunk.num_shots() {
+            chunk.packed_frame_into(shot, &mut packed);
+            frames.push(packed.clone());
+        }
+    }
+    frames
+}
+
+/// Decodes the sampled chunks offline on the word-parallel batch path (one
+/// warm scratch, one thread) and returns the per-shot flip masks plus the
+/// decode wall time — the baseline the service throughput is measured
+/// against.
+fn offline_from_chunks(
+    program: &DecodeProgram,
+    chunks: &[qccd_sim::SyndromeChunk],
+) -> (Vec<u64>, f64) {
+    let mut scratch = DecodeScratch::new();
+    let mut flips = Vec::new();
+    let start = Instant::now();
+    for chunk in chunks {
+        let prediction = program.decode_batch(chunk, &mut scratch);
+        for shot in 0..chunk.num_shots() {
+            let mut mask = 0u64;
+            for observable in 0..prediction.num_observables() {
+                if prediction.predicted(shot, observable) {
+                    mask |= 1u64 << observable;
+                }
+            }
+            flips.push(mask);
+        }
+    }
+    (flips, start.elapsed().as_secs_f64())
+}
+
+/// Sleep-based pacing toward `rate` shots/s: called before submitting shot
+/// `index`, sleeps off any accumulated lead over the target schedule.
+fn pace(start: Instant, index: usize, rate: Option<f64>) {
+    let Some(rate) = rate else { return };
+    if rate <= 0.0 {
+        return;
+    }
+    let due = Duration::from_secs_f64(index as f64 / rate);
+    let elapsed = start.elapsed();
+    if due > elapsed {
+        let lead = due - elapsed;
+        if lead > Duration::from_micros(50) {
+            std::thread::sleep(lead);
+        }
+    }
+}
+
+/// Drives an **in-process** [`DecodeService`] with replayed frames of
+/// `circuit` and verifies bit-identity against the offline batch decode.
+///
+/// # Errors
+///
+/// Propagates stream-opening and submission failures.
+pub fn run_in_process(
+    service: &DecodeService,
+    key: &str,
+    circuit: &NoisyCircuit,
+    decoder: DecoderKind,
+    options: &LoadgenOptions,
+) -> Result<LoadgenReport, ServiceError> {
+    let streams = options.streams.max(1);
+    let shots = options.shots.max(1);
+    // One sampling pass feeds both the wire frames and the offline
+    // reference; one program serves both the streams and the baseline.
+    // Producing the packed wire frames is the trap-side client's job, so it
+    // happens before the clock starts.
+    let chunks = sampled_chunks(circuit, shots, options.seed)?;
+    let frames = packed_frames_from_chunks(&chunks);
+    let program = std::sync::Arc::new(DecodeProgram::from_circuit(key, circuit.clone(), decoder)?);
+    let offline = options
+        .verify
+        .then(|| offline_from_chunks(&program, &chunks));
+
+    let mut senders = Vec::with_capacity(streams);
+    let mut collectors = Vec::with_capacity(streams);
+    let per_stream_shots: Vec<usize> = (0..streams)
+        .map(|s| shots / streams + usize::from(s < shots % streams))
+        .collect();
+    for expected in per_stream_shots.iter().copied() {
+        let (sender, mut receiver) = service.open_stream_program(&program)?.split();
+        senders.push(sender);
+        collectors.push(std::thread::spawn(move || {
+            let mut corrections = Vec::with_capacity(expected);
+            while let Some(correction) = receiver.recv() {
+                corrections.push(correction);
+            }
+            corrections
+        }));
+    }
+
+    // Submit in bursts of several full words per stream: `submit_batch`
+    // pays the service lock once per burst instead of once per frame, which
+    // is what lets the replay keep up with the word-parallel decode itself.
+    // Global shot `i` still maps to stream `i % streams`, frame
+    // `i / streams`.
+    let start = Instant::now();
+    let words_per_burst = service.config().max_batch_words.max(1);
+    let mut per_stream: Vec<Vec<&[u64]>> = vec![Vec::with_capacity(64 * words_per_burst); streams];
+    let burst = 64 * words_per_burst * streams;
+    let mut submitted = 0usize;
+    while submitted < shots {
+        pace(start, submitted, options.rate);
+        let end = (submitted + burst).min(shots);
+        for bucket in per_stream.iter_mut() {
+            bucket.clear();
+        }
+        for (i, frame) in frames[submitted..end].iter().enumerate() {
+            per_stream[(submitted + i) % streams].push(frame.as_slice());
+        }
+        for (s, bucket) in per_stream.iter().enumerate() {
+            if !bucket.is_empty() {
+                senders[s].submit_packed_batch(bucket)?;
+            }
+        }
+        submitted = end;
+    }
+    for sender in &senders {
+        sender.close();
+    }
+    let collected: Vec<Vec<crate::Correction>> = collectors
+        .into_iter()
+        .map(|collector| collector.join().expect("collector panicked"))
+        .collect();
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let mut mismatches = 0usize;
+    for (s, corrections) in collected.iter().enumerate() {
+        assert_eq!(
+            corrections.len(),
+            per_stream_shots[s],
+            "stream {s} delivered every correction"
+        );
+        for (q, correction) in corrections.iter().enumerate() {
+            assert_eq!(correction.seq, q as u64, "stream {s} ordered delivery");
+            if let Some((reference, _)) = &offline {
+                if reference[q * streams + s] != correction.flips {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+
+    let metrics = service.metrics();
+    let offline_shots_per_sec = offline
+        .as_ref()
+        .map(|(_, seconds)| shots as f64 / seconds.max(1e-9));
+    let shots_per_sec = shots as f64 / wall_seconds.max(1e-9);
+    Ok(LoadgenReport {
+        shots,
+        streams,
+        wall_seconds,
+        shots_per_sec,
+        offline_shots_per_sec,
+        throughput_ratio: offline_shots_per_sec.map(|offline| shots_per_sec / offline),
+        mismatches,
+        p50_latency_us: metrics.p50_latency_us,
+        p99_latency_us: metrics.p99_latency_us,
+        metrics,
+    })
+}
+
+/// Drives a **remote** JSON-lines decode server with replayed frames for
+/// the paper's `(arch, distance)` memory workload. The syndromes, and the
+/// offline verification reference, are produced locally from the identical
+/// (pure) compile, so bit-identity checking works across the wire.
+///
+/// `wire` is `(topology, wiring)` in the protocol vocabulary (e.g.
+/// `("grid", "standard")`); `shutdown_after` sends `{"cmd":"shutdown"}` at
+/// the end (the CI smoke uses this to stop the server).
+///
+/// # Errors
+///
+/// Transport failures, server-side open failures, and local compile errors
+/// (as strings, ready for CLI display).
+#[allow(clippy::too_many_arguments)]
+pub fn run_over_tcp(
+    addr: &str,
+    wire: (&str, &str),
+    capacity: usize,
+    gate_improvement: f64,
+    distance: usize,
+    decoder: DecoderKind,
+    options: &LoadgenOptions,
+    shutdown_after: bool,
+) -> Result<LoadgenReport, String> {
+    let (topology, wiring) = wire;
+    let arch = crate::net::parse_arch(topology, capacity, wiring, gate_improvement)?;
+    let program = DecodeProgram::compile(&arch, distance, decoder).map_err(|e| e.to_string())?;
+    let streams = options.streams.max(1);
+    let shots = options.shots.max(1);
+    // One sampling pass feeds both the wire frames (index lists — the JSON
+    // protocol's vocabulary) and the offline verification reference.
+    let chunks =
+        sampled_chunks(program.circuit(), shots, options.seed).map_err(|e| e.to_string())?;
+    let frames = index_frames_from_chunks(&chunks);
+    let offline = options
+        .verify
+        .then(|| offline_from_chunks(&program, &chunks));
+    drop(chunks);
+
+    let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
+    client.ping()?;
+    let mut opened = Vec::with_capacity(streams);
+    for _ in 0..streams {
+        opened.push(client.open_stream(
+            topology,
+            capacity,
+            wiring,
+            gate_improvement,
+            distance,
+            decoder,
+        )?);
+    }
+    let per_stream_shots: Vec<usize> = (0..streams)
+        .map(|s| shots / streams + usize::from(s < shots % streams))
+        .collect();
+    let collectors: Vec<_> = opened
+        .into_iter()
+        .zip(per_stream_shots.iter().copied())
+        .map(|(stream, expected)| {
+            let id = stream.id;
+            (
+                id,
+                std::thread::spawn(move || {
+                    let mut corrections = Vec::with_capacity(expected);
+                    for _ in 0..expected {
+                        match stream.corrections.recv_timeout(Duration::from_secs(120)) {
+                            Ok(correction) => corrections.push(correction),
+                            Err(_) => break,
+                        }
+                    }
+                    corrections
+                }),
+            )
+        })
+        .collect();
+
+    // Submit in submission-order batches per stream: protocol `frames`
+    // lines of up to 64 frames cut per-line overhead while pacing still
+    // applies per shot.
+    let start = Instant::now();
+    let ids: Vec<u64> = collectors.iter().map(|(id, _)| *id).collect();
+    let mut buffered: Vec<Vec<Vec<usize>>> = vec![Vec::new(); streams];
+    for (i, frame) in frames.iter().enumerate() {
+        pace(start, i, options.rate);
+        let s = i % streams;
+        buffered[s].push(frame.clone());
+        if buffered[s].len() >= 64 {
+            client.submit_frames(ids[s], &buffered[s])?;
+            buffered[s].clear();
+        }
+    }
+    for (s, pending) in buffered.iter().enumerate() {
+        if !pending.is_empty() {
+            client.submit_frames(ids[s], pending)?;
+        }
+    }
+    for &id in &ids {
+        client.close_stream(id)?;
+    }
+    let collected: Vec<Vec<crate::Correction>> = collectors
+        .into_iter()
+        .map(|(_, collector)| collector.join().expect("collector panicked"))
+        .collect();
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let mut mismatches = 0usize;
+    let mut missing = 0usize;
+    for (s, corrections) in collected.iter().enumerate() {
+        missing += per_stream_shots[s] - corrections.len();
+        for (q, correction) in corrections.iter().enumerate() {
+            if correction.seq != q as u64 {
+                mismatches += 1;
+            } else if let Some((reference, _)) = &offline {
+                if reference[q * streams + s] != correction.flips {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    if missing > 0 {
+        return Err(format!("{missing} corrections never arrived"));
+    }
+
+    let metrics_json = client.metrics()?;
+    let read = |key: &str| metrics_json.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+    let read_u = |key: &str| metrics_json.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let metrics = ServiceMetrics {
+        streams_open: read_u("streams_open") as usize,
+        frames_submitted: read_u("frames_submitted"),
+        frames_completed: read_u("frames_completed"),
+        queue_depth: read_u("queue_depth"),
+        words_flushed: read_u("words_flushed"),
+        full_word_flushes: read_u("full_word_flushes"),
+        deadline_flushes: read_u("deadline_flushes"),
+        shots_per_sec: read("shots_per_sec"),
+        p50_latency_us: read("p50_latency_us"),
+        p99_latency_us: read("p99_latency_us"),
+    };
+    if shutdown_after {
+        client.shutdown_server()?;
+    }
+
+    let offline_shots_per_sec = offline
+        .as_ref()
+        .map(|(_, seconds)| shots as f64 / seconds.max(1e-9));
+    let shots_per_sec = shots as f64 / wall_seconds.max(1e-9);
+    Ok(LoadgenReport {
+        shots,
+        streams,
+        wall_seconds,
+        shots_per_sec,
+        offline_shots_per_sec,
+        throughput_ratio: offline_shots_per_sec.map(|offline| shots_per_sec / offline),
+        mismatches,
+        p50_latency_us: metrics.p50_latency_us,
+        p99_latency_us: metrics.p99_latency_us,
+        metrics,
+    })
+}

@@ -1,0 +1,246 @@
+//! Live service metrics: counters, gauges and a log-bucketed latency
+//! histogram cheap enough to update on every frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+/// Number of exponential latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds; bucket 0 also absorbs sub-microsecond
+/// completions).
+const LATENCY_BUCKETS: usize = 32;
+
+/// A fixed, lock-free latency histogram with power-of-two microsecond
+/// buckets. Quantiles are read from the bucket boundaries (geometric
+/// midpoint), which is plenty for p50/p99 monitoring.
+#[derive(Debug, Default)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    #[cfg(test)]
+    pub(crate) fn record(&self, latency: Duration) {
+        self.record_n(latency, 1);
+    }
+
+    /// Records `n` samples sharing one latency (frames of a batch
+    /// submission share their submit timestamp, so this is exact for
+    /// batched runs).
+    pub(crate) fn record_n(&self, latency: Duration, n: u64) {
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) in microseconds, estimated at the
+    /// geometric midpoint of the bucket holding the quantile sample; 0 when
+    /// nothing was recorded.
+    pub(crate) fn quantile_us(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Bucket i covers [2^i, 2^(i+1)) µs.
+                return (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+            }
+        }
+        unreachable!("rank is clamped to the total count")
+    }
+}
+
+/// The service's internal counter block (shared across workers and streams).
+#[derive(Debug)]
+pub(crate) struct MetricsInner {
+    started: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    /// Frames currently in flight across every stream (the live queue
+    /// depth).
+    pub(crate) queue_depth: AtomicU64,
+    pub(crate) words_flushed: AtomicU64,
+    pub(crate) full_word_flushes: AtomicU64,
+    pub(crate) deadline_flushes: AtomicU64,
+    /// Nanoseconds (since service start) of the first submission / the most
+    /// recent completion — bounds of the active window shots/s is computed
+    /// over. 0 = "not yet".
+    first_submit_ns: AtomicU64,
+    last_complete_ns: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl MetricsInner {
+    pub(crate) fn new() -> Self {
+        MetricsInner {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            words_flushed: AtomicU64::new(0),
+            full_word_flushes: AtomicU64::new(0),
+            deadline_flushes: AtomicU64::new(0),
+            first_submit_ns: AtomicU64::new(0),
+            last_complete_ns: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().max(1) as u64
+    }
+
+    #[cfg(test)]
+    pub(crate) fn note_submitted(&self) {
+        self.note_submitted_many(1);
+    }
+
+    pub(crate) fn note_submitted_many(&self, n: u64) {
+        self.submitted.fetch_add(n, Ordering::Relaxed);
+        self.queue_depth.fetch_add(n, Ordering::Relaxed);
+        let now = self.now_ns();
+        let _ = self
+            .first_submit_ns
+            .compare_exchange(0, now, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn note_completed(&self, latency: Duration) {
+        self.note_completed_many(latency, 1);
+    }
+
+    /// Marks `n` frames sharing one submit timestamp as completed (frames
+    /// of one batched run share their timestamp, so one histogram update
+    /// covers the run exactly).
+    pub(crate) fn note_completed_many(&self, latency: Duration, n: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+        self.latency.record_n(latency, n);
+        self.last_complete_ns
+            .store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, streams_open: usize) -> ServiceMetrics {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let first = self.first_submit_ns.load(Ordering::Relaxed);
+        let last = self.last_complete_ns.load(Ordering::Relaxed);
+        let window_s = if last > first && first > 0 {
+            (last - first) as f64 / 1e9
+        } else {
+            0.0
+        };
+        ServiceMetrics {
+            streams_open,
+            frames_submitted: self.submitted.load(Ordering::Relaxed),
+            frames_completed: completed,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            words_flushed: self.words_flushed.load(Ordering::Relaxed),
+            full_word_flushes: self.full_word_flushes.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            shots_per_sec: if window_s > 0.0 {
+                completed as f64 / window_s
+            } else {
+                0.0
+            },
+            p50_latency_us: self.latency.quantile_us(0.50),
+            p99_latency_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's live metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMetrics {
+    /// Streams currently open.
+    pub streams_open: usize,
+    /// Frames accepted since service start.
+    pub frames_submitted: u64,
+    /// Frames decoded and routed back since service start.
+    pub frames_completed: u64,
+    /// Frames currently in flight (submitted − completed).
+    pub queue_depth: u64,
+    /// 64-shot words flushed to the decode queue.
+    pub words_flushed: u64,
+    /// Flushes triggered by a full word.
+    pub full_word_flushes: u64,
+    /// Flushes triggered by the latency deadline (partial words).
+    pub deadline_flushes: u64,
+    /// Completed frames per second over the active window (first submission
+    /// to latest completion).
+    pub shots_per_sec: f64,
+    /// Median submit→correction latency (µs, bucket-resolution).
+    pub p50_latency_us: f64,
+    /// 99th-percentile submit→correction latency (µs, bucket-resolution).
+    pub p99_latency_us: f64,
+}
+
+impl ServiceMetrics {
+    /// The metrics as a JSON object (the `metrics` response of the TCP
+    /// front-end).
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "streams_open": self.streams_open as u64,
+            "frames_submitted": self.frames_submitted,
+            "frames_completed": self.frames_completed,
+            "queue_depth": self.queue_depth,
+            "words_flushed": self.words_flushed,
+            "full_word_flushes": self.full_word_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "shots_per_sec": self.shots_per_sec,
+            "p50_latency_us": self.p50_latency_us,
+            "p99_latency_us": self.p99_latency_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_follow_bucket_boundaries() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0.0);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket 3: [8, 16)
+        }
+        h.record(Duration::from_millis(100)); // bucket 16: [65536, ...)
+        let p50 = h.quantile_us(0.50);
+        assert!((8.0..16.0).contains(&p50), "{p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 < 65536.0, "99 of 100 samples are fast: {p99}");
+        let p100 = h.quantile_us(1.0);
+        assert!(p100 >= 65536.0, "{p100}");
+        // Sub-microsecond records land in the first bucket, not a panic.
+        h.record(Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = MetricsInner::new();
+        m.note_submitted();
+        m.note_submitted();
+        m.note_completed(Duration::from_micros(100));
+        let snap = m.snapshot(3);
+        assert_eq!(snap.streams_open, 3);
+        assert_eq!(snap.frames_submitted, 2);
+        assert_eq!(snap.frames_completed, 1);
+        assert_eq!(snap.queue_depth, 1);
+        assert!(snap.p50_latency_us > 0.0);
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("frames_submitted").and_then(|v| v.as_u64()),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,698 @@
+//! `std::net` TCP front-end: a JSON-lines protocol over the decode service,
+//! plus the matching client used by the load generator and the CI smoke
+//! test.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in each direction. Requests:
+//!
+//! ```text
+//! {"cmd":"open","topology":"grid","capacity":2,"wiring":"standard",
+//!  "gate_improvement":5.0,"distance":3,"decoder":"union_find"}
+//! {"cmd":"frame","stream":0,"detectors":[1,5]}
+//! {"cmd":"frames","stream":0,"frames":[[1,5],[],[2]]}
+//! {"cmd":"close","stream":0}
+//! {"cmd":"metrics"}
+//! {"cmd":"ping"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Every command except `frame`/`frames` is answered synchronously with an
+//! `{"ok":...}` object (in request order). Frames are answered
+//! *asynchronously*, one `{"stream":S,"seq":Q,"flips":[..]}` line per frame
+//! in per-stream submission order, interleaved with command responses;
+//! `flips` lists the flipped logical observables. An invalid frame batch
+//! produces an `{"ok":false,"async":true,"stream":S,"error":...}` line
+//! instead (nothing from that line is enqueued) — the `"async"` tag tells
+//! clients not to pair it with a pending command response.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qccd_core::ArchitectureConfig;
+use qccd_decoder::DecoderKind;
+use serde_json::Value;
+
+use crate::service::{Correction, DecodeService, ServiceConfig, StreamSender};
+
+/// Parses the wire name of a decoder kind.
+pub fn parse_decoder(name: &str) -> Result<DecoderKind, String> {
+    match name {
+        "union_find" => Ok(DecoderKind::UnionFind),
+        "greedy" => Ok(DecoderKind::GreedyMatching),
+        "exact" => Ok(DecoderKind::ExactMatching),
+        other => Err(format!(
+            "unknown decoder `{other}` (union_find|greedy|exact)"
+        )),
+    }
+}
+
+/// The wire name of a decoder kind (inverse of [`parse_decoder`]).
+pub fn decoder_name(kind: DecoderKind) -> &'static str {
+    match kind {
+        DecoderKind::UnionFind => "union_find",
+        DecoderKind::GreedyMatching => "greedy",
+        DecoderKind::ExactMatching => "exact",
+    }
+}
+
+/// Builds an [`ArchitectureConfig`] from wire parameters.
+pub fn parse_arch(
+    topology: &str,
+    capacity: usize,
+    wiring: &str,
+    gate_improvement: f64,
+) -> Result<ArchitectureConfig, String> {
+    use qccd_hardware::{TopologyKind, WiringMethod};
+    let topology = match topology {
+        "grid" => TopologyKind::Grid,
+        "linear" => TopologyKind::Linear,
+        "switch" => TopologyKind::Switch,
+        other => return Err(format!("unknown topology `{other}` (grid|linear|switch)")),
+    };
+    let wiring = match wiring {
+        "standard" => WiringMethod::Standard,
+        "wise" => WiringMethod::Wise,
+        other => return Err(format!("unknown wiring `{other}` (standard|wise)")),
+    };
+    if capacity == 0 {
+        return Err("capacity must be positive".into());
+    }
+    if gate_improvement <= 0.0 || gate_improvement.is_nan() {
+        return Err("gate_improvement must be positive".into());
+    }
+    Ok(ArchitectureConfig::new(
+        topology,
+        capacity,
+        wiring,
+        gate_improvement,
+    ))
+}
+
+/// A bound JSON-lines decode server.
+pub struct NetServer {
+    listener: TcpListener,
+    service: Arc<DecodeService>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral) over a
+    /// fresh [`DecodeService`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str, config: ServiceConfig) -> io::Result<NetServer> {
+        Ok(NetServer {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(DecodeService::new(config)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The underlying service (for in-process metrics inspection).
+    pub fn service(&self) -> &Arc<DecodeService> {
+        &self.service
+    }
+
+    /// Serves connections until a client sends `{"cmd":"shutdown"}`, then
+    /// drains and shuts the service down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the accept loop.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let service = Arc::clone(&self.service);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    connections.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, service, shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Long-lived servers must not accumulate one handle per
+                    // past connection.
+                    connections.retain(|connection| !connection.is_finished());
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Connection readers poll the shutdown flag on a read timeout, so
+        // even an idle client's handler exits promptly.
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.service.shutdown();
+        Ok(())
+    }
+}
+
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+fn write_line(writer: &SharedWriter, value: &Value) -> io::Result<()> {
+    let text = serde_json::to_string(value).expect("response serialization cannot fail");
+    let mut writer = writer.lock().expect("connection writer lock");
+    writeln!(writer, "{text}")?;
+    writer.flush()
+}
+
+fn flips_json(flips: u64) -> Value {
+    let mut list = Vec::new();
+    let mut rest = flips;
+    while rest != 0 {
+        list.push(Value::from(rest.trailing_zeros() as u64));
+        rest &= rest - 1;
+    }
+    Value::Array(list)
+}
+
+fn error_json(message: impl std::fmt::Display) -> Value {
+    serde_json::json!({"ok": false, "error": format!("{message}")})
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: Arc<DecodeService>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // A read timeout keeps this handler responsive to a server shutdown
+    // triggered on *another* connection: the read loop polls the flag on
+    // every timeout instead of parking in `read` forever.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
+    let mut reader = BufReader::new(stream);
+    let mut senders: HashMap<u64, StreamSender> = HashMap::new();
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    let mut line = String::new();
+    loop {
+        // Poll the flag between lines too: a continuously-sending client
+        // never hits the read timeout, and must not pin the server past a
+        // shutdown issued on another connection.
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // `read_line` may return a timeout error with a partial line
+        // already appended; `line` is only cleared after a complete line is
+        // processed, so partial reads accumulate correctly.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let done = handle_line(
+                    &line,
+                    &service,
+                    &shutdown,
+                    &writer,
+                    &mut senders,
+                    &mut pumps,
+                )?;
+                line.clear();
+                if done {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for sender in senders.values() {
+        sender.close();
+    }
+    drop(senders);
+    for pump in pumps {
+        let _ = pump.join();
+    }
+    Ok(())
+}
+
+/// Parses and dispatches one request line; returns `true` when the
+/// connection should end (shutdown).
+fn handle_line(
+    line: &str,
+    service: &Arc<DecodeService>,
+    shutdown: &Arc<AtomicBool>,
+    writer: &SharedWriter,
+    senders: &mut HashMap<u64, StreamSender>,
+    pumps: &mut Vec<JoinHandle<()>>,
+) -> io::Result<bool> {
+    if line.trim().is_empty() {
+        return Ok(false);
+    }
+    let request = match serde_json::from_str(line) {
+        Ok(value) => value,
+        Err(_) => {
+            write_line(writer, &error_json("invalid JSON"))?;
+            return Ok(false);
+        }
+    };
+    dispatch(&request, service, shutdown, writer, senders, pumps)
+}
+
+/// Handles one request line; returns `true` when the connection should end
+/// (shutdown).
+fn dispatch(
+    request: &Value,
+    service: &Arc<DecodeService>,
+    shutdown: &Arc<AtomicBool>,
+    writer: &SharedWriter,
+    senders: &mut HashMap<u64, StreamSender>,
+    pumps: &mut Vec<JoinHandle<()>>,
+) -> io::Result<bool> {
+    let cmd = request.get("cmd").and_then(Value::as_str).unwrap_or("");
+    match cmd {
+        "ping" => write_line(writer, &serde_json::json!({"ok": true}))?,
+        "metrics" => {
+            let metrics = service.metrics().to_json();
+            write_line(writer, &serde_json::json!({"ok": true, "metrics": metrics}))?;
+        }
+        "shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            write_line(writer, &serde_json::json!({"ok": true}))?;
+            return Ok(true);
+        }
+        "open" => match open_from_request(request, service) {
+            Ok(handle) => {
+                let (sender, mut receiver) = handle.split();
+                let id = sender.id();
+                let response = serde_json::json!({
+                    "ok": true,
+                    "stream": id,
+                    "detectors": sender.num_detectors() as u64,
+                    "observables": sender.num_observables() as u64,
+                });
+                senders.insert(id, sender);
+                let pump_writer = Arc::clone(writer);
+                pumps.push(std::thread::spawn(move || {
+                    while let Some(Correction { seq, flips }) = receiver.recv() {
+                        let line = serde_json::json!({
+                            "stream": id,
+                            "seq": seq,
+                            "flips": flips_json(flips),
+                        });
+                        if write_line(&pump_writer, &line).is_err() {
+                            break;
+                        }
+                    }
+                }));
+                write_line(writer, &response)?;
+            }
+            Err(e) => write_line(writer, &error_json(e))?,
+        },
+        "frame" | "frames" => {
+            let id = request
+                .get("stream")
+                .and_then(Value::as_u64)
+                .unwrap_or(u64::MAX);
+            // Frames are fire-and-forget, so their errors are emitted as
+            // *asynchronous* lines, tagged `"async": true` — clients must
+            // not pair them with a pending command response.
+            let Some(sender) = senders.get(&id) else {
+                let mut response = error_json(format!("unknown stream {id}"));
+                response["async"] = Value::Bool(true);
+                response["stream"] = Value::from(id);
+                write_line(writer, &response)?;
+                return Ok(false);
+            };
+            let parsed: Result<Vec<Vec<usize>>, String> = if cmd == "frame" {
+                parse_detectors(request.get("detectors")).map(|fired| vec![fired])
+            } else {
+                request
+                    .get("frames")
+                    .and_then(Value::as_array)
+                    .ok_or("`frames` must be an array of frames".to_string())
+                    .and_then(|frames| {
+                        frames
+                            .iter()
+                            .map(|frame| parse_detectors(Some(frame)))
+                            .collect()
+                    })
+            };
+            // One batched submission per line: the whole line parses and
+            // validates before anything is enqueued, and the service lock
+            // is paid once instead of once per frame.
+            let outcome = parsed.and_then(|frames| {
+                let refs: Vec<&[usize]> = frames.iter().map(Vec::as_slice).collect();
+                sender.submit_batch(&refs).map_err(|e| e.to_string())
+            });
+            if let Err(e) = outcome {
+                let mut response = error_json(e);
+                response["async"] = Value::Bool(true);
+                response["stream"] = Value::from(id);
+                write_line(writer, &response)?;
+            }
+        }
+        "close" => {
+            let id = request
+                .get("stream")
+                .and_then(Value::as_u64)
+                .unwrap_or(u64::MAX);
+            match senders.get(&id) {
+                Some(sender) => {
+                    sender.close();
+                    write_line(writer, &serde_json::json!({"ok": true}))?;
+                }
+                None => write_line(writer, &error_json(format!("unknown stream {id}")))?,
+            }
+        }
+        other => write_line(writer, &error_json(format!("unknown command `{other}`")))?,
+    }
+    Ok(false)
+}
+
+/// Parses one frame's detector list strictly: anything other than an array
+/// of non-negative integers is an error (a silently-coerced frame would
+/// decode wrong syndromes while looking healthy).
+fn parse_detectors(value: Option<&Value>) -> Result<Vec<usize>, String> {
+    let list = value
+        .and_then(Value::as_array)
+        .ok_or("frame detectors must be an array")?;
+    list.iter()
+        .map(|entry| {
+            entry
+                .as_u64()
+                .map(|d| d as usize)
+                .ok_or_else(|| "detector indices must be non-negative integers".to_string())
+        })
+        .collect()
+}
+
+fn open_from_request(
+    request: &Value,
+    service: &Arc<DecodeService>,
+) -> Result<crate::StreamHandle, String> {
+    let topology = request
+        .get("topology")
+        .and_then(Value::as_str)
+        .unwrap_or("grid");
+    let capacity = request.get("capacity").and_then(Value::as_u64).unwrap_or(2) as usize;
+    let wiring = request
+        .get("wiring")
+        .and_then(Value::as_str)
+        .unwrap_or("standard");
+    let improvement = request
+        .get("gate_improvement")
+        .and_then(Value::as_f64)
+        .unwrap_or(1.0);
+    let distance = request
+        .get("distance")
+        .and_then(Value::as_u64)
+        .ok_or("open needs a `distance`")? as usize;
+    if distance < 2 {
+        return Err("distance must be at least 2".into());
+    }
+    let decoder = parse_decoder(
+        request
+            .get("decoder")
+            .and_then(Value::as_str)
+            .unwrap_or("union_find"),
+    )?;
+    let arch = parse_arch(topology, capacity, wiring, improvement)?;
+    service
+        .open_stream(&arch, distance, decoder)
+        .map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A JSON-lines client for [`NetServer`] — the transport of the TCP load
+/// generator and the CI smoke test.
+///
+/// Commands are synchronous (one response per command, in order);
+/// corrections arrive asynchronously and are routed into per-stream
+/// channels.
+pub struct NetClient {
+    writer: BufWriter<TcpStream>,
+    responses: mpsc::Receiver<Value>,
+    corrections: Arc<Mutex<HashMap<u64, mpsc::Sender<Correction>>>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient").finish()
+    }
+}
+
+/// A stream opened over a [`NetClient`].
+#[derive(Debug)]
+pub struct NetStream {
+    /// Server-assigned stream id.
+    pub id: u64,
+    /// Detectors per frame.
+    pub num_detectors: usize,
+    /// Observables per correction.
+    pub num_observables: usize,
+    /// Ordered corrections for this stream.
+    pub corrections: mpsc::Receiver<Correction>,
+}
+
+impl NetClient {
+    /// Connects to a running [`NetServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: &str) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let (response_tx, responses) = mpsc::channel();
+        let corrections: Arc<Mutex<HashMap<u64, mpsc::Sender<Correction>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let reader_corrections = Arc::clone(&corrections);
+        let reader_stream = stream.try_clone()?;
+        let reader = std::thread::spawn(move || {
+            let reader = BufReader::new(reader_stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let Ok(value) = serde_json::from_str(&line) else {
+                    continue;
+                };
+                let value: Value = value;
+                // Asynchronous lines (frame errors) must never be paired
+                // with a pending command response.
+                if value.get("async").is_some() {
+                    eprintln!(
+                        "loadgen: server reported: {}",
+                        value.get("error").and_then(Value::as_str).unwrap_or("?")
+                    );
+                    continue;
+                }
+                let is_correction = value.get("seq").is_some() && value.get("ok").is_none();
+                if is_correction {
+                    let stream = value.get("stream").and_then(Value::as_u64).unwrap_or(0);
+                    let seq = value.get("seq").and_then(Value::as_u64).unwrap_or(0);
+                    let mut flips = 0u64;
+                    if let Some(list) = value.get("flips").and_then(Value::as_array) {
+                        for observable in list.iter().filter_map(Value::as_u64) {
+                            flips |= 1u64 << observable;
+                        }
+                    }
+                    let tx = reader_corrections
+                        .lock()
+                        .expect("correction router lock")
+                        .get(&stream)
+                        .cloned();
+                    if let Some(tx) = tx {
+                        let _ = tx.send(Correction { seq, flips });
+                    }
+                } else {
+                    let _ = response_tx.send(value);
+                }
+            }
+        });
+        Ok(NetClient {
+            writer: BufWriter::new(stream),
+            responses,
+            corrections,
+            reader: Some(reader),
+        })
+    }
+
+    fn request(&mut self, command: &Value) -> Result<Value, String> {
+        self.send(command)?;
+        self.responses
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| "server closed the connection".to_string())
+    }
+
+    fn send(&mut self, command: &Value) -> Result<(), String> {
+        let text = serde_json::to_string(command).expect("command serialization cannot fail");
+        writeln!(self.writer, "{text}").map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())
+    }
+
+    /// Round-trips a `ping`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-ok response.
+    pub fn ping(&mut self) -> Result<(), String> {
+        let response = self.request(&serde_json::json!({"cmd": "ping"}))?;
+        expect_ok(&response)
+    }
+
+    /// Opens a stream for `(topology, capacity, wiring, gate_improvement,
+    /// distance, decoder)` using the wire vocabulary of [`parse_arch`] /
+    /// [`parse_decoder`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a server-side open failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_stream(
+        &mut self,
+        topology: &str,
+        capacity: usize,
+        wiring: &str,
+        gate_improvement: f64,
+        distance: usize,
+        decoder: DecoderKind,
+    ) -> Result<NetStream, String> {
+        let response = self.request(&serde_json::json!({
+            "cmd": "open",
+            "topology": topology,
+            "capacity": capacity as u64,
+            "wiring": wiring,
+            "gate_improvement": gate_improvement,
+            "distance": distance as u64,
+            "decoder": decoder_name(decoder),
+        }))?;
+        expect_ok(&response)?;
+        let id = response
+            .get("stream")
+            .and_then(Value::as_u64)
+            .ok_or("open response lacks a stream id")?;
+        let (tx, rx) = mpsc::channel();
+        self.corrections
+            .lock()
+            .expect("correction router lock")
+            .insert(id, tx);
+        Ok(NetStream {
+            id,
+            num_detectors: response
+                .get("detectors")
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize,
+            num_observables: response
+                .get("observables")
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize,
+            corrections: rx,
+        })
+    }
+
+    /// Submits a batch of frames on a stream (fire-and-forget; corrections
+    /// arrive on the stream's channel).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn submit_frames(&mut self, stream: u64, frames: &[Vec<usize>]) -> Result<(), String> {
+        let frames_json: Vec<Value> = frames
+            .iter()
+            .map(|fired| Value::Array(fired.iter().map(|&d| Value::from(d as u64)).collect()))
+            .collect();
+        self.send(&serde_json::json!({
+            "cmd": "frames",
+            "stream": stream,
+            "frames": Value::Array(frames_json),
+        }))
+    }
+
+    /// Closes a stream (already-submitted frames still decode).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-ok response.
+    pub fn close_stream(&mut self, stream: u64) -> Result<(), String> {
+        let response = self.request(&serde_json::json!({"cmd": "close", "stream": stream}))?;
+        expect_ok(&response)
+    }
+
+    /// Fetches the server's live metrics object.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-ok response.
+    pub fn metrics(&mut self) -> Result<Value, String> {
+        let response = self.request(&serde_json::json!({"cmd": "metrics"}))?;
+        expect_ok(&response)?;
+        Ok(response.get("metrics").cloned().unwrap_or(Value::Null))
+    }
+
+    /// Asks the server to shut down after this connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-ok response.
+    pub fn shutdown_server(&mut self) -> Result<(), String> {
+        let response = self.request(&serde_json::json!({"cmd": "shutdown"}))?;
+        expect_ok(&response)
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        // Closing the write half ends the server's read loop; the reader
+        // thread ends when the server closes its side.
+        let _ = self.writer.flush();
+        if let Some(reader) = self.reader.take() {
+            drop(self.writer.get_ref().shutdown(std::net::Shutdown::Both));
+            let _ = reader.join();
+        }
+    }
+}
+
+fn expect_ok(response: &Value) -> Result<(), String> {
+    if response.get("ok").and_then(Value::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        Err(response
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("request failed")
+            .to_string())
+    }
+}

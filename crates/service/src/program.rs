@@ -1,0 +1,180 @@
+//! Compiled decode programs: everything a stream needs to decode online.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qccd_core::{compile_cache, ArchitectureConfig, Compiler};
+use qccd_decoder::{DecodeScratch, Decoder, DecoderKind, DecodingGraph, MemoSnapshot};
+use qccd_qec::{rotated_surface_code, MemoryBasis};
+use qccd_sim::{DetectorErrorModel, NoisyCircuit};
+
+use crate::ServiceError;
+
+fn next_program_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One compiled decoding setup shared by every stream of the same
+/// `(architecture, distance, decoder)` configuration: the noisy circuit the
+/// syndromes are assumed to come from, the decoder over its detector error
+/// model, and a warm [`MemoSnapshot`] every service worker adopts before
+/// decoding a batch (warmed exactly once per program, so the word path's
+/// singles/pair fast lanes are hot from the first frame).
+pub struct DecodeProgram {
+    id: u64,
+    key: String,
+    noisy: NoisyCircuit,
+    num_detectors: usize,
+    num_observables: usize,
+    decoder_kind: DecoderKind,
+    decoder: Box<dyn Decoder + Send + Sync>,
+    snapshot: Option<MemoSnapshot>,
+}
+
+impl std::fmt::Debug for DecodeProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeProgram")
+            .field("id", &self.id)
+            .field("key", &self.key)
+            .field("num_detectors", &self.num_detectors)
+            .field("num_observables", &self.num_observables)
+            .field("decoder_kind", &self.decoder_kind)
+            .field("warm_entries", &self.snapshot.as_ref().map(|s| s.len()))
+            .finish()
+    }
+}
+
+impl DecodeProgram {
+    /// Compiles the paper's memory workload for `(arch, distance)` — through
+    /// the process-wide [`compile_cache`], so repeated `open_stream`s of the
+    /// same configuration compile once — and builds the decode setup over
+    /// its detector error model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Compile`] when the architecture cannot host the code,
+    /// [`ServiceError::InvalidCircuit`] / [`ServiceError::TooManyObservables`]
+    /// as in [`DecodeProgram::from_circuit`].
+    pub fn compile(
+        arch: &ArchitectureConfig,
+        distance: usize,
+        decoder: DecoderKind,
+    ) -> Result<Self, ServiceError> {
+        let rounds = distance.max(1);
+        let compile_key = compile_cache::memory_key(arch, distance, rounds, MemoryBasis::Z);
+        let layout = rotated_surface_code(distance);
+        let compiler = Compiler::new(arch.clone());
+        let program = compile_cache::shared()
+            .get_or_compile(&compile_key, || {
+                compiler.compile_memory_experiment(&layout, rounds, MemoryBasis::Z)
+            })
+            .map_err(|e| ServiceError::Compile(e.to_string()))?;
+        DecodeProgram::from_circuit(
+            DecodeProgram::config_key(arch, distance, decoder),
+            program.to_noisy_circuit(),
+            decoder,
+        )
+    }
+
+    /// The canonical program key of one `(arch, distance, decoder)`
+    /// configuration — what [`DecodeProgram::compile`] registers under and
+    /// what stream-opening deduplicates by.
+    pub fn config_key(arch: &ArchitectureConfig, distance: usize, decoder: DecoderKind) -> String {
+        let compile_key =
+            compile_cache::memory_key(arch, distance, distance.max(1), MemoryBasis::Z);
+        format!("{compile_key}|{decoder:?}")
+    }
+
+    /// Builds a decode program over an arbitrary noisy circuit (the
+    /// replay/load-generation entry point; [`DecodeProgram::compile`] lowers
+    /// onto this).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidCircuit`] if the circuit's annotations dangle,
+    /// [`ServiceError::TooManyObservables`] if more than 64 observables are
+    /// predicted.
+    pub fn from_circuit(
+        key: impl Into<String>,
+        noisy: NoisyCircuit,
+        decoder_kind: DecoderKind,
+    ) -> Result<Self, ServiceError> {
+        let dem = DetectorErrorModel::from_circuit(&noisy)
+            .map_err(|e| ServiceError::InvalidCircuit(format!("{e:?}")))?;
+        if dem.num_observables > 64 {
+            return Err(ServiceError::TooManyObservables(dem.num_observables));
+        }
+        let num_detectors = dem.num_detectors;
+        let num_observables = dem.num_observables;
+        let decoder = decoder_kind.build(DecodingGraph::from_dem(&dem));
+        // Warm once per program: every worker adopts this snapshot, so no
+        // stream ever pays a cold-start prefill.
+        let mut warm = DecodeScratch::new();
+        let snapshot = decoder.warm_memo_snapshot(num_detectors, &mut warm);
+        Ok(DecodeProgram {
+            id: next_program_id(),
+            key: key.into(),
+            noisy,
+            num_detectors,
+            num_observables,
+            decoder_kind,
+            decoder,
+            snapshot,
+        })
+    }
+
+    /// Process-unique identity of this program instance.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The canonical configuration key streams are deduplicated by.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Number of detectors per frame.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables per correction.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// The decoder kind this program decodes with.
+    pub fn decoder_kind(&self) -> DecoderKind {
+        self.decoder_kind
+    }
+
+    /// The noisy circuit the program assumes frames are sampled from (used
+    /// by the replay load generator).
+    pub fn circuit(&self) -> &NoisyCircuit {
+        &self.noisy
+    }
+
+    /// Decodes one bit-packed chunk exactly as a service worker would —
+    /// word-parallel, with the program's warm snapshot adopted into
+    /// `scratch` first. This is the offline baseline the load generator
+    /// verifies the streamed corrections against.
+    pub fn decode_batch(
+        &self,
+        chunk: &qccd_sim::SyndromeChunk,
+        scratch: &mut DecodeScratch,
+    ) -> qccd_decoder::PredictionChunk {
+        self.decoder
+            .decode_batch_with_snapshot(chunk, scratch, self.snapshot.as_ref())
+    }
+
+    /// The decoder instance.
+    pub(crate) fn decoder(&self) -> &(dyn Decoder + Send + Sync) {
+        self.decoder.as_ref()
+    }
+
+    /// The warm memo snapshot workers adopt (absent when the decoder or
+    /// memo opts out).
+    pub(crate) fn snapshot(&self) -> Option<&MemoSnapshot> {
+        self.snapshot.as_ref()
+    }
+}

@@ -1,0 +1,1152 @@
+//! The streaming decode service core: sessions, the cross-stream
+//! latency-deadline batcher, the worker pool and ordered per-stream
+//! delivery.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qccd_core::ArchitectureConfig;
+use qccd_decoder::{DecodeScratch, DecoderKind};
+use qccd_sim::{NoisyCircuit, SyndromeChunkBuilder};
+
+use crate::metrics::{MetricsInner, ServiceMetrics};
+use crate::{DecodeProgram, ServiceError};
+
+/// Tuning knobs of the decode service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Decode worker threads.
+    pub workers: usize,
+    /// Latency deadline of the batcher: a pending partial word is flushed
+    /// once its *oldest* frame has waited this long. `Duration::ZERO`
+    /// flushes on every submission (minimum latency, minimum batching).
+    pub flush_deadline: Duration,
+    /// Words (64-shot groups) the batcher coalesces into one decode job
+    /// before flushing without waiting for the deadline. `1` flushes on
+    /// every full word (the default); raising it amortises per-job overhead
+    /// under sustained load at the cost of batching latency.
+    pub max_batch_words: usize,
+    /// Per-stream bound on frames in flight (submitted, correction not yet
+    /// produced). Submission blocks — or `try_submit` refuses — beyond it.
+    pub stream_queue_shots: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            flush_deadline: Duration::from_micros(500),
+            max_batch_words: 1,
+            stream_queue_shots: 4096,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the flush deadline.
+    pub fn with_flush_deadline(mut self, deadline: Duration) -> Self {
+        self.flush_deadline = deadline;
+        self
+    }
+
+    /// Overrides the per-job word coalescing bound.
+    pub fn with_max_batch_words(mut self, words: usize) -> Self {
+        self.max_batch_words = words.max(1);
+        self
+    }
+
+    /// Overrides the per-stream in-flight bound.
+    pub fn with_stream_queue_shots(mut self, shots: usize) -> Self {
+        self.stream_queue_shots = shots.max(1);
+        self
+    }
+
+    fn flush_shots(&self) -> usize {
+        self.max_batch_words.max(1) * 64
+    }
+}
+
+/// One ordered correction delivered back on a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Correction {
+    /// Submission sequence number this correction answers (per stream,
+    /// starting at 0; delivery is in `seq` order).
+    pub seq: u64,
+    /// Observable-flip bitmask: bit `o` set means the decoder predicts
+    /// logical observable `o` flipped.
+    pub flips: u64,
+}
+
+/// A contiguous segment of frames of one stream inside a batch: `count`
+/// frames with consecutive sequence numbers from `first_seq`, sharing one
+/// submit timestamp (batched submissions arrive as whole segments, so
+/// bookkeeping is per segment, not per frame).
+#[derive(Debug, Clone, Copy)]
+struct FrameRun {
+    stream: u64,
+    first_seq: u64,
+    count: u32,
+    submitted: Instant,
+}
+
+/// One burst of frames in either wire representation: fired-detector index
+/// lists or detector-major packed words.
+#[derive(Debug, Clone, Copy)]
+enum FrameBatch<'a> {
+    Indices(&'a [&'a [usize]]),
+    Packed(&'a [&'a [u64]]),
+}
+
+impl<'a> FrameBatch<'a> {
+    fn len(&self) -> usize {
+        match self {
+            FrameBatch::Indices(frames) => frames.len(),
+            FrameBatch::Packed(frames) => frames.len(),
+        }
+    }
+
+    fn split_at(self, mid: usize) -> (FrameBatch<'a>, FrameBatch<'a>) {
+        match self {
+            FrameBatch::Indices(frames) => {
+                let (a, b) = frames.split_at(mid);
+                (FrameBatch::Indices(a), FrameBatch::Indices(b))
+            }
+            FrameBatch::Packed(frames) => {
+                let (a, b) = frames.split_at(mid);
+                (FrameBatch::Packed(a), FrameBatch::Packed(b))
+            }
+        }
+    }
+
+    /// Rejects frames naming detectors outside the program before anything
+    /// is enqueued.
+    fn validate(&self, num_detectors: usize) -> Result<(), ServiceError> {
+        match self {
+            FrameBatch::Indices(frames) => {
+                for fired in *frames {
+                    if let Some(&bad) = fired.iter().find(|&&d| d >= num_detectors) {
+                        return Err(ServiceError::DetectorOutOfRange {
+                            detector: bad,
+                            num_detectors,
+                        });
+                    }
+                }
+            }
+            FrameBatch::Packed(frames) => {
+                let frame_words = num_detectors.div_ceil(64);
+                let tail_mask = if num_detectors.is_multiple_of(64) {
+                    u64::MAX
+                } else {
+                    (1u64 << (num_detectors % 64)) - 1
+                };
+                for packed in *frames {
+                    let tail_ok = packed.last().is_none_or(|&last| last & !tail_mask == 0);
+                    if packed.len() != frame_words || !tail_ok {
+                        return Err(ServiceError::DetectorOutOfRange {
+                            detector: num_detectors,
+                            num_detectors,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push_into(&self, index: usize, builder: &mut SyndromeChunkBuilder) {
+        match self {
+            FrameBatch::Indices(frames) => builder.push_frame(frames[index]),
+            FrameBatch::Packed(frames) => builder.push_packed_frame(frames[index]),
+        }
+    }
+}
+
+/// The reusable allocations of one batch: the frame-ingestion builder and
+/// the routing list. Recycled through [`State::spares`] so the steady-state
+/// submit path allocates nothing.
+struct BatchParts {
+    builder: SyndromeChunkBuilder,
+    runs: Vec<FrameRun>,
+}
+
+/// The pending partial batch of one program.
+struct Batch {
+    program: Arc<DecodeProgram>,
+    parts: BatchParts,
+    oldest: Instant,
+}
+
+/// A flushed decode job: the packed frames of any number of streams plus
+/// the routing information to hand each lane's correction back. The
+/// frame→plane transpose (`builder.finish`) runs on the *worker*, outside
+/// the service lock.
+struct DecodeJob {
+    program: Arc<DecodeProgram>,
+    parts: BatchParts,
+}
+
+/// A contiguous run of corrections of one stream (`seq` =
+/// `first_seq + index`). Corrections travel the delivery channel in runs —
+/// one send per run instead of one per frame — and the
+/// [`StreamReceiver`] flattens them back into single [`Correction`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CorrectionRun {
+    first_seq: u64,
+    flips: Vec<u64>,
+}
+
+impl CorrectionRun {
+    fn len(&self) -> u64 {
+        self.flips.len() as u64
+    }
+}
+
+/// Min-heap ordering by `first_seq` for the per-stream reorder buffer.
+impl Ord for CorrectionRun {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.first_seq.cmp(&other.first_seq)
+    }
+}
+
+impl PartialOrd for CorrectionRun {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct StreamState {
+    next_submit_seq: u64,
+    inflight: usize,
+    closed: bool,
+    /// Out-of-order completed runs awaiting delivery. Runs are
+    /// non-overlapping and gapless per stream (sequence numbers are
+    /// assigned in submission order), so ordering by `first_seq` is enough.
+    reorder: BinaryHeap<Reverse<CorrectionRun>>,
+    next_deliver: u64,
+    tx: mpsc::Sender<CorrectionRun>,
+}
+
+#[derive(Default)]
+struct State {
+    programs: HashMap<String, Arc<DecodeProgram>>,
+    /// Pending partial batches, keyed by program id.
+    pending: HashMap<u64, Batch>,
+    jobs: VecDeque<DecodeJob>,
+    streams: HashMap<u64, StreamState>,
+    /// Recycled batch allocations per program id (workers return their
+    /// job's parts here after routing).
+    spares: HashMap<u64, Vec<BatchParts>>,
+    next_stream: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for jobs (and for flush deadlines).
+    job_ready: Condvar,
+    /// Submitters wait here for backpressure headroom.
+    space_ready: Condvar,
+    metrics: MetricsInner,
+    config: ServiceConfig,
+}
+
+impl Shared {
+    /// Flushes one program's pending batch into the job queue. Caller holds
+    /// the state lock. The transpose into a bit-packed chunk is deferred to
+    /// the worker, so the flush itself is O(1).
+    fn flush_pending(&self, state: &mut State, program_id: u64, deadline_flush: bool) {
+        use std::sync::atomic::Ordering;
+        let Some(batch) = state.pending.remove(&program_id) else {
+            return;
+        };
+        if batch.parts.builder.is_empty() {
+            return;
+        }
+        self.metrics.words_flushed.fetch_add(
+            (batch.parts.builder.pending_frames() as u64).div_ceil(64),
+            Ordering::Relaxed,
+        );
+        if deadline_flush {
+            self.metrics
+                .deadline_flushes
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics
+                .full_word_flushes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        state.jobs.push_back(DecodeJob {
+            program: batch.program,
+            parts: batch.parts,
+        });
+        self.job_ready.notify_one();
+    }
+
+    /// Flushes every pending batch whose oldest frame is overdue; returns
+    /// the wait until the next deadline, if any batch remains pending.
+    fn flush_overdue(&self, state: &mut State, now: Instant) -> Option<Duration> {
+        let deadline = self.config.flush_deadline;
+        let overdue: Vec<u64> = state
+            .pending
+            .iter()
+            .filter(|(_, batch)| now.saturating_duration_since(batch.oldest) >= deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue {
+            self.flush_pending(state, id, true);
+        }
+        state
+            .pending
+            .values()
+            .map(|batch| (batch.oldest + deadline).saturating_duration_since(now))
+            .min()
+    }
+
+    /// Routes one decoded job's corrections back to their streams (in-order
+    /// per stream via the reorder heap) and releases backpressure.
+    ///
+    /// Contiguous same-stream frames (the common case under batched
+    /// submission) are grouped into [`CorrectionRun`]s outside the lock, so
+    /// the per-frame cost under the state lock — and the per-frame channel
+    /// sends — collapse to per-run costs.
+    fn route_corrections(&self, mut job: DecodeJob, flips_per_lane: &[u64]) {
+        let now = Instant::now();
+        // Materialise each frame run's correction run outside the lock.
+        // Frames of a run share their submit timestamp, so the bulk latency
+        // update is exact.
+        let mut runs: Vec<(u64, CorrectionRun, Instant)> = Vec::with_capacity(job.parts.runs.len());
+        let mut offset = 0usize;
+        for run in &job.parts.runs {
+            let count = run.count as usize;
+            runs.push((
+                run.stream,
+                CorrectionRun {
+                    first_seq: run.first_seq,
+                    flips: flips_per_lane[offset..offset + count].to_vec(),
+                },
+                run.submitted,
+            ));
+            offset += count;
+        }
+        let mut state = self.state.lock().expect("service state lock");
+        for (stream_id, run, submitted) in runs {
+            self.metrics
+                .note_completed_many(now.saturating_duration_since(submitted), run.len());
+            let Some(stream) = state.streams.get_mut(&stream_id) else {
+                continue;
+            };
+            stream.inflight -= run.flips.len();
+            stream.reorder.push(Reverse(run));
+            while let Some(Reverse(ready)) = stream.reorder.peek() {
+                if ready.first_seq != stream.next_deliver {
+                    break;
+                }
+                let Some(Reverse(ready)) = stream.reorder.pop() else {
+                    unreachable!("peeked entry exists");
+                };
+                stream.next_deliver += ready.len();
+                // A dropped receiver just discards the corrections.
+                let _ = stream.tx.send(ready);
+            }
+            if stream.closed && stream.inflight == 0 {
+                state.streams.remove(&stream_id);
+            }
+        }
+        // Recycle the job's allocations for the next batch of its program.
+        job.parts.runs.clear();
+        let spares = state.spares.entry(job.program.id()).or_default();
+        if spares.len() < 16 {
+            spares.push(job.parts);
+        }
+        drop(state);
+        self.space_ready.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    // One scratch per (worker, program): the memo stays owned by the right
+    // decoder across interleaved jobs of different programs.
+    let mut scratches: HashMap<u64, DecodeScratch> = HashMap::new();
+    let mut flips: Vec<u64> = Vec::new();
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("service state lock");
+            loop {
+                // Enforce the latency deadline *before* popping queued
+                // work, so a pending partial word is flushed on time even
+                // while full-word jobs keep the queue busy (the scan is one
+                // map entry per program with pending frames).
+                let next_deadline = shared.flush_overdue(&mut state, Instant::now());
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                match next_deadline {
+                    Some(wait) => {
+                        let (next, _) = shared
+                            .job_ready
+                            .wait_timeout(state, wait.min(Duration::from_secs(1)))
+                            .expect("service state lock");
+                        state = next;
+                    }
+                    None => {
+                        state = shared.job_ready.wait(state).expect("service state lock");
+                    }
+                }
+            }
+        };
+        let Some(mut job) = job else { break };
+        // Transpose the packed frames into bit planes and decode — both
+        // outside the service lock.
+        let chunk = job.parts.builder.finish(0, 0);
+        let scratch = scratches.entry(job.program.id()).or_default();
+        let prediction = job.program.decoder().decode_batch_with_snapshot(
+            &chunk,
+            scratch,
+            job.program.snapshot(),
+        );
+        flips.clear();
+        flips.resize(chunk.num_shots(), 0);
+        for observable in 0..prediction.num_observables() {
+            for (word_index, &word) in prediction.plane(observable).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let shot = word_index * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    // The final word of a plane carries no bits beyond the
+                    // shot count, so `shot` is always in range.
+                    flips[shot] |= 1u64 << observable;
+                }
+            }
+        }
+        shared.route_corrections(job, &flips);
+    }
+}
+
+/// The real-time decode service (see the [crate docs](crate) for the
+/// architecture). Create with [`DecodeService::new`], open streams, submit
+/// frames, receive ordered corrections; [`DecodeService::shutdown`] (or
+/// drop) drains the queue and joins the workers.
+#[derive(Debug)]
+pub struct DecodeService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl DecodeService {
+    /// Starts a service with `config.workers` decode workers.
+    pub fn new(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            metrics: MetricsInner::new(),
+            config,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qccd-decode-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn decode worker")
+            })
+            .collect();
+        DecodeService {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.shared.config
+    }
+
+    /// Opens a stream decoding the paper's memory workload for
+    /// `(arch, distance)` with `decoder`. Streams of the same configuration
+    /// share one [`DecodeProgram`] (one compile, one decoder, one warm memo
+    /// snapshot) and coalesce into the same 64-shot words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeProgram::compile`] errors; [`ServiceError::StreamClosed`]
+    /// after shutdown.
+    pub fn open_stream(
+        &self,
+        arch: &ArchitectureConfig,
+        distance: usize,
+        decoder: DecoderKind,
+    ) -> Result<StreamHandle, ServiceError> {
+        let key = DecodeProgram::config_key(arch, distance, decoder);
+        self.open_stream_with(&key, || {
+            DecodeProgram::compile(arch, distance, decoder).map(Arc::new)
+        })
+    }
+
+    /// Opens a stream decoding an arbitrary noisy circuit under `key`
+    /// (streams sharing a key share the program — the replay/load-generation
+    /// entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeProgram::from_circuit`] errors;
+    /// [`ServiceError::StreamClosed`] after shutdown.
+    pub fn open_stream_circuit(
+        &self,
+        key: &str,
+        circuit: &NoisyCircuit,
+        decoder: DecoderKind,
+    ) -> Result<StreamHandle, ServiceError> {
+        self.open_stream_with(key, || {
+            DecodeProgram::from_circuit(key, circuit.clone(), decoder).map(Arc::new)
+        })
+    }
+
+    /// Opens a stream over a caller-built [`DecodeProgram`] (registered
+    /// under the program's own key; streams sharing the key share the
+    /// registered program). Lets replay tools reuse one program for both
+    /// the service streams and their offline verification reference.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::StreamClosed`] after shutdown.
+    pub fn open_stream_program(
+        &self,
+        program: &Arc<DecodeProgram>,
+    ) -> Result<StreamHandle, ServiceError> {
+        let key = program.key().to_string();
+        self.open_stream_with(&key, || Ok(Arc::clone(program)))
+    }
+
+    fn open_stream_with(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Arc<DecodeProgram>, ServiceError>,
+    ) -> Result<StreamHandle, ServiceError> {
+        let existing = {
+            let state = self.shared.state.lock().expect("service state lock");
+            if state.shutdown {
+                return Err(ServiceError::StreamClosed);
+            }
+            state.programs.get(key).cloned()
+        };
+        // Build (compile + warm) outside the lock; a racing open of the
+        // same key keeps the first-registered program.
+        let program = match existing {
+            Some(program) => program,
+            None => build()?,
+        };
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.shared.state.lock().expect("service state lock");
+        if state.shutdown {
+            return Err(ServiceError::StreamClosed);
+        }
+        let program = state
+            .programs
+            .entry(key.to_string())
+            .or_insert(program)
+            .clone();
+        let id = state.next_stream;
+        state.next_stream += 1;
+        state.streams.insert(
+            id,
+            StreamState {
+                next_submit_seq: 0,
+                inflight: 0,
+                closed: false,
+                reorder: BinaryHeap::new(),
+                next_deliver: 0,
+                tx,
+            },
+        );
+        Ok(StreamHandle {
+            sender: StreamSender {
+                shared: Arc::clone(&self.shared),
+                id,
+                program,
+            },
+            receiver: StreamReceiver {
+                id,
+                rx,
+                current: None,
+            },
+        })
+    }
+
+    /// A live snapshot of the service metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let streams_open = self
+            .shared
+            .state
+            .lock()
+            .expect("service state lock")
+            .streams
+            .len();
+        self.shared.metrics.snapshot(streams_open)
+    }
+
+    /// Drains every queued frame, stops the workers and closes every
+    /// stream. Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("service state lock");
+            if state.shutdown {
+                return;
+            }
+            state.shutdown = true;
+            let pending: Vec<u64> = state.pending.keys().copied().collect();
+            for id in pending {
+                self.shared.flush_pending(&mut state, id, true);
+            }
+            self.shared.job_ready.notify_all();
+            self.shared.space_ready.notify_all();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list lock"));
+        for worker in workers {
+            worker.join().expect("decode worker panicked");
+        }
+        // Drop every sender so receivers observe end-of-stream after
+        // draining what was decoded.
+        let mut state = self.shared.state.lock().expect("service state lock");
+        state.streams.clear();
+    }
+}
+
+impl Drop for DecodeService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Both halves of an open stream. [`StreamHandle::split`] separates the
+/// (cloneable) submission side from the receiving side so they can live on
+/// different threads.
+#[derive(Debug)]
+pub struct StreamHandle {
+    /// The submission half.
+    pub sender: StreamSender,
+    /// The ordered-correction half.
+    pub receiver: StreamReceiver,
+}
+
+impl StreamHandle {
+    /// Splits the handle into its submission and receiving halves.
+    pub fn split(self) -> (StreamSender, StreamReceiver) {
+        (self.sender, self.receiver)
+    }
+
+    /// [`StreamSender::submit`] on the handle.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamSender::submit`].
+    pub fn submit(&self, fired: &[usize]) -> Result<u64, ServiceError> {
+        self.sender.submit(fired)
+    }
+
+    /// [`StreamReceiver::recv`] on the handle.
+    pub fn recv(&mut self) -> Option<Correction> {
+        self.receiver.recv()
+    }
+}
+
+/// The submission half of a stream (cloneable; all clones feed the same
+/// sequence).
+#[derive(Debug, Clone)]
+pub struct StreamSender {
+    shared: Arc<Shared>,
+    id: u64,
+    program: Arc<DecodeProgram>,
+}
+
+impl StreamSender {
+    /// Number of detectors a frame of this stream must stay within.
+    pub fn num_detectors(&self) -> usize {
+        self.program.num_detectors()
+    }
+
+    /// Number of observables each correction covers.
+    pub fn num_observables(&self) -> usize {
+        self.program.num_observables()
+    }
+
+    /// The stream id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submits one frame (the fired-detector index list of one shot) and
+    /// returns its sequence number. **Blocks** while the stream's bounded
+    /// queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DetectorOutOfRange`] for invalid frames,
+    /// [`ServiceError::StreamClosed`] once the stream or service is closed.
+    pub fn submit(&self, fired: &[usize]) -> Result<u64, ServiceError> {
+        self.submit_inner(fired, true)
+    }
+
+    /// Non-blocking [`StreamSender::submit`]: refuses with
+    /// [`ServiceError::Backpressure`] instead of waiting for queue space.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamSender::submit`], plus [`ServiceError::Backpressure`].
+    pub fn try_submit(&self, fired: &[usize]) -> Result<u64, ServiceError> {
+        self.submit_inner(fired, false)
+    }
+
+    /// Submits many frames in one call: one lock acquisition, one
+    /// timestamp and one bulk metrics update for the whole burst — the
+    /// high-rate entry point (a per-frame [`StreamSender::submit`] loop
+    /// pays the service lock per frame and tops out an order of magnitude
+    /// lower). Returns the sequence range assigned to the burst. **Blocks**
+    /// whenever the bounded queue is full, submitting what fits first.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamSender::submit`]; on a bad frame nothing is submitted.
+    pub fn submit_batch(&self, frames: &[&[usize]]) -> Result<std::ops::Range<u64>, ServiceError> {
+        self.submit_batch_inner(FrameBatch::Indices(frames), true)
+    }
+
+    /// [`StreamSender::submit_batch`] for frames already in the
+    /// detector-major **packed** wire format (bit `d` = detector `d` fired,
+    /// `ceil(num_detectors / 64)` words per frame — what
+    /// [`qccd_sim::SyndromeChunk::packed_frame_into`] produces). Packed
+    /// ingestion is a word-level copy per frame, the fastest path through
+    /// the batcher.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamSender::submit_batch`]; a frame with the wrong word count
+    /// or with out-of-range detector bits set is rejected
+    /// ([`ServiceError::DetectorOutOfRange`]) before anything is submitted.
+    pub fn submit_packed_batch(
+        &self,
+        frames: &[&[u64]],
+    ) -> Result<std::ops::Range<u64>, ServiceError> {
+        self.submit_batch_inner(FrameBatch::Packed(frames), true)
+    }
+
+    fn submit_batch_inner(
+        &self,
+        frames: FrameBatch<'_>,
+        block: bool,
+    ) -> Result<std::ops::Range<u64>, ServiceError> {
+        frames.validate(self.program.num_detectors())?;
+        if frames.len() == 0 {
+            return Ok(0..0);
+        }
+        let shared = &self.shared;
+        let mut remaining = frames;
+        let mut first_seq = None;
+        let mut next_seq = 0;
+        let mut state = shared.state.lock().expect("service state lock");
+        while remaining.len() > 0 {
+            // Wait for queue headroom (backpressure), then take what fits.
+            let room = loop {
+                let Some(stream) = state.streams.get(&self.id) else {
+                    return Err(ServiceError::StreamClosed);
+                };
+                if stream.closed || state.shutdown {
+                    return Err(ServiceError::StreamClosed);
+                }
+                let room = shared.config.stream_queue_shots - stream.inflight;
+                if room > 0 {
+                    break room;
+                }
+                if !block {
+                    return Err(ServiceError::Backpressure);
+                }
+                state = shared.space_ready.wait(state).expect("service state lock");
+            };
+            let take = remaining.len().min(room);
+            let (burst, rest) = remaining.split_at(take);
+            remaining = rest;
+            let now = Instant::now();
+            let stream = state.streams.get_mut(&self.id).expect("checked above");
+            let mut seq = stream.next_submit_seq;
+            first_seq.get_or_insert(seq);
+            stream.next_submit_seq += take as u64;
+            stream.inflight += take;
+            shared.metrics.note_submitted_many(take as u64);
+            let program_id = self.program.id();
+            let flush_shots = shared.config.flush_shots();
+            let mut filled_word = false;
+            let mut index = 0;
+            // Fill flush-bounded segments: one pending-map lookup per
+            // segment, not per frame.
+            while index < burst.len() {
+                if !state.pending.contains_key(&program_id) {
+                    let parts = state
+                        .spares
+                        .get_mut(&program_id)
+                        .and_then(Vec::pop)
+                        .unwrap_or_else(|| BatchParts {
+                            builder: SyndromeChunkBuilder::new(
+                                self.program.num_detectors(),
+                                self.program.num_observables(),
+                            ),
+                            runs: Vec::new(),
+                        });
+                    state.pending.insert(
+                        program_id,
+                        Batch {
+                            program: Arc::clone(&self.program),
+                            parts,
+                            oldest: now,
+                        },
+                    );
+                }
+                let batch = state.pending.get_mut(&program_id).expect("just ensured");
+                if batch.parts.builder.is_empty() {
+                    batch.oldest = now;
+                }
+                // One frame run (and one bookkeeping record) per
+                // flush-bounded segment.
+                let segment =
+                    (burst.len() - index).min(flush_shots - batch.parts.builder.pending_frames());
+                for i in index..index + segment {
+                    burst.push_into(i, &mut batch.parts.builder);
+                }
+                batch.parts.runs.push(FrameRun {
+                    stream: self.id,
+                    first_seq: seq,
+                    count: segment as u32,
+                    submitted: now,
+                });
+                seq += segment as u64;
+                index += segment;
+                if batch.parts.builder.pending_frames() >= flush_shots {
+                    shared.flush_pending(&mut state, program_id, false);
+                    filled_word = true;
+                }
+            }
+            next_seq = seq;
+            if shared.config.flush_deadline.is_zero() {
+                shared.flush_pending(&mut state, program_id, true);
+            } else if !filled_word {
+                // Frames are pending behind the deadline: make sure a
+                // worker's deadline timer is ticking.
+                shared.job_ready.notify_one();
+            }
+        }
+        let first = first_seq.expect("frames is non-empty when the loop ran");
+        Ok(first..next_seq)
+    }
+
+    fn submit_inner(&self, fired: &[usize], block: bool) -> Result<u64, ServiceError> {
+        self.submit_batch_inner(FrameBatch::Indices(&[fired]), block)
+            .map(|range| range.start)
+    }
+
+    /// Closes the stream: no further submissions are accepted, frames
+    /// already submitted still decode, and the receiver drains the remaining
+    /// corrections before observing end-of-stream. The stream's pending
+    /// partial word is flushed immediately. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("service state lock");
+        let program_id = self.program.id();
+        let remove = match state.streams.get_mut(&self.id) {
+            Some(stream) => {
+                stream.closed = true;
+                stream.inflight == 0
+            }
+            None => false,
+        };
+        // Don't strand this stream's queued frames behind the deadline —
+        // but only when it actually has frames in the shared pending batch
+        // (an idle stream's close must not force-flush other streams'
+        // partial words).
+        let has_pending = state
+            .pending
+            .get(&program_id)
+            .is_some_and(|batch| batch.parts.runs.iter().any(|run| run.stream == self.id));
+        if has_pending {
+            self.shared.flush_pending(&mut state, program_id, true);
+        }
+        if remove {
+            state.streams.remove(&self.id);
+        }
+        drop(state);
+        self.shared.space_ready.notify_all();
+    }
+}
+
+/// The receiving half of a stream: corrections arrive in submission order.
+///
+/// Corrections travel the delivery channel as contiguous runs (one channel
+/// send per decoded run, not per frame); the receiver flattens them back
+/// into single [`Correction`]s, so the API stays frame-granular.
+#[derive(Debug)]
+pub struct StreamReceiver {
+    id: u64,
+    rx: mpsc::Receiver<CorrectionRun>,
+    /// The run currently being flattened and the next index within it.
+    current: Option<(CorrectionRun, usize)>,
+}
+
+impl StreamReceiver {
+    /// The stream id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn next_buffered(&mut self) -> Option<Correction> {
+        let (run, index) = self.current.as_mut()?;
+        let correction = Correction {
+            seq: run.first_seq + *index as u64,
+            flips: run.flips[*index],
+        };
+        *index += 1;
+        if *index == run.flips.len() {
+            self.current = None;
+        }
+        Some(correction)
+    }
+
+    fn buffer(&mut self, run: CorrectionRun) -> Correction {
+        debug_assert!(!run.flips.is_empty(), "runs are never empty");
+        self.current = Some((run, 0));
+        self.next_buffered().expect("freshly buffered run")
+    }
+
+    /// Blocks for the next in-order correction; `None` once the stream is
+    /// closed and fully drained.
+    pub fn recv(&mut self) -> Option<Correction> {
+        if let Some(correction) = self.next_buffered() {
+            return Some(correction);
+        }
+        self.rx.recv().ok().map(|run| self.buffer(run))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<Correction> {
+        if let Some(correction) = self.next_buffered() {
+            return Some(correction);
+        }
+        self.rx.try_recv().ok().map(|run| self.buffer(run))
+    }
+
+    /// Receive with a timeout (`None` on timeout or end-of-stream).
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Correction> {
+        if let Some(correction) = self.next_buffered() {
+            return Some(correction);
+        }
+        self.rx
+            .recv_timeout(timeout)
+            .ok()
+            .map(|run| self.buffer(run))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::{Detector, Instruction, LogicalObservable, MeasurementRef, QubitId};
+    use qccd_sim::NoiseChannel;
+
+    /// A one-qubit circuit whose single detector mirrors its single
+    /// observable: the decoder's correction for frame `[0]` is flip, for
+    /// `[]` no flip — easy to assert exactly.
+    fn mirror_circuit() -> NoisyCircuit {
+        let q = QubitId::new(0);
+        let mut c = NoisyCircuit::new();
+        c.push_gate(Instruction::Reset(q));
+        c.push_noise(NoiseChannel::BitFlip { qubit: q, p: 0.25 });
+        c.push_gate(Instruction::Measure(q));
+        c.add_detector(Detector::new(vec![MeasurementRef::new(q, 0)]));
+        c.add_observable(LogicalObservable::new(vec![MeasurementRef::new(q, 0)]));
+        c
+    }
+
+    #[test]
+    fn corrections_come_back_in_order_with_correct_flips() {
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_flush_deadline(Duration::from_micros(50)),
+        );
+        let circuit = mirror_circuit();
+        let mut handle = service
+            .open_stream_circuit("mirror", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        assert_eq!(handle.sender.num_detectors(), 1);
+        assert_eq!(handle.sender.num_observables(), 1);
+        let fired: Vec<bool> = (0..300).map(|i| i % 3 == 0).collect();
+        for &f in &fired {
+            handle
+                .submit(if f { &[0][..] } else { &[][..] })
+                .expect("submit");
+        }
+        for (i, &f) in fired.iter().enumerate() {
+            let correction = handle.recv().expect("correction");
+            assert_eq!(correction.seq, i as u64);
+            assert_eq!(correction.flips, u64::from(f), "frame {i}");
+        }
+        handle.sender.close();
+        assert!(handle.recv().is_none(), "closed stream drains to None");
+        let metrics = service.metrics();
+        assert_eq!(metrics.frames_submitted, 300);
+        assert_eq!(metrics.frames_completed, 300);
+        assert_eq!(metrics.queue_depth, 0);
+        assert!(metrics.words_flushed >= 5);
+        assert!(metrics.p50_latency_us > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn streams_share_programs_and_words() {
+        let service = DecodeService::new(
+            ServiceConfig::default().with_flush_deadline(Duration::from_millis(5)),
+        );
+        let circuit = mirror_circuit();
+        let mut a = service
+            .open_stream_circuit("shared", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        let mut b = service
+            .open_stream_circuit("shared", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        // 32 frames per stream coalesce into exactly one full 64-shot word.
+        for i in 0..32 {
+            a.submit(if i % 2 == 0 { &[0][..] } else { &[][..] })
+                .unwrap();
+            b.submit(&[0]).unwrap();
+        }
+        for i in 0..32u64 {
+            assert_eq!(
+                a.recv().unwrap(),
+                Correction {
+                    seq: i,
+                    flips: (i % 2 == 0) as u64
+                }
+            );
+            assert_eq!(b.recv().unwrap(), Correction { seq: i, flips: 1 });
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.words_flushed, 1, "cross-stream frames share a word");
+        assert_eq!(metrics.full_word_flushes, 1);
+        assert_eq!(metrics.deadline_flushes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_flushes_partial_words() {
+        let service = DecodeService::new(
+            ServiceConfig::default().with_flush_deadline(Duration::from_micros(100)),
+        );
+        let circuit = mirror_circuit();
+        let mut handle = service
+            .open_stream_circuit("partial", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        handle.submit(&[0]).unwrap();
+        // A lone frame cannot fill a word; only the deadline can flush it.
+        let correction = handle
+            .receiver
+            .recv_timeout(Duration::from_secs(10))
+            .expect("deadline flush must deliver the lone frame");
+        assert_eq!(correction, Correction { seq: 0, flips: 1 });
+        let metrics = service.metrics();
+        assert_eq!(metrics.deadline_flushes, 1);
+        assert_eq!(metrics.full_word_flushes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn backpressure_bounds_the_stream_queue() {
+        // One worker, huge deadline, tiny queue: the queue must fill.
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_flush_deadline(Duration::from_secs(30))
+                .with_stream_queue_shots(4),
+        );
+        let circuit = mirror_circuit();
+        let mut handle = service
+            .open_stream_circuit("bp", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        for _ in 0..4 {
+            handle.sender.try_submit(&[0]).expect("queue has room");
+        }
+        assert_eq!(
+            handle.sender.try_submit(&[0]),
+            Err(ServiceError::Backpressure)
+        );
+        assert_eq!(service.metrics().queue_depth, 4);
+        // Closing flushes the partial word; the queue drains and the
+        // receiver sees all four corrections.
+        handle.sender.close();
+        for i in 0..4u64 {
+            assert_eq!(handle.recv().unwrap().seq, i);
+        }
+        assert!(handle.recv().is_none());
+        service.shutdown();
+    }
+
+    #[test]
+    fn bad_frames_and_closed_streams_error() {
+        let service = DecodeService::new(ServiceConfig::default());
+        let circuit = mirror_circuit();
+        let handle = service
+            .open_stream_circuit("err", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        assert_eq!(
+            handle.submit(&[7]),
+            Err(ServiceError::DetectorOutOfRange {
+                detector: 7,
+                num_detectors: 1
+            })
+        );
+        handle.sender.close();
+        assert_eq!(handle.submit(&[]), Err(ServiceError::StreamClosed));
+        service.shutdown();
+        assert!(service
+            .open_stream_circuit("late", &circuit, DecoderKind::UnionFind)
+            .is_err());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_frames() {
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_flush_deadline(Duration::from_secs(30)),
+        );
+        let circuit = mirror_circuit();
+        let mut handle = service
+            .open_stream_circuit("drain", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        for _ in 0..10 {
+            handle.submit(&[0]).unwrap();
+        }
+        // Shutdown flushes the partial word and decodes it before joining.
+        service.shutdown();
+        let mut received = 0;
+        while handle.recv().is_some() {
+            received += 1;
+        }
+        assert_eq!(received, 10);
+    }
+}

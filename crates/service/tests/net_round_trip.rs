@@ -1,0 +1,115 @@
+//! End-to-end TCP round trip: bind an ephemeral server, drive it with the
+//! TCP load generator, verify bit-identity and shut it down over the wire —
+//! the same path the CI service-smoke job exercises via the `artifacts`
+//! binary.
+
+use std::time::Duration;
+
+use qccd_decoder::DecoderKind;
+use qccd_service::{loadgen, LoadgenOptions, NetClient, NetServer, ServiceConfig};
+use serde_json::Value;
+
+#[test]
+fn tcp_round_trip_with_loadgen_and_shutdown() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_flush_deadline(Duration::from_micros(300)),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    let options = LoadgenOptions {
+        streams: 3,
+        shots: 1024,
+        seed: 7,
+        rate: None,
+        verify: true,
+    };
+    let report = loadgen::run_over_tcp(
+        &addr,
+        ("grid", "standard"),
+        2,
+        5.0,
+        2,
+        DecoderKind::UnionFind,
+        &options,
+        true, // shutdown the server over the wire
+    )
+    .expect("TCP loadgen round trip");
+    assert_eq!(report.mismatches, 0, "wire corrections are bit-identical");
+    assert_eq!(report.shots, 1024);
+    assert_eq!(report.metrics.frames_completed, 1024);
+    assert!(report.metrics.words_flushed >= 16);
+    running
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly after shutdown command");
+}
+
+#[test]
+fn shutdown_is_not_blocked_by_an_idle_connection() {
+    let server =
+        NetServer::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    // An idle client that never sends anything must not pin the server.
+    let idle = NetClient::connect(&addr).expect("idle client connects");
+    let mut active = NetClient::connect(&addr).expect("active client connects");
+    active.ping().expect("ping");
+    active.shutdown_server().expect("shutdown");
+    let joined = std::thread::spawn(move || running.join());
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !joined.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server.run() must return despite the idle connection"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    joined
+        .join()
+        .expect("waiter")
+        .expect("server thread")
+        .expect("clean exit");
+    drop(idle);
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let server =
+        NetServer::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    let mut client = NetClient::connect(&addr).expect("connect");
+    client.ping().expect("ping");
+    // Bad opens are rejected with a message, and the connection survives.
+    assert!(client
+        .open_stream(
+            "dodecahedron",
+            2,
+            "standard",
+            1.0,
+            3,
+            DecoderKind::UnionFind
+        )
+        .is_err());
+    assert!(client
+        .open_stream("grid", 2, "standard", 1.0, 0, DecoderKind::UnionFind)
+        .is_err());
+    // A good open still works afterwards, and metrics round-trip.
+    let stream = client
+        .open_stream("grid", 2, "standard", 5.0, 2, DecoderKind::UnionFind)
+        .expect("valid open");
+    assert!(stream.num_detectors > 0);
+    assert_eq!(stream.num_observables, 1);
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.get("streams_open").and_then(Value::as_u64), Some(1));
+    client.close_stream(stream.id).expect("close");
+    client.shutdown_server().expect("shutdown");
+    running.join().expect("server thread").expect("clean exit");
+}

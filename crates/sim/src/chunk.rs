@@ -266,6 +266,31 @@ impl SyndromeChunk {
         }
     }
 
+    /// Number of `u64` words a detector-major packed frame of this chunk
+    /// occupies (`ceil(num_detectors / 64)`).
+    pub fn frame_words(&self) -> usize {
+        self.num_detectors.div_ceil(64)
+    }
+
+    /// Extracts one shot as a **detector-major packed frame** into `out`
+    /// (cleared and resized to [`SyndromeChunk::frame_words`] first): bit
+    /// `d` of the frame is set iff detector `d` fired in the shot. This is
+    /// the wire format streaming clients replay into a
+    /// [`SyndromeChunkBuilder`] — the transpose of the chunk's shot-major
+    /// bit planes.
+    pub fn packed_frame_into(&self, shot: usize, out: &mut Vec<u64>) {
+        assert!(shot < self.num_shots, "shot {shot} out of range");
+        out.clear();
+        out.resize(self.frame_words(), 0);
+        let word = shot / 64;
+        let bit = shot % 64;
+        for d in 0..self.num_detectors {
+            if (self.detectors.plane(d)[word] >> bit) & 1 == 1 {
+                out[d / 64] |= 1u64 << (d % 64);
+            }
+        }
+    }
+
     /// ORs all detector planes together: bit `s` of the result is set iff
     /// *any* detector fired in shot `s`. Lets decoders skip quiet shots
     /// without scanning every plane per shot.
@@ -361,6 +386,123 @@ impl SyndromeChunk {
     /// Mutable access for the sampler while folding measurement planes in.
     pub(crate) fn observables_mut(&mut self) -> &mut BitPlanes {
         &mut self.observables
+    }
+}
+
+/// Incremental frame ingestion: packs a stream of per-shot syndromes
+/// (arriving one *frame* at a time, as from a real-time decoder client) into
+/// the bit-plane [`SyndromeChunk`] layout batch decoders consume.
+///
+/// Frames are detector-major — either a fired-detector index list
+/// ([`SyndromeChunkBuilder::push_frame`]) or a packed `u64` bitmap with bit
+/// `d` = "detector `d` fired" ([`SyndromeChunkBuilder::push_packed_frame`],
+/// the transpose of [`SyndromeChunk::packed_frame_into`]). `finish` performs
+/// the frame→plane transpose; shot order within the produced chunk is the
+/// ingestion order. Observable planes are left zeroed: an online client does
+/// not know the logical frame — that is what the decoder predicts.
+///
+/// The builder is reusable: `finish` drains the pending frames and the
+/// builder keeps its allocations for the next batch.
+#[derive(Debug, Clone)]
+pub struct SyndromeChunkBuilder {
+    num_detectors: usize,
+    num_observables: usize,
+    frame_words: usize,
+    /// Row-major packed frames, `frame_words` words per frame.
+    rows: Vec<u64>,
+    num_frames: usize,
+}
+
+impl SyndromeChunkBuilder {
+    /// A builder for frames over `num_detectors` detectors, producing chunks
+    /// with `num_observables` (zeroed) observable planes.
+    pub fn new(num_detectors: usize, num_observables: usize) -> Self {
+        SyndromeChunkBuilder {
+            num_detectors,
+            num_observables,
+            frame_words: num_detectors.div_ceil(64),
+            rows: Vec::new(),
+            num_frames: 0,
+        }
+    }
+
+    /// Number of detectors per frame.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of frames ingested since the last [`SyndromeChunkBuilder::finish`].
+    pub fn pending_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    /// Whether no frame is pending.
+    pub fn is_empty(&self) -> bool {
+        self.num_frames == 0
+    }
+
+    /// Ingests one frame as a fired-detector index list (indices out of
+    /// range are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= num_detectors`.
+    pub fn push_frame(&mut self, fired: &[usize]) {
+        let start = self.rows.len();
+        self.rows.resize(start + self.frame_words, 0);
+        for &d in fired {
+            assert!(d < self.num_detectors, "detector {d} out of range");
+            self.rows[start + d / 64] |= 1u64 << (d % 64);
+        }
+        self.num_frames += 1;
+    }
+
+    /// Ingests one packed frame (bit `d` = detector `d` fired). The slice
+    /// must hold exactly `ceil(num_detectors / 64)` words; bits beyond
+    /// `num_detectors` in the final word must be clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong word count or set out-of-range bits.
+    pub fn push_packed_frame(&mut self, packed: &[u64]) {
+        assert_eq!(packed.len(), self.frame_words, "wrong frame word count");
+        if !self.num_detectors.is_multiple_of(64) {
+            if let Some(&last) = packed.last() {
+                let valid = (1u64 << (self.num_detectors % 64)) - 1;
+                assert_eq!(last & !valid, 0, "frame sets out-of-range detector bits");
+            }
+        }
+        self.rows.extend_from_slice(packed);
+        self.num_frames += 1;
+    }
+
+    /// Transposes the pending frames into a [`SyndromeChunk`] (shot `s` of
+    /// the chunk is the `s`-th ingested frame; observables zeroed) and
+    /// resets the builder for the next batch. `chunk_index` and
+    /// `shot_offset` are recorded verbatim for the caller's bookkeeping.
+    pub fn finish(&mut self, chunk_index: usize, shot_offset: usize) -> SyndromeChunk {
+        let mut chunk = SyndromeChunk::zeroed(
+            chunk_index,
+            shot_offset,
+            self.num_frames,
+            self.num_detectors,
+            self.num_observables,
+        );
+        for shot in 0..self.num_frames {
+            let row = &self.rows[shot * self.frame_words..(shot + 1) * self.frame_words];
+            let (word, bit) = (shot / 64, shot % 64);
+            for (w, &bits) in row.iter().enumerate() {
+                let mut rest = bits;
+                while rest != 0 {
+                    let d = w * 64 + rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    chunk.detectors.plane_mut(d)[word] |= 1u64 << bit;
+                }
+            }
+        }
+        self.rows.clear();
+        self.num_frames = 0;
+        chunk
     }
 }
 
@@ -707,6 +849,72 @@ mod tests {
             assert!(triage.is_quiet());
             assert_eq!(triage, WordTriage::default());
         }
+    }
+
+    #[test]
+    fn packed_frames_round_trip_through_the_builder() {
+        let circuit = noisy_single_qubit(0.5);
+        let sampler = sample_detector_chunks(&circuit, 130, 3, 256).unwrap();
+        let chunk = sampler.sample_chunk(0);
+        let mut builder = SyndromeChunkBuilder::new(chunk.num_detectors(), 1);
+        let mut packed = Vec::new();
+        for shot in 0..chunk.num_shots() {
+            chunk.packed_frame_into(shot, &mut packed);
+            builder.push_packed_frame(&packed);
+        }
+        assert_eq!(builder.pending_frames(), chunk.num_shots());
+        let rebuilt = builder.finish(7, 42);
+        assert_eq!(rebuilt.chunk_index(), 7);
+        assert_eq!(rebuilt.shot_offset(), 42);
+        assert_eq!(rebuilt.num_shots(), chunk.num_shots());
+        for shot in 0..chunk.num_shots() {
+            assert_eq!(
+                rebuilt.detector_fired(shot, 0),
+                chunk.detector_fired(shot, 0)
+            );
+            // Observables stay zeroed: online clients don't know the frame.
+            assert!(!rebuilt.observable_flipped(shot, 0));
+        }
+        // The builder is reusable and empty again.
+        assert!(builder.is_empty());
+        assert_eq!(builder.finish(0, 0).num_shots(), 0);
+    }
+
+    #[test]
+    fn builder_index_and_packed_frames_agree_across_word_boundaries() {
+        // 70 detectors so frames span two words; 70 frames so the chunk's
+        // shot planes span two words as well.
+        let num_detectors = 70;
+        let mut by_index = SyndromeChunkBuilder::new(num_detectors, 2);
+        let mut by_packed = SyndromeChunkBuilder::new(num_detectors, 2);
+        let mut frames = Vec::new();
+        for s in 0..70usize {
+            let fired: Vec<usize> = (0..num_detectors)
+                .filter(|d| (d * 7 + s) % 9 == 0)
+                .collect();
+            by_index.push_frame(&fired);
+            let mut packed = vec![0u64; 2];
+            for &d in &fired {
+                packed[d / 64] |= 1 << (d % 64);
+            }
+            by_packed.push_packed_frame(&packed);
+            frames.push(fired);
+        }
+        let a = by_index.finish(0, 0);
+        let b = by_packed.finish(0, 0);
+        assert_eq!(a, b);
+        let mut fired = Vec::new();
+        for (s, expected) in frames.iter().enumerate() {
+            a.fired_detectors_into(s, &mut fired);
+            assert_eq!(&fired, expected, "shot {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn builder_rejects_out_of_range_packed_bits() {
+        let mut builder = SyndromeChunkBuilder::new(3, 1);
+        builder.push_packed_frame(&[0b1000]);
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod tableau;
 pub use bitplane::BitPlanes;
 pub use chunk::{
     block_seed, csa_accumulate, sample_detector_chunks, DetectorChunkSampler, SyndromeChunk,
-    WordTriage, CANONICAL_BLOCK_SHOTS, MAX_TRIAGE_CAP,
+    SyndromeChunkBuilder, WordTriage, CANONICAL_BLOCK_SHOTS, MAX_TRIAGE_CAP,
 };
 pub use dem::{DemError, DetectorErrorModel};
 pub use frame::FrameSampler;
