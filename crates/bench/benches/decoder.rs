@@ -218,6 +218,17 @@ fn bench_word_vs_per_shot(c: &mut Criterion) {
         stats.decoded(),
         100.0 * stats.hit_rate(),
     );
+    println!(
+        "word_decode_{shots}_shots_d{d}/dense: {} lane hits / {} misses / {} evictions, {} \
+         clustered lanes ({} components, {} conflicts), {} lanes cached",
+        stats.dense_hits,
+        stats.dense_misses,
+        stats.dense_evictions,
+        stats.cluster_lanes,
+        stats.cluster_components,
+        stats.cluster_conflicts,
+        word.dense_memo_entries(),
+    );
 }
 
 criterion_group!(

@@ -62,6 +62,9 @@ serve options:
   --deadline-us <us>       partial-word flush deadline (default: 500)
   --batch-words <n>        64-shot words coalesced per decode job (default: 1)
   --queue-shots <n>        per-stream in-flight bound (default: 4096)
+  --dense-entries <n>      dense-tier LRU entry cap (default: 65536)
+  --no-dense-memo          disable the dense LRU tier (above-cap lanes
+                           decode uncached)
 
 loadgen options:
   --addr <host:port>       drive a remote `artifacts serve` (default mode)
@@ -80,7 +83,7 @@ loadgen options:
   --shutdown               send a shutdown command after the run (TCP only)
   --format <pretty|json>   report format (default: pretty)
   --workers/--deadline-us/--batch-words/--queue-shots   service knobs
-                           (in-process only)";
+  --dense-entries/--no-dense-memo                       (in-process only)";
 
 /// Output format of `artifacts run`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +226,7 @@ pub fn kind_summary(spec: &ExperimentSpec) -> &'static str {
         ExperimentKind::Surgery(_) => "surgery",
         ExperimentKind::DecoderComparison(_) => "decoder_comparison",
         ExperimentKind::ClusteringAblation(_) => "clustering_ablation",
+        ExperimentKind::DenseTail(_) => "dense_tail",
     }
 }
 
@@ -267,6 +271,16 @@ fn parse_service_flag(
         "--batch-words" => *config = config.with_max_batch_words(parse_number(flag, iter.next())?),
         "--queue-shots" => {
             *config = config.with_stream_queue_shots(parse_number(flag, iter.next())?);
+        }
+        "--dense-entries" => {
+            *config = config.with_memo(
+                config
+                    .memo
+                    .with_dense_max_entries(parse_number(flag, iter.next())?),
+            );
+        }
+        "--no-dense-memo" => {
+            *config = config.with_memo(config.memo.with_dense_max_entries(0));
         }
         _ => return Ok(false),
     }
@@ -809,6 +823,8 @@ mod tests {
             "2",
             "--queue-shots",
             "128",
+            "--dense-entries",
+            "512",
         ]))
         .unwrap();
         assert_eq!(options.addr, "0.0.0.0:9000");
@@ -816,8 +832,12 @@ mod tests {
         assert_eq!(options.service.flush_deadline, Duration::from_micros(250));
         assert_eq!(options.service.max_batch_words, 2);
         assert_eq!(options.service.stream_queue_shots, 128);
+        assert_eq!(options.service.memo.dense_max_entries, 512);
+        let dense_off = parse_serve_options(&strings(&["--no-dense-memo"])).unwrap();
+        assert!(!dense_off.service.memo.dense_enabled());
         assert!(parse_serve_options(&strings(&["--workers"])).is_err());
         assert!(parse_serve_options(&strings(&["--workers", "x"])).is_err());
+        assert!(parse_serve_options(&strings(&["--dense-entries"])).is_err());
         assert!(parse_serve_options(&strings(&["--bogus"])).is_err());
     }
 

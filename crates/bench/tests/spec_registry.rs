@@ -10,8 +10,8 @@ use proptest::prelude::*;
 
 use qccd_bench::spec::{
     ArchPoint, ClusteringAblationSpec, CodeSpec, CompileCase, CompilerBoundsSpec,
-    DecoderComparisonSpec, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec, SurgerySpec,
-    TimingMetric, TimingSweepSpec,
+    DecoderComparisonSpec, DenseTailSpec, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec,
+    SurgerySpec, TimingMetric, TimingSweepSpec,
 };
 use qccd_bench::ExperimentRegistry;
 use qccd_decoder::{DecoderKind, EstimatorConfig, MemoConfig};
@@ -208,8 +208,16 @@ fn spec_suite() -> impl Strategy<Value = Vec<ExperimentSpec>> {
                     spec(
                         "clustering",
                         ExperimentKind::ClusteringAblation(ClusteringAblationSpec {
-                            distances,
+                            distances: distances.clone(),
                             capacities: vec![3, 5],
+                        }),
+                    ),
+                    spec(
+                        "dense_tail",
+                        ExperimentKind::DenseTail(DenseTailSpec {
+                            distances,
+                            p: 0.001 + (shots % 100) as f64 / 1000.0,
+                            shots,
                         }),
                     ),
                 ]
@@ -239,6 +247,7 @@ proptest! {
 fn registry_is_complete_and_every_spec_resolves_validates_and_round_trips() {
     let registry = ExperimentRegistry::builtin();
     let expected = [
+        "decoder_dense_tail",
         "ext_ablation_clustering",
         "ext_decoder_comparison",
         "ext_surgery",

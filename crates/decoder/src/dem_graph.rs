@@ -244,6 +244,13 @@ impl DecodingGraph {
         self.num_detectors
     }
 
+    /// Number of union-find nodes: every detector plus the virtual boundary
+    /// (which is indexed `num_detectors()` by convention throughout the
+    /// crate).
+    pub fn num_nodes(&self) -> usize {
+        self.num_detectors + 1
+    }
+
     /// Number of logical observables tracked on edges.
     pub fn num_observables(&self) -> usize {
         self.num_observables

@@ -105,6 +105,8 @@ fn defect_count_above_the_cap_bypasses_the_memo() {
             uncacheable: 2,
             prefilled: 8,
             dense_words: 1,
+            dense_hits: 1, // the second identical lane hits the dense LRU
+            dense_misses: 1,
             ..CacheStats::default()
         }
     );
@@ -140,6 +142,7 @@ fn cache_stats_count_hits_misses_and_uncacheable_exactly() {
             prefilled: 8,
             dense_words: 1,
             word_merged: 3,
+            dense_misses: 1,
             ..CacheStats::default()
         }
     );

@@ -1,0 +1,364 @@
+//! Property battery for the dense-shot tail: lanes with more defects than
+//! the memo cap, which route through the dense LRU tier and the local
+//! cluster matcher instead of the sparse word merge.
+//!
+//! Shot streams here are biased heavy — every random lane carries at least
+//! five defects, the regime a surface code reaches at physical error rates
+//! of 5e-3 and above — so the triage ladder's dense rungs are exercised on
+//! every word. The contract under test is the crate-wide invariant: the
+//! dense tier (lane LRU, cluster decomposition, conflict rollback, tiny
+//! caps forcing evictions, or the tier switched off entirely) must be
+//! **bit-identical** to the per-shot reference loop and to a cold
+//! memo-disabled decode, with the dense/cluster `CacheStats` counters
+//! agreeing between the word and per-shot paths.
+
+use proptest::prelude::*;
+
+use qccd_decoder::{
+    CacheStats, DecodeScratch, Decoder, DecoderKind, DecodingGraph, ExactMatchingDecoder,
+    GreedyMatchingDecoder, MemoConfig, SyndromeChunk, UnionFindDecoder,
+};
+use qccd_sim::{sample_detector_chunks, DemError, DetectorErrorModel, NoiseChannel, NoisyCircuit};
+
+/// A chain decoding graph: `n` detectors in a line, boundary edges at both
+/// ends; the right boundary edge flips the observable.
+fn chain_graph(n: usize) -> DecodingGraph {
+    let mut errors = vec![DemError {
+        probability: 0.01,
+        detectors: vec![0],
+        observables: vec![],
+    }];
+    for i in 0..n - 1 {
+        errors.push(DemError {
+            probability: 0.01,
+            detectors: vec![i as u32, i as u32 + 1],
+            observables: vec![],
+        });
+    }
+    errors.push(DemError {
+        probability: 0.01,
+        detectors: vec![n as u32 - 1],
+        observables: vec![0],
+    });
+    DecodingGraph::from_dem(&DetectorErrorModel {
+        num_detectors: n,
+        num_observables: 1,
+        errors,
+    })
+}
+
+/// A random mostly-graphlike DEM: a connected chain plus random chords, so
+/// cluster decompositions range from one big component to many islands.
+fn random_dem(
+    n: usize,
+    probabilities: &[f64],
+    extra_edges: &[(usize, usize, bool)],
+) -> DetectorErrorModel {
+    let mut errors = Vec::new();
+    errors.push(DemError {
+        probability: probabilities[0],
+        detectors: vec![0],
+        observables: vec![0],
+    });
+    for i in 0..n - 1 {
+        errors.push(DemError {
+            probability: probabilities[(i + 1) % probabilities.len()],
+            detectors: vec![i as u32, i as u32 + 1],
+            observables: vec![],
+        });
+    }
+    errors.push(DemError {
+        probability: probabilities[n % probabilities.len()],
+        detectors: vec![n as u32 - 1],
+        observables: vec![],
+    });
+    for &(a, b, crosses) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        errors.push(DemError {
+            probability: probabilities[(a + b) % probabilities.len()],
+            detectors: vec![a.min(b) as u32, a.max(b) as u32],
+            observables: if crosses { vec![0] } else { vec![] },
+        });
+    }
+    DetectorErrorModel {
+        num_detectors: n,
+        num_observables: 1,
+        errors,
+    }
+}
+
+fn chunk_of(n: usize, shots: &[Vec<usize>]) -> SyndromeChunk {
+    let packed: Vec<(Vec<usize>, Vec<usize>)> = shots
+        .iter()
+        .map(|fired| (fired.clone(), Vec::new()))
+        .collect();
+    SyndromeChunk::from_shots(n, 1, &packed)
+}
+
+fn probabilities() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..0.3, 4..10)
+}
+
+fn extra_edges() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    prop::collection::vec((0usize..16, 0usize..16, any::<bool>()), 0..6)
+}
+
+/// Heavy shot streams over `n` detectors: every lane fires at least five
+/// detectors, above the default memo defect cap of four, so every word is
+/// triaged dense and every lane takes the dense tier.
+fn dense_shots(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..n, 5..n + 1).prop_map(|s| s.into_iter().collect()),
+        1..80,
+    )
+}
+
+/// The stats both paths must agree on: the sparse memo counters plus every
+/// dense-tier and cluster counter. (`*_words` triage counters and
+/// `word_merged` are word-path-only by construction.)
+fn comparable(stats: CacheStats) -> [u64; 10] {
+    [
+        stats.hits,
+        stats.misses,
+        stats.uncacheable,
+        stats.prefilled,
+        stats.dense_hits,
+        stats.dense_misses,
+        stats.dense_evictions,
+        stats.cluster_lanes,
+        stats.cluster_components,
+        stats.cluster_conflicts,
+    ]
+}
+
+fn all_decoders(graph: &DecodingGraph) -> Vec<Box<dyn Decoder>> {
+    vec![
+        Box::new(UnionFindDecoder::new(graph.clone())),
+        Box::new(GreedyMatchingDecoder::new(graph.clone())),
+        Box::new(ExactMatchingDecoder::new(graph.clone())),
+        Box::new(ExactMatchingDecoder::new(graph.clone()).with_max_exact_defects(2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Heavy random streams, every dense-tier configuration: bit-identical
+    /// to the per-shot loop (same scratch history) and to a cold
+    /// memo-disabled decode, cold and warm.
+    #[test]
+    fn prop_dense_tail_identity(
+        probabilities in probabilities(),
+        extra in extra_edges(),
+        syndromes in dense_shots(12),
+    ) {
+        let n = 12;
+        let dem = random_dem(n, &probabilities, &extra);
+        let graph = DecodingGraph::from_dem(&dem);
+        let chunk = chunk_of(n, &syndromes);
+        let memo_configs = [
+            MemoConfig::default(),
+            // A two-entry lane LRU: most streams force evictions.
+            MemoConfig::default().with_dense_max_entries(2),
+            // Dense tier off, sparse memo on: the legacy fallback path.
+            MemoConfig::default().with_dense_max_entries(0),
+            MemoConfig::disabled(),
+        ];
+
+        for decoder in &all_decoders(&graph) {
+            // The ground truth never touches any memo tier.
+            let mut cold = DecodeScratch::with_memo_config(MemoConfig::disabled());
+            let truth = decoder.decode_batch_per_shot(&chunk, &mut cold);
+
+            for memo in memo_configs {
+                let mut word = DecodeScratch::with_memo_config(memo);
+                let mut per_shot = DecodeScratch::with_memo_config(memo);
+                for pass in 0..2 {
+                    let batch = decoder.decode_batch(&chunk, &mut word);
+                    let reference = decoder.decode_batch_per_shot(&chunk, &mut per_shot);
+                    prop_assert_eq!(&batch, &reference, "word vs per-shot, pass {}", pass);
+                    prop_assert_eq!(&batch, &truth, "word vs cold truth, pass {}", pass);
+                }
+                prop_assert_eq!(
+                    comparable(word.cache_stats()),
+                    comparable(per_shot.cache_stats()),
+                    "dense/cluster accounting must match the per-shot loop"
+                );
+
+                let stats = word.cache_stats();
+                if memo.enabled() && memo.dense_enabled() {
+                    prop_assert!(
+                        stats.dense_misses >= 1,
+                        "heavy lanes must consult the dense tier"
+                    );
+                } else {
+                    prop_assert_eq!(stats.dense_hits, 0);
+                    prop_assert_eq!(stats.dense_misses, 0);
+                    prop_assert_eq!(stats.dense_evictions, 0);
+                    prop_assert_eq!(stats.cluster_lanes, 0);
+                }
+            }
+        }
+    }
+}
+
+/// A two-entry dense LRU on a stream of distinct heavy lanes must evict and
+/// still decode bit-identically, warm and cold.
+#[test]
+fn tiny_dense_cap_evicts_and_stays_bit_identical() {
+    let decoder = UnionFindDecoder::new(chain_graph(16));
+    // Eight distinct 5-defect lanes cycling through a 2-entry LRU.
+    let shots: Vec<Vec<usize>> = (0..8)
+        .map(|offset| (offset..offset + 5).collect())
+        .collect();
+    let chunk = chunk_of(16, &shots);
+    let memo = MemoConfig::default().with_dense_max_entries(2);
+
+    let mut word = DecodeScratch::with_memo_config(memo);
+    let mut cold = DecodeScratch::with_memo_config(MemoConfig::disabled());
+    let truth = decoder.decode_batch(&chunk, &mut cold);
+    for pass in 0..3 {
+        let batch = decoder.decode_batch(&chunk, &mut word);
+        assert_eq!(batch, truth, "pass {pass}");
+    }
+    let stats = word.cache_stats();
+    assert!(
+        stats.dense_evictions >= 6,
+        "eight distinct lanes through a 2-entry LRU must evict, got {}",
+        stats.dense_evictions
+    );
+    assert!(word.dense_memo_entries() <= 2, "the cap bounds the tier");
+}
+
+/// Well-separated defect islands on a chain decompose into independent
+/// clusters that decode without conflicts; the counters pin the shape.
+#[test]
+fn separated_islands_decode_as_independent_clusters() {
+    let decoder = UnionFindDecoder::new(chain_graph(24));
+    // Three adjacent pairs, far apart: each merges internally and goes
+    // neutral without growing into its neighbours.
+    let shots = vec![vec![2, 3, 10, 11, 18, 19]];
+    let chunk = chunk_of(24, &shots);
+
+    let mut word = DecodeScratch::new();
+    let mut cold = DecodeScratch::with_memo_config(MemoConfig::disabled());
+    let truth = decoder.decode_batch(&chunk, &mut cold);
+    let batch = decoder.decode_batch(&chunk, &mut word);
+    assert_eq!(batch, truth);
+
+    let stats = word.cache_stats();
+    assert_eq!(stats.cluster_lanes, 1, "one dense lane decomposed");
+    assert_eq!(stats.cluster_components, 3, "three defect islands");
+    assert_eq!(stats.cluster_conflicts, 0, "islands never touch");
+    // One lane probe plus one probe per island, all cold.
+    assert_eq!(stats.dense_misses, 4);
+
+    // A warm pass answers from the lane LRU without re-clustering.
+    let rerun = decoder.decode_batch(&chunk, &mut word);
+    assert_eq!(rerun, truth);
+    let warm = word.cache_stats();
+    assert_eq!(warm.dense_hits, 1);
+    assert_eq!(warm.cluster_lanes, 1, "no second decomposition");
+}
+
+/// An odd-parity island that grows across another island's claimed region
+/// is detected, rolled back, and redecoded whole-lane — bit-identically.
+#[test]
+fn cluster_conflicts_roll_back_to_the_whole_lane_decode() {
+    let decoder = UnionFindDecoder::new(chain_graph(24));
+    // The middle island has odd parity, so its cluster grows along the
+    // chain until it reaches a boundary — straight through the regions the
+    // outer islands claimed first.
+    let shots = vec![vec![0, 1, 2, 10, 11, 12, 20, 21]];
+    let chunk = chunk_of(24, &shots);
+
+    let mut word = DecodeScratch::new();
+    let mut cold = DecodeScratch::with_memo_config(MemoConfig::disabled());
+    let truth = decoder.decode_batch(&chunk, &mut cold);
+    let batch = decoder.decode_batch(&chunk, &mut word);
+    assert_eq!(batch, truth, "rollback must restore bit-identity");
+
+    let stats = word.cache_stats();
+    assert_eq!(stats.cluster_lanes, 1);
+    assert_eq!(stats.cluster_components, 3);
+    assert_eq!(
+        stats.cluster_conflicts, 1,
+        "the growing island must trip the claim check"
+    );
+
+    // The whole-lane answer was still cached: a warm pass is a lane hit.
+    let rerun = decoder.decode_batch(&chunk, &mut word);
+    assert_eq!(rerun, truth);
+    assert_eq!(word.cache_stats().dense_hits, 1);
+}
+
+/// Rotated surface codes at biased-high physical error rate: the dense
+/// tail dominates, and the word path must stay bit-identical to the
+/// per-shot reference for every decoder kind.
+#[test]
+fn surface_code_dense_tail_is_identical_at_high_p() {
+    use qccd_circuit::Instruction;
+    use qccd_qec::{memory_experiment, rotated_surface_code, MemoryBasis};
+
+    for d in [3usize, 5] {
+        let code = rotated_surface_code(d);
+        let exp = memory_experiment(&code, d, MemoryBasis::Z);
+        let data = code.data_qubits();
+        let mut noisy = NoisyCircuit::new();
+        noisy.pad_qubits(exp.circuit.num_qubits());
+        let first_ancilla = code.ancilla_qubits()[0];
+        for instruction in exp.circuit.iter() {
+            if let Instruction::Reset(q) = instruction {
+                if *q == first_ancilla {
+                    for &dq in &data {
+                        // Biased high: ~25x the paper's operating point,
+                        // forcing >4-defect lanes on most shots.
+                        noisy.push_noise(NoiseChannel::Depolarize1 { qubit: dq, p: 0.05 });
+                    }
+                }
+            }
+            noisy.push_gate(*instruction);
+        }
+        for det in exp.circuit.detectors() {
+            noisy.add_detector(det.clone());
+        }
+        for obs in exp.circuit.observables() {
+            noisy.add_observable(obs.clone());
+        }
+
+        let shots = 1024;
+        let sampler = sample_detector_chunks(&noisy, shots, 17, shots).expect("valid annotations");
+        let chunk = sampler.sample_chunk(0);
+        let dem = DetectorErrorModel::from_circuit(&noisy).expect("valid annotations");
+        let graph = DecodingGraph::from_dem(&dem);
+        for kind in [
+            DecoderKind::UnionFind,
+            DecoderKind::GreedyMatching,
+            DecoderKind::ExactMatching,
+        ] {
+            let decoder = kind.build(graph.clone());
+            let mut word = DecodeScratch::new();
+            let mut per_shot = DecodeScratch::new();
+            let mut cold = DecodeScratch::with_memo_config(MemoConfig::disabled());
+            let truth = decoder.decode_batch_per_shot(&chunk, &mut cold);
+            for pass in 0..2 {
+                let from_word = decoder.decode_batch(&chunk, &mut word);
+                let reference = decoder.decode_batch_per_shot(&chunk, &mut per_shot);
+                assert_eq!(from_word, reference, "d={d} kind={kind:?} pass={pass}");
+                assert_eq!(from_word, truth, "d={d} kind={kind:?} pass={pass}");
+            }
+            assert_eq!(
+                comparable(word.cache_stats()),
+                comparable(per_shot.cache_stats()),
+                "d={d} kind={kind:?}"
+            );
+            assert!(
+                word.cache_stats().dense_misses > 0,
+                "high p must push lanes into the dense tier (d={d} kind={kind:?})"
+            );
+        }
+    }
+}

@@ -74,6 +74,8 @@ fn all_dense_words_route_every_lane_to_the_fallback() {
             uncacheable: 64,
             prefilled: 8,
             dense_words: 1,
+            dense_hits: 63, // 64 identical lanes: one miss, the rest hit
+            dense_misses: 1,
             ..CacheStats::default()
         }
     );
@@ -172,6 +174,7 @@ fn above_cap_lanes_fall_back_while_dense_word_singles_still_merge() {
             prefilled: 10,
             dense_words: 1,
             word_merged: 2,
+            dense_misses: 1, // the 7-defect lane misses the dense LRU
             ..CacheStats::default()
         }
     );
@@ -200,6 +203,12 @@ fn quiet_sparse_and_dense_words_are_counted_exactly() {
             sparse_words: 1,
             dense_words: 1,
             word_merged: 3,
+            dense_hits: 0,
+            dense_misses: 1, // the 5-defect lane misses the dense LRU once
+            dense_evictions: 0,
+            cluster_lanes: 0, // contiguous defects form a single cluster
+            cluster_components: 0,
+            cluster_conflicts: 0,
         }
     );
     assert_eq!(stats.words(), 3);

@@ -4,6 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use qccd_decoder::CacheStats;
 use serde_json::Value;
 
 /// Number of exponential latency buckets (bucket `i` covers
@@ -72,6 +73,14 @@ pub(crate) struct MetricsInner {
     pub(crate) words_flushed: AtomicU64,
     pub(crate) full_word_flushes: AtomicU64,
     pub(crate) deadline_flushes: AtomicU64,
+    /// Dense-tier counters aggregated from every worker's per-batch
+    /// `CacheStats` delta (see [`MetricsInner::note_decode_cache`]).
+    dense_hits: AtomicU64,
+    dense_misses: AtomicU64,
+    dense_evictions: AtomicU64,
+    cluster_lanes: AtomicU64,
+    cluster_components: AtomicU64,
+    cluster_conflicts: AtomicU64,
     /// Nanoseconds (since service start) of the first submission / the most
     /// recent completion — bounds of the active window shots/s is computed
     /// over. 0 = "not yet".
@@ -90,6 +99,12 @@ impl MetricsInner {
             words_flushed: AtomicU64::new(0),
             full_word_flushes: AtomicU64::new(0),
             deadline_flushes: AtomicU64::new(0),
+            dense_hits: AtomicU64::new(0),
+            dense_misses: AtomicU64::new(0),
+            dense_evictions: AtomicU64::new(0),
+            cluster_lanes: AtomicU64::new(0),
+            cluster_components: AtomicU64::new(0),
+            cluster_conflicts: AtomicU64::new(0),
             first_submit_ns: AtomicU64::new(0),
             last_complete_ns: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
@@ -130,6 +145,23 @@ impl MetricsInner {
             .store(self.now_ns(), Ordering::Relaxed);
     }
 
+    /// Folds one decode batch's `CacheStats` delta (the scratch's counters
+    /// after the batch minus before it) into the live dense-tier gauges.
+    pub(crate) fn note_decode_cache(&self, delta: &CacheStats) {
+        self.dense_hits
+            .fetch_add(delta.dense_hits, Ordering::Relaxed);
+        self.dense_misses
+            .fetch_add(delta.dense_misses, Ordering::Relaxed);
+        self.dense_evictions
+            .fetch_add(delta.dense_evictions, Ordering::Relaxed);
+        self.cluster_lanes
+            .fetch_add(delta.cluster_lanes, Ordering::Relaxed);
+        self.cluster_components
+            .fetch_add(delta.cluster_components, Ordering::Relaxed);
+        self.cluster_conflicts
+            .fetch_add(delta.cluster_conflicts, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, streams_open: usize) -> ServiceMetrics {
         let completed = self.completed.load(Ordering::Relaxed);
         let first = self.first_submit_ns.load(Ordering::Relaxed);
@@ -147,6 +179,12 @@ impl MetricsInner {
             words_flushed: self.words_flushed.load(Ordering::Relaxed),
             full_word_flushes: self.full_word_flushes.load(Ordering::Relaxed),
             deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            dense_hits: self.dense_hits.load(Ordering::Relaxed),
+            dense_misses: self.dense_misses.load(Ordering::Relaxed),
+            dense_evictions: self.dense_evictions.load(Ordering::Relaxed),
+            cluster_lanes: self.cluster_lanes.load(Ordering::Relaxed),
+            cluster_components: self.cluster_components.load(Ordering::Relaxed),
+            cluster_conflicts: self.cluster_conflicts.load(Ordering::Relaxed),
             shots_per_sec: if window_s > 0.0 {
                 completed as f64 / window_s
             } else {
@@ -175,6 +213,18 @@ pub struct ServiceMetrics {
     pub full_word_flushes: u64,
     /// Flushes triggered by the latency deadline (partial words).
     pub deadline_flushes: u64,
+    /// Dense-tier lane-LRU hits across every worker's decode batches.
+    pub dense_hits: u64,
+    /// Dense-tier LRU misses (lane and cluster probes that fell through).
+    pub dense_misses: u64,
+    /// Dense-tier LRU evictions under the configured entry cap.
+    pub dense_evictions: u64,
+    /// Above-cap lanes decomposed by the local cluster matcher.
+    pub cluster_lanes: u64,
+    /// Connected components produced by those decompositions.
+    pub cluster_components: u64,
+    /// Cluster decodes rolled back to a whole-lane union-find pass.
+    pub cluster_conflicts: u64,
     /// Completed frames per second over the active window (first submission
     /// to latest completion).
     pub shots_per_sec: f64,
@@ -196,6 +246,12 @@ impl ServiceMetrics {
             "words_flushed": self.words_flushed,
             "full_word_flushes": self.full_word_flushes,
             "deadline_flushes": self.deadline_flushes,
+            "dense_hits": self.dense_hits,
+            "dense_misses": self.dense_misses,
+            "dense_evictions": self.dense_evictions,
+            "cluster_lanes": self.cluster_lanes,
+            "cluster_components": self.cluster_components,
+            "cluster_conflicts": self.cluster_conflicts,
             "shots_per_sec": self.shots_per_sec,
             "p50_latency_us": self.p50_latency_us,
             "p99_latency_us": self.p99_latency_us,

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use qccd_core::{compile_cache, ArchitectureConfig, Compiler};
-use qccd_decoder::{DecodeScratch, Decoder, DecoderKind, DecodingGraph, MemoSnapshot};
+use qccd_decoder::{DecodeScratch, Decoder, DecoderKind, DecodingGraph, MemoConfig, MemoSnapshot};
 use qccd_qec::{rotated_surface_code, MemoryBasis};
 use qccd_sim::{DetectorErrorModel, NoisyCircuit};
 
@@ -28,6 +28,7 @@ pub struct DecodeProgram {
     num_observables: usize,
     decoder_kind: DecoderKind,
     decoder: Box<dyn Decoder + Send + Sync>,
+    memo: MemoConfig,
     snapshot: Option<MemoSnapshot>,
 }
 
@@ -60,6 +61,22 @@ impl DecodeProgram {
         distance: usize,
         decoder: DecoderKind,
     ) -> Result<Self, ServiceError> {
+        Self::compile_with_memo(arch, distance, decoder, MemoConfig::default())
+    }
+
+    /// [`DecodeProgram::compile`] with an explicit memo configuration: the
+    /// warm snapshot (and every worker scratch adopting it) runs with
+    /// `memo`'s defect/entry caps and dense-tier knobs.
+    ///
+    /// # Errors
+    ///
+    /// As [`DecodeProgram::compile`].
+    pub fn compile_with_memo(
+        arch: &ArchitectureConfig,
+        distance: usize,
+        decoder: DecoderKind,
+        memo: MemoConfig,
+    ) -> Result<Self, ServiceError> {
         let rounds = distance.max(1);
         let compile_key = compile_cache::memory_key(arch, distance, rounds, MemoryBasis::Z);
         let layout = rotated_surface_code(distance);
@@ -69,10 +86,11 @@ impl DecodeProgram {
                 compiler.compile_memory_experiment(&layout, rounds, MemoryBasis::Z)
             })
             .map_err(|e| ServiceError::Compile(e.to_string()))?;
-        DecodeProgram::from_circuit(
+        DecodeProgram::from_circuit_with_memo(
             DecodeProgram::config_key(arch, distance, decoder),
             program.to_noisy_circuit(),
             decoder,
+            memo,
         )
     }
 
@@ -99,6 +117,21 @@ impl DecodeProgram {
         noisy: NoisyCircuit,
         decoder_kind: DecoderKind,
     ) -> Result<Self, ServiceError> {
+        Self::from_circuit_with_memo(key, noisy, decoder_kind, MemoConfig::default())
+    }
+
+    /// [`DecodeProgram::from_circuit`] with an explicit memo configuration
+    /// (see [`DecodeProgram::compile_with_memo`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DecodeProgram::from_circuit`].
+    pub fn from_circuit_with_memo(
+        key: impl Into<String>,
+        noisy: NoisyCircuit,
+        decoder_kind: DecoderKind,
+        memo: MemoConfig,
+    ) -> Result<Self, ServiceError> {
         let dem = DetectorErrorModel::from_circuit(&noisy)
             .map_err(|e| ServiceError::InvalidCircuit(format!("{e:?}")))?;
         if dem.num_observables > 64 {
@@ -108,8 +141,10 @@ impl DecodeProgram {
         let num_observables = dem.num_observables;
         let decoder = decoder_kind.build(DecodingGraph::from_dem(&dem));
         // Warm once per program: every worker adopts this snapshot, so no
-        // stream ever pays a cold-start prefill.
-        let mut warm = DecodeScratch::new();
+        // stream ever pays a cold-start prefill. The snapshot carries the
+        // memo configuration, so adoption installs `memo`'s caps and
+        // dense-tier knobs in every worker scratch.
+        let mut warm = DecodeScratch::with_memo_config(memo);
         let snapshot = decoder.warm_memo_snapshot(num_detectors, &mut warm);
         Ok(DecodeProgram {
             id: next_program_id(),
@@ -119,6 +154,7 @@ impl DecodeProgram {
             num_observables,
             decoder_kind,
             decoder,
+            memo,
             snapshot,
         })
     }
@@ -146,6 +182,12 @@ impl DecodeProgram {
     /// The decoder kind this program decodes with.
     pub fn decoder_kind(&self) -> DecoderKind {
         self.decoder_kind
+    }
+
+    /// The memo configuration the program was warmed with (what every
+    /// worker scratch decodes under after adopting the snapshot).
+    pub fn memo_config(&self) -> MemoConfig {
+        self.memo
     }
 
     /// The noisy circuit the program assumes frames are sampled from (used

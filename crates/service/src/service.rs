@@ -9,7 +9,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qccd_core::ArchitectureConfig;
-use qccd_decoder::{DecodeScratch, DecoderKind};
+use qccd_decoder::{DecodeScratch, DecoderKind, MemoConfig};
 use qccd_sim::{NoisyCircuit, SyndromeChunkBuilder};
 
 use crate::metrics::{MetricsInner, ServiceMetrics};
@@ -32,6 +32,9 @@ pub struct ServiceConfig {
     /// Per-stream bound on frames in flight (submitted, correction not yet
     /// produced). Submission blocks — or `try_submit` refuses — beyond it.
     pub stream_queue_shots: usize,
+    /// Memo configuration programs are warmed with and worker scratches
+    /// decode under (defect/entry caps plus the dense-tier LRU knobs).
+    pub memo: MemoConfig,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +44,7 @@ impl Default for ServiceConfig {
             flush_deadline: Duration::from_micros(500),
             max_batch_words: 1,
             stream_queue_shots: 4096,
+            memo: MemoConfig::default(),
         }
     }
 }
@@ -67,6 +71,13 @@ impl ServiceConfig {
     /// Overrides the per-stream in-flight bound.
     pub fn with_stream_queue_shots(mut self, shots: usize) -> Self {
         self.stream_queue_shots = shots.max(1);
+        self
+    }
+
+    /// Overrides the memo configuration (defect/entry caps and dense-tier
+    /// knobs) applied to programs compiled by this service.
+    pub fn with_memo(mut self, memo: MemoConfig) -> Self {
+        self.memo = memo;
         self
     }
 
@@ -410,12 +421,18 @@ fn worker_loop(shared: Arc<Shared>) {
         // Transpose the packed frames into bit planes and decode — both
         // outside the service lock.
         let chunk = job.parts.builder.finish(0, 0);
-        let scratch = scratches.entry(job.program.id()).or_default();
+        let scratch = scratches
+            .entry(job.program.id())
+            .or_insert_with(|| DecodeScratch::with_memo_config(job.program.memo_config()));
+        let before = scratch.cache_stats();
         let prediction = job.program.decoder().decode_batch_with_snapshot(
             &chunk,
             scratch,
             job.program.snapshot(),
         );
+        shared
+            .metrics
+            .note_decode_cache(&scratch.cache_stats().since(&before));
         flips.clear();
         flips.resize(chunk.num_shots(), 0);
         for observable in 0..prediction.num_observables() {
@@ -498,8 +515,9 @@ impl DecodeService {
         decoder: DecoderKind,
     ) -> Result<StreamHandle, ServiceError> {
         let key = DecodeProgram::config_key(arch, distance, decoder);
+        let memo = self.shared.config.memo;
         self.open_stream_with(&key, || {
-            DecodeProgram::compile(arch, distance, decoder).map(Arc::new)
+            DecodeProgram::compile_with_memo(arch, distance, decoder, memo).map(Arc::new)
         })
     }
 
@@ -517,8 +535,9 @@ impl DecodeService {
         circuit: &NoisyCircuit,
         decoder: DecoderKind,
     ) -> Result<StreamHandle, ServiceError> {
+        let memo = self.shared.config.memo;
         self.open_stream_with(key, || {
-            DecodeProgram::from_circuit(key, circuit.clone(), decoder).map(Arc::new)
+            DecodeProgram::from_circuit_with_memo(key, circuit.clone(), decoder, memo).map(Arc::new)
         })
     }
 
@@ -980,6 +999,89 @@ mod tests {
         c.add_detector(Detector::new(vec![MeasurementRef::new(q, 0)]));
         c.add_observable(LogicalObservable::new(vec![MeasurementRef::new(q, 0)]));
         c
+    }
+
+    /// Six independent qubits, one detector each, observable on qubit 0:
+    /// frames can fire enough detectors to overflow the memo defect cap.
+    fn six_detector_circuit() -> NoisyCircuit {
+        let mut c = NoisyCircuit::new();
+        for i in 0..6 {
+            let q = QubitId::new(i);
+            c.push_gate(Instruction::Reset(q));
+            c.push_noise(NoiseChannel::BitFlip { qubit: q, p: 0.25 });
+            c.push_gate(Instruction::Measure(q));
+            c.add_detector(Detector::new(vec![MeasurementRef::new(q, 0)]));
+        }
+        c.add_observable(LogicalObservable::new(vec![MeasurementRef::new(
+            QubitId::new(0),
+            0,
+        )]));
+        c
+    }
+
+    #[test]
+    fn dense_frames_surface_in_the_live_metrics() {
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_flush_deadline(Duration::from_micros(50)),
+        );
+        let circuit = six_detector_circuit();
+        let mut handle = service
+            .open_stream_circuit("dense", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        // Five fired detectors exceed the default memo cap of four: the
+        // lane takes the dense tier. Submitted twice, the second frame is
+        // answered by the lane LRU.
+        let dense_frame = [0usize, 1, 2, 3, 4];
+        for _ in 0..2 {
+            handle.submit(&dense_frame).unwrap();
+        }
+        for _ in 0..2 {
+            let correction = handle.recv().expect("correction");
+            assert_eq!(correction.flips, 1, "detector 0 mirrors observable 0");
+        }
+        let metrics = service.metrics();
+        assert!(
+            metrics.dense_misses >= 1,
+            "the first dense frame misses the lane LRU: {metrics:?}"
+        );
+        assert!(
+            metrics.dense_hits >= 1,
+            "the repeat frame hits the lane LRU: {metrics:?}"
+        );
+        assert_eq!(metrics.cluster_conflicts, 0, "isolated defects never clash");
+        let json = metrics.to_json();
+        assert_eq!(
+            json.get("dense_misses").and_then(|v| v.as_u64()),
+            Some(metrics.dense_misses),
+            "dense counters ride the metrics JSON"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn dense_tier_can_be_disabled_through_the_service_config() {
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_flush_deadline(Duration::from_micros(50))
+                .with_memo(qccd_decoder::MemoConfig::default().with_dense_max_entries(0)),
+        );
+        let circuit = six_detector_circuit();
+        let mut handle = service
+            .open_stream_circuit("dense-off", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        for _ in 0..2 {
+            handle.submit(&[0, 1, 2, 3, 4]).unwrap();
+        }
+        for _ in 0..2 {
+            assert_eq!(handle.recv().expect("correction").flips, 1);
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.dense_hits, 0, "disabled tier never counts");
+        assert_eq!(metrics.dense_misses, 0);
+        service.shutdown();
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! simple warmup + sampled-timing loop, reporting mean, min and max time per
 //! iteration on stdout. Like upstream criterion, passing `--test` on the
 //! command line (`cargo bench ... -- --test`) runs every benchmark routine
-//! exactly once without timing — the CI smoke mode. Statistical analysis,
-//! plots and baselines are out of scope.
+//! exactly once without timing — the CI smoke mode — and a positional
+//! argument (`cargo bench ... -- word_decode`) restricts the run to
+//! benchmarks whose `group/function` label contains it (upstream accepts a
+//! regex; this shim matches substrings). Statistical analysis, plots and
+//! baselines are out of scope.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -145,7 +148,21 @@ fn test_mode() -> bool {
     std::env::args().any(|arg| arg == "--test")
 }
 
+/// The first positional (non-flag) argument, if any: a substring filter on
+/// the `group/function` benchmark label, mirroring upstream criterion's
+/// positional FILTER.
+fn label_filter() -> Option<String> {
+    std::env::args().skip(1).find(|arg| !arg.starts_with('-'))
+}
+
+fn matches_filter(label: &str) -> bool {
+    label_filter().is_none_or(|filter| label.contains(&filter))
+}
+
 fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if !matches_filter(label) {
+        return;
+    }
     if test_mode() {
         run_sample(f, 1);
         println!("Testing {label} ... ok");
