@@ -76,8 +76,15 @@ loadgen options:
   --distance <d>           code distance (default: 3)
   --decoder <union_find|greedy|exact>   decoder (default: union_find)
   --streams <n>            concurrent syndrome streams (default: 4)
+  --connections <n>        TCP connections the streams ride on (default: 1;
+                           clamped to the stream count; TCP only)
   --shots <n>              total shots replayed (default: 16384)
   --rate <shots/s>         target submission rate (default: unthrottled)
+  --wire <packed|frames>   shot-major 64-shot word blocks (default) or
+                           per-shot frames
+  --frontier <points>      sweep the throughput/latency frontier: calibrate
+                           unthrottled, then replay at <points> fractions of
+                           saturation (TCP only)
   --seed <n>               replay sampling seed (default: 2026)
   --no-verify              skip the offline bit-identity check and baseline
   --shutdown               send a shutdown command after the run (TCP only)
@@ -328,6 +335,9 @@ pub struct LoadgenCliOptions {
     pub decoder: DecoderKind,
     /// Replay parameters.
     pub load: LoadgenOptions,
+    /// Sweep the throughput/latency frontier with this many throttled
+    /// points after an unthrottled calibration run (TCP only).
+    pub frontier: Option<usize>,
     /// Send a shutdown command after the run (TCP only).
     pub shutdown: bool,
     /// Emit the report as JSON instead of the pretty summary.
@@ -348,6 +358,7 @@ impl Default for LoadgenCliOptions {
             distance: 3,
             decoder: DecoderKind::UnionFind,
             load: LoadgenOptions::default(),
+            frontier: None,
             shutdown: false,
             json: false,
             service: ServiceConfig::default(),
@@ -380,8 +391,15 @@ pub fn parse_loadgen_options(args: &[String]) -> Result<LoadgenCliOptions, Strin
                 options.decoder = parse_decoder(iter.next().ok_or("--decoder needs a value")?)?;
             }
             "--streams" => options.load.streams = parse_number(arg, iter.next())?,
+            "--connections" => options.load.connections = parse_number(arg, iter.next())?,
             "--shots" => options.load.shots = parse_number(arg, iter.next())?,
             "--rate" => options.load.rate = Some(parse_number(arg, iter.next())?),
+            "--wire" => match iter.next().map(String::as_str) {
+                Some("packed") => options.load.shot_major = true,
+                Some("frames") => options.load.shot_major = false,
+                other => return Err(format!("--wire: packed|frames, got {other:?}")),
+            },
+            "--frontier" => options.frontier = Some(parse_number(arg, iter.next())?),
             "--seed" => options.load.seed = parse_number(arg, iter.next())?,
             "--no-verify" => options.load.verify = false,
             "--shutdown" => options.shutdown = true,
@@ -403,6 +421,15 @@ pub fn parse_loadgen_options(args: &[String]) -> Result<LoadgenCliOptions, Strin
     if options.distance < 2 {
         return Err("--distance must be at least 2".into());
     }
+    if options.in_process && options.frontier.is_some() {
+        return Err("--frontier needs a TCP target (--addr)".into());
+    }
+    if options.in_process && options.load.connections > 1 {
+        return Err("--connections needs a TCP target (--addr)".into());
+    }
+    if options.frontier == Some(0) {
+        return Err("--frontier needs at least 1 point".into());
+    }
     Ok(options)
 }
 
@@ -417,6 +444,35 @@ fn serve_command(options: &ServeOptions) -> Result<(), String> {
 }
 
 fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
+    if let Some(points) = options.frontier {
+        let report = loadgen::run_frontier_over_tcp(
+            options.addr.as_deref().expect("validated by the parser"),
+            (&options.topology, &options.wiring),
+            options.capacity,
+            options.improvement,
+            options.distance,
+            options.decoder,
+            &options.load,
+            points,
+            options.shutdown,
+        )?;
+        if options.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report.to_json())
+                    .expect("report serialization cannot fail")
+            );
+        } else {
+            println!("{}", report.render_pretty());
+        }
+        if report.calibration.mismatches > 0 {
+            return Err(format!(
+                "{} corrections differ from the offline decode",
+                report.calibration.mismatches
+            ));
+        }
+        return Ok(());
+    }
     let report = if options.in_process {
         let arch = parse_arch(
             &options.topology,
@@ -848,6 +904,11 @@ mod tests {
         assert!(parse_loadgen_options(&strings(&["--addr", "x:1", "--in-process"])).is_err());
         assert!(parse_loadgen_options(&strings(&["--in-process", "--distance", "1"])).is_err());
         assert!(parse_loadgen_options(&strings(&["--in-process", "--decoder", "magic"])).is_err());
+        // Frontier sweeps and multi-connection replays are TCP-only.
+        assert!(parse_loadgen_options(&strings(&["--in-process", "--frontier", "3"])).is_err());
+        assert!(parse_loadgen_options(&strings(&["--in-process", "--connections", "2"])).is_err());
+        assert!(parse_loadgen_options(&strings(&["--addr", "x:1", "--frontier", "0"])).is_err());
+        assert!(parse_loadgen_options(&strings(&["--addr", "x:1", "--wire", "sideways"])).is_err());
 
         let options = parse_loadgen_options(&strings(&[
             "--addr",
@@ -866,10 +927,16 @@ mod tests {
             "greedy",
             "--streams",
             "8",
+            "--connections",
+            "2",
             "--shots",
             "4096",
             "--rate",
             "50000",
+            "--wire",
+            "frames",
+            "--frontier",
+            "4",
             "--seed",
             "7",
             "--no-verify",
@@ -886,8 +953,11 @@ mod tests {
         assert_eq!(options.distance, 5);
         assert_eq!(options.decoder, qccd_decoder::DecoderKind::GreedyMatching);
         assert_eq!(options.load.streams, 8);
+        assert_eq!(options.load.connections, 2);
         assert_eq!(options.load.shots, 4096);
         assert_eq!(options.load.rate, Some(50_000.0));
+        assert!(!options.load.shot_major);
+        assert_eq!(options.frontier, Some(4));
         assert_eq!(options.load.seed, 7);
         assert!(!options.load.verify);
         assert!(options.shutdown);

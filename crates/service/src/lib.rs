@@ -10,14 +10,18 @@
 //! # Architecture
 //!
 //! ```text
-//! client streams ──► per-stream sessions ──► cross-stream word batcher
-//!                                                  │ (flush on full
-//!                                                  ▼  64-shot word or
-//!                                            decode job queue   deadline)
+//! client streams ──► per-stream sessions ──► per-program batcher shards
+//!   (own lock, inflight          (frames or shot-major   (own lock, pending
+//!    + reorder state)             64-shot word blocks)    word + spare pool)
+//!                                                  │ flush on full word,
+//!                                                  │ deadline (dedicated
+//!                                                  ▼ flusher thread), close
+//!                                            decode job queue
 //!                                                  │
 //!                              worker pool (shared warm MemoSnapshot)
 //!                                                  │
-//!                        per-stream reorder ──► ordered corrections back
+//!                per-stream reorder (stream's own lock) ──► ordered
+//!                                                  corrections back
 //! ```
 //!
 //! * [`DecodeService::open_stream`] compiles `(architecture, distance)`
@@ -26,12 +30,21 @@
 //!   streams of the same configuration compiles once — builds the decoder,
 //!   and warms one [`MemoSnapshot`](qccd_decoder::MemoSnapshot) per
 //!   [`DecodeProgram`] that every worker adopts.
-//! * Pending frames from **all** streams of a program are coalesced by the
-//!   latency-deadline batcher into 64-shot words (the unit the PR-4
-//!   word-parallel triage path decodes at full tilt) and flushed either on
-//!   a full word or when the oldest pending frame hits the configured
-//!   deadline, so a lone low-rate stream still gets bounded latency while
-//!   many concurrent streams decode at batch throughput.
+//! * Pending frames from **all** streams of a program are coalesced by that
+//!   program's **batcher shard** into 64-shot words (the unit the PR-4
+//!   word-parallel triage path decodes at full tilt) and flushed on a full
+//!   word, when the oldest pending frame hits the configured deadline (a
+//!   dedicated flusher thread waits out the exact deadline, so a busy
+//!   worker pool never delays a partial word), or when the last stream
+//!   contributing to the word closes. Each shard has its own mutex:
+//!   submissions to different programs never contend, and delivery state
+//!   lives behind each stream's own lock — there is no global hot-path
+//!   lock.
+//! * Shot-major clients (the loadgen harness, co-located front-ends) can
+//!   submit pre-transposed [`WordBlock`]s
+//!   ([`StreamSender::submit_word_batch`], the `frames_packed` wire
+//!   command): the batcher folds each 64-shot plane word in with a
+//!   shift-OR, deleting the per-frame transpose from the hot path.
 //! * Per-stream queues are bounded ([`ServiceConfig::stream_queue_shots`]):
 //!   submission blocks (or [`StreamSender::try_submit`] refuses) once a
 //!   stream has that many frames in flight — backpressure instead of
@@ -63,12 +76,12 @@ pub mod net;
 mod program;
 mod service;
 
-pub use loadgen::{LoadgenOptions, LoadgenReport};
+pub use loadgen::{FrontierPoint, FrontierReport, LoadgenOptions, LoadgenReport};
 pub use metrics::ServiceMetrics;
 pub use net::{NetClient, NetServer};
 pub use program::DecodeProgram;
 pub use service::{
-    Correction, DecodeService, ServiceConfig, StreamHandle, StreamReceiver, StreamSender,
+    Correction, DecodeService, ServiceConfig, StreamHandle, StreamReceiver, StreamSender, WordBlock,
 };
 
 /// Errors surfaced by the decode service.
@@ -87,6 +100,18 @@ pub enum ServiceError {
         detector: usize,
         /// Number of detectors of the stream's program.
         num_detectors: usize,
+    },
+    /// A submitted shot-major word block is malformed (wrong plane count,
+    /// shot count outside `1..=64`, or stray bits at or above the count).
+    InvalidWordBlock(&'static str),
+    /// A shot-major word block carries more shots than the stream's bounded
+    /// queue can ever hold (blocks are never split, so it could not be
+    /// submitted even against an empty queue).
+    WordBlockTooLarge {
+        /// Shots the block carries.
+        count: usize,
+        /// The configured per-stream queue bound.
+        stream_queue_shots: usize,
     },
     /// The stream (or the whole service) has been closed.
     StreamClosed,
@@ -108,6 +133,15 @@ impl std::fmt::Display for ServiceError {
             } => write!(
                 f,
                 "detector {detector} out of range (program has {num_detectors})"
+            ),
+            ServiceError::InvalidWordBlock(why) => write!(f, "invalid word block: {why}"),
+            ServiceError::WordBlockTooLarge {
+                count,
+                stream_queue_shots,
+            } => write!(
+                f,
+                "word block of {count} shots exceeds the stream queue bound of \
+                 {stream_queue_shots}"
             ),
             ServiceError::StreamClosed => write!(f, "stream closed"),
             ServiceError::Backpressure => write!(f, "stream queue full"),

@@ -73,6 +73,7 @@ pub(crate) struct MetricsInner {
     pub(crate) words_flushed: AtomicU64,
     pub(crate) full_word_flushes: AtomicU64,
     pub(crate) deadline_flushes: AtomicU64,
+    pub(crate) close_flushes: AtomicU64,
     /// Dense-tier counters aggregated from every worker's per-batch
     /// `CacheStats` delta (see [`MetricsInner::note_decode_cache`]).
     dense_hits: AtomicU64,
@@ -99,6 +100,7 @@ impl MetricsInner {
             words_flushed: AtomicU64::new(0),
             full_word_flushes: AtomicU64::new(0),
             deadline_flushes: AtomicU64::new(0),
+            close_flushes: AtomicU64::new(0),
             dense_hits: AtomicU64::new(0),
             dense_misses: AtomicU64::new(0),
             dense_evictions: AtomicU64::new(0),
@@ -179,6 +181,7 @@ impl MetricsInner {
             words_flushed: self.words_flushed.load(Ordering::Relaxed),
             full_word_flushes: self.full_word_flushes.load(Ordering::Relaxed),
             deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            close_flushes: self.close_flushes.load(Ordering::Relaxed),
             dense_hits: self.dense_hits.load(Ordering::Relaxed),
             dense_misses: self.dense_misses.load(Ordering::Relaxed),
             dense_evictions: self.dense_evictions.load(Ordering::Relaxed),
@@ -211,8 +214,11 @@ pub struct ServiceMetrics {
     pub words_flushed: u64,
     /// Flushes triggered by a full word.
     pub full_word_flushes: u64,
-    /// Flushes triggered by the latency deadline (partial words).
+    /// Flushes triggered by the latency deadline (partial words). Shutdown
+    /// drains book here too.
     pub deadline_flushes: u64,
+    /// Flushes triggered by the last contributing stream closing.
+    pub close_flushes: u64,
     /// Dense-tier lane-LRU hits across every worker's decode batches.
     pub dense_hits: u64,
     /// Dense-tier LRU misses (lane and cluster probes that fell through).
@@ -246,6 +252,7 @@ impl ServiceMetrics {
             "words_flushed": self.words_flushed,
             "full_word_flushes": self.full_word_flushes,
             "deadline_flushes": self.deadline_flushes,
+            "close_flushes": self.close_flushes,
             "dense_hits": self.dense_hits,
             "dense_misses": self.dense_misses,
             "dense_evictions": self.dense_evictions,

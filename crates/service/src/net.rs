@@ -11,6 +11,7 @@
 //!  "gate_improvement":5.0,"distance":3,"decoder":"union_find"}
 //! {"cmd":"frame","stream":0,"detectors":[1,5]}
 //! {"cmd":"frames","stream":0,"frames":[[1,5],[],[2]]}
+//! {"cmd":"frames_packed","stream":0,"blocks":[{"count":64,"planes":[3,0]}]}
 //! {"cmd":"close","stream":0}
 //! {"cmd":"metrics"}
 //! {"cmd":"ping"}
@@ -25,6 +26,13 @@
 //! produces an `{"ok":false,"async":true,"stream":S,"error":...}` line
 //! instead (nothing from that line is enqueued) — the `"async"` tag tells
 //! clients not to pair it with a pending command response.
+//!
+//! `frames_packed` is the **shot-major** wire mode: each block carries up to
+//! 64 shots pre-transposed into one `u64` plane word per detector (bit `s`
+//! of word `d` = shot `s` fired detector `d` — the
+//! [`WordBlock`](crate::WordBlock) layout), so the per-frame transpose
+//! disappears from the service hot path. The vendored JSON layer preserves
+//! `u64` values exactly, so plane words round-trip bit-for-bit.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -38,7 +46,7 @@ use qccd_core::ArchitectureConfig;
 use qccd_decoder::DecoderKind;
 use serde_json::Value;
 
-use crate::service::{Correction, DecodeService, ServiceConfig, StreamSender};
+use crate::service::{Correction, DecodeService, ServiceConfig, StreamSender, WordBlock};
 
 /// Parses the wire name of a decoder kind.
 pub fn parse_decoder(name: &str) -> Result<DecoderKind, String> {
@@ -179,7 +187,16 @@ type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
 
 fn write_line(writer: &SharedWriter, value: &Value) -> io::Result<()> {
     let text = serde_json::to_string(value).expect("response serialization cannot fail");
-    let mut writer = writer.lock().expect("connection writer lock");
+    // A panic on a sibling thread of this connection (e.g. a correction
+    // pump) poisons the shared writer. Treat that as a dead connection —
+    // every writer backs off and the handler tears the connection down —
+    // instead of cascading the panic through all subsequent writes.
+    let mut writer = writer.lock().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "connection writer poisoned by a panicked sibling thread",
+        )
+    })?;
     writeln!(writer, "{text}")?;
     writer.flush()
 }
@@ -212,6 +229,35 @@ fn handle_connection(
     let mut reader = BufReader::new(stream);
     let mut senders: HashMap<u64, StreamSender> = HashMap::new();
     let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    // The serve loop's result is captured — not propagated with `?` — so
+    // this connection's streams are closed and its pumps joined on *every*
+    // exit path, error teardowns included.
+    let result = serve_connection(
+        &mut reader,
+        &service,
+        &shutdown,
+        &writer,
+        &mut senders,
+        &mut pumps,
+    );
+    for sender in senders.values() {
+        sender.close();
+    }
+    drop(senders);
+    for pump in pumps {
+        let _ = pump.join();
+    }
+    result
+}
+
+fn serve_connection(
+    reader: &mut BufReader<TcpStream>,
+    service: &Arc<DecodeService>,
+    shutdown: &Arc<AtomicBool>,
+    writer: &SharedWriter,
+    senders: &mut HashMap<u64, StreamSender>,
+    pumps: &mut Vec<JoinHandle<()>>,
+) -> io::Result<()> {
     let mut line = String::new();
     loop {
         // Poll the flag between lines too: a continuously-sending client
@@ -226,14 +272,7 @@ fn handle_connection(
         match reader.read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {
-                let done = handle_line(
-                    &line,
-                    &service,
-                    &shutdown,
-                    &writer,
-                    &mut senders,
-                    &mut pumps,
-                )?;
+                let done = handle_line(&line, service, shutdown, writer, senders, pumps)?;
                 line.clear();
                 if done {
                     break;
@@ -251,13 +290,6 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         }
-    }
-    for sender in senders.values() {
-        sender.close();
-    }
-    drop(senders);
-    for pump in pumps {
-        let _ = pump.join();
     }
     Ok(())
 }
@@ -378,6 +410,38 @@ fn dispatch(
                 write_line(writer, &response)?;
             }
         }
+        "frames_packed" => {
+            let id = request
+                .get("stream")
+                .and_then(Value::as_u64)
+                .unwrap_or(u64::MAX);
+            let Some(sender) = senders.get(&id) else {
+                let mut response = error_json(format!("unknown stream {id}"));
+                response["async"] = Value::Bool(true);
+                response["stream"] = Value::from(id);
+                write_line(writer, &response)?;
+                return Ok(false);
+            };
+            // Parse the whole line before anything is enqueued, mirroring
+            // `frames`: shot-major blocks of up to 64 pre-transposed shots.
+            let parsed = parse_word_blocks(request.get("blocks"));
+            let outcome = parsed.and_then(|blocks| {
+                let refs: Vec<WordBlock<'_>> = blocks
+                    .iter()
+                    .map(|(count, planes)| WordBlock {
+                        planes,
+                        count: *count,
+                    })
+                    .collect();
+                sender.submit_word_batch(&refs).map_err(|e| e.to_string())
+            });
+            if let Err(e) = outcome {
+                let mut response = error_json(e);
+                response["async"] = Value::Bool(true);
+                response["stream"] = Value::from(id);
+                write_line(writer, &response)?;
+            }
+        }
         "close" => {
             let id = request
                 .get("stream")
@@ -409,6 +473,34 @@ fn parse_detectors(value: Option<&Value>) -> Result<Vec<usize>, String> {
                 .as_u64()
                 .map(|d| d as usize)
                 .ok_or_else(|| "detector indices must be non-negative integers".to_string())
+        })
+        .collect()
+}
+
+/// Parses a `frames_packed` block list strictly: each block is an object
+/// with a `count` (shots, 1..=64) and a `planes` array of `u64` words (one
+/// per detector, preserved bit-exactly by the vendored JSON layer).
+fn parse_word_blocks(value: Option<&Value>) -> Result<Vec<(usize, Vec<u64>)>, String> {
+    let list = value
+        .and_then(Value::as_array)
+        .ok_or("`blocks` must be an array of word blocks")?;
+    list.iter()
+        .map(|block| {
+            let count = block
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or("a word block needs a `count` of shots")? as usize;
+            let planes = block
+                .get("planes")
+                .and_then(Value::as_array)
+                .ok_or("a word block needs a `planes` array")?
+                .iter()
+                .map(|word| {
+                    word.as_u64()
+                        .ok_or_else(|| "plane words must be non-negative integers".to_string())
+                })
+                .collect::<Result<Vec<u64>, String>>()?;
+            Ok((count, planes))
         })
         .collect()
 }
@@ -463,6 +555,10 @@ pub struct NetClient {
     writer: BufWriter<TcpStream>,
     responses: mpsc::Receiver<Value>,
     corrections: Arc<Mutex<HashMap<u64, mpsc::Sender<Correction>>>>,
+    /// Malformed or unroutable lines the reader refused to deliver — a
+    /// correction without a valid `stream`/`seq` is *dropped*, never
+    /// guessed onto stream 0 (see [`NetClient::take_protocol_errors`]).
+    protocol_errors: Arc<Mutex<Vec<String>>>,
     reader: Option<JoinHandle<()>>,
 }
 
@@ -497,9 +593,16 @@ impl NetClient {
         let (response_tx, responses) = mpsc::channel();
         let corrections: Arc<Mutex<HashMap<u64, mpsc::Sender<Correction>>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        let protocol_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let reader_corrections = Arc::clone(&corrections);
+        let reader_errors = Arc::clone(&protocol_errors);
         let reader_stream = stream.try_clone()?;
         let reader = std::thread::spawn(move || {
+            let note_error = |message: String| {
+                if let Ok(mut errors) = reader_errors.lock() {
+                    errors.push(message);
+                }
+            };
             let reader = BufReader::new(reader_stream);
             for line in reader.lines() {
                 let Ok(line) = line else { break };
@@ -507,22 +610,34 @@ impl NetClient {
                     continue;
                 }
                 let Ok(value) = serde_json::from_str(&line) else {
+                    note_error(format!("unparseable server line: {line}"));
                     continue;
                 };
                 let value: Value = value;
                 // Asynchronous lines (frame errors) must never be paired
                 // with a pending command response.
                 if value.get("async").is_some() {
-                    eprintln!(
-                        "loadgen: server reported: {}",
+                    note_error(format!(
+                        "server reported: {}",
                         value.get("error").and_then(Value::as_str).unwrap_or("?")
-                    );
+                    ));
                     continue;
                 }
                 let is_correction = value.get("seq").is_some() && value.get("ok").is_none();
                 if is_correction {
-                    let stream = value.get("stream").and_then(Value::as_u64).unwrap_or(0);
-                    let seq = value.get("seq").and_then(Value::as_u64).unwrap_or(0);
+                    // Route strictly: a correction without a well-formed
+                    // `stream` or `seq` is dropped and surfaced as a
+                    // protocol error — never defaulted onto stream 0,
+                    // which would silently corrupt whichever stream
+                    // happened to open first.
+                    let Some(stream) = value.get("stream").and_then(Value::as_u64) else {
+                        note_error(format!("correction without a valid `stream`: {line}"));
+                        continue;
+                    };
+                    let Some(seq) = value.get("seq").and_then(Value::as_u64) else {
+                        note_error(format!("correction without a valid `seq`: {line}"));
+                        continue;
+                    };
                     let mut flips = 0u64;
                     if let Some(list) = value.get("flips").and_then(Value::as_array) {
                         for observable in list.iter().filter_map(Value::as_u64) {
@@ -534,8 +649,11 @@ impl NetClient {
                         .expect("correction router lock")
                         .get(&stream)
                         .cloned();
-                    if let Some(tx) = tx {
-                        let _ = tx.send(Correction { seq, flips });
+                    match tx {
+                        Some(tx) => {
+                            let _ = tx.send(Correction { seq, flips });
+                        }
+                        None => note_error(format!("correction for unknown stream {stream}")),
                     }
                 } else {
                     let _ = response_tx.send(value);
@@ -546,8 +664,16 @@ impl NetClient {
             writer: BufWriter::new(stream),
             responses,
             corrections,
+            protocol_errors,
             reader: Some(reader),
         })
+    }
+
+    /// Drains the protocol errors the reader refused to deliver (malformed
+    /// correction lines, corrections for unknown streams, async server
+    /// errors). An empty result means every server line routed cleanly.
+    pub fn take_protocol_errors(&self) -> Vec<String> {
+        std::mem::take(&mut *self.protocol_errors.lock().expect("protocol error lock"))
     }
 
     fn request(&mut self, command: &Value) -> Result<Value, String> {
@@ -638,6 +764,38 @@ impl NetClient {
             "cmd": "frames",
             "stream": stream,
             "frames": Value::Array(frames_json),
+        }))
+    }
+
+    /// Submits shot-major 64-shot word blocks on a stream (fire-and-forget;
+    /// corrections arrive on the stream's channel). Each block is
+    /// `(planes, count)`: one `u64` plane per detector, bit `s` of plane
+    /// `d` set iff shot `s` fired detector `d`, with `count` shots in
+    /// `1..=64`. This is the `frames_packed` wire command — the server
+    /// folds the planes straight into the batcher word, skipping the
+    /// per-frame transpose.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn submit_packed_words(
+        &mut self,
+        stream: u64,
+        blocks: &[(Vec<u64>, usize)],
+    ) -> Result<(), String> {
+        let blocks_json: Vec<Value> = blocks
+            .iter()
+            .map(|(planes, count)| {
+                serde_json::json!({
+                    "count": *count as u64,
+                    "planes": Value::Array(planes.iter().map(|&w| Value::from(w)).collect()),
+                })
+            })
+            .collect();
+        self.send(&serde_json::json!({
+            "cmd": "frames_packed",
+            "stream": stream,
+            "blocks": Value::Array(blocks_json),
         }))
     }
 

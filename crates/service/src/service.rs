@@ -1,9 +1,20 @@
-//! The streaming decode service core: sessions, the cross-stream
-//! latency-deadline batcher, the worker pool and ordered per-stream
-//! delivery.
+//! The streaming decode service core: sessions, the per-program sharded
+//! latency-deadline batcher, the worker pool, the dedicated deadline
+//! flusher and ordered per-stream delivery.
+//!
+//! # Locking
+//!
+//! The hot path touches three lock tiers, always in this order:
+//! per-stream delivery lock → per-program shard lock → job-queue lock.
+//! The flusher's own lock is never held while a shard lock is taken (the
+//! flusher drains its armed list first, then scans shards lock-free of
+//! it), and the stream/shard/program registries are only locked on cold
+//! paths (open, close, metrics, shutdown) — never nested inside a stream
+//! or shard lock.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -97,50 +108,110 @@ pub struct Correction {
     pub flips: u64,
 }
 
+/// A **shot-major** group of up to 64 frames in the pre-transposed wire
+/// layout: one `u64` per detector, bit `s` of word `d` = "shot `s` of the
+/// block fired detector `d`" — exactly what
+/// [`qccd_sim::SyndromeChunk::word_block_into`] extracts and
+/// [`qccd_sim::SyndromeChunkBuilder::push_word_block`] ingests. Submitting
+/// blocks ([`StreamSender::submit_word_batch`]) deletes the per-frame
+/// transpose from the service hot path: the batcher folds each plane in
+/// with a shift-OR instead of scattering bits frame by frame.
+#[derive(Debug, Clone, Copy)]
+pub struct WordBlock<'a> {
+    /// `num_detectors` plane words (bit `s` of word `d` = shot `s` fired
+    /// detector `d`).
+    pub planes: &'a [u64],
+    /// Shots carried by the block (`1..=64`); bits at or above `count`
+    /// must be clear in every plane word.
+    pub count: usize,
+}
+
+/// Why a pending batch was flushed to the decode queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    /// The batch reached `max_batch_words` full words.
+    FullWord,
+    /// The oldest pending frame hit the latency deadline.
+    Deadline,
+    /// Every stream contributing to the batch closed.
+    Close,
+    /// Service shutdown drained the batch (books as a deadline flush).
+    Shutdown,
+}
+
 /// A contiguous segment of frames of one stream inside a batch: `count`
 /// frames with consecutive sequence numbers from `first_seq`, sharing one
 /// submit timestamp (batched submissions arrive as whole segments, so
 /// bookkeeping is per segment, not per frame).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct FrameRun {
-    stream: u64,
+    stream: Arc<StreamCore>,
     first_seq: u64,
     count: u32,
     submitted: Instant,
 }
 
-/// One burst of frames in either wire representation: fired-detector index
-/// lists or detector-major packed words.
+/// One burst of frames in any wire representation: fired-detector index
+/// lists, detector-major packed words, or shot-major word blocks.
 #[derive(Debug, Clone, Copy)]
 enum FrameBatch<'a> {
     Indices(&'a [&'a [usize]]),
     Packed(&'a [&'a [u64]]),
+    Blocks(&'a [WordBlock<'a>]),
 }
 
 impl<'a> FrameBatch<'a> {
-    fn len(&self) -> usize {
+    /// Total shots carried by the burst.
+    fn shots(&self) -> usize {
         match self {
             FrameBatch::Indices(frames) => frames.len(),
             FrameBatch::Packed(frames) => frames.len(),
+            FrameBatch::Blocks(blocks) => blocks.iter().map(|b| b.count).sum(),
         }
     }
 
-    fn split_at(self, mid: usize) -> (FrameBatch<'a>, FrameBatch<'a>) {
+    /// Smallest number of queue slots the next indivisible unit needs:
+    /// one frame, or the whole leading word block (blocks are
+    /// pre-transposed and never split).
+    fn min_take(&self) -> usize {
+        match self {
+            FrameBatch::Indices(_) | FrameBatch::Packed(_) => 1,
+            FrameBatch::Blocks(blocks) => blocks.first().map_or(1, |b| b.count),
+        }
+    }
+
+    /// Splits off the largest prefix fitting `room` queue slots; returns
+    /// `(taken, rest, shots_taken)`.
+    fn take_for_room(self, room: usize) -> (FrameBatch<'a>, FrameBatch<'a>, usize) {
         match self {
             FrameBatch::Indices(frames) => {
-                let (a, b) = frames.split_at(mid);
-                (FrameBatch::Indices(a), FrameBatch::Indices(b))
+                let take = frames.len().min(room);
+                let (a, b) = frames.split_at(take);
+                (FrameBatch::Indices(a), FrameBatch::Indices(b), take)
             }
             FrameBatch::Packed(frames) => {
-                let (a, b) = frames.split_at(mid);
-                (FrameBatch::Packed(a), FrameBatch::Packed(b))
+                let take = frames.len().min(room);
+                let (a, b) = frames.split_at(take);
+                (FrameBatch::Packed(a), FrameBatch::Packed(b), take)
+            }
+            FrameBatch::Blocks(blocks) => {
+                let mut shots = 0;
+                let mut take = 0;
+                for block in blocks {
+                    if shots + block.count > room {
+                        break;
+                    }
+                    shots += block.count;
+                    take += 1;
+                }
+                let (a, b) = blocks.split_at(take);
+                (FrameBatch::Blocks(a), FrameBatch::Blocks(b), shots)
             }
         }
     }
 
-    /// Rejects frames naming detectors outside the program before anything
-    /// is enqueued.
-    fn validate(&self, num_detectors: usize) -> Result<(), ServiceError> {
+    /// Rejects malformed frames or blocks before anything is enqueued.
+    fn validate(&self, num_detectors: usize, queue_shots: usize) -> Result<(), ServiceError> {
         match self {
             FrameBatch::Indices(frames) => {
                 for fired in *frames {
@@ -169,6 +240,34 @@ impl<'a> FrameBatch<'a> {
                     }
                 }
             }
+            FrameBatch::Blocks(blocks) => {
+                for block in *blocks {
+                    if block.planes.len() != num_detectors {
+                        return Err(ServiceError::InvalidWordBlock(
+                            "a word block must carry one plane word per detector",
+                        ));
+                    }
+                    if !(1..=64).contains(&block.count) {
+                        return Err(ServiceError::InvalidWordBlock(
+                            "a word block carries 1..=64 shots",
+                        ));
+                    }
+                    if block.count < 64 {
+                        let valid = (1u64 << block.count) - 1;
+                        if block.planes.iter().any(|&w| w & !valid != 0) {
+                            return Err(ServiceError::InvalidWordBlock(
+                                "a word block must clear bits at or above its shot count",
+                            ));
+                        }
+                    }
+                    if block.count > queue_shots {
+                        return Err(ServiceError::WordBlockTooLarge {
+                            count: block.count,
+                            stream_queue_shots: queue_shots,
+                        });
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -177,21 +276,23 @@ impl<'a> FrameBatch<'a> {
         match self {
             FrameBatch::Indices(frames) => builder.push_frame(frames[index]),
             FrameBatch::Packed(frames) => builder.push_packed_frame(frames[index]),
+            FrameBatch::Blocks(_) => unreachable!("blocks are pushed whole"),
         }
     }
 }
 
 /// The reusable allocations of one batch: the frame-ingestion builder and
-/// the routing list. Recycled through [`State::spares`] so the steady-state
-/// submit path allocates nothing.
+/// the routing list. Recycled through [`ShardState::spares`] so the
+/// steady-state submit path allocates nothing.
+#[derive(Debug)]
 struct BatchParts {
     builder: SyndromeChunkBuilder,
     runs: Vec<FrameRun>,
 }
 
-/// The pending partial batch of one program.
-struct Batch {
-    program: Arc<DecodeProgram>,
+/// The pending partial batch of one program shard.
+#[derive(Debug)]
+struct PendingBatch {
     parts: BatchParts,
     oldest: Instant,
 }
@@ -199,9 +300,10 @@ struct Batch {
 /// A flushed decode job: the packed frames of any number of streams plus
 /// the routing information to hand each lane's correction back. The
 /// frame→plane transpose (`builder.finish`) runs on the *worker*, outside
-/// the service lock.
+/// every service lock.
+#[derive(Debug)]
 struct DecodeJob {
-    program: Arc<DecodeProgram>,
+    shard: Arc<ProgramShard>,
     parts: BatchParts,
 }
 
@@ -234,153 +336,290 @@ impl PartialOrd for CorrectionRun {
     }
 }
 
-struct StreamState {
+/// Delivery bookkeeping of one stream, guarded by the stream's own lock.
+#[derive(Debug)]
+struct StreamDelivery {
     next_submit_seq: u64,
     inflight: usize,
-    closed: bool,
     /// Out-of-order completed runs awaiting delivery. Runs are
     /// non-overlapping and gapless per stream (sequence numbers are
     /// assigned in submission order), so ordering by `first_seq` is enough.
     reorder: BinaryHeap<Reverse<CorrectionRun>>,
     next_deliver: u64,
-    tx: mpsc::Sender<CorrectionRun>,
+    /// `None` once the stream finished (closed with nothing in flight):
+    /// dropping the sender is how the receiver observes end-of-stream.
+    tx: Option<mpsc::Sender<CorrectionRun>>,
 }
 
-#[derive(Default)]
-struct State {
-    programs: HashMap<String, Arc<DecodeProgram>>,
-    /// Pending partial batches, keyed by program id.
-    pending: HashMap<u64, Batch>,
-    jobs: VecDeque<DecodeJob>,
-    streams: HashMap<u64, StreamState>,
-    /// Recycled batch allocations per program id (workers return their
-    /// job's parts here after routing).
-    spares: HashMap<u64, Vec<BatchParts>>,
-    next_stream: u64,
+/// The shared per-stream state: routing touches only the streams of its
+/// job, never a global map.
+#[derive(Debug)]
+struct StreamCore {
+    id: u64,
+    /// Set by [`StreamSender::close`] (and shutdown). Read lock-free under
+    /// shard locks, so close never needs a stream lock nested inside one.
+    closed: AtomicBool,
+    delivery: Mutex<StreamDelivery>,
+    /// Submitters wait here for backpressure headroom on *this* stream.
+    space: Condvar,
+}
+
+impl StreamCore {
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+/// The batcher shard of one program: its own pending batch, spare pool and
+/// deadline arming, under its own mutex. Submissions to different programs
+/// never contend.
+#[derive(Debug)]
+struct ProgramShard {
+    program: Arc<DecodeProgram>,
+    state: Mutex<ShardState>,
+}
+
+#[derive(Debug)]
+struct ShardState {
+    pending: Option<PendingBatch>,
+    /// Recycled batch allocations (workers return their job's parts here
+    /// after routing).
+    spares: Vec<BatchParts>,
+    /// Whether the shard is registered with the deadline flusher. Only
+    /// read or written under the shard lock.
+    armed: bool,
+}
+
+/// Cap on recycled batch allocations retained per shard.
+const SPARE_PARTS_CAP: usize = 16;
+
+/// The decode job queue workers pull from.
+#[derive(Debug, Default)]
+struct JobQueue {
+    jobs: Mutex<VecDeque<DecodeJob>>,
+    ready: Condvar,
+}
+
+/// Registration state of the dedicated deadline-flusher thread.
+#[derive(Debug, Default)]
+struct FlusherState {
+    /// Shards armed since the flusher's last drain.
+    armed: Vec<Arc<ProgramShard>>,
     shutdown: bool,
 }
 
+#[derive(Debug, Default)]
+struct Flusher {
+    state: Mutex<FlusherState>,
+    wake: Condvar,
+}
+
 struct Shared {
-    state: Mutex<State>,
-    /// Workers wait here for jobs (and for flush deadlines).
-    job_ready: Condvar,
-    /// Submitters wait here for backpressure headroom.
-    space_ready: Condvar,
+    /// Program registry (cold path: stream opens only).
+    programs: Mutex<HashMap<String, Arc<DecodeProgram>>>,
+    /// Shard registry by program id (cold path: stream opens, shutdown).
+    shards: Mutex<HashMap<u64, Arc<ProgramShard>>>,
+    /// Stream registry (cold path: open, close, metrics, shutdown).
+    streams: Mutex<HashMap<u64, Arc<StreamCore>>>,
+    queue: JobQueue,
+    flusher: Flusher,
+    next_stream: AtomicU64,
+    shutdown: AtomicBool,
     metrics: MetricsInner,
     config: ServiceConfig,
 }
 
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
 impl Shared {
-    /// Flushes one program's pending batch into the job queue. Caller holds
-    /// the state lock. The transpose into a bit-packed chunk is deferred to
-    /// the worker, so the flush itself is O(1).
-    fn flush_pending(&self, state: &mut State, program_id: u64, deadline_flush: bool) {
-        use std::sync::atomic::Ordering;
-        let Some(batch) = state.pending.remove(&program_id) else {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flushes a shard's pending batch into the job queue. Caller holds the
+    /// shard lock. The transpose into a bit-packed chunk is deferred to the
+    /// worker, so the flush itself is O(1).
+    fn flush_shard(&self, shard: &Arc<ProgramShard>, state: &mut ShardState, cause: FlushCause) {
+        let Some(batch) = state.pending.take() else {
             return;
         };
         if batch.parts.builder.is_empty() {
+            if state.spares.len() < SPARE_PARTS_CAP {
+                state.spares.push(batch.parts);
+            }
             return;
         }
         self.metrics.words_flushed.fetch_add(
             (batch.parts.builder.pending_frames() as u64).div_ceil(64),
             Ordering::Relaxed,
         );
-        if deadline_flush {
-            self.metrics
-                .deadline_flushes
-                .fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.metrics
-                .full_word_flushes
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        state.jobs.push_back(DecodeJob {
-            program: batch.program,
+        let counter = match cause {
+            FlushCause::FullWord => &self.metrics.full_word_flushes,
+            FlushCause::Deadline | FlushCause::Shutdown => &self.metrics.deadline_flushes,
+            FlushCause::Close => &self.metrics.close_flushes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = self.queue.jobs.lock().expect("job queue lock");
+        jobs.push_back(DecodeJob {
+            shard: Arc::clone(shard),
             parts: batch.parts,
         });
-        self.job_ready.notify_one();
+        drop(jobs);
+        self.queue.ready.notify_one();
     }
 
-    /// Flushes every pending batch whose oldest frame is overdue; returns
-    /// the wait until the next deadline, if any batch remains pending.
-    fn flush_overdue(&self, state: &mut State, now: Instant) -> Option<Duration> {
-        let deadline = self.config.flush_deadline;
-        let overdue: Vec<u64> = state
-            .pending
-            .iter()
-            .filter(|(_, batch)| now.saturating_duration_since(batch.oldest) >= deadline)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in overdue {
-            self.flush_pending(state, id, true);
+    /// Registers a shard with the deadline flusher. Callers must have set
+    /// the shard's `armed` flag (under its lock) and *dropped the shard
+    /// lock* first — the flusher takes shard locks while scanning, so
+    /// holding one here would invert the order.
+    fn arm_flusher(&self, shard: &Arc<ProgramShard>) {
+        let mut flusher = self.flusher.state.lock().expect("flusher lock");
+        if flusher.shutdown {
+            // The shutdown sweep flushes every shard regardless.
+            return;
         }
-        state
-            .pending
-            .values()
-            .map(|batch| (batch.oldest + deadline).saturating_duration_since(now))
-            .min()
+        flusher.armed.push(Arc::clone(shard));
+        drop(flusher);
+        self.flusher.wake.notify_one();
     }
+}
 
-    /// Routes one decoded job's corrections back to their streams (in-order
-    /// per stream via the reorder heap) and releases backpressure.
-    ///
-    /// Contiguous same-stream frames (the common case under batched
-    /// submission) are grouped into [`CorrectionRun`]s outside the lock, so
-    /// the per-frame cost under the state lock — and the per-frame channel
-    /// sends — collapse to per-run costs.
-    fn route_corrections(&self, mut job: DecodeJob, flips_per_lane: &[u64]) {
-        let now = Instant::now();
-        // Materialise each frame run's correction run outside the lock.
-        // Frames of a run share their submit timestamp, so the bulk latency
-        // update is exact.
-        let mut runs: Vec<(u64, CorrectionRun, Instant)> = Vec::with_capacity(job.parts.runs.len());
-        let mut offset = 0usize;
-        for run in &job.parts.runs {
-            let count = run.count as usize;
-            runs.push((
-                run.stream,
-                CorrectionRun {
-                    first_seq: run.first_seq,
-                    flips: flips_per_lane[offset..offset + count].to_vec(),
-                },
-                run.submitted,
-            ));
-            offset += count;
+/// Records a frame run, merging into the tail run when it extends the same
+/// stream contiguously (the common case under bursts).
+fn push_run(
+    runs: &mut Vec<FrameRun>,
+    stream: &Arc<StreamCore>,
+    first_seq: u64,
+    count: u32,
+    submitted: Instant,
+) {
+    if let Some(last) = runs.last_mut() {
+        if Arc::ptr_eq(&last.stream, stream) && last.first_seq + u64::from(last.count) == first_seq
+        {
+            last.count += count;
+            return;
         }
-        let mut state = self.state.lock().expect("service state lock");
-        for (stream_id, run, submitted) in runs {
-            self.metrics
-                .note_completed_many(now.saturating_duration_since(submitted), run.len());
-            let Some(stream) = state.streams.get_mut(&stream_id) else {
-                continue;
+    }
+    runs.push(FrameRun {
+        stream: Arc::clone(stream),
+        first_seq,
+        count,
+        submitted,
+    });
+}
+
+/// Routes one decoded job's corrections back to their streams (in-order per
+/// stream via each stream's reorder heap) and releases backpressure.
+/// Channel sends happen under the owning stream's lock only — never a
+/// shared one — so two workers finishing runs of one stream cannot
+/// interleave deliveries out of heap order.
+fn route_corrections(
+    shared: &Shared,
+    shard: &Arc<ProgramShard>,
+    mut parts: BatchParts,
+    flips_per_lane: &[u64],
+) {
+    let now = Instant::now();
+    let mut offset = 0usize;
+    let mut finished: Vec<u64> = Vec::new();
+    for run in &parts.runs {
+        let count = run.count as usize;
+        let flips = flips_per_lane[offset..offset + count].to_vec();
+        offset += count;
+        shared
+            .metrics
+            .note_completed_many(now.saturating_duration_since(run.submitted), count as u64);
+        let stream = &run.stream;
+        let mut delivery = stream.delivery.lock().expect("stream delivery lock");
+        delivery.inflight -= count;
+        delivery.reorder.push(Reverse(CorrectionRun {
+            first_seq: run.first_seq,
+            flips,
+        }));
+        while let Some(Reverse(ready)) = delivery.reorder.peek() {
+            if ready.first_seq != delivery.next_deliver {
+                break;
+            }
+            let Some(Reverse(ready)) = delivery.reorder.pop() else {
+                unreachable!("peeked entry exists");
             };
-            stream.inflight -= run.flips.len();
-            stream.reorder.push(Reverse(run));
-            while let Some(Reverse(ready)) = stream.reorder.peek() {
-                if ready.first_seq != stream.next_deliver {
-                    break;
-                }
-                let Some(Reverse(ready)) = stream.reorder.pop() else {
-                    unreachable!("peeked entry exists");
-                };
-                stream.next_deliver += ready.len();
-                // A dropped receiver just discards the corrections.
-                let _ = stream.tx.send(ready);
-            }
-            if stream.closed && stream.inflight == 0 {
-                state.streams.remove(&stream_id);
+            delivery.next_deliver += ready.len();
+            // A dropped receiver just discards the corrections.
+            if let Some(tx) = &delivery.tx {
+                let _ = tx.send(ready);
             }
         }
-        // Recycle the job's allocations for the next batch of its program.
-        job.parts.runs.clear();
-        let spares = state.spares.entry(job.program.id()).or_default();
-        if spares.len() < 16 {
-            spares.push(job.parts);
+        let stream_finished = stream.is_closed() && delivery.inflight == 0;
+        if stream_finished {
+            delivery.tx = None;
         }
-        drop(state);
-        self.space_ready.notify_all();
+        drop(delivery);
+        stream.space.notify_all();
+        if stream_finished {
+            finished.push(stream.id);
+        }
     }
+    // Recycle the job's allocations for the shard's next batch.
+    parts.runs.clear();
+    {
+        let mut state = shard.state.lock().expect("program shard lock");
+        if state.spares.len() < SPARE_PARTS_CAP {
+            state.spares.push(parts);
+        }
+    }
+    if !finished.is_empty() {
+        let mut streams = shared.streams.lock().expect("stream registry lock");
+        for id in finished {
+            streams.remove(&id);
+        }
+    }
+}
+
+/// Decodes one job and routes its corrections (shared by workers and the
+/// shutdown drain).
+fn decode_job(
+    shared: &Shared,
+    job: DecodeJob,
+    scratches: &mut HashMap<u64, DecodeScratch>,
+    flips: &mut Vec<u64>,
+) {
+    let DecodeJob { shard, mut parts } = job;
+    let program = Arc::clone(&shard.program);
+    // Transpose the packed frames into bit planes and decode — both
+    // outside every service lock.
+    let chunk = parts.builder.finish(0, 0);
+    let scratch = scratches
+        .entry(program.id())
+        .or_insert_with(|| DecodeScratch::with_memo_config(program.memo_config()));
+    let before = scratch.cache_stats();
+    let prediction =
+        program
+            .decoder()
+            .decode_batch_with_snapshot(&chunk, scratch, program.snapshot());
+    shared
+        .metrics
+        .note_decode_cache(&scratch.cache_stats().since(&before));
+    flips.clear();
+    flips.resize(chunk.num_shots(), 0);
+    for observable in 0..prediction.num_observables() {
+        for (word_index, &word) in prediction.plane(observable).iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let shot = word_index * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // The final word of a plane carries no bits beyond the
+                // shot count, so `shot` is always in range.
+                flips[shot] |= 1u64 << observable;
+            }
+        }
+    }
+    route_corrections(shared, &shard, parts, flips);
 }
 
 fn worker_loop(shared: Arc<Shared>) {
@@ -390,64 +629,85 @@ fn worker_loop(shared: Arc<Shared>) {
     let mut flips: Vec<u64> = Vec::new();
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("service state lock");
+            let mut jobs = shared.queue.jobs.lock().expect("job queue lock");
             loop {
-                // Enforce the latency deadline *before* popping queued
-                // work, so a pending partial word is flushed on time even
-                // while full-word jobs keep the queue busy (the scan is one
-                // map entry per program with pending frames).
-                let next_deadline = shared.flush_overdue(&mut state, Instant::now());
-                if let Some(job) = state.jobs.pop_front() {
+                if let Some(job) = jobs.pop_front() {
                     break Some(job);
                 }
-                if state.shutdown {
+                if shared.is_shutdown() {
                     break None;
                 }
-                match next_deadline {
-                    Some(wait) => {
-                        let (next, _) = shared
-                            .job_ready
-                            .wait_timeout(state, wait.min(Duration::from_secs(1)))
-                            .expect("service state lock");
-                        state = next;
-                    }
-                    None => {
-                        state = shared.job_ready.wait(state).expect("service state lock");
-                    }
-                }
+                jobs = shared.queue.ready.wait(jobs).expect("job queue lock");
             }
         };
-        let Some(mut job) = job else { break };
-        // Transpose the packed frames into bit planes and decode — both
-        // outside the service lock.
-        let chunk = job.parts.builder.finish(0, 0);
-        let scratch = scratches
-            .entry(job.program.id())
-            .or_insert_with(|| DecodeScratch::with_memo_config(job.program.memo_config()));
-        let before = scratch.cache_stats();
-        let prediction = job.program.decoder().decode_batch_with_snapshot(
-            &chunk,
-            scratch,
-            job.program.snapshot(),
-        );
-        shared
-            .metrics
-            .note_decode_cache(&scratch.cache_stats().since(&before));
-        flips.clear();
-        flips.resize(chunk.num_shots(), 0);
-        for observable in 0..prediction.num_observables() {
-            for (word_index, &word) in prediction.plane(observable).iter().enumerate() {
-                let mut bits = word;
-                while bits != 0 {
-                    let shot = word_index * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    // The final word of a plane carries no bits beyond the
-                    // shot count, so `shot` is always in range.
-                    flips[shot] |= 1u64 << observable;
+        let Some(job) = job else { break };
+        decode_job(&shared, job, &mut scratches, &mut flips);
+    }
+}
+
+/// The dedicated deadline flusher: waits out each armed shard's exact
+/// deadline (no 1 s polling cap, no dependence on a free worker) and
+/// flushes overdue partial words.
+fn flusher_loop(shared: Arc<Shared>) {
+    let deadline = shared.config.flush_deadline;
+    // Shards armed and not yet overdue, carried across scan rounds.
+    let mut scan: Vec<Arc<ProgramShard>> = Vec::new();
+    loop {
+        {
+            let mut flusher = shared.flusher.state.lock().expect("flusher lock");
+            loop {
+                if flusher.shutdown {
+                    return;
                 }
+                scan.append(&mut flusher.armed);
+                if !scan.is_empty() {
+                    break;
+                }
+                flusher = shared.flusher.wake.wait(flusher).expect("flusher lock");
             }
         }
-        shared.route_corrections(job, &flips);
+        // Scan with no flusher lock held: each shard under its own lock.
+        let now = Instant::now();
+        let mut next_due: Option<Instant> = None;
+        scan.retain(|shard| {
+            let mut state = shard.state.lock().expect("program shard lock");
+            let due = match &state.pending {
+                Some(batch) => batch.oldest + deadline,
+                None => {
+                    // Flushed by a full word (or close) in the meantime;
+                    // the next partial will re-arm.
+                    state.armed = false;
+                    return false;
+                }
+            };
+            if due <= now {
+                shared.flush_shard(shard, &mut state, FlushCause::Deadline);
+                state.armed = false;
+                false
+            } else {
+                next_due = Some(next_due.map_or(due, |d| d.min(due)));
+                true
+            }
+        });
+        if let Some(due) = next_due {
+            let mut flusher = shared.flusher.state.lock().expect("flusher lock");
+            if flusher.shutdown {
+                return;
+            }
+            if flusher.armed.is_empty() {
+                let wait = due.saturating_duration_since(Instant::now());
+                let (next, _) = shared
+                    .flusher
+                    .wake
+                    .wait_timeout(flusher, wait)
+                    .expect("flusher lock");
+                flusher = next;
+                if flusher.shutdown {
+                    return;
+                }
+            }
+            scan.append(&mut flusher.armed);
+        }
     }
 }
 
@@ -459,23 +719,21 @@ fn worker_loop(shared: Arc<Shared>) {
 pub struct DecodeService {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-}
-
-impl std::fmt::Debug for Shared {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("config", &self.config)
-            .finish()
-    }
+    flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl DecodeService {
-    /// Starts a service with `config.workers` decode workers.
+    /// Starts a service with `config.workers` decode workers plus one
+    /// deadline-flusher thread.
     pub fn new(config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
-            job_ready: Condvar::new(),
-            space_ready: Condvar::new(),
+            programs: Mutex::new(HashMap::new()),
+            shards: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+            queue: JobQueue::default(),
+            flusher: Flusher::default(),
+            next_stream: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
             metrics: MetricsInner::new(),
             config,
         });
@@ -488,9 +746,17 @@ impl DecodeService {
                     .expect("spawn decode worker")
             })
             .collect();
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qccd-flush".to_string())
+                .spawn(move || flusher_loop(shared))
+                .expect("spawn deadline flusher")
+        };
         DecodeService {
             shared,
             workers: Mutex::new(workers),
+            flusher: Mutex::new(Some(flusher)),
         }
     }
 
@@ -562,46 +828,78 @@ impl DecodeService {
         key: &str,
         build: impl FnOnce() -> Result<Arc<DecodeProgram>, ServiceError>,
     ) -> Result<StreamHandle, ServiceError> {
-        let existing = {
-            let state = self.shared.state.lock().expect("service state lock");
-            if state.shutdown {
-                return Err(ServiceError::StreamClosed);
-            }
-            state.programs.get(key).cloned()
-        };
-        // Build (compile + warm) outside the lock; a racing open of the
+        let shared = &self.shared;
+        if shared.is_shutdown() {
+            return Err(ServiceError::StreamClosed);
+        }
+        let existing = shared
+            .programs
+            .lock()
+            .expect("program registry lock")
+            .get(key)
+            .cloned();
+        // Build (compile + warm) outside every lock; a racing open of the
         // same key keeps the first-registered program.
         let program = match existing {
             Some(program) => program,
             None => build()?,
         };
-        let (tx, rx) = mpsc::channel();
-        let mut state = self.shared.state.lock().expect("service state lock");
-        if state.shutdown {
-            return Err(ServiceError::StreamClosed);
-        }
-        let program = state
+        let program = shared
             .programs
+            .lock()
+            .expect("program registry lock")
             .entry(key.to_string())
             .or_insert(program)
             .clone();
-        let id = state.next_stream;
-        state.next_stream += 1;
-        state.streams.insert(
+        let shard = shared
+            .shards
+            .lock()
+            .expect("shard registry lock")
+            .entry(program.id())
+            .or_insert_with(|| {
+                Arc::new(ProgramShard {
+                    program: Arc::clone(&program),
+                    state: Mutex::new(ShardState {
+                        pending: None,
+                        spares: Vec::new(),
+                        armed: false,
+                    }),
+                })
+            })
+            .clone();
+        let (tx, rx) = mpsc::channel();
+        let id = shared.next_stream.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(StreamCore {
             id,
-            StreamState {
+            closed: AtomicBool::new(false),
+            delivery: Mutex::new(StreamDelivery {
                 next_submit_seq: 0,
                 inflight: 0,
-                closed: false,
                 reorder: BinaryHeap::new(),
                 next_deliver: 0,
-                tx,
-            },
-        );
+                tx: Some(tx),
+            }),
+            space: Condvar::new(),
+        });
+        shared
+            .streams
+            .lock()
+            .expect("stream registry lock")
+            .insert(id, Arc::clone(&core));
+        if shared.is_shutdown() {
+            // Raced a shutdown that may already have drained the registry.
+            shared
+                .streams
+                .lock()
+                .expect("stream registry lock")
+                .remove(&id);
+            return Err(ServiceError::StreamClosed);
+        }
         Ok(StreamHandle {
             sender: StreamSender {
-                shared: Arc::clone(&self.shared),
-                id,
+                shared: Arc::clone(shared),
+                core,
+                shard,
                 program,
             },
             receiver: StreamReceiver {
@@ -616,38 +914,86 @@ impl DecodeService {
     pub fn metrics(&self) -> ServiceMetrics {
         let streams_open = self
             .shared
-            .state
-            .lock()
-            .expect("service state lock")
             .streams
+            .lock()
+            .expect("stream registry lock")
             .len();
         self.shared.metrics.snapshot(streams_open)
     }
 
-    /// Drains every queued frame, stops the workers and closes every
-    /// stream. Idempotent; also invoked on drop.
-    pub fn shutdown(&self) {
-        {
-            let mut state = self.shared.state.lock().expect("service state lock");
-            if state.shutdown {
-                return;
-            }
-            state.shutdown = true;
-            let pending: Vec<u64> = state.pending.keys().copied().collect();
-            for id in pending {
-                self.shared.flush_pending(&mut state, id, true);
-            }
-            self.shared.job_ready.notify_all();
-            self.shared.space_ready.notify_all();
+    /// Flushes every shard's pending batch (shutdown sweep).
+    fn flush_all_shards(&self) {
+        let shards: Vec<Arc<ProgramShard>> = self
+            .shared
+            .shards
+            .lock()
+            .expect("shard registry lock")
+            .values()
+            .cloned()
+            .collect();
+        for shard in shards {
+            let mut state = shard.state.lock().expect("program shard lock");
+            self.shared
+                .flush_shard(&shard, &mut state, FlushCause::Shutdown);
+            state.armed = false;
         }
+    }
+
+    /// Drains every queued frame, stops the workers and the flusher, and
+    /// closes every stream. Idempotent; also invoked on drop. Frames whose
+    /// submission races the shutdown may be accepted yet never decoded —
+    /// their receivers still observe end-of-stream rather than hanging.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Queue every pending partial word while the workers still run.
+        self.flush_all_shards();
+        {
+            let mut flusher = self.shared.flusher.state.lock().expect("flusher lock");
+            flusher.shutdown = true;
+            flusher.armed.clear();
+        }
+        self.shared.flusher.wake.notify_all();
+        self.shared.queue.ready.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().expect("worker list lock"));
         for worker in workers {
             worker.join().expect("decode worker panicked");
         }
-        // Drop every sender so receivers observe end-of-stream after
-        // draining what was decoded.
-        let mut state = self.shared.state.lock().expect("service state lock");
-        state.streams.clear();
+        if let Some(flusher) = self.flusher.lock().expect("flusher handle lock").take() {
+            flusher.join().expect("deadline flusher panicked");
+        }
+        // Sweep again for pendings that raced the first sweep, then decode
+        // any leftover jobs inline — the workers are gone.
+        self.flush_all_shards();
+        let mut scratches: HashMap<u64, DecodeScratch> = HashMap::new();
+        let mut flips: Vec<u64> = Vec::new();
+        loop {
+            let job = self
+                .shared
+                .queue
+                .jobs
+                .lock()
+                .expect("job queue lock")
+                .pop_front();
+            match job {
+                Some(job) => decode_job(&self.shared, job, &mut scratches, &mut flips),
+                None => break,
+            }
+        }
+        // End every stream: drop the delivery senders so receivers observe
+        // end-of-stream after draining, and wake blocked submitters.
+        let streams: Vec<Arc<StreamCore>> = {
+            let mut registry = self.shared.streams.lock().expect("stream registry lock");
+            registry.drain().map(|(_, stream)| stream).collect()
+        };
+        for stream in streams {
+            stream.closed.store(true, Ordering::SeqCst);
+            let mut delivery = stream.delivery.lock().expect("stream delivery lock");
+            delivery.tx = None;
+            drop(delivery);
+            stream.space.notify_all();
+        }
     }
 }
 
@@ -694,7 +1040,8 @@ impl StreamHandle {
 #[derive(Debug, Clone)]
 pub struct StreamSender {
     shared: Arc<Shared>,
-    id: u64,
+    core: Arc<StreamCore>,
+    shard: Arc<ProgramShard>,
     program: Arc<DecodeProgram>,
 }
 
@@ -711,7 +1058,7 @@ impl StreamSender {
 
     /// The stream id (diagnostics).
     pub fn id(&self) -> u64 {
-        self.id
+        self.core.id
     }
 
     /// Submits one frame (the fired-detector index list of one shot) and
@@ -736,11 +1083,11 @@ impl StreamSender {
         self.submit_inner(fired, false)
     }
 
-    /// Submits many frames in one call: one lock acquisition, one
+    /// Submits many frames in one call: one stream-lock acquisition, one
     /// timestamp and one bulk metrics update for the whole burst — the
     /// high-rate entry point (a per-frame [`StreamSender::submit`] loop
-    /// pays the service lock per frame and tops out an order of magnitude
-    /// lower). Returns the sequence range assigned to the burst. **Blocks**
+    /// pays the locks per frame and tops out an order of magnitude lower).
+    /// Returns the sequence range assigned to the burst. **Blocks**
     /// whenever the bounded queue is full, submitting what fits first.
     ///
     /// # Errors
@@ -754,8 +1101,7 @@ impl StreamSender {
     /// detector-major **packed** wire format (bit `d` = detector `d` fired,
     /// `ceil(num_detectors / 64)` words per frame — what
     /// [`qccd_sim::SyndromeChunk::packed_frame_into`] produces). Packed
-    /// ingestion is a word-level copy per frame, the fastest path through
-    /// the batcher.
+    /// ingestion is a word-level copy per frame.
     ///
     /// # Errors
     ///
@@ -769,111 +1115,153 @@ impl StreamSender {
         self.submit_batch_inner(FrameBatch::Packed(frames), true)
     }
 
+    /// [`StreamSender::submit_batch`] for **shot-major** [`WordBlock`]s:
+    /// pre-transposed 64-shot words the batcher ingests with a shift-OR per
+    /// detector instead of a per-frame bit scatter — the fastest path
+    /// through the service. Blocks are never split, so each block's shot
+    /// count must fit the stream's bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidWordBlock`] for malformed blocks,
+    /// [`ServiceError::WordBlockTooLarge`] when a block cannot ever fit the
+    /// queue, otherwise as [`StreamSender::submit_batch`]; nothing is
+    /// submitted on a bad burst.
+    pub fn submit_word_batch(
+        &self,
+        blocks: &[WordBlock<'_>],
+    ) -> Result<std::ops::Range<u64>, ServiceError> {
+        self.submit_batch_inner(FrameBatch::Blocks(blocks), true)
+    }
+
     fn submit_batch_inner(
         &self,
         frames: FrameBatch<'_>,
         block: bool,
     ) -> Result<std::ops::Range<u64>, ServiceError> {
-        frames.validate(self.program.num_detectors())?;
-        if frames.len() == 0 {
+        let shared = &self.shared;
+        let queue_shots = shared.config.stream_queue_shots;
+        frames.validate(self.program.num_detectors(), queue_shots)?;
+        if frames.shots() == 0 {
             return Ok(0..0);
         }
-        let shared = &self.shared;
         let mut remaining = frames;
         let mut first_seq = None;
         let mut next_seq = 0;
-        let mut state = shared.state.lock().expect("service state lock");
-        while remaining.len() > 0 {
-            // Wait for queue headroom (backpressure), then take what fits.
-            let room = loop {
-                let Some(stream) = state.streams.get(&self.id) else {
-                    return Err(ServiceError::StreamClosed);
-                };
-                if stream.closed || state.shutdown {
-                    return Err(ServiceError::StreamClosed);
+        while remaining.shots() > 0 {
+            let need = remaining.min_take();
+            // Reserve queue room and sequence numbers under the stream's
+            // own lock (backpressure waits here, on this stream's condvar).
+            let (burst, rest, take, seq) = {
+                let mut delivery = self.core.delivery.lock().expect("stream delivery lock");
+                loop {
+                    if self.core.is_closed() || shared.is_shutdown() {
+                        return Err(ServiceError::StreamClosed);
+                    }
+                    if queue_shots - delivery.inflight >= need {
+                        break;
+                    }
+                    if !block {
+                        return Err(ServiceError::Backpressure);
+                    }
+                    delivery = self
+                        .core
+                        .space
+                        .wait(delivery)
+                        .expect("stream delivery lock");
                 }
-                let room = shared.config.stream_queue_shots - stream.inflight;
-                if room > 0 {
-                    break room;
-                }
-                if !block {
-                    return Err(ServiceError::Backpressure);
-                }
-                state = shared.space_ready.wait(state).expect("service state lock");
+                let room = queue_shots - delivery.inflight;
+                let (burst, rest, take) = remaining.take_for_room(room);
+                let seq = delivery.next_submit_seq;
+                delivery.next_submit_seq += take as u64;
+                delivery.inflight += take;
+                (burst, rest, take, seq)
             };
-            let take = remaining.len().min(room);
-            let (burst, rest) = remaining.split_at(take);
             remaining = rest;
-            let now = Instant::now();
-            let stream = state.streams.get_mut(&self.id).expect("checked above");
-            let mut seq = stream.next_submit_seq;
             first_seq.get_or_insert(seq);
-            stream.next_submit_seq += take as u64;
-            stream.inflight += take;
+            next_seq = seq + take as u64;
             shared.metrics.note_submitted_many(take as u64);
-            let program_id = self.program.id();
-            let flush_shots = shared.config.flush_shots();
-            let mut filled_word = false;
-            let mut index = 0;
-            // Fill flush-bounded segments: one pending-map lookup per
-            // segment, not per frame.
-            while index < burst.len() {
-                if !state.pending.contains_key(&program_id) {
-                    let parts = state
-                        .spares
-                        .get_mut(&program_id)
-                        .and_then(Vec::pop)
-                        .unwrap_or_else(|| BatchParts {
-                            builder: SyndromeChunkBuilder::new(
-                                self.program.num_detectors(),
-                                self.program.num_observables(),
-                            ),
-                            runs: Vec::new(),
-                        });
-                    state.pending.insert(
-                        program_id,
-                        Batch {
-                            program: Arc::clone(&self.program),
-                            parts,
-                            oldest: now,
-                        },
-                    );
-                }
-                let batch = state.pending.get_mut(&program_id).expect("just ensured");
-                if batch.parts.builder.is_empty() {
-                    batch.oldest = now;
-                }
-                // One frame run (and one bookkeeping record) per
-                // flush-bounded segment.
-                let segment =
-                    (burst.len() - index).min(flush_shots - batch.parts.builder.pending_frames());
-                for i in index..index + segment {
-                    burst.push_into(i, &mut batch.parts.builder);
-                }
-                batch.parts.runs.push(FrameRun {
-                    stream: self.id,
-                    first_seq: seq,
-                    count: segment as u32,
-                    submitted: now,
-                });
-                seq += segment as u64;
-                index += segment;
-                if batch.parts.builder.pending_frames() >= flush_shots {
-                    shared.flush_pending(&mut state, program_id, false);
-                    filled_word = true;
-                }
-            }
-            next_seq = seq;
-            if shared.config.flush_deadline.is_zero() {
-                shared.flush_pending(&mut state, program_id, true);
-            } else if !filled_word {
-                // Frames are pending behind the deadline: make sure a
-                // worker's deadline timer is ticking.
-                shared.job_ready.notify_one();
-            }
+            self.fill_shard(burst, seq);
         }
         let first = first_seq.expect("frames is non-empty when the loop ran");
         Ok(first..next_seq)
+    }
+
+    /// Appends a reserved burst to the shard's pending batch, flushing full
+    /// words as they complete and arming the deadline flusher for a
+    /// leftover partial. Takes only this program's shard lock.
+    fn fill_shard(&self, burst: FrameBatch<'_>, mut seq: u64) {
+        let shared = &self.shared;
+        let flush_shots = shared.config.flush_shots();
+        let now = Instant::now();
+        let mut state = self.shard.state.lock().expect("program shard lock");
+        match burst {
+            FrameBatch::Indices(_) | FrameBatch::Packed(_) => {
+                let total = burst.shots();
+                let mut index = 0;
+                while index < total {
+                    let batch = self.ensure_pending(&mut state, now);
+                    // One frame run (and one bookkeeping record) per
+                    // flush-bounded segment, not per frame.
+                    let segment =
+                        (total - index).min(flush_shots - batch.parts.builder.pending_frames());
+                    for i in index..index + segment {
+                        burst.push_into(i, &mut batch.parts.builder);
+                    }
+                    push_run(&mut batch.parts.runs, &self.core, seq, segment as u32, now);
+                    seq += segment as u64;
+                    index += segment;
+                    if batch.parts.builder.pending_frames() >= flush_shots {
+                        shared.flush_shard(&self.shard, &mut state, FlushCause::FullWord);
+                    }
+                }
+            }
+            FrameBatch::Blocks(blocks) => {
+                for block in blocks {
+                    let batch = self.ensure_pending(&mut state, now);
+                    batch
+                        .parts
+                        .builder
+                        .push_word_block(block.planes, block.count);
+                    push_run(
+                        &mut batch.parts.runs,
+                        &self.core,
+                        seq,
+                        block.count as u32,
+                        now,
+                    );
+                    seq += block.count as u64;
+                    if batch.parts.builder.pending_frames() >= flush_shots {
+                        shared.flush_shard(&self.shard, &mut state, FlushCause::FullWord);
+                    }
+                }
+            }
+        }
+        if shared.config.flush_deadline.is_zero() {
+            shared.flush_shard(&self.shard, &mut state, FlushCause::Deadline);
+        } else if state.pending.is_some() && !state.armed {
+            // Frames are pending behind the deadline: hand the shard to the
+            // flusher — after dropping its lock (see `arm_flusher`).
+            state.armed = true;
+            drop(state);
+            shared.arm_flusher(&self.shard);
+        }
+    }
+
+    /// The shard's pending batch, created from the spare pool (or fresh)
+    /// when absent. Caller holds the shard lock.
+    fn ensure_pending<'s>(&self, state: &'s mut ShardState, now: Instant) -> &'s mut PendingBatch {
+        if state.pending.is_none() {
+            let parts = state.spares.pop().unwrap_or_else(|| BatchParts {
+                builder: SyndromeChunkBuilder::new(
+                    self.program.num_detectors(),
+                    self.program.num_observables(),
+                ),
+                runs: Vec::new(),
+            });
+            state.pending = Some(PendingBatch { parts, oldest: now });
+        }
+        state.pending.as_mut().expect("just ensured")
     }
 
     fn submit_inner(&self, fired: &[usize], block: bool) -> Result<u64, ServiceError> {
@@ -883,34 +1271,52 @@ impl StreamSender {
 
     /// Closes the stream: no further submissions are accepted, frames
     /// already submitted still decode, and the receiver drains the remaining
-    /// corrections before observing end-of-stream. The stream's pending
-    /// partial word is flushed immediately. Idempotent.
+    /// corrections before observing end-of-stream. The shard's pending
+    /// partial word is flushed (booked as a **close flush**) only when this
+    /// stream contributed to it and no still-open stream did — an idle
+    /// stream's close never ships other streams' partial words, and a word
+    /// shared with live streams stays pending for their deadline.
+    /// Idempotent.
     pub fn close(&self) {
-        let mut state = self.shared.state.lock().expect("service state lock");
-        let program_id = self.program.id();
-        let remove = match state.streams.get_mut(&self.id) {
-            Some(stream) => {
-                stream.closed = true;
-                stream.inflight == 0
+        if self.core.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let finished = {
+            let mut delivery = self.core.delivery.lock().expect("stream delivery lock");
+            let finished = delivery.inflight == 0;
+            if finished {
+                delivery.tx = None;
             }
-            None => false,
+            finished
         };
-        // Don't strand this stream's queued frames behind the deadline —
-        // but only when it actually has frames in the shared pending batch
-        // (an idle stream's close must not force-flush other streams'
-        // partial words).
-        let has_pending = state
-            .pending
-            .get(&program_id)
-            .is_some_and(|batch| batch.parts.runs.iter().any(|run| run.stream == self.id));
-        if has_pending {
-            self.shared.flush_pending(&mut state, program_id, true);
+        self.core.space.notify_all();
+        {
+            let mut state = self.shard.state.lock().expect("program shard lock");
+            let flush = state.pending.as_ref().is_some_and(|batch| {
+                let mut contributed = false;
+                let mut all_closed = true;
+                for run in &batch.parts.runs {
+                    if run.stream.id == self.core.id {
+                        contributed = true;
+                    }
+                    if !run.stream.is_closed() {
+                        all_closed = false;
+                    }
+                }
+                contributed && all_closed
+            });
+            if flush {
+                self.shared
+                    .flush_shard(&self.shard, &mut state, FlushCause::Close);
+            }
         }
-        if remove {
-            state.streams.remove(&self.id);
+        if finished {
+            self.shared
+                .streams
+                .lock()
+                .expect("stream registry lock")
+                .remove(&self.core.id);
         }
-        drop(state);
-        self.shared.space_ready.notify_all();
     }
 }
 
@@ -1173,6 +1579,210 @@ mod tests {
         let metrics = service.metrics();
         assert_eq!(metrics.deadline_flushes, 1);
         assert_eq!(metrics.full_word_flushes, 0);
+        assert_eq!(metrics.close_flushes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn word_blocks_submit_and_decode_identically() {
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_flush_deadline(Duration::from_millis(5)),
+        );
+        let circuit = mirror_circuit();
+        let mut handle = service
+            .open_stream_circuit("blocks", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        // Shot-major: one plane word for the single detector, odd shots fire.
+        let planes = [0xAAAA_AAAA_AAAA_AAAAu64];
+        let range = handle
+            .sender
+            .submit_word_batch(&[WordBlock {
+                planes: &planes,
+                count: 64,
+            }])
+            .unwrap();
+        assert_eq!(range, 0..64);
+        for i in 0..64u64 {
+            assert_eq!(
+                handle.recv().unwrap(),
+                Correction {
+                    seq: i,
+                    flips: (i % 2)
+                }
+            );
+        }
+        let metrics = service.metrics();
+        assert_eq!(
+            metrics.full_word_flushes, 1,
+            "a 64-shot block is a full word"
+        );
+        assert_eq!(metrics.deadline_flushes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn word_blocks_interleave_with_frames_on_one_stream() {
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_flush_deadline(Duration::from_micros(100)),
+        );
+        let circuit = mirror_circuit();
+        let mut handle = service
+            .open_stream_circuit("mixed", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        handle.submit(&[0]).unwrap();
+        handle.submit(&[]).unwrap();
+        // A 5-shot block (shots 1 and 3 fire) follows two plain frames.
+        let planes = [0b01010u64];
+        let range = handle
+            .sender
+            .submit_word_batch(&[WordBlock {
+                planes: &planes,
+                count: 5,
+            }])
+            .unwrap();
+        assert_eq!(range, 2..7);
+        let expected = [1u64, 0, 0, 1, 0, 1, 0];
+        for (i, &flips) in expected.iter().enumerate() {
+            assert_eq!(
+                handle.recv().unwrap(),
+                Correction {
+                    seq: i as u64,
+                    flips
+                },
+                "frame {i}"
+            );
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn malformed_word_blocks_are_rejected() {
+        let service = DecodeService::new(ServiceConfig::default().with_stream_queue_shots(8));
+        let circuit = mirror_circuit();
+        let handle = service
+            .open_stream_circuit("badblocks", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        let planes = [0u64];
+        // Wrong plane count.
+        assert!(matches!(
+            handle.sender.submit_word_batch(&[WordBlock {
+                planes: &[0, 0],
+                count: 1
+            }]),
+            Err(ServiceError::InvalidWordBlock(_))
+        ));
+        // Zero shots.
+        assert!(matches!(
+            handle.sender.submit_word_batch(&[WordBlock {
+                planes: &planes,
+                count: 0
+            }]),
+            Err(ServiceError::InvalidWordBlock(_))
+        ));
+        // Stray bits at or above the shot count.
+        assert!(matches!(
+            handle.sender.submit_word_batch(&[WordBlock {
+                planes: &[0b100],
+                count: 2
+            }]),
+            Err(ServiceError::InvalidWordBlock(_))
+        ));
+        // A block that can never fit the stream's bounded queue.
+        assert_eq!(
+            handle.sender.submit_word_batch(&[WordBlock {
+                planes: &planes,
+                count: 16
+            }]),
+            Err(ServiceError::WordBlockTooLarge {
+                count: 16,
+                stream_queue_shots: 8
+            })
+        );
+        assert_eq!(service.metrics().frames_submitted, 0, "nothing enqueued");
+        service.shutdown();
+    }
+
+    #[test]
+    fn closing_an_idle_stream_leaves_other_streams_pending() {
+        // Long deadline: only a close (or a full word) could flush.
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_flush_deadline(Duration::from_secs(5)),
+        );
+        let circuit = mirror_circuit();
+        let mut a = service
+            .open_stream_circuit("idle-close", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        let mut b = service
+            .open_stream_circuit("idle-close", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        for _ in 0..3 {
+            a.submit(&[0]).unwrap();
+        }
+        // B shares A's program but contributed nothing: its close must not
+        // ship A's partial word.
+        b.sender.close();
+        assert!(b.recv().is_none(), "idle closed stream drains immediately");
+        std::thread::sleep(Duration::from_millis(30));
+        let metrics = service.metrics();
+        assert_eq!(metrics.words_flushed, 0, "A's partial word stays pending");
+        assert_eq!(metrics.close_flushes, 0);
+        assert!(a.receiver.try_recv().is_none());
+        // A's own close flushes its word — booked as a close flush, not a
+        // deadline flush.
+        a.sender.close();
+        for i in 0..3u64 {
+            assert_eq!(a.recv().expect("correction").seq, i);
+        }
+        assert!(a.recv().is_none());
+        let metrics = service.metrics();
+        assert_eq!(metrics.close_flushes, 1);
+        assert_eq!(metrics.deadline_flushes, 0);
+        assert_eq!(metrics.full_word_flushes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn close_leaves_words_shared_with_live_streams_pending() {
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_flush_deadline(Duration::from_secs(5)),
+        );
+        let circuit = mirror_circuit();
+        let mut a = service
+            .open_stream_circuit("shared-close", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        let mut b = service
+            .open_stream_circuit("shared-close", &circuit, DecoderKind::UnionFind)
+            .unwrap();
+        for _ in 0..2 {
+            a.submit(&[0]).unwrap();
+            b.submit(&[0]).unwrap();
+        }
+        // A closes while B still contributes to the shared partial word:
+        // the word stays pending (B's deadline owns it now).
+        a.sender.close();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(service.metrics().words_flushed, 0);
+        assert!(a.receiver.try_recv().is_none());
+        // Once B (the last contributor) closes, the word flushes as a
+        // close flush and both receivers drain.
+        b.sender.close();
+        for i in 0..2u64 {
+            assert_eq!(a.recv().expect("correction").seq, i);
+            assert_eq!(b.recv().expect("correction").seq, i);
+        }
+        assert!(a.recv().is_none());
+        assert!(b.recv().is_none());
+        let metrics = service.metrics();
+        assert_eq!(metrics.close_flushes, 1);
+        assert_eq!(metrics.deadline_flushes, 0);
         service.shutdown();
     }
 
@@ -1204,6 +1814,7 @@ mod tests {
             assert_eq!(handle.recv().unwrap().seq, i);
         }
         assert!(handle.recv().is_none());
+        assert_eq!(service.metrics().close_flushes, 1);
         service.shutdown();
     }
 
@@ -1250,5 +1861,40 @@ mod tests {
             received += 1;
         }
         assert_eq!(received, 10);
+    }
+
+    #[test]
+    fn different_programs_use_different_shards() {
+        // Two programs: a partial word on one must not delay or flush with
+        // a full word on the other.
+        let service = DecodeService::new(
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_flush_deadline(Duration::from_secs(5)),
+        );
+        let mut a = service
+            .open_stream_circuit("prog-a", &mirror_circuit(), DecoderKind::UnionFind)
+            .unwrap();
+        let mut b = service
+            .open_stream_circuit("prog-b", &six_detector_circuit(), DecoderKind::UnionFind)
+            .unwrap();
+        a.submit(&[0]).unwrap();
+        for _ in 0..64 {
+            b.submit(&[0]).unwrap();
+        }
+        // B's full word decodes promptly even though A's partial pends.
+        for i in 0..64u64 {
+            let correction = b
+                .receiver
+                .recv_timeout(Duration::from_secs(10))
+                .expect("B's shard flushes independently");
+            assert_eq!(correction.seq, i);
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.full_word_flushes, 1);
+        assert_eq!(metrics.words_flushed, 1, "A's partial word still pends");
+        a.sender.close();
+        assert_eq!(a.recv().expect("close flush").seq, 0);
+        service.shutdown();
     }
 }

@@ -26,7 +26,9 @@ fn tcp_round_trip_with_loadgen_and_shutdown() {
         shots: 1024,
         seed: 7,
         rate: None,
+        shot_major: false, // the per-shot `frames` wire command
         verify: true,
+        ..LoadgenOptions::default()
     };
     let report = loadgen::run_over_tcp(
         &addr,
@@ -47,6 +49,165 @@ fn tcp_round_trip_with_loadgen_and_shutdown() {
         .join()
         .expect("server thread")
         .expect("server exits cleanly after shutdown command");
+}
+
+/// The saturation-harness shape: several TCP connections, each with its own
+/// submission thread, driving the shot-major `frames_packed` wire command —
+/// still bit-identical to the offline decode, with client-observed latency
+/// percentiles measured.
+#[test]
+fn multi_connection_packed_round_trip() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_flush_deadline(Duration::from_micros(300)),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    let options = LoadgenOptions {
+        streams: 4,
+        connections: 3,
+        shots: 2048,
+        seed: 21,
+        rate: None,
+        shot_major: true, // the `frames_packed` wire command
+        verify: true,
+    };
+    let report = loadgen::run_over_tcp(
+        &addr,
+        ("grid", "standard"),
+        2,
+        5.0,
+        2,
+        DecoderKind::UnionFind,
+        &options,
+        true,
+    )
+    .expect("multi-connection packed round trip");
+    assert_eq!(report.mismatches, 0, "wire corrections are bit-identical");
+    assert_eq!(report.connections, 3);
+    assert_eq!(report.metrics.frames_completed, 2048);
+    assert!(
+        report.p99_latency_us >= report.p50_latency_us,
+        "client-side latency percentiles are ordered"
+    );
+    running
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly after shutdown command");
+}
+
+/// The frontier sweep end-to-end: one calibration run plus throttled points,
+/// every point with non-zero achieved throughput.
+#[test]
+fn frontier_sweep_reports_nonzero_points() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig::default().with_flush_deadline(Duration::from_micros(300)),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    let options = LoadgenOptions {
+        streams: 2,
+        connections: 2,
+        shots: 512,
+        seed: 3,
+        rate: None,
+        shot_major: true,
+        verify: true,
+    };
+    let frontier = loadgen::run_frontier_over_tcp(
+        &addr,
+        ("grid", "standard"),
+        2,
+        5.0,
+        2,
+        DecoderKind::UnionFind,
+        &options,
+        2,
+        true,
+    )
+    .expect("frontier sweep");
+    assert_eq!(frontier.calibration.mismatches, 0);
+    assert_eq!(frontier.points.len(), 2);
+    for point in &frontier.points {
+        assert!(point.target_rate > 0.0);
+        assert!(point.shots_per_sec > 0.0);
+    }
+    running
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly after shutdown command");
+}
+
+/// The shot-major wire command (`frames_packed`) and the per-shot wire
+/// command (`frames`) produce identical corrections for identical shots:
+/// two streams of the same program, one fed each way, must agree
+/// correction for correction.
+#[test]
+fn packed_wire_matches_frames_wire() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig::default().with_flush_deadline(Duration::from_micros(200)),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    let arch = qccd_service::net::parse_arch("grid", 2, "standard", 5.0).expect("arch");
+    let program =
+        qccd_service::DecodeProgram::compile(&arch, 2, DecoderKind::UnionFind).expect("compile");
+    let frames = loadgen::sample_frames(program.circuit(), 300, 9).expect("sample");
+
+    let mut client = NetClient::connect(&addr).expect("connect");
+    let by_frames = client
+        .open_stream("grid", 2, "standard", 5.0, 2, DecoderKind::UnionFind)
+        .expect("open frames stream");
+    let by_blocks = client
+        .open_stream("grid", 2, "standard", 5.0, 2, DecoderKind::UnionFind)
+        .expect("open packed stream");
+
+    for burst in frames.chunks(64) {
+        client
+            .submit_frames(by_frames.id, burst)
+            .expect("frames submit");
+        let mut planes = vec![0u64; by_blocks.num_detectors];
+        for (j, fired) in burst.iter().enumerate() {
+            for &detector in fired {
+                planes[detector] |= 1u64 << j;
+            }
+        }
+        client
+            .submit_packed_words(by_blocks.id, &[(planes, burst.len())])
+            .expect("packed submit");
+    }
+    client.close_stream(by_frames.id).expect("close frames");
+    client.close_stream(by_blocks.id).expect("close packed");
+
+    for seq in 0..frames.len() as u64 {
+        let a = by_frames
+            .corrections
+            .recv_timeout(Duration::from_secs(30))
+            .expect("frames correction");
+        let b = by_blocks
+            .corrections
+            .recv_timeout(Duration::from_secs(30))
+            .expect("packed correction");
+        assert_eq!(a.seq, seq);
+        assert_eq!(b.seq, seq);
+        assert_eq!(a.flips, b.flips, "shot {seq} decodes identically");
+    }
+    assert!(
+        client.take_protocol_errors().is_empty(),
+        "every server line routed cleanly"
+    );
+    client.shutdown_server().expect("shutdown");
+    running.join().expect("server thread").expect("clean exit");
 }
 
 #[test]

@@ -54,8 +54,10 @@ proptest! {
 
     /// The satellite contract: per-stream corrections from the service are
     /// bit-identical to offline `decode_batch` on the same frames, across
-    /// stream counts, deadlines, coalescing and worker counts. The loadgen
-    /// asserts ordered, complete delivery internally and counts mismatches.
+    /// stream counts, deadlines, coalescing, worker counts and wire modes
+    /// (per-shot packed frames vs pre-transposed shot-major word blocks).
+    /// The loadgen asserts ordered, complete delivery internally and
+    /// counts mismatches.
     #[test]
     fn service_corrections_match_offline_decode_batch(
         seed in 0u64..1000,
@@ -64,6 +66,7 @@ proptest! {
         shots in 1usize..700,
         deadline_us in prop::sample::select(vec![0u64, 100, 100_000]),
         batch_words in 1usize..3,
+        shot_major in any::<bool>(),
         kind in prop::sample::select(vec![
             DecoderKind::UnionFind,
             DecoderKind::GreedyMatching,
@@ -82,19 +85,21 @@ proptest! {
             shots,
             seed,
             rate: None,
+            shot_major,
             verify: true,
+            ..LoadgenOptions::default()
         };
         let report = loadgen::run_in_process(&service, "prop", &circuit, kind, &options)
             .expect("loadgen runs");
         prop_assert_eq!(report.mismatches, 0,
-            "workers={} streams={} shots={} deadline={}µs words={} kind={:?}",
-            workers, streams, shots, deadline_us, batch_words, kind);
+            "workers={} streams={} shots={} deadline={}µs words={} shot_major={} kind={:?}",
+            workers, streams, shots, deadline_us, batch_words, shot_major, kind);
         prop_assert_eq!(report.shots, shots);
         let metrics = report.metrics;
         prop_assert_eq!(metrics.frames_completed, shots as u64);
         prop_assert_eq!(metrics.queue_depth, 0);
         prop_assert_eq!(
-            metrics.full_word_flushes + metrics.deadline_flushes > 0,
+            metrics.full_word_flushes + metrics.deadline_flushes + metrics.close_flushes > 0,
             true
         );
         service.shutdown();
@@ -150,6 +155,7 @@ fn paced_replay_stays_bit_identical() {
         seed: 11,
         rate: Some(50_000.0),
         verify: true,
+        ..LoadgenOptions::default()
     };
     let report = loadgen::run_in_process(
         &service,

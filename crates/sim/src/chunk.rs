@@ -291,6 +291,19 @@ impl SyndromeChunk {
         }
     }
 
+    /// Extracts one 64-shot word of the chunk as a **shot-major word
+    /// block** into `out` (cleared first): one `u64` per detector, bit `s`
+    /// of word `d` set iff detector `d` fired in shot
+    /// `word_index * 64 + s`. This is the pre-transposed wire format
+    /// streaming clients ship to [`SyndromeChunkBuilder::push_word_block`] —
+    /// a straight column copy here, a shift-OR there, no per-frame bit
+    /// scatter anywhere.
+    pub fn word_block_into(&self, word_index: usize, out: &mut Vec<u64>) {
+        assert!(word_index < self.words, "word {word_index} out of range");
+        out.clear();
+        out.extend(self.detectors.column(word_index));
+    }
+
     /// ORs all detector planes together: bit `s` of the result is set iff
     /// *any* detector fired in shot `s`. Lets decoders skip quiet shots
     /// without scanning every plane per shot.
@@ -401,6 +414,13 @@ impl SyndromeChunk {
 /// ingestion order. Observable planes are left zeroed: an online client does
 /// not know the logical frame — that is what the decoder predicts.
 ///
+/// Shot-major clients can instead ship whole pre-transposed 64-shot word
+/// blocks ([`SyndromeChunkBuilder::push_word_block`], the transpose of
+/// [`SyndromeChunk::word_block_into`]): one `u64` per detector with bit `s` =
+/// "shot `s` fired detector `d`". `finish` folds those in with two shift-OR
+/// ops per detector instead of a per-frame bit scatter, and the two ingestion
+/// styles interleave freely within one batch.
+///
 /// The builder is reusable: `finish` drains the pending frames and the
 /// builder keeps its allocations for the next batch.
 #[derive(Debug, Clone)]
@@ -410,7 +430,22 @@ pub struct SyndromeChunkBuilder {
     frame_words: usize,
     /// Row-major packed frames, `frame_words` words per frame.
     rows: Vec<u64>,
+    /// Shot-major word blocks, `num_detectors` words per block.
+    blocks: Vec<u64>,
+    /// Ingestion order across the two storage arenas.
+    segments: Vec<Segment>,
     num_frames: usize,
+}
+
+/// One contiguous run of same-layout frames inside the builder.
+#[derive(Debug, Clone, Copy)]
+enum Segment {
+    /// `count` detector-major frames starting at frame index `start` of
+    /// `rows`.
+    Rows { start: usize, count: usize },
+    /// `count` shots of one shot-major word block starting at word index
+    /// `base` of `blocks`.
+    Block { base: usize, count: usize },
 }
 
 impl SyndromeChunkBuilder {
@@ -422,8 +457,21 @@ impl SyndromeChunkBuilder {
             num_observables,
             frame_words: num_detectors.div_ceil(64),
             rows: Vec::new(),
+            blocks: Vec::new(),
+            segments: Vec::new(),
             num_frames: 0,
         }
+    }
+
+    /// Records `count` more detector-major frames, merging into the tail
+    /// segment when it is already a `Rows` run.
+    fn note_rows(&mut self, start: usize, count: usize) {
+        if let Some(Segment::Rows { count: tail, .. }) = self.segments.last_mut() {
+            *tail += count;
+        } else {
+            self.segments.push(Segment::Rows { start, count });
+        }
+        self.num_frames += count;
     }
 
     /// Number of detectors per frame.
@@ -448,13 +496,14 @@ impl SyndromeChunkBuilder {
     ///
     /// Panics if any index is `>= num_detectors`.
     pub fn push_frame(&mut self, fired: &[usize]) {
+        let frame = self.rows.len() / self.frame_words;
         let start = self.rows.len();
         self.rows.resize(start + self.frame_words, 0);
         for &d in fired {
             assert!(d < self.num_detectors, "detector {d} out of range");
             self.rows[start + d / 64] |= 1u64 << (d % 64);
         }
-        self.num_frames += 1;
+        self.note_rows(frame, 1);
     }
 
     /// Ingests one packed frame (bit `d` = detector `d` fired). The slice
@@ -472,8 +521,41 @@ impl SyndromeChunkBuilder {
                 assert_eq!(last & !valid, 0, "frame sets out-of-range detector bits");
             }
         }
+        let frame = self.rows.len() / self.frame_words;
         self.rows.extend_from_slice(packed);
-        self.num_frames += 1;
+        self.note_rows(frame, 1);
+    }
+
+    /// Ingests a **shot-major word block**: `planes` holds exactly
+    /// `num_detectors` words, bit `s` of word `d` = "shot `s` of the block
+    /// fired detector `d`", carrying `count` shots (1..=64). Bits at or
+    /// above `count` must be clear in every word — the builder trusts the
+    /// block's lane occupancy verbatim.
+    ///
+    /// This is the zero-transpose ingestion path: `finish` ORs each plane
+    /// word straight into the chunk's bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong plane count, a `count` outside `1..=64`, or set
+    /// out-of-range shot bits.
+    pub fn push_word_block(&mut self, planes: &[u64], count: usize) {
+        assert_eq!(planes.len(), self.num_detectors, "wrong plane word count");
+        assert!(
+            (1..=64).contains(&count),
+            "block shot count {count} out of range"
+        );
+        if count < 64 {
+            let valid = (1u64 << count) - 1;
+            assert!(
+                planes.iter().all(|&w| w & !valid == 0),
+                "block sets out-of-range shot bits"
+            );
+        }
+        let base = self.blocks.len();
+        self.blocks.extend_from_slice(planes);
+        self.segments.push(Segment::Block { base, count });
+        self.num_frames += count;
     }
 
     /// Transposes the pending frames into a [`SyndromeChunk`] (shot `s` of
@@ -488,19 +570,50 @@ impl SyndromeChunkBuilder {
             self.num_detectors,
             self.num_observables,
         );
-        for shot in 0..self.num_frames {
-            let row = &self.rows[shot * self.frame_words..(shot + 1) * self.frame_words];
-            let (word, bit) = (shot / 64, shot % 64);
-            for (w, &bits) in row.iter().enumerate() {
-                let mut rest = bits;
-                while rest != 0 {
-                    let d = w * 64 + rest.trailing_zeros() as usize;
-                    rest &= rest - 1;
-                    chunk.detectors.plane_mut(d)[word] |= 1u64 << bit;
+        let mut shot = 0usize;
+        for &segment in &self.segments {
+            match segment {
+                Segment::Rows { start, count } => {
+                    for i in 0..count {
+                        let frame = start + i;
+                        let row =
+                            &self.rows[frame * self.frame_words..(frame + 1) * self.frame_words];
+                        let (word, bit) = (shot / 64, shot % 64);
+                        for (w, &bits) in row.iter().enumerate() {
+                            let mut rest = bits;
+                            while rest != 0 {
+                                let d = w * 64 + rest.trailing_zeros() as usize;
+                                rest &= rest - 1;
+                                chunk.detectors.plane_mut(d)[word] |= 1u64 << bit;
+                            }
+                        }
+                        shot += 1;
+                    }
+                }
+                Segment::Block { base, count } => {
+                    // Shot-major fast path: each plane word lands with one
+                    // shift-OR (two when the block straddles a word
+                    // boundary) — no per-frame bit scatter.
+                    let (word, bit) = (shot / 64, shot % 64);
+                    let planes = &self.blocks[base..base + self.num_detectors];
+                    for (d, &bits) in planes.iter().enumerate() {
+                        if bits == 0 {
+                            continue;
+                        }
+                        let plane = chunk.detectors.plane_mut(d);
+                        plane[word] |= bits << bit;
+                        if bit != 0 && bit + count > 64 {
+                            plane[word + 1] |= bits >> (64 - bit);
+                        }
+                    }
+                    shot += count;
                 }
             }
         }
+        debug_assert_eq!(shot, self.num_frames);
         self.rows.clear();
+        self.blocks.clear();
+        self.segments.clear();
         self.num_frames = 0;
         chunk
     }
@@ -915,6 +1028,102 @@ mod tests {
     fn builder_rejects_out_of_range_packed_bits() {
         let mut builder = SyndromeChunkBuilder::new(3, 1);
         builder.push_packed_frame(&[0b1000]);
+    }
+
+    #[test]
+    fn word_blocks_round_trip_through_the_builder() {
+        let circuit = noisy_single_qubit(0.5);
+        let sampler = sample_detector_chunks(&circuit, 130, 3, 256).unwrap();
+        let chunk = sampler.sample_chunk(0);
+        let mut builder = SyndromeChunkBuilder::new(chunk.num_detectors(), 1);
+        let mut planes = Vec::new();
+        for word in 0..chunk.words() {
+            chunk.word_block_into(word, &mut planes);
+            let count = (chunk.num_shots() - word * 64).min(64);
+            builder.push_word_block(&planes, count);
+        }
+        assert_eq!(builder.pending_frames(), chunk.num_shots());
+        let rebuilt = builder.finish(0, 0);
+        for shot in 0..chunk.num_shots() {
+            for d in 0..chunk.num_detectors() {
+                assert_eq!(
+                    rebuilt.detector_fired(shot, d),
+                    chunk.detector_fired(shot, d),
+                    "shot {shot} detector {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_blocks_and_frames_interleave_across_word_boundaries() {
+        // 70 detectors, and a block pushed at shot offset 37 so it
+        // straddles the chunk's 64-shot word boundary in `finish`.
+        let num_detectors = 70;
+        let fired_in = |s: usize| -> Vec<usize> {
+            (0..num_detectors)
+                .filter(|d| (d * 5 + s).is_multiple_of(11))
+                .collect()
+        };
+        let mut by_frame = SyndromeChunkBuilder::new(num_detectors, 2);
+        let mut mixed = SyndromeChunkBuilder::new(num_detectors, 2);
+        for s in 0..37 {
+            by_frame.push_frame(&fired_in(s));
+            mixed.push_frame(&fired_in(s));
+        }
+        // Shots 37..=87 arrive as one 51-shot word block.
+        let mut planes = vec![0u64; num_detectors];
+        for s in 37..88 {
+            for d in fired_in(s) {
+                planes[d] |= 1u64 << (s - 37);
+            }
+            by_frame.push_frame(&fired_in(s));
+        }
+        mixed.push_word_block(&planes, 51);
+        // And a few more frame-major stragglers after the block.
+        for s in 88..100 {
+            by_frame.push_frame(&fired_in(s));
+            mixed.push_frame(&fired_in(s));
+        }
+        assert_eq!(mixed.pending_frames(), 100);
+        assert_eq!(by_frame.finish(0, 0), mixed.finish(0, 0));
+    }
+
+    #[test]
+    fn word_block_into_matches_packed_frames() {
+        let circuit = noisy_single_qubit(0.4);
+        let sampler = sample_detector_chunks(&circuit, 100, 9, 256).unwrap();
+        let chunk = sampler.sample_chunk(0);
+        let mut planes = Vec::new();
+        let mut packed = Vec::new();
+        for word in 0..chunk.words() {
+            chunk.word_block_into(word, &mut planes);
+            assert_eq!(planes.len(), chunk.num_detectors());
+            let count = (chunk.num_shots() - word * 64).min(64);
+            for s in 0..count {
+                let shot = word * 64 + s;
+                chunk.packed_frame_into(shot, &mut packed);
+                for d in 0..chunk.num_detectors() {
+                    let from_block = planes[d] >> s & 1 == 1;
+                    let from_frame = packed[d / 64] >> (d % 64) & 1 == 1;
+                    assert_eq!(from_block, from_frame, "shot {shot} detector {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range shot bits")]
+    fn builder_rejects_out_of_range_block_bits() {
+        let mut builder = SyndromeChunkBuilder::new(2, 1);
+        builder.push_word_block(&[0b100, 0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong plane word count")]
+    fn builder_rejects_wrong_block_plane_count() {
+        let mut builder = SyndromeChunkBuilder::new(3, 1);
+        builder.push_word_block(&[1, 1], 1);
     }
 
     #[test]
