@@ -11,8 +11,9 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
-use crate::artifact::Artifact;
+use crate::artifact::{validate_artifact_json, Artifact};
 use crate::spec::ExperimentSpec;
 
 /// A directory of cached artifacts keyed by spec content hash.
@@ -58,6 +59,11 @@ impl ArtifactCache {
 
     /// Stores an artifact under its producing spec's key.
     ///
+    /// The write is atomic — a temp file in the cache directory renamed
+    /// into place — so an interrupted run can never leave a truncated or
+    /// corrupt cache entry behind: the entry either fully exists or not at
+    /// all.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors from creating the directory or writing
@@ -67,9 +73,157 @@ impl ArtifactCache {
         let path = self.path_for(spec);
         let text = serde_json::to_string_pretty(&artifact.to_json())
             .expect("artifact serialization cannot fail");
-        fs::write(&path, text)?;
+        qccd_sweeprun::write_atomic(&path, &text).map_err(io::Error::other)?;
         Ok(path)
     }
+
+    /// Inspects every file in the cache directory (an absent directory is
+    /// an empty cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors; per-entry problems are reported in
+    /// each entry's [`status`](CacheEntry::status) instead of failing the
+    /// scan.
+    pub fn entries(&self) -> io::Result<Vec<CacheEntry>> {
+        let read_dir = match fs::read_dir(&self.dir) {
+            Ok(read_dir) => read_dir,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        for item in read_dir {
+            let item = item?;
+            if !item.file_type()?.is_file() {
+                continue;
+            }
+            entries.push(inspect_entry(&item.path())?);
+        }
+        entries.sort_by(|a, b| a.file_name.cmp(&b.file_name));
+        Ok(entries)
+    }
+
+    /// Deletes every cache file `should_remove` selects; returns the
+    /// removed paths. The removal policy (stale only, foreign too, …) is
+    /// the caller's — the `artifacts cache prune` CLI builds it from flags.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan and deletion errors.
+    pub fn prune<F>(&self, should_remove: F) -> io::Result<Vec<PathBuf>>
+    where
+        F: Fn(&CacheEntry) -> bool,
+    {
+        let mut removed = Vec::new();
+        for entry in self.entries()? {
+            if should_remove(&entry) {
+                fs::remove_file(&entry.path)?;
+                removed.push(entry.path);
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Health of one file in the cache directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// A well-formed artifact whose recorded spec name/hash match its file
+    /// name — exactly what [`ArtifactCache::load`] would serve.
+    Valid,
+    /// Not a cache entry at all: wrong extension or an unparseable
+    /// `<name>-<hash>.json` file name.
+    Foreign(String),
+    /// Parses as an artifact but its recorded spec name/hash disagree with
+    /// the file name (hand-edited, renamed, or produced by other code);
+    /// [`ArtifactCache::load`] would refuse it.
+    Stale(String),
+    /// Unreadable, non-JSON, or failing the artifact schema.
+    Corrupt(String),
+}
+
+/// One inspected file of the cache directory.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Absolute (or cache-relative) path of the file.
+    pub path: PathBuf,
+    /// File name within the cache directory.
+    pub file_name: String,
+    /// Spec name parsed from the file name, when it follows the
+    /// `<name>-<hash>.json` convention.
+    pub spec_name: Option<String>,
+    /// Content hash parsed from the file name.
+    pub spec_hash: Option<String>,
+    /// File size in bytes.
+    pub size_bytes: u64,
+    /// Seconds since the file was last modified, when the filesystem
+    /// reports it.
+    pub age_secs: Option<u64>,
+    /// Schema/consistency verdict.
+    pub status: EntryStatus,
+}
+
+/// Splits `<name>-<hash>.json` into its parts; the hash is the 16-hex-digit
+/// suffix [`ExperimentSpec::content_hash`] produces.
+fn split_cache_file_name(file_name: &str) -> Option<(String, String)> {
+    let stem = file_name.strip_suffix(".json")?;
+    let (name, hash) = stem.rsplit_once('-')?;
+    if name.is_empty() || hash.len() != 16 || !hash.chars().all(|c| c.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some((name.to_string(), hash.to_string()))
+}
+
+fn inspect_entry(path: &Path) -> io::Result<CacheEntry> {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let metadata = fs::metadata(path)?;
+    let age_secs = metadata
+        .modified()
+        .ok()
+        .and_then(|t| SystemTime::now().duration_since(t).ok())
+        .map(|d| d.as_secs());
+    let parsed_name = split_cache_file_name(&file_name);
+    let status = match &parsed_name {
+        None => EntryStatus::Foreign("file name is not `<name>-<hash>.json`".to_string()),
+        Some((name, hash)) => match fs::read_to_string(path) {
+            Err(e) => EntryStatus::Corrupt(format!("unreadable: {e}")),
+            Ok(text) => match serde_json::from_str(&text) {
+                Err(e) => EntryStatus::Corrupt(format!("not JSON: {e}")),
+                Ok(value) => match validate_artifact_json(&value) {
+                    Err(e) => EntryStatus::Corrupt(e),
+                    Ok(()) => match Artifact::from_json(&value) {
+                        Err(e) => EntryStatus::Corrupt(e),
+                        Ok(artifact)
+                            if artifact.metadata.spec_name != *name
+                                || artifact.metadata.spec_hash != *hash =>
+                        {
+                            EntryStatus::Stale(format!(
+                                "records spec {}-{}, file name says {name}-{hash}",
+                                artifact.metadata.spec_name, artifact.metadata.spec_hash
+                            ))
+                        }
+                        Ok(_) => EntryStatus::Valid,
+                    },
+                },
+            },
+        },
+    };
+    let (spec_name, spec_hash) = match parsed_name {
+        Some((name, hash)) => (Some(name), Some(hash)),
+        None => (None, None),
+    };
+    Ok(CacheEntry {
+        path: path.to_path_buf(),
+        file_name,
+        spec_name,
+        spec_hash,
+        size_bytes: metadata.len(),
+        age_secs,
+        status,
+    })
 }
 
 #[cfg(test)]
@@ -130,6 +284,73 @@ mod tests {
             cache.load(&reseeded).is_none(),
             "different content hash maps to a different file"
         );
+    }
+
+    #[test]
+    fn entries_classify_valid_stale_foreign_and_corrupt() {
+        let cache = ArtifactCache::new(scratch_dir("entries"));
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("table2").unwrap();
+        cache.store(spec, &tiny_artifact(spec)).unwrap();
+
+        // A renamed (stale) entry, a foreign file, and a corrupt one.
+        fs::write(
+            cache.dir().join("other-0123456789abcdef.json"),
+            serde_json::to_string_pretty(&tiny_artifact(spec).to_json()).unwrap(),
+        )
+        .unwrap();
+        fs::write(cache.dir().join("notes.txt"), "not an artifact").unwrap();
+        fs::write(cache.dir().join("table2-00000000deadbeef.json"), "{trunc").unwrap();
+
+        let entries = cache.entries().unwrap();
+        assert_eq!(entries.len(), 4);
+        let by_name = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.file_name == name)
+                .unwrap_or_else(|| panic!("no entry {name}"))
+        };
+        assert_eq!(
+            by_name(&format!("table2-{}.json", spec.content_hash())).status,
+            EntryStatus::Valid
+        );
+        assert!(matches!(
+            by_name("other-0123456789abcdef.json").status,
+            EntryStatus::Stale(_)
+        ));
+        assert!(matches!(
+            by_name("notes.txt").status,
+            EntryStatus::Foreign(_)
+        ));
+        assert!(matches!(
+            by_name("table2-00000000deadbeef.json").status,
+            EntryStatus::Corrupt(_)
+        ));
+        let valid = by_name(&format!("table2-{}.json", spec.content_hash()));
+        assert_eq!(valid.spec_name.as_deref(), Some("table2"));
+        assert_eq!(
+            valid.spec_hash.as_deref(),
+            Some(spec.content_hash().as_str())
+        );
+        assert!(valid.size_bytes > 0);
+
+        // Prune everything that isn't valid; the good entry survives.
+        let removed = cache
+            .prune(|entry| entry.status != EntryStatus::Valid)
+            .unwrap();
+        assert_eq!(removed.len(), 3);
+        let remaining = cache.entries().unwrap();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].status, EntryStatus::Valid);
+        assert!(cache.load(spec).is_some(), "pruning spared the live entry");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entries_on_missing_directory_is_empty() {
+        let cache = ArtifactCache::new(scratch_dir("missing_dir"));
+        assert!(cache.entries().unwrap().is_empty());
+        assert!(cache.prune(|_| true).unwrap().is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! testable; `src/bin/artifacts.rs` is a two-line shim over [`run`].
 
 use std::fs;
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -29,9 +30,14 @@ use qccd_service::net::{parse_arch, parse_decoder};
 use qccd_service::{
     loadgen, DecodeProgram, DecodeService, LoadgenOptions, NetServer, ServiceConfig,
 };
+use qccd_sweeprun::{
+    query_status, render_progress_line, run_job, run_worker, CoordinatorConfig, PointJob,
+    PointStore, SchedulerConfig, StoreState, WorkerOptions,
+};
 
 use crate::artifact::{validate_artifact_json, Artifact};
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, CacheEntry, EntryStatus};
+use crate::distributed::{job_factory, merge_artifact, spec_point_job};
 use crate::registry::{run_spec, ExperimentRegistry};
 use crate::spec::{ExperimentKind, ExperimentSpec};
 
@@ -46,6 +52,11 @@ commands:
   check <file.json>        validate an emitted artifact against the schema
   serve [options]          run the real-time decode service (TCP JSON-lines)
   loadgen [options]        replay sampled syndromes against a decode service
+  sweep run [options]      run a LER sweep through the resumable point store
+  sweep resume [options]   alias of `sweep run` (only missing points recompute)
+  sweep status [options]   print a sweep's progress snapshot
+  sweep worker [options]   join a coordinator as a remote evaluation worker
+  cache <list|validate|prune> [options]   inspect the artifact cache
 
 run options:
   --all                    run every registered spec
@@ -90,7 +101,37 @@ loadgen options:
   --shutdown               send a shutdown command after the run (TCP only)
   --format <pretty|json>   report format (default: pretty)
   --workers/--deadline-us/--batch-words/--queue-shots   service knobs
-  --dense-entries/--no-dense-memo                       (in-process only)";
+  --dense-entries/--no-dense-memo                       (in-process only)
+
+sweep run/resume options:
+  <name> | --spec <file.json>   the LER-sweep spec to run (exactly one)
+  --store <dir>            point-store base (default: target/experiments/sweep)
+  --listen <host:port>     accept remote `sweep worker` processes (port 0
+                           picks a free port; the bound address is printed)
+  --local-workers <n>      in-process evaluation threads (default: 1;
+                           0 needs --listen)
+  --lease-timeout-ms <ms>  requeue a silent worker's lease after this
+                           (default: 60000)
+  --max-attempts <n>       evaluation attempts per point (default: 3)
+  --backoff-ms <ms>        first retry delay, doubling per retry (default: 250)
+  --progress-interval-ms <ms>   progress line / status.json period
+                           (default: 2000)
+  --quiet                  suppress the live progress line on stderr
+  --format <pretty|json|csv>    merged-artifact format (default: pretty)
+  --out <dir>              write the merged artifact to <dir>/<name>.<ext>
+
+sweep status options:
+  --addr <host:port>       query a live coordinator, or:
+  <name> | --spec <file.json> [--store <dir>]   read the store's status.json
+  --format <pretty|json>   one-line summary or the full snapshot
+
+sweep worker options:
+  --addr <host:port>       coordinator to join (required)
+  --throttle-ms <ms>       artificial delay before each evaluation (test hook)
+
+cache options:
+  --cache-dir <dir>        cache location (default: target/experiments/cache)
+  --dry-run                (prune) report what would be removed, remove nothing";
 
 /// Output format of `artifacts run`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -433,6 +474,549 @@ pub fn parse_loadgen_options(args: &[String]) -> Result<LoadgenCliOptions, Strin
     Ok(options)
 }
 
+/// Parsed `artifacts sweep run` / `sweep resume` options.
+#[derive(Debug)]
+pub struct SweepRunOptions {
+    /// Registry spec name (mutually exclusive with `spec_file`).
+    pub name: Option<String>,
+    /// User-supplied spec file (mutually exclusive with `name`).
+    pub spec_file: Option<PathBuf>,
+    /// Point-store base directory.
+    pub store: PathBuf,
+    /// Listen address for remote workers (`None` = local-only run).
+    pub listen: Option<String>,
+    /// In-process evaluation threads.
+    pub local_workers: usize,
+    /// Lease/retry tuning.
+    pub scheduler: SchedulerConfig,
+    /// Progress line / `status.json` period.
+    pub progress_interval: Duration,
+    /// Suppress the live progress line on stderr.
+    pub quiet: bool,
+    /// Merged-artifact output format.
+    pub format: OutputFormat,
+    /// Output directory for the merged artifact (stdout when absent).
+    pub out: Option<PathBuf>,
+}
+
+impl Default for SweepRunOptions {
+    fn default() -> Self {
+        SweepRunOptions {
+            name: None,
+            spec_file: None,
+            store: PathBuf::from("target/experiments/sweep"),
+            listen: None,
+            local_workers: 1,
+            scheduler: SchedulerConfig::default(),
+            progress_interval: Duration::from_millis(2000),
+            quiet: false,
+            format: OutputFormat::Pretty,
+            out: None,
+        }
+    }
+}
+
+/// Parses the arguments of `artifacts sweep run` / `sweep resume`.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags, missing values, an empty or
+/// ambiguous spec selection, or a configuration that cannot make progress.
+pub fn parse_sweep_run_options(args: &[String]) -> Result<SweepRunOptions, String> {
+    let mut options = SweepRunOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--spec" => {
+                let value = iter.next().ok_or("--spec needs a JSON file path")?;
+                options.spec_file = Some(PathBuf::from(value));
+            }
+            "--store" => {
+                let value = iter.next().ok_or("--store needs a directory")?;
+                options.store = PathBuf::from(value);
+            }
+            "--listen" => {
+                options.listen = Some(iter.next().ok_or("--listen needs a host:port")?.clone());
+            }
+            "--local-workers" => options.local_workers = parse_number(arg, iter.next())?,
+            "--lease-timeout-ms" => {
+                options.scheduler.lease_timeout =
+                    Duration::from_millis(parse_number(arg, iter.next())?);
+            }
+            "--max-attempts" => options.scheduler.max_attempts = parse_number(arg, iter.next())?,
+            "--backoff-ms" => {
+                options.scheduler.backoff_base =
+                    Duration::from_millis(parse_number(arg, iter.next())?);
+            }
+            "--progress-interval-ms" => {
+                options.progress_interval = Duration::from_millis(parse_number(arg, iter.next())?);
+            }
+            "--quiet" => options.quiet = true,
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                options.format = OutputFormat::parse(value)?;
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out needs a directory")?;
+                options.out = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown sweep flag `{flag}`")),
+            name => {
+                if options.name.is_some() {
+                    return Err("sweep runs exactly one spec at a time".into());
+                }
+                options.name = Some(name.to_string());
+            }
+        }
+    }
+    if options.name.is_some() == options.spec_file.is_some() {
+        return Err("sweep needs exactly one spec: a registry name or --spec <file>".into());
+    }
+    if options.local_workers == 0 && options.listen.is_none() {
+        return Err("--local-workers 0 needs --listen (someone has to evaluate points)".into());
+    }
+    if options.scheduler.max_attempts == 0 {
+        return Err("--max-attempts must be at least 1".into());
+    }
+    Ok(options)
+}
+
+/// Parsed `artifacts sweep status` options.
+#[derive(Debug)]
+pub struct SweepStatusOptions {
+    /// Live coordinator to query (mutually exclusive with the store path).
+    pub addr: Option<String>,
+    /// Registry spec name locating the store.
+    pub name: Option<String>,
+    /// Spec file locating the store.
+    pub spec_file: Option<PathBuf>,
+    /// Point-store base directory.
+    pub store: PathBuf,
+    /// Print the full JSON snapshot instead of the one-line summary.
+    pub json: bool,
+}
+
+/// Parses the arguments of `artifacts sweep status`.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags, missing values, or a target
+/// that is neither an address nor a spec.
+pub fn parse_sweep_status_options(args: &[String]) -> Result<SweepStatusOptions, String> {
+    let mut options = SweepStatusOptions {
+        addr: None,
+        name: None,
+        spec_file: None,
+        store: PathBuf::from("target/experiments/sweep"),
+        json: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => options.addr = Some(iter.next().ok_or("--addr needs a host:port")?.clone()),
+            "--spec" => {
+                let value = iter.next().ok_or("--spec needs a JSON file path")?;
+                options.spec_file = Some(PathBuf::from(value));
+            }
+            "--store" => {
+                let value = iter.next().ok_or("--store needs a directory")?;
+                options.store = PathBuf::from(value);
+            }
+            "--format" => match iter.next().map(String::as_str) {
+                Some("pretty") => options.json = false,
+                Some("json") => options.json = true,
+                other => return Err(format!("--format: pretty|json, got {other:?}")),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown status flag `{flag}`")),
+            name => {
+                if options.name.is_some() {
+                    return Err("status takes one spec name".into());
+                }
+                options.name = Some(name.to_string());
+            }
+        }
+    }
+    let has_spec = options.name.is_some() || options.spec_file.is_some();
+    if options.addr.is_some() == has_spec {
+        return Err("status needs one target: --addr <host:port>, or a spec (+ --store)".into());
+    }
+    if options.name.is_some() && options.spec_file.is_some() {
+        return Err("status takes a registry name or --spec, not both".into());
+    }
+    Ok(options)
+}
+
+/// Parsed `artifacts sweep worker` options.
+#[derive(Debug)]
+pub struct SweepWorkerOptions {
+    /// Coordinator address.
+    pub addr: String,
+    /// Artificial delay before each evaluation (kill-test hook).
+    pub throttle: Duration,
+}
+
+/// Parses the arguments of `artifacts sweep worker`.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags, missing values, or a missing
+/// `--addr`.
+pub fn parse_sweep_worker_options(args: &[String]) -> Result<SweepWorkerOptions, String> {
+    let mut addr = None;
+    let mut throttle = Duration::ZERO;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(iter.next().ok_or("--addr needs a host:port")?.clone()),
+            "--throttle-ms" => throttle = Duration::from_millis(parse_number(arg, iter.next())?),
+            flag => return Err(format!("unknown worker flag `{flag}`")),
+        }
+    }
+    Ok(SweepWorkerOptions {
+        addr: addr.ok_or("worker needs --addr <host:port>")?,
+        throttle,
+    })
+}
+
+/// What `artifacts cache` should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Print every entry (name, hash, age, size, status).
+    List,
+    /// Check every entry against the artifact schema; fail on problems.
+    Validate,
+    /// Delete stale/foreign/corrupt entries.
+    Prune,
+}
+
+/// Parsed `artifacts cache` options.
+#[derive(Debug)]
+pub struct CacheCliOptions {
+    /// The subcommand.
+    pub action: CacheAction,
+    /// Cache directory.
+    pub cache_dir: PathBuf,
+    /// Report what `prune` would remove without removing it.
+    pub dry_run: bool,
+}
+
+/// Parses the arguments of `artifacts cache`.
+///
+/// # Errors
+///
+/// Returns a usage message on a missing/unknown action or unknown flags.
+pub fn parse_cache_options(args: &[String]) -> Result<CacheCliOptions, String> {
+    let action = match args.first().map(String::as_str) {
+        Some("list") => CacheAction::List,
+        Some("validate") => CacheAction::Validate,
+        Some("prune") => CacheAction::Prune,
+        other => {
+            return Err(format!(
+                "cache needs an action (list|validate|prune), got {other:?}"
+            ))
+        }
+    };
+    let mut options = CacheCliOptions {
+        action,
+        cache_dir: PathBuf::from("target/experiments/cache"),
+        dry_run: false,
+    };
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                let value = iter.next().ok_or("--cache-dir needs a directory")?;
+                options.cache_dir = PathBuf::from(value);
+            }
+            "--dry-run" if action == CacheAction::Prune => options.dry_run = true,
+            flag => return Err(format!("unknown cache flag `{flag}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Writes a rendered artifact to `<out>/<name>.<ext>` or stdout.
+fn emit_rendered(
+    name: &str,
+    rendered: &str,
+    format: OutputFormat,
+    out: &Option<PathBuf>,
+) -> Result<(), String> {
+    match out {
+        Some(dir) => {
+            fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+            let path = dir.join(format!("{name}.{}", format.extension()));
+            fs::write(&path, rendered).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            println!("(wrote {})", path.display());
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Resolves the single spec a sweep subcommand names.
+fn resolve_sweep_spec(
+    name: &Option<String>,
+    spec_file: &Option<PathBuf>,
+    registry: &ExperimentRegistry,
+) -> Result<ExperimentSpec, String> {
+    match (name, spec_file) {
+        (Some(name), None) => registry
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("unknown experiment `{name}` (try `artifacts list`)")),
+        (None, Some(path)) => load_spec_file(path),
+        _ => Err("sweep needs exactly one spec: a registry name or --spec <file>".into()),
+    }
+}
+
+fn sweep_run_command(
+    options: SweepRunOptions,
+    registry: &ExperimentRegistry,
+) -> Result<(), String> {
+    let spec = resolve_sweep_spec(&options.name, &options.spec_file, registry)?;
+    let job = spec_point_job(&spec)?;
+    let (store, state) = PointStore::open(&options.store, &job.descriptor(), job.seed_table())?;
+    if state == StoreState::Resumed {
+        println!(
+            "resuming sweep `{}` at {}: {} of {} points already done",
+            spec.name,
+            store.root().display(),
+            store.done_count(),
+            store.num_points(),
+        );
+    } else {
+        println!(
+            "sweep `{}`: {} points, store {}",
+            spec.name,
+            store.num_points(),
+            store.root().display(),
+        );
+    }
+    let listener = match &options.listen {
+        Some(addr) => {
+            let listener =
+                TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let bound = listener
+                .local_addr()
+                .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+            // The integration tests (and scripts driving workers) parse this
+            // line to learn the port when `--listen` used port 0.
+            println!("sweep coordinator listening on {bound}");
+            Some(listener)
+        }
+        None => None,
+    };
+    let summary = run_job(
+        &job,
+        &store,
+        CoordinatorConfig {
+            listener,
+            local_workers: options.local_workers,
+            scheduler: options.scheduler,
+            progress_interval: options.progress_interval,
+            quiet: options.quiet,
+        },
+    )?;
+    println!(
+        "sweep `{}`: {} computed, {} resumed, {} failed in {:.1}s \
+         (requeues {}, retries {}, duplicates {})",
+        spec.name,
+        summary.computed,
+        summary.resumed,
+        summary.progress.failed,
+        summary.elapsed.as_secs_f64(),
+        summary.progress.counters.requeues,
+        summary.progress.counters.retries,
+        summary.progress.counters.duplicates,
+    );
+    if summary.progress.failed > 0 {
+        return Err(format!(
+            "{} points failed terminally (see {}); fix the cause and `sweep resume`",
+            summary.progress.failed,
+            store.root().join("failed").display(),
+        ));
+    }
+    let artifact = merge_artifact(&spec, &store)?;
+    emit_rendered(
+        &spec.name,
+        &options.format.render(&artifact),
+        options.format,
+        &options.out,
+    )
+}
+
+fn sweep_status_command(
+    options: &SweepStatusOptions,
+    registry: &ExperimentRegistry,
+) -> Result<(), String> {
+    let emit = |snapshot: &serde_json::Value| {
+        if options.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(snapshot).expect("snapshot serialization cannot fail")
+            );
+        } else {
+            println!("{}", render_progress_line(snapshot));
+        }
+    };
+    if let Some(addr) = &options.addr {
+        emit(&query_status(addr)?);
+        return Ok(());
+    }
+    let spec = resolve_sweep_spec(&options.name, &options.spec_file, registry)?;
+    let job = spec_point_job(&spec)?;
+    let (store, _) = PointStore::open(&options.store, &job.descriptor(), job.seed_table())?;
+    match store.read_status() {
+        Some(snapshot) => emit(&snapshot),
+        None => println!(
+            "no status snapshot yet: {}/{} points on disk, {} failed ({})",
+            store.done_count(),
+            store.num_points(),
+            store.failures().len(),
+            store.root().display(),
+        ),
+    }
+    Ok(())
+}
+
+fn sweep_worker_command(options: &SweepWorkerOptions) -> Result<(), String> {
+    let summary = run_worker(
+        &options.addr,
+        &job_factory,
+        WorkerOptions {
+            throttle: options.throttle,
+        },
+    )?;
+    println!(
+        "worker {}: {} completed, {} failed",
+        summary.worker_id, summary.completed, summary.failed,
+    );
+    Ok(())
+}
+
+fn sweep_command(args: &[String], registry: &ExperimentRegistry) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") | Some("resume") => {
+            sweep_run_command(parse_sweep_run_options(&args[1..])?, registry)
+        }
+        Some("status") => sweep_status_command(&parse_sweep_status_options(&args[1..])?, registry),
+        Some("worker") => sweep_worker_command(&parse_sweep_worker_options(&args[1..])?),
+        other => Err(format!(
+            "sweep needs an action (run|resume|status|worker), got {other:?}"
+        )),
+    }
+}
+
+fn entry_status_cells(entry: &CacheEntry) -> (&'static str, String) {
+    match &entry.status {
+        EntryStatus::Valid => ("valid", String::new()),
+        EntryStatus::Foreign(detail) => ("foreign", detail.clone()),
+        EntryStatus::Stale(detail) => ("stale", detail.clone()),
+        EntryStatus::Corrupt(detail) => ("corrupt", detail.clone()),
+    }
+}
+
+fn format_age(age_secs: Option<u64>) -> String {
+    match age_secs {
+        None => "?".to_string(),
+        Some(s) if s < 60 => format!("{s}s"),
+        Some(s) if s < 3600 => format!("{}m", s / 60),
+        Some(s) if s < 86_400 => format!("{}h", s / 3600),
+        Some(s) => format!("{}d", s / 86_400),
+    }
+}
+
+fn format_size(bytes: u64) -> String {
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+fn cache_command(options: &CacheCliOptions) -> Result<(), String> {
+    let cache = ArtifactCache::new(&options.cache_dir);
+    let entries = cache
+        .entries()
+        .map_err(|e| format!("cannot scan {}: {e}", options.cache_dir.display()))?;
+    match options.action {
+        CacheAction::List => {
+            if entries.is_empty() {
+                println!("cache {} is empty", options.cache_dir.display());
+                return Ok(());
+            }
+            let rows: Vec<Vec<String>> = entries
+                .iter()
+                .map(|entry| {
+                    let (status, _) = entry_status_cells(entry);
+                    vec![
+                        entry.spec_name.clone().unwrap_or_else(|| "-".to_string()),
+                        entry.spec_hash.clone().unwrap_or_else(|| "-".to_string()),
+                        format_age(entry.age_secs),
+                        format_size(entry.size_bytes),
+                        status.to_string(),
+                        entry.file_name.clone(),
+                    ]
+                })
+                .collect();
+            print!(
+                "{}",
+                crate::format_table(
+                    &format!("artifact cache: {}", options.cache_dir.display()),
+                    &["SPEC", "HASH", "AGE", "SIZE", "STATUS", "FILE"],
+                    &rows,
+                )
+            );
+            Ok(())
+        }
+        CacheAction::Validate => {
+            let mut bad = 0usize;
+            for entry in &entries {
+                let (status, detail) = entry_status_cells(entry);
+                if entry.status == EntryStatus::Valid {
+                    println!("{}: OK", entry.file_name);
+                } else {
+                    bad += 1;
+                    println!("{}: {status} ({detail})", entry.file_name);
+                }
+            }
+            if bad > 0 {
+                return Err(format!(
+                    "{bad} of {} cache entries are not valid (`artifacts cache prune` removes them)",
+                    entries.len(),
+                ));
+            }
+            println!("{} cache entries valid", entries.len());
+            Ok(())
+        }
+        CacheAction::Prune => {
+            if options.dry_run {
+                let doomed: Vec<_> = entries
+                    .iter()
+                    .filter(|entry| entry.status != EntryStatus::Valid)
+                    .collect();
+                for entry in &doomed {
+                    let (status, _) = entry_status_cells(entry);
+                    println!("would remove {} ({status})", entry.path.display());
+                }
+                println!("{} entries would be removed", doomed.len());
+                return Ok(());
+            }
+            let removed = cache
+                .prune(|entry| entry.status != EntryStatus::Valid)
+                .map_err(|e| format!("prune failed: {e}"))?;
+            for path in &removed {
+                println!("removed {}", path.display());
+            }
+            println!("{} entries removed", removed.len());
+            Ok(())
+        }
+    }
+}
+
 fn serve_command(options: &ServeOptions) -> Result<(), String> {
     let server = NetServer::bind(&options.addr, options.service)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
@@ -579,16 +1163,12 @@ fn run_command(options: &RunOptions, registry: &ExperimentRegistry) -> Result<()
                 artifact
             }
         };
-        let rendered = options.format.render(&artifact);
-        match &options.out {
-            Some(dir) => {
-                fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
-                let path = dir.join(format!("{name}.{}", options.format.extension()));
-                fs::write(&path, &rendered).map_err(|e| format!("cannot write {path:?}: {e}"))?;
-                println!("(wrote {})", path.display());
-            }
-            None => println!("{rendered}"),
-        }
+        emit_rendered(
+            name,
+            &options.format.render(&artifact),
+            options.format,
+            &options.out,
+        )?;
     }
     Ok(())
 }
@@ -638,6 +1218,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         Some("serve") => serve_command(&parse_serve_options(&args[1..])?),
         Some("loadgen") => loadgen_command(&parse_loadgen_options(&args[1..])?),
+        Some("sweep") => sweep_command(&args[1..], &registry),
+        Some("cache") => cache_command(&parse_cache_options(&args[1..])?),
         Some("check") => {
             let path = args.get(1).ok_or("check needs a JSON file path")?;
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -994,5 +1576,227 @@ mod tests {
         assert_eq!(OutputFormat::Json.extension(), "json");
         assert_eq!(OutputFormat::Csv.extension(), "csv");
         assert_eq!(OutputFormat::Pretty.extension(), "txt");
+    }
+
+    #[test]
+    fn sweep_run_options_parse_and_reject() {
+        let options = parse_sweep_run_options(&strings(&[
+            "fig07",
+            "--store",
+            "mystore",
+            "--listen",
+            "127.0.0.1:0",
+            "--local-workers",
+            "3",
+            "--lease-timeout-ms",
+            "500",
+            "--max-attempts",
+            "5",
+            "--backoff-ms",
+            "10",
+            "--progress-interval-ms",
+            "100",
+            "--quiet",
+            "--format",
+            "json",
+            "--out",
+            "out",
+        ]))
+        .unwrap();
+        assert_eq!(options.name.as_deref(), Some("fig07"));
+        assert_eq!(options.store, PathBuf::from("mystore"));
+        assert_eq!(options.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(options.local_workers, 3);
+        assert_eq!(options.scheduler.lease_timeout, Duration::from_millis(500));
+        assert_eq!(options.scheduler.max_attempts, 5);
+        assert_eq!(options.scheduler.backoff_base, Duration::from_millis(10));
+        assert_eq!(options.progress_interval, Duration::from_millis(100));
+        assert!(options.quiet);
+        assert_eq!(options.format, OutputFormat::Json);
+        assert_eq!(options.out, Some(PathBuf::from("out")));
+
+        // Exactly one spec, a worker somewhere, and a sane attempt budget.
+        assert!(parse_sweep_run_options(&strings(&[])).is_err());
+        assert!(parse_sweep_run_options(&strings(&["a", "b"])).is_err());
+        assert!(parse_sweep_run_options(&strings(&["a", "--spec", "b.json"])).is_err());
+        assert!(parse_sweep_run_options(&strings(&["a", "--local-workers", "0"])).is_err());
+        assert!(parse_sweep_run_options(&strings(&[
+            "a",
+            "--local-workers",
+            "0",
+            "--listen",
+            "127.0.0.1:0"
+        ]))
+        .is_ok());
+        assert!(parse_sweep_run_options(&strings(&["a", "--max-attempts", "0"])).is_err());
+        assert!(parse_sweep_run_options(&strings(&["a", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn sweep_status_and_worker_options_parse_and_reject() {
+        let live =
+            parse_sweep_status_options(&strings(&["--addr", "h:1", "--format", "json"])).unwrap();
+        assert_eq!(live.addr.as_deref(), Some("h:1"));
+        assert!(live.json);
+        let stored = parse_sweep_status_options(&strings(&["fig07", "--store", "s"])).unwrap();
+        assert_eq!(stored.name.as_deref(), Some("fig07"));
+        assert_eq!(stored.store, PathBuf::from("s"));
+        assert!(!stored.json);
+        // One target: an address or a spec, never both or neither.
+        assert!(parse_sweep_status_options(&strings(&[])).is_err());
+        assert!(parse_sweep_status_options(&strings(&["--addr", "h:1", "fig07"])).is_err());
+        assert!(parse_sweep_status_options(&strings(&["--format", "yaml", "x"])).is_err());
+
+        let worker =
+            parse_sweep_worker_options(&strings(&["--addr", "h:1", "--throttle-ms", "50"]))
+                .unwrap();
+        assert_eq!(worker.addr, "h:1");
+        assert_eq!(worker.throttle, Duration::from_millis(50));
+        assert!(parse_sweep_worker_options(&strings(&[])).is_err());
+        assert!(parse_sweep_worker_options(&strings(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn cache_options_parse_and_reject() {
+        let list = parse_cache_options(&strings(&["list", "--cache-dir", "c"])).unwrap();
+        assert_eq!(list.action, CacheAction::List);
+        assert_eq!(list.cache_dir, PathBuf::from("c"));
+        let prune = parse_cache_options(&strings(&["prune", "--dry-run"])).unwrap();
+        assert_eq!(prune.action, CacheAction::Prune);
+        assert!(prune.dry_run);
+        assert!(parse_cache_options(&strings(&[])).is_err());
+        assert!(parse_cache_options(&strings(&["frobnicate"])).is_err());
+        // --dry-run only makes sense for prune.
+        assert!(parse_cache_options(&strings(&["list", "--dry-run"])).is_err());
+    }
+
+    #[test]
+    fn cache_subcommands_run_end_to_end() {
+        let dir = TempDir::new("cachecli");
+        let cache_dir = dir.path("cache");
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("fig09").unwrap();
+        // A populated cache: one real run plus one foreign file.
+        run(&strings(&[
+            "run",
+            "fig09",
+            "--cache",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--out",
+            dir.path("out").to_str().unwrap(),
+        ]))
+        .unwrap();
+        fs::write(cache_dir.join("notes.txt"), "not an artifact").unwrap();
+
+        let cache_args =
+            |action: &str| strings(&["cache", action, "--cache-dir", cache_dir.to_str().unwrap()]);
+        assert!(run(&cache_args("list")).is_ok());
+        // Validate fails while the foreign file is present, prune removes
+        // it, then validate passes and the real entry still serves.
+        assert!(run(&cache_args("validate")).is_err());
+        run(&cache_args("prune")).unwrap();
+        assert!(run(&cache_args("validate")).is_ok());
+        assert!(ArtifactCache::new(&cache_dir).load(spec).is_some());
+    }
+
+    /// The registry's smallest real LER sweep, shrunk for a fast CLI test.
+    fn tiny_sweep_spec_file(dir: &TempDir) -> PathBuf {
+        let registry = ExperimentRegistry::builtin();
+        let mut spec = registry
+            .names()
+            .iter()
+            .filter_map(|name| registry.get(name))
+            .find(|spec| matches!(spec.kind, ExperimentKind::LerSweep(_)))
+            .expect("the registry has LER sweeps")
+            .clone();
+        if let ExperimentKind::LerSweep(kind) = &mut spec.kind {
+            kind.configurations.truncate(2);
+            kind.sample_distances = vec![2, 3];
+            kind.shots = 64;
+        }
+        spec.name = "cli-sweep-test".to_string();
+        let path = dir.path("tiny-sweep.json");
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(&spec.to_json()).unwrap(),
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn sweep_run_resume_and_status_work_through_the_cli() {
+        let dir = TempDir::new("sweepcli");
+        let spec_path = tiny_sweep_spec_file(&dir);
+        let store = dir.path("store");
+        let out = dir.path("out");
+        let base_args = |extra: &[&str]| {
+            let mut args = vec![
+                "sweep",
+                "run",
+                "--spec",
+                spec_path.to_str().unwrap(),
+                "--store",
+                store.to_str().unwrap(),
+                "--quiet",
+            ];
+            args.extend_from_slice(extra);
+            strings(&args)
+        };
+        run(&base_args(&[
+            "--local-workers",
+            "2",
+            "--format",
+            "json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("sweep run completes");
+        let emitted = fs::read_to_string(out.join("cli-sweep-test.json")).unwrap();
+        let value = serde_json::from_str(&emitted).unwrap();
+        validate_artifact_json(&value).expect("merged artifact validates");
+
+        // Resume on the full store recomputes nothing and re-merges the
+        // same artifact bytes.
+        run(&base_args(&[
+            "--format",
+            "json",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .expect("sweep resume completes");
+        assert_eq!(
+            fs::read_to_string(out.join("cli-sweep-test.json")).unwrap(),
+            emitted,
+            "resume must reproduce the artifact bit for bit"
+        );
+
+        // Status reads the store's final snapshot.
+        run(&strings(&[
+            "sweep",
+            "status",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--format",
+            "json",
+        ]))
+        .expect("sweep status reads the snapshot");
+
+        // Non-LER specs are refused by the sweep tier.
+        let err = run(&strings(&[
+            "sweep",
+            "run",
+            "fig09",
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not a LER sweep"), "{err}");
+        // And an action is mandatory.
+        assert!(run(&strings(&["sweep"])).is_err());
+        assert!(run(&strings(&["sweep", "frobnicate"])).is_err());
     }
 }

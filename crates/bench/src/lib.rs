@@ -33,6 +33,7 @@
 pub mod artifact;
 pub mod cache;
 pub mod cli;
+pub mod distributed;
 pub mod registry;
 pub mod spec;
 pub mod sweep;
@@ -45,14 +46,16 @@ use qccd_decoder::{LambdaFit, SweepEngine};
 use qccd_hardware::{TopologyKind, WiringMethod};
 
 pub use artifact::{validate_artifact_json, Artifact, ArtifactMetadata};
-pub use cache::ArtifactCache;
-pub use registry::{run_spec, ExperimentRegistry, RunError};
+pub use cache::{ArtifactCache, CacheEntry, EntryStatus};
+pub use distributed::{job_factory, merge_artifact, spec_point_job, SpecPointJob};
+pub use registry::{ler_artifact_from_outcomes, run_spec, ExperimentRegistry, RunError};
 pub use spec::{
     ArchPoint, CodeSpec, CompileCase, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec,
     SpecError, TimingMetric, TimingSweepSpec,
 };
 pub use sweep::{
-    ler_curves, ler_curves_with, run_ler_sweep, LerCurve, LerOutcome, LerPoint, DEFAULT_SWEEP_SEED,
+    evaluate_ler_point, ler_curves, ler_curves_from_outcomes, ler_curves_with, ler_sweep_points,
+    run_ler_sweep, LerCurve, LerOutcome, LerPoint, DEFAULT_SWEEP_SEED,
 };
 
 /// Renders an aligned text table (the pretty emitter of every artifact).

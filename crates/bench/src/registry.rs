@@ -34,6 +34,7 @@ use crate::spec::{
     DecoderComparisonSpec, DenseTailSpec, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec,
     SpecError, SurgerySpec, TimingMetric, TimingSweepSpec,
 };
+use crate::sweep::LerCurve;
 use crate::sweep::DEFAULT_SWEEP_SEED;
 use crate::{dump_json, fmt_f64, ler_curves_with, print_table};
 
@@ -272,11 +273,7 @@ fn resources_at_target(
 }
 
 fn run_ler_sweep_spec(kind: &LerSweepSpec, seed: u64) -> RunnerOutput {
-    let configurations: Vec<(String, ArchitectureConfig)> = kind
-        .configurations
-        .iter()
-        .map(|point| (point.display_label(), point.build()))
-        .collect();
+    let configurations = ler_sweep_configurations(kind);
     let engine = SweepEngine::new(seed);
     let curves = ler_curves_with(
         &engine,
@@ -286,7 +283,69 @@ fn run_ler_sweep_spec(kind: &LerSweepSpec, seed: u64) -> RunnerOutput {
         kind.decoder,
         kind.estimator,
     );
+    ler_sweep_output(kind, &configurations, &curves)
+}
 
+/// The built `(label, architecture)` pairs of a LER-sweep spec, in grid
+/// order.
+pub(crate) fn ler_sweep_configurations(kind: &LerSweepSpec) -> Vec<(String, ArchitectureConfig)> {
+    kind.configurations
+        .iter()
+        .map(|point| (point.display_label(), point.build()))
+        .collect()
+}
+
+/// Assembles a LER-sweep artifact of `spec` from per-point outcomes that
+/// were computed elsewhere — the merge half of the sweeprun orchestration
+/// tier. `outcomes` must be the full grid in [`crate::ler_sweep_points`]
+/// order.
+///
+/// [`run_spec`] routes its own in-process results through the exact same
+/// [`ler_sweep_output`] assembly, so an artifact merged from a distributed
+/// or resumed point store is bit-identical to a single-process run (modulo
+/// [`ArtifactMetadata::from_cache`]).
+///
+/// # Errors
+///
+/// Returns [`RunError::Invalid`] when the spec fails validation, is not a
+/// LER sweep, or the outcome count does not match the spec's grid.
+pub fn ler_artifact_from_outcomes(
+    spec: &ExperimentSpec,
+    outcomes: &[crate::LerOutcome],
+) -> Result<Artifact, RunError> {
+    spec.validate().map_err(RunError::Invalid)?;
+    let ExperimentKind::LerSweep(kind) = &spec.kind else {
+        return Err(RunError::Invalid(crate::spec::SpecError(format!(
+            "`{}` is not a LER sweep; only LER sweeps support point-store orchestration",
+            spec.name
+        ))));
+    };
+    let configurations = ler_sweep_configurations(kind);
+    let expected = configurations.len() * kind.sample_distances.len();
+    if outcomes.len() != expected {
+        return Err(RunError::Invalid(crate::spec::SpecError(format!(
+            "`{}` expects {expected} outcomes, got {}",
+            spec.name,
+            outcomes.len()
+        ))));
+    }
+    let curves = crate::ler_curves_from_outcomes(&configurations, &kind.sample_distances, outcomes);
+    let (headers, rows, notes, data) = ler_sweep_output(kind, &configurations, &curves);
+    Ok(Artifact {
+        title: spec.title.clone(),
+        headers,
+        rows,
+        notes,
+        data,
+        metadata: ArtifactMetadata::for_spec(spec),
+    })
+}
+
+fn ler_sweep_output(
+    kind: &LerSweepSpec,
+    configurations: &[(String, ArchitectureConfig)],
+    curves: &[LerCurve],
+) -> RunnerOutput {
     let mut headers = vec!["Configuration".to_string()];
     for output in &kind.outputs {
         match output {

@@ -109,32 +109,40 @@ pub struct LerOutcome {
     pub cache: Option<CacheStats>,
 }
 
-/// Runs every point through the declarative toolflow entry point
-/// ([`Toolflow::run_spec`]: compile → sample → batch decode), sharded across
-/// the engine's outer pool. Results are in input order.
+/// Evaluates one sweep point at an explicit sampling seed, through the
+/// declarative toolflow entry point ([`Toolflow::run_spec`]: compile →
+/// sample → batch decode).
+///
+/// This is the single evaluation body shared by every execution tier —
+/// [`run_ler_sweep`]'s in-process sharding, and the sweeprun store/worker
+/// paths in [`crate::distributed`] — so the outcome is a pure function of
+/// `(point, seed)` no matter which tier computed it.
+pub fn evaluate_ler_point(point: &LerPoint, seed: u64) -> LerOutcome {
+    let (result, cache) = match Toolflow::run_spec_report(&point.toolflow_spec(seed)) {
+        Ok(report) => (
+            Ok(report
+                .metrics
+                .logical_error
+                .expect("evaluate(_, true) always estimates the LER")),
+            report.decode_cache,
+        ),
+        Err(e) => (Err(e.to_string()), None),
+    };
+    LerOutcome {
+        label: point.label.clone(),
+        distance: point.distance,
+        decoder: point.decoder,
+        seed,
+        shots_requested: point.shots,
+        result,
+        cache,
+    }
+}
+
+/// Runs every point through [`evaluate_ler_point`], sharded across the
+/// engine's outer pool. Results are in input order.
 pub fn run_ler_sweep(engine: &SweepEngine, points: &[LerPoint]) -> Vec<LerOutcome> {
-    engine.run(points, |task| {
-        let point = task.point;
-        let (result, cache) = match Toolflow::run_spec_report(&point.toolflow_spec(task.seed)) {
-            Ok(report) => (
-                Ok(report
-                    .metrics
-                    .logical_error
-                    .expect("evaluate(_, true) always estimates the LER")),
-                report.decode_cache,
-            ),
-            Err(e) => (Err(e.to_string()), None),
-        };
-        LerOutcome {
-            label: point.label.clone(),
-            distance: point.distance,
-            decoder: point.decoder,
-            seed: task.seed,
-            shots_requested: point.shots,
-            result,
-            cache,
-        }
-    })
+    engine.run(points, |task| evaluate_ler_point(task.point, task.seed))
 }
 
 /// A fitted logical-error-rate curve of one configuration.
@@ -192,9 +200,46 @@ pub fn ler_curves_with(
     decoder: DecoderKind,
     estimator: EstimatorConfig,
 ) -> Vec<LerCurve> {
+    let points = ler_sweep_points(configurations, distances, shots, decoder, estimator);
+    let outcomes = run_ler_sweep(engine, &points);
+    ler_curves_from_outcomes(configurations, distances, &outcomes)
+}
+
+/// The flat configuration-major point grid of a LER sweep: configuration
+/// `c`, distance `d` gets index `c · distances.len() + d` — the index (and
+/// therefore seed) assignment every execution tier must agree on.
+pub fn ler_sweep_points(
+    configurations: &[(String, ArchitectureConfig)],
+    distances: &[usize],
+    shots: usize,
+    decoder: DecoderKind,
+    estimator: EstimatorConfig,
+) -> Vec<LerPoint> {
+    configurations
+        .iter()
+        .flat_map(|(label, arch)| {
+            distances.iter().map(|&d| {
+                LerPoint::new(label.clone(), arch.clone(), d, shots)
+                    .with_decoder(decoder)
+                    .with_estimator(estimator)
+            })
+        })
+        .collect()
+}
+
+/// Groups configuration-major sweep outcomes back into per-configuration
+/// fitted curves. Outcomes must be in grid order ([`ler_sweep_points`]) —
+/// exactly `configurations.len() × distances.len()` entries.
+///
+/// Compile failures are reported to stderr and excluded from the fit,
+/// mirroring the historical serial behaviour; with empty `distances` every
+/// configuration yields one empty (unfittable) curve.
+pub fn ler_curves_from_outcomes(
+    configurations: &[(String, ArchitectureConfig)],
+    distances: &[usize],
+    outcomes: &[LerOutcome],
+) -> Vec<LerCurve> {
     if distances.is_empty() {
-        // No sampling to do: one empty (unfittable) curve per configuration,
-        // mirroring the serial behaviour.
         return configurations
             .iter()
             .map(|(label, _)| LerCurve {
@@ -205,17 +250,6 @@ pub fn ler_curves_with(
             })
             .collect();
     }
-    let points: Vec<LerPoint> = configurations
-        .iter()
-        .flat_map(|(label, arch)| {
-            distances.iter().map(|&d| {
-                LerPoint::new(label.clone(), arch.clone(), d, shots)
-                    .with_decoder(decoder)
-                    .with_estimator(estimator)
-            })
-        })
-        .collect();
-    let outcomes = run_ler_sweep(engine, &points);
     outcomes
         .chunks(distances.len())
         .zip(configurations)

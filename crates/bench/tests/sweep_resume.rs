@@ -1,0 +1,241 @@
+//! End-to-end kill-and-resume smoke test of the distributed sweep tier.
+//!
+//! Drives the real `artifacts` binary: a coordinator (`sweep run --listen`)
+//! with no local workers, two remote worker processes, one of which is
+//! SIGKILLed mid-lease. The coordinator must requeue the orphaned lease,
+//! the surviving worker must finish the grid, and the merged artifact must
+//! be bit-identical to an uninterrupted in-process `run_spec` — the
+//! acceptance criterion of the orchestration tier.
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use qccd_bench::{run_spec, ExperimentKind, ExperimentRegistry, ExperimentSpec};
+use serde_json::Value;
+
+/// A scratch directory unique to this test binary, cleaned up on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!("qccd-sweep-resume-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills the child on drop so a failing assertion can't leak processes.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// The registry's smallest real LER sweep, shrunk so the whole scenario
+/// runs in seconds.
+fn tiny_spec() -> ExperimentSpec {
+    let registry = ExperimentRegistry::builtin();
+    let mut spec = registry
+        .names()
+        .iter()
+        .filter_map(|name| registry.get(name))
+        .find(|spec| matches!(spec.kind, ExperimentKind::LerSweep(_)))
+        .expect("the registry has LER sweeps")
+        .clone();
+    if let ExperimentKind::LerSweep(kind) = &mut spec.kind {
+        kind.configurations.truncate(2);
+        kind.sample_distances = vec![2, 3];
+        kind.shots = 64;
+    }
+    spec.name = "resume-smoke".to_string();
+    spec
+}
+
+fn artifacts(args: &[&str]) -> Command {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_artifacts"));
+    command.args(args);
+    command
+}
+
+/// Everything but volatile provenance must match bit for bit.
+fn assert_artifacts_match(merged: &Value, reference: &Value) {
+    for key in ["title", "headers", "rows", "notes", "data"] {
+        assert_eq!(
+            merged.get(key),
+            reference.get(key),
+            "artifact `{key}` differs between the distributed and local runs"
+        );
+    }
+    let hash = |value: &Value| {
+        value
+            .get("metadata")
+            .and_then(|m| m.get("spec_hash"))
+            .cloned()
+    };
+    assert_eq!(hash(merged), hash(reference), "spec hashes differ");
+}
+
+#[test]
+fn killed_worker_is_requeued_and_the_resumed_artifact_is_bit_identical() {
+    let dir = TempDir::new();
+    let spec = tiny_spec();
+    let spec_path = dir.path("spec.json");
+    fs::write(
+        &spec_path,
+        serde_json::to_string_pretty(&spec.to_json()).unwrap(),
+    )
+    .unwrap();
+    let store = dir.path("store");
+    let out = dir.path("out");
+    let spec_arg = spec_path.to_str().unwrap();
+    let store_arg = store.to_str().unwrap();
+
+    // The uninterrupted single-process reference.
+    let reference = run_spec(&spec).expect("reference run succeeds").to_json();
+
+    // Coordinator: remote workers only, a short lease so the killed
+    // worker's point requeues quickly.
+    let mut coordinator = Reaper(
+        artifacts(&[
+            "sweep",
+            "run",
+            "--spec",
+            spec_arg,
+            "--store",
+            store_arg,
+            "--listen",
+            "127.0.0.1:0",
+            "--local-workers",
+            "0",
+            "--lease-timeout-ms",
+            "500",
+            "--backoff-ms",
+            "10",
+            "--progress-interval-ms",
+            "100",
+            "--quiet",
+            "--format",
+            "json",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("coordinator spawns"),
+    );
+    let mut stdout = BufReader::new(coordinator.0.stdout.take().expect("stdout piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stdout.read_line(&mut line).expect("coordinator stdout"),
+            0,
+            "coordinator exited before announcing its address"
+        );
+        if let Some(addr) = line.trim().strip_prefix("sweep coordinator listening on ") {
+            break addr.to_string();
+        }
+    };
+
+    // Worker 1 leases a point immediately, then stalls in its throttle —
+    // long enough that it is still mid-lease when killed.
+    let mut stalled = Reaper(
+        artifacts(&["sweep", "worker", "--addr", &addr, "--throttle-ms", "10000"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("stalled worker spawns"),
+    );
+    // Give it time to connect and take its lease before competition starts.
+    std::thread::sleep(Duration::from_millis(700));
+
+    // Worker 2 does the actual work.
+    let worker = Reaper(
+        artifacts(&["sweep", "worker", "--addr", &addr])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("second worker spawns"),
+    );
+
+    // SIGKILL the stalled worker mid-lease: no goodbye, no more heartbeats.
+    std::thread::sleep(Duration::from_millis(200));
+    stalled.0.kill().expect("kill the stalled worker");
+    stalled.0.wait().expect("reap the stalled worker");
+
+    // The coordinator must requeue the orphaned point after the lease
+    // timeout, hand it to the surviving worker, finish, and merge.
+    let status = coordinator.0.wait().expect("coordinator exits");
+    assert!(status.success(), "coordinator failed: {status:?}");
+    drop(worker); // exits on its own once the run finishes; reap it
+
+    let merged_text = fs::read_to_string(out.join(format!("{}.json", spec.name)))
+        .expect("the coordinator wrote the merged artifact");
+    let merged = serde_json::from_str(&merged_text).expect("merged artifact is JSON");
+    assert_artifacts_match(&merged, &reference);
+
+    // The requeue is visible in `sweep status` (reading the final
+    // status.json snapshot the coordinator persisted).
+    let status_out = artifacts(&[
+        "sweep", "status", "--spec", spec_arg, "--store", store_arg, "--format", "json",
+    ])
+    .output()
+    .expect("sweep status runs");
+    assert!(status_out.status.success());
+    let snapshot =
+        serde_json::from_str(&String::from_utf8_lossy(&status_out.stdout)).expect("status JSON");
+    let count = |key: &str| snapshot.get(key).and_then(Value::as_u64).unwrap_or(0);
+    assert!(
+        count("requeues") >= 1,
+        "the killed worker's lease was never requeued: {snapshot}"
+    );
+    assert_eq!(count("failed"), 0, "no point may fail: {snapshot}");
+    assert_eq!(count("done"), count("total"), "incomplete: {snapshot}");
+
+    // Resume on the completed store: nothing recomputes, and the re-merged
+    // artifact is byte-identical.
+    let resume_out = dir.path("resume-out");
+    let resume = artifacts(&[
+        "sweep",
+        "resume",
+        "--spec",
+        spec_arg,
+        "--store",
+        store_arg,
+        "--quiet",
+        "--format",
+        "json",
+        "--out",
+        resume_out.to_str().unwrap(),
+    ])
+    .output()
+    .expect("sweep resume runs");
+    assert!(resume.status.success(), "resume failed: {resume:?}");
+    let resume_stdout = String::from_utf8_lossy(&resume.stdout);
+    assert!(
+        resume_stdout.contains("0 computed, 4 resumed"),
+        "resume recomputed points it should have kept:\n{resume_stdout}"
+    );
+    assert_eq!(
+        fs::read_to_string(resume_out.join(format!("{}.json", spec.name))).unwrap(),
+        merged_text,
+        "resume must reproduce the artifact bit for bit"
+    );
+}

@@ -1,0 +1,503 @@
+//! The coordinator: drives one job to completion over the point store.
+//!
+//! A run owns the [`Scheduler`] and the [`PointStore`] and feeds points to
+//! two kinds of workers at once:
+//!
+//! - **local worker threads** (in-process), for the plain `sweep run` path;
+//! - **remote workers** over TCP JSON-lines (see the protocol below), for
+//!   the distributed path.
+//!
+//! Completion ordering is persist-then-acknowledge: a point's file is
+//! written (atomically) *before* the scheduler marks it done, so a crash in
+//! between merely leaves the point pending — it is recomputed, never lost
+//! half-recorded.
+//!
+//! # Wire protocol (one JSON request line → one JSON response line)
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"cmd":"hello","proto":1}` | `{"ok":true,"worker_id":W,"lease_timeout_ms":T,"job":<descriptor>}` |
+//! | `{"cmd":"lease","worker_id":W}` | `{"point":{"index":I,"seed":S}}` · `{"wait_ms":M}` · `{"finished":true}` |
+//! | `{"cmd":"complete","worker_id":W,"index":I,"payload":P}` | `{"ok":true,"duplicate":B}` |
+//! | `{"cmd":"fail","worker_id":W,"index":I,"error":E}` | `{"ok":true,"disposition":"retry"\|"exhausted"\|"stale"}` |
+//! | `{"cmd":"heartbeat","worker_id":W}` | `{"ok":true}` |
+//! | `{"cmd":"status"}` | the same snapshot as `status.json` |
+//!
+//! Any error is `{"error":"..."}`. Heartbeats may arrive on a second
+//! connection so long evaluations don't starve the liveness signal.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use crate::job::{JobDescriptor, PointJob};
+use crate::net::JsonLines;
+use crate::scheduler::{
+    CompleteReply, FailReply, LeaseReply, Progress, Scheduler, SchedulerConfig,
+};
+use crate::store::PointStore;
+
+/// Protocol version spoken by [`run_job`] and `run_worker`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// How long a worker told to wait should sleep before re-asking.
+const WAIT_MS: u64 = 100;
+
+/// Configuration for one coordinator run.
+pub struct CoordinatorConfig {
+    /// Pre-bound listener for remote workers (`None` = local-only run).
+    /// Pre-binding lets callers use port 0 and learn the real address
+    /// before workers start.
+    pub listener: Option<TcpListener>,
+    /// In-process evaluation threads.
+    pub local_workers: usize,
+    /// Lease/retry tuning.
+    pub scheduler: SchedulerConfig,
+    /// How often to reprint progress and rewrite `status.json`.
+    pub progress_interval: Duration,
+    /// Suppress the live progress line on stderr.
+    pub quiet: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            listener: None,
+            local_workers: 1,
+            scheduler: SchedulerConfig::default(),
+            progress_interval: Duration::from_secs(2),
+            quiet: true,
+        }
+    }
+}
+
+/// What a finished run did.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Points evaluated during this run.
+    pub computed: usize,
+    /// Points already in the store when the run started.
+    pub resumed: usize,
+    /// Final progress (includes requeue/retry/duplicate counters).
+    pub progress: Progress,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Renders the canonical status snapshot — the shape written to
+/// `status.json`, served for `{"cmd":"status"}`, and printed by
+/// `artifacts sweep status`.
+pub fn snapshot_json(
+    job: &JobDescriptor,
+    progress: &Progress,
+    computed: usize,
+    elapsed_secs: f64,
+) -> Value {
+    let rate = if elapsed_secs > 0.0 {
+        computed as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    let outstanding = progress.pending + progress.leased;
+    let eta_secs = if rate > 0.0 {
+        outstanding as f64 / rate
+    } else {
+        0.0
+    };
+    let workers: Vec<Value> = progress
+        .per_worker
+        .iter()
+        .map(|&(worker, completed)| {
+            let worker_rate = if elapsed_secs > 0.0 {
+                completed as f64 / elapsed_secs
+            } else {
+                0.0
+            };
+            serde_json::json!({
+                "id": worker,
+                "completed": completed,
+                "points_per_sec": worker_rate,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "job": { "name": job.name, "hash": job.hash },
+        "total": progress.total() as u64,
+        "done": progress.done as u64,
+        "leased": progress.leased as u64,
+        "pending": progress.pending as u64,
+        "failed": progress.failed as u64,
+        "requeues": progress.counters.requeues,
+        "retries": progress.counters.retries,
+        "duplicates": progress.counters.duplicates,
+        "computed_this_run": computed as u64,
+        "elapsed_secs": elapsed_secs,
+        "points_per_sec": rate,
+        "eta_secs": eta_secs,
+        "workers": Value::from(workers),
+    })
+}
+
+/// One-line human rendering of a snapshot, for the live progress display.
+pub fn render_progress_line(snapshot: &Value) -> String {
+    let get = |key: &str| snapshot.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let rate = snapshot
+        .get("points_per_sec")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let eta = snapshot
+        .get("eta_secs")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    format!(
+        "sweep: {}/{} done, {} leased, {} pending, {} failed | {:.2} pts/s, ETA {:.0}s | requeues {}, retries {}, duplicates {}",
+        get("done"),
+        get("total"),
+        get("leased"),
+        get("pending"),
+        get("failed"),
+        rate,
+        eta,
+        get("requeues"),
+        get("retries"),
+        get("duplicates"),
+    )
+}
+
+/// Everything a connection handler or local worker needs, borrowed for the
+/// duration of one run.
+struct RunContext<'a> {
+    job: &'a dyn PointJob,
+    store: &'a PointStore,
+    scheduler: Mutex<Scheduler>,
+    shutdown: AtomicBool,
+    lease_timeout_ms: u64,
+    /// Points already on disk when the run started (resume credit).
+    resumed: usize,
+    start: Instant,
+}
+
+impl RunContext<'_> {
+    fn record_eval_failure(&self, worker: u64, index: usize, error: &str) {
+        let (reply, attempts) = {
+            let mut scheduler = self.scheduler.lock().unwrap();
+            let reply = scheduler.fail(index, worker, Instant::now());
+            (reply, scheduler.attempts(index))
+        };
+        if reply == FailReply::Exhausted {
+            if let Err(e) = self.store.record_failure(index, error, attempts) {
+                eprintln!("sweep: recording failure for point {index} failed: {e}");
+            }
+        }
+    }
+
+    /// A local in-process worker: lease → eval → persist → complete.
+    fn local_worker(&self) {
+        let worker = self.scheduler.lock().unwrap().register_worker();
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let reply = self.scheduler.lock().unwrap().lease(worker, Instant::now());
+            match reply {
+                LeaseReply::Point(index) => {
+                    let seed = self.store.seed(index);
+                    match self.job.eval(index, seed) {
+                        Ok(payload) => match self.store.store_point(index, &payload) {
+                            Ok(()) => {
+                                self.scheduler.lock().unwrap().complete(
+                                    index,
+                                    worker,
+                                    Instant::now(),
+                                );
+                            }
+                            Err(e) => self.record_eval_failure(worker, index, &e),
+                        },
+                        Err(error) => self.record_eval_failure(worker, index, &error),
+                    }
+                }
+                LeaseReply::Wait => std::thread::sleep(Duration::from_millis(20)),
+                LeaseReply::Finished => return,
+            }
+        }
+    }
+
+    /// Serves one remote connection until EOF, error, or shutdown.
+    fn serve_connection(&self, stream: std::net::TcpStream) {
+        let mut lines = match JsonLines::new(stream) {
+            Ok(lines) => lines,
+            Err(e) => {
+                eprintln!("sweep: connection setup failed: {e}");
+                return;
+            }
+        };
+        loop {
+            let request = match lines.recv(&self.shutdown) {
+                Ok(Some(request)) => request,
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = lines.send(&serde_json::json!({ "error": e }));
+                    return;
+                }
+            };
+            if lines.send(&self.handle_request(&request)).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn handle_request(&self, request: &Value) -> Value {
+        let err = |message: String| serde_json::json!({ "error": message });
+        let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
+            return err("request needs a string `cmd`".to_string());
+        };
+        let worker_id = || -> Result<u64, Value> {
+            request
+                .get("worker_id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| err(format!("`{cmd}` needs a numeric `worker_id`")))
+        };
+        let point_index = || -> Result<usize, Value> {
+            let index = request
+                .get("index")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| err(format!("`{cmd}` needs a numeric `index`")))?
+                as usize;
+            if index >= self.store.num_points() {
+                return Err(err(format!(
+                    "index {index} out of range for {} points",
+                    self.store.num_points()
+                )));
+            }
+            Ok(index)
+        };
+        match cmd {
+            "hello" => {
+                if request.get("proto").and_then(Value::as_u64) != Some(PROTOCOL_VERSION) {
+                    return err(format!("unsupported protocol; want {PROTOCOL_VERSION}"));
+                }
+                let worker = self.scheduler.lock().unwrap().register_worker();
+                serde_json::json!({
+                    "ok": true,
+                    "worker_id": worker,
+                    "lease_timeout_ms": self.lease_timeout_ms,
+                    "job": self.job.descriptor().to_json(),
+                })
+            }
+            "lease" => {
+                let worker = match worker_id() {
+                    Ok(worker) => worker,
+                    Err(response) => return response,
+                };
+                match self.scheduler.lock().unwrap().lease(worker, Instant::now()) {
+                    LeaseReply::Point(index) => serde_json::json!({
+                        "point": {
+                            "index": index as u64,
+                            "seed": Value::from(self.store.seed(index)),
+                        }
+                    }),
+                    LeaseReply::Wait => serde_json::json!({ "wait_ms": WAIT_MS }),
+                    LeaseReply::Finished => serde_json::json!({ "finished": true }),
+                }
+            }
+            "complete" => {
+                let worker = match worker_id() {
+                    Ok(worker) => worker,
+                    Err(response) => return response,
+                };
+                let index = match point_index() {
+                    Ok(index) => index,
+                    Err(response) => return response,
+                };
+                let Some(payload) = request.get("payload") else {
+                    return err("`complete` needs a `payload`".to_string());
+                };
+                // Persist before acknowledging; a redundant write of a
+                // duplicate is byte-identical and therefore harmless.
+                if let Err(e) = self.store.store_point(index, payload) {
+                    return err(e);
+                }
+                let reply = self
+                    .scheduler
+                    .lock()
+                    .unwrap()
+                    .complete(index, worker, Instant::now());
+                serde_json::json!({
+                    "ok": true,
+                    "duplicate": reply == CompleteReply::Duplicate,
+                })
+            }
+            "fail" => {
+                let worker = match worker_id() {
+                    Ok(worker) => worker,
+                    Err(response) => return response,
+                };
+                let index = match point_index() {
+                    Ok(index) => index,
+                    Err(response) => return response,
+                };
+                let error = request
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified worker error");
+                let (reply, attempts) = {
+                    let mut scheduler = self.scheduler.lock().unwrap();
+                    let reply = scheduler.fail(index, worker, Instant::now());
+                    (reply, scheduler.attempts(index))
+                };
+                if reply == FailReply::Exhausted {
+                    if let Err(e) = self.store.record_failure(index, error, attempts) {
+                        return err(e);
+                    }
+                }
+                let disposition = match reply {
+                    FailReply::Retry => "retry",
+                    FailReply::Exhausted => "exhausted",
+                    FailReply::Stale => "stale",
+                };
+                serde_json::json!({ "ok": true, "disposition": disposition })
+            }
+            "heartbeat" => {
+                let worker = match worker_id() {
+                    Ok(worker) => worker,
+                    Err(response) => return response,
+                };
+                self.scheduler
+                    .lock()
+                    .unwrap()
+                    .heartbeat(worker, Instant::now());
+                serde_json::json!({ "ok": true })
+            }
+            "status" => {
+                let progress = self.scheduler.lock().unwrap().progress(Instant::now());
+                let computed = progress.done.saturating_sub(self.resumed);
+                snapshot_json(
+                    &self.job.descriptor(),
+                    &progress,
+                    computed,
+                    self.start.elapsed().as_secs_f64(),
+                )
+            }
+            other => err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Runs `job` to completion (or terminal failure) against `store`.
+///
+/// Missing points are taken from the store, so calling this on a partially
+/// filled store *is* resume. Returns once every point is done or has
+/// exhausted its retries.
+///
+/// # Errors
+///
+/// Fails on store I/O errors or a configuration that can make no progress
+/// (work outstanding but no local workers and no listener).
+pub fn run_job(
+    job: &dyn PointJob,
+    store: &PointStore,
+    config: CoordinatorConfig,
+) -> Result<RunSummary, String> {
+    let start = Instant::now();
+    let missing = store.missing_indices();
+    let resumed = store.num_points() - missing.len();
+    if missing.is_empty() {
+        let mut scheduler = Scheduler::new(Vec::new(), resumed, config.scheduler);
+        let progress = scheduler.progress(Instant::now());
+        let snapshot = snapshot_json(&job.descriptor(), &progress, 0, 0.0);
+        store.write_status(&snapshot)?;
+        return Ok(RunSummary {
+            computed: 0,
+            resumed,
+            progress,
+            elapsed: start.elapsed(),
+        });
+    }
+    if config.local_workers == 0 && config.listener.is_none() {
+        return Err(format!(
+            "{} points outstanding but no local workers and no listener",
+            missing.len()
+        ));
+    }
+
+    let context = RunContext {
+        job,
+        store,
+        scheduler: Mutex::new(Scheduler::new(missing, resumed, config.scheduler)),
+        shutdown: AtomicBool::new(false),
+        lease_timeout_ms: config.scheduler.lease_timeout.as_millis() as u64,
+        resumed,
+        start,
+    };
+    let context = &context;
+
+    let run = std::thread::scope(|scope| {
+        let body = || -> Result<(), String> {
+            for _ in 0..config.local_workers {
+                scope.spawn(move || context.local_worker());
+            }
+            if let Some(listener) = &config.listener {
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| format!("listener nonblocking: {e}"))?;
+                scope.spawn(move || {
+                    while !context.shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _addr)) => {
+                                scope.spawn(move || context.serve_connection(stream));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(e) => {
+                                eprintln!("sweep: accept failed: {e}");
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Progress loop doubles as the completion detector.
+            let mut last_report: Option<Instant> = None;
+            loop {
+                let progress = context.scheduler.lock().unwrap().progress(Instant::now());
+                let finished = progress.finished();
+                if finished || last_report.is_none_or(|t| t.elapsed() >= config.progress_interval) {
+                    let snapshot = snapshot_json(
+                        &job.descriptor(),
+                        &progress,
+                        progress.done.saturating_sub(resumed),
+                        start.elapsed().as_secs_f64(),
+                    );
+                    store.write_status(&snapshot)?;
+                    if !config.quiet {
+                        eprintln!("{}", render_progress_line(&snapshot));
+                    }
+                    last_report = Some(Instant::now());
+                }
+                if finished {
+                    return Ok(());
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        };
+        let result = body();
+        // Always release the worker/acceptor/handler threads, including on
+        // the error paths, or the scope join would hang.
+        context.shutdown.store(true, Ordering::Relaxed);
+        result
+    });
+    run?;
+
+    let progress = context.scheduler.lock().unwrap().progress(Instant::now());
+    Ok(RunSummary {
+        computed: progress.done.saturating_sub(resumed),
+        resumed,
+        progress,
+        elapsed: start.elapsed(),
+    })
+}

@@ -1,0 +1,419 @@
+//! Lease-based point scheduler: the coordinator's in-memory brain.
+//!
+//! Leases live only in coordinator memory — a killed coordinator loses them,
+//! which is safe because on resume every point without a finished file in
+//! the [store](crate::store::PointStore) simply starts over as pending.
+//!
+//! Failure semantics:
+//! - a lease whose holder stops heartbeating past the timeout is *requeued*
+//!   (counted, not charged against the point's retry budget);
+//! - an evaluation error *retries* with exponential backoff until the
+//!   bounded attempt budget is spent, then the point goes terminally
+//!   `Failed`;
+//! - completions are idempotent by point key — the first wins, later ones
+//!   (e.g. from a worker that lost its lease but finished anyway) are
+//!   counted as duplicates and discarded, which is sound because payloads
+//!   are pure functions of `(job, index, seed)`.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for lease and retry behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// A lease not refreshed (lease/complete/heartbeat) for this long is
+    /// requeued.
+    pub lease_timeout: Duration,
+    /// Total evaluation attempts per point before it is terminally failed.
+    pub max_attempts: u32,
+    /// First retry delay; doubles per subsequent retry of the same point.
+    pub backoff_base: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            lease_timeout: Duration::from_secs(60),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(250),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PointState {
+    /// Eligible once `not_before` passes (backoff gate; `None` = now).
+    Pending {
+        not_before: Option<Instant>,
+    },
+    Leased {
+        worker: u64,
+        expires: Instant,
+    },
+    Done,
+    Failed,
+}
+
+/// What the scheduler tells a worker asking for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseReply {
+    /// Evaluate this grid index.
+    Point(usize),
+    /// Nothing assignable right now (points leased out or backing off) —
+    /// ask again shortly.
+    Wait,
+    /// Every point is done or terminally failed; the worker can exit.
+    Finished,
+}
+
+/// Outcome of reporting a completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteReply {
+    /// First completion for this point — the payload was kept.
+    Accepted,
+    /// The point was already done; the payload is redundant and discarded.
+    Duplicate,
+}
+
+/// Outcome of reporting an evaluation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReply {
+    /// The point will be retried after backoff.
+    Retry,
+    /// The attempt budget is spent; the point is terminally failed.
+    Exhausted,
+    /// The point had already completed (e.g. via a duplicate lease); the
+    /// failure report is moot.
+    Stale,
+}
+
+/// Monotonic event counters surfaced in `artifacts sweep status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerCounters {
+    /// Leases reclaimed after their holder stopped heartbeating.
+    pub requeues: u64,
+    /// Evaluation failures that were handed back out for another attempt.
+    pub retries: u64,
+    /// Completions discarded because the point was already done.
+    pub duplicates: u64,
+}
+
+/// Aggregate progress at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    /// Finished points (includes those already on disk before this run).
+    pub done: usize,
+    /// Points currently leased to a worker.
+    pub leased: usize,
+    /// Points waiting for a worker (including backoff waits).
+    pub pending: usize,
+    /// Terminally failed points.
+    pub failed: usize,
+    /// Event counters.
+    pub counters: SchedulerCounters,
+    /// Completions per worker id, for per-worker throughput.
+    pub per_worker: Vec<(u64, u64)>,
+}
+
+impl Progress {
+    /// Grid size this progress describes.
+    pub fn total(&self) -> usize {
+        self.done + self.leased + self.pending + self.failed
+    }
+
+    /// True once no point can make further progress.
+    pub fn finished(&self) -> bool {
+        self.leased == 0 && self.pending == 0
+    }
+}
+
+/// The coordinator's lease ledger over one job's missing points.
+#[derive(Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    /// State per *missing* grid index; already-done points are only the
+    /// `done_offset`.
+    states: HashMap<usize, PointState>,
+    /// Assignment order: ascending grid index for reproducible scheduling.
+    order: Vec<usize>,
+    attempts: HashMap<usize, u32>,
+    counters: SchedulerCounters,
+    per_worker: HashMap<u64, u64>,
+    /// Points already finished before this run (resume credit).
+    done_offset: usize,
+    next_worker_id: u64,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over the still-missing grid indices; `done_offset`
+    /// is how many points an earlier run already finished.
+    pub fn new(missing: Vec<usize>, done_offset: usize, config: SchedulerConfig) -> Self {
+        let mut order = missing;
+        order.sort_unstable();
+        let states = order
+            .iter()
+            .map(|&index| (index, PointState::Pending { not_before: None }))
+            .collect();
+        Scheduler {
+            config,
+            states,
+            order,
+            attempts: HashMap::new(),
+            counters: SchedulerCounters::default(),
+            per_worker: HashMap::new(),
+            done_offset,
+            next_worker_id: 0,
+        }
+    }
+
+    /// Hands out a fresh worker id (used by the hello handshake).
+    pub fn register_worker(&mut self) -> u64 {
+        let id = self.next_worker_id;
+        self.next_worker_id += 1;
+        self.per_worker.entry(id).or_insert(0);
+        id
+    }
+
+    /// Reclaims every lease whose deadline has passed.
+    fn reap_expired(&mut self, now: Instant) {
+        for state in self.states.values_mut() {
+            if let PointState::Leased { expires, .. } = state {
+                if *expires <= now {
+                    *state = PointState::Pending { not_before: None };
+                    self.counters.requeues += 1;
+                }
+            }
+        }
+    }
+
+    /// Assigns the lowest eligible pending index to `worker`, refreshing the
+    /// worker's other leases as a side effect (a lease request proves
+    /// liveness just as well as a heartbeat).
+    pub fn lease(&mut self, worker: u64, now: Instant) -> LeaseReply {
+        self.reap_expired(now);
+        self.heartbeat(worker, now);
+        let mut saw_wait = false;
+        for &index in &self.order {
+            match &self.states[&index] {
+                PointState::Pending { not_before } => {
+                    if not_before.is_none_or(|t| t <= now) {
+                        self.states.insert(
+                            index,
+                            PointState::Leased {
+                                worker,
+                                expires: now + self.config.lease_timeout,
+                            },
+                        );
+                        return LeaseReply::Point(index);
+                    }
+                    saw_wait = true;
+                }
+                PointState::Leased { .. } => saw_wait = true,
+                PointState::Done | PointState::Failed => {}
+            }
+        }
+        if saw_wait {
+            LeaseReply::Wait
+        } else {
+            LeaseReply::Finished
+        }
+    }
+
+    /// Records a completion for `index` by `worker`; idempotent by point
+    /// key.
+    pub fn complete(&mut self, index: usize, worker: u64, now: Instant) -> CompleteReply {
+        self.reap_expired(now);
+        match self.states.get(&index) {
+            None | Some(PointState::Done) => {
+                self.counters.duplicates += 1;
+                CompleteReply::Duplicate
+            }
+            Some(_) => {
+                self.states.insert(index, PointState::Done);
+                *self.per_worker.entry(worker).or_insert(0) += 1;
+                CompleteReply::Accepted
+            }
+        }
+    }
+
+    /// Records an evaluation failure; retries with exponential backoff
+    /// until `max_attempts` is spent.
+    pub fn fail(&mut self, index: usize, _worker: u64, now: Instant) -> FailReply {
+        match self.states.get(&index) {
+            None | Some(PointState::Done) | Some(PointState::Failed) => FailReply::Stale,
+            Some(_) => {
+                let attempts = self.attempts.entry(index).or_insert(0);
+                *attempts += 1;
+                if *attempts >= self.config.max_attempts {
+                    self.states.insert(index, PointState::Failed);
+                    FailReply::Exhausted
+                } else {
+                    let exponent = attempts.saturating_sub(1).min(16);
+                    let delay = self.config.backoff_base * 2u32.pow(exponent);
+                    self.states.insert(
+                        index,
+                        PointState::Pending {
+                            not_before: Some(now + delay),
+                        },
+                    );
+                    self.counters.retries += 1;
+                    FailReply::Retry
+                }
+            }
+        }
+    }
+
+    /// Attempts already charged to `index`.
+    pub fn attempts(&self, index: usize) -> u32 {
+        self.attempts.get(&index).copied().unwrap_or(0)
+    }
+
+    /// Extends every lease held by `worker` — the liveness signal that
+    /// keeps long evaluations from being requeued under them.
+    pub fn heartbeat(&mut self, worker: u64, now: Instant) {
+        for state in self.states.values_mut() {
+            if let PointState::Leased {
+                worker: holder,
+                expires,
+            } = state
+            {
+                if *holder == worker {
+                    *expires = now + self.config.lease_timeout;
+                }
+            }
+        }
+    }
+
+    /// Progress at `now` (after reaping expired leases).
+    pub fn progress(&mut self, now: Instant) -> Progress {
+        self.reap_expired(now);
+        let mut progress = Progress {
+            done: self.done_offset,
+            ..Progress::default()
+        };
+        for state in self.states.values() {
+            match state {
+                PointState::Pending { .. } => progress.pending += 1,
+                PointState::Leased { .. } => progress.leased += 1,
+                PointState::Done => progress.done += 1,
+                PointState::Failed => progress.failed += 1,
+            }
+        }
+        progress.counters = self.counters;
+        let mut per_worker: Vec<(u64, u64)> = self
+            .per_worker
+            .iter()
+            .map(|(&worker, &count)| (worker, count))
+            .collect();
+        per_worker.sort_unstable();
+        progress.per_worker = per_worker;
+        progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(lease_ms: u64, attempts: u32, backoff_ms: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            lease_timeout: Duration::from_millis(lease_ms),
+            max_attempts: attempts,
+            backoff_base: Duration::from_millis(backoff_ms),
+        }
+    }
+
+    #[test]
+    fn leases_in_index_order_and_finishes() {
+        let mut s = Scheduler::new(vec![2, 0, 7], 5, config(1000, 3, 10));
+        let w = s.register_worker();
+        let now = Instant::now();
+        assert_eq!(s.lease(w, now), LeaseReply::Point(0));
+        assert_eq!(s.lease(w, now), LeaseReply::Point(2));
+        assert_eq!(s.lease(w, now), LeaseReply::Point(7));
+        assert_eq!(s.lease(w, now), LeaseReply::Wait);
+        for index in [0, 2, 7] {
+            assert_eq!(s.complete(index, w, now), CompleteReply::Accepted);
+        }
+        assert_eq!(s.lease(w, now), LeaseReply::Finished);
+        let progress = s.progress(now);
+        assert_eq!((progress.done, progress.total()), (8, 8));
+        assert!(progress.finished());
+        assert_eq!(progress.per_worker, vec![(w, 3)]);
+    }
+
+    #[test]
+    fn expired_leases_requeue_to_other_workers() {
+        let mut s = Scheduler::new(vec![0], 0, config(100, 3, 10));
+        let w1 = s.register_worker();
+        let w2 = s.register_worker();
+        let t0 = Instant::now();
+        assert_eq!(s.lease(w1, t0), LeaseReply::Point(0));
+        // Before the timeout the point is unavailable; heartbeats extend it.
+        assert_eq!(
+            s.lease(w2, t0 + Duration::from_millis(50)),
+            LeaseReply::Wait
+        );
+        s.heartbeat(w1, t0 + Duration::from_millis(90));
+        assert_eq!(
+            s.lease(w2, t0 + Duration::from_millis(150)),
+            LeaseReply::Wait
+        );
+        // Once w1 goes silent past the timeout, w2 inherits the point.
+        assert_eq!(
+            s.lease(w2, t0 + Duration::from_millis(200)),
+            LeaseReply::Point(0)
+        );
+        assert_eq!(
+            s.progress(t0 + Duration::from_millis(200))
+                .counters
+                .requeues,
+            1
+        );
+    }
+
+    #[test]
+    fn duplicate_completion_is_idempotent() {
+        let mut s = Scheduler::new(vec![0], 0, config(50, 3, 10));
+        let w1 = s.register_worker();
+        let w2 = s.register_worker();
+        let t0 = Instant::now();
+        assert_eq!(s.lease(w1, t0), LeaseReply::Point(0));
+        // w1's lease expires; w2 picks the point up and finishes first.
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(s.lease(w2, t1), LeaseReply::Point(0));
+        assert_eq!(s.complete(0, w2, t1), CompleteReply::Accepted);
+        // w1 finishes anyway: discarded, counted, and credited to nobody new.
+        assert_eq!(s.complete(0, w1, t1), CompleteReply::Duplicate);
+        let progress = s.progress(t1);
+        assert_eq!(progress.done, 1);
+        assert_eq!(progress.counters.duplicates, 1);
+        assert_eq!(progress.per_worker, vec![(w1, 0), (w2, 1)]);
+    }
+
+    #[test]
+    fn bounded_retry_with_backoff_then_terminal_failure() {
+        let mut s = Scheduler::new(vec![0], 0, config(1000, 3, 20));
+        let w = s.register_worker();
+        let t0 = Instant::now();
+        assert_eq!(s.lease(w, t0), LeaseReply::Point(0));
+        assert_eq!(s.fail(0, w, t0), FailReply::Retry);
+        // Backing off: not assignable immediately, assignable after the delay.
+        assert_eq!(s.lease(w, t0), LeaseReply::Wait);
+        let t1 = t0 + Duration::from_millis(25);
+        assert_eq!(s.lease(w, t1), LeaseReply::Point(0));
+        assert_eq!(s.fail(0, w, t1), FailReply::Retry);
+        // Second backoff doubles: 40ms now.
+        assert_eq!(s.lease(w, t1 + Duration::from_millis(25)), LeaseReply::Wait);
+        let t2 = t1 + Duration::from_millis(50);
+        assert_eq!(s.lease(w, t2), LeaseReply::Point(0));
+        assert_eq!(s.fail(0, w, t2), FailReply::Exhausted);
+        assert_eq!(s.lease(w, t2), LeaseReply::Finished);
+        let progress = s.progress(t2);
+        assert_eq!((progress.failed, progress.done), (1, 0));
+        assert_eq!(progress.counters.retries, 2);
+        assert_eq!(s.attempts(0), 3);
+        // A stale failure report after the terminal state changes nothing.
+        assert_eq!(s.fail(0, w, t2), FailReply::Stale);
+    }
+}

@@ -1,0 +1,238 @@
+//! The remote worker: connects to a coordinator, rebuilds the job from the
+//! wire descriptor, and evaluates leased points until the run finishes.
+//!
+//! Liveness is kept by a dedicated heartbeat thread on a *second*
+//! connection, so a long point evaluation never starves the signal and the
+//! coordinator only requeues leases of workers that actually died. The
+//! heartbeat period is a third of the coordinator's advertised lease
+//! timeout.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::coordinator::PROTOCOL_VERSION;
+use crate::job::{JobDescriptor, JobFactory, PointJob};
+use crate::net::JsonLines;
+
+/// How long the worker waits for any single coordinator response.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Knobs for one worker process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerOptions {
+    /// Artificial delay before each evaluation — a test hook that makes
+    /// kill-mid-lease scenarios deterministic. Zero in real use.
+    pub throttle: Duration,
+}
+
+/// What a worker did before the run ended.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerSummary {
+    /// Id the coordinator assigned in the hello handshake.
+    pub worker_id: u64,
+    /// Points this worker completed (excluding duplicates).
+    pub completed: usize,
+    /// Evaluation failures this worker reported.
+    pub failed: usize,
+}
+
+/// Sends one request and awaits its response line.
+fn request(lines: &mut JsonLines, body: &Value) -> Result<Value, String> {
+    lines.send(body)?;
+    match lines.recv_timeout(RESPONSE_TIMEOUT)? {
+        Some(response) => {
+            if let Some(message) = response.get("error").and_then(Value::as_str) {
+                return Err(format!("coordinator error: {message}"));
+            }
+            Ok(response)
+        }
+        None => Err("coordinator closed the connection".to_string()),
+    }
+}
+
+/// Connects to `addr`, rebuilds the job via `factory`, and works until the
+/// coordinator reports the run finished.
+///
+/// # Errors
+///
+/// Fails on connection errors, protocol violations, a factory that cannot
+/// rebuild the job, or a rebuilt job whose content hash disagrees with the
+/// coordinator's (version skew).
+pub fn run_worker(
+    addr: &str,
+    factory: &JobFactory<'_>,
+    options: WorkerOptions,
+) -> Result<WorkerSummary, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut lines = JsonLines::new(stream)?;
+
+    let hello = request(
+        &mut lines,
+        &serde_json::json!({ "cmd": "hello", "proto": PROTOCOL_VERSION }),
+    )?;
+    let worker_id = hello
+        .get("worker_id")
+        .and_then(Value::as_u64)
+        .ok_or("hello response lacks worker_id")?;
+    let lease_timeout_ms = hello
+        .get("lease_timeout_ms")
+        .and_then(Value::as_u64)
+        .ok_or("hello response lacks lease_timeout_ms")?;
+    let descriptor = JobDescriptor::from_json(
+        hello
+            .get("job")
+            .ok_or("hello response lacks job descriptor")?,
+    )?;
+    let job: Box<dyn PointJob> = factory(&descriptor)?;
+    let rebuilt = job.descriptor();
+    if rebuilt.hash != descriptor.hash {
+        return Err(format!(
+            "rebuilt job hashes to {}, coordinator says {} — worker/coordinator version skew",
+            rebuilt.hash, descriptor.hash
+        ));
+    }
+
+    let stop_heartbeat = Arc::new(AtomicBool::new(false));
+    let heartbeat_handle = spawn_heartbeat(
+        addr.to_string(),
+        worker_id,
+        lease_timeout_ms,
+        Arc::clone(&stop_heartbeat),
+    );
+
+    let worked = work_loop(&mut lines, job.as_ref(), worker_id, options);
+    stop_heartbeat.store(true, Ordering::Relaxed);
+    if let Some(handle) = heartbeat_handle {
+        let _ = handle.join();
+    }
+    worked.map(|(completed, failed)| WorkerSummary {
+        worker_id,
+        completed,
+        failed,
+    })
+}
+
+fn work_loop(
+    lines: &mut JsonLines,
+    job: &dyn PointJob,
+    worker_id: u64,
+    options: WorkerOptions,
+) -> Result<(usize, usize), String> {
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    loop {
+        let reply = match request(
+            lines,
+            &serde_json::json!({ "cmd": "lease", "worker_id": worker_id }),
+        ) {
+            Ok(reply) => reply,
+            // The coordinator tears connections down when the run ends; an
+            // EOF on a lease request is an orderly finish, not a fault.
+            Err(e) if e.contains("closed the connection") => break,
+            Err(e) => return Err(e),
+        };
+        if reply.get("finished").and_then(Value::as_bool) == Some(true) {
+            break;
+        }
+        if let Some(wait_ms) = reply.get("wait_ms").and_then(Value::as_u64) {
+            std::thread::sleep(Duration::from_millis(wait_ms));
+            continue;
+        }
+        let point = reply.get("point").ok_or("lease reply lacks point")?;
+        let index = point
+            .get("index")
+            .and_then(Value::as_u64)
+            .ok_or("lease point lacks index")? as usize;
+        let seed = point
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("lease point lacks seed")?;
+        if index < job.num_points() && job.point_seed(index) != seed {
+            return Err(format!(
+                "coordinator seed {seed:#x} for point {index} disagrees with local {:#x}",
+                job.point_seed(index)
+            ));
+        }
+        if !options.throttle.is_zero() {
+            std::thread::sleep(options.throttle);
+        }
+        match job.eval(index, seed) {
+            Ok(payload) => {
+                request(
+                    lines,
+                    &serde_json::json!({
+                        "cmd": "complete",
+                        "worker_id": worker_id,
+                        "index": index as u64,
+                        "payload": payload,
+                    }),
+                )?;
+                completed += 1;
+            }
+            Err(error) => {
+                request(
+                    lines,
+                    &serde_json::json!({
+                        "cmd": "fail",
+                        "worker_id": worker_id,
+                        "index": index as u64,
+                        "error": error,
+                    }),
+                )?;
+                failed += 1;
+            }
+        }
+    }
+    Ok((completed, failed))
+}
+
+/// Second-connection heartbeat loop; exits silently when the coordinator
+/// goes away (the main loop surfaces any real error).
+fn spawn_heartbeat(
+    addr: String,
+    worker_id: u64,
+    lease_timeout_ms: u64,
+    stop: Arc<AtomicBool>,
+) -> Option<std::thread::JoinHandle<()>> {
+    let period = Duration::from_millis((lease_timeout_ms / 3).max(50));
+    let handle = std::thread::Builder::new()
+        .name("sweep-heartbeat".to_string())
+        .spawn(move || {
+            let Ok(stream) = TcpStream::connect(&addr) else {
+                return;
+            };
+            let Ok(mut lines) = JsonLines::new(stream) else {
+                return;
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let beat = serde_json::json!({ "cmd": "heartbeat", "worker_id": worker_id });
+                if request(&mut lines, &beat).is_err() {
+                    return;
+                }
+                // Sleep in small slices so stop is honoured promptly.
+                let mut remaining = period;
+                while !remaining.is_zero() && !stop.load(Ordering::Relaxed) {
+                    let slice = remaining.min(Duration::from_millis(50));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        })
+        .ok()?;
+    Some(handle)
+}
+
+/// One-shot status query against a running coordinator.
+///
+/// # Errors
+///
+/// Fails on connection or protocol errors.
+pub fn query_status(addr: &str) -> Result<Value, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut lines = JsonLines::new(stream)?;
+    request(&mut lines, &serde_json::json!({ "cmd": "status" }))
+}
