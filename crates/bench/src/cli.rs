@@ -268,6 +268,7 @@ pub fn load_spec_file(path: &std::path::Path) -> Result<ExperimentSpec, String> 
 pub fn kind_summary(spec: &ExperimentSpec) -> &'static str {
     match &spec.kind {
         ExperimentKind::LerSweep(_) => "ler_sweep",
+        ExperimentKind::RareEventLer(_) => "rare_event_ler",
         ExperimentKind::TimingSweep(_) => "timing_sweep",
         ExperimentKind::CompilerBounds(_) => "compiler_bounds",
         ExperimentKind::BaselineComparison(_) => "baseline_comparison",

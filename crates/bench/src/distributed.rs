@@ -10,10 +10,11 @@
 //! [merged](merge_artifact) from a point store is bit-identical to
 //! `run_spec` output (modulo `from_cache`/timing metadata).
 //!
-//! Only [`ExperimentKind::LerSweep`] specs are orchestrable: they are the
-//! Monte-Carlo sweeps that run for days below threshold, and their outcomes
-//! are pure functions of `(spec, index, seed)`. Timing sweeps measure
-//! wall-clock and would break bit-identity.
+//! Only [`ExperimentKind::LerSweep`] and [`ExperimentKind::RareEventLer`]
+//! specs are orchestrable: they are the Monte-Carlo sweeps that run for days
+//! below threshold, and their outcomes are pure functions of
+//! `(spec, index, seed)`. Timing sweeps measure wall-clock and would break
+//! bit-identity.
 
 use serde_json::Value;
 
@@ -21,10 +22,11 @@ use qccd_decoder::{CacheStats, LogicalErrorEstimate, SweepEngine};
 use qccd_sweeprun::{JobDescriptor, PointJob, PointStore};
 
 use crate::spec::{decoder_from_name, decoder_name};
-use crate::sweep::{evaluate_ler_point, ler_sweep_points, LerOutcome, LerPoint};
+use crate::sweep::{evaluate_ler_point, ler_sweep_points, rare_event_points, LerOutcome, LerPoint};
 use crate::{
-    ler_artifact_from_outcomes, registry::ler_sweep_configurations, Artifact, ExperimentKind,
-    ExperimentSpec,
+    ler_artifact_from_outcomes, rare_event_artifact_from_outcomes,
+    registry::{ler_sweep_configurations, rare_event_configurations},
+    Artifact, ExperimentKind, ExperimentSpec,
 };
 
 /// Job kind tag understood by [`job_factory`].
@@ -56,23 +58,35 @@ impl SpecPointJob {
 /// # Errors
 ///
 /// Fails for invalid specs and for kinds other than
-/// [`ExperimentKind::LerSweep`] (see the [module docs](self)).
+/// [`ExperimentKind::LerSweep`] and [`ExperimentKind::RareEventLer`] (see
+/// the [module docs](self)).
 pub fn spec_point_job(spec: &ExperimentSpec) -> Result<SpecPointJob, String> {
     spec.validate().map_err(|e| e.to_string())?;
-    let ExperimentKind::LerSweep(kind) = &spec.kind else {
-        return Err(format!(
-            "`{}` is not a LER sweep; only LER sweeps support point-store orchestration",
-            spec.name
-        ));
+    let points = match &spec.kind {
+        ExperimentKind::LerSweep(kind) => ler_sweep_points(
+            &ler_sweep_configurations(kind),
+            &kind.sample_distances,
+            kind.shots,
+            kind.decoder,
+            kind.estimator,
+        ),
+        ExperimentKind::RareEventLer(kind) => rare_event_points(
+            &rare_event_configurations(kind),
+            &kind.sample_distances,
+            kind.shots,
+            kind.biased_shots,
+            kind.bias,
+            kind.decoder,
+            kind.estimator,
+        ),
+        _ => {
+            return Err(format!(
+                "`{}` is not a LER sweep; only LER and rare-event sweeps support point-store \
+                 orchestration",
+                spec.name
+            ));
+        }
     };
-    let configurations = ler_sweep_configurations(kind);
-    let points = ler_sweep_points(
-        &configurations,
-        &kind.sample_distances,
-        kind.shots,
-        kind.decoder,
-        kind.estimator,
-    );
     Ok(SpecPointJob {
         spec: spec.clone(),
         points,
@@ -173,7 +187,12 @@ pub fn merge_artifact(spec: &ExperimentSpec, store: &PointStore) -> Result<Artif
             .ok_or_else(|| format!("point {index} vanished mid-merge"))?;
         outcomes.push(outcome_from_json(&payload)?);
     }
-    ler_artifact_from_outcomes(spec, &outcomes).map_err(|e| e.to_string())
+    match &spec.kind {
+        ExperimentKind::RareEventLer(_) => {
+            rare_event_artifact_from_outcomes(spec, &outcomes).map_err(|e| e.to_string())
+        }
+        _ => ler_artifact_from_outcomes(spec, &outcomes).map_err(|e| e.to_string()),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +382,67 @@ mod tests {
         }
         spec.name = "tiny-sweep-test".to_string();
         spec
+    }
+
+    /// The registry's rare-event comparison, shrunk to a fast grid.
+    fn tiny_rare_event_spec() -> ExperimentSpec {
+        let registry = ExperimentRegistry::builtin();
+        let mut spec = registry
+            .get("rare_event_ler")
+            .expect("the registry has the rare-event comparison")
+            .clone();
+        if let ExperimentKind::RareEventLer(kind) = &mut spec.kind {
+            kind.configurations = vec![
+                crate::spec::ArchPoint::grid(2, 10.0).with_label("10X c2"),
+                crate::spec::ArchPoint::grid(2, 1000.0).with_label("1000X c2"),
+            ];
+            kind.sample_distances = vec![2, 3];
+            kind.shots = 128;
+            kind.biased_shots = 64;
+            kind.bias = 8.0;
+        } else {
+            panic!("rare_event_ler changed kind");
+        }
+        spec.name = "tiny-rare-event-test".to_string();
+        spec
+    }
+
+    #[test]
+    fn rare_event_merge_is_bit_identical_to_run_spec() {
+        let spec = tiny_rare_event_spec();
+        let reference = crate::run_spec(&spec).unwrap();
+
+        let base = std::env::temp_dir().join(format!(
+            "qccd-distributed-rare-event-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+
+        let job = spec_point_job(&spec).unwrap();
+        // 2 configurations x 2 distances x (plain + biased).
+        assert_eq!(job.num_points(), 8);
+        let (store, _) = PointStore::open(&base, &job.descriptor(), job.seed_table()).unwrap();
+        let summary = qccd_sweeprun::run_job(
+            &job,
+            &store,
+            qccd_sweeprun::CoordinatorConfig {
+                local_workers: 2,
+                ..qccd_sweeprun::CoordinatorConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.computed, 8);
+
+        let merged = merge_artifact(&spec, &store).unwrap();
+        assert_eq!(merged.title, reference.title);
+        assert_eq!(merged.headers, reference.headers);
+        assert_eq!(merged.rows, reference.rows);
+        assert_eq!(merged.notes, reference.notes);
+        assert_eq!(merged.data.to_string(), reference.data.to_string());
+        assert_eq!(merged.metadata.spec_hash, reference.metadata.spec_hash);
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

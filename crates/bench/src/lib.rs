@@ -48,14 +48,17 @@ use qccd_hardware::{TopologyKind, WiringMethod};
 pub use artifact::{validate_artifact_json, Artifact, ArtifactMetadata};
 pub use cache::{ArtifactCache, CacheEntry, EntryStatus};
 pub use distributed::{job_factory, merge_artifact, spec_point_job, SpecPointJob};
-pub use registry::{ler_artifact_from_outcomes, run_spec, ExperimentRegistry, RunError};
+pub use registry::{
+    ler_artifact_from_outcomes, rare_event_artifact_from_outcomes, run_spec, ExperimentRegistry,
+    RunError,
+};
 pub use spec::{
     ArchPoint, CodeSpec, CompileCase, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec,
-    SpecError, TimingMetric, TimingSweepSpec,
+    RareEventLerSpec, SpecError, TimingMetric, TimingSweepSpec,
 };
 pub use sweep::{
     evaluate_ler_point, ler_curves, ler_curves_from_outcomes, ler_curves_with, ler_sweep_points,
-    run_ler_sweep, LerCurve, LerOutcome, LerPoint, DEFAULT_SWEEP_SEED,
+    rare_event_points, run_ler_sweep, LerCurve, LerOutcome, LerPoint, DEFAULT_SWEEP_SEED,
 };
 
 /// Renders an aligned text table (the pretty emitter of every artifact).

@@ -32,10 +32,9 @@ use crate::artifact::{Artifact, ArtifactMetadata};
 use crate::spec::{
     ArchPoint, ClusteringAblationSpec, CodeSpec, CompileCase, CompilerBoundsSpec,
     DecoderComparisonSpec, DenseTailSpec, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec,
-    SpecError, SurgerySpec, TimingMetric, TimingSweepSpec,
+    RareEventLerSpec, SpecError, SurgerySpec, TimingMetric, TimingSweepSpec,
 };
-use crate::sweep::LerCurve;
-use crate::sweep::DEFAULT_SWEEP_SEED;
+use crate::sweep::{rare_event_points, run_ler_sweep, LerCurve, LerOutcome, DEFAULT_SWEEP_SEED};
 use crate::{dump_json, fmt_f64, ler_curves_with, print_table};
 
 /// Errors surfaced when resolving or executing a registered experiment.
@@ -148,6 +147,7 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<Artifact, RunError> {
     spec.validate().map_err(RunError::Invalid)?;
     let (headers, rows, notes, data) = match &spec.kind {
         ExperimentKind::LerSweep(kind) => run_ler_sweep_spec(kind, spec.seed),
+        ExperimentKind::RareEventLer(kind) => run_rare_event_ler(kind, spec.seed),
         ExperimentKind::TimingSweep(kind) => run_timing_sweep(kind, spec.seed),
         ExperimentKind::CompilerBounds(kind) => run_compiler_bounds(kind, spec.seed),
         ExperimentKind::BaselineComparison(kind) => run_baseline_comparison(kind),
@@ -202,6 +202,7 @@ fn lambda_json(fit: &Option<LambdaFit>) -> Value {
                 "std_error": fit.lambda_std_error(),
                 "ci95_low": lo,
                 "ci95_high": hi,
+                "dropped_points": fit.dropped_points as u64,
             })
         }
         None => Value::Null,
@@ -212,12 +213,16 @@ fn lambda_cell(fit: &Option<LambdaFit>) -> String {
     match fit {
         Some(fit) => {
             let (lo, hi) = fit.lambda_confidence_interval(1.96);
-            format!(
+            let mut cell = format!(
                 "{} [{}, {}]",
                 fmt_f64(fit.lambda()),
                 fmt_f64(lo),
                 fmt_f64(hi)
-            )
+            );
+            if fit.dropped_points > 0 {
+                cell.push_str(&format!(" ({} pt dropped)", fit.dropped_points));
+            }
+            cell
         }
         None => "-".to_string(),
     }
@@ -380,9 +385,18 @@ fn ler_sweep_output(
             "wiring": format!("{}", point.wiring),
             "gate_improvement": point.gate_improvement,
             "sampled": curve
-                .points
+                .outcomes
                 .iter()
-                .map(|(d, p, se)| serde_json::json!({"d": d, "ler": p, "std_error": se}))
+                .filter_map(|outcome| {
+                    outcome.result.as_ref().ok().map(|est| {
+                        serde_json::json!({
+                            "d": outcome.distance,
+                            "ler": est.logical_error_rate,
+                            "std_error": est.std_error,
+                            "upper_bound": est.is_upper_bound(),
+                        })
+                    })
+                })
                 .collect::<Vec<_>>(),
             "lambda": lambda_json(&curve.fit),
         });
@@ -391,12 +405,7 @@ fn ler_sweep_output(
             match output {
                 LerOutput::SampledRates => {
                     for &d in &kind.sample_distances {
-                        let value = curve
-                            .points
-                            .iter()
-                            .find(|(pd, _, _)| *pd == d)
-                            .map(|(_, p, _)| *p);
-                        row.push(value.map(fmt_f64).unwrap_or_else(|| "NaN".into()));
+                        row.push(sampled_rate_cell(curve, d));
                     }
                 }
                 LerOutput::Lambda => row.push(lambda_cell(&curve.fit)),
@@ -491,6 +500,268 @@ fn ler_sweep_output(
         entries.push(entry);
     }
     (headers, rows, Vec::new(), Value::Array(entries))
+}
+
+/// The table cell of one sampled `(configuration, distance)` rate: the point
+/// estimate, or — when the estimate saw zero failures — its 95% upper bound
+/// rendered as `< bound`, so points below the sweep's resolution are never
+/// reported as exactly zero.
+fn sampled_rate_cell(curve: &LerCurve, d: usize) -> String {
+    match curve.outcomes.iter().find(|o| o.distance == d) {
+        Some(outcome) => match &outcome.result {
+            Ok(est) => match est.upper_bound_95() {
+                Some(bound) => upper_bound_cell(bound),
+                None => fmt_f64(est.logical_error_rate),
+            },
+            Err(_) => "NaN".into(),
+        },
+        None => "NaN".into(),
+    }
+}
+
+/// Renders a zero-failure 95% upper bound as `< bound`. Always scientific
+/// notation: rule-of-three bounds land anywhere in (0, 1), and the compact
+/// `fmt_f64` would round e.g. 0.023 down to a misleading `0.0`.
+fn upper_bound_cell(bound: f64) -> String {
+    format!("< {bound:.1e}")
+}
+
+// ---------------------------------------------------------------------------
+// Rare-event LER comparison (importance-sampling validation)
+// ---------------------------------------------------------------------------
+
+/// The built `(label, architecture)` pairs of a rare-event comparison spec,
+/// in grid order.
+pub(crate) fn rare_event_configurations(
+    kind: &RareEventLerSpec,
+) -> Vec<(String, ArchitectureConfig)> {
+    kind.configurations
+        .iter()
+        .map(|point| (point.display_label(), point.build()))
+        .collect()
+}
+
+/// JSON encoding of one estimate (plain or biased) in the rare-event
+/// artifact.
+fn rare_event_estimate_json(outcome: &LerOutcome) -> Value {
+    match &outcome.result {
+        Ok(est) => serde_json::json!({
+            "seed": Value::from(outcome.seed),
+            "shots": est.shots as u64,
+            "failures": est.failures as u64,
+            "ler": est.logical_error_rate,
+            "std_error": est.std_error,
+            "upper_bound": est.is_upper_bound(),
+        }),
+        Err(e) => serde_json::json!({ "error": e.clone() }),
+    }
+}
+
+/// Renders one rare-event estimate cell: `ler ± σ`, `< bound` for
+/// zero-failure estimates, or the compile-error marker.
+fn rare_event_estimate_cell(outcome: &LerOutcome) -> String {
+    match &outcome.result {
+        Ok(est) => match est.upper_bound_95() {
+            Some(bound) => upper_bound_cell(bound),
+            None => format!(
+                "{} +/- {}",
+                fmt_f64(est.logical_error_rate),
+                fmt_f64(est.std_error)
+            ),
+        },
+        Err(_) => "compile error".to_string(),
+    }
+}
+
+/// The agreement cell and JSON of a plain/biased estimate pair: the gap in
+/// combined standard deviations when both estimates resolved, or the bound
+/// check when one of them saw zero failures.
+fn rare_event_agreement(
+    plain: &qccd_decoder::LogicalErrorEstimate,
+    biased: &qccd_decoder::LogicalErrorEstimate,
+) -> (String, Value) {
+    match (plain.is_upper_bound(), biased.is_upper_bound()) {
+        (false, false) => {
+            let gap = (plain.logical_error_rate - biased.logical_error_rate).abs();
+            let sigma = gap / plain.std_error.hypot(biased.std_error);
+            (
+                format!("{} sigma", fmt_f64(sigma)),
+                serde_json::json!({ "sigma": sigma }),
+            )
+        }
+        (true, false) => {
+            // Plain MC never saw a failure: the resolved importance-sampled
+            // estimate must sit below the plain 95% upper bound.
+            let below = biased.logical_error_rate <= plain.std_error;
+            (
+                if below { "below bound" } else { "ABOVE BOUND" }.to_string(),
+                serde_json::json!({ "below_bound": below }),
+            )
+        }
+        (false, true) => {
+            let below = plain.logical_error_rate <= biased.std_error;
+            (
+                if below { "below bound" } else { "ABOVE BOUND" }.to_string(),
+                serde_json::json!({ "below_bound": below }),
+            )
+        }
+        (true, true) => ("unresolved".to_string(), Value::Null),
+    }
+}
+
+/// The shot-efficiency factor of the importance-sampled estimate: how many
+/// times more decoded shots the plain-MC estimator would need to reach the
+/// importance-sampled relative error — `(N_plain·r_plain²)/(N_is·r_is²)`
+/// with `r = σ/p̂` (shots to reach relative error ρ scale as `N·(r/ρ)²`).
+/// `None` when either side has no resolved relative error (zero failures).
+fn rare_event_efficiency(
+    plain: &qccd_decoder::LogicalErrorEstimate,
+    biased: &qccd_decoder::LogicalErrorEstimate,
+) -> Option<f64> {
+    if plain.is_upper_bound() || biased.is_upper_bound() || plain.shots == 0 || biased.shots == 0 {
+        return None;
+    }
+    let rp = plain.std_error / plain.logical_error_rate;
+    let rb = biased.std_error / biased.logical_error_rate;
+    Some((plain.shots as f64 * rp * rp) / (biased.shots as f64 * rb * rb))
+}
+
+fn run_rare_event_ler(kind: &RareEventLerSpec, seed: u64) -> RunnerOutput {
+    let configurations = rare_event_configurations(kind);
+    let points = rare_event_points(
+        &configurations,
+        &kind.sample_distances,
+        kind.shots,
+        kind.biased_shots,
+        kind.bias,
+        kind.decoder,
+        kind.estimator,
+    );
+    let engine = SweepEngine::new(seed);
+    let outcomes = run_ler_sweep(&engine, &points);
+    rare_event_output(kind, &outcomes)
+}
+
+/// Assembles a rare-event artifact of `spec` from per-point outcomes
+/// computed elsewhere — the merge half of the sweeprun orchestration tier
+/// for [`ExperimentKind::RareEventLer`] specs. `outcomes` must be the full
+/// grid in [`crate::rare_event_points`] order. [`run_spec`] routes its own
+/// results through the same assembly, so a merged artifact is bit-identical
+/// to a single-process run (modulo cache metadata).
+///
+/// # Errors
+///
+/// Returns [`RunError::Invalid`] when the spec fails validation, is not a
+/// rare-event comparison, or the outcome count does not match the grid.
+pub fn rare_event_artifact_from_outcomes(
+    spec: &ExperimentSpec,
+    outcomes: &[LerOutcome],
+) -> Result<Artifact, RunError> {
+    spec.validate().map_err(RunError::Invalid)?;
+    let ExperimentKind::RareEventLer(kind) = &spec.kind else {
+        return Err(RunError::Invalid(SpecError(format!(
+            "`{}` is not a rare-event LER comparison",
+            spec.name
+        ))));
+    };
+    let expected = kind.configurations.len() * kind.sample_distances.len() * 2;
+    if outcomes.len() != expected {
+        return Err(RunError::Invalid(SpecError(format!(
+            "`{}` expects {expected} outcomes, got {}",
+            spec.name,
+            outcomes.len()
+        ))));
+    }
+    let (headers, rows, notes, data) = rare_event_output(kind, outcomes);
+    Ok(Artifact {
+        title: spec.title.clone(),
+        headers,
+        rows,
+        notes,
+        data,
+        metadata: ArtifactMetadata::for_spec(spec),
+    })
+}
+
+fn rare_event_output(kind: &RareEventLerSpec, outcomes: &[LerOutcome]) -> RunnerOutput {
+    let headers = vec![
+        "Configuration".to_string(),
+        "d".to_string(),
+        format!("Plain MC ({} shots)", kind.shots),
+        format!(
+            "Importance ({} shots, bias {})",
+            kind.biased_shots, kind.bias
+        ),
+        "Agreement".to_string(),
+        "Speedup @ equal rel. error".to_string(),
+    ];
+
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut pairs = outcomes.chunks(2);
+    for point in &kind.configurations {
+        let label = point.display_label();
+        for &d in &kind.sample_distances {
+            let pair = pairs.next().expect("outcome count was validated");
+            let (plain, biased) = (&pair[0], &pair[1]);
+            let mut entry = serde_json::json!({
+                "label": label,
+                "topology": format!("{}", point.topology),
+                "capacity": point.capacity,
+                "wiring": format!("{}", point.wiring),
+                "gate_improvement": point.gate_improvement,
+                "distance": d,
+                "bias": kind.bias,
+                "plain": rare_event_estimate_json(plain),
+                "biased": rare_event_estimate_json(biased),
+            });
+            let (agreement_cell, speedup_cell) = match (&plain.result, &biased.result) {
+                (Ok(p), Ok(b)) => {
+                    let (cell, json) = rare_event_agreement(p, b);
+                    entry["agreement"] = json;
+                    let speedup = rare_event_efficiency(p, b);
+                    entry["speedup"] = match speedup {
+                        Some(x) => Value::from(x),
+                        None => Value::Null,
+                    };
+                    (
+                        cell,
+                        speedup.map(fmt_f64).unwrap_or_else(|| "inf".to_string()),
+                    )
+                }
+                _ => {
+                    entry["agreement"] = Value::Null;
+                    entry["speedup"] = Value::Null;
+                    ("-".to_string(), "-".to_string())
+                }
+            };
+            rows.push(vec![
+                label.clone(),
+                format!("d={d}"),
+                rare_event_estimate_cell(plain),
+                rare_event_estimate_cell(biased),
+                agreement_cell,
+                speedup_cell,
+            ]);
+            entries.push(entry);
+        }
+    }
+
+    let notes = vec![
+        format!(
+            "Importance sampling scales every physical noise probability by {} (clamped at 0.5), \
+             decodes against the unbiased error model, and reweights each shot by its likelihood \
+             ratio — both columns are unbiased estimators of the same logical error rate.",
+            kind.bias
+        ),
+        "Reading: `< b` marks a zero-failure estimate reported as its 95% upper bound (rule of \
+         three); agreement is the gap between the two estimates in combined standard deviations \
+         (or the bound check when plain MC never failed); the speedup column is how many times \
+         more decoded shots plain MC would need to match the importance-sampled relative error \
+         (`inf` when plain MC saw no failures at all)."
+            .to_string(),
+    ];
+    (headers, rows, notes, Value::Array(entries))
 }
 
 // ---------------------------------------------------------------------------
@@ -1389,6 +1660,34 @@ fn builtin_specs() -> Vec<ExperimentSpec> {
         }),
     });
 
+    // Rare-event validation: the importance-sampled estimator against plain
+    // Monte Carlo in the low-LER regime (very high gate improvement, where
+    // failures are rare events). At 1000X both estimators converge — the
+    // overlap rows cross-check them within their combined error bars and the
+    // speedup column shows the biased run needing >10x fewer decoded shots
+    // at equal relative error. At 8000X plain MC sees no failures at all in
+    // 40k shots and renders its 95% upper bound, while the biased run still
+    // produces a resolved estimate below that bound.
+    specs.push(ExperimentSpec {
+        name: "rare_event_ler".into(),
+        title: "Rare-event validation: importance-sampled vs plain Monte-Carlo LER \
+                (grid c2, standard wiring)"
+            .into(),
+        seed: DEFAULT_SWEEP_SEED,
+        kind: ExperimentKind::RareEventLer(RareEventLerSpec {
+            configurations: vec![
+                ArchPoint::grid(2, 1000.0).with_label("1000X c2"),
+                ArchPoint::grid(2, 8000.0).with_label("8000X c2"),
+            ],
+            sample_distances: vec![5, 7, 9],
+            shots: 40_000,
+            biased_shots: 8_000,
+            bias: 32.0,
+            decoder: DecoderKind::default(),
+            estimator: Default::default(),
+        }),
+    });
+
     // Extension E2: clustering ablation.
     specs.push(ExperimentSpec {
         name: "ext_ablation_clustering".into(),
@@ -1425,6 +1724,7 @@ mod tests {
             "fig12",
             "fig13a",
             "fig13b",
+            "rare_event_ler",
             "table2",
             "table3",
         ];
@@ -1479,6 +1779,7 @@ mod tests {
             log_slope: -0.8,
             log_intercept_std_error: 0.1,
             log_slope_std_error: 0.05,
+            dropped_points: 0,
         };
         let (d, cell, json) = distance_with_ci(&fit, 1e-9).unwrap();
         assert_eq!(d, fit.distance_for_target(1e-9).unwrap());
@@ -1504,6 +1805,61 @@ mod tests {
             ..fit
         };
         assert!(distance_with_ci(&above, 1e-9).is_none());
+    }
+
+    #[test]
+    fn rare_event_artifact_renders_bounds_and_agreement() {
+        let registry = ExperimentRegistry::builtin();
+        let mut spec = registry.get("rare_event_ler").unwrap().clone();
+        if let ExperimentKind::RareEventLer(kind) = &mut spec.kind {
+            kind.configurations = vec![
+                crate::spec::ArchPoint::grid(2, 1.0).with_label("1X c2"),
+                crate::spec::ArchPoint::grid(2, 1000.0).with_label("1000X c2"),
+            ];
+            kind.sample_distances = vec![2, 3];
+            kind.shots = 128;
+            kind.biased_shots = 64;
+            kind.bias = 8.0;
+        } else {
+            panic!("rare_event_ler changed kind");
+        }
+        spec.name = "tiny-rare-event-render-test".to_string();
+        let artifact = run_spec(&spec).unwrap();
+
+        assert_eq!(
+            artifact.headers,
+            vec![
+                "Configuration",
+                "d",
+                "Plain MC (128 shots)",
+                "Importance (64 shots, bias 8)",
+                "Agreement",
+                "Speedup @ equal rel. error",
+            ]
+        );
+        assert_eq!(artifact.rows.len(), 4);
+        // The noisy 1X configuration resolves on both estimators: its cells
+        // carry error bars and a sigma-agreement figure.
+        assert!(
+            artifact.rows[0][2].contains("+/-"),
+            "{:?}",
+            artifact.rows[0]
+        );
+        assert!(
+            artifact.rows[0][4].ends_with("sigma"),
+            "{:?}",
+            artifact.rows[0]
+        );
+        // The 1000X configuration never fails at these shot counts: both
+        // estimates render as rule-of-three upper bounds (3/128 and 3/64),
+        // never as a bare zero.
+        for row in &artifact.rows[2..] {
+            assert_eq!(row[2], "< 2.3e-2", "{row:?}");
+            assert_eq!(row[3], "< 4.6e-2", "{row:?}");
+            assert_eq!(row[4], "unresolved", "{row:?}");
+            assert_eq!(row[5], "inf", "{row:?}");
+        }
+        crate::artifact::validate_artifact_json(&artifact.to_json()).unwrap();
     }
 
     #[test]

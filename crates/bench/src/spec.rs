@@ -177,7 +177,7 @@ fn merge_from_name(name: &str) -> Result<MergeKind, SpecError> {
 }
 
 fn estimator_to_json(config: &EstimatorConfig) -> Value {
-    serde_json::json!({
+    let mut value = serde_json::json!({
         "chunk_shots": config.chunk_shots,
         "num_threads": config.num_threads,
         "target_std_error": config.target_std_error,
@@ -189,7 +189,13 @@ fn estimator_to_json(config: &EstimatorConfig) -> Value {
         },
         "word_decode": config.word_decode,
         "shared_memo": config.shared_memo,
-    })
+    });
+    // Emitted only when set so every pre-rare-event spec keeps its canonical
+    // encoding — and therefore its content hash and cached artifacts.
+    if let Some(bias) = config.importance_bias {
+        value["importance_bias"] = serde_json::json!(bias);
+    }
+    value
 }
 
 /// An optional boolean field defaulting to `default` when absent or null
@@ -253,6 +259,13 @@ fn estimator_from_json(value: &Value) -> Result<EstimatorConfig, SpecError> {
         },
         word_decode: bool_field_or(value, "word_decode", true)?,
         shared_memo: bool_field_or(value, "shared_memo", true)?,
+        importance_bias: match value.get("importance_bias") {
+            Some(v) if !v.is_null() => Some(
+                v.as_f64()
+                    .ok_or_else(|| SpecError("`importance_bias` must be a number".into()))?,
+            ),
+            _ => None,
+        },
     })
 }
 
@@ -782,11 +795,38 @@ pub struct DenseTailSpec {
     pub shots: usize,
 }
 
+/// Importance-sampled rare-event LER validation: every `(configuration,
+/// distance)` point is evaluated twice — plain Monte Carlo with `shots`
+/// shots and importance-sampled with `biased_shots` shots at bias factor
+/// `bias` — and the artefact reports both estimates side by side with their
+/// 2σ agreement and the shot-efficiency ratio at equal relative error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RareEventLerSpec {
+    /// The architecture grid.
+    pub configurations: Vec<ArchPoint>,
+    /// Code distances to evaluate under both estimators.
+    pub sample_distances: Vec<usize>,
+    /// Plain Monte-Carlo shots per point.
+    pub shots: usize,
+    /// Importance-sampled shots per point (typically far fewer).
+    pub biased_shots: usize,
+    /// Bias factor: every noise probability is scaled by this (clamped at
+    /// 0.5) in the sampled circuit.
+    pub bias: f64,
+    /// Decoder for every point.
+    pub decoder: DecoderKind,
+    /// Monte-Carlo pipeline configuration shared by both estimators (the
+    /// biased points additionally carry `importance_bias = bias`).
+    pub estimator: EstimatorConfig,
+}
+
 /// The experiment family and its parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentKind {
     /// Monte-Carlo LER sweep with fits and derived outputs.
     LerSweep(LerSweepSpec),
+    /// Importance-sampled vs plain-MC rare-event LER comparison.
+    RareEventLer(RareEventLerSpec),
     /// Compile-only timing sweep.
     TimingSweep(TimingSweepSpec),
     /// Compiler versus theoretical bounds.
@@ -830,6 +870,16 @@ impl ExperimentSpec {
                 "decoder": decoder_name(spec.decoder),
                 "estimator": estimator_to_json(&spec.estimator),
                 "outputs": Value::Array(spec.outputs.iter().map(LerOutput::to_json).collect()),
+            }),
+            ExperimentKind::RareEventLer(spec) => serde_json::json!({
+                "experiment": "rare_event_ler",
+                "configurations": arch_points_to_json(&spec.configurations),
+                "sample_distances": spec.sample_distances.clone(),
+                "shots": spec.shots,
+                "biased_shots": spec.biased_shots,
+                "bias": spec.bias,
+                "decoder": decoder_name(spec.decoder),
+                "estimator": estimator_to_json(&spec.estimator),
             }),
             ExperimentKind::TimingSweep(spec) => serde_json::json!({
                 "experiment": "timing_sweep",
@@ -907,6 +957,15 @@ impl ExperimentSpec {
                         .collect::<Result<_, _>>()?,
                 })
             }
+            "rare_event_ler" => ExperimentKind::RareEventLer(RareEventLerSpec {
+                configurations: arch_points_from_json(experiment, "configurations")?,
+                sample_distances: usize_list(experiment, "sample_distances")?,
+                shots: usize_field(experiment, "shots")?,
+                biased_shots: usize_field(experiment, "biased_shots")?,
+                bias: f64_field(experiment, "bias")?,
+                decoder: decoder_from_name(&str_field(experiment, "decoder")?)?,
+                estimator: estimator_from_json(field(experiment, "estimator")?)?,
+            }),
             "timing_sweep" => ExperimentKind::TimingSweep(TimingSweepSpec {
                 configurations: arch_points_from_json(experiment, "configurations")?,
                 distances: usize_list(experiment, "distances")?,
@@ -999,6 +1058,25 @@ impl ExperimentSpec {
                 }
                 for output in &spec.outputs {
                     output.validate()?;
+                }
+                Ok(())
+            }
+            ExperimentKind::RareEventLer(spec) => {
+                if spec.configurations.is_empty() {
+                    return err("rare-event LER comparison needs at least one configuration");
+                }
+                if spec.sample_distances.is_empty() {
+                    return err("rare-event LER comparison needs at least one sample distance");
+                }
+                distances_at_least_two(&spec.sample_distances, "rare-event LER comparison")?;
+                if spec.shots == 0 || spec.biased_shots == 0 {
+                    return err("rare-event LER comparison needs positive shot counts");
+                }
+                if !(spec.bias.is_finite() && spec.bias >= 1.0) {
+                    return err("rare-event bias must be a finite factor of at least 1");
+                }
+                for point in &spec.configurations {
+                    point.validate()?;
                 }
                 Ok(())
             }

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use qccd_bench::spec::{
     ArchPoint, ClusteringAblationSpec, CodeSpec, CompileCase, CompilerBoundsSpec,
     DecoderComparisonSpec, DenseTailSpec, ExperimentKind, ExperimentSpec, LerOutput, LerSweepSpec,
-    SurgerySpec, TimingMetric, TimingSweepSpec,
+    RareEventLerSpec, SurgerySpec, TimingMetric, TimingSweepSpec,
 };
 use qccd_bench::ExperimentRegistry;
 use qccd_decoder::{DecoderKind, EstimatorConfig, MemoConfig};
@@ -78,16 +78,22 @@ fn compile_cases() -> impl Strategy<Value = Vec<CompileCase>> {
 fn estimators() -> impl Strategy<Value = EstimatorConfig> {
     (
         (1usize..100_000, any::<bool>(), any::<bool>(), 1usize..8),
-        (any::<bool>(), any::<bool>()),
+        (any::<bool>(), any::<bool>(), any::<bool>(), 1.0f64..64.0),
     )
         .prop_map(
-            |((chunk_shots, early_stop, disable_memo, max_defects), (word_decode, shared_memo))| {
+            |(
+                (chunk_shots, early_stop, disable_memo, max_defects),
+                (word_decode, shared_memo, biased, bias),
+            )| {
                 let mut config = EstimatorConfig::default()
                     .with_chunk_shots(chunk_shots)
                     .with_word_decode(word_decode)
                     .with_shared_memo(shared_memo);
                 if early_stop {
                     config = config.with_target_std_error(1e-3).with_max_failures(100);
+                }
+                if biased {
+                    config = config.with_importance_bias(bias);
                 }
                 config.with_memo(if disable_memo {
                     MemoConfig::disabled()
@@ -156,6 +162,18 @@ fn spec_suite() -> impl Strategy<Value = Vec<ExperimentSpec>> {
                             decoder,
                             estimator,
                             outputs,
+                        }),
+                    ),
+                    spec(
+                        "rare_event",
+                        ExperimentKind::RareEventLer(RareEventLerSpec {
+                            configurations: points.clone(),
+                            sample_distances: distances.clone(),
+                            shots,
+                            biased_shots: 1 + shots / 3,
+                            bias: 1.0 + (shots % 50) as f64,
+                            decoder,
+                            estimator,
                         }),
                     ),
                     spec(
@@ -259,6 +277,7 @@ fn registry_is_complete_and_every_spec_resolves_validates_and_round_trips() {
         "fig12",
         "fig13a",
         "fig13b",
+        "rare_event_ler",
         "table2",
         "table3",
     ];

@@ -39,8 +39,8 @@ use serde::{Deserialize, Serialize};
 
 use qccd_circuit::MeasurementRef;
 use qccd_sim::{
-    sample_detector_chunks, DetectorChunkSampler, DetectorErrorModel, NoisyCircuit, SyndromeChunk,
-    CANONICAL_BLOCK_SHOTS,
+    bias_circuit, sample_detector_chunks, DetectorChunkSampler, DetectorErrorModel, NoisyCircuit,
+    SyndromeChunk, CANONICAL_BLOCK_SHOTS,
 };
 
 use crate::{
@@ -102,6 +102,16 @@ pub struct EstimatorConfig {
     /// worker thread (see [`Decoder::warm_memo_snapshot`]); on by default.
     /// Sharing never changes decoded bits.
     pub shared_memo: bool,
+    /// Importance-sampling bias factor. When set, shots are sampled from a
+    /// biased copy of the circuit with every noise probability scaled by
+    /// this factor (clamped at 0.5), decoded against the *original*
+    /// circuit's decoding graph, and each failing shot is reweighted by its
+    /// likelihood ratio — an unbiased rare-event estimator with delta-method
+    /// error bars (see [`qccd_sim::bias_circuit`]). Still deterministic per
+    /// `(shots, seed)`: weights are folded in canonical block order, so the
+    /// estimate is bit-identical across chunk sizes and thread counts. Must
+    /// be a finite factor ≥ 1; `None` (the default) is plain Monte Carlo.
+    pub importance_bias: Option<f64>,
 }
 
 impl Default for EstimatorConfig {
@@ -114,6 +124,7 @@ impl Default for EstimatorConfig {
             memo: MemoConfig::default(),
             word_decode: true,
             shared_memo: true,
+            importance_bias: None,
         }
     }
 }
@@ -163,6 +174,14 @@ impl EstimatorConfig {
         self
     }
 
+    /// Enables importance sampling with the given bias factor (a finite
+    /// factor ≥ 1 by which every noise probability is scaled, clamped at
+    /// 0.5). See [`EstimatorConfig::importance_bias`].
+    pub fn with_importance_bias(mut self, bias: f64) -> Self {
+        self.importance_bias = Some(bias);
+        self
+    }
+
     fn early_stopping(&self) -> bool {
         self.target_std_error.is_some() || self.max_failures.is_some()
     }
@@ -179,7 +198,13 @@ pub struct LogicalErrorEstimate {
     pub failures: usize,
     /// Per-shot logical error probability.
     pub logical_error_rate: f64,
-    /// Binomial standard error of the estimate.
+    /// Binomial standard error of the estimate (delta-method standard error
+    /// for importance-sampled estimates). When **zero** failures were
+    /// observed this instead carries the one-sided 95% Clopper–Pearson upper
+    /// bound `1 − 0.05^(1/shots)` (≈ 3/shots, the rule of three): reporting
+    /// σ = 0 there would claim an exactly-known rate of 0 from finite data
+    /// and silently bias every downstream fit. Use
+    /// [`LogicalErrorEstimate::is_upper_bound`] to tell the two apart.
     pub std_error: f64,
 }
 
@@ -199,15 +224,68 @@ impl LogicalErrorEstimate {
         1.0 - (1.0 - self.logical_error_rate).powf(1.0 / rounds as f64)
     }
 
+    /// Returns `true` when the estimate observed zero failures, in which
+    /// case [`LogicalErrorEstimate::std_error`] is a 95% upper bound on the
+    /// rate rather than a standard error, and tables should render the point
+    /// as `< bound`, not `0`.
+    pub fn is_upper_bound(&self) -> bool {
+        self.failures == 0 && self.shots > 0
+    }
+
+    /// The one-sided 95% Clopper–Pearson upper bound on the rate when zero
+    /// failures were observed, `None` otherwise.
+    pub fn upper_bound_95(&self) -> Option<f64> {
+        if self.is_upper_bound() {
+            Some(zero_failure_upper_bound(self.shots))
+        } else {
+            None
+        }
+    }
+
     fn from_counts(shots: usize, failures: usize) -> Self {
         let p = failures as f64 / shots as f64;
+        let std_error = if failures == 0 && shots > 0 {
+            zero_failure_upper_bound(shots)
+        } else {
+            (p * (1.0 - p) / shots as f64).sqrt()
+        };
         LogicalErrorEstimate {
             shots,
             failures,
             logical_error_rate: p,
-            std_error: (p * (1.0 - p) / shots as f64).sqrt(),
+            std_error,
         }
     }
+
+    /// Builds an importance-sampled estimate from per-failing-shot weight
+    /// sums: `p̂ = Σwf / N` with the delta-method variance
+    /// `Var(p̂) = (Σ(wf)² / N − p̂²) / N`. A weighted estimate with zero
+    /// failures falls back to the plain-MC Clopper–Pearson bound, which is
+    /// conservative (the biased channel makes failures strictly *more*
+    /// likely, so observing none is stronger evidence than under plain MC).
+    fn from_weighted(shots: usize, failures: usize, weight_sum: f64, weight_sq_sum: f64) -> Self {
+        let n = shots as f64;
+        let p = weight_sum / n;
+        let std_error = if failures == 0 && shots > 0 {
+            zero_failure_upper_bound(shots)
+        } else {
+            ((weight_sq_sum / n - p * p).max(0.0) / n).sqrt()
+        };
+        LogicalErrorEstimate {
+            shots,
+            failures,
+            logical_error_rate: p,
+            std_error,
+        }
+    }
+}
+
+/// The one-sided 95% Clopper–Pearson upper bound on a rate after observing
+/// zero failures in `shots` trials: `1 − 0.05^(1/shots)` (≈ 3/shots for
+/// large `shots` — the "rule of three").
+pub fn zero_failure_upper_bound(shots: usize) -> f64 {
+    debug_assert!(shots > 0);
+    1.0 - 0.05f64.powf(1.0 / shots as f64)
 }
 
 /// A logical-error estimate together with the decoders' aggregate cache
@@ -236,25 +314,33 @@ pub struct EstimateReport {
 #[derive(Debug, Clone)]
 struct ChunkOutcome {
     shots: usize,
-    failures: usize,
     cache: CacheStats,
     /// Failures per canonical sampling block of this chunk, in block order.
     /// Blocks — not chunks — are the units of the early-stop decision, so
     /// the stopping point is invariant under the chunk size.
     block_failures: Vec<u32>,
+    /// Importance-sampling `(Σw, Σw²)` over the *failing* shots of each
+    /// block, in block order and summed in ascending shot order within each
+    /// block (empty for plain Monte Carlo). Folding these per block in
+    /// canonical order keeps the weighted estimate bit-identical across
+    /// chunk sizes and thread counts despite f64 non-associativity.
+    block_weights: Vec<(f64, f64)>,
 }
 
 /// Counts the shots of a decoded chunk whose predicted observable flips
 /// disagree with the actual flips, word-parallel. Returns the per-block
-/// failure counts (in canonical block order) and the cache-counter delta
-/// this chunk contributed.
+/// failure counts (in canonical block order), the per-block failing-shot
+/// weight sums (empty when `weights` is `None`), and the cache-counter
+/// delta this chunk contributed. `weights` carries the per-shot fire
+/// log-ratio sums (local shot order) and the shot-independent base term.
 fn count_failures(
     chunk: &SyndromeChunk,
     decoder: &dyn Decoder,
     scratch: &mut DecodeScratch,
     config: &EstimatorConfig,
     snapshot: Option<&MemoSnapshot>,
-) -> (Vec<u32>, CacheStats) {
+    weights: Option<(&[f64], f64)>,
+) -> (Vec<u32>, Vec<(f64, f64)>, CacheStats) {
     scratch.set_memo_config(config.memo);
     // Baseline for this chunk's counter delta. When the memo will engage
     // for a decoder the scratch does not belong to yet, the claim (or
@@ -300,19 +386,83 @@ fn count_failures(
         .chunks(BLOCK_WORDS)
         .map(|words| words.iter().map(|w| w.count_ones()).sum())
         .collect();
-    (block_failures, cache)
+    let block_weights: Vec<(f64, f64)> = match weights {
+        Some((log_weights, base)) => mismatch
+            .chunks(BLOCK_WORDS)
+            .enumerate()
+            .map(|(block, words)| {
+                // Walk failing shots in ascending shot order (words ascend,
+                // trailing_zeros scans bits low to high) so the per-block
+                // sums are a pure function of the sampled bits.
+                let mut weight_sum = 0.0;
+                let mut weight_sq_sum = 0.0;
+                for (w, &bits) in words.iter().enumerate() {
+                    let mut rest = bits;
+                    while rest != 0 {
+                        let shot = (block * BLOCK_WORDS + w) * 64 + rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
+                        let weight = (base + log_weights[shot]).exp();
+                        weight_sum += weight;
+                        weight_sq_sum += weight * weight;
+                    }
+                }
+                (weight_sum, weight_sq_sum)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    (block_failures, block_weights, cache)
+}
+
+/// Running totals of the canonical block fold: shot/failure counts plus the
+/// importance-sampling weight sums over failing shots (zero for plain Monte
+/// Carlo). Weight sums are only ever advanced block by block in canonical
+/// order, so the resulting f64s are bit-identical across chunk sizes and
+/// thread counts.
+#[derive(Debug, Default, Clone, Copy)]
+struct RunningTotals {
+    shots: usize,
+    failures: usize,
+    weight_sum: f64,
+    weight_sq_sum: f64,
+}
+
+impl RunningTotals {
+    /// Folds in one canonical block of a chunk outcome.
+    fn add_block(&mut self, outcome: &ChunkOutcome, block: usize) {
+        self.shots += shots_in_block(outcome.shots, block);
+        self.failures += outcome.block_failures[block] as usize;
+        if let Some(&(weight_sum, weight_sq_sum)) = outcome.block_weights.get(block) {
+            self.weight_sum += weight_sum;
+            self.weight_sq_sum += weight_sq_sum;
+        }
+    }
+
+    /// The estimate at the current totals.
+    fn estimate(&self, weighted: bool) -> LogicalErrorEstimate {
+        if weighted {
+            LogicalErrorEstimate::from_weighted(
+                self.shots,
+                self.failures,
+                self.weight_sum,
+                self.weight_sq_sum,
+            )
+        } else {
+            LogicalErrorEstimate::from_counts(self.shots, self.failures)
+        }
+    }
 }
 
 /// Whether the early-stop criterion is met at the given running totals.
-fn stop_criterion_met(shots: usize, failures: usize, config: &EstimatorConfig) -> bool {
+fn stop_criterion_met(totals: &RunningTotals, config: &EstimatorConfig) -> bool {
     if let Some(max_failures) = config.max_failures {
-        if failures >= max_failures {
+        if totals.failures >= max_failures {
             return true;
         }
     }
     if let Some(target) = config.target_std_error {
-        if failures > 0 {
-            let estimate = LogicalErrorEstimate::from_counts(shots, failures);
+        if totals.failures > 0 {
+            let estimate = totals.estimate(config.importance_bias.is_some());
             if estimate.std_error <= target {
                 return true;
             }
@@ -336,15 +486,13 @@ fn shots_in_block(chunk_shots: usize, block: usize) -> usize {
 fn prefix_stop_block_from(
     outcomes: &[ChunkOutcome],
     from: usize,
-    shots: &mut usize,
-    failures: &mut usize,
+    totals: &mut RunningTotals,
     config: &EstimatorConfig,
 ) -> Option<(usize, usize)> {
     for (index, outcome) in outcomes.iter().enumerate().skip(from) {
-        for (block, &block_failures) in outcome.block_failures.iter().enumerate() {
-            *shots += shots_in_block(outcome.shots, block);
-            *failures += block_failures as usize;
-            if stop_criterion_met(*shots, *failures, config) {
+        for block in 0..outcome.block_failures.len() {
+            totals.add_block(outcome, block);
+            if stop_criterion_met(totals, config) {
                 return Some((index, block));
             }
         }
@@ -356,6 +504,7 @@ fn run_pipeline(
     sampler: &DetectorChunkSampler<'_>,
     decoder: &(dyn Decoder + Send + Sync),
     config: &EstimatorConfig,
+    weights: Option<(&[f64], f64)>,
 ) -> EstimateReport {
     let num_chunks = sampler.num_chunks();
     // Warm the memo once and share the read-mostly snapshot with every
@@ -375,21 +524,33 @@ fn run_pipeline(
             static SCRATCH: std::cell::RefCell<DecodeScratch> =
                 std::cell::RefCell::new(DecodeScratch::new());
         }
-        let chunk = sampler.sample_chunk(index);
-        let (block_failures, cache) = SCRATCH.with(|scratch| {
+        let (chunk, log_weights) = match weights {
+            Some((ratios, _)) => {
+                let mut log_weights = Vec::new();
+                let chunk = sampler.sample_chunk_weighted(index, ratios, &mut log_weights);
+                (chunk, Some(log_weights))
+            }
+            None => (sampler.sample_chunk(index), None),
+        };
+        let shot_weights = match (&log_weights, weights) {
+            (Some(log_weights), Some((_, base))) => Some((log_weights.as_slice(), base)),
+            _ => None,
+        };
+        let (block_failures, block_weights, cache) = SCRATCH.with(|scratch| {
             count_failures(
                 &chunk,
                 decoder,
                 &mut scratch.borrow_mut(),
                 config,
                 snapshot.as_ref(),
+                shot_weights,
             )
         });
         ChunkOutcome {
             shots: chunk.num_shots(),
-            failures: block_failures.iter().map(|&f| f as usize).sum(),
             cache,
             block_failures,
+            block_weights,
         }
     };
 
@@ -401,7 +562,7 @@ fn run_pipeline(
         // count nor the chunk size.
         let wave = 2 * rayon::current_num_threads().max(1);
         let mut collected = Vec::with_capacity(num_chunks.min(4 * wave));
-        let mut running = (0usize, 0usize);
+        let mut running = RunningTotals::default();
         let mut next = 0;
         let mut stop = None;
         while next < num_chunks {
@@ -412,7 +573,7 @@ fn run_pipeline(
                     .map(decode_chunk)
                     .collect::<Vec<_>>(),
             );
-            stop = prefix_stop_block_from(&collected, next, &mut running.0, &mut running.1, config);
+            stop = prefix_stop_block_from(&collected, next, &mut running, config);
             next = end;
             if stop.is_some() {
                 break;
@@ -426,8 +587,7 @@ fn run_pipeline(
     };
     let (outcomes, stop) = outcomes;
 
-    let mut shots = 0usize;
-    let mut failures = 0usize;
+    let mut totals = RunningTotals::default();
     let mut cache = CacheStats::default();
     let (full_chunks, partial) = match stop {
         // The stopping chunk contributes only its blocks up to (and
@@ -437,21 +597,23 @@ fn run_pipeline(
         Some((chunk, block)) => (chunk, Some(block)),
         None => (outcomes.len(), None),
     };
+    // Fold block by block in canonical order — never per-chunk subtotals —
+    // so the weighted f64 sums are chunk-size-invariant.
     for outcome in &outcomes[..full_chunks] {
-        shots += outcome.shots;
-        failures += outcome.failures;
+        for block in 0..outcome.block_failures.len() {
+            totals.add_block(outcome, block);
+        }
         cache.merge(&outcome.cache);
     }
     if let Some(block) = partial {
         let outcome = &outcomes[full_chunks];
         for b in 0..=block {
-            shots += shots_in_block(outcome.shots, b);
-            failures += outcome.block_failures[b] as usize;
+            totals.add_block(outcome, b);
         }
         cache.merge(&outcome.cache);
     }
     EstimateReport {
-        estimate: LogicalErrorEstimate::from_counts(shots, failures),
+        estimate: totals.estimate(weights.is_some()),
         cache,
     }
 }
@@ -495,17 +657,31 @@ pub fn estimate_logical_error_rate_report(
     decoder_kind: DecoderKind,
     config: &EstimatorConfig,
 ) -> Result<EstimateReport, MeasurementRef> {
+    // The decoder (and its decoding graph / fault priors) always comes from
+    // the *original* circuit: importance sampling biases only what is
+    // sampled, never how syndromes are decoded, so biased and plain runs
+    // estimate the same quantity.
     let dem = DetectorErrorModel::from_circuit(circuit)?;
     let graph = DecodingGraph::from_dem(&dem);
     let decoder = decoder_kind.build(graph);
-    let sampler = sample_detector_chunks(circuit, shots, seed, config.chunk_shots)?;
+    let biased = config
+        .importance_bias
+        .map(|bias| bias_circuit(circuit, bias));
+    let (sampled_circuit, weights) = match &biased {
+        Some(biased) => (
+            &biased.circuit,
+            Some((biased.fire_log_ratios.as_slice(), biased.base_log_weight)),
+        ),
+        None => (circuit, None),
+    };
+    let sampler = sample_detector_chunks(sampled_circuit, shots, seed, config.chunk_shots)?;
     let report = match config.num_threads {
         Some(threads) => rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("thread pool construction cannot fail")
-            .install(|| run_pipeline(&sampler, decoder.as_ref(), config)),
-        None => run_pipeline(&sampler, decoder.as_ref(), config),
+            .install(|| run_pipeline(&sampler, decoder.as_ref(), config, weights)),
+        None => run_pipeline(&sampler, decoder.as_ref(), config, weights),
     };
     Ok(report)
 }
@@ -548,6 +724,12 @@ pub struct LambdaFit {
     pub log_intercept_std_error: f64,
     /// Standard error of [`LambdaFit::log_slope`] (same convention).
     pub log_slope_std_error: f64,
+    /// Number of input points excluded from the fit because their error
+    /// rate was non-positive (typically zero-failure points). A non-zero
+    /// count means the fit rests on fewer points than were measured —
+    /// report it alongside Λ so sparse fits are visibly degraded rather
+    /// than quietly narrower.
+    pub dropped_points: usize,
 }
 
 impl LambdaFit {
@@ -646,11 +828,11 @@ pub fn fit_lambda(points: &[(usize, f64)]) -> Option<LambdaFit> {
 /// (`Var(slope) = Σw / Δ`, `Var(intercept) = Σwx² / Δ`) and feed the
 /// [`LambdaFit::lambda_confidence_interval`].
 ///
-/// Points with a non-positive error rate are skipped; a point with a
-/// non-finite or non-positive standard error gets `σ_{ln p} = 1` (unit
-/// variance) so it still participates without dominating. Returns `None` if
-/// fewer than two usable points remain or all usable points share one
-/// distance.
+/// Points with a non-positive error rate are skipped and counted in
+/// [`LambdaFit::dropped_points`]; a point with a non-finite or non-positive
+/// standard error gets `σ_{ln p} = 1` (unit variance) so it still
+/// participates without dominating. Returns `None` if fewer than two usable
+/// points remain or all usable points share one distance.
 pub fn fit_lambda_weighted(points: &[(usize, f64, f64)]) -> Option<LambdaFit> {
     // (x, y, w) with x = distance, y = ln p, w = 1/σ_y² (σ_y floored to keep
     // weights finite for saturated estimates like p = 1, σ = 0).
@@ -689,6 +871,7 @@ pub fn fit_lambda_weighted(points: &[(usize, f64, f64)]) -> Option<LambdaFit> {
         log_slope: slope,
         log_intercept_std_error: (sum_xx / denom).sqrt(),
         log_slope_std_error: (sum_w / denom).sqrt(),
+        dropped_points: points.len() - usable.len(),
     })
 }
 
@@ -736,6 +919,23 @@ mod tests {
         let est = estimate_logical_error_rate(&circuit, 2000, 3, DecoderKind::UnionFind).unwrap();
         assert_eq!(est.failures, 0);
         assert_eq!(est.logical_error_rate, 0.0);
+        // Zero observed failures must not be reported as an exactly-known
+        // zero: std_error carries the 95% Clopper–Pearson upper bound.
+        assert!(est.is_upper_bound());
+        assert_eq!(est.std_error, zero_failure_upper_bound(2000));
+        assert_eq!(est.upper_bound_95(), Some(est.std_error));
+    }
+
+    #[test]
+    fn zero_failure_upper_bound_follows_rule_of_three() {
+        // Exact: 1 − 0.05^(1/n); for large n this approaches 3/n.
+        let bound = zero_failure_upper_bound(10_000);
+        assert!((bound - 3.0 / 10_000.0).abs() < 2e-6, "bound {bound}");
+        // A point estimate with failures does NOT report a bound.
+        let est = LogicalErrorEstimate::from_counts(1000, 10);
+        assert!(!est.is_upper_bound());
+        assert_eq!(est.upper_bound_95(), None);
+        assert!((est.std_error - (0.01f64 * 0.99 / 1000.0).sqrt()).abs() < 1e-15);
     }
 
     #[test]
@@ -1111,6 +1311,138 @@ mod tests {
     }
 
     #[test]
+    fn weighted_fit_surfaces_dropped_points() {
+        let fit = fit_lambda_weighted(&[
+            (3, 0.1, 0.01),
+            (5, 0.02, 0.004),
+            (7, 0.0, 0.0),
+            (9, -1.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(fit.dropped_points, 2);
+        let clean =
+            fit_lambda_weighted(&[(3, 0.1, 0.01), (5, 0.02, 0.004), (7, 0.004, 0.001)]).unwrap();
+        assert_eq!(clean.dropped_points, 0);
+    }
+
+    #[test]
+    fn importance_sampling_agrees_with_plain_mc() {
+        let p = 0.02;
+        let code = repetition_code(5);
+        let circuit = noisy_memory(&code, 2, p);
+        let shots = 16 * CANONICAL_BLOCK_SHOTS;
+        let plain = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            21,
+            DecoderKind::UnionFind,
+            &EstimatorConfig::default(),
+        )
+        .unwrap();
+        let biased = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            21,
+            DecoderKind::UnionFind,
+            &EstimatorConfig::default().with_importance_bias(5.0),
+        )
+        .unwrap();
+        assert!(plain.failures > 0, "plain MC must converge at this point");
+        assert!(
+            biased.failures > plain.failures,
+            "the biased channel must make failures more common ({} vs {})",
+            biased.failures,
+            plain.failures
+        );
+        let sigma = (plain.std_error.powi(2) + biased.std_error.powi(2)).sqrt();
+        let gap = (plain.logical_error_rate - biased.logical_error_rate).abs();
+        assert!(
+            gap <= 3.0 * sigma,
+            "importance-sampled {} vs plain {} differ by {gap} > 3σ = {}",
+            biased.logical_error_rate,
+            plain.logical_error_rate,
+            3.0 * sigma
+        );
+    }
+
+    #[test]
+    fn importance_sampled_estimate_is_invariant_under_chunk_size_and_threads() {
+        let p = 0.02;
+        let code = repetition_code(5);
+        let circuit = noisy_memory(&code, 2, p);
+        let shots = 3 * CANONICAL_BLOCK_SHOTS + 500;
+        let config = EstimatorConfig::default().with_importance_bias(6.0);
+        let reference = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            42,
+            DecoderKind::UnionFind,
+            &config.with_chunk_shots(1).with_num_threads(1),
+        )
+        .unwrap();
+        assert!(reference.failures > 0);
+        for (chunk_shots, threads) in [
+            (CANONICAL_BLOCK_SHOTS, 2),
+            (2 * CANONICAL_BLOCK_SHOTS, 3),
+            (usize::MAX, 4),
+        ] {
+            let estimate = estimate_logical_error_rate_with(
+                &circuit,
+                shots,
+                42,
+                DecoderKind::UnionFind,
+                &config
+                    .with_chunk_shots(chunk_shots)
+                    .with_num_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(
+                (estimate.shots, estimate.failures),
+                (reference.shots, reference.failures),
+                "chunk_shots={chunk_shots} threads={threads}"
+            );
+            // The weighted f64 sums must be bit-identical, not just close.
+            assert_eq!(
+                estimate.logical_error_rate.to_bits(),
+                reference.logical_error_rate.to_bits(),
+                "chunk_shots={chunk_shots} threads={threads}"
+            );
+            assert_eq!(estimate.std_error.to_bits(), reference.std_error.to_bits());
+        }
+    }
+
+    #[test]
+    fn bias_one_reduces_to_plain_monte_carlo() {
+        // With bias = 1 every weight is exactly 1, so the weighted estimate
+        // must reproduce the plain counts and (up to expression rounding)
+        // the binomial standard error.
+        let p = 0.03;
+        let code = repetition_code(3);
+        let circuit = noisy_memory(&code, 2, p);
+        let shots = 2 * CANONICAL_BLOCK_SHOTS;
+        let plain = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            9,
+            DecoderKind::UnionFind,
+            &EstimatorConfig::default(),
+        )
+        .unwrap();
+        let weighted = estimate_logical_error_rate_with(
+            &circuit,
+            shots,
+            9,
+            DecoderKind::UnionFind,
+            &EstimatorConfig::default().with_importance_bias(1.0),
+        )
+        .unwrap();
+        assert_eq!(weighted.shots, plain.shots);
+        assert_eq!(weighted.failures, plain.failures);
+        assert!((weighted.logical_error_rate - plain.logical_error_rate).abs() < 1e-12);
+        assert!((weighted.std_error - plain.std_error).abs() < 1e-12);
+    }
+
+    #[test]
     fn above_threshold_fit_has_no_target_distance() {
         let fit = fit_lambda(&[(3, 0.01), (5, 0.02), (7, 0.04)]).unwrap();
         assert!(!fit.below_threshold());
@@ -1135,6 +1467,7 @@ mod tests {
             log_slope: -0.1,
             log_intercept_std_error: 0.1,
             log_slope_std_error: 0.2,
+            dropped_points: 0,
         };
         let (lo, hi) = wobbly.distance_range_for_target(1e-9, 1.96).unwrap();
         assert!(lo >= 1);

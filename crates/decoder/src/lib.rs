@@ -178,8 +178,8 @@ pub use dem_graph::{DecodingEdge, DecodingGraph, DetectorIndex};
 pub use greedy::GreedyMatchingDecoder;
 pub use ler::{
     estimate_logical_error_rate, estimate_logical_error_rate_report,
-    estimate_logical_error_rate_with, fit_lambda, fit_lambda_weighted, DecoderKind, EstimateReport,
-    EstimatorConfig, LambdaFit, LogicalErrorEstimate,
+    estimate_logical_error_rate_with, fit_lambda, fit_lambda_weighted, zero_failure_upper_bound,
+    DecoderKind, EstimateReport, EstimatorConfig, LambdaFit, LogicalErrorEstimate,
 };
 pub use memo::{
     CacheStats, MemoConfig, MemoSnapshot, DEFAULT_DENSE_MAX_ENTRIES, DEFAULT_MEMO_MAX_DEFECTS,

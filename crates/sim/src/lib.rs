@@ -54,6 +54,7 @@ mod chunk;
 mod dem;
 mod frame;
 mod noisy_circuit;
+mod rare_event;
 mod sampler;
 mod tableau;
 
@@ -65,5 +66,6 @@ pub use chunk::{
 pub use dem::{DemError, DetectorErrorModel};
 pub use frame::FrameSampler;
 pub use noisy_circuit::{NoiseChannel, NoisyCircuit, NoisyOp, ResolvedAnnotations};
+pub use rare_event::{bias_circuit, BiasedCircuit, MAX_BIASED_PROBABILITY};
 pub use sampler::{sample_detectors, verify_detectors, DetectorSamples, VerificationError};
 pub use tableau::TableauSimulator;

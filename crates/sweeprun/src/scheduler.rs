@@ -270,7 +270,13 @@ impl Scheduler {
 
     /// Extends every lease held by `worker` — the liveness signal that
     /// keeps long evaluations from being requeued under them.
+    ///
+    /// Expired leases are reaped *first*: a heartbeat arriving after the
+    /// lease deadline (e.g. from a worker that was SIGSTOPped past the
+    /// timeout) must not resurrect a lease the scheduler is entitled to hand
+    /// to someone else — only leases that are still live get extended.
     pub fn heartbeat(&mut self, worker: u64, now: Instant) {
+        self.reap_expired(now);
         for state in self.states.values_mut() {
             if let PointState::Leased {
                 worker: holder,
@@ -369,6 +375,40 @@ mod tests {
                 .counters
                 .requeues,
             1
+        );
+    }
+
+    #[test]
+    fn late_heartbeat_does_not_resurrect_an_expired_lease() {
+        // SIGSTOP-style regression: w1 takes a lease, goes silent past the
+        // timeout (no intervening scheduler call reaps it), then its delayed
+        // heartbeat arrives. The heartbeat must requeue the expired lease,
+        // not extend it — otherwise a stopped worker can starve the point
+        // indefinitely with heartbeats that always arrive just too late.
+        let mut s = Scheduler::new(vec![0], 0, config(100, 3, 10));
+        let w1 = s.register_worker();
+        let w2 = s.register_worker();
+        let t0 = Instant::now();
+        assert_eq!(s.lease(w1, t0), LeaseReply::Point(0));
+        // Well past the deadline, w1's heartbeat is the first call the
+        // scheduler sees.
+        s.heartbeat(w1, t0 + Duration::from_millis(250));
+        // The point must be assignable to w2 immediately, and the requeue
+        // must have been counted.
+        assert_eq!(
+            s.lease(w2, t0 + Duration::from_millis(260)),
+            LeaseReply::Point(0)
+        );
+        let progress = s.progress(t0 + Duration::from_millis(260));
+        assert_eq!(progress.counters.requeues, 1);
+        assert_eq!(progress.leased, 1);
+        // A still-live lease is extended as before: w2 heartbeats at 300ms,
+        // pushing its deadline to 400ms, so the point is not reassignable at
+        // 350ms.
+        s.heartbeat(w2, t0 + Duration::from_millis(300));
+        assert_eq!(
+            s.lease(w1, t0 + Duration::from_millis(350)),
+            LeaseReply::Wait
         );
     }
 
