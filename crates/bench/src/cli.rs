@@ -25,14 +25,20 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use qccd_decoder::DecoderKind;
 use qccd_service::net::{parse_arch, parse_decoder};
 use qccd_service::{
-    loadgen, DecodeProgram, DecodeService, LoadgenOptions, NetServer, ServiceConfig,
+    loadgen, DecodeProgram, DecodeService, LoadgenOptions, NetClient, NetServer, ServiceConfig,
 };
 use qccd_sweeprun::{
-    query_status, render_progress_line, run_job, run_worker, CoordinatorConfig, PointJob,
-    PointStore, SchedulerConfig, StoreState, WorkerOptions,
+    query_status, render_progress_line, render_worker_lines, run_job, run_worker,
+    CoordinatorConfig, PointJob, PointStore, SchedulerConfig, StoreState, WorkerOptions,
+};
+use qccd_telemetry::{
+    cursor_home, render_dashboard, snapshot_from_json, RegistrySnapshot, TelemetryConfig, TraceSink,
 };
 
 use crate::artifact::{validate_artifact_json, Artifact};
@@ -52,6 +58,7 @@ commands:
   check <file.json>        validate an emitted artifact against the schema
   serve [options]          run the real-time decode service (TCP JSON-lines)
   loadgen [options]        replay sampled syndromes against a decode service
+  metrics --addr <host:port> [--text]   scrape a running service's telemetry
   sweep run [options]      run a LER sweep through the resumable point store
   sweep resume [options]   alias of `sweep run` (only missing points recompute)
   sweep status [options]   print a sweep's progress snapshot
@@ -76,6 +83,9 @@ serve options:
   --dense-entries <n>      dense-tier LRU entry cap (default: 65536)
   --no-dense-memo          disable the dense LRU tier (above-cap lanes
                            decode uncached)
+  --no-telemetry           disable the telemetry registry entirely
+  --sample-every <n>       stage-timing sample period (default: 16; 1 = all)
+  --trace-out <file>       stream sampled stage spans as JSON lines
 
 loadgen options:
   --addr <host:port>       drive a remote `artifacts serve` (default mode)
@@ -100,8 +110,12 @@ loadgen options:
   --no-verify              skip the offline bit-identity check and baseline
   --shutdown               send a shutdown command after the run (TCP only)
   --format <pretty|json>   report format (default: pretty)
+  --top                    live telemetry dashboard on stderr during the run
+  --trace-out <file>       stream sampled stage spans as JSON lines
+                           (in-process only; use `serve --trace-out` for TCP)
   --workers/--deadline-us/--batch-words/--queue-shots   service knobs
   --dense-entries/--no-dense-memo                       (in-process only)
+  --no-telemetry/--sample-every <n>                     telemetry knobs
 
 sweep run/resume options:
   <name> | --spec <file.json>   the LER-sweep spec to run (exactly one)
@@ -117,13 +131,20 @@ sweep run/resume options:
   --progress-interval-ms <ms>   progress line / status.json period
                            (default: 2000)
   --quiet                  suppress the live progress line on stderr
+  --no-telemetry           disable the coordinator's telemetry registry
+  --sample-every <n>       stage-timing sample period (default: 16; 1 = all)
   --format <pretty|json|csv>    merged-artifact format (default: pretty)
   --out <dir>              write the merged artifact to <dir>/<name>.<ext>
 
 sweep status options:
   --addr <host:port>       query a live coordinator, or:
   <name> | --spec <file.json> [--store <dir>]   read the store's status.json
-  --format <pretty|json>   one-line summary or the full snapshot
+  --format <pretty|json>   summary (incl. per-worker EWMA throughput and
+                           heartbeat age) or the full snapshot
+
+metrics options:
+  --addr <host:port>       a running `artifacts serve` to scrape (required)
+  --text                   Prometheus-style text instead of the JSON snapshot
 
 sweep worker options:
   --addr <host:port>       coordinator to join (required)
@@ -286,6 +307,8 @@ pub struct ServeOptions {
     pub addr: String,
     /// Decode-service tuning.
     pub service: ServiceConfig,
+    /// Stream sampled stage spans to this file as JSON lines.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -293,6 +316,7 @@ impl Default for ServeOptions {
         ServeOptions {
             addr: "127.0.0.1:7878".to_string(),
             service: ServiceConfig::default(),
+            trace_out: None,
         }
     }
 }
@@ -331,6 +355,16 @@ fn parse_service_flag(
         "--no-dense-memo" => {
             *config = config.with_memo(config.memo.with_dense_max_entries(0));
         }
+        "--no-telemetry" => {
+            *config = config.with_telemetry(TelemetryConfig::disabled());
+        }
+        "--sample-every" => {
+            let every: u32 = parse_number(flag, iter.next())?;
+            if every == 0 {
+                return Err("--sample-every must be at least 1".into());
+            }
+            *config = config.with_telemetry(config.telemetry.with_sample_every(every));
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -348,6 +382,10 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         match arg.as_str() {
             "--addr" => {
                 options.addr = iter.next().ok_or("--addr needs a host:port")?.clone();
+            }
+            "--trace-out" => {
+                let value = iter.next().ok_or("--trace-out needs a file path")?;
+                options.trace_out = Some(PathBuf::from(value));
             }
             flag if parse_service_flag(flag, &mut iter, &mut options.service)? => {}
             flag => return Err(format!("unknown serve flag `{flag}`")),
@@ -386,6 +424,11 @@ pub struct LoadgenCliOptions {
     pub json: bool,
     /// Service tuning (in-process only).
     pub service: ServiceConfig,
+    /// Redraw a live telemetry dashboard on stderr during the run.
+    pub top: bool,
+    /// Stream sampled stage spans to this file (in-process only; a TCP
+    /// server traces on its own side via `serve --trace-out`).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for LoadgenCliOptions {
@@ -404,6 +447,8 @@ impl Default for LoadgenCliOptions {
             shutdown: false,
             json: false,
             service: ServiceConfig::default(),
+            top: false,
+            trace_out: None,
         }
     }
 }
@@ -450,6 +495,11 @@ pub fn parse_loadgen_options(args: &[String]) -> Result<LoadgenCliOptions, Strin
                 Some("json") => options.json = true,
                 other => return Err(format!("--format: pretty|json, got {other:?}")),
             },
+            "--top" => options.top = true,
+            "--trace-out" => {
+                let value = iter.next().ok_or("--trace-out needs a file path")?;
+                options.trace_out = Some(PathBuf::from(value));
+            }
             flag if parse_service_flag(flag, &mut iter, &mut options.service)? => {}
             flag => return Err(format!("unknown loadgen flag `{flag}`")),
         }
@@ -471,6 +521,14 @@ pub fn parse_loadgen_options(args: &[String]) -> Result<LoadgenCliOptions, Strin
     }
     if options.frontier == Some(0) {
         return Err("--frontier needs at least 1 point".into());
+    }
+    if options.trace_out.is_some() && !options.in_process {
+        return Err(
+            "--trace-out needs --in-process (a TCP server traces via `serve --trace-out`)".into(),
+        );
+    }
+    if options.top && options.frontier.is_some() {
+        return Err("--top cannot run during a --frontier sweep".into());
     }
     Ok(options)
 }
@@ -494,6 +552,8 @@ pub struct SweepRunOptions {
     pub progress_interval: Duration,
     /// Suppress the live progress line on stderr.
     pub quiet: bool,
+    /// Coordinator telemetry registry configuration.
+    pub telemetry: TelemetryConfig,
     /// Merged-artifact output format.
     pub format: OutputFormat,
     /// Output directory for the merged artifact (stdout when absent).
@@ -511,6 +571,7 @@ impl Default for SweepRunOptions {
             scheduler: SchedulerConfig::default(),
             progress_interval: Duration::from_millis(2000),
             quiet: false,
+            telemetry: TelemetryConfig::default(),
             format: OutputFormat::Pretty,
             out: None,
         }
@@ -553,6 +614,14 @@ pub fn parse_sweep_run_options(args: &[String]) -> Result<SweepRunOptions, Strin
                 options.progress_interval = Duration::from_millis(parse_number(arg, iter.next())?);
             }
             "--quiet" => options.quiet = true,
+            "--no-telemetry" => options.telemetry = TelemetryConfig::disabled(),
+            "--sample-every" => {
+                let every: u32 = parse_number(arg, iter.next())?;
+                if every == 0 {
+                    return Err("--sample-every must be at least 1".into());
+                }
+                options.telemetry = options.telemetry.with_sample_every(every);
+            }
             "--format" => {
                 let value = iter.next().ok_or("--format needs a value")?;
                 options.format = OutputFormat::parse(value)?;
@@ -817,6 +886,7 @@ fn sweep_run_command(
             scheduler: options.scheduler,
             progress_interval: options.progress_interval,
             quiet: options.quiet,
+            telemetry: options.telemetry,
         },
     )?;
     println!(
@@ -859,6 +929,9 @@ fn sweep_status_command(
             );
         } else {
             println!("{}", render_progress_line(snapshot));
+            for line in render_worker_lines(snapshot) {
+                println!("{line}");
+            }
         }
     };
     if let Some(addr) = &options.addr {
@@ -1024,8 +1097,34 @@ fn serve_command(options: &ServeOptions) -> Result<(), String> {
     let addr = server
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    if let Some(path) = &options.trace_out {
+        let sink = TraceSink::create(path)
+            .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
+        server.service().telemetry().set_trace_sink(Arc::new(sink));
+        println!("tracing sampled stage spans to {}", path.display());
+    }
     println!("decode service listening on {addr} ({:?})", options.service);
     server.run().map_err(|e| e.to_string())
+}
+
+/// Redraws the live telemetry dashboard on stderr every 500 ms until `stop`
+/// is set — the loadgen `--top` mode.
+fn spawn_top_renderer(
+    stop: Arc<AtomicBool>,
+    mut snapshot: impl FnMut() -> Option<RegistrySnapshot> + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            if let Some(snapshot) = snapshot() {
+                eprint!(
+                    "{}{}",
+                    cursor_home(),
+                    render_dashboard(&snapshot, "loadgen")
+                );
+            }
+            std::thread::sleep(Duration::from_millis(500));
+        }
+    })
 }
 
 fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
@@ -1058,6 +1157,8 @@ fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
         }
         return Ok(());
     }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut top = None;
     let report = if options.in_process {
         let arch = parse_arch(
             &options.topology,
@@ -1068,6 +1169,17 @@ fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
         let program = DecodeProgram::compile(&arch, options.distance, options.decoder)
             .map_err(|e| e.to_string())?;
         let service = DecodeService::new(options.service);
+        if let Some(path) = &options.trace_out {
+            let sink = TraceSink::create(path)
+                .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
+            service.telemetry().set_trace_sink(Arc::new(sink));
+        }
+        if options.top {
+            let registry = service.telemetry();
+            top = Some(spawn_top_renderer(Arc::clone(&stop), move || {
+                Some(registry.snapshot())
+            }));
+        }
         let report = loadgen::run_in_process(
             &service,
             program.key(),
@@ -1075,12 +1187,32 @@ fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
             options.decoder,
             &options.load,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| e.to_string());
+        stop.store(true, Ordering::Relaxed);
         service.shutdown();
-        report
+        report?
     } else {
-        loadgen::run_over_tcp(
-            options.addr.as_deref().expect("validated by the parser"),
+        let addr = options.addr.as_deref().expect("validated by the parser");
+        if options.top {
+            // The dashboard polls the server's unified snapshot over its own
+            // connection, reconnecting if a poll fails mid-run.
+            let addr = addr.to_string();
+            let mut client: Option<NetClient> = None;
+            top = Some(spawn_top_renderer(Arc::clone(&stop), move || {
+                if client.is_none() {
+                    client = NetClient::connect(&addr).ok();
+                }
+                match client.as_mut()?.metrics_full() {
+                    Ok(full) => Some(snapshot_from_json(full.get("telemetry")?)),
+                    Err(_) => {
+                        client = None;
+                        None
+                    }
+                }
+            }));
+        }
+        let report = loadgen::run_over_tcp(
+            addr,
             (&options.topology, &options.wiring),
             options.capacity,
             options.improvement,
@@ -1088,8 +1220,13 @@ fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
             options.decoder,
             &options.load,
             options.shutdown,
-        )?
+        );
+        stop.store(true, Ordering::Relaxed);
+        report?
     };
+    if let Some(top) = top {
+        let _ = top.join();
+    }
     if options.json {
         println!(
             "{}",
@@ -1104,6 +1241,34 @@ fn loadgen_command(options: &LoadgenCliOptions) -> Result<(), String> {
             "{} corrections differ from the offline decode",
             report.mismatches
         ));
+    }
+    Ok(())
+}
+
+/// `artifacts metrics`: scrape a running service's unified telemetry
+/// snapshot (JSON by default, Prometheus-style text with `--text`).
+fn metrics_command(args: &[String]) -> Result<(), String> {
+    let mut addr = None;
+    let mut text = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(iter.next().ok_or("--addr needs a host:port")?.clone()),
+            "--text" => text = true,
+            flag => return Err(format!("unknown metrics flag `{flag}`")),
+        }
+    }
+    let addr = addr.ok_or("metrics needs --addr <host:port>")?;
+    let mut client =
+        NetClient::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if text {
+        print!("{}", client.metrics_text()?);
+    } else {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&client.metrics_full()?)
+                .expect("metrics serialization cannot fail")
+        );
     }
     Ok(())
 }
@@ -1219,6 +1384,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         Some("serve") => serve_command(&parse_serve_options(&args[1..])?),
         Some("loadgen") => loadgen_command(&parse_loadgen_options(&args[1..])?),
+        Some("metrics") => metrics_command(&args[1..]),
         Some("sweep") => sweep_command(&args[1..], &registry),
         Some("cache") => cache_command(&parse_cache_options(&args[1..])?),
         Some("check") => {

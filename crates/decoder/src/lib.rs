@@ -166,6 +166,7 @@
 mod batch;
 mod dem_graph;
 mod greedy;
+pub mod instrument;
 mod ler;
 pub mod memo;
 mod mwpm;
@@ -176,6 +177,7 @@ mod union_find;
 pub use batch::{DecodeScratch, DenseTier, PredictionChunk, SyndromeChunk};
 pub use dem_graph::{DecodingEdge, DecodingGraph, DetectorIndex};
 pub use greedy::GreedyMatchingDecoder;
+pub use instrument::{install_telemetry, uninstall_telemetry};
 pub use ler::{
     estimate_logical_error_rate, estimate_logical_error_rate_report,
     estimate_logical_error_rate_with, fit_lambda, fit_lambda_weighted, zero_failure_upper_bound,
@@ -285,7 +287,21 @@ pub trait Decoder {
     /// [`CacheStats`]. Without an active memo the word path degenerates to
     /// the per-shot loop (minus one redundant plane scan).
     fn decode_batch(&self, chunk: &SyndromeChunk, scratch: &mut DecodeScratch) -> PredictionChunk {
-        batch::decode_batch_words(self, chunk, scratch)
+        // One relaxed load when no telemetry hook is installed — the
+        // disabled path the criterion overhead gate pins at <2%.
+        if !instrument::hook_installed() {
+            return batch::decode_batch_words(self, chunk, scratch);
+        }
+        instrument::timed_batch(
+            instrument::BatchPath::Word,
+            chunk.num_shots() as u64,
+            || {
+                let before = scratch.cache_stats();
+                let result = batch::decode_batch_words(self, chunk, scratch);
+                let delta = scratch.cache_stats().since(&before);
+                (result, delta)
+            },
+        )
     }
 
     /// [`Decoder::decode_batch`] after adopting a shared warm
@@ -317,7 +333,19 @@ pub trait Decoder {
         chunk: &SyndromeChunk,
         scratch: &mut DecodeScratch,
     ) -> PredictionChunk {
-        batch::decode_batch_per_shot(self, chunk, scratch)
+        if !instrument::hook_installed() {
+            return batch::decode_batch_per_shot(self, chunk, scratch);
+        }
+        instrument::timed_batch(
+            instrument::BatchPath::PerShot,
+            chunk.num_shots() as u64,
+            || {
+                let before = scratch.cache_stats();
+                let result = batch::decode_batch_per_shot(self, chunk, scratch);
+                let delta = scratch.cache_stats().since(&before);
+                (result, delta)
+            },
+        )
     }
 
     /// Claims and prefills this decoder's [syndrome memo](memo) inside

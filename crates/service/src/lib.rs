@@ -76,10 +76,15 @@ pub mod net;
 mod program;
 mod service;
 
-pub use loadgen::{FrontierPoint, FrontierReport, LoadgenOptions, LoadgenReport};
+pub use loadgen::{
+    FrontierPoint, FrontierReport, LoadgenOptions, LoadgenReport, StageBreakdown, StageSummary,
+};
 pub use metrics::ServiceMetrics;
 pub use net::{NetClient, NetServer};
 pub use program::DecodeProgram;
+// Re-exported so service hosts can configure and read telemetry without a
+// direct qccd-telemetry dependency.
+pub use qccd_telemetry::{Registry as TelemetryRegistry, RegistrySnapshot, TelemetryConfig};
 pub use service::{
     Correction, DecodeService, ServiceConfig, StreamHandle, StreamReceiver, StreamSender, WordBlock,
 };

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use qccd_decoder::{DecodeScratch, DecoderKind};
 use qccd_sim::{sample_detector_chunks, NoisyCircuit};
+use qccd_telemetry::{snapshot_from_json, RegistrySnapshot};
 use serde_json::Value;
 
 use crate::net::NetClient;
@@ -68,6 +69,100 @@ impl Default for LoadgenOptions {
     }
 }
 
+/// Latency summary of one pipeline stage, read from the unified telemetry
+/// snapshot: exact call/item counters plus quantiles of the (sampled)
+/// duration histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageSummary {
+    /// Stage invocations (exact, unsampled).
+    pub calls: u64,
+    /// Items (frames/shots) the stage processed (exact, unsampled).
+    pub items: u64,
+    /// Invocations that were timed (at sampling period 1 this equals
+    /// `calls`).
+    pub timed: u64,
+    /// Mean duration of the timed invocations (µs).
+    pub mean_us: f64,
+    /// Median duration (µs, linearly interpolated).
+    pub p50_us: f64,
+    /// 99th-percentile duration (µs, linearly interpolated).
+    pub p99_us: f64,
+}
+
+impl StageSummary {
+    fn from_snapshot(snapshot: &RegistrySnapshot, stage: &str) -> Option<StageSummary> {
+        let hist = snapshot.histogram(&format!("{stage}_us"))?;
+        Some(StageSummary {
+            calls: snapshot.counter(&format!("{stage}_calls")),
+            items: snapshot.counter(&format!("{stage}_items")),
+            timed: hist.count,
+            mean_us: hist.mean(),
+            p50_us: hist.quantile(0.50),
+            p99_us: hist.quantile(0.99),
+        })
+    }
+
+    fn to_json(self) -> Value {
+        serde_json::json!({
+            "calls": self.calls,
+            "items": self.items,
+            "timed": self.timed,
+            "mean_us": self.mean_us,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+        })
+    }
+}
+
+/// Per-stage latency breakdown of the service pipeline: how long frames
+/// waited in the batcher, how long decode jobs took, and how long
+/// correction routing took.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageBreakdown {
+    /// Submit→flush wait in the batcher (items = frames).
+    pub batcher_wait: StageSummary,
+    /// Transpose + decode of one job (items = shots).
+    pub decode: StageSummary,
+    /// Correction routing and delivery (items = shots).
+    pub delivery: StageSummary,
+}
+
+impl StageBreakdown {
+    /// Reads the breakdown out of a unified telemetry snapshot (`None`
+    /// when the service ran with telemetry disabled).
+    pub fn from_snapshot(snapshot: &RegistrySnapshot) -> Option<StageBreakdown> {
+        Some(StageBreakdown {
+            batcher_wait: StageSummary::from_snapshot(snapshot, "service.stage.batcher_wait")?,
+            decode: StageSummary::from_snapshot(snapshot, "service.stage.decode")?,
+            delivery: StageSummary::from_snapshot(snapshot, "service.stage.delivery")?,
+        })
+    }
+
+    /// The breakdown as a JSON object.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "batcher_wait": self.batcher_wait.to_json(),
+            "decode": self.decode.to_json(),
+            "delivery": self.delivery.to_json(),
+        })
+    }
+
+    /// One table line per stage.
+    pub fn render_pretty(&self) -> String {
+        let row = |name: &str, s: &StageSummary| {
+            format!(
+                "  {name:<13} {:>9} calls {:>11} items   mean {:>8.1} µs   p50 {:>8.1} µs   p99 {:>8.1} µs\n",
+                s.calls, s.items, s.mean_us, s.p50_us, s.p99_us
+            )
+        };
+        let mut out = String::from("per-stage breakdown (timing sampled):\n");
+        out.push_str(&row("batcher_wait", &self.batcher_wait));
+        out.push_str(&row("decode", &self.decode));
+        out.push_str(&row("delivery", &self.delivery));
+        out
+    }
+}
+
 /// The load generator's result: throughput, latency and the bit-identity
 /// verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +193,9 @@ pub struct LoadgenReport {
     pub p99_latency_us: f64,
     /// The service metrics snapshot at the end of the run.
     pub metrics: ServiceMetrics,
+    /// Per-stage latency breakdown (batcher wait / decode / delivery) from
+    /// the service's unified telemetry; `None` when telemetry is disabled.
+    pub stages: Option<StageBreakdown>,
 }
 
 impl LoadgenReport {
@@ -121,6 +219,10 @@ impl LoadgenReport {
             "p50_latency_us": self.p50_latency_us,
             "p99_latency_us": self.p99_latency_us,
             "metrics": self.metrics.to_json(),
+            "stages": match &self.stages {
+                Some(stages) => stages.to_json(),
+                None => Value::Null,
+            },
         })
     }
 
@@ -150,6 +252,9 @@ impl LoadgenReport {
             self.metrics.close_flushes,
             self.metrics.words_flushed,
         ));
+        if let Some(stages) = &self.stages {
+            out.push_str(&stages.render_pretty());
+        }
         out.push_str(&if self.mismatches == 0 {
             "corrections bit-identical to offline decode_batch: OK".to_string()
         } else {
@@ -516,6 +621,7 @@ pub fn run_in_process(
     }
 
     let metrics = service.metrics();
+    let stages = StageBreakdown::from_snapshot(&service.telemetry_snapshot());
     let offline_shots_per_sec = offline
         .as_ref()
         .map(|(_, seconds)| shots as f64 / seconds.max(1e-9));
@@ -532,6 +638,7 @@ pub fn run_in_process(
         p50_latency_us: metrics.p50_latency_us,
         p99_latency_us: metrics.p99_latency_us,
         metrics,
+        stages,
     })
 }
 
@@ -796,7 +903,13 @@ pub fn run_over_tcp(
     let p99_latency_us = percentile_us(&mut latencies_us, 99.0);
 
     let mut tail = NetClient::connect(addr).map_err(|e| e.to_string())?;
-    let metrics = metrics_from_json(&tail.metrics()?);
+    let full = tail.metrics_full()?;
+    let metrics = metrics_from_json(full.get("metrics").unwrap_or(&Value::Null));
+    let stages = full
+        .get("telemetry")
+        .map(snapshot_from_json)
+        .as_ref()
+        .and_then(StageBreakdown::from_snapshot);
     if shutdown_after {
         tail.shutdown_server()?;
     }
@@ -817,6 +930,7 @@ pub fn run_over_tcp(
         p50_latency_us,
         p99_latency_us,
         metrics,
+        stages,
     })
 }
 

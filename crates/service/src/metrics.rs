@@ -1,10 +1,19 @@
 //! Live service metrics: counters, gauges and a log-bucketed latency
 //! histogram cheap enough to update on every frame.
+//!
+//! The legacy [`ServiceMetrics`] snapshot (stable JSON keys, served by the
+//! TCP front-end since the first service release) is kept as-is; every
+//! counter it reports is *also* mirrored into a shared
+//! [`qccd_telemetry::Registry`] under `service.*` names, alongside the
+//! per-stage spans (`service.stage.batcher_wait` / `decode` / `delivery`)
+//! that have no legacy equivalent. The registry is the unified snapshot the
+//! `metrics` command exports as JSON and Prometheus-style text.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use qccd_decoder::CacheStats;
+use qccd_telemetry::{quantile_from_counts, Counter, Gauge, Registry, Stage};
 use serde_json::Value;
 
 /// Number of exponential latency buckets (bucket `i` covers
@@ -13,8 +22,9 @@ use serde_json::Value;
 const LATENCY_BUCKETS: usize = 32;
 
 /// A fixed, lock-free latency histogram with power-of-two microsecond
-/// buckets. Quantiles are read from the bucket boundaries (geometric
-/// midpoint), which is plenty for p50/p99 monitoring.
+/// buckets. Quantiles are estimated with the shared
+/// [`qccd_telemetry::quantile_from_counts`] estimator: linear
+/// interpolation of the quantile sample's rank within its covering bucket.
 #[derive(Debug, Default)]
 pub(crate) struct LatencyHistogram {
     buckets: [AtomicU64; LATENCY_BUCKETS],
@@ -35,29 +45,80 @@ impl LatencyHistogram {
         self.buckets[bucket].fetch_add(n, Ordering::Relaxed);
     }
 
-    /// The `q`-quantile (0 < q ≤ 1) in microseconds, estimated at the
-    /// geometric midpoint of the bucket holding the quantile sample; 0 when
-    /// nothing was recorded.
+    /// The `q`-quantile (0 < q ≤ 1) in microseconds, linearly interpolated
+    /// within the bucket holding the quantile sample (bucket `i` covers
+    /// `[2^i, 2^(i+1))` µs); 0 when nothing was recorded.
     pub(crate) fn quantile_us(&self, q: f64) -> f64 {
         let counts: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
+        quantile_from_counts(&counts, q)
+    }
+}
+
+/// Which legacy flush counter a batcher flush books under (the service's
+/// `FlushCause` folds shutdown into deadline before calling in).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FlushStat {
+    /// The batch reached its word bound.
+    FullWord,
+    /// The latency deadline (or the shutdown drain) forced the flush.
+    Deadline,
+    /// The last contributing stream closed.
+    Close,
+}
+
+/// The unified-registry mirrors of the legacy counters, plus the per-stage
+/// span handles. All handles are inert when the service's telemetry is
+/// disabled, so every mirror call degenerates to one branch.
+#[derive(Debug)]
+pub(crate) struct UnifiedMetrics {
+    frames_submitted: Counter,
+    frames_completed: Counter,
+    queue_depth: Gauge,
+    words_flushed: Counter,
+    full_word_flushes: Counter,
+    deadline_flushes: Counter,
+    close_flushes: Counter,
+    dense_hits: Counter,
+    dense_misses: Counter,
+    dense_evictions: Counter,
+    cluster_lanes: Counter,
+    cluster_components: Counter,
+    cluster_conflicts: Counter,
+    latency_us: qccd_telemetry::Histogram,
+    /// Submit→flush wait of each frame run, booked by the batcher at flush
+    /// time from the run's own submit instant.
+    pub(crate) batcher_wait: Stage,
+    /// Transpose + decode of one job, timed around the decoder call.
+    pub(crate) decode: Stage,
+    /// Correction routing (reorder heaps, channel sends, backpressure).
+    pub(crate) delivery: Stage,
+}
+
+impl UnifiedMetrics {
+    fn new(registry: &Registry) -> Self {
+        UnifiedMetrics {
+            frames_submitted: registry.counter("service.frames_submitted"),
+            frames_completed: registry.counter("service.frames_completed"),
+            queue_depth: registry.gauge("service.queue_depth"),
+            words_flushed: registry.counter("service.words_flushed"),
+            full_word_flushes: registry.counter("service.flushes.full_word"),
+            deadline_flushes: registry.counter("service.flushes.deadline"),
+            close_flushes: registry.counter("service.flushes.close"),
+            dense_hits: registry.counter("service.dense_hits"),
+            dense_misses: registry.counter("service.dense_misses"),
+            dense_evictions: registry.counter("service.dense_evictions"),
+            cluster_lanes: registry.counter("service.cluster_lanes"),
+            cluster_components: registry.counter("service.cluster_components"),
+            cluster_conflicts: registry.counter("service.cluster_conflicts"),
+            latency_us: registry.histogram("service.latency_us"),
+            batcher_wait: registry.stage("service.stage.batcher_wait"),
+            decode: registry.stage("service.stage.decode"),
+            delivery: registry.stage("service.stage.delivery"),
         }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &count) in counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                // Bucket i covers [2^i, 2^(i+1)) µs.
-                return (1u64 << i) as f64 * std::f64::consts::SQRT_2;
-            }
-        }
-        unreachable!("rank is clamped to the total count")
     }
 }
 
@@ -65,15 +126,15 @@ impl LatencyHistogram {
 #[derive(Debug)]
 pub(crate) struct MetricsInner {
     started: Instant,
-    pub(crate) submitted: AtomicU64,
-    pub(crate) completed: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
     /// Frames currently in flight across every stream (the live queue
     /// depth).
-    pub(crate) queue_depth: AtomicU64,
-    pub(crate) words_flushed: AtomicU64,
-    pub(crate) full_word_flushes: AtomicU64,
-    pub(crate) deadline_flushes: AtomicU64,
-    pub(crate) close_flushes: AtomicU64,
+    queue_depth: AtomicU64,
+    words_flushed: AtomicU64,
+    full_word_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    close_flushes: AtomicU64,
     /// Dense-tier counters aggregated from every worker's per-batch
     /// `CacheStats` delta (see [`MetricsInner::note_decode_cache`]).
     dense_hits: AtomicU64,
@@ -88,10 +149,12 @@ pub(crate) struct MetricsInner {
     first_submit_ns: AtomicU64,
     last_complete_ns: AtomicU64,
     pub(crate) latency: LatencyHistogram,
+    /// Unified-registry mirrors and stage handles (inert when disabled).
+    pub(crate) unified: UnifiedMetrics,
 }
 
 impl MetricsInner {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(registry: &Registry) -> Self {
         MetricsInner {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -110,6 +173,7 @@ impl MetricsInner {
             first_submit_ns: AtomicU64::new(0),
             last_complete_ns: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
+            unified: UnifiedMetrics::new(registry),
         }
     }
 
@@ -125,6 +189,8 @@ impl MetricsInner {
     pub(crate) fn note_submitted_many(&self, n: u64) {
         self.submitted.fetch_add(n, Ordering::Relaxed);
         self.queue_depth.fetch_add(n, Ordering::Relaxed);
+        self.unified.frames_submitted.add(n);
+        self.unified.queue_depth.add(n as i64);
         let now = self.now_ns();
         let _ = self
             .first_submit_ns
@@ -143,8 +209,27 @@ impl MetricsInner {
         self.completed.fetch_add(n, Ordering::Relaxed);
         self.queue_depth.fetch_sub(n, Ordering::Relaxed);
         self.latency.record_n(latency, n);
+        self.unified.frames_completed.add(n);
+        self.unified.queue_depth.add(-(n as i64));
+        self.unified
+            .latency_us
+            .record_n(latency.as_micros().max(1) as u64, n);
         self.last_complete_ns
             .store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// Books one batcher flush: `words` 64-shot words left for the decode
+    /// queue under `cause` (legacy counters and unified mirrors together).
+    pub(crate) fn note_flush(&self, words: u64, cause: FlushStat) {
+        self.words_flushed.fetch_add(words, Ordering::Relaxed);
+        self.unified.words_flushed.add(words);
+        let (legacy, mirror) = match cause {
+            FlushStat::FullWord => (&self.full_word_flushes, &self.unified.full_word_flushes),
+            FlushStat::Deadline => (&self.deadline_flushes, &self.unified.deadline_flushes),
+            FlushStat::Close => (&self.close_flushes, &self.unified.close_flushes),
+        };
+        legacy.fetch_add(1, Ordering::Relaxed);
+        mirror.inc();
     }
 
     /// Folds one decode batch's `CacheStats` delta (the scratch's counters
@@ -162,6 +247,14 @@ impl MetricsInner {
             .fetch_add(delta.cluster_components, Ordering::Relaxed);
         self.cluster_conflicts
             .fetch_add(delta.cluster_conflicts, Ordering::Relaxed);
+        self.unified.dense_hits.add(delta.dense_hits);
+        self.unified.dense_misses.add(delta.dense_misses);
+        self.unified.dense_evictions.add(delta.dense_evictions);
+        self.unified.cluster_lanes.add(delta.cluster_lanes);
+        self.unified
+            .cluster_components
+            .add(delta.cluster_components);
+        self.unified.cluster_conflicts.add(delta.cluster_conflicts);
     }
 
     pub(crate) fn snapshot(&self, streams_open: usize) -> ServiceMetrics {
@@ -289,8 +382,41 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_interpolate_linearly_not_at_bucket_edges() {
+        // 100 identical 10 µs samples fill bucket [8, 16). The p50 sample
+        // is the 50th of 100, so linear interpolation puts it half way into
+        // the bucket — 12 exactly, not the edge (8/16) and not the old
+        // geometric midpoint (8·√2 ≈ 11.31).
+        let h = LatencyHistogram::default();
+        h.record_n(Duration::from_micros(10), 100);
+        assert_eq!(h.quantile_us(0.50), 12.0);
+        assert_eq!(h.quantile_us(1.0), 16.0);
+
+        // 99 fast + 1 slow: p50 = 8 + 8·(50/99), p99 is the last fast
+        // sample (the bucket's upper edge), p100 the slow bucket's.
+        let h = LatencyHistogram::default();
+        h.record_n(Duration::from_micros(10), 99);
+        h.record(Duration::from_millis(100)); // 100_000 µs → [65536, 131072)
+        let p50 = h.quantile_us(0.50);
+        assert!((p50 - (8.0 + 8.0 * 50.0 / 99.0)).abs() < 1e-9, "{p50}");
+        assert_eq!(h.quantile_us(0.99), 16.0);
+        assert_eq!(h.quantile_us(1.0), 131072.0);
+
+        // Uniform 25/25/25/25 over four buckets: each quartile boundary
+        // lands exactly on its bucket's upper edge.
+        let h = LatencyHistogram::default();
+        for v in [2u64, 4, 8, 16] {
+            h.record_n(Duration::from_micros(v), 25);
+        }
+        assert_eq!(h.quantile_us(0.25), 4.0);
+        assert_eq!(h.quantile_us(0.50), 8.0);
+        assert_eq!(h.quantile_us(0.75), 16.0);
+        assert_eq!(h.quantile_us(1.00), 32.0);
+    }
+
+    #[test]
     fn snapshot_reflects_counters() {
-        let m = MetricsInner::new();
+        let m = MetricsInner::new(&Registry::disabled());
         m.note_submitted();
         m.note_submitted();
         m.note_completed(Duration::from_micros(100));
@@ -305,5 +431,31 @@ mod tests {
             json.get("frames_submitted").and_then(|v| v.as_u64()),
             Some(2)
         );
+    }
+
+    #[test]
+    fn unified_registry_mirrors_the_legacy_counters() {
+        let registry = Registry::enabled();
+        let m = MetricsInner::new(&registry);
+        m.note_submitted_many(10);
+        m.note_completed_many(Duration::from_micros(100), 4);
+        m.note_flush(2, FlushStat::FullWord);
+        m.note_flush(1, FlushStat::Deadline);
+        m.note_flush(1, FlushStat::Close);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("service.frames_submitted"), 10);
+        assert_eq!(snap.counter("service.frames_completed"), 4);
+        assert_eq!(snap.gauges.get("service.queue_depth"), Some(&6));
+        assert_eq!(snap.counter("service.words_flushed"), 4);
+        assert_eq!(snap.counter("service.flushes.full_word"), 1);
+        assert_eq!(snap.counter("service.flushes.deadline"), 1);
+        assert_eq!(snap.counter("service.flushes.close"), 1);
+        let latency = snap.histogram("service.latency_us").expect("registered");
+        assert_eq!(latency.count, 4);
+        // The legacy snapshot reports the same story from its own atomics.
+        let legacy = m.snapshot(0);
+        assert_eq!(legacy.frames_submitted, 10);
+        assert_eq!(legacy.words_flushed, 4);
+        assert_eq!(legacy.full_word_flushes, 1);
     }
 }

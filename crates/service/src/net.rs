@@ -14,9 +14,16 @@
 //! {"cmd":"frames_packed","stream":0,"blocks":[{"count":64,"planes":[3,0]}]}
 //! {"cmd":"close","stream":0}
 //! {"cmd":"metrics"}
+//! {"cmd":"metrics","format":"text"}
 //! {"cmd":"ping"}
 //! {"cmd":"shutdown"}
 //! ```
+//!
+//! `metrics` answers with the legacy counter object under `"metrics"`
+//! **and** the unified telemetry snapshot (stage spans, histograms) under
+//! `"telemetry"`; with `"format":"text"` it instead answers
+//! `{"ok":true,"text":...}` carrying a Prometheus-style exposition of the
+//! same snapshot.
 //!
 //! Every command except `frame`/`frames` is answered synchronously with an
 //! `{"ok":...}` object (in request order). Frames are answered
@@ -331,8 +338,18 @@ fn dispatch(
     match cmd {
         "ping" => write_line(writer, &serde_json::json!({"ok": true}))?,
         "metrics" => {
-            let metrics = service.metrics().to_json();
-            write_line(writer, &serde_json::json!({"ok": true, "metrics": metrics}))?;
+            let snapshot = service.telemetry_snapshot();
+            if request.get("format").and_then(Value::as_str) == Some("text") {
+                let text = qccd_telemetry::snapshot_to_text(&snapshot, "qccd");
+                write_line(writer, &serde_json::json!({"ok": true, "text": text}))?;
+            } else {
+                let metrics = service.metrics().to_json();
+                let telemetry = qccd_telemetry::snapshot_to_json(&snapshot);
+                write_line(
+                    writer,
+                    &serde_json::json!({"ok": true, "metrics": metrics, "telemetry": telemetry}),
+                )?;
+            }
         }
         "shutdown" => {
             shutdown.store(true, Ordering::SeqCst);
@@ -818,6 +835,34 @@ impl NetClient {
         let response = self.request(&serde_json::json!({"cmd": "metrics"}))?;
         expect_ok(&response)?;
         Ok(response.get("metrics").cloned().unwrap_or(Value::Null))
+    }
+
+    /// Fetches the full `metrics` response — the legacy counter object
+    /// under `"metrics"` plus the unified telemetry snapshot under
+    /// `"telemetry"`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-ok response.
+    pub fn metrics_full(&mut self) -> Result<Value, String> {
+        let response = self.request(&serde_json::json!({"cmd": "metrics"}))?;
+        expect_ok(&response)?;
+        Ok(response)
+    }
+
+    /// Fetches the server's metrics as Prometheus-style exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-ok response.
+    pub fn metrics_text(&mut self) -> Result<String, String> {
+        let response = self.request(&serde_json::json!({"cmd": "metrics", "format": "text"}))?;
+        expect_ok(&response)?;
+        response
+            .get("text")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "metrics response lacks a `text` field".to_string())
     }
 
     /// Asks the server to shut down after this connection.

@@ -22,8 +22,9 @@ use std::time::{Duration, Instant};
 use qccd_core::ArchitectureConfig;
 use qccd_decoder::{DecodeScratch, DecoderKind, MemoConfig};
 use qccd_sim::{NoisyCircuit, SyndromeChunkBuilder};
+use qccd_telemetry::{Registry, RegistrySnapshot, TelemetryConfig};
 
-use crate::metrics::{MetricsInner, ServiceMetrics};
+use crate::metrics::{FlushStat, MetricsInner, ServiceMetrics};
 use crate::{DecodeProgram, ServiceError};
 
 /// Tuning knobs of the decode service.
@@ -46,6 +47,11 @@ pub struct ServiceConfig {
     /// Memo configuration programs are warmed with and worker scratches
     /// decode under (defect/entry caps plus the dense-tier LRU knobs).
     pub memo: MemoConfig,
+    /// Telemetry configuration of the service's unified metrics registry
+    /// (per-stage spans, mirrors of the legacy counters). Disabling it
+    /// reduces every instrumentation site to a single branch; the legacy
+    /// [`ServiceMetrics`] snapshot keeps working either way.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +62,7 @@ impl Default for ServiceConfig {
             max_batch_words: 1,
             stream_queue_shots: 4096,
             memo: MemoConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -89,6 +96,13 @@ impl ServiceConfig {
     /// knobs) applied to programs compiled by this service.
     pub fn with_memo(mut self, memo: MemoConfig) -> Self {
         self.memo = memo;
+        self
+    }
+
+    /// Overrides the telemetry configuration (master switch and span
+    /// sampling period).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -426,6 +440,8 @@ struct Shared {
     next_stream: AtomicU64,
     shutdown: AtomicBool,
     metrics: MetricsInner,
+    /// The unified telemetry registry (a no-op registry when disabled).
+    telemetry: Registry,
     config: ServiceConfig,
 }
 
@@ -455,16 +471,26 @@ impl Shared {
             }
             return;
         }
-        self.metrics.words_flushed.fetch_add(
+        self.metrics.note_flush(
             (batch.parts.builder.pending_frames() as u64).div_ceil(64),
-            Ordering::Relaxed,
+            match cause {
+                FlushCause::FullWord => FlushStat::FullWord,
+                FlushCause::Deadline | FlushCause::Shutdown => FlushStat::Deadline,
+                FlushCause::Close => FlushStat::Close,
+            },
         );
-        let counter = match cause {
-            FlushCause::FullWord => &self.metrics.full_word_flushes,
-            FlushCause::Deadline | FlushCause::Shutdown => &self.metrics.deadline_flushes,
-            FlushCause::Close => &self.metrics.close_flushes,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+        // Each run's submit→flush wait, from its own submit instant (the
+        // enabled check keeps the disabled-telemetry flush O(1)).
+        let batcher_wait = &self.metrics.unified.batcher_wait;
+        if batcher_wait.is_enabled() {
+            let now = Instant::now();
+            for run in &batch.parts.runs {
+                batcher_wait.record_duration(
+                    now.saturating_duration_since(run.submitted),
+                    u64::from(run.count),
+                );
+            }
+        }
         let mut jobs = self.queue.jobs.lock().expect("job queue lock");
         jobs.push_back(DecodeJob {
             shard: Arc::clone(shard),
@@ -525,6 +551,7 @@ fn route_corrections(
     mut parts: BatchParts,
     flips_per_lane: &[u64],
 ) {
+    let span = shared.metrics.unified.delivery.start();
     let now = Instant::now();
     let mut offset = 0usize;
     let mut finished: Vec<u64> = Vec::new();
@@ -565,6 +592,7 @@ fn route_corrections(
             finished.push(stream.id);
         }
     }
+    span.finish(flips_per_lane.len() as u64);
     // Recycle the job's allocations for the shard's next batch.
     parts.runs.clear();
     {
@@ -592,7 +620,9 @@ fn decode_job(
     let DecodeJob { shard, mut parts } = job;
     let program = Arc::clone(&shard.program);
     // Transpose the packed frames into bit planes and decode — both
-    // outside every service lock.
+    // outside every service lock. The stage span times around the decode;
+    // it never touches the data, so corrections stay bit-identical.
+    let span = shared.metrics.unified.decode.start();
     let chunk = parts.builder.finish(0, 0);
     let scratch = scratches
         .entry(program.id())
@@ -602,6 +632,7 @@ fn decode_job(
         program
             .decoder()
             .decode_batch_with_snapshot(&chunk, scratch, program.snapshot());
+    span.finish(chunk.num_shots() as u64);
     shared
         .metrics
         .note_decode_cache(&scratch.cache_stats().since(&before));
@@ -726,6 +757,7 @@ impl DecodeService {
     /// Starts a service with `config.workers` decode workers plus one
     /// deadline-flusher thread.
     pub fn new(config: ServiceConfig) -> Self {
+        let telemetry = Registry::new(config.telemetry);
         let shared = Arc::new(Shared {
             programs: Mutex::new(HashMap::new()),
             shards: Mutex::new(HashMap::new()),
@@ -734,7 +766,8 @@ impl DecodeService {
             flusher: Flusher::default(),
             next_stream: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            metrics: MetricsInner::new(),
+            metrics: MetricsInner::new(&telemetry),
+            telemetry,
             config,
         });
         let workers = (0..config.workers.max(1))
@@ -908,6 +941,21 @@ impl DecodeService {
                 current: None,
             },
         })
+    }
+
+    /// The service's unified telemetry registry: per-stage spans
+    /// (`service.stage.batcher_wait` / `decode` / `delivery`), mirrors of
+    /// every legacy counter, and anything a host registers alongside.
+    /// Cloning is cheap; clones observe the same metrics. A no-op registry
+    /// when the service was configured with telemetry disabled.
+    pub fn telemetry(&self) -> Registry {
+        self.shared.telemetry.clone()
+    }
+
+    /// A deterministic point-in-time snapshot of the unified telemetry
+    /// registry (empty when telemetry is disabled).
+    pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
+        self.shared.telemetry.snapshot()
     }
 
     /// A live snapshot of the service metrics.

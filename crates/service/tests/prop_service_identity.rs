@@ -13,7 +13,9 @@ use proptest::prelude::*;
 
 use qccd_circuit::{Detector, Instruction, LogicalObservable, MeasurementRef, QubitId};
 use qccd_decoder::{DecodeScratch, DecoderKind, DecodingGraph};
-use qccd_service::{loadgen, DecodeProgram, DecodeService, LoadgenOptions, ServiceConfig};
+use qccd_service::{
+    loadgen, DecodeProgram, DecodeService, LoadgenOptions, ServiceConfig, TelemetryConfig,
+};
 use qccd_sim::{NoiseChannel, NoisyCircuit, SyndromeChunkBuilder};
 
 /// A three-qubit parity-check circuit with bit-flip noise (two detectors,
@@ -137,6 +139,59 @@ fn builder_chunks_decode_identically_to_sampled_chunks() {
             "shot {shot}"
         );
     }
+}
+
+/// Telemetry at full sampling (every span timed, every counter mirrored)
+/// must stay an observer: corrections remain bit-identical to the offline
+/// decode, and the run leaves non-zero per-stage telemetry behind.
+#[test]
+fn full_sampling_telemetry_preserves_bit_identity() {
+    let circuit = noisy_parity_circuit(0.12);
+    let service = DecodeService::new(
+        ServiceConfig::default()
+            .with_workers(3)
+            .with_flush_deadline(Duration::from_micros(150))
+            .with_telemetry(TelemetryConfig::full_sampling()),
+    );
+    let options = LoadgenOptions {
+        streams: 4,
+        shots: 900,
+        seed: 7,
+        verify: true,
+        ..LoadgenOptions::default()
+    };
+    let report = loadgen::run_in_process(
+        &service,
+        "telemetry",
+        &circuit,
+        DecoderKind::UnionFind,
+        &options,
+    )
+    .unwrap();
+    assert_eq!(report.mismatches, 0, "telemetry must not perturb decoding");
+    assert_eq!(report.shots, 900);
+
+    let snapshot = service.telemetry_snapshot();
+    assert_eq!(snapshot.counter("service.frames_submitted"), 900);
+    assert_eq!(snapshot.counter("service.frames_completed"), 900);
+    for stage in [
+        "service.stage.batcher_wait",
+        "service.stage.decode",
+        "service.stage.delivery",
+    ] {
+        let calls = snapshot.counter(&format!("{stage}_calls"));
+        assert!(calls > 0, "{stage} recorded no calls");
+        let hist = snapshot
+            .histogram(&format!("{stage}_us"))
+            .unwrap_or_else(|| panic!("{stage} has no duration histogram"));
+        // Full sampling times every span (batcher_wait records one event
+        // per run of frames, so `calls` can exceed `count` only under
+        // sampling — never here).
+        assert_eq!(hist.count, calls, "{stage} sampled under full sampling");
+    }
+    let stages = report.stages.expect("report carries the stage breakdown");
+    assert!(stages.decode.timed > 0);
+    service.shutdown();
 }
 
 /// Paced replay: the loadgen's rate limiter holds aggregate throughput near

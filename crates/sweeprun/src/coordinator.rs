@@ -21,7 +21,8 @@
 //! | `{"cmd":"complete","worker_id":W,"index":I,"payload":P}` | `{"ok":true,"duplicate":B}` |
 //! | `{"cmd":"fail","worker_id":W,"index":I,"error":E}` | `{"ok":true,"disposition":"retry"\|"exhausted"\|"stale"}` |
 //! | `{"cmd":"heartbeat","worker_id":W}` | `{"ok":true}` |
-//! | `{"cmd":"status"}` | the same snapshot as `status.json` |
+//! | `{"cmd":"status"}` | the same snapshot as `status.json` (incl. a `telemetry` object) |
+//! | `{"cmd":"status","format":"text"}` | `{"ok":true,"text":<Prometheus-style exposition>}` |
 //!
 //! Any error is `{"error":"..."}`. Heartbeats may arrive on a second
 //! connection so long evaluations don't starve the liveness signal.
@@ -31,6 +32,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use qccd_telemetry::{
+    snapshot_to_json, snapshot_to_text, Counter, Registry, Stage, TelemetryConfig,
+};
 use serde_json::Value;
 
 use crate::job::{JobDescriptor, PointJob};
@@ -60,6 +64,9 @@ pub struct CoordinatorConfig {
     pub progress_interval: Duration,
     /// Suppress the live progress line on stderr.
     pub quiet: bool,
+    /// Telemetry registry configuration for this run (stage timings, point
+    /// counters; exposed through `status.json` and the `status` command).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for CoordinatorConfig {
@@ -70,6 +77,7 @@ impl Default for CoordinatorConfig {
             scheduler: SchedulerConfig::default(),
             progress_interval: Duration::from_secs(2),
             quiet: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -108,18 +116,20 @@ pub fn snapshot_json(
         0.0
     };
     let workers: Vec<Value> = progress
-        .per_worker
+        .workers
         .iter()
-        .map(|&(worker, completed)| {
+        .map(|view| {
             let worker_rate = if elapsed_secs > 0.0 {
-                completed as f64 / elapsed_secs
+                view.completed as f64 / elapsed_secs
             } else {
                 0.0
             };
             serde_json::json!({
-                "id": worker,
-                "completed": completed,
+                "id": view.worker,
+                "completed": view.completed,
                 "points_per_sec": worker_rate,
+                "ewma_points_per_sec": view.ewma_points_per_sec,
+                "since_heartbeat_secs": view.since_last_seen_secs,
             })
         })
         .collect();
@@ -135,6 +145,7 @@ pub fn snapshot_json(
         "duplicates": progress.counters.duplicates,
         "computed_this_run": computed as u64,
         "elapsed_secs": elapsed_secs,
+        "uptime_secs": elapsed_secs,
         "points_per_sec": rate,
         "eta_secs": eta_secs,
         "workers": Value::from(workers),
@@ -152,8 +163,12 @@ pub fn render_progress_line(snapshot: &Value) -> String {
         .get("eta_secs")
         .and_then(Value::as_f64)
         .unwrap_or(0.0);
+    let uptime = snapshot
+        .get("uptime_secs")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
     format!(
-        "sweep: {}/{} done, {} leased, {} pending, {} failed | {:.2} pts/s, ETA {:.0}s | requeues {}, retries {}, duplicates {}",
+        "sweep: {}/{} done, {} leased, {} pending, {} failed | {:.2} pts/s, ETA {:.0}s, up {:.0}s | requeues {}, retries {}, duplicates {}",
         get("done"),
         get("total"),
         get("leased"),
@@ -161,10 +176,39 @@ pub fn render_progress_line(snapshot: &Value) -> String {
         get("failed"),
         rate,
         eta,
+        uptime,
         get("requeues"),
         get("retries"),
         get("duplicates"),
     )
+}
+
+/// Per-worker rendering of a snapshot's `workers` array — one line per
+/// worker with completions, EWMA throughput and heartbeat age. Empty when
+/// the snapshot carries no worker rows (e.g. a pre-telemetry `status.json`).
+pub fn render_worker_lines(snapshot: &Value) -> Vec<String> {
+    let Some(workers) = snapshot.get("workers").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    workers
+        .iter()
+        .map(|worker| {
+            let read_u64 = |key: &str| worker.get(key).and_then(Value::as_u64).unwrap_or(0);
+            let id = read_u64("id");
+            let completed = read_u64("completed");
+            let ewma = worker
+                .get("ewma_points_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            match worker.get("since_heartbeat_secs").and_then(Value::as_f64) {
+                Some(age) => format!(
+                    "  worker {id}: {completed} done, {ewma:.2} pts/s (ewma), \
+                     heartbeat {age:.1}s ago"
+                ),
+                None => format!("  worker {id}: {completed} done"),
+            }
+        })
+        .collect()
 }
 
 /// Everything a connection handler or local worker needs, borrowed for the
@@ -178,10 +222,65 @@ struct RunContext<'a> {
     /// Points already on disk when the run started (resume credit).
     resumed: usize,
     start: Instant,
+    /// Unified telemetry for this run: stage timings plus point counters,
+    /// exposed through `status.json` and the `status` command.
+    telemetry: Registry,
+    stage_lease: Stage,
+    stage_eval: Stage,
+    stage_persist: Stage,
+    points_completed: Counter,
+    eval_failures: Counter,
 }
 
-impl RunContext<'_> {
+impl<'a> RunContext<'a> {
+    fn new(
+        job: &'a dyn PointJob,
+        store: &'a PointStore,
+        scheduler: Scheduler,
+        lease_timeout_ms: u64,
+        resumed: usize,
+        start: Instant,
+        telemetry: Registry,
+    ) -> Self {
+        RunContext {
+            job,
+            store,
+            scheduler: Mutex::new(scheduler),
+            shutdown: AtomicBool::new(false),
+            lease_timeout_ms,
+            resumed,
+            start,
+            stage_lease: telemetry.stage("sweep.stage.lease"),
+            stage_eval: telemetry.stage("sweep.stage.eval"),
+            stage_persist: telemetry.stage("sweep.stage.persist"),
+            points_completed: telemetry.counter("sweep.points_completed"),
+            eval_failures: telemetry.counter("sweep.eval_failures"),
+            telemetry,
+        }
+    }
+
+    /// Mirrors the progress split into registry gauges so the unified
+    /// snapshot (JSON and text exposition) carries it.
+    fn update_progress_gauges(&self, progress: &Progress) {
+        self.telemetry
+            .gauge("sweep.points_done")
+            .set(progress.done as i64);
+        self.telemetry
+            .gauge("sweep.points_leased")
+            .set(progress.leased as i64);
+        self.telemetry
+            .gauge("sweep.points_pending")
+            .set(progress.pending as i64);
+        self.telemetry
+            .gauge("sweep.points_failed")
+            .set(progress.failed as i64);
+        self.telemetry
+            .gauge("sweep.workers")
+            .set(progress.workers.len() as i64);
+    }
+
     fn record_eval_failure(&self, worker: u64, index: usize, error: &str) {
+        self.eval_failures.inc();
         let (reply, attempts) = {
             let mut scheduler = self.scheduler.lock().unwrap();
             let reply = scheduler.fail(index, worker, Instant::now());
@@ -196,26 +295,41 @@ impl RunContext<'_> {
 
     /// A local in-process worker: lease → eval → persist → complete.
     fn local_worker(&self) {
-        let worker = self.scheduler.lock().unwrap().register_worker();
+        let worker = self
+            .scheduler
+            .lock()
+            .unwrap()
+            .register_worker(Instant::now());
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
                 return;
             }
+            let span = self.stage_lease.start();
             let reply = self.scheduler.lock().unwrap().lease(worker, Instant::now());
+            span.finish(1);
             match reply {
                 LeaseReply::Point(index) => {
                     let seed = self.store.seed(index);
-                    match self.job.eval(index, seed) {
-                        Ok(payload) => match self.store.store_point(index, &payload) {
-                            Ok(()) => {
-                                self.scheduler.lock().unwrap().complete(
-                                    index,
-                                    worker,
-                                    Instant::now(),
-                                );
+                    let span = self.stage_eval.start();
+                    let evaluated = self.job.eval(index, seed);
+                    span.finish(1);
+                    match evaluated {
+                        Ok(payload) => {
+                            let span = self.stage_persist.start();
+                            let stored = self.store.store_point(index, &payload);
+                            span.finish(1);
+                            match stored {
+                                Ok(()) => {
+                                    self.scheduler.lock().unwrap().complete(
+                                        index,
+                                        worker,
+                                        Instant::now(),
+                                    );
+                                    self.points_completed.inc();
+                                }
+                                Err(e) => self.record_eval_failure(worker, index, &e),
                             }
-                            Err(e) => self.record_eval_failure(worker, index, &e),
-                        },
+                        }
                         Err(error) => self.record_eval_failure(worker, index, &error),
                     }
                 }
@@ -279,7 +393,11 @@ impl RunContext<'_> {
                 if request.get("proto").and_then(Value::as_u64) != Some(PROTOCOL_VERSION) {
                     return err(format!("unsupported protocol; want {PROTOCOL_VERSION}"));
                 }
-                let worker = self.scheduler.lock().unwrap().register_worker();
+                let worker = self
+                    .scheduler
+                    .lock()
+                    .unwrap()
+                    .register_worker(Instant::now());
                 serde_json::json!({
                     "ok": true,
                     "worker_id": worker,
@@ -292,7 +410,10 @@ impl RunContext<'_> {
                     Ok(worker) => worker,
                     Err(response) => return response,
                 };
-                match self.scheduler.lock().unwrap().lease(worker, Instant::now()) {
+                let span = self.stage_lease.start();
+                let reply = self.scheduler.lock().unwrap().lease(worker, Instant::now());
+                span.finish(1);
+                match reply {
                     LeaseReply::Point(index) => serde_json::json!({
                         "point": {
                             "index": index as u64,
@@ -317,7 +438,10 @@ impl RunContext<'_> {
                 };
                 // Persist before acknowledging; a redundant write of a
                 // duplicate is byte-identical and therefore harmless.
-                if let Err(e) = self.store.store_point(index, payload) {
+                let span = self.stage_persist.start();
+                let stored = self.store.store_point(index, payload);
+                span.finish(1);
+                if let Err(e) = stored {
                     return err(e);
                 }
                 let reply = self
@@ -325,6 +449,9 @@ impl RunContext<'_> {
                     .lock()
                     .unwrap()
                     .complete(index, worker, Instant::now());
+                if reply == CompleteReply::Accepted {
+                    self.points_completed.inc();
+                }
                 serde_json::json!({
                     "ok": true,
                     "duplicate": reply == CompleteReply::Duplicate,
@@ -343,6 +470,7 @@ impl RunContext<'_> {
                     .get("error")
                     .and_then(Value::as_str)
                     .unwrap_or("unspecified worker error");
+                self.eval_failures.inc();
                 let (reply, attempts) = {
                     let mut scheduler = self.scheduler.lock().unwrap();
                     let reply = scheduler.fail(index, worker, Instant::now());
@@ -374,12 +502,21 @@ impl RunContext<'_> {
             "status" => {
                 let progress = self.scheduler.lock().unwrap().progress(Instant::now());
                 let computed = progress.done.saturating_sub(self.resumed);
-                snapshot_json(
+                self.update_progress_gauges(&progress);
+                if request.get("format").and_then(Value::as_str) == Some("text") {
+                    // Prometheus-style text exposition of the unified
+                    // registry, mirroring the service's `metrics` command.
+                    let text = snapshot_to_text(&self.telemetry.snapshot(), "qccd_sweep");
+                    return serde_json::json!({ "ok": true, "text": text });
+                }
+                let mut snapshot = snapshot_json(
                     &self.job.descriptor(),
                     &progress,
                     computed,
                     self.start.elapsed().as_secs_f64(),
-                )
+                );
+                snapshot["telemetry"] = snapshot_to_json(&self.telemetry.snapshot());
+                snapshot
             }
             other => err(format!("unknown command `{other}`")),
         }
@@ -407,7 +544,10 @@ pub fn run_job(
     if missing.is_empty() {
         let mut scheduler = Scheduler::new(Vec::new(), resumed, config.scheduler);
         let progress = scheduler.progress(Instant::now());
-        let snapshot = snapshot_json(&job.descriptor(), &progress, 0, 0.0);
+        let mut snapshot = snapshot_json(&job.descriptor(), &progress, 0, 0.0);
+        // Keep the status shape uniform: an already-complete run still
+        // carries a (trivial) telemetry object.
+        snapshot["telemetry"] = snapshot_to_json(&Registry::new(config.telemetry).snapshot());
         store.write_status(&snapshot)?;
         return Ok(RunSummary {
             computed: 0,
@@ -423,15 +563,15 @@ pub fn run_job(
         ));
     }
 
-    let context = RunContext {
+    let context = RunContext::new(
         job,
         store,
-        scheduler: Mutex::new(Scheduler::new(missing, resumed, config.scheduler)),
-        shutdown: AtomicBool::new(false),
-        lease_timeout_ms: config.scheduler.lease_timeout.as_millis() as u64,
+        Scheduler::new(missing, resumed, config.scheduler),
+        config.scheduler.lease_timeout.as_millis() as u64,
         resumed,
         start,
-    };
+        Registry::new(config.telemetry),
+    );
     let context = &context;
 
     let run = std::thread::scope(|scope| {
@@ -467,12 +607,14 @@ pub fn run_job(
                 let progress = context.scheduler.lock().unwrap().progress(Instant::now());
                 let finished = progress.finished();
                 if finished || last_report.is_none_or(|t| t.elapsed() >= config.progress_interval) {
-                    let snapshot = snapshot_json(
+                    context.update_progress_gauges(&progress);
+                    let mut snapshot = snapshot_json(
                         &job.descriptor(),
                         &progress,
                         progress.done.saturating_sub(resumed),
                         start.elapsed().as_secs_f64(),
                     );
+                    snapshot["telemetry"] = snapshot_to_json(&context.telemetry.snapshot());
                     store.write_status(&snapshot)?;
                     if !config.quiet {
                         eprintln!("{}", render_progress_line(&snapshot));

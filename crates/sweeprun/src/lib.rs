@@ -38,10 +38,11 @@ pub mod store;
 pub mod worker;
 
 pub use coordinator::{
-    render_progress_line, run_job, snapshot_json, CoordinatorConfig, RunSummary, PROTOCOL_VERSION,
+    render_progress_line, render_worker_lines, run_job, snapshot_json, CoordinatorConfig,
+    RunSummary, PROTOCOL_VERSION,
 };
 pub use job::{JobDescriptor, JobFactory, PointJob};
-pub use scheduler::{Progress, Scheduler, SchedulerConfig};
+pub use scheduler::{Progress, Scheduler, SchedulerConfig, WorkerView};
 pub use store::{write_atomic, PointStore, StoreState};
 pub use worker::{query_status, run_worker, WorkerOptions, WorkerSummary};
 
@@ -144,6 +145,30 @@ mod e2e_tests {
         let status = store.read_status().unwrap();
         assert_eq!(status.get("done").and_then(Value::as_u64), Some(12));
         assert_eq!(status.get("pending").and_then(Value::as_u64), Some(0));
+        // The status snapshot carries the unified telemetry object plus
+        // per-worker liveness columns.
+        assert!(status.get("uptime_secs").and_then(Value::as_f64).is_some());
+        let telemetry = &status["telemetry"];
+        assert_eq!(
+            telemetry["counters"]["sweep.points_completed"].as_u64(),
+            Some(3),
+            "resume run computed 3 points"
+        );
+        assert!(telemetry["histograms"]["sweep.stage.eval_us"]["count"]
+            .as_u64()
+            .is_some());
+        let workers = status.get("workers").and_then(Value::as_array).unwrap();
+        assert_eq!(workers.len(), 2);
+        for worker in workers {
+            assert!(worker
+                .get("ewma_points_per_sec")
+                .and_then(Value::as_f64)
+                .is_some());
+            assert!(worker
+                .get("since_heartbeat_secs")
+                .and_then(Value::as_f64)
+                .is_some());
+        }
         let _ = std::fs::remove_dir_all(&base);
     }
 

@@ -98,6 +98,63 @@ pub struct SchedulerCounters {
     pub duplicates: u64,
 }
 
+/// Time constant of the per-worker completion-rate EWMA: contributions
+/// decay with `exp(-age / 30 s)`, so the estimate tracks the last
+/// half-minute of work instead of the whole run.
+const EWMA_TAU_SECS: f64 = 30.0;
+
+/// Live statistics of one registered worker.
+#[derive(Debug, Clone, Copy)]
+struct WorkerStats {
+    completed: u64,
+    /// Time-decayed completions/sec estimate (see [`EWMA_TAU_SECS`]).
+    ewma_points_per_sec: f64,
+    /// Previous completion instant (rate-sample baseline).
+    last_complete: Option<Instant>,
+    /// Last liveness signal: lease, completion, failure or heartbeat.
+    last_seen: Instant,
+}
+
+impl WorkerStats {
+    fn new(now: Instant) -> Self {
+        WorkerStats {
+            completed: 0,
+            ewma_points_per_sec: 0.0,
+            last_complete: None,
+            last_seen: now,
+        }
+    }
+
+    /// Folds one completion at `now` into the EWMA: the instantaneous rate
+    /// `1/dt` since the previous completion, blended with a weight of
+    /// `1 − exp(−dt/τ)` so irregular sample spacing decays correctly.
+    fn note_complete(&mut self, now: Instant) {
+        self.completed += 1;
+        if let Some(last) = self.last_complete {
+            let dt = now.saturating_duration_since(last).as_secs_f64().max(1e-9);
+            let inst = 1.0 / dt;
+            let alpha = 1.0 - (-dt / EWMA_TAU_SECS).exp();
+            self.ewma_points_per_sec += alpha * (inst - self.ewma_points_per_sec);
+        }
+        self.last_complete = Some(now);
+    }
+}
+
+/// One worker's row in a [`Progress`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerView {
+    /// Coordinator-assigned worker id.
+    pub worker: u64,
+    /// Points this worker completed.
+    pub completed: u64,
+    /// Time-decayed completion rate (points/sec; 0 until the second
+    /// completion).
+    pub ewma_points_per_sec: f64,
+    /// Seconds since the worker's last liveness signal (lease, completion,
+    /// failure or heartbeat).
+    pub since_last_seen_secs: f64,
+}
+
 /// Aggregate progress at one instant.
 #[derive(Debug, Clone, Default)]
 pub struct Progress {
@@ -113,6 +170,9 @@ pub struct Progress {
     pub counters: SchedulerCounters,
     /// Completions per worker id, for per-worker throughput.
     pub per_worker: Vec<(u64, u64)>,
+    /// Per-worker live statistics (EWMA throughput, heartbeat age), one row
+    /// per registered worker in id order.
+    pub workers: Vec<WorkerView>,
 }
 
 impl Progress {
@@ -138,7 +198,7 @@ pub struct Scheduler {
     order: Vec<usize>,
     attempts: HashMap<usize, u32>,
     counters: SchedulerCounters,
-    per_worker: HashMap<u64, u64>,
+    workers: HashMap<u64, WorkerStats>,
     /// Points already finished before this run (resume credit).
     done_offset: usize,
     next_worker_id: u64,
@@ -160,18 +220,28 @@ impl Scheduler {
             order,
             attempts: HashMap::new(),
             counters: SchedulerCounters::default(),
-            per_worker: HashMap::new(),
+            workers: HashMap::new(),
             done_offset,
             next_worker_id: 0,
         }
     }
 
     /// Hands out a fresh worker id (used by the hello handshake).
-    pub fn register_worker(&mut self) -> u64 {
+    pub fn register_worker(&mut self, now: Instant) -> u64 {
         let id = self.next_worker_id;
         self.next_worker_id += 1;
-        self.per_worker.entry(id).or_insert(0);
+        self.workers.insert(id, WorkerStats::new(now));
         id
+    }
+
+    /// Records a liveness signal from `worker` (any scheduler call counts).
+    fn touch(&mut self, worker: u64, now: Instant) -> &mut WorkerStats {
+        let stats = self
+            .workers
+            .entry(worker)
+            .or_insert_with(|| WorkerStats::new(now));
+        stats.last_seen = now;
+        stats
     }
 
     /// Reclaims every lease whose deadline has passed.
@@ -230,7 +300,7 @@ impl Scheduler {
             }
             Some(_) => {
                 self.states.insert(index, PointState::Done);
-                *self.per_worker.entry(worker).or_insert(0) += 1;
+                self.touch(worker, now).note_complete(now);
                 CompleteReply::Accepted
             }
         }
@@ -238,7 +308,8 @@ impl Scheduler {
 
     /// Records an evaluation failure; retries with exponential backoff
     /// until `max_attempts` is spent.
-    pub fn fail(&mut self, index: usize, _worker: u64, now: Instant) -> FailReply {
+    pub fn fail(&mut self, index: usize, worker: u64, now: Instant) -> FailReply {
+        self.touch(worker, now);
         match self.states.get(&index) {
             None | Some(PointState::Done) | Some(PointState::Failed) => FailReply::Stale,
             Some(_) => {
@@ -277,6 +348,7 @@ impl Scheduler {
     /// to someone else — only leases that are still live get extended.
     pub fn heartbeat(&mut self, worker: u64, now: Instant) {
         self.reap_expired(now);
+        self.touch(worker, now);
         for state in self.states.values_mut() {
             if let PointState::Leased {
                 worker: holder,
@@ -306,13 +378,22 @@ impl Scheduler {
             }
         }
         progress.counters = self.counters;
-        let mut per_worker: Vec<(u64, u64)> = self
-            .per_worker
+        let mut workers: Vec<WorkerView> = self
+            .workers
             .iter()
-            .map(|(&worker, &count)| (worker, count))
+            .map(|(&worker, stats)| WorkerView {
+                worker,
+                completed: stats.completed,
+                ewma_points_per_sec: stats.ewma_points_per_sec,
+                since_last_seen_secs: now.saturating_duration_since(stats.last_seen).as_secs_f64(),
+            })
             .collect();
-        per_worker.sort_unstable();
-        progress.per_worker = per_worker;
+        workers.sort_unstable_by_key(|view| view.worker);
+        progress.per_worker = workers
+            .iter()
+            .map(|view| (view.worker, view.completed))
+            .collect();
+        progress.workers = workers;
         progress
     }
 }
@@ -332,8 +413,8 @@ mod tests {
     #[test]
     fn leases_in_index_order_and_finishes() {
         let mut s = Scheduler::new(vec![2, 0, 7], 5, config(1000, 3, 10));
-        let w = s.register_worker();
         let now = Instant::now();
+        let w = s.register_worker(now);
         assert_eq!(s.lease(w, now), LeaseReply::Point(0));
         assert_eq!(s.lease(w, now), LeaseReply::Point(2));
         assert_eq!(s.lease(w, now), LeaseReply::Point(7));
@@ -351,9 +432,9 @@ mod tests {
     #[test]
     fn expired_leases_requeue_to_other_workers() {
         let mut s = Scheduler::new(vec![0], 0, config(100, 3, 10));
-        let w1 = s.register_worker();
-        let w2 = s.register_worker();
         let t0 = Instant::now();
+        let w1 = s.register_worker(t0);
+        let w2 = s.register_worker(t0);
         assert_eq!(s.lease(w1, t0), LeaseReply::Point(0));
         // Before the timeout the point is unavailable; heartbeats extend it.
         assert_eq!(
@@ -386,9 +467,9 @@ mod tests {
         // not extend it — otherwise a stopped worker can starve the point
         // indefinitely with heartbeats that always arrive just too late.
         let mut s = Scheduler::new(vec![0], 0, config(100, 3, 10));
-        let w1 = s.register_worker();
-        let w2 = s.register_worker();
         let t0 = Instant::now();
+        let w1 = s.register_worker(t0);
+        let w2 = s.register_worker(t0);
         assert_eq!(s.lease(w1, t0), LeaseReply::Point(0));
         // Well past the deadline, w1's heartbeat is the first call the
         // scheduler sees.
@@ -415,9 +496,9 @@ mod tests {
     #[test]
     fn duplicate_completion_is_idempotent() {
         let mut s = Scheduler::new(vec![0], 0, config(50, 3, 10));
-        let w1 = s.register_worker();
-        let w2 = s.register_worker();
         let t0 = Instant::now();
+        let w1 = s.register_worker(t0);
+        let w2 = s.register_worker(t0);
         assert_eq!(s.lease(w1, t0), LeaseReply::Point(0));
         // w1's lease expires; w2 picks the point up and finishes first.
         let t1 = t0 + Duration::from_millis(100);
@@ -434,8 +515,8 @@ mod tests {
     #[test]
     fn bounded_retry_with_backoff_then_terminal_failure() {
         let mut s = Scheduler::new(vec![0], 0, config(1000, 3, 20));
-        let w = s.register_worker();
         let t0 = Instant::now();
+        let w = s.register_worker(t0);
         assert_eq!(s.lease(w, t0), LeaseReply::Point(0));
         assert_eq!(s.fail(0, w, t0), FailReply::Retry);
         // Backing off: not assignable immediately, assignable after the delay.
@@ -455,5 +536,45 @@ mod tests {
         assert_eq!(s.attempts(0), 3);
         // A stale failure report after the terminal state changes nothing.
         assert_eq!(s.fail(0, w, t2), FailReply::Stale);
+    }
+
+    #[test]
+    fn worker_views_track_ewma_throughput_and_heartbeat_age() {
+        let mut s = Scheduler::new((0..40).collect(), 0, config(60_000, 3, 10));
+        let t0 = Instant::now();
+        let w1 = s.register_worker(t0);
+        let w2 = s.register_worker(t0);
+        // w1 completes one point per second for 20 seconds; w2 goes silent
+        // after registering.
+        let mut last = t0;
+        for i in 0..20u64 {
+            let now = t0 + Duration::from_secs(i);
+            let LeaseReply::Point(index) = s.lease(w1, now) else {
+                panic!("expected a point");
+            };
+            last = now + Duration::from_secs(1);
+            assert_eq!(s.complete(index, w1, last), CompleteReply::Accepted);
+        }
+        let progress = s.progress(last + Duration::from_secs(5));
+        assert_eq!(progress.per_worker, vec![(w1, 20), (w2, 0)]);
+        let [v1, v2] = progress.workers[..] else {
+            panic!("expected two worker views");
+        };
+        assert_eq!((v1.worker, v1.completed), (w1, 20));
+        // Steady 1 pt/s sampled 19 times with τ=30 s: the EWMA has converged
+        // to 1 − exp(−19/30) ≈ 0.469 of the true rate and can never exceed
+        // it.
+        assert!(
+            v1.ewma_points_per_sec > 0.4 && v1.ewma_points_per_sec < 1.0,
+            "ewma {} out of range",
+            v1.ewma_points_per_sec
+        );
+        // w1 was last seen at its final completion, 5 s before the snapshot;
+        // w2 has been silent since registration (20 s of leases + 1 s of the
+        // last completion + the 5 s gap).
+        assert!((v1.since_last_seen_secs - 5.0).abs() < 1e-6);
+        assert_eq!((v2.worker, v2.completed), (w2, 0));
+        assert_eq!(v2.ewma_points_per_sec, 0.0);
+        assert!((v2.since_last_seen_secs - 25.0).abs() < 1e-6);
     }
 }

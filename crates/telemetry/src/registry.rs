@@ -1,0 +1,395 @@
+//! The metrics registry: named counters, gauges and log-bucketed
+//! histograms behind lock-free handles.
+//!
+//! Registration (looking a name up in the registry) takes a mutex — that is
+//! the cold path, done once per metric at wiring time. The handles a
+//! registration returns are `Arc`s onto shared atomic cells: incrementing a
+//! counter is one relaxed `fetch_add` on a per-thread shard, recording a
+//! histogram sample is two. A handle from a *disabled* registry carries no
+//! cell at all, so the disabled hot path is a single branch on an enum
+//! discriminant — no atomics, no loads from shared memory.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::histogram::{HistogramCell, HistogramSnapshot};
+use crate::span::Stage;
+use crate::trace::TraceSink;
+
+/// Number of counter shards. Threads are spread round-robin over the
+/// shards, so with a handful of worker threads each usually owns its shard
+/// outright and a counter increment never bounces a contended cache line.
+pub(crate) const COUNTER_SHARDS: usize = 16;
+
+/// One cache line per shard so neighbouring shards never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct PaddedAtomicU64(pub(crate) AtomicU64);
+
+/// The sharded cell behind one named counter.
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    pub(crate) shards: [PaddedAtomicU64; COUNTER_SHARDS],
+}
+
+impl CounterCell {
+    /// Folds the shards in fixed index order (deterministic for a quiesced
+    /// counter, a consistent relaxed read otherwise).
+    pub(crate) fn fold(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// The shard this thread's counter increments land on, assigned round-robin
+/// on first use so concurrent threads spread over distinct cache lines.
+pub(crate) fn thread_shard() -> usize {
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|cell| {
+        let mut shard = cell.get();
+        if shard == usize::MAX {
+            shard = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            cell.set(shard);
+        }
+        shard
+    })
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// A no-op counter (what a disabled registry hands out).
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. One relaxed `fetch_add` on this thread's shard when the
+    /// counter is live; a single branch when it is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.shards[thread_shard()]
+                .0
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current folded value (0 for a disabled counter).
+    pub fn value(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |cell| cell.fold())
+    }
+}
+
+/// An instantaneous signed value (queue depths, open-stream counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 for a disabled gauge).
+    pub fn value(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-bucketed histogram handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn disabled() -> Self {
+        Histogram { cell: None }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples sharing one value (e.g. frames of a batch
+    /// sharing their submit timestamp).
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record_n(value, n);
+        }
+    }
+
+    /// A point-in-time snapshot (empty for a disabled histogram).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |cell| cell.snapshot())
+    }
+}
+
+/// Tuning knobs of a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. A disabled registry hands out no-op handles, so every
+    /// instrumentation site degenerates to one branch.
+    pub enabled: bool,
+    /// Span sampling period: a [`Stage`](crate::span::Stage) times one call
+    /// in `sample_every` (1 = time every call). Item/call counters are
+    /// always exact; sampling only thins the timing histogram so `Instant`
+    /// reads stay off the steady-state hot path.
+    pub sample_every: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            sample_every: 16,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry switched off.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            sample_every: 16,
+        }
+    }
+
+    /// Full-sampling configuration: every span call is timed. Used by the
+    /// bit-identity test batteries to maximise instrumentation pressure.
+    pub fn full_sampling() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            sample_every: 1,
+        }
+    }
+
+    /// Overrides the sampling period (clamped to ≥ 1).
+    pub fn with_sample_every(mut self, sample_every: u32) -> Self {
+        self.sample_every = sample_every.max(1);
+        self
+    }
+}
+
+/// What lives behind an enabled registry.
+#[derive(Debug)]
+pub(crate) struct RegistryInner {
+    pub(crate) started: Instant,
+    pub(crate) sample_every: u32,
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    pub(crate) trace: Mutex<Option<Arc<TraceSink>>>,
+}
+
+/// A process- or subsystem-wide registry of named metrics.
+///
+/// Cheap to clone (an `Arc` internally); clones observe the same metrics.
+/// `Registry::disabled()` carries no state at all and hands out no-op
+/// handles.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    pub(crate) inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// A registry following `config` (disabled config ⇒ no-op registry).
+    pub fn new(config: TelemetryConfig) -> Self {
+        if !config.enabled {
+            return Registry { inner: None };
+        }
+        Registry {
+            inner: Some(Arc::new(RegistryInner {
+                started: Instant::now(),
+                sample_every: config.sample_every.max(1),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                trace: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// An enabled registry with default sampling.
+    pub fn enabled() -> Self {
+        Registry::new(TelemetryConfig::default())
+    }
+
+    /// A no-op registry: every handle it hands out is disabled.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or looks up) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::disabled();
+        };
+        let mut counters = inner.counters.lock().expect("counter registry lock");
+        let cell = counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(CounterCell::default()));
+        Counter {
+            cell: Some(Arc::clone(cell)),
+        }
+    }
+
+    /// Registers (or looks up) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::disabled();
+        };
+        let mut gauges = inner.gauges.lock().expect("gauge registry lock");
+        let cell = gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge {
+            cell: Some(Arc::clone(cell)),
+        }
+    }
+
+    /// Registers (or looks up) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::disabled();
+        };
+        let mut histograms = inner.histograms.lock().expect("histogram registry lock");
+        let cell = histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCell::default()));
+        Histogram {
+            cell: Some(Arc::clone(cell)),
+        }
+    }
+
+    /// Registers a pipeline stage: a `<name>_us` duration histogram plus
+    /// exact `<name>_calls` / `<name>_items` counters, with span timing
+    /// sampled at the registry's configured period.
+    pub fn stage(&self, name: &str) -> Stage {
+        Stage::new(self, name)
+    }
+
+    /// Attaches a JSON-lines trace sink; stages write one event per sampled
+    /// span. Replaces any previous sink.
+    pub fn set_trace_sink(&self, sink: Arc<TraceSink>) {
+        if let Some(inner) = &self.inner {
+            *inner.trace.lock().expect("trace sink lock") = Some(sink);
+        }
+    }
+
+    /// A deterministic point-in-time snapshot: counter shards folded in
+    /// fixed order, every map in name order. Disabled registries snapshot
+    /// empty.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let Some(inner) = &self.inner else {
+            return RegistrySnapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counter registry lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.fold()))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("gauge registry lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("histogram registry lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            uptime_secs: inner.started.elapsed().as_secs_f64(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time, deterministic fold of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// Seconds since the registry was created.
+    pub uptime_secs: f64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Whether nothing was registered (e.g. the registry is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The counter `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
